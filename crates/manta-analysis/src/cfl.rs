@@ -1,0 +1,189 @@
+//! The calling-context stack (`ctx_stack` of Algorithms 1 and 2).
+//!
+//! During DDG/CFG traversal, crossing an interprocedural edge pushes or pops
+//! a [`CallSite`]. A traversal step is *CFL-valid* when the parenthesis
+//! string stays partially balanced: a close parenthesis must match the top
+//! of the stack, but closing with an empty stack is allowed (realizable
+//! paths may begin mid-callee). Recursion was removed during pre-processing,
+//! so "calling contexts can be tracked via pushing and popping from a stack,
+//! without risk of non-termination" (§4.2.1) — the depth bound is a
+//! scalability guard, not a correctness requirement.
+
+use crate::ddg::{CallSite, DepKind};
+
+/// Traversal direction over the DDG/CFG.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Along edges (def → use).
+    Forward,
+    /// Against edges (use → def).
+    Backward,
+}
+
+/// What crossing an edge does to the context stack.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CtxOp {
+    /// No context change (intraprocedural edge).
+    None,
+    /// Enter a callee: push the call site.
+    Push(CallSite),
+    /// Leave a callee: pop a matching call site.
+    Pop(CallSite),
+}
+
+/// Classifies the context operation of crossing an edge of kind `kind` in
+/// `dir`.
+pub fn ctx_op(kind: DepKind, dir: Direction) -> CtxOp {
+    match (kind, dir) {
+        (DepKind::CallParam(cs), Direction::Forward) => CtxOp::Push(cs),
+        (DepKind::CallParam(cs), Direction::Backward) => CtxOp::Pop(cs),
+        (DepKind::CallReturn(cs), Direction::Forward) => CtxOp::Pop(cs),
+        (DepKind::CallReturn(cs), Direction::Backward) => CtxOp::Push(cs),
+        _ => CtxOp::None,
+    }
+}
+
+/// A bounded calling-context stack with CFL-validity checking.
+#[derive(Clone, Debug)]
+pub struct CtxStack {
+    stack: Vec<CallSite>,
+    /// How many unmatched closes were consumed with an empty stack; kept so
+    /// that `enter`/`leave` stay symmetric.
+    free_pops: Vec<CallSite>,
+    max_depth: usize,
+}
+
+impl CtxStack {
+    /// Creates an empty stack bounded at `max_depth` frames.
+    pub fn new(max_depth: usize) -> CtxStack {
+        CtxStack { stack: Vec::new(), free_pops: Vec::new(), max_depth }
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Attempts to cross an edge. Returns `true` (and records the
+    /// operation) when the crossing is CFL-valid; callers must later undo a
+    /// successful crossing with [`leave`](Self::leave), passing the same
+    /// operation.
+    pub fn enter(&mut self, op: CtxOp) -> bool {
+        match op {
+            CtxOp::None => true,
+            CtxOp::Push(cs) => {
+                if self.stack.len() >= self.max_depth {
+                    return false;
+                }
+                self.stack.push(cs);
+                true
+            }
+            CtxOp::Pop(cs) => match self.stack.last() {
+                Some(&top) if top == cs => {
+                    self.stack.pop();
+                    true
+                }
+                Some(_) => false, // mismatched context: CFL-unreachable
+                None => {
+                    // Partially balanced: allowed, remember for symmetry.
+                    self.free_pops.push(cs);
+                    true
+                }
+            },
+        }
+    }
+
+    /// Undoes a successful [`enter`](Self::enter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` does not correspond to the most recent `enter`.
+    pub fn leave(&mut self, op: CtxOp) {
+        match op {
+            CtxOp::None => {}
+            CtxOp::Push(cs) => {
+                let top = self.stack.pop().expect("leave(Push) on empty stack");
+                assert_eq!(top, cs, "unbalanced CtxStack::leave");
+            }
+            CtxOp::Pop(cs) => {
+                if let Some(&last_free) = self.free_pops.last() {
+                    if last_free == cs && self.stack.is_empty() {
+                        self.free_pops.pop();
+                        return;
+                    }
+                }
+                self.stack.push(cs);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manta_ir::{FuncId, InstId};
+
+    fn cs(n: u32) -> CallSite {
+        CallSite { caller: FuncId(n), site: InstId(n) }
+    }
+
+    #[test]
+    fn balanced_push_pop() {
+        let mut st = CtxStack::new(8);
+        assert!(st.enter(CtxOp::Push(cs(1))));
+        assert_eq!(st.depth(), 1);
+        assert!(st.enter(CtxOp::Pop(cs(1))));
+        assert_eq!(st.depth(), 0);
+    }
+
+    #[test]
+    fn mismatched_pop_rejected() {
+        let mut st = CtxStack::new(8);
+        assert!(st.enter(CtxOp::Push(cs(1))));
+        assert!(!st.enter(CtxOp::Pop(cs(2))), "CFL-unreachable path must be rejected");
+        assert_eq!(st.depth(), 1);
+    }
+
+    #[test]
+    fn empty_stack_pop_allowed() {
+        let mut st = CtxStack::new(8);
+        assert!(st.enter(CtxOp::Pop(cs(3))), "partially balanced strings are realizable");
+    }
+
+    #[test]
+    fn depth_bound_enforced() {
+        let mut st = CtxStack::new(2);
+        assert!(st.enter(CtxOp::Push(cs(1))));
+        assert!(st.enter(CtxOp::Push(cs(2))));
+        assert!(!st.enter(CtxOp::Push(cs(3))));
+    }
+
+    #[test]
+    fn enter_leave_roundtrip_restores_state() {
+        let mut st = CtxStack::new(8);
+        st.enter(CtxOp::Push(cs(1)));
+        let op = CtxOp::Pop(cs(1));
+        assert!(st.enter(op));
+        st.leave(op);
+        assert_eq!(st.depth(), 1);
+        st.leave(CtxOp::Push(cs(1)));
+        assert_eq!(st.depth(), 0);
+
+        // Free-pop symmetry.
+        let op = CtxOp::Pop(cs(9));
+        assert!(st.enter(op));
+        st.leave(op);
+        assert_eq!(st.depth(), 0);
+    }
+
+    #[test]
+    fn ctx_op_direction_table() {
+        use crate::ddg::DepKind;
+        let c = cs(4);
+        assert_eq!(ctx_op(DepKind::CallParam(c), Direction::Forward), CtxOp::Push(c));
+        assert_eq!(ctx_op(DepKind::CallParam(c), Direction::Backward), CtxOp::Pop(c));
+        assert_eq!(ctx_op(DepKind::CallReturn(c), Direction::Forward), CtxOp::Pop(c));
+        assert_eq!(ctx_op(DepKind::CallReturn(c), Direction::Backward), CtxOp::Push(c));
+        assert_eq!(ctx_op(DepKind::Direct, Direction::Forward), CtxOp::None);
+    }
+}

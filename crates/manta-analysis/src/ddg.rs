@@ -1,0 +1,442 @@
+//! The data-dependence graph (paper Definition 1).
+//!
+//! Vertices are SSA values (`v@s` collapses to `v` since values are in SSA
+//! form — a value has one def site; the *use*-site granularity the
+//! flow-sensitive refinement needs is recovered on the CFG). Edges carry a
+//! [`DepKind`]:
+//!
+//! * intra-procedural value flow (`copy`/`phi`), arithmetic operand flow
+//!   (the edges Table 2 prunes), field derivation (`gep`);
+//! * memory dependencies `⟨p@*a=p, q@q=*b⟩` constructed iff a stored value
+//!   and a loaded value share a points-to object;
+//! * interprocedural parameter/return bindings labeled with their call
+//!   site, which act as the open/close parentheses of CFL-reachability for
+//!   the context-sensitive refinement (Algorithm 1).
+
+use std::collections::{BTreeSet, HashMap};
+
+use manta_ir::{BinOp, Callee, ExternEffect, FuncId, InstId, InstKind, Terminator, ValueId};
+
+use crate::pointsto::{ObjectId, PointsTo};
+use crate::preprocess::Preprocessed;
+use crate::VarRef;
+
+/// A call site: caller function plus the call instruction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CallSite {
+    /// Calling function.
+    pub caller: FuncId,
+    /// Call instruction within the caller.
+    pub site: InstId,
+}
+
+/// Dense DDG node id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The kind of a data dependence edge.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DepKind {
+    /// Value copy (`copy`, `phi`).
+    Direct,
+    /// Operand of a binary arithmetic instruction flowing into its result.
+    /// `operand` is 0 (lhs) or 1 (rhs). These are the candidates for
+    /// Table 2's infeasible-dependency pruning.
+    Arith {
+        /// The arithmetic operator.
+        op: BinOp,
+        /// Which operand (0 = lhs, 1 = rhs).
+        operand: u8,
+    },
+    /// Operand of a comparison flowing into its boolean result. Not a value
+    /// flow; excluded from slicing traversals.
+    Cmp,
+    /// Base address flowing into a `gep` field address.
+    Field,
+    /// A stored value reaching a load through abstract object `o`.
+    Memory(ObjectId),
+    /// Actual argument flowing into a formal parameter at a call site
+    /// (CFL open parenthesis).
+    CallParam(CallSite),
+    /// Callee return value flowing into the call result (CFL close
+    /// parenthesis).
+    CallReturn(CallSite),
+    /// Flow through a modeled external function (`strcpy`, `atoi`, …).
+    ExternFlow,
+}
+
+impl DepKind {
+    /// Whether slicing treats this edge as value flow.
+    pub fn is_value_flow(self) -> bool {
+        !matches!(self, DepKind::Cmp)
+    }
+}
+
+/// The data-dependence graph of a module.
+#[derive(Debug)]
+pub struct Ddg {
+    node_base: Vec<u32>,
+    vars: Vec<VarRef>,
+    fwd: Vec<Vec<(NodeId, DepKind)>>,
+    bwd: Vec<Vec<(NodeId, DepKind)>>,
+    edge_count: usize,
+}
+
+impl Ddg {
+    /// Builds the DDG of a preprocessed module given points-to results.
+    pub fn build(pre: &Preprocessed, pts: &PointsTo) -> Ddg {
+        let module = &pre.module;
+        // Dense node numbering: per-function bases.
+        let mut node_base = Vec::with_capacity(module.function_count());
+        let mut vars = Vec::new();
+        let mut next = 0u32;
+        for f in module.functions() {
+            node_base.push(next);
+            for (v, _) in f.values() {
+                vars.push(VarRef::new(f.id(), v));
+            }
+            next += f.value_count() as u32;
+        }
+        let n = vars.len();
+        let mut ddg = Ddg {
+            node_base,
+            vars,
+            fwd: vec![Vec::new(); n],
+            bwd: vec![Vec::new(); n],
+            edge_count: 0,
+        };
+
+        // Memory writes: (written value, objects it reaches, via) — stores
+        // plus extern copy effects; paired against loads below.
+        let mut writes: Vec<(VarRef, BTreeSet<ObjectId>)> = Vec::new();
+        let mut reads: Vec<(VarRef, BTreeSet<ObjectId>)> = Vec::new();
+
+        for func in module.functions() {
+            let fid = func.id();
+            for inst in func.insts() {
+                match &inst.kind {
+                    InstKind::Copy { dst, src } => {
+                        ddg.add_edge(fid, *src, fid, *dst, DepKind::Direct);
+                    }
+                    InstKind::Phi { dst, incomings } => {
+                        for (_, v) in incomings {
+                            ddg.add_edge(fid, *v, fid, *dst, DepKind::Direct);
+                        }
+                    }
+                    InstKind::BinOp { op, dst, lhs, rhs } => {
+                        ddg.add_edge(fid, *lhs, fid, *dst, DepKind::Arith { op: *op, operand: 0 });
+                        ddg.add_edge(fid, *rhs, fid, *dst, DepKind::Arith { op: *op, operand: 1 });
+                    }
+                    InstKind::Cmp { dst, lhs, rhs, .. } => {
+                        ddg.add_edge(fid, *lhs, fid, *dst, DepKind::Cmp);
+                        ddg.add_edge(fid, *rhs, fid, *dst, DepKind::Cmp);
+                    }
+                    InstKind::Gep { dst, base, .. } => {
+                        ddg.add_edge(fid, *base, fid, *dst, DepKind::Field);
+                    }
+                    InstKind::Alloca { .. } => {}
+                    InstKind::Store { addr, val } => {
+                        let objs = pts.pts_var(VarRef::new(fid, *addr)).clone();
+                        if !objs.is_empty() {
+                            writes.push((VarRef::new(fid, *val), objs));
+                        }
+                    }
+                    InstKind::Load { dst, addr, .. } => {
+                        let objs = pts.pts_var(VarRef::new(fid, *addr)).clone();
+                        if !objs.is_empty() {
+                            reads.push((VarRef::new(fid, *dst), objs));
+                        }
+                    }
+                    InstKind::Call { dst, callee, args } => match callee {
+                        Callee::Direct(target) => {
+                            if pre.is_broken_call(fid, inst.id) {
+                                continue;
+                            }
+                            let cs = CallSite { caller: fid, site: inst.id };
+                            let tf = module.function(*target);
+                            for (i, &a) in args.iter().enumerate() {
+                                if let Some(&p) = tf.params().get(i) {
+                                    ddg.add_edge(fid, a, *target, p, DepKind::CallParam(cs));
+                                }
+                            }
+                            if let Some(d) = dst {
+                                for b in tf.blocks() {
+                                    if let Terminator::Ret(Some(r)) = b.term {
+                                        ddg.add_edge(*target, r, fid, *d, DepKind::CallReturn(cs));
+                                    }
+                                }
+                            }
+                        }
+                        Callee::Extern(e) => {
+                            let decl = module.extern_decl(*e);
+                            match decl.effect {
+                                ExternEffect::StrCopy => {
+                                    // dst buffer contents and return value
+                                    // both carry the source string.
+                                    if let Some(&src) = args.get(1) {
+                                        if let Some(d) = dst {
+                                            ddg.add_edge(fid, src, fid, *d, DepKind::ExternFlow);
+                                        }
+                                        if let Some(&dbuf) = args.first() {
+                                            let objs =
+                                                pts.pts_var(VarRef::new(fid, dbuf)).clone();
+                                            if !objs.is_empty() {
+                                                writes.push((VarRef::new(fid, src), objs));
+                                            }
+                                        }
+                                    }
+                                }
+                                ExternEffect::IntParse | ExternEffect::Pure => {
+                                    if let (Some(d), Some(&a0)) = (dst, args.first()) {
+                                        ddg.add_edge(fid, a0, fid, *d, DepKind::ExternFlow);
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                        Callee::Indirect(_) => {
+                            // Unresolved before the §5.1 client runs; no
+                            // edges (function pointers unmodeled).
+                        }
+                    },
+                }
+            }
+        }
+
+        // Memory dependencies: a write reaches a read iff they share an
+        // object.
+        let mut writes_by_obj: HashMap<ObjectId, Vec<VarRef>> = HashMap::new();
+        for (val, objs) in &writes {
+            for &o in objs {
+                writes_by_obj.entry(o).or_default().push(*val);
+            }
+        }
+        for (dst, objs) in &reads {
+            for &o in objs {
+                if let Some(ws) = writes_by_obj.get(&o) {
+                    for &w in ws {
+                        ddg.add_edge(w.func, w.value, dst.func, dst.value, DepKind::Memory(o));
+                    }
+                }
+            }
+        }
+        ddg
+    }
+
+    /// The node for variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the analyzed module.
+    pub fn node(&self, v: VarRef) -> NodeId {
+        NodeId(self.node_base[v.func.index()] + v.value.0)
+    }
+
+    /// The variable of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn var(&self, n: NodeId) -> VarRef {
+        self.vars[n.index()]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of (directed) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Forward (def → use) adjacency of `n` (paper: `DDG.childs`).
+    pub fn children(&self, n: NodeId) -> &[(NodeId, DepKind)] {
+        &self.fwd[n.index()]
+    }
+
+    /// Backward (use → def) adjacency of `n` (paper: `DDG.parents`).
+    pub fn parents(&self, n: NodeId) -> &[(NodeId, DepKind)] {
+        &self.bwd[n.index()]
+    }
+
+    /// Removes every edge from `from` to `to` whose kind satisfies `pred`.
+    /// Returns the number of edges removed. Used by the Table 2 pruning
+    /// client.
+    pub fn remove_edges(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        pred: impl Fn(DepKind) -> bool,
+    ) -> usize {
+        let before = self.fwd[from.index()].len();
+        self.fwd[from.index()].retain(|&(t, k)| !(t == to && pred(k)));
+        let removed = before - self.fwd[from.index()].len();
+        self.bwd[to.index()].retain(|&(s, k)| !(s == from && pred(k)));
+        self.edge_count -= removed;
+        removed
+    }
+
+    fn add_edge(&mut self, ff: FuncId, fv: ValueId, tf: FuncId, tv: ValueId, kind: DepKind) {
+        let from = self.node(VarRef::new(ff, fv));
+        let to = self.node(VarRef::new(tf, tv));
+        self.fwd[from.index()].push((to, kind));
+        self.bwd[to.index()].push((from, kind));
+        self.edge_count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::preprocess::{preprocess, PreprocessConfig};
+    use manta_ir::{ModuleBuilder, Width};
+
+    fn build(m: manta_ir::Module) -> (Preprocessed, Ddg) {
+        let pre = preprocess(m, PreprocessConfig::default());
+        let cg = CallGraph::build(&pre);
+        let pts = PointsTo::solve(&pre, &cg);
+        let ddg = Ddg::build(&pre, &pts);
+        (pre, ddg)
+    }
+
+    #[test]
+    fn copy_and_arith_edges() {
+        let mut mb = ModuleBuilder::new("m");
+        let (fid, mut fb) = mb.function("f", &[Width::W64], Some(Width::W64));
+        let p = fb.param(0);
+        let c = fb.copy(p);
+        let one = fb.const_int(1, Width::W64);
+        let s = fb.binop(BinOp::Add, c, one, Width::W64);
+        fb.ret(Some(s));
+        mb.finish_function(fb);
+        let (_, ddg) = build(mb.finish());
+        let np = ddg.node(VarRef::new(fid, p));
+        let nc = ddg.node(VarRef::new(fid, c));
+        let ns = ddg.node(VarRef::new(fid, s));
+        assert!(ddg.children(np).iter().any(|&(t, k)| t == nc && k == DepKind::Direct));
+        assert!(ddg
+            .children(nc)
+            .iter()
+            .any(|&(t, k)| t == ns && matches!(k, DepKind::Arith { op: BinOp::Add, operand: 0 })));
+        assert!(ddg.parents(ns).len() >= 2);
+    }
+
+    #[test]
+    fn memory_edge_requires_shared_object() {
+        // Two disjoint slots: store into one, load from the other ⇒ no edge.
+        let mut mb = ModuleBuilder::new("m");
+        let (fid, mut fb) = mb.function("f", &[Width::W64], Some(Width::W64));
+        let p = fb.param(0);
+        let a = fb.alloca(8);
+        let b = fb.alloca(8);
+        fb.store(a, p);
+        let l = fb.load(b, Width::W64);
+        fb.ret(Some(l));
+        mb.finish_function(fb);
+        let (_, ddg) = build(mb.finish());
+        let np = ddg.node(VarRef::new(fid, p));
+        let nl = ddg.node(VarRef::new(fid, l));
+        assert!(!ddg.children(np).iter().any(|&(t, _)| t == nl));
+
+        // Same slot ⇒ edge.
+        let mut mb = ModuleBuilder::new("m");
+        let (fid, mut fb) = mb.function("f", &[Width::W64], Some(Width::W64));
+        let p = fb.param(0);
+        let a = fb.alloca(8);
+        fb.store(a, p);
+        let l = fb.load(a, Width::W64);
+        fb.ret(Some(l));
+        mb.finish_function(fb);
+        let (_, ddg) = build(mb.finish());
+        let np = ddg.node(VarRef::new(fid, p));
+        let nl = ddg.node(VarRef::new(fid, l));
+        assert!(ddg
+            .children(np)
+            .iter()
+            .any(|&(t, k)| t == nl && matches!(k, DepKind::Memory(_))));
+    }
+
+    #[test]
+    fn call_edges_carry_call_sites() {
+        let mut mb = ModuleBuilder::new("m");
+        let (callee, mut cb) = mb.function("callee", &[Width::W64], Some(Width::W64));
+        let x = cb.param(0);
+        cb.ret(Some(x));
+        mb.finish_function(cb);
+        let (caller, mut fb) = mb.function("caller", &[Width::W64], Some(Width::W64));
+        let p = fb.param(0);
+        let r = fb.call(callee, &[p], Some(Width::W64)).unwrap();
+        fb.ret(Some(r));
+        mb.finish_function(fb);
+        let (pre, ddg) = build(mb.finish());
+        let callee = pre.module.function_by_name("callee").unwrap().id();
+        let x = pre.module.function(callee).params()[0];
+        let np = ddg.node(VarRef::new(caller, p));
+        let nx = ddg.node(VarRef::new(callee, x));
+        let param_edge = ddg
+            .children(np)
+            .iter()
+            .find(|&&(t, k)| t == nx && matches!(k, DepKind::CallParam(_)))
+            .expect("param binding edge");
+        let DepKind::CallParam(cs) = param_edge.1 else { unreachable!() };
+        assert_eq!(cs.caller, caller);
+        // Return edge closes with the same call site.
+        let nr = ddg.node(VarRef::new(caller, r));
+        assert!(ddg
+            .parents(nr)
+            .iter()
+            .any(|&(s, k)| s == nx && k == DepKind::CallReturn(cs)));
+    }
+
+    #[test]
+    fn remove_edges_prunes_both_directions() {
+        let mut mb = ModuleBuilder::new("m");
+        let (fid, mut fb) = mb.function("f", &[Width::W64, Width::W64], Some(Width::W64));
+        let a = fb.param(0);
+        let b = fb.param(1);
+        let s = fb.binop(BinOp::Add, a, b, Width::W64);
+        fb.ret(Some(s));
+        mb.finish_function(fb);
+        let (_, mut ddg) = build(mb.finish());
+        let nb = ddg.node(VarRef::new(fid, b));
+        let ns = ddg.node(VarRef::new(fid, s));
+        let e0 = ddg.edge_count();
+        let removed = ddg.remove_edges(nb, ns, |k| matches!(k, DepKind::Arith { .. }));
+        assert_eq!(removed, 1);
+        assert_eq!(ddg.edge_count(), e0 - 1);
+        assert!(!ddg.children(nb).iter().any(|&(t, _)| t == ns));
+        assert!(!ddg.parents(ns).iter().any(|&(s_, _)| s_ == nb));
+    }
+
+    #[test]
+    fn strcpy_propagates_through_buffer() {
+        let mut mb = ModuleBuilder::new("m");
+        let strcpy = mb.extern_fn("strcpy", &[], None);
+        let nvram = mb.extern_fn("nvram_get", &[], None);
+        let (fid, mut fb) = mb.function("f", &[], Some(Width::W64));
+        let key = fb.alloca(8);
+        let taint = fb.call_extern(nvram, &[key], Some(Width::W64)).unwrap();
+        let buf = fb.alloca(64);
+        fb.call_extern(strcpy, &[buf, taint], Some(Width::W64));
+        let out = fb.load(buf, Width::W64);
+        fb.ret(Some(out));
+        mb.finish_function(fb);
+        let (_, ddg) = build(mb.finish());
+        let nt = ddg.node(VarRef::new(fid, taint));
+        let no = ddg.node(VarRef::new(fid, out));
+        assert!(ddg
+            .children(nt)
+            .iter()
+            .any(|&(t, k)| t == no && matches!(k, DepKind::Memory(_))));
+    }
+}

@@ -1,0 +1,552 @@
+//! Field-sensitive inclusion-based points-to analysis over the block memory
+//! model (paper §3, "Points-to Analysis").
+//!
+//! Global and stack memory is partitioned into disjoint abstract objects;
+//! heap objects use allocation-site abstraction; `gep` materializes *field*
+//! objects beneath their parent (the block memory model). The analysis
+//! reproduces the paper's well-identified unsound choices:
+//!
+//! * function pointers are **not** modeled (no objects flow through
+//!   indirect calls);
+//! * symbolic indexing (`ptr + variable`) collapses an array/object into a
+//!   monolithic object — the result aliases the base;
+//! * calls whose call-graph edge was broken (recursion) are opaque;
+//! * unmodeled externals have no effect;
+//! * parameters of a function are assumed not to alias each other.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use manta_ir::{BinOp, Callee, ExternEffect, FuncId, GlobalId, InstId, InstKind, Terminator, ValueId};
+
+use crate::callgraph::CallGraph;
+use crate::preprocess::Preprocessed;
+use crate::VarRef;
+
+/// Identifies an abstract memory object.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// What an abstract object abstracts.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ObjectKind {
+    /// A stack slot (`alloca` site).
+    Stack {
+        /// Function containing the slot.
+        func: FuncId,
+        /// The `alloca` instruction.
+        site: InstId,
+        /// Slot size in bytes.
+        size: u64,
+    },
+    /// A heap allocation site (`malloc`/`calloc` call).
+    Heap {
+        /// Function containing the allocation.
+        func: FuncId,
+        /// The call instruction.
+        site: InstId,
+    },
+    /// A module global.
+    Global(GlobalId),
+    /// A field at a constant offset inside another object (block memory
+    /// model).
+    Field {
+        /// The enclosing object.
+        parent: ObjectId,
+        /// Byte offset of the field.
+        offset: u64,
+    },
+    /// A buffer returned by a modeled external (e.g. `nvram_get`).
+    ExternBuf {
+        /// Function containing the call.
+        func: FuncId,
+        /// The call instruction.
+        site: InstId,
+    },
+}
+
+/// Internal propagation-graph node: a variable or an object.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+enum Node {
+    Var(VarRef),
+    Obj(ObjectId),
+}
+
+/// Points-to results: the map `ℙ : 𝕍 ∪ 𝕆 → 2^𝕆` of Figure 5.
+#[derive(Debug)]
+pub struct PointsTo {
+    objects: Vec<ObjectKind>,
+    field_intern: HashMap<(ObjectId, u64), ObjectId>,
+    pts: HashMap<Node, BTreeSet<ObjectId>>,
+    /// Number of solver iterations used (reported by scalability figures).
+    pub iterations: usize,
+}
+
+static EMPTY: BTreeSet<ObjectId> = BTreeSet::new();
+
+impl PointsTo {
+    /// Solves points-to constraints for the preprocessed module.
+    pub fn solve(pre: &Preprocessed, _cg: &CallGraph) -> PointsTo {
+        Solver::new(pre).run()
+    }
+
+    /// Points-to set of variable `v`.
+    pub fn pts_var(&self, v: VarRef) -> &BTreeSet<ObjectId> {
+        self.pts.get(&Node::Var(v)).unwrap_or(&EMPTY)
+    }
+
+    /// Points-to set of the contents of object `o`.
+    pub fn pts_obj(&self, o: ObjectId) -> &BTreeSet<ObjectId> {
+        self.pts.get(&Node::Obj(o)).unwrap_or(&EMPTY)
+    }
+
+    /// The kind of object `o`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is not an object of this analysis.
+    pub fn object_kind(&self, o: ObjectId) -> ObjectKind {
+        self.objects[o.index()]
+    }
+
+    /// Iterates over all objects.
+    pub fn objects(&self) -> impl Iterator<Item = (ObjectId, ObjectKind)> + '_ {
+        self.objects.iter().enumerate().map(|(i, &k)| (ObjectId(i as u32), k))
+    }
+
+    /// Number of abstract objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// The field object `(parent, offset)` if it was materialized.
+    pub fn field_of(&self, parent: ObjectId, offset: u64) -> Option<ObjectId> {
+        self.field_intern.get(&(parent, offset)).copied()
+    }
+
+    /// Whether two variables may point to a common object.
+    pub fn may_alias(&self, a: VarRef, b: VarRef) -> bool {
+        let (pa, pb) = (self.pts_var(a), self.pts_var(b));
+        if pa.len() <= pb.len() {
+            pa.iter().any(|o| pb.contains(o))
+        } else {
+            pb.iter().any(|o| pa.contains(o))
+        }
+    }
+}
+
+struct Solver<'a> {
+    pre: &'a Preprocessed,
+    objects: Vec<ObjectKind>,
+    field_intern: HashMap<(ObjectId, u64), ObjectId>,
+    pts: HashMap<Node, BTreeSet<ObjectId>>,
+    /// Simple inclusion edges `src ⊆ dst`.
+    copy_edges: HashMap<Node, Vec<Node>>,
+    /// Complex constraints re-evaluated each round.
+    loads: Vec<(VarRef, VarRef)>,          // (addr, dst)
+    stores: Vec<(VarRef, VarRef)>,         // (addr, val)
+    geps: Vec<(VarRef, VarRef, u64)>,      // (base, dst, offset)
+    collapses: Vec<(VarRef, VarRef)>,      // (operand, dst) — symbolic indexing
+}
+
+impl<'a> Solver<'a> {
+    fn new(pre: &'a Preprocessed) -> Self {
+        Solver {
+            pre,
+            objects: Vec::new(),
+            field_intern: HashMap::new(),
+            pts: HashMap::new(),
+            copy_edges: HashMap::new(),
+            loads: Vec::new(),
+            stores: Vec::new(),
+            geps: Vec::new(),
+            collapses: Vec::new(),
+        }
+    }
+
+    fn new_object(&mut self, kind: ObjectKind) -> ObjectId {
+        let id = ObjectId(self.objects.len() as u32);
+        self.objects.push(kind);
+        id
+    }
+
+    fn field(&mut self, parent: ObjectId, offset: u64) -> ObjectId {
+        if let Some(&f) = self.field_intern.get(&(parent, offset)) {
+            return f;
+        }
+        let f = self.new_object(ObjectKind::Field { parent, offset });
+        self.field_intern.insert((parent, offset), f);
+        f
+    }
+
+    fn add_obj(&mut self, n: Node, o: ObjectId) -> bool {
+        self.pts.entry(n).or_default().insert(o)
+    }
+
+    fn add_copy(&mut self, src: Node, dst: Node) {
+        self.copy_edges.entry(src).or_default().push(dst);
+    }
+
+    fn run(mut self) -> PointsTo {
+        self.collect_constraints();
+        // Fixpoint: propagate along copy edges, then re-derive complex
+        // constraints; repeat until stable.
+        let mut iterations = 0;
+        loop {
+            iterations += 1;
+            let mut changed = false;
+            // Copy propagation to a local fixpoint.
+            loop {
+                let mut inner_changed = false;
+                let srcs: Vec<Node> = self.copy_edges.keys().copied().collect();
+                for src in srcs {
+                    let set = match self.pts.get(&src) {
+                        Some(s) if !s.is_empty() => s.clone(),
+                        _ => continue,
+                    };
+                    let dsts = self.copy_edges[&src].clone();
+                    for dst in dsts {
+                        for &o in &set {
+                            if self.add_obj(dst, o) {
+                                inner_changed = true;
+                            }
+                        }
+                    }
+                }
+                if !inner_changed {
+                    break;
+                }
+                changed = true;
+            }
+            // Complex constraints.
+            for (base, dst, offset) in self.geps.clone() {
+                let bases = self.pts.get(&Node::Var(base)).cloned().unwrap_or_default();
+                for b in bases {
+                    let f = self.field(b, offset);
+                    if self.add_obj(Node::Var(dst), f) {
+                        changed = true;
+                    }
+                }
+            }
+            for (operand, dst) in self.collapses.clone() {
+                // Symbolic indexing: the result aliases the base object
+                // monolithically.
+                let set = self.pts.get(&Node::Var(operand)).cloned().unwrap_or_default();
+                for o in set {
+                    if self.add_obj(Node::Var(dst), o) {
+                        changed = true;
+                    }
+                }
+            }
+            for (addr, dst) in self.loads.clone() {
+                let addrs = self.pts.get(&Node::Var(addr)).cloned().unwrap_or_default();
+                for o in addrs {
+                    let contents = self.pts.get(&Node::Obj(o)).cloned().unwrap_or_default();
+                    for c in contents {
+                        if self.add_obj(Node::Var(dst), c) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            for (addr, val) in self.stores.clone() {
+                let addrs = self.pts.get(&Node::Var(addr)).cloned().unwrap_or_default();
+                let vals = self.pts.get(&Node::Var(val)).cloned().unwrap_or_default();
+                for o in addrs {
+                    for &v in &vals {
+                        if self.add_obj(Node::Obj(o), v) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        PointsTo {
+            objects: self.objects,
+            field_intern: self.field_intern,
+            pts: self.pts,
+            iterations,
+        }
+    }
+
+    fn collect_constraints(&mut self) {
+        let module = &self.pre.module;
+        // Global objects exist once per global.
+        let mut global_objs: HashMap<GlobalId, ObjectId> = HashMap::new();
+        for g in module.globals() {
+            let o = self.new_object(ObjectKind::Global(g.id));
+            global_objs.insert(g.id, o);
+        }
+
+        for func in module.functions() {
+            let fid = func.id();
+            let var = |v: ValueId| Node::Var(VarRef::new(fid, v));
+            // Address-of constraints for global-address constants.
+            for (v, data) in func.values() {
+                if let manta_ir::ValueKind::GlobalAddr(g) = data.kind {
+                    let o = global_objs[&g];
+                    self.add_obj(var(v), o);
+                }
+            }
+            // Return values of this function, used for call-return binding.
+            let mut rets: Vec<ValueId> = Vec::new();
+            for b in func.blocks() {
+                if let Terminator::Ret(Some(v)) = b.term {
+                    rets.push(v);
+                }
+            }
+            for inst in func.insts() {
+                match &inst.kind {
+                    InstKind::Copy { dst, src } => self.add_copy(var(*src), var(*dst)),
+                    InstKind::Phi { dst, incomings } => {
+                        for (_, v) in incomings {
+                            self.add_copy(var(*v), var(*dst));
+                        }
+                    }
+                    InstKind::Alloca { dst, size } => {
+                        let o = self.new_object(ObjectKind::Stack {
+                            func: fid,
+                            site: inst.id,
+                            size: *size,
+                        });
+                        self.add_obj(var(*dst), o);
+                    }
+                    InstKind::Gep { dst, base, offset } => {
+                        self.geps.push((VarRef::new(fid, *base), VarRef::new(fid, *dst), *offset));
+                    }
+                    InstKind::Load { dst, addr, .. } => {
+                        self.loads.push((VarRef::new(fid, *addr), VarRef::new(fid, *dst)));
+                    }
+                    InstKind::Store { addr, val } => {
+                        self.stores.push((VarRef::new(fid, *addr), VarRef::new(fid, *val)));
+                    }
+                    InstKind::BinOp { op: BinOp::Add | BinOp::Sub, dst, lhs, rhs } => {
+                        // Pointer arithmetic with a non-constant offset:
+                        // collapse to the base objects (both operands are
+                        // candidates; non-pointers contribute nothing).
+                        self.collapses.push((VarRef::new(fid, *lhs), VarRef::new(fid, *dst)));
+                        self.collapses.push((VarRef::new(fid, *rhs), VarRef::new(fid, *dst)));
+                    }
+                    InstKind::BinOp { .. } | InstKind::Cmp { .. } => {}
+                    InstKind::Call { dst, callee, args } => match callee {
+                        Callee::Direct(target) => {
+                            if self.pre.is_broken_call(fid, inst.id) {
+                                continue;
+                            }
+                            let tf = module.function(*target);
+                            for (i, &a) in args.iter().enumerate() {
+                                if let Some(&p) = tf.params().get(i) {
+                                    self.add_copy(var(a), Node::Var(VarRef::new(*target, p)));
+                                }
+                            }
+                            if let Some(d) = dst {
+                                // Bind all return values of the callee.
+                                let mut trets: Vec<ValueId> = Vec::new();
+                                for b in tf.blocks() {
+                                    if let Terminator::Ret(Some(v)) = b.term {
+                                        trets.push(v);
+                                    }
+                                }
+                                for r in trets {
+                                    self.add_copy(Node::Var(VarRef::new(*target, r)), var(*d));
+                                }
+                            }
+                        }
+                        Callee::Extern(e) => {
+                            let decl = module.extern_decl(*e);
+                            match decl.effect {
+                                ExternEffect::AllocHeap => {
+                                    if let Some(d) = dst {
+                                        let o = self.new_object(ObjectKind::Heap {
+                                            func: fid,
+                                            site: inst.id,
+                                        });
+                                        self.add_obj(var(*d), o);
+                                    }
+                                }
+                                ExternEffect::TaintSource => {
+                                    if let Some(d) = dst {
+                                        let o = self.new_object(ObjectKind::ExternBuf {
+                                            func: fid,
+                                            site: inst.id,
+                                        });
+                                        self.add_obj(var(*d), o);
+                                    }
+                                }
+                                ExternEffect::StrCopy => {
+                                    // strcpy returns its destination.
+                                    if let (Some(d), Some(&a0)) = (dst, args.first()) {
+                                        self.add_copy(var(a0), var(*d));
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                        // Function pointers are not modeled (paper §3).
+                        Callee::Indirect(_) => {}
+                    },
+                }
+            }
+            let _ = rets;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::{preprocess, PreprocessConfig};
+    use manta_ir::{ModuleBuilder, Width};
+
+    fn analyze(m: manta_ir::Module) -> (Preprocessed, PointsTo) {
+        let pre = preprocess(m, PreprocessConfig::default());
+        let cg = CallGraph::build(&pre);
+        let pts = PointsTo::solve(&pre, &cg);
+        (pre, pts)
+    }
+
+    #[test]
+    fn alloca_and_copy() {
+        let mut mb = ModuleBuilder::new("m");
+        let (fid, mut fb) = mb.function("f", &[], None);
+        let a = fb.alloca(8);
+        let b = fb.copy(a);
+        fb.ret(None);
+        mb.finish_function(fb);
+        let (_, pts) = analyze(mb.finish());
+        let va = VarRef::new(fid, a);
+        let vb = VarRef::new(fid, b);
+        assert_eq!(pts.pts_var(va).len(), 1);
+        assert_eq!(pts.pts_var(va), pts.pts_var(vb));
+        assert!(pts.may_alias(va, vb));
+    }
+
+    #[test]
+    fn store_load_through_object() {
+        // q = alloca; *q = p(heap); r = *q  ⇒  r points to the heap object.
+        let mut mb = ModuleBuilder::new("m");
+        let malloc = mb.extern_fn("malloc", &[], None);
+        let (fid, mut fb) = mb.function("f", &[], None);
+        let sz = fb.const_int(16, Width::W64);
+        let p = fb.call_extern(malloc, &[sz], Some(Width::W64)).unwrap();
+        let q = fb.alloca(8);
+        fb.store(q, p);
+        let r = fb.load(q, Width::W64);
+        fb.ret(None);
+        mb.finish_function(fb);
+        let (_, pts) = analyze(mb.finish());
+        let heap: Vec<_> = pts.pts_var(VarRef::new(fid, p)).iter().copied().collect();
+        assert_eq!(heap.len(), 1);
+        assert!(matches!(pts.object_kind(heap[0]), ObjectKind::Heap { .. }));
+        assert_eq!(pts.pts_var(VarRef::new(fid, r)), pts.pts_var(VarRef::new(fid, p)));
+    }
+
+    #[test]
+    fn gep_materializes_fields() {
+        let mut mb = ModuleBuilder::new("m");
+        let (fid, mut fb) = mb.function("f", &[], None);
+        let s = fb.alloca(16);
+        let f0 = fb.gep(s, 0);
+        let f8 = fb.gep(s, 8);
+        fb.ret(None);
+        mb.finish_function(fb);
+        let (_, pts) = analyze(mb.finish());
+        let base = *pts.pts_var(VarRef::new(fid, s)).iter().next().unwrap();
+        let o0 = *pts.pts_var(VarRef::new(fid, f0)).iter().next().unwrap();
+        let o8 = *pts.pts_var(VarRef::new(fid, f8)).iter().next().unwrap();
+        assert_ne!(o0, o8, "distinct offsets are distinct field objects");
+        assert_eq!(pts.field_of(base, 0), Some(o0));
+        assert_eq!(pts.field_of(base, 8), Some(o8));
+        assert!(!pts.may_alias(VarRef::new(fid, f0), VarRef::new(fid, f8)));
+    }
+
+    #[test]
+    fn symbolic_indexing_collapses() {
+        // r = base + i  ⇒  r aliases base (monolithic collapse).
+        let mut mb = ModuleBuilder::new("m");
+        let (fid, mut fb) = mb.function("f", &[Width::W64], None);
+        let i = fb.param(0);
+        let base = fb.alloca(64);
+        let r = fb.binop(BinOp::Add, base, i, Width::W64);
+        fb.ret(None);
+        mb.finish_function(fb);
+        let (_, pts) = analyze(mb.finish());
+        assert!(pts.may_alias(VarRef::new(fid, base), VarRef::new(fid, r)));
+    }
+
+    #[test]
+    fn interprocedural_param_and_return_binding() {
+        // id(x) { return x; }  caller: y = id(stack_addr)
+        let mut mb = ModuleBuilder::new("m");
+        let (id_f, mut ib) = mb.function("id", &[Width::W64], Some(Width::W64));
+        let x = ib.param(0);
+        ib.ret(Some(x));
+        mb.finish_function(ib);
+        let (caller, mut cb) = mb.function("caller", &[], None);
+        let s = cb.alloca(8);
+        let y = cb.call(id_f, &[s], Some(Width::W64)).unwrap();
+        cb.ret(None);
+        mb.finish_function(cb);
+        let (pre, pts) = analyze(mb.finish());
+        let id_f = pre.module.function_by_name("id").unwrap().id();
+        let xp = pre.module.function(id_f).params()[0];
+        assert_eq!(pts.pts_var(VarRef::new(id_f, xp)).len(), 1);
+        assert_eq!(
+            pts.pts_var(VarRef::new(caller, y)),
+            pts.pts_var(VarRef::new(caller, s))
+        );
+    }
+
+    #[test]
+    fn globals_are_objects() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("cfg", 32);
+        let (fid, mut fb) = mb.function("f", &[], None);
+        let ga = fb.global_addr(g);
+        let v = fb.load(ga, Width::W64);
+        let _ = v;
+        fb.ret(None);
+        mb.finish_function(fb);
+        let (_, pts) = analyze(mb.finish());
+        let set = pts.pts_var(VarRef::new(fid, ga));
+        assert_eq!(set.len(), 1);
+        assert!(matches!(pts.object_kind(*set.iter().next().unwrap()), ObjectKind::Global(_)));
+    }
+
+    #[test]
+    fn indirect_calls_are_opaque() {
+        let mut mb = ModuleBuilder::new("m");
+        let (target, mut tb) = mb.function("target", &[Width::W64], None);
+        tb.ret(None);
+        mb.finish_function(tb);
+        mb.mark_address_taken(target);
+        let (fid, mut fb) = mb.function("f", &[], None);
+        let fp = fb.func_addr(target);
+        let s = fb.alloca(8);
+        fb.call_indirect(fp, &[s], None);
+        fb.ret(None);
+        mb.finish_function(fb);
+        let (pre, pts) = analyze(mb.finish());
+        let target = pre.module.function_by_name("target").unwrap().id();
+        let p = pre.module.function(target).params()[0];
+        // Function pointers unmodeled ⇒ nothing flows into the target param.
+        assert!(pts.pts_var(VarRef::new(target, p)).is_empty());
+        let _ = fid;
+    }
+}

@@ -1,0 +1,226 @@
+//! DIRTY-like data-driven type prediction.
+//!
+//! "Since these data-driven approaches guess types, they cannot have high
+//! recall as MANTA and cannot achieve high precision as the prediction
+//! could be incorrect" (§6.1). The reimplementation predicts from usage
+//! features with fixed *learned-prior* confidences (standing in for the
+//! transformer's calibration): with probability `confidence` the feature's
+//! type is emitted, otherwise a deterministic wrong guess. Parameters with
+//! no features get a coarse `reg64`-style prediction — a superset that
+//! preserves recall but not precision. The model never abstains, so every
+//! parameter is typed.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+use manta::TypeInterval;
+use manta_analysis::ModuleAnalysis;
+use manta_ir::{FuncId, Type, Width};
+
+use crate::ghidra::local_evidence;
+use crate::tool::{ToolResult, TypeTool};
+
+/// The DIRTY-like tool.
+#[derive(Clone, Debug)]
+pub struct DirtyLike {
+    /// Project names the tool crashes on (the paper's ‡ rows; the real
+    /// tool OOM-crashed on vim and python).
+    pub crash_on: HashSet<String>,
+    /// Confidence of signature-derived predictions.
+    pub conf_extern: f64,
+    /// Confidence of dereference-derived predictions.
+    pub conf_deref: f64,
+    /// Confidence of arithmetic-derived predictions.
+    pub conf_arith: f64,
+    /// Confidence of predictions hopped through one direct call.
+    pub conf_hop: f64,
+}
+
+impl Default for DirtyLike {
+    fn default() -> Self {
+        DirtyLike {
+            crash_on: ["vim", "python"].into_iter().map(String::from).collect(),
+            conf_extern: 0.92,
+            conf_deref: 0.86,
+            conf_arith: 0.75,
+            conf_hop: 0.72,
+        }
+    }
+}
+
+impl DirtyLike {
+    /// Deterministic pseudo-probability in `[0, 1)` for a parameter.
+    fn noise(module: &str, f: FuncId, idx: usize) -> f64 {
+        let mut h = DefaultHasher::new();
+        (module, f.0, idx as u64, 0x9e3779b97f4a7c15u64).hash(&mut h);
+        (h.finish() % 10_000) as f64 / 10_000.0
+    }
+
+    fn wrong_guess(right: &Type) -> Type {
+        if right.is_pointer() {
+            Type::Int(Width::W64)
+        } else {
+            Type::byte_ptr()
+        }
+    }
+
+    fn predict(
+        &self,
+        analysis: &ModuleAnalysis,
+        f: FuncId,
+        idx: usize,
+        depth: usize,
+    ) -> (Type, f64) {
+        let func = analysis.module().function(f);
+        let Some(&p) = func.params().get(idx) else {
+            return (Type::Reg(Width::W64), 0.0);
+        };
+        self.predict_value(analysis, f, p, depth)
+    }
+
+    fn predict_value(
+        &self,
+        analysis: &ModuleAnalysis,
+        f: FuncId,
+        p: manta_ir::ValueId,
+        depth: usize,
+    ) -> (Type, f64) {
+        let func = analysis.module().function(f);
+        let ev = local_evidence(analysis, func, p);
+        if let Some(t) = &ev.extern_sig {
+            return (t.clone(), self.conf_extern);
+        }
+        if ev.deref {
+            return (Type::byte_ptr(), self.conf_deref);
+        }
+        if ev.arith || ev.cmp_const {
+            return (Type::Int(func.value(p).width), self.conf_arith);
+        }
+        if depth > 0 {
+            let mut best = (Type::Reg(Width::W64), 0.0);
+            for (callee, pos) in &ev.direct_calls {
+                let (t, c) = self.predict(analysis, *callee, *pos, depth - 1);
+                let c = c.min(self.conf_hop);
+                if c > best.1 {
+                    best = (t, c);
+                }
+            }
+            if best.1 > 0.0 {
+                return best;
+            }
+        }
+        // No features: coarse prediction.
+        (Type::Reg(Width::W64), 0.0)
+    }
+}
+
+impl TypeTool for DirtyLike {
+    fn name(&self) -> &str {
+        "Dirty"
+    }
+
+    fn infer(&self, analysis: &ModuleAnalysis) -> ToolResult {
+        let module_name = analysis.module().name().to_string();
+        if self.crash_on.contains(&module_name) {
+            return ToolResult::crash();
+        }
+        let mut out = ToolResult::default();
+        for func in analysis.module().functions() {
+            let param_pos: std::collections::HashMap<manta_ir::ValueId, usize> = func
+                .params()
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (p, i))
+                .collect();
+            for (v, data) in func.values() {
+                if matches!(data.kind, manta_ir::ValueKind::Const(_)) {
+                    continue;
+                }
+                let (ty, conf) = self.predict_value(analysis, func.id(), v, 2);
+                let interval = if conf == 0.0 {
+                    // Coarse superset prediction: a range, not a singleton.
+                    TypeInterval { upper: ty, lower: Type::Bottom }
+                } else if Self::noise(&module_name, func.id(), v.index()) < conf {
+                    TypeInterval::exact(ty)
+                } else {
+                    TypeInterval::exact(Self::wrong_guess(&ty))
+                };
+                if let Some(&i) = param_pos.get(&v) {
+                    out.params.insert((func.id(), i), interval.clone());
+                }
+                out.vars
+                    .insert(manta_analysis::VarRef::new(func.id(), v), interval);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manta_ir::ModuleBuilder;
+
+    #[test]
+    fn crashes_on_configured_projects() {
+        let mb = ModuleBuilder::new("vim");
+        let analysis = ModuleAnalysis::build(mb.finish());
+        let r = DirtyLike::default().infer(&analysis);
+        assert!(r.crashed);
+        assert!(!r.usable());
+    }
+
+    #[test]
+    fn always_predicts_something() {
+        let mut mb = ModuleBuilder::new("m");
+        let (fid, mut fb) = mb.function("f", &[Width::W64, Width::W64], Some(Width::W64));
+        let p = fb.param(0);
+        fb.load(p, Width::W64);
+        fb.ret(Some(p));
+        mb.finish_function(fb);
+        let analysis = ModuleAnalysis::build(mb.finish());
+        let r = DirtyLike::default().infer(&analysis);
+        assert!(r.params.contains_key(&(fid, 0)));
+        assert!(r.params.contains_key(&(fid, 1)), "featureless param still predicted");
+        // The featureless one is a coarse range.
+        assert_eq!(r.params[&(fid, 1)].upper, Type::Reg(Width::W64));
+    }
+
+    #[test]
+    fn predictions_are_deterministic() {
+        let build = || {
+            let mut mb = ModuleBuilder::new("m");
+            let (_, mut fb) = mb.function("f", &[Width::W64], Some(Width::W64));
+            let p = fb.param(0);
+            fb.load(p, Width::W64);
+            fb.ret(Some(p));
+            mb.finish_function(fb);
+            ModuleAnalysis::build(mb.finish())
+        };
+        let r1 = DirtyLike::default().infer(&build());
+        let r2 = DirtyLike::default().infer(&build());
+        assert_eq!(r1.params, r2.params);
+    }
+
+    #[test]
+    fn hops_through_direct_calls() {
+        let mut mb = ModuleBuilder::new("m");
+        let (callee, mut cb) = mb.function("callee", &[Width::W64], Some(Width::W64));
+        let q = cb.param(0);
+        let v = cb.load(q, Width::W64);
+        cb.ret(Some(v));
+        mb.finish_function(cb);
+        let (fid, mut fb) = mb.function("f", &[Width::W64], Some(Width::W64));
+        let p = fb.param(0);
+        let r = fb.call(callee, &[p], Some(Width::W64)).unwrap();
+        fb.ret(Some(r));
+        mb.finish_function(fb);
+        let analysis = ModuleAnalysis::build(mb.finish());
+        let r = DirtyLike::default().infer(&analysis);
+        let predicted = &r.params[&(fid, 0)];
+        // Either the hop-derived pointer or the deterministic wrong guess —
+        // but never the coarse fallback.
+        assert_ne!(predicted.upper, Type::Reg(Width::W64));
+    }
+}

@@ -1,0 +1,189 @@
+//! Ghidra-like heuristic type inference.
+//!
+//! "It performs a heuristic rule-based analysis by modeling some access
+//! patterns and only performs regional type propagation. […] many
+//! variables are inferred as undefined when there are no hints collected"
+//! (§6.1). This reimplementation is *regional*: only direct intraprocedural
+//! uses of a parameter are consulted — no memory, no interprocedural
+//! unification — and heuristics favor arithmetic evidence, which misfires
+//! on parameters that are cast to integers on some path.
+
+use manta::TypeInterval;
+use manta_analysis::ModuleAnalysis;
+use manta_ir::{BinOp, Callee, ConstKind, Function, InstKind, Type, ValueId, ValueKind};
+
+use crate::tool::{ToolResult, TypeTool};
+
+/// Usage evidence Ghidra-like heuristics look at, in priority order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub(crate) struct LocalEvidence {
+    /// Dereferenced (load/store address or gep base).
+    pub deref: bool,
+    /// Used in any arithmetic instruction.
+    pub arith: bool,
+    /// Compared against a non-zero integer constant.
+    pub cmp_const: bool,
+    /// Passed to a modeled external with a known signature: the revealed
+    /// parameter type.
+    pub extern_sig: Option<Type>,
+    /// Passed to an *unmodeled* external.
+    pub unknown_extern_arg: bool,
+    /// Direct (module) calls receiving this value, with argument position.
+    pub direct_calls: Vec<(manta_ir::FuncId, usize)>,
+}
+
+/// Extracts direct-use evidence for `v` inside `func` (shared by the
+/// Ghidra-, RetDec- and DIRTY-like tools).
+pub(crate) fn local_evidence(
+    analysis: &ModuleAnalysis,
+    func: &Function,
+    v: ValueId,
+) -> LocalEvidence {
+    let module = analysis.module();
+    let mut ev = LocalEvidence::default();
+    for inst in func.insts() {
+        match &inst.kind {
+            InstKind::Load { addr, .. } if *addr == v => ev.deref = true,
+            InstKind::Store { addr, .. } if *addr == v => ev.deref = true,
+            InstKind::Gep { base, .. } if *base == v => ev.deref = true,
+            InstKind::BinOp { op, lhs, rhs, .. } if *lhs == v || *rhs == v => {
+                // Pointer arithmetic (`add`/`sub`) is not integer
+                // evidence; everything else is.
+                if !matches!(op, BinOp::Add | BinOp::Sub) {
+                    ev.arith = true;
+                }
+            }
+            InstKind::Cmp { lhs, rhs, .. } if *lhs == v || *rhs == v => {
+                let other = if *lhs == v { *rhs } else { *lhs };
+                if matches!(
+                    func.value(other).kind,
+                    ValueKind::Const(ConstKind::Int(k)) if k != 0
+                ) {
+                    ev.cmp_const = true;
+                }
+            }
+            InstKind::Call { callee, args, .. } => {
+                if let Some(pos) = args.iter().position(|&a| a == v) {
+                    match callee {
+                        Callee::Extern(e) => {
+                            let decl = module.extern_decl(*e);
+                            match decl.sig.as_ref().and_then(|s| s.params.get(pos)) {
+                                Some(t) => {
+                                    ev.extern_sig.get_or_insert_with(|| t.clone());
+                                }
+                                None => ev.unknown_extern_arg = true,
+                            }
+                        }
+                        Callee::Direct(f) => ev.direct_calls.push((*f, pos)),
+                        Callee::Indirect(_) => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    ev
+}
+
+/// The Ghidra-like tool.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GhidraLike;
+
+impl TypeTool for GhidraLike {
+    fn name(&self) -> &str {
+        "Ghidra"
+    }
+
+    fn infer(&self, analysis: &ModuleAnalysis) -> ToolResult {
+        let mut out = ToolResult::default();
+        for func in analysis.module().functions() {
+            let param_pos: std::collections::HashMap<manta_ir::ValueId, usize> = func
+                .params()
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (p, i))
+                .collect();
+            for (p, data) in func.values() {
+                if matches!(data.kind, ValueKind::Const(_)) {
+                    continue;
+                }
+                let ev = local_evidence(analysis, func, p);
+                let width = func.value(p).width;
+                // Heuristic priority: arithmetic/compare patterns are
+                // trusted over access patterns (the documented misfire),
+                // then the modeled-extern signature, then dereference,
+                // then the call-argument-defaults-to-int rule.
+                let ty = if ev.arith || ev.cmp_const {
+                    Some(Type::Int(width))
+                } else if let Some(t) = &ev.extern_sig {
+                    Some(t.clone())
+                } else if ev.deref {
+                    Some(Type::ptr(Type::Bottom))
+                } else if ev.unknown_extern_arg {
+                    Some(Type::Int(width))
+                } else {
+                    None // `undefined`
+                };
+                if let Some(t) = ty {
+                    let interval = TypeInterval::exact(t);
+                    if let Some(&i) = param_pos.get(&p) {
+                        out.params.insert((func.id(), i), interval.clone());
+                    }
+                    out.vars
+                        .insert(manta_analysis::VarRef::new(func.id(), p), interval);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manta_ir::{ModuleBuilder, Width};
+
+    #[test]
+    fn deref_yields_pointer_and_absence_yields_undefined() {
+        let mut mb = ModuleBuilder::new("m");
+        let (fid, mut fb) = mb.function("f", &[Width::W64, Width::W64], Some(Width::W64));
+        let p = fb.param(0);
+        let v = fb.load(p, Width::W64);
+        fb.ret(Some(v));
+        mb.finish_function(fb);
+        let analysis = ModuleAnalysis::build(mb.finish());
+        let r = GhidraLike.infer(&analysis);
+        assert!(r.params[&(fid, 0)].upper.is_pointer());
+        assert!(!r.params.contains_key(&(fid, 1)), "unused param is undefined");
+    }
+
+    #[test]
+    fn arithmetic_overrides_deref_evidence() {
+        // The misfire: a pointer also used in a multiply is typed int.
+        let mut mb = ModuleBuilder::new("m");
+        let (fid, mut fb) = mb.function("f", &[Width::W64], Some(Width::W64));
+        let p = fb.param(0);
+        fb.load(p, Width::W64);
+        let two = fb.const_int(2, Width::W64);
+        let r = fb.binop(BinOp::Mul, p, two, Width::W64);
+        fb.ret(Some(r));
+        mb.finish_function(fb);
+        let analysis = ModuleAnalysis::build(mb.finish());
+        let r = GhidraLike.infer(&analysis);
+        assert_eq!(r.params[&(fid, 0)].upper, Type::Int(Width::W64));
+    }
+
+    #[test]
+    fn extern_signature_used_when_no_arith() {
+        let mut mb = ModuleBuilder::new("m");
+        let strlen = mb.extern_fn("strlen", &[], None);
+        let (fid, mut fb) = mb.function("f", &[Width::W64], Some(Width::W64));
+        let p = fb.param(0);
+        let n = fb.call_extern(strlen, &[p], Some(Width::W64)).unwrap();
+        fb.ret(Some(n));
+        mb.finish_function(fb);
+        let analysis = ModuleAnalysis::build(mb.finish());
+        let r = GhidraLike.infer(&analysis);
+        assert!(r.params[&(fid, 0)].upper.is_pointer());
+    }
+}

@@ -1,0 +1,40 @@
+//! # manta-baselines
+//!
+//! Behavioural reimplementations of the tools the paper compares against.
+//! None of the real tools (DIRTY's trained model, Ghidra, RetDec, Retypd,
+//! cwe_checker, SaTC, Arbiter) are available offline, so each baseline
+//! reproduces the *mechanism* the paper describes for it (§6.1 "Analysis
+//! of Other Tools", §6.3 "Comparison with Other Tools") and therefore its
+//! characteristic precision/recall signature:
+//!
+//! * [`dirty`] — data-driven: always predicts a concrete type from usage
+//!   features with learned-prior confidence; wrong guesses cost recall.
+//! * [`ghidra`] — heuristic, regional propagation; `undefined` when no
+//!   local hint; treats comparison constants as integer evidence.
+//! * [`retdec`] — like Ghidra but must emit typed IR: everything
+//!   unresolved becomes `i32` (precision == recall).
+//! * [`retypd`] — principled subtyping constraints solved by transitive
+//!   closure (no upper/lower interval tracking, coarser arithmetic rules)
+//!   with an `O(N³)` work budget that times out on large binaries.
+//! * [`bugtools`] — cwe_checker-, SaTC- and Arbiter-like bug detectors for
+//!   the Table 5 comparison.
+//!
+//! All type baselines implement [`TypeTool`], the common interface the
+//! evaluation harness consumes (Manta's ablations are adapted onto the
+//! same interface by `manta-eval`).
+
+#![warn(missing_docs)]
+
+pub mod bugtools;
+pub mod dirty;
+pub mod ghidra;
+pub mod retdec;
+pub mod retypd;
+mod tool;
+
+pub use bugtools::{ArbiterLike, BugTool, CweCheckerLike, SatcLike, ToolBugReport};
+pub use dirty::DirtyLike;
+pub use ghidra::GhidraLike;
+pub use retdec::RetdecLike;
+pub use retypd::RetypdLike;
+pub use tool::{ToolResult, TypeTool};

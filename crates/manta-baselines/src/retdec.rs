@@ -1,0 +1,81 @@
+//! RetDec-like type inference.
+//!
+//! "It does not produce unknown type since its output should be a valid
+//! LLVM IR in which all values should have type. As a result, it will mark
+//! the value whose type cannot be inferred as `i32`; such treatment
+//! introduces low recall as lots of pointer type variables are inferred as
+//! integer type" (§6.1). Same regional heuristics as [`crate::GhidraLike`],
+//! but every undefined parameter becomes `i32`, so the output never
+//! contains ranges or unknowns — precision equals recall.
+
+use manta::TypeInterval;
+use manta_analysis::ModuleAnalysis;
+use manta_ir::{Type, Width};
+
+use crate::ghidra::GhidraLike;
+use crate::tool::{ToolResult, TypeTool};
+
+/// The RetDec-like tool.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RetdecLike;
+
+impl TypeTool for RetdecLike {
+    fn name(&self) -> &str {
+        "RetDec"
+    }
+
+    fn infer(&self, analysis: &ModuleAnalysis) -> ToolResult {
+        let mut base = GhidraLike.infer(analysis);
+        for func in analysis.module().functions() {
+            for (i, _) in func.params().iter().enumerate() {
+                base.params
+                    .entry((func.id(), i))
+                    .or_insert_with(|| TypeInterval::exact(Type::Int(Width::W32)));
+            }
+            for (v, data) in func.values() {
+                if matches!(data.kind, manta_ir::ValueKind::Const(_)) {
+                    continue;
+                }
+                base.vars
+                    .entry(manta_analysis::VarRef::new(func.id(), v))
+                    .or_insert_with(|| TypeInterval::exact(Type::Int(Width::W32)));
+            }
+        }
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manta_ir::ModuleBuilder;
+
+    #[test]
+    fn unknowns_default_to_i32() {
+        let mut mb = ModuleBuilder::new("m");
+        let (fid, mut fb) = mb.function("f", &[Width::W64], Some(Width::W64));
+        let p = fb.param(0);
+        fb.ret(Some(p)); // no usable evidence
+        mb.finish_function(fb);
+        let analysis = ModuleAnalysis::build(mb.finish());
+        let r = RetdecLike.infer(&analysis);
+        assert_eq!(r.params[&(fid, 0)].upper, Type::Int(Width::W32));
+        assert_eq!(r.params[&(fid, 0)].lower, Type::Int(Width::W32));
+    }
+
+    #[test]
+    fn every_parameter_is_typed() {
+        let mut mb = ModuleBuilder::new("m");
+        let (fid, mut fb) = mb.function("f", &[Width::W64, Width::W64, Width::W64], None);
+        let p = fb.param(0);
+        fb.load(p, Width::W64);
+        fb.ret(None);
+        mb.finish_function(fb);
+        let analysis = ModuleAnalysis::build(mb.finish());
+        let r = RetdecLike.infer(&analysis);
+        for i in 0..3 {
+            assert!(r.params.contains_key(&(fid, i)), "param {i} must be typed");
+        }
+        assert!(r.params[&(fid, 0)].upper.is_pointer());
+    }
+}

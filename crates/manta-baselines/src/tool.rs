@@ -1,0 +1,54 @@
+//! The common type-inference tool interface.
+
+use std::collections::HashMap;
+
+use manta::{MapTypes, TypeInterval};
+use manta_analysis::{ModuleAnalysis, VarRef};
+use manta_ir::FuncId;
+
+/// A tool's inference output over function parameters (the quantity §6.1
+/// evaluates).
+#[derive(Clone, Debug, Default)]
+pub struct ToolResult {
+    /// Whether the tool finished within its budget (Retypd's Δ rows).
+    pub timed_out: bool,
+    /// Whether the tool crashed (DIRTY's ‡ rows).
+    pub crashed: bool,
+    /// Inferred interval per `(function, parameter index)`. Parameters
+    /// absent from the map are *unknown*.
+    pub params: HashMap<(FuncId, usize), TypeInterval>,
+    /// Inferred interval per variable (used to drive the §5 clients when
+    /// comparing tools on downstream tasks).
+    pub vars: HashMap<VarRef, TypeInterval>,
+}
+
+impl ToolResult {
+    /// A result marking a timeout.
+    pub fn timeout() -> ToolResult {
+        ToolResult { timed_out: true, ..Default::default() }
+    }
+
+    /// A result marking a crash.
+    pub fn crash() -> ToolResult {
+        ToolResult { crashed: true, ..Default::default() }
+    }
+
+    /// Whether usable results exist.
+    pub fn usable(&self) -> bool {
+        !self.timed_out && !self.crashed
+    }
+
+    /// The variable-level types as a [`manta::TypeQuery`] adapter.
+    pub fn as_types(&self) -> MapTypes {
+        MapTypes(self.vars.clone())
+    }
+}
+
+/// A binary type-inference tool under evaluation.
+pub trait TypeTool {
+    /// Display name (table column header).
+    fn name(&self) -> &str;
+
+    /// Runs the tool over a prepared module analysis.
+    fn infer(&self, analysis: &ModuleAnalysis) -> ToolResult;
+}

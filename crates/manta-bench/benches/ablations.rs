@@ -1,0 +1,65 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! refinement order, loop-unroll factor, context-stack depth, and strong
+//! updates on/off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use manta::{Manta, MantaConfig, Sensitivity};
+use manta_analysis::{ModuleAnalysis, PreprocessConfig};
+use manta_workloads::{generator, PhenomenonMix};
+
+fn module() -> manta_ir::Module {
+    generator::generate(&generator::GenSpec {
+        name: "abl".into(),
+        functions: 40,
+        mix: PhenomenonMix::balanced(),
+        seed: 5,
+    })
+    .module
+}
+
+fn bench_unroll_factor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_unroll_factor");
+    for k in [1usize, 2, 3] {
+        let analysis =
+            ModuleAnalysis::build_with(module(), PreprocessConfig { unroll_factor: k });
+        group.bench_with_input(BenchmarkId::from_parameter(k), &analysis, |b, a| {
+            b.iter(|| Manta::new(MantaConfig::full()).infer(a))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ctx_depth(c: &mut Criterion) {
+    let analysis = ModuleAnalysis::build(module());
+    let mut group = c.benchmark_group("ablation_ctx_depth");
+    for depth in [2usize, 8, 32] {
+        let config = MantaConfig {
+            max_ctx_depth: depth,
+            ..MantaConfig::full()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &config, |b, cfg| {
+            b.iter(|| Manta::new(*cfg).infer(&analysis))
+        });
+    }
+    group.finish();
+}
+
+fn bench_strong_updates(c: &mut Criterion) {
+    let analysis = ModuleAnalysis::build(module());
+    let mut group = c.benchmark_group("ablation_strong_updates");
+    for strong in [true, false] {
+        let config = MantaConfig {
+            strong_updates: strong,
+            ..MantaConfig::with_sensitivity(Sensitivity::FiFs)
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strong),
+            &config,
+            |b, cfg| b.iter(|| Manta::new(*cfg).infer(&analysis)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unroll_factor, bench_ctx_depth, bench_strong_updates);
+criterion_main!(benches);

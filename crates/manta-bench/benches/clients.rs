@@ -1,0 +1,61 @@
+//! Criterion benches for the §5 clients: indirect-call resolution, DDG
+//! pruning and source-sink bug detection (typed vs untyped).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manta::{Manta, MantaConfig, TypeQuery};
+use manta_analysis::ModuleAnalysis;
+use manta_clients::{
+    detect_bugs, ddg_prune, indirect_call_sites, resolve_targets_manta, BugKind, CheckerConfig,
+};
+use manta_workloads::{generate_firmware, generator, FirmwareSpec, PhenomenonMix};
+
+fn bench_icall(c: &mut Criterion) {
+    let g = generator::generate(&generator::GenSpec {
+        name: "bench".into(),
+        functions: 60,
+        mix: PhenomenonMix::balanced(),
+        seed: 3,
+    });
+    let analysis = ModuleAnalysis::build(g.module);
+    let inference = Manta::new(MantaConfig::full()).infer(&analysis);
+    let sites = indirect_call_sites(&analysis);
+    c.bench_function("icall_resolution", |b| {
+        b.iter(|| {
+            sites
+                .iter()
+                .map(|s| resolve_targets_manta(&analysis, &inference, s).len())
+                .sum::<usize>()
+        })
+    });
+    c.bench_function("ddg_pruning", |b| {
+        b.iter(|| ddg_prune::pruned_ddg(&analysis, &inference).1)
+    });
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let g = generate_firmware(&FirmwareSpec {
+        name: "benchfw".into(),
+        real_bugs_per_class: 3,
+        decoys_per_class: 3,
+        noise_functions: 40,
+        seed: 9,
+    });
+    let analysis = ModuleAnalysis::build(g.module);
+    let inference = Manta::new(MantaConfig::full()).infer(&analysis);
+    c.bench_function("detect_bugs_typed", |b| {
+        b.iter(|| {
+            detect_bugs(
+                &analysis,
+                Some(&inference as &dyn TypeQuery),
+                &BugKind::ALL,
+                CheckerConfig::default(),
+            )
+        })
+    });
+    c.bench_function("detect_bugs_notype", |b| {
+        b.iter(|| detect_bugs(&analysis, None, &BugKind::ALL, CheckerConfig::default()))
+    });
+}
+
+criterion_group!(benches, bench_icall, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches for the hybrid-sensitive inference itself: per-stage
+//! cost and scaling over program size (the performance side of Figure 10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use manta::{Manta, MantaConfig, Sensitivity};
+use manta_analysis::ModuleAnalysis;
+use manta_workloads::{generator, PhenomenonMix};
+
+fn module_of(functions: usize) -> ModuleAnalysis {
+    let g = generator::generate(&generator::GenSpec {
+        name: format!("bench{functions}"),
+        functions,
+        mix: PhenomenonMix::balanced(),
+        seed: 42,
+    });
+    ModuleAnalysis::build(g.module)
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let analysis = module_of(40);
+    let mut group = c.benchmark_group("inference_stages");
+    for s in Sensitivity::ALL {
+        group.bench_function(s.label(), |b| {
+            b.iter(|| Manta::new(MantaConfig::with_sensitivity(s)).infer(&analysis))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_scaling");
+    for functions in [10usize, 40, 160] {
+        let analysis = module_of(functions);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(functions),
+            &analysis,
+            |b, a| b.iter(|| Manta::new(MantaConfig::full()).infer(a)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages, bench_scaling);
+criterion_main!(benches);

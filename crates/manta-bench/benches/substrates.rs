@@ -1,0 +1,63 @@
+//! Criterion benches for the analysis substrates: preprocessing,
+//! points-to solving, DDG construction and the lifter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manta_analysis::{preprocess, CallGraph, Ddg, PointsTo, PreprocessConfig};
+use manta_workloads::{generator, PhenomenonMix};
+
+fn module() -> manta_ir::Module {
+    generator::generate(&generator::GenSpec {
+        name: "bench".into(),
+        functions: 60,
+        mix: PhenomenonMix::balanced(),
+        seed: 7,
+    })
+    .module
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let m = module();
+    c.bench_function("preprocess_unroll", |b| {
+        b.iter(|| preprocess(m.clone(), PreprocessConfig::default()))
+    });
+    let pre = preprocess(m, PreprocessConfig::default());
+    let cg = CallGraph::build(&pre);
+    c.bench_function("pointsto_solve", |b| b.iter(|| PointsTo::solve(&pre, &cg)));
+    let pts = PointsTo::solve(&pre, &cg);
+    c.bench_function("ddg_build", |b| b.iter(|| Ddg::build(&pre, &pts)));
+}
+
+fn bench_lifter(c: &mut Criterion) {
+    let asm = r#"
+module bench
+extern malloc, 1, ret
+func work(2) -> ret {
+    salloc r7, 32
+    movi r3, 0
+head:
+    cmp.ge r4, r3, r2
+    brz r4, body
+    jmp done
+body:
+    st.w64 [r7+8], r3
+    ld.w64 r5, [r7+8]
+    add r3, r3, r5
+    jmp head
+done:
+    mov r1, r3
+    ecall malloc, 1
+    ret
+}
+"#;
+    let image = manta_isa::assemble(asm).expect("valid bench program");
+    let bytes = manta_isa::encode(&image);
+    c.bench_function("sbf_decode_and_lift", |b| {
+        b.iter(|| {
+            let img = manta_isa::decode(&bytes).expect("decodes");
+            manta_isa::lift::lift(&img).expect("lifts")
+        })
+    });
+}
+
+criterion_group!(benches, bench_substrates, bench_lifter);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates the §6.4 refinement-order ablation.
+use manta_eval::experiments::ablation_order;
+use manta_eval::runner::load_projects;
+
+fn main() {
+    println!("{}", ablation_order::run(&load_projects()).render());
+}

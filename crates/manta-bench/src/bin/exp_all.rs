@@ -1,0 +1,28 @@
+//! Runs every experiment in sequence — the full §6 reproduction.
+use manta_eval::experiments::*;
+use manta_eval::runner::{load_coreutils, load_firmware, load_projects};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let projects = load_projects();
+    let coreutils = load_coreutils();
+    let firmware = load_firmware();
+    eprintln!("[suites generated+analyzed in {:.1?}]", t0.elapsed());
+
+    println!("{}", table3::run(&projects, &coreutils).render());
+    let mut corpus: Vec<_> = Vec::new();
+    // Figure 2 runs over all 118 binaries.
+    corpus.extend(load_projects());
+    corpus.extend(load_coreutils());
+    println!("{}", figure2::run(&corpus).render());
+    println!("{}", figure9::run(&projects).render());
+    println!("{}", figure10::run(&projects).render());
+    let t4 = table4::run(&projects);
+    println!("{}", t4.render());
+    println!("{}", figure11::run(&t4).render());
+    println!("{}", figure12::run(&firmware).render());
+    println!("{}", ablation_order::run(&projects).render());
+    println!("{}", table5::run(&firmware).render());
+    eprintln!("[all experiments done in {:.1?}]", t0.elapsed());
+}

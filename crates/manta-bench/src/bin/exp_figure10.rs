@@ -1,0 +1,7 @@
+//! Regenerates Figure 10: inference time/memory scaling with a linear fit.
+use manta_eval::experiments::figure10;
+use manta_eval::runner::load_projects;
+
+fn main() {
+    println!("{}", figure10::run(&load_projects()).render());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 11: indirect-call analysis recall per tool.
+use manta_eval::experiments::{figure11, table4};
+use manta_eval::runner::load_projects;
+
+fn main() {
+    let t4 = table4::run(&load_projects());
+    println!("{}", figure11::run(&t4).render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 12: source-sink slicing F1 per tool.
+use manta_eval::experiments::figure12;
+use manta_eval::runner::load_firmware;
+
+fn main() {
+    println!("{}", figure12::run(&load_firmware()).render());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 2: over-approximated/unknown profiling on the
+//! 118-binary corpus.
+use manta_eval::experiments::figure2;
+use manta_eval::runner::{load_coreutils, load_projects};
+
+fn main() {
+    let mut corpus = load_projects();
+    corpus.extend(load_coreutils());
+    println!("{}", figure2::run(&corpus).render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 9: inference-result proportions per sensitivity.
+use manta_eval::experiments::figure9;
+use manta_eval::runner::load_projects;
+
+fn main() {
+    println!("{}", figure9::run(&load_projects()).render());
+}

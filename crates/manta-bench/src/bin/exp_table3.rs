@@ -1,0 +1,9 @@
+//! Regenerates Table 3: type-inference precision/recall per tool.
+use manta_eval::experiments::table3;
+use manta_eval::runner::{load_coreutils, load_projects};
+
+fn main() {
+    let projects = load_projects();
+    let coreutils = load_coreutils();
+    println!("{}", table3::run(&projects, &coreutils).render());
+}

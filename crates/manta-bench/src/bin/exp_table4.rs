@@ -1,0 +1,7 @@
+//! Regenerates Table 4: indirect-call #AICT and pruning precision.
+use manta_eval::experiments::table4;
+use manta_eval::runner::load_projects;
+
+fn main() {
+    println!("{}", table4::run(&load_projects()).render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 5: firmware bug detection per tool.
+use manta_eval::experiments::table5;
+use manta_eval::runner::load_firmware;
+
+fn main() {
+    println!("{}", table5::run(&load_firmware()).render());
+}

@@ -1,0 +1,322 @@
+//! # manta-cli
+//!
+//! The `manta` command-line tool: drive the whole pipeline on files.
+//!
+//! ```text
+//! manta asm    prog.s -o prog.sbf     assemble SB-ISA text to an SBF image
+//! manta disasm prog.sbf               disassemble an SBF image
+//! manta lift   prog.sbf               lift to SSA IR and print it
+//! manta infer  prog.sbf [-s SENS]     infer types (fi|fs|fifs|full|fifscs)
+//! manta bugs   prog.sbf [--no-types]  run the NPD/RSA/UAF/CMI/BOF checkers
+//! manta icall  prog.sbf               resolve indirect-call targets
+//! ```
+//!
+//! Inputs may be SBF images (binary, `SBF1` magic), SB-ISA assembly text,
+//! or textual IR (`module …` followed by `func name(wN,…)` headers); the
+//! format is sniffed automatically.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use manta::{Manta, MantaConfig, Sensitivity, TypeQuery, VarClass};
+use manta_analysis::{ModuleAnalysis, VarRef};
+use manta_clients::{
+    detect_bugs, indirect_call_sites, resolve_targets_manta, BugKind, CheckerConfig,
+};
+use manta_ir::Module;
+
+/// A CLI failure, printed to stderr with exit code 1.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+manta — hybrid-sensitive type inference for stripped binaries
+
+USAGE:
+    manta asm    <prog.s> -o <prog.sbf>
+    manta disasm <prog.sbf>
+    manta lift   <input>
+    manta infer  <input> [-s fi|fs|fifs|full|fifscs]
+    manta bugs   <input> [--no-types]
+    manta icall  <input>
+
+<input> is an SBF image, SB-ISA assembly, or textual IR (auto-detected).
+";
+
+/// Loads any supported input file into an IR module.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unreadable files or unrecognized formats.
+pub fn load_module(path: &Path) -> Result<Module, CliError> {
+    let bytes =
+        fs::read(path).map_err(|e| CliError(format!("cannot read {}: {e}", path.display())))?;
+    if bytes.starts_with(manta_isa::image::MAGIC) {
+        let image = manta_isa::decode(&bytes).map_err(|e| CliError(e.to_string()))?;
+        return manta_isa::lift::lift(&image).map_err(|e| CliError(e.to_string()));
+    }
+    let text = String::from_utf8(bytes)
+        .map_err(|_| CliError(format!("{}: neither SBF nor text", path.display())))?;
+    // Textual IR uses `func name(w64, …)`; assembly uses `func name(2)`.
+    if text.lines().any(|l| {
+        let l = l.trim_start();
+        l.starts_with("func ") && (l.contains("(w") || l.contains("()"))
+    }) {
+        return manta_ir::parser::parse_module(&text).map_err(|e| CliError(e.to_string()));
+    }
+    let image = manta_isa::assemble(&text).map_err(|e| CliError(e.to_string()))?;
+    manta_isa::lift::lift(&image).map_err(|e| CliError(e.to_string()))
+}
+
+fn parse_sensitivity(s: &str) -> Result<Sensitivity, CliError> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "fi" => Sensitivity::Fi,
+        "fs" => Sensitivity::Fs,
+        "fifs" | "fi+fs" => Sensitivity::FiFs,
+        "full" | "ficsfs" | "fi+cs+fs" => Sensitivity::FiCsFs,
+        "fifscs" | "fi+fs+cs" => Sensitivity::FiFsCs,
+        other => return err(format!("unknown sensitivity `{other}`")),
+    })
+}
+
+/// Executes a command line (without the program name); returns the text to
+/// print on success.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad arguments or failing pipelines.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let mut out = String::new();
+    match args.first().map(String::as_str) {
+        Some("asm") => {
+            let (input, output) = match args {
+                [_, i, o_flag, o] if o_flag == "-o" => (i, o),
+                _ => return err(USAGE),
+            };
+            let text = fs::read_to_string(input)
+                .map_err(|e| CliError(format!("cannot read {input}: {e}")))?;
+            let image = manta_isa::assemble(&text).map_err(|e| CliError(e.to_string()))?;
+            let bytes = manta_isa::encode(&image);
+            fs::write(output, &bytes)
+                .map_err(|e| CliError(format!("cannot write {output}: {e}")))?;
+            let _ = writeln!(
+                out,
+                "wrote {} ({} bytes, {} functions, {} instructions)",
+                output,
+                bytes.len(),
+                image.functions.len(),
+                image.total_insts()
+            );
+        }
+        Some("disasm") => {
+            let [_, input] = args else { return err(USAGE) };
+            let bytes = fs::read(input)
+                .map_err(|e| CliError(format!("cannot read {input}: {e}")))?;
+            let image = manta_isa::decode(&bytes).map_err(|e| CliError(e.to_string()))?;
+            out.push_str(&manta_isa::asm::disassemble(&image));
+        }
+        Some("lift") => {
+            let [_, input] = args else { return err(USAGE) };
+            let module = load_module(Path::new(input))?;
+            out.push_str(&manta_ir::printer::print_module(&module));
+        }
+        Some("infer") => {
+            let (input, sens) = match args {
+                [_, i] => (i, Sensitivity::FiCsFs),
+                [_, i, flag, s] if flag == "-s" => (i, parse_sensitivity(s)?),
+                _ => return err(USAGE),
+            };
+            let module = load_module(Path::new(input))?;
+            let analysis = ModuleAnalysis::build(module);
+            let result =
+                Manta::new(MantaConfig::with_sensitivity(sens)).infer(&analysis);
+            let _ = writeln!(out, "types ({}):", sens.label());
+            for func in analysis.module().functions() {
+                for (i, &p) in func.params().iter().enumerate() {
+                    let v = VarRef::new(func.id(), p);
+                    let shown = match (result.class_of(v), result.precise_type(v)) {
+                        (_, Some(t)) => t.to_string(),
+                        (VarClass::Over, None) => {
+                            format!("[{} .. {}]", result.lower(v), result.upper(v))
+                        }
+                        _ => "unknown".into(),
+                    };
+                    let _ = writeln!(out, "  {}#arg{i}: {shown}", func.name());
+                }
+            }
+            let c = result.final_counts();
+            let _ = writeln!(
+                out,
+                "variables: {} precise / {} over-approximated / {} unknown",
+                c.precise, c.over, c.unknown
+            );
+        }
+        Some("bugs") => {
+            let (input, typed) = match args {
+                [_, i] => (i, true),
+                [_, i, flag] if flag == "--no-types" => (i, false),
+                _ => return err(USAGE),
+            };
+            let module = load_module(Path::new(input))?;
+            let analysis = ModuleAnalysis::build(module);
+            let inference = typed.then(|| Manta::new(MantaConfig::full()).infer(&analysis));
+            let q: Option<&dyn TypeQuery> = inference.as_ref().map(|i| i as &dyn TypeQuery);
+            let (reports, _) =
+                detect_bugs(&analysis, q, &BugKind::ALL, CheckerConfig::default());
+            let mut seen = std::collections::BTreeSet::new();
+            for r in &reports {
+                let func = analysis.module().function(r.func).name();
+                if seen.insert((r.kind, func.to_string())) {
+                    let _ = writeln!(out, "[{}] in {}", r.kind.label(), func);
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{} reports ({})",
+                seen.len(),
+                if typed { "type-assisted" } else { "untyped" }
+            );
+        }
+        Some("icall") => {
+            let [_, input] = args else { return err(USAGE) };
+            let module = load_module(Path::new(input))?;
+            let analysis = ModuleAnalysis::build(module);
+            let inference = Manta::new(MantaConfig::full()).infer(&analysis);
+            for site in indirect_call_sites(&analysis) {
+                let host = analysis.module().function(site.func).name();
+                let targets: Vec<&str> =
+                    resolve_targets_manta(&analysis, &inference as &dyn TypeQuery, &site)
+                        .into_iter()
+                        .map(|f| analysis.module().function(f).name())
+                        .collect();
+                let _ = writeln!(
+                    out,
+                    "icall in {host} ({} args) -> {} targets: {targets:?}",
+                    site.args.len(),
+                    targets.len()
+                );
+            }
+            if out.is_empty() {
+                out.push_str("no indirect calls\n");
+            }
+        }
+        _ => return err(USAGE),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ASM: &str = "\
+module clitest
+extern malloc, 1, ret
+extern free, 1
+func take(1) -> ret {
+    ld.w64 r0, [r1+0]
+    ret
+}
+func main(0) -> ret {
+    movi r1, 32
+    ecall malloc, 1
+    mov r7, r0
+    mov r1, r7
+    call take, 1
+    mov r1, r7
+    ecall free, 1
+    ld.w64 r0, [r7+0]
+    ret
+}
+";
+
+    fn with_files<T>(f: impl FnOnce(&Path) -> T) -> T {
+        let dir = std::env::temp_dir().join(format!("manta-cli-test-{}", std::process::id()));
+        let _ = fs::create_dir_all(&dir);
+        let r = f(&dir);
+        let _ = fs::remove_dir_all(&dir);
+        r
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn asm_disasm_lift_roundtrip() {
+        with_files(|dir| {
+            let src = dir.join("p.s");
+            let sbf = dir.join("p.sbf");
+            fs::write(&src, ASM).unwrap();
+            let out = run(&s(&[
+                "asm",
+                src.to_str().unwrap(),
+                "-o",
+                sbf.to_str().unwrap(),
+            ]))
+            .unwrap();
+            assert!(out.contains("2 functions"), "{out}");
+            let dis = run(&s(&["disasm", sbf.to_str().unwrap()])).unwrap();
+            assert!(dis.contains("ecall malloc"), "{dis}");
+            let ir = run(&s(&["lift", sbf.to_str().unwrap()])).unwrap();
+            assert!(ir.contains("module clitest"), "{ir}");
+            assert!(ir.contains("call.w64 !malloc"), "{ir}");
+        });
+    }
+
+    #[test]
+    fn infer_reports_pointer_parameter() {
+        with_files(|dir| {
+            let src = dir.join("p.s");
+            fs::write(&src, ASM).unwrap();
+            let out = run(&s(&["infer", src.to_str().unwrap()])).unwrap();
+            assert!(out.contains("take#arg0: ptr"), "{out}");
+            // The reversed-order ablation is reachable from the CLI too.
+            let out = run(&s(&["infer", src.to_str().unwrap(), "-s", "fifscs"])).unwrap();
+            assert!(out.contains("FI+FS+CS"), "{out}");
+        });
+    }
+
+    #[test]
+    fn bugs_finds_the_uaf() {
+        with_files(|dir| {
+            let src = dir.join("p.s");
+            fs::write(&src, ASM).unwrap();
+            let out = run(&s(&["bugs", src.to_str().unwrap()])).unwrap();
+            assert!(out.contains("[UAF] in main"), "{out}");
+        });
+    }
+
+    #[test]
+    fn lift_accepts_textual_ir() {
+        with_files(|dir| {
+            let f = dir.join("m.mir");
+            fs::write(&f, "module t\nfunc f(w64) -> w64 {\nbb0:\n  ret p0\n}\n").unwrap();
+            let out = run(&s(&["lift", f.to_str().unwrap()])).unwrap();
+            assert!(out.contains("func f(w64) -> w64"), "{out}");
+        });
+    }
+
+    #[test]
+    fn bad_usage_is_an_error() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&[])).is_err());
+        assert!(run(&s(&["infer", "/nonexistent/file"])).is_err());
+    }
+}

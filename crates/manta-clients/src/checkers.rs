@@ -1,0 +1,540 @@
+//! The five example bug checkers of §5.3: Null Pointer Dereference (NPD),
+//! Return Stack Address (RSA), Use After Free (UAF), OS Command Injection
+//! (CMI) and Buffer Overflow (BOF).
+//!
+//! Each checker is a source/sink specification over the DDG; detection is
+//! the [`crate::slicing`] traversal. When an inference result is supplied,
+//! the detection is *type-assisted*: the DDG is pruned per Table 2 first,
+//! and slices are guarded so a value that is precisely numeric cannot
+//! continue a pointer/string flow — the Manta mode. Passing `None` is the
+//! Manta-NoType ablation.
+
+use std::collections::{HashMap, HashSet};
+
+use manta::{FirstLayer, TypeQuery};
+use manta_analysis::{Ddg, ModuleAnalysis, NodeId, VarRef};
+use manta_ir::cfg::Cfg;
+use manta_ir::{
+    Callee, ConstKind, ExternEffect, FuncId, InstId, InstKind, Terminator, ValueKind, Width,
+};
+
+use crate::ddg_prune;
+use crate::slicing::{Slicer, SlicerConfig};
+
+/// The vulnerability classes the example checkers cover.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum BugKind {
+    /// Null pointer dereference.
+    Npd,
+    /// Returning the address of a stack slot.
+    Rsa,
+    /// Use after free.
+    Uaf,
+    /// OS command injection (taint reaches `system`).
+    Cmi,
+    /// Buffer overflow (taint reaches an unbounded `strcpy`).
+    Bof,
+}
+
+impl BugKind {
+    /// All checkers, in the paper's order.
+    pub const ALL: [BugKind; 5] =
+        [BugKind::Npd, BugKind::Rsa, BugKind::Uaf, BugKind::Cmi, BugKind::Bof];
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BugKind::Npd => "NPD",
+            BugKind::Rsa => "RSA",
+            BugKind::Uaf => "UAF",
+            BugKind::Cmi => "CMI",
+            BugKind::Bof => "BOF",
+        }
+    }
+}
+
+/// One reported bug.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BugReport {
+    /// The vulnerability class.
+    pub kind: BugKind,
+    /// Function containing the sink.
+    pub func: FuncId,
+    /// Slice source node.
+    pub source: NodeId,
+    /// Slice sink node.
+    pub sink: NodeId,
+    /// The sink instruction.
+    pub sink_site: InstId,
+}
+
+/// Detection configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckerConfig {
+    /// Slicer limits.
+    pub slicer: SlicerConfig,
+}
+
+/// Runs the requested checkers. `inference = Some(..)` is type-assisted
+/// Manta; `None` is the Manta-NoType ablation. Returns the reports plus the
+/// number of slicer node visits (the work metric).
+pub fn detect_bugs(
+    analysis: &ModuleAnalysis,
+    inference: Option<&dyn TypeQuery>,
+    kinds: &[BugKind],
+    config: CheckerConfig,
+) -> (Vec<BugReport>, usize) {
+    // Type-assisted mode prunes the DDG first (§5.2).
+    let owned_pruned: Option<Ddg> =
+        inference.map(|inf| ddg_prune::pruned_ddg(analysis, inf).0);
+    let ddg: &Ddg = owned_pruned.as_ref().unwrap_or(&analysis.ddg);
+
+    let mut reports = Vec::new();
+    let mut visits = 0usize;
+    for &kind in kinds {
+        match kind {
+            BugKind::Uaf => reports.extend(detect_uaf(analysis, inference)),
+            _ => {
+                let (srcs, sinks) = spec(analysis, ddg, kind);
+                let sink_nodes: HashSet<NodeId> = sinks.keys().copied().collect();
+                let mut slicer = Slicer::new(ddg, config.slicer);
+                let guard = |n: NodeId| match inference {
+                    None => true,
+                    Some(inf) => flow_guard(inf, ddg, n, kind),
+                };
+                let pairs = slicer.slice(&srcs, &sink_nodes, guard);
+                visits += slicer.visits;
+                for p in pairs {
+                    let (site, func) = sinks[&p.sink];
+                    if kind == BugKind::Rsa && ddg.var(p.source).func != func {
+                        // A stack address returned by a *different* frame
+                        // than the one that owns it is legal (caller-owned
+                        // buffer).
+                        continue;
+                    }
+                    if let Some(inf) = inference {
+                        if !sink_guard(inf, ddg, p.sink, site, kind) {
+                            continue;
+                        }
+                    }
+                    reports.push(BugReport {
+                        kind,
+                        func,
+                        source: p.source,
+                        sink: p.sink,
+                        sink_site: site,
+                    });
+                }
+            }
+        }
+    }
+    reports.sort_by_key(|r| (r.kind, r.func, r.sink_site, r.source));
+    reports.dedup();
+    (reports, visits)
+}
+
+/// Per-node guard: a value that the inference resolves to a numeric type
+/// cannot transport a pointer (NPD/RSA) or an attacker-controlled string
+/// (CMI/BOF).
+fn flow_guard(inference: &dyn TypeQuery, ddg: &Ddg, n: NodeId, kind: BugKind) -> bool {
+    let v = ddg.var(n);
+    let numeric = matches!(
+        inference.precise_of(v).map(|t| FirstLayer::of(&t)),
+        Some(
+            FirstLayer::Int(_) | FirstLayer::Float | FirstLayer::Double | FirstLayer::Num(_)
+        )
+    );
+    match kind {
+        BugKind::Npd | BugKind::Rsa | BugKind::Cmi | BugKind::Bof => !numeric,
+        BugKind::Uaf => true,
+    }
+}
+
+/// Sink-side guard: e.g. the value reaching `system` must still be
+/// pointer-compatible.
+fn sink_guard(
+    inference: &dyn TypeQuery,
+    ddg: &Ddg,
+    sink: NodeId,
+    site: InstId,
+    kind: BugKind,
+) -> bool {
+    match kind {
+        BugKind::Cmi | BugKind::Bof | BugKind::Npd => {
+            let v = ddg.var(sink);
+            match inference.precise_at(v, site) {
+                Some(t) => !t.is_numeric(),
+                None => true,
+            }
+        }
+        _ => true,
+    }
+}
+
+type SinkMap = HashMap<NodeId, (InstId, FuncId)>;
+
+/// Builds the source list and sink map for one bug kind.
+fn spec(analysis: &ModuleAnalysis, ddg: &Ddg, kind: BugKind) -> (Vec<NodeId>, SinkMap) {
+    let module = analysis.module();
+    let mut sources = Vec::new();
+    let mut sinks: SinkMap = HashMap::new();
+    for func in module.functions() {
+        let fid = func.id();
+        match kind {
+            BugKind::Npd => {
+                // Sources: null/zero 64-bit constants that flow somewhere.
+                for (v, data) in func.values() {
+                    let is_nullish = matches!(data.kind, ValueKind::Const(ConstKind::Null))
+                        || (matches!(data.kind, ValueKind::Const(ConstKind::Int(0)))
+                            && data.width == Width::W64);
+                    if is_nullish {
+                        let n = ddg.node(VarRef::new(fid, v));
+                        if ddg.children(n).iter().any(|(_, k)| k.is_value_flow()) {
+                            sources.push(n);
+                        }
+                    }
+                }
+                // Sinks: dereferenced addresses.
+                for inst in func.insts() {
+                    let addr = match &inst.kind {
+                        InstKind::Load { addr, .. } => Some(*addr),
+                        InstKind::Store { addr, .. } => Some(*addr),
+                        _ => None,
+                    };
+                    if let Some(a) = addr {
+                        sinks.insert(ddg.node(VarRef::new(fid, a)), (inst.id, fid));
+                    }
+                }
+            }
+            BugKind::Rsa => {
+                for inst in func.insts() {
+                    if let InstKind::Alloca { dst, .. } = inst.kind {
+                        sources.push(ddg.node(VarRef::new(fid, dst)));
+                    }
+                }
+                for b in func.blocks() {
+                    if let Terminator::Ret(Some(v)) = b.term {
+                        // Attribute the sink to the last instruction of the
+                        // returning block (or the first of the function).
+                        let site = b
+                            .insts
+                            .last()
+                            .copied()
+                            .unwrap_or_else(|| InstId::from_index(0));
+                        sinks.insert(ddg.node(VarRef::new(fid, v)), (site, fid));
+                    }
+                }
+            }
+            BugKind::Cmi | BugKind::Bof => {
+                for inst in func.insts() {
+                    if let InstKind::Call { dst, callee: Callee::Extern(e), args } = &inst.kind {
+                        match module.extern_decl(*e).effect {
+                            ExternEffect::TaintSource => {
+                                if let Some(d) = dst {
+                                    sources.push(ddg.node(VarRef::new(fid, *d)));
+                                }
+                            }
+                            ExternEffect::CommandSink if kind == BugKind::Cmi => {
+                                if let Some(&a0) = args.first() {
+                                    sinks.insert(
+                                        ddg.node(VarRef::new(fid, a0)),
+                                        (inst.id, fid),
+                                    );
+                                }
+                            }
+                            ExternEffect::StrCopy if kind == BugKind::Bof => {
+                                if let Some(&src_arg) = args.get(1) {
+                                    sinks.insert(
+                                        ddg.node(VarRef::new(fid, src_arg)),
+                                        (inst.id, fid),
+                                    );
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            BugKind::Uaf => unreachable!("UAF uses its own detector"),
+        }
+    }
+    (sources, sinks)
+}
+
+/// UAF is detected directly on points-to + CFG order: a `free(p)` followed
+/// (in control flow) by a dereference whose address may alias `p`.
+fn detect_uaf(
+    analysis: &ModuleAnalysis,
+    _inference: Option<&dyn TypeQuery>,
+) -> Vec<BugReport> {
+    let module = analysis.module();
+    let pts = &analysis.pointsto;
+    let ddg = &analysis.ddg;
+    let mut reports = Vec::new();
+    for func in module.functions() {
+        let fid = func.id();
+        let cfg = Cfg::new(func);
+        // free sites in this function.
+        let frees: Vec<(InstId, manta_ir::ValueId)> = func
+            .insts()
+            .filter_map(|inst| match &inst.kind {
+                InstKind::Call { callee: Callee::Extern(e), args, .. }
+                    if module.extern_decl(*e).effect == ExternEffect::FreeHeap =>
+                {
+                    args.first().map(|&p| (inst.id, p))
+                }
+                _ => None,
+            })
+            .collect();
+        if frees.is_empty() {
+            continue;
+        }
+        // Dereference sites.
+        let derefs: Vec<(InstId, manta_ir::ValueId)> = func
+            .insts()
+            .filter_map(|inst| match &inst.kind {
+                InstKind::Load { addr, .. } => Some((inst.id, *addr)),
+                InstKind::Store { addr, .. } => Some((inst.id, *addr)),
+                _ => None,
+            })
+            .collect();
+        for (free_site, p) in frees {
+            let free_block = func.inst(free_site).block;
+            for &(deref_site, a) in &derefs {
+                if !pts.may_alias(VarRef::new(fid, p), VarRef::new(fid, a)) {
+                    continue;
+                }
+                let deref_block = func.inst(deref_site).block;
+                let after = if free_block == deref_block {
+                    // Same block: instruction order decides.
+                    let b = func.block(free_block);
+                    let fi = b.insts.iter().position(|&i| i == free_site);
+                    let di = b.insts.iter().position(|&i| i == deref_site);
+                    matches!((fi, di), (Some(f), Some(d)) if d > f)
+                } else {
+                    block_reaches(&cfg, free_block, deref_block)
+                };
+                if after {
+                    reports.push(BugReport {
+                        kind: BugKind::Uaf,
+                        func: fid,
+                        source: ddg.node(VarRef::new(fid, p)),
+                        sink: ddg.node(VarRef::new(fid, a)),
+                        sink_site: deref_site,
+                    });
+                }
+            }
+        }
+    }
+    reports
+}
+
+fn block_reaches(cfg: &Cfg, from: manta_ir::BlockId, to: manta_ir::BlockId) -> bool {
+    let mut seen = HashSet::new();
+    let mut stack = vec![from];
+    while let Some(b) = stack.pop() {
+        if !seen.insert(b) {
+            continue;
+        }
+        for &s in cfg.succs(b) {
+            if s == to {
+                return true;
+            }
+            stack.push(s);
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manta::{Manta, MantaConfig};
+    use manta_ir::{BinOp, CmpPred, ModuleBuilder};
+
+    fn run(m: manta_ir::Module, kinds: &[BugKind], typed: bool) -> Vec<BugReport> {
+        let analysis = ModuleAnalysis::build(m);
+        let inference = Manta::new(MantaConfig::full()).infer(&analysis);
+        let inf: Option<&dyn TypeQuery> =
+            if typed { Some(&inference) } else { None };
+        detect_bugs(&analysis, inf, kinds, CheckerConfig::default()).0
+    }
+
+    #[test]
+    fn npd_detects_null_flow_to_deref() {
+        let mut mb = ModuleBuilder::new("m");
+        let (_, mut fb) = mb.function("f", &[Width::W1], Some(Width::W64));
+        let c = fb.param(0);
+        let null = fb.const_null();
+        let slot = fb.alloca(8);
+        let t = fb.new_block();
+        let e = fb.new_block();
+        let j = fb.new_block();
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        fb.store(slot, null);
+        fb.br(j);
+        fb.switch_to(e);
+        let buf = fb.alloca(16);
+        fb.store(slot, buf);
+        fb.br(j);
+        fb.switch_to(j);
+        let p = fb.load(slot, Width::W64);
+        let v = fb.load(p, Width::W64); // deref of possibly-null p
+        fb.ret(Some(v));
+        mb.finish_function(fb);
+        let reports = run(mb.finish(), &[BugKind::Npd], true);
+        assert!(
+            reports.iter().any(|r| r.kind == BugKind::Npd),
+            "true NPD must be reported: {reports:?}"
+        );
+    }
+
+    #[test]
+    fn npd_false_positive_pruned_by_types() {
+        // Figure 4's shape: `pchr = s + offset` where offset is reachable
+        // from constant 0 — without types the 0 "flows" into the deref.
+        let mut mb = ModuleBuilder::new("m");
+        let (_, mut fb) = mb.function("parse", &[Width::W64, Width::W1], Some(Width::W64));
+        let s = fb.param(0);
+        let c = fb.param(1);
+        let zero = fb.const_int(0, Width::W64);
+        let off_slot = fb.alloca(8);
+        fb.store(off_slot, zero);
+        let t = fb.new_block();
+        let j = fb.new_block();
+        fb.cond_br(c, t, j);
+        fb.switch_to(t);
+        let one = fb.const_int(1, Width::W64);
+        let adj = fb.binop(BinOp::Mul, one, one, Width::W64); // numeric reveal
+        fb.store(off_slot, adj);
+        fb.br(j);
+        fb.switch_to(j);
+        let off = fb.load(off_slot, Width::W64);
+        let two = fb.const_int(2, Width::W64);
+        let off2 = fb.binop(BinOp::Mul, off, two, Width::W64); // off revealed numeric
+        let pchr = fb.binop(BinOp::Add, s, off2, Width::W64);
+        let v = fb.load(pchr, Width::W64);
+        fb.ret(Some(v));
+        mb.finish_function(fb);
+        let m = mb.finish();
+
+        let untyped = run(m.clone(), &[BugKind::Npd], false);
+        assert!(
+            untyped.iter().any(|r| r.kind == BugKind::Npd),
+            "NoType mode reports the false NPD through the offset"
+        );
+        let typed = run(m, &[BugKind::Npd], true);
+        assert!(
+            typed.is_empty(),
+            "Table 2 pruning removes offset→pchr, killing the FP: {typed:?}"
+        );
+    }
+
+    #[test]
+    fn rsa_detects_escaping_stack_address() {
+        let mut mb = ModuleBuilder::new("m");
+        let (_, mut fb) = mb.function("bad", &[], Some(Width::W64));
+        let slot = fb.alloca(32);
+        let p = fb.copy(slot);
+        fb.ret(Some(p));
+        mb.finish_function(fb);
+        let reports = run(mb.finish(), &[BugKind::Rsa], true);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind, BugKind::Rsa);
+    }
+
+    #[test]
+    fn rsa_ignores_caller_owned_buffers() {
+        // Returning a pointer the caller passed in is fine.
+        let mut mb = ModuleBuilder::new("m");
+        let (callee, mut cb) = mb.function("fill", &[Width::W64], Some(Width::W64));
+        let buf = cb.param(0);
+        cb.ret(Some(buf));
+        mb.finish_function(cb);
+        let (_, mut fb) = mb.function("caller", &[], Some(Width::W64));
+        let local = fb.alloca(16);
+        let r = fb.call(callee, &[local], Some(Width::W64)).unwrap();
+        fb.ret(Some(r));
+        mb.finish_function(fb);
+        let reports = run(mb.finish(), &[BugKind::Rsa], true);
+        // caller returns its own alloca — that *is* a bug; fill is clean.
+        assert!(reports.iter().all(|r| {
+            r.kind == BugKind::Rsa
+        }));
+        let analysis_names: Vec<_> = reports.iter().map(|r| r.func.index()).collect();
+        assert!(!analysis_names.contains(&0), "fill must not be blamed");
+    }
+
+    #[test]
+    fn uaf_requires_control_flow_order() {
+        let mut mb = ModuleBuilder::new("m");
+        let malloc = mb.extern_fn("malloc", &[], None);
+        let free = mb.extern_fn("free", &[], None);
+        let (_, mut fb) = mb.function("f", &[], Some(Width::W64));
+        let k = fb.const_int(16, Width::W64);
+        let p = fb.call_extern(malloc, &[k], Some(Width::W64)).unwrap();
+        let before = fb.load(p, Width::W64); // use BEFORE free: fine
+        fb.call_extern(free, &[p], None);
+        let after = fb.load(p, Width::W64); // use AFTER free: UAF
+        let s = fb.binop(BinOp::Add, before, after, Width::W64);
+        fb.ret(Some(s));
+        mb.finish_function(fb);
+        let reports = run(mb.finish(), &[BugKind::Uaf], true);
+        assert_eq!(reports.len(), 1, "{reports:?}");
+    }
+
+    #[test]
+    fn cmi_taint_to_system_detected_and_atoi_pruned() {
+        let mut mb = ModuleBuilder::new("m");
+        let nvram = mb.extern_fn("nvram_get", &[], None);
+        let system = mb.extern_fn("system", &[], None);
+        let atoi = mb.extern_fn("atoi", &[], None);
+
+        // Direct taint → system: true bug.
+        let (_, mut fb) = mb.function("direct", &[], Some(Width::W32));
+        let key = fb.alloca(8);
+        let taint = fb.call_extern(nvram, &[key], Some(Width::W64)).unwrap();
+        let r = fb.call_extern(system, &[taint], Some(Width::W32)).unwrap();
+        fb.ret(Some(r));
+        mb.finish_function(fb);
+
+        // taint → atoi → (int) → system-like use: infeasible command.
+        let (_, mut gb) = mb.function("converted", &[], Some(Width::W32));
+        let key = gb.alloca(8);
+        let taint = gb.call_extern(nvram, &[key], Some(Width::W64)).unwrap();
+        let n = gb.call_extern(atoi, &[taint], Some(Width::W32)).unwrap();
+        let n64 = gb.copy(n);
+        let widened = gb.binop(BinOp::Mul, n64, n64, Width::W32);
+        let _cmp = gb.cmp(CmpPred::Gt, widened, n);
+        let r = gb.call_extern(system, &[n64], Some(Width::W32)).unwrap();
+        fb_unused(&mut gb);
+        gb.ret(Some(r));
+        mb.finish_function(gb);
+
+        let m = mb.finish();
+        let untyped = run(m.clone(), &[BugKind::Cmi], false);
+        assert_eq!(untyped.len(), 2, "NoType reports both: {untyped:?}");
+        let typed = run(m, &[BugKind::Cmi], true);
+        assert_eq!(typed.len(), 1, "types prune the int-typed command: {typed:?}");
+    }
+
+    fn fb_unused(_: &mut manta_ir::FunctionBuilder) {}
+
+    #[test]
+    fn bof_taint_to_strcpy() {
+        let mut mb = ModuleBuilder::new("m");
+        let nvram = mb.extern_fn("nvram_get", &[], None);
+        let strcpy = mb.extern_fn("strcpy", &[], None);
+        let (_, mut fb) = mb.function("f", &[], None);
+        let key = fb.alloca(8);
+        let taint = fb.call_extern(nvram, &[key], Some(Width::W64)).unwrap();
+        let buf = fb.alloca(16);
+        fb.call_extern(strcpy, &[buf, taint], Some(Width::W64));
+        fb.ret(None);
+        mb.finish_function(fb);
+        let reports = run(mb.finish(), &[BugKind::Bof], true);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind, BugKind::Bof);
+    }
+}

@@ -1,0 +1,322 @@
+//! Type-based indirect-call analysis (paper §5.1) plus the TypeArmor and
+//! τ-CFI baselines.
+//!
+//! Candidate targets are the address-taken functions. A candidate `f` is
+//! feasible at indirect call site `s` when:
+//!
+//! 1. the number of actual arguments at `s` is at least `f`'s parameter
+//!    count;
+//! 2. for each argument/parameter pair, `F↑(arg_i@s) >: F↓(par_i@entry_f)`;
+//! 3. when the call expects a result, `F↑(ret_f@exit_f) >: F↓(ret@s)`.
+//!
+//! Pointer and memory types compare field-recursively — that is exactly
+//! [`manta_ir::Type::is_subtype_of`].
+//!
+//! TypeArmor checks only rule 1 (argument counts); τ-CFI additionally
+//! matches argument register widths.
+
+use manta_analysis::{ModuleAnalysis, VarRef};
+use manta_ir::{Callee, FuncId, Function, InstId, InstKind, Terminator, Type, ValueId};
+use manta::TypeQuery;
+
+/// An indirect call site.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IndirectCall {
+    /// Function containing the call.
+    pub func: FuncId,
+    /// The call instruction.
+    pub site: InstId,
+    /// The function-pointer operand.
+    pub callee: ValueId,
+    /// Actual arguments.
+    pub args: Vec<ValueId>,
+    /// Whether the call site consumes a return value.
+    pub has_ret: bool,
+}
+
+/// Collects every indirect call site in the module.
+pub fn indirect_call_sites(analysis: &ModuleAnalysis) -> Vec<IndirectCall> {
+    let mut out = Vec::new();
+    for func in analysis.module().functions() {
+        for inst in func.insts() {
+            if let InstKind::Call { dst, callee: Callee::Indirect(fp), args } = &inst.kind {
+                out.push(IndirectCall {
+                    func: func.id(),
+                    site: inst.id,
+                    callee: *fp,
+                    args: args.clone(),
+                    has_ret: dst.is_some(),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn candidates(analysis: &ModuleAnalysis) -> Vec<FuncId> {
+    analysis.module().address_taken_functions()
+}
+
+/// Rule 1: arity compatibility shared by every strategy.
+fn arity_ok(site: &IndirectCall, target: &Function) -> bool {
+    site.args.len() >= target.params().len()
+}
+
+/// Return-presence compatibility: a call that consumes a result cannot
+/// target a void function.
+fn ret_ok(site: &IndirectCall, target: &Function) -> bool {
+    !site.has_ret || target.ret_width().is_some()
+}
+
+/// TypeArmor-style resolution: argument-count (and return-presence)
+/// compatibility only.
+pub fn resolve_targets_typearmor(analysis: &ModuleAnalysis, site: &IndirectCall) -> Vec<FuncId> {
+    candidates(analysis)
+        .into_iter()
+        .filter(|&f| {
+            let t = analysis.module().function(f);
+            arity_ok(site, t) && ret_ok(site, t)
+        })
+        .collect()
+}
+
+/// τ-CFI-style resolution: TypeArmor plus argument register widths.
+pub fn resolve_targets_taucfi(analysis: &ModuleAnalysis, site: &IndirectCall) -> Vec<FuncId> {
+    let caller = analysis.module().function(site.func);
+    candidates(analysis)
+        .into_iter()
+        .filter(|&f| {
+            let t = analysis.module().function(f);
+            if !arity_ok(site, t) || !ret_ok(site, t) {
+                return false;
+            }
+            t.params().iter().zip(&site.args).all(|(&p, &a)| {
+                t.value(p).width == caller.value(a).width
+            })
+        })
+        .collect()
+}
+
+/// Manta's type-based resolution (§5.1) using an inference result. With
+/// `Sensitivity::Fi`-only results this is the Manta-FI ablation column, etc.
+pub fn resolve_targets_manta(
+    analysis: &ModuleAnalysis,
+    inference: &dyn TypeQuery,
+    site: &IndirectCall,
+) -> Vec<FuncId> {
+    candidates(analysis)
+        .into_iter()
+        .filter(|&f| target_feasible(analysis, inference, site, f))
+        .collect()
+}
+
+fn target_feasible(
+    analysis: &ModuleAnalysis,
+    inference: &dyn TypeQuery,
+    site: &IndirectCall,
+    f: FuncId,
+) -> bool {
+    let target = analysis.module().function(f);
+    if !arity_ok(site, target) || !ret_ok(site, target) {
+        return false;
+    }
+    // Rule 2: F↑(arg_i@s) >: F↓(par_i@entry).
+    for (&par, &arg) in target.params().iter().zip(&site.args) {
+        let arg_upper = inference.upper_at(VarRef::new(site.func, arg), site.site);
+        let par_lower = inference.lower_of(VarRef::new(f, par));
+        if !compatible(&par_lower, &arg_upper) {
+            return false;
+        }
+    }
+    // Rule 3: F↑(ret_f@exit) >: F↓(ret@s).
+    if site.has_ret {
+        let mut ret_upper = Type::Bottom;
+        for b in target.blocks() {
+            if let Terminator::Ret(Some(r)) = b.term {
+                ret_upper = ret_upper.join(&inference.upper_of(VarRef::new(f, r)));
+            }
+        }
+        if ret_upper == Type::Bottom {
+            ret_upper = Type::Top; // no typed return value observed
+        }
+        // The call-site result's lower bound must fit under the callee's
+        // upper bound.
+        let site_def = analysis
+            .module()
+            .function(site.func)
+            .inst(site.site)
+            .kind
+            .def();
+        if let Some(d) = site_def {
+            let ret_lower = inference.lower_of(VarRef::new(site.func, d));
+            if !compatible(&ret_lower, &ret_upper) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `lower <: upper` with the unknown/any sentinels treated permissively:
+/// a variable the inference knows nothing about must not prune targets.
+fn compatible(lower: &Type, upper: &Type) -> bool {
+    if matches!(upper, Type::Top) || matches!(lower, Type::Bottom) {
+        return true;
+    }
+    // An inverted unknown pair can surface as (⊤ lower) — permissive.
+    if matches!(lower, Type::Top) {
+        return true;
+    }
+    lower.is_subtype_of(upper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manta::{Manta, MantaConfig};
+    use manta_ir::{ModuleBuilder, Width};
+
+    /// Builds the Figure 3(c) scenario: two indirect call sites, one with a
+    /// precisely-int argument, one with a precisely-pointer argument, and
+    /// three address-taken candidates (int param, ptr param, zero params).
+    fn scenario() -> (ModuleAnalysis, manta::InferenceResult, Vec<IndirectCall>) {
+        let mut mb = ModuleBuilder::new("m");
+        let malloc = mb.extern_fn("malloc", &[], None);
+        let pd = mb.extern_fn("printf_d", &[], None);
+        let ps = mb.extern_fn("printf_s", &[], None);
+
+        let (f_int, mut b1) = mb.function("takes_int", &[Width::W64], None);
+        let x = b1.param(0);
+        let fmt = b1.alloca(8);
+        b1.call_extern(pd, &[fmt, x], Some(Width::W32));
+        b1.ret(None);
+        mb.finish_function(b1);
+        let (f_ptr, mut b2) = mb.function("takes_ptr", &[Width::W64], None);
+        let y = b2.param(0);
+        let fmt = b2.alloca(8);
+        b2.call_extern(ps, &[fmt, y], Some(Width::W32));
+        b2.ret(None);
+        mb.finish_function(b2);
+        let (f_none, mut b3) = mb.function("takes_none", &[], None);
+        b3.ret(None);
+        mb.finish_function(b3);
+        mb.mark_address_taken(f_int);
+        mb.mark_address_taken(f_ptr);
+        mb.mark_address_taken(f_none);
+
+        let (_, mut fb) = mb.function("driver", &[Width::W64, Width::W1], None);
+        let n = fb.param(0);
+        let c = fb.param(1);
+        let sq = fb.binop(manta_ir::BinOp::Mul, n, n, Width::W64);
+        let k = fb.const_int(16, Width::W64);
+        let buf = fb.call_extern(malloc, &[k], Some(Width::W64)).unwrap();
+        let t = fb.new_block();
+        let e = fb.new_block();
+        let j = fb.new_block();
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        let fp1 = fb.func_addr(f_int);
+        fb.call_indirect(fp1, &[sq], None);
+        fb.br(j);
+        fb.switch_to(e);
+        let fp2 = fb.func_addr(f_ptr);
+        fb.call_indirect(fp2, &[buf], None);
+        fb.br(j);
+        fb.switch_to(j);
+        fb.ret(None);
+        mb.finish_function(fb);
+
+        let analysis = ModuleAnalysis::build(mb.finish());
+        let inference = Manta::new(MantaConfig::full()).infer(&analysis);
+        let sites = indirect_call_sites(&analysis);
+        (analysis, inference, sites)
+    }
+
+    #[test]
+    fn typearmor_keeps_arity_compatible_targets() {
+        let (analysis, _, sites) = scenario();
+        assert_eq!(sites.len(), 2);
+        for s in &sites {
+            let targets = resolve_targets_typearmor(&analysis, s);
+            // One argument fits functions with ≤1 parameter: all three.
+            assert_eq!(targets.len(), 3);
+        }
+    }
+
+    #[test]
+    fn taucfi_matches_widths() {
+        let (analysis, _, sites) = scenario();
+        for s in &sites {
+            let targets = resolve_targets_taucfi(&analysis, s);
+            // Same widths here, so τ-CFI cannot do better than TypeArmor.
+            assert_eq!(targets.len(), 3);
+        }
+    }
+
+    #[test]
+    fn manta_prunes_type_incompatible_targets() {
+        let (analysis, inference, sites) = scenario();
+        let m = analysis.module();
+        let f_int = m.function_by_name("takes_int").unwrap().id();
+        let f_ptr = m.function_by_name("takes_ptr").unwrap().id();
+        let f_none = m.function_by_name("takes_none").unwrap().id();
+
+        let t0 = resolve_targets_manta(&analysis, &inference, &sites[0]);
+        assert!(t0.contains(&f_int), "int-arg site must keep takes_int");
+        assert!(!t0.contains(&f_ptr), "int-arg site must prune takes_ptr");
+        assert!(t0.contains(&f_none), "zero-param target always arity-feasible");
+
+        let t1 = resolve_targets_manta(&analysis, &inference, &sites[1]);
+        assert!(t1.contains(&f_ptr), "ptr-arg site must keep takes_ptr");
+        assert!(!t1.contains(&f_int), "ptr-arg site must prune takes_int");
+    }
+
+    #[test]
+    fn unknown_types_do_not_prune() {
+        // A site whose argument the inference knows nothing about keeps all
+        // arity-compatible targets (recall preservation).
+        let mut mb = ModuleBuilder::new("m");
+        let opaque = mb.extern_fn("vendor_blob", &[], Some(Width::W64));
+        let (f1, mut b1) = mb.function("cand", &[Width::W64], None);
+        b1.ret(None);
+        mb.finish_function(b1);
+        mb.mark_address_taken(f1);
+        let (_, mut fb) = mb.function("driver", &[], None);
+        let v = fb.call_extern(opaque, &[], Some(Width::W64)).unwrap();
+        let fp = fb.func_addr(f1);
+        fb.call_indirect(fp, &[v], None);
+        fb.ret(None);
+        mb.finish_function(fb);
+        let analysis = ModuleAnalysis::build(mb.finish());
+        let inference = Manta::new(MantaConfig::full()).infer(&analysis);
+        let sites = indirect_call_sites(&analysis);
+        let targets = resolve_targets_manta(&analysis, &inference, &sites[0]);
+        assert_eq!(targets, vec![f1]);
+    }
+
+    #[test]
+    fn ret_presence_is_enforced() {
+        let mut mb = ModuleBuilder::new("m");
+        let (void_f, mut b1) = mb.function("void_f", &[], None);
+        b1.ret(None);
+        mb.finish_function(b1);
+        let (ret_f, mut b2) = mb.function("ret_f", &[], Some(Width::W64));
+        let k = b2.const_int(1, Width::W64);
+        b2.ret(Some(k));
+        mb.finish_function(b2);
+        mb.mark_address_taken(void_f);
+        mb.mark_address_taken(ret_f);
+        let (_, mut fb) = mb.function("driver", &[], Some(Width::W64));
+        let fp = fb.func_addr(ret_f);
+        let r = fb.call_indirect(fp, &[], Some(Width::W64)).unwrap();
+        fb.ret(Some(r));
+        mb.finish_function(fb);
+        let analysis = ModuleAnalysis::build(mb.finish());
+        let inference = Manta::new(MantaConfig::full()).infer(&analysis);
+        let sites = indirect_call_sites(&analysis);
+        let ta = resolve_targets_typearmor(&analysis, &sites[0]);
+        assert!(!ta.contains(&manta_ir::FuncId(0)), "void target infeasible for ret site");
+        let mm = resolve_targets_manta(&analysis, &inference, &sites[0]);
+        assert_eq!(mm.len(), 1);
+    }
+}

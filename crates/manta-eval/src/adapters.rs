@@ -1,0 +1,84 @@
+//! Adapters presenting Manta's ablations through the common
+//! [`TypeTool`] interface.
+
+use manta::{Manta, MantaConfig, Sensitivity, TypeQuery};
+use manta_analysis::{ModuleAnalysis, VarRef};
+use manta_baselines::{ToolResult, TypeTool};
+use manta_ir::ValueKind;
+
+/// One Manta sensitivity configuration as a [`TypeTool`].
+#[derive(Clone, Copy, Debug)]
+pub struct MantaTool {
+    /// The ablation to run.
+    pub sensitivity: Sensitivity,
+}
+
+impl MantaTool {
+    /// All four ablation columns in the paper's order.
+    pub fn ablations() -> [MantaTool; 4] {
+        [
+            MantaTool { sensitivity: Sensitivity::Fi },
+            MantaTool { sensitivity: Sensitivity::Fs },
+            MantaTool { sensitivity: Sensitivity::FiFs },
+            MantaTool { sensitivity: Sensitivity::FiCsFs },
+        ]
+    }
+}
+
+impl TypeTool for MantaTool {
+    fn name(&self) -> &str {
+        self.sensitivity.label()
+    }
+
+    fn infer(&self, analysis: &ModuleAnalysis) -> ToolResult {
+        let result = Manta::new(MantaConfig::with_sensitivity(self.sensitivity)).infer(analysis);
+        let mut out = ToolResult::default();
+        for func in analysis.module().functions() {
+            for (i, &p) in func.params().iter().enumerate() {
+                let v = VarRef::new(func.id(), p);
+                if let Some(interval) = result.var_interval(v) {
+                    out.params.insert((func.id(), i), interval.clone());
+                }
+            }
+            for (v, data) in func.values() {
+                if matches!(data.kind, ValueKind::Const(_)) {
+                    continue;
+                }
+                let vr = VarRef::new(func.id(), v);
+                if let Some(interval) = result.var_interval(vr) {
+                    out.vars.insert(vr, interval.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manta_ir::{ModuleBuilder, Width};
+
+    #[test]
+    fn adapter_exposes_param_intervals() {
+        let mut mb = ModuleBuilder::new("m");
+        let strlen = mb.extern_fn("strlen", &[], None);
+        let (fid, mut fb) = mb.function("f", &[Width::W64], Some(Width::W64));
+        let p = fb.param(0);
+        let n = fb.call_extern(strlen, &[p], Some(Width::W64)).unwrap();
+        fb.ret(Some(n));
+        mb.finish_function(fb);
+        let analysis = ModuleAnalysis::build(mb.finish());
+        for tool in MantaTool::ablations() {
+            let r = tool.infer(&analysis);
+            assert!(r.usable());
+            if tool.sensitivity != Sensitivity::Fs {
+                assert!(
+                    r.params.get(&(fid, 0)).map(|i| i.upper.is_pointer()).unwrap_or(false),
+                    "{} should type the strlen argument",
+                    tool.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Figure 10: inference time and memory versus program size, with a
+//! linear fit (the paper reports near-linear scaling).
+
+use std::time::Instant;
+
+use manta::{Manta, MantaConfig};
+use manta_analysis::ModuleAnalysis;
+
+use crate::runner::ProjectData;
+use crate::table::TextTable;
+
+/// One measured point.
+#[derive(Clone, Debug)]
+pub struct ScalePoint {
+    /// Project name.
+    pub name: String,
+    /// Size proxy: total lifted instructions (the KLoC axis).
+    pub insts: usize,
+    /// Full-cascade inference wall time in milliseconds.
+    pub infer_ms: f64,
+    /// Estimated live analysis memory in MiB.
+    pub mem_mib: f64,
+}
+
+/// The reproduced Figure 10.
+#[derive(Clone, Debug)]
+pub struct Figure10Result {
+    /// Measured points, sorted by size.
+    pub points: Vec<ScalePoint>,
+}
+
+/// Rough live-heap estimate of an analysis (values, instructions, DDG
+/// edges, points-to sets).
+pub fn memory_estimate_mib(analysis: &ModuleAnalysis) -> f64 {
+    let module = analysis.module();
+    let values: usize = module.functions().map(|f| f.value_count()).sum();
+    let insts: usize = module.total_insts();
+    let edges = analysis.ddg.edge_count();
+    let objects = analysis.pointsto.object_count();
+    let pts_entries: usize = analysis
+        .pointsto
+        .objects()
+        .map(|(o, _)| analysis.pointsto.pts_obj(o).len())
+        .sum();
+    let bytes = values * 48 + insts * 96 + edges * 24 + objects * 64 + pts_entries * 16;
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+/// Measures the suite.
+pub fn run(projects: &[ProjectData]) -> Figure10Result {
+    let mut points = Vec::new();
+    for p in projects {
+        let start = Instant::now();
+        let _ = Manta::new(MantaConfig::full()).infer(&p.analysis);
+        let infer_ms = start.elapsed().as_secs_f64() * 1e3;
+        points.push(ScalePoint {
+            name: p.name.clone(),
+            insts: p.analysis.module().total_insts(),
+            infer_ms,
+            mem_mib: memory_estimate_mib(&p.analysis),
+        });
+    }
+    points.sort_by_key(|p| p.insts);
+    Figure10Result { points }
+}
+
+impl Figure10Result {
+    /// Least-squares linear fit `y = a·x + b` of time (ms) against size.
+    pub fn time_fit(&self) -> (f64, f64) {
+        fit(self.points.iter().map(|p| (p.insts as f64, p.infer_ms)))
+    }
+
+    /// Least-squares fit of memory (MiB) against size.
+    pub fn mem_fit(&self) -> (f64, f64) {
+        fit(self.points.iter().map(|p| (p.insts as f64, p.mem_mib)))
+    }
+
+    /// Renders the figure data.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&["project", "insts", "time_ms", "mem_MiB"]);
+        for p in &self.points {
+            t.row(vec![
+                p.name.clone(),
+                p.insts.to_string(),
+                format!("{:.1}", p.infer_ms),
+                format!("{:.2}", p.mem_mib),
+            ]);
+        }
+        let (ta, tb) = self.time_fit();
+        let (ma, mb) = self.mem_fit();
+        format!(
+            "Figure 10: scaling of inference time and memory\n{}\n\
+             linear fit: time_ms ≈ {:.4}·insts + {:.1};  mem_MiB ≈ {:.5}·insts + {:.2}\n",
+            t.render(),
+            ta,
+            tb,
+            ma,
+            mb
+        )
+    }
+}
+
+fn fit(points: impl Iterator<Item = (f64, f64)>) -> (f64, f64) {
+    let pts: Vec<(f64, f64)> = points.collect();
+    let n = pts.len() as f64;
+    if pts.len() < 2 {
+        return (0.0, 0.0);
+    }
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < f64::EPSILON {
+        return (0.0, sy / n);
+    }
+    let a = (n * sxy - sx * sy) / denom;
+    let b = (sy - a * sx) / n;
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fit;
+
+    #[test]
+    fn fit_recovers_line() {
+        let (a, b) = fit([(1.0, 3.0), (2.0, 5.0), (3.0, 7.0)].into_iter());
+        assert!((a - 2.0).abs() < 1e-9);
+        assert!((b - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 11: geometric-mean recall of type-based indirect-call analysis
+//! per tool (derived from the Table 4 data).
+
+use crate::experiments::table4::Table4Result;
+use crate::table::{pct, TextTable};
+
+/// The reproduced Figure 11.
+#[derive(Clone, Debug)]
+pub struct Figure11Result {
+    /// `(tool, geomean recall %)`.
+    pub bars: Vec<(String, f64)>,
+}
+
+/// Derives recall bars from a Table 4 run.
+pub fn run(table4: &Table4Result) -> Figure11Result {
+    let bars = table4
+        .tools
+        .iter()
+        .map(|t| (t.clone(), table4.geomean_recall(t).unwrap_or(0.0)))
+        .collect();
+    Figure11Result { bars }
+}
+
+impl Figure11Result {
+    /// The recall of one tool.
+    pub fn recall_of(&self, tool: &str) -> Option<f64> {
+        self.bars.iter().find(|(t, _)| t == tool).map(|(_, r)| *r)
+    }
+
+    /// Renders the figure data.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&["tool", "recall %"]);
+        for (tool, r) in &self.bars {
+            t.row(vec![tool.clone(), pct(*r)]);
+        }
+        format!("Figure 11: recall of type-based indirect-call analysis\n{}", t.render())
+    }
+}

@@ -1,0 +1,137 @@
+//! Figure 2: profiling data motivating the hybrid design.
+//!
+//! Over the 118-binary corpus (14 projects + 104 coreutils):
+//!
+//! * (a) what fraction of the variables a flow-/context-insensitive
+//!   analysis over-approximates can a high-precision cascade refine to a
+//!   precise singleton;
+//! * (b) what fraction of the variables a flow-sensitive analysis leaves
+//!   unknown does the low-precision analysis type precisely.
+
+use manta::{Manta, MantaConfig, Sensitivity, VarClass};
+use manta_analysis::VarRef;
+use manta_ir::ValueKind;
+
+use crate::runner::ProjectData;
+use crate::table::{pct, TextTable};
+
+/// Per-binary fractions.
+#[derive(Clone, Debug)]
+pub struct Figure2Row {
+    /// Binary name.
+    pub name: String,
+    /// `V_O` size under FI.
+    pub over_fi: usize,
+    /// Of those, precisely refined by the full cascade.
+    pub over_refined: usize,
+    /// `V_U` size under standalone FS.
+    pub unknown_fs: usize,
+    /// Of those, precisely typed by FI.
+    pub unknown_recovered: usize,
+}
+
+/// The reproduced Figure 2.
+#[derive(Clone, Debug)]
+pub struct Figure2Result {
+    /// Per-binary rows.
+    pub rows: Vec<Figure2Row>,
+}
+
+/// Runs the profiling over a corpus.
+pub fn run(corpus: &[ProjectData]) -> Figure2Result {
+    let mut rows = Vec::new();
+    for p in corpus {
+        let fi = Manta::new(MantaConfig::with_sensitivity(Sensitivity::Fi)).infer(&p.analysis);
+        let fs = Manta::new(MantaConfig::with_sensitivity(Sensitivity::Fs)).infer(&p.analysis);
+        let full =
+            Manta::new(MantaConfig::with_sensitivity(Sensitivity::FiCsFs)).infer(&p.analysis);
+        let mut row = Figure2Row {
+            name: p.name.clone(),
+            over_fi: 0,
+            over_refined: 0,
+            unknown_fs: 0,
+            unknown_recovered: 0,
+        };
+        for func in p.analysis.module().functions() {
+            for (value, data) in func.values() {
+                if matches!(data.kind, ValueKind::Const(_)) {
+                    continue;
+                }
+                let v = VarRef::new(func.id(), value);
+                if fi.class_of(v) == VarClass::Over {
+                    row.over_fi += 1;
+                    if full.class_of(v) == VarClass::Precise {
+                        row.over_refined += 1;
+                    }
+                }
+                if fs.class_of(v) == VarClass::Unknown {
+                    row.unknown_fs += 1;
+                    if fi.class_of(v) == VarClass::Precise {
+                        row.unknown_recovered += 1;
+                    }
+                }
+            }
+        }
+        rows.push(row);
+    }
+    Figure2Result { rows }
+}
+
+impl Figure2Result {
+    /// Mean fraction of FI-over-approximated variables refined by the
+    /// high-precision cascade (the brown region of Figure 2a), percent.
+    pub fn refined_fraction(&self) -> f64 {
+        let (num, den): (usize, usize) = self
+            .rows
+            .iter()
+            .fold((0, 0), |(n, d), r| (n + r.over_refined, d + r.over_fi));
+        if den == 0 {
+            0.0
+        } else {
+            100.0 * num as f64 / den as f64
+        }
+    }
+
+    /// Mean fraction of FS-unknown variables precisely typed by the
+    /// low-precision analysis (the brown region of Figure 2b), percent.
+    pub fn recovered_fraction(&self) -> f64 {
+        let (num, den): (usize, usize) = self
+            .rows
+            .iter()
+            .fold((0, 0), |(n, d), r| (n + r.unknown_recovered, d + r.unknown_fs));
+        if den == 0 {
+            0.0
+        } else {
+            100.0 * num as f64 / den as f64
+        }
+    }
+
+    /// Renders the figure data.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "binary",
+            "FI-over",
+            "refined-by-high-prec",
+            "FS-unknown",
+            "recovered-by-low-prec",
+        ]);
+        for r in self.rows.iter().take(20) {
+            t.row(vec![
+                r.name.clone(),
+                r.over_fi.to_string(),
+                r.over_refined.to_string(),
+                r.unknown_fs.to_string(),
+                r.unknown_recovered.to_string(),
+            ]);
+        }
+        format!(
+            "Figure 2: profiling on {} binaries (first 20 rows shown)\n{}\n\
+             (a) over-approximated vars refined by high precision: {}%\n\
+             (b) unknown vars precisely typed by low precision:  {}%\n",
+            self.rows.len(),
+            t.render(),
+            pct(self.refined_fraction()),
+            pct(self.recovered_fraction()),
+        )
+    }
+}

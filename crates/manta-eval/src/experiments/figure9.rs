@@ -1,0 +1,54 @@
+//! Figure 9: the proportion of precise / over-approximated / unknown
+//! inference results per sensitivity combination.
+
+use manta::{ClassCounts, Manta, MantaConfig, Sensitivity};
+
+use crate::runner::ProjectData;
+use crate::table::{pct, TextTable};
+
+/// The reproduced Figure 9.
+#[derive(Clone, Debug)]
+pub struct Figure9Result {
+    /// `(ablation label, aggregate final counts)`.
+    pub per_ablation: Vec<(String, ClassCounts)>,
+}
+
+/// Aggregates classification proportions over the suite.
+pub fn run(projects: &[ProjectData]) -> Figure9Result {
+    let mut per_ablation = Vec::new();
+    for s in Sensitivity::ALL {
+        let mut agg = ClassCounts::default();
+        for p in projects {
+            let r = Manta::new(MantaConfig::with_sensitivity(s)).infer(&p.analysis);
+            let c = r.final_counts();
+            agg.precise += c.precise;
+            agg.over += c.over;
+            agg.unknown += c.unknown;
+        }
+        per_ablation.push((s.label().to_string(), agg));
+    }
+    Figure9Result { per_ablation }
+}
+
+impl Figure9Result {
+    /// `(precise%, over%, unknown%)` for an ablation label.
+    pub fn proportions(&self, label: &str) -> Option<(f64, f64, f64)> {
+        let (_, c) = self.per_ablation.iter().find(|(l, _)| l == label)?;
+        let total = c.total().max(1) as f64;
+        Some((
+            100.0 * c.precise as f64 / total,
+            100.0 * c.over as f64 / total,
+            100.0 * c.unknown as f64 / total,
+        ))
+    }
+
+    /// Renders the figure data.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&["ablation", "%precise", "%over-approx", "%unknown"]);
+        for (label, _) in &self.per_ablation {
+            let (p, o, u) = self.proportions(label).expect("label exists");
+            t.row(vec![label.clone(), pct(p), pct(o), pct(u)]);
+        }
+        format!("Figure 9: inference result proportions by sensitivity\n{}", t.render())
+    }
+}

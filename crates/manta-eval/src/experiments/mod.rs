@@ -1,0 +1,13 @@
+//! One module per reproduced table/figure. Each `run` function returns a
+//! structured result with a `render()` method printing the paper-shaped
+//! table; the `exp_*` binaries in `manta-bench` are thin wrappers.
+
+pub mod ablation_order;
+pub mod figure10;
+pub mod figure11;
+pub mod figure12;
+pub mod figure2;
+pub mod figure9;
+pub mod table3;
+pub mod table4;
+pub mod table5;

@@ -1,0 +1,154 @@
+//! Table 3: type-inference precision and recall on the project suite.
+
+use manta_baselines::{DirtyLike, GhidraLike, RetdecLike, RetypdLike, ToolResult, TypeTool};
+
+use crate::adapters::MantaTool;
+use crate::metrics::{score_params, PrScore};
+use crate::runner::ProjectData;
+use crate::table::{pct, TextTable};
+
+/// One table cell.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Cell {
+    /// Precision/recall score.
+    Pr(PrScore),
+    /// Did not finish within budget (Δ).
+    Timeout,
+    /// Crashed (‡).
+    Crash,
+}
+
+impl Cell {
+    fn render(&self) -> (String, String) {
+        match self {
+            Cell::Pr(s) => (pct(s.precision()), pct(s.recall())),
+            Cell::Timeout => ("Δ".into(), "Δ".into()),
+            Cell::Crash => ("‡".into(), "‡".into()),
+        }
+    }
+}
+
+/// The reproduced Table 3.
+#[derive(Clone, Debug)]
+pub struct Table3Result {
+    /// Tool column names.
+    pub tools: Vec<String>,
+    /// `(project, kloc, #params, one cell per tool)`.
+    pub rows: Vec<(String, f64, usize, Vec<Cell>)>,
+    /// Aggregate score per tool over projects where it finished.
+    pub totals: Vec<Cell>,
+}
+
+/// The standard tool lineup: four baselines then the four Manta ablations.
+pub fn standard_tools() -> Vec<Box<dyn TypeTool>> {
+    let mut tools: Vec<Box<dyn TypeTool>> = vec![
+        Box::new(DirtyLike::default()),
+        Box::new(GhidraLike),
+        Box::new(RetdecLike),
+        Box::new(RetypdLike::default()),
+    ];
+    for t in MantaTool::ablations() {
+        tools.push(Box::new(t));
+    }
+    tools
+}
+
+fn score_tool(project: &ProjectData, result: &ToolResult) -> Cell {
+    if result.timed_out {
+        return Cell::Timeout;
+    }
+    if result.crashed {
+        return Cell::Crash;
+    }
+    Cell::Pr(score_params(&project.analysis, &project.truth, |f, i| {
+        result.params.get(&(f, i)).cloned()
+    }))
+}
+
+/// Runs Table 3 over the 14 projects plus the aggregated coreutils row.
+pub fn run(projects: &[ProjectData], coreutils: &[ProjectData]) -> Table3Result {
+    let tools = standard_tools();
+    let tool_names: Vec<String> = tools.iter().map(|t| t.name().to_string()).collect();
+    let mut rows = Vec::new();
+    let mut totals: Vec<PrScore> = vec![PrScore::default(); tools.len()];
+
+    let add_row =
+        |name: String, kloc: f64, members: &[&ProjectData], rows: &mut Vec<_>, totals: &mut Vec<PrScore>| {
+            let mut cells = Vec::with_capacity(tools.len());
+            let params: usize = members.iter().map(|p| p.truth.param_count()).sum();
+            for (ti, tool) in tools.iter().enumerate() {
+                let mut agg = PrScore::default();
+                let mut bad: Option<Cell> = None;
+                for m in members {
+                    let r = tool.infer(&m.analysis);
+                    match score_tool(m, &r) {
+                        Cell::Pr(s) => agg.merge(s),
+                        other => bad = Some(other),
+                    }
+                }
+                let cell = bad.unwrap_or(Cell::Pr(agg));
+                if let Cell::Pr(s) = cell {
+                    // Δ/‡ rows are excluded from a tool's total, as in the
+                    // paper.
+                    totals[ti].merge(s);
+                }
+                cells.push(cell);
+            }
+            rows.push((name, kloc, params, cells));
+        };
+
+    for p in projects {
+        add_row(p.name.clone(), p.kloc, &[p], &mut rows, &mut totals);
+    }
+    if !coreutils.is_empty() {
+        let members: Vec<&ProjectData> = coreutils.iter().collect();
+        let kloc: f64 = coreutils.iter().map(|p| p.kloc).sum();
+        add_row("coreutils".into(), kloc, &members, &mut rows, &mut totals);
+    }
+
+    Table3Result {
+        tools: tool_names,
+        rows,
+        totals: totals.into_iter().map(Cell::Pr).collect(),
+    }
+}
+
+impl Table3Result {
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut header: Vec<&str> = vec!["Project", "KLoC", "#Params"];
+        let owned: Vec<String> = self
+            .tools
+            .iter()
+            .flat_map(|t| [format!("{t} %Prec"), format!("{t} %Recl")])
+            .collect();
+        header.extend(owned.iter().map(String::as_str));
+        let mut t = TextTable::new(&header);
+        for (name, kloc, params, cells) in &self.rows {
+            let mut row = vec![name.clone(), format!("{kloc:.0}"), params.to_string()];
+            for c in cells {
+                let (p, r) = c.render();
+                row.push(p);
+                row.push(r);
+            }
+            t.row(row);
+        }
+        let mut row = vec!["Total".to_string(), String::new(), String::new()];
+        for c in &self.totals {
+            let (p, r) = c.render();
+            row.push(p);
+            row.push(r);
+        }
+        t.row(row);
+        format!("Table 3: type inference precision and recall\n{}", t.render())
+    }
+
+    /// The total-row score for a tool by name.
+    pub fn total_of(&self, tool: &str) -> Option<PrScore> {
+        let idx = self.tools.iter().position(|t| t == tool)?;
+        match self.totals[idx] {
+            Cell::Pr(s) => Some(s),
+            _ => None,
+        }
+    }
+}

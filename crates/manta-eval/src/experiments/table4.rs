@@ -1,0 +1,209 @@
+//! Table 4: type-based indirect-call analysis — average indirect-call
+//! targets (#AICT) and pruning precision per tool; Figure 11 (recall) is
+//! derived from the same data.
+
+use std::collections::BTreeMap;
+
+use manta::{Manta, MantaConfig, Sensitivity, TypeQuery};
+use manta_baselines::{DirtyLike, GhidraLike, RetdecLike, RetypdLike, TypeTool};
+use manta_clients::{
+    indirect_call_sites, resolve_targets_manta, resolve_targets_taucfi, resolve_targets_typearmor,
+};
+use manta_ir::FuncId;
+
+use crate::metrics::{geomean, IcallScore};
+use crate::runner::ProjectData;
+use crate::table::{pct, TextTable};
+
+/// One tool's cell for one project.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Cell {
+    /// The score.
+    Score(IcallScore),
+    /// The feeding type inference did not finish / crashed.
+    Unavailable,
+}
+
+/// The reproduced Table 4 (and the data for Figure 11).
+#[derive(Clone, Debug)]
+pub struct Table4Result {
+    /// Tool column names (after the Source column).
+    pub tools: Vec<String>,
+    /// `(project, #AT, source AICT, cells)`.
+    pub rows: Vec<(String, usize, f64, Vec<Cell>)>,
+}
+
+/// Runs the indirect-call experiment over the suite.
+pub fn run(projects: &[ProjectData]) -> Table4Result {
+    let tool_names: Vec<String> = vec![
+        "Dirty".into(),
+        "Ghidra".into(),
+        "RetDec".into(),
+        "Retypd".into(),
+        "TypeArmor".into(),
+        "tau-CFI".into(),
+        "FI".into(),
+        "FS".into(),
+        "FI+FS".into(),
+        "FI+CS+FS".into(),
+    ];
+    let mut rows = Vec::new();
+    for p in projects {
+        let analysis = &p.analysis;
+        let module = analysis.module();
+        let name_of = |f: FuncId| module.function(f).name().to_string();
+        let at_count = module.address_taken_functions().len();
+
+        // Match sites to ground-truth ordinals per host function. Loop
+        // unrolling may duplicate sites; only the first `truth-count`
+        // ordinals per host are scored (copy 0 preserves original order).
+        let sites = indirect_call_sites(analysis);
+        let mut ordinal: BTreeMap<FuncId, usize> = BTreeMap::new();
+        let mut scored_sites = Vec::new();
+        for site in &sites {
+            let ord = {
+                let e = ordinal.entry(site.func).or_insert(0);
+                let v = *e;
+                *e += 1;
+                v
+            };
+            let host = name_of(site.func);
+            if let Some(gt) = p.truth.icall_targets.get(&(host, ord)) {
+                scored_sites.push((site.clone(), gt.clone()));
+            }
+        }
+        if scored_sites.is_empty() {
+            continue;
+        }
+
+        // Pre-compute each tool's resolver output.
+        let mut cells: Vec<Cell> = Vec::with_capacity(tool_names.len());
+        let baselines: Vec<Box<dyn TypeTool>> = vec![
+            Box::new(DirtyLike::default()),
+            Box::new(GhidraLike),
+            Box::new(RetdecLike),
+            Box::new(RetypdLike::default()),
+        ];
+        for tool in &baselines {
+            let r = tool.infer(analysis);
+            if !r.usable() {
+                cells.push(Cell::Unavailable);
+                continue;
+            }
+            let types = r.as_types();
+            let mut score = IcallScore::default();
+            for (site, gt) in &scored_sites {
+                let targets: Vec<String> = resolve_targets_manta(analysis, &types, site)
+                    .into_iter()
+                    .map(name_of)
+                    .collect();
+                score.add_site(&targets, gt, at_count);
+            }
+            cells.push(Cell::Score(score));
+        }
+        // TypeArmor / τ-CFI.
+        for arity_only in [true, false] {
+            let mut score = IcallScore::default();
+            for (site, gt) in &scored_sites {
+                let targets: Vec<String> = if arity_only {
+                    resolve_targets_typearmor(analysis, site)
+                } else {
+                    resolve_targets_taucfi(analysis, site)
+                }
+                .into_iter()
+                .map(name_of)
+                .collect();
+                score.add_site(&targets, gt, at_count);
+            }
+            cells.push(Cell::Score(score));
+        }
+        // Manta ablations with full site sensitivity.
+        for s in Sensitivity::ALL {
+            let inference = Manta::new(MantaConfig::with_sensitivity(s)).infer(analysis);
+            let q: &dyn TypeQuery = &inference;
+            let mut score = IcallScore::default();
+            for (site, gt) in &scored_sites {
+                let targets: Vec<String> = resolve_targets_manta(analysis, q, site)
+                    .into_iter()
+                    .map(name_of)
+                    .collect();
+                score.add_site(&targets, gt, at_count);
+            }
+            cells.push(Cell::Score(score));
+        }
+
+        let source_aict = match cells.iter().find_map(|c| match c {
+            Cell::Score(s) => Some(s.source_aict()),
+            _ => None,
+        }) {
+            Some(v) => v,
+            None => continue,
+        };
+        rows.push((p.name.clone(), at_count, source_aict, cells));
+    }
+    Table4Result { tools: tool_names, rows }
+}
+
+impl Table4Result {
+    /// Geometric-mean AICT across projects for a tool.
+    pub fn geomean_aict(&self, tool: &str) -> Option<f64> {
+        let idx = self.tools.iter().position(|t| t == tool)?;
+        Some(geomean(self.rows.iter().filter_map(|(_, _, _, cells)| match cells[idx] {
+            Cell::Score(s) => Some(s.aict()),
+            _ => None,
+        })))
+    }
+
+    /// Geometric-mean pruning precision for a tool, percent.
+    pub fn geomean_precision(&self, tool: &str) -> Option<f64> {
+        let idx = self.tools.iter().position(|t| t == tool)?;
+        Some(geomean(self.rows.iter().filter_map(|(_, _, _, cells)| match cells[idx] {
+            Cell::Score(s) => Some(s.precision().max(0.1)),
+            _ => None,
+        })))
+    }
+
+    /// Geometric-mean recall for a tool, percent (Figure 11's bars).
+    pub fn geomean_recall(&self, tool: &str) -> Option<f64> {
+        let idx = self.tools.iter().position(|t| t == tool)?;
+        Some(geomean(self.rows.iter().filter_map(|(_, _, _, cells)| match cells[idx] {
+            Cell::Score(s) => Some(s.recall().max(0.1)),
+            _ => None,
+        })))
+    }
+
+    /// Geometric-mean source AICT.
+    pub fn geomean_source_aict(&self) -> f64 {
+        geomean(self.rows.iter().map(|(_, _, s, _)| *s))
+    }
+
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut header: Vec<&str> = vec!["Project", "#AT", "Source"];
+        let owned: Vec<String> =
+            self.tools.iter().map(|t| format!("{t} #AICT(P)")).collect();
+        header.extend(owned.iter().map(String::as_str));
+        let mut t = TextTable::new(&header);
+        for (name, at, source, cells) in &self.rows {
+            let mut row = vec![name.clone(), at.to_string(), format!("{source:.1}")];
+            for c in cells {
+                row.push(match c {
+                    Cell::Score(s) => format!("{:.1} ({}%)", s.aict(), pct(s.precision())),
+                    Cell::Unavailable => "Δ/‡".into(),
+                });
+            }
+            t.row(row);
+        }
+        let mut row =
+            vec!["Geomean".to_string(), String::new(), format!("{:.1}", self.geomean_source_aict())];
+        for tool in &self.tools {
+            row.push(format!(
+                "{:.1} ({}%)",
+                self.geomean_aict(tool).unwrap_or(0.0),
+                pct(self.geomean_precision(tool).unwrap_or(0.0))
+            ));
+        }
+        t.row(row);
+        format!("Table 4: type-based indirect-call analysis (#AICT, pruning precision)\n{}", t.render())
+    }
+}

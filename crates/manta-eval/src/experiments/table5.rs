@@ -1,0 +1,157 @@
+//! Table 5: real-world (firmware) bug detection — false positives, total
+//! reports and analysis time per tool, plus the aggregate FPR row.
+
+use std::time::Instant;
+
+use manta::{Manta, MantaConfig, TypeQuery};
+use manta_baselines::{ArbiterLike, BugTool, CweCheckerLike, SatcLike};
+use manta_clients::{detect_bugs, BugKind, CheckerConfig};
+
+use crate::metrics::{score_bug_reports, BugScore};
+use crate::runner::ProjectData;
+use crate::table::{pct, TextTable};
+
+/// One tool's cell for one image.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Cell {
+    /// `(score, milliseconds)`.
+    Ran(BugScore, f64),
+    /// The analyzer crashed on this image (NA).
+    Crashed,
+}
+
+/// The reproduced Table 5.
+#[derive(Clone, Debug)]
+pub struct Table5Result {
+    /// Tool column names.
+    pub tools: Vec<String>,
+    /// `(image, cells)`.
+    pub rows: Vec<(String, Vec<Cell>)>,
+}
+
+/// Runs every bug-finding tool over the firmware suite.
+pub fn run(images: &[ProjectData]) -> Table5Result {
+    let tools =
+        ["Arbiter".to_string(), "cwe_checker".into(), "SaTC".into(), "Manta".into(), "Manta-NoType".into()];
+    let mut rows = Vec::new();
+    for p in images {
+        let mut cells = Vec::new();
+        // Baseline tools.
+        let baselines: Vec<Box<dyn BugTool>> = vec![
+            Box::new(ArbiterLike::default()),
+            Box::new(CweCheckerLike),
+            Box::new(SatcLike),
+        ];
+        for tool in &baselines {
+            let start = Instant::now();
+            match tool.detect(&p.analysis) {
+                None => cells.push(Cell::Crashed),
+                Some(reports) => {
+                    let ms = start.elapsed().as_secs_f64() * 1e3;
+                    let pairs: Vec<(BugKind, String)> =
+                        reports.into_iter().map(|r| (r.class, r.func)).collect();
+                    cells.push(Cell::Ran(score_bug_reports(&pairs, &p.truth), ms));
+                }
+            }
+        }
+        // Manta (type-assisted) and Manta-NoType.
+        for typed in [true, false] {
+            let start = Instant::now();
+            let inference = typed.then(|| Manta::new(MantaConfig::full()).infer(&p.analysis));
+            let q: Option<&dyn TypeQuery> =
+                inference.as_ref().map(|i| i as &dyn TypeQuery);
+            let (reports, _visits) =
+                detect_bugs(&p.analysis, q, &BugKind::ALL, CheckerConfig::default());
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            let pairs: Vec<(BugKind, String)> = reports
+                .into_iter()
+                .map(|r| (r.kind, p.analysis.module().function(r.func).name().to_string()))
+                .collect();
+            cells.push(Cell::Ran(score_bug_reports(&pairs, &p.truth), ms));
+        }
+        rows.push((p.name.clone(), cells));
+    }
+    Table5Result { tools: tools.into_iter().collect(), rows }
+}
+
+impl Table5Result {
+    /// Aggregate false-positive rate of a tool over images it ran on,
+    /// percent.
+    pub fn fpr_of(&self, tool: &str) -> Option<f64> {
+        let idx = self.tools.iter().position(|t| t == tool)?;
+        let mut agg = BugScore::default();
+        let mut ran = false;
+        for (_, cells) in &self.rows {
+            if let Cell::Ran(s, _) = cells[idx] {
+                agg.merge(s);
+                ran = true;
+            }
+        }
+        if !ran || agg.reports() == 0 {
+            return None;
+        }
+        Some(agg.fpr())
+    }
+
+    /// Total reports of a tool.
+    pub fn reports_of(&self, tool: &str) -> usize {
+        let Some(idx) = self.tools.iter().position(|t| t == tool) else { return 0 };
+        self.rows
+            .iter()
+            .map(|(_, cells)| match cells[idx] {
+                Cell::Ran(s, _) => s.reports(),
+                Cell::Crashed => 0,
+            })
+            .sum()
+    }
+
+    /// Total detection time of a tool in milliseconds.
+    pub fn time_of(&self, tool: &str) -> f64 {
+        let Some(idx) = self.tools.iter().position(|t| t == tool) else { return 0.0 };
+        self.rows
+            .iter()
+            .map(|(_, cells)| match cells[idx] {
+                Cell::Ran(_, ms) => ms,
+                Cell::Crashed => 0.0,
+            })
+            .sum()
+    }
+
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut header: Vec<&str> = vec!["Model"];
+        let owned: Vec<String> = self
+            .tools
+            .iter()
+            .flat_map(|t| [format!("{t} #FP"), format!("{t} #R"), format!("{t} ms")])
+            .collect();
+        header.extend(owned.iter().map(String::as_str));
+        let mut t = TextTable::new(&header);
+        for (name, cells) in &self.rows {
+            let mut row = vec![name.clone()];
+            for c in cells {
+                match c {
+                    Cell::Ran(s, ms) => {
+                        row.push(s.fp.to_string());
+                        row.push(s.reports().to_string());
+                        row.push(format!("{ms:.0}"));
+                    }
+                    Cell::Crashed => {
+                        row.extend(["NA".to_string(), "NA".into(), "NA".into()]);
+                    }
+                }
+            }
+            t.row(row);
+        }
+        let mut fpr_row = vec!["FPR %".to_string()];
+        for tool in &self.tools {
+            let cell = self
+                .fpr_of(tool)
+                .map(pct)
+                .unwrap_or_else(|| "NA".into());
+            fpr_row.extend([cell, String::new(), String::new()]);
+        }
+        t.row(fpr_row);
+        format!("Table 5: firmware bug detection (#FP, #R, time)\n{}", t.render())
+    }
+}

@@ -1,0 +1,25 @@
+//! # manta-eval
+//!
+//! The evaluation harness: regenerates every table and figure of the
+//! paper's §6 on the synthetic suites (see `DESIGN.md` for the
+//! substitution map and `EXPERIMENTS.md` for paper-vs-measured results).
+//!
+//! * [`experiments::table3`] — type-inference precision/recall.
+//! * [`experiments::figure2`] — over-approximated/unknown profiling.
+//! * [`experiments::figure9`] — classification proportions per ablation.
+//! * [`experiments::figure10`] — time/memory scaling.
+//! * [`experiments::table4`] / [`experiments::figure11`] — indirect-call
+//!   AICT, precision and recall.
+//! * [`experiments::figure12`] — source–sink slicing F1.
+//! * [`experiments::table5`] — firmware bug detection.
+
+#![warn(missing_docs)]
+
+pub mod adapters;
+pub mod experiments;
+pub mod metrics;
+pub mod runner;
+pub mod table;
+
+pub use adapters::MantaTool;
+pub use runner::{load_coreutils, load_firmware, load_projects, ProjectData};

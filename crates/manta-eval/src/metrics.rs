@@ -1,0 +1,402 @@
+//! Scoring functions shared by the experiments.
+//!
+//! The type-inference metric follows §6.1 exactly: *precision* is the
+//! proportion of parameters whose first-layer type is correctly and
+//! precisely inferred; *recall* is the proportion whose inferred result
+//! **includes** the actual type — an unknown (any-type) result or a range
+//! containing the truth both count toward recall, while a wrong concrete
+//! guess counts toward neither.
+
+use std::collections::BTreeMap;
+
+use manta::{FirstLayer, Resolution, TypeInterval};
+use manta_analysis::ModuleAnalysis;
+use manta_ir::{FuncId, Type, Width};
+use manta_workloads::{GroundTruth, ParamKey};
+
+/// Accumulated precision/recall counts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PrScore {
+    /// Correctly and precisely inferred.
+    pub correct: usize,
+    /// Result includes the actual type (correct ⊆ included).
+    pub included: usize,
+    /// Scored parameters.
+    pub total: usize,
+}
+
+impl PrScore {
+    /// Precision in percent.
+    pub fn precision(&self) -> f64 {
+        percent(self.correct, self.total)
+    }
+
+    /// Recall in percent.
+    pub fn recall(&self) -> f64 {
+        percent(self.included, self.total)
+    }
+
+    /// Merges another score into this one.
+    pub fn merge(&mut self, other: PrScore) {
+        self.correct += other.correct;
+        self.included += other.included;
+        self.total += other.total;
+    }
+}
+
+fn percent(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+/// First-layer equality for "correctly inferred" (concrete layers only).
+pub fn first_layer_match(inferred: &Type, gt: &Type) -> bool {
+    let (a, b) = (FirstLayer::of(inferred), FirstLayer::of(gt));
+    a == b && a.is_concrete()
+}
+
+/// Whether `fl` is covered by `upper_fl` in the first-layer order
+/// (`fl <: upper_fl`).
+fn covered_above(upper: FirstLayer, fl: FirstLayer) -> bool {
+    match (upper, fl) {
+        (FirstLayer::Top, _) => true,
+        (a, b) if a == b => true,
+        (FirstLayer::Reg(w), FirstLayer::Int(w2)) => w == w2,
+        (FirstLayer::Reg(Width::W32), FirstLayer::Float) => true,
+        (FirstLayer::Reg(Width::W64), FirstLayer::Double | FirstLayer::Ptr) => true,
+        (FirstLayer::Num(w), FirstLayer::Int(w2)) => w == w2,
+        (FirstLayer::Num(Width::W32), FirstLayer::Float) => true,
+        (FirstLayer::Num(Width::W64), FirstLayer::Double) => true,
+        _ => false,
+    }
+}
+
+/// Whether `lower_fl` lies below `fl` (`lower_fl <: fl`).
+fn covered_below(lower: FirstLayer, fl: FirstLayer) -> bool {
+    lower == FirstLayer::Bottom || covered_above(fl, lower) || lower == fl
+}
+
+/// Whether the interval's first-layer range includes the ground truth.
+pub fn interval_includes(interval: &TypeInterval, gt: &Type) -> bool {
+    if interval.is_unknown() || interval.is_any() {
+        return true;
+    }
+    let fl = FirstLayer::of(gt);
+    let (up, low) = (FirstLayer::of(&interval.upper), FirstLayer::of(&interval.lower));
+    // The lower bound may itself be an *abstract* class above the truth
+    // (e.g. a `num64` singleton includes `int64` as a member).
+    covered_above(up, fl) && (covered_below(low, fl) || covered_above(low, fl))
+}
+
+/// Scores one parameter result against its ground truth.
+pub fn score_param(result: Option<&TypeInterval>, gt: &Type) -> (bool, bool) {
+    match result {
+        None => (false, true), // unknown: any-type, includes the truth
+        Some(interval) => match interval.resolution() {
+            Resolution::Unknown => (false, true),
+            Resolution::Precise(t) => {
+                let correct = first_layer_match(&t, gt);
+                (correct, correct || interval_includes(interval, gt))
+            }
+            Resolution::Over => (false, interval_includes(interval, gt)),
+        },
+    }
+}
+
+/// Scores a full parameter map (tool output) against the ground truth,
+/// resolving truth keys (function names) to ids through `analysis`.
+pub fn score_params(
+    analysis: &ModuleAnalysis,
+    truth: &GroundTruth,
+    lookup: impl Fn(FuncId, usize) -> Option<TypeInterval>,
+) -> PrScore {
+    let by_name: BTreeMap<&str, FuncId> = analysis
+        .module()
+        .functions()
+        .map(|f| (f.name(), f.id()))
+        .collect();
+    let mut score = PrScore::default();
+    for (ParamKey { func, index }, gt) in &truth.param_types {
+        let Some(&fid) = by_name.get(func.as_str()) else {
+            continue;
+        };
+        let interval = lookup(fid, *index);
+        let (correct, included) = score_param(interval.as_ref(), gt);
+        score.total += 1;
+        score.correct += correct as usize;
+        score.included += included as usize;
+    }
+    score
+}
+
+/// Accumulated indirect-call metrics for one tool on one project.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct IcallScore {
+    /// Scored indirect call sites.
+    pub sites: usize,
+    /// Sum of tool target-set sizes.
+    pub targets_sum: usize,
+    /// Sum of ground-truth target-set sizes.
+    pub gt_sum: usize,
+    /// Address-taken candidate count.
+    pub at_count: usize,
+    /// Sum over sites of pruned-infeasible fractions.
+    pub precision_sum: f64,
+    /// Sum over sites of retained-feasible fractions.
+    pub recall_sum: f64,
+}
+
+impl IcallScore {
+    /// Average indirect-call targets (#AICT).
+    pub fn aict(&self) -> f64 {
+        if self.sites == 0 {
+            0.0
+        } else {
+            self.targets_sum as f64 / self.sites as f64
+        }
+    }
+
+    /// Source-level AICT.
+    pub fn source_aict(&self) -> f64 {
+        if self.sites == 0 {
+            0.0
+        } else {
+            self.gt_sum as f64 / self.sites as f64
+        }
+    }
+
+    /// Pruning precision in percent: pruned infeasible / all infeasible.
+    pub fn precision(&self) -> f64 {
+        if self.sites == 0 {
+            0.0
+        } else {
+            100.0 * self.precision_sum / self.sites as f64
+        }
+    }
+
+    /// Recall in percent: retained feasible / all feasible.
+    pub fn recall(&self) -> f64 {
+        if self.sites == 0 {
+            100.0
+        } else {
+            100.0 * self.recall_sum / self.sites as f64
+        }
+    }
+
+    /// Adds one site's outcome.
+    pub fn add_site(&mut self, tool_targets: &[String], gt: &std::collections::BTreeSet<String>, at_count: usize) {
+        self.sites += 1;
+        self.at_count = at_count;
+        self.targets_sum += tool_targets.len();
+        self.gt_sum += gt.len();
+        let infeasible = at_count.saturating_sub(gt.len());
+        let pruned = at_count.saturating_sub(tool_targets.len());
+        self.precision_sum += if infeasible == 0 {
+            1.0
+        } else {
+            (pruned.min(infeasible)) as f64 / infeasible as f64
+        };
+        let kept = tool_targets.iter().filter(|t| gt.contains(t.as_str())).count();
+        self.recall_sum += if gt.is_empty() { 1.0 } else { kept as f64 / gt.len() as f64 };
+    }
+}
+
+/// Bug-detection outcome counts for Table 5 / Figure 12.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BugScore {
+    /// Reports matching injected real bugs.
+    pub tp: usize,
+    /// Reports not matching any real bug.
+    pub fp: usize,
+    /// Real bugs with no report.
+    pub missed: usize,
+}
+
+impl BugScore {
+    /// Total reports.
+    pub fn reports(&self) -> usize {
+        self.tp + self.fp
+    }
+
+    /// False-positive rate in percent.
+    pub fn fpr(&self) -> f64 {
+        percent(self.fp, self.reports())
+    }
+
+    /// Precision fraction.
+    pub fn precision(&self) -> f64 {
+        if self.reports() == 0 {
+            0.0
+        } else {
+            self.tp as f64 / self.reports() as f64
+        }
+    }
+
+    /// Recall fraction.
+    pub fn recall(&self) -> f64 {
+        let real = self.tp + self.missed;
+        if real == 0 {
+            0.0
+        } else {
+            self.tp as f64 / real as f64
+        }
+    }
+
+    /// F1 in percent.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            100.0 * 2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Merges counts.
+    pub fn merge(&mut self, other: BugScore) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.missed += other.missed;
+    }
+}
+
+/// Scores deduplicated `(class, function)` reports against injected truth.
+pub fn score_bug_reports(
+    reports: &[(manta_clients::BugKind, String)],
+    truth: &GroundTruth,
+) -> BugScore {
+    use manta_clients::BugKind;
+    use manta_workloads::truth::BugClass;
+    let to_class = |k: BugKind| match k {
+        BugKind::Npd => BugClass::Npd,
+        BugKind::Rsa => BugClass::Rsa,
+        BugKind::Uaf => BugClass::Uaf,
+        BugKind::Cmi => BugClass::Cmi,
+        BugKind::Bof => BugClass::Bof,
+    };
+    let mut reports: Vec<_> = reports.to_vec();
+    reports.sort();
+    reports.dedup();
+    let mut score = BugScore::default();
+    let mut hit: std::collections::BTreeSet<(BugClass, &str)> = Default::default();
+    for (kind, func) in &reports {
+        let class = to_class(*kind);
+        let is_real = truth
+            .bugs
+            .iter()
+            .any(|b| b.real && b.class == class && &b.func == func);
+        if is_real {
+            score.tp += 1;
+            hit.insert((class, func.as_str()));
+        } else {
+            score.fp += 1;
+        }
+    }
+    score.missed = truth
+        .bugs
+        .iter()
+        .filter(|b| b.real && !hit.contains(&(b.class, b.func.as_str())))
+        .count();
+    score
+}
+
+/// Geometric mean of positive values.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manta_ir::Type;
+
+    #[test]
+    fn score_param_cases() {
+        let gt = Type::byte_ptr();
+        // Unknown counts recall only.
+        assert_eq!(score_param(None, &gt), (false, true));
+        // Correct precise counts both.
+        let exact = TypeInterval::exact(Type::ptr(Type::Bottom));
+        assert_eq!(score_param(Some(&exact), &gt), (true, true));
+        // Wrong precise counts neither.
+        let wrong = TypeInterval::exact(Type::Int(Width::W64));
+        assert_eq!(score_param(Some(&wrong), &gt), (false, false));
+        // Over-approximated range including the truth: recall only.
+        let mut range = TypeInterval::unknown();
+        range.absorb(&Type::Int(Width::W64));
+        range.absorb(&Type::byte_ptr());
+        assert_eq!(score_param(Some(&range), &gt), (false, true));
+        // Range NOT including the truth (32-bit numerics): neither.
+        let mut narrow = TypeInterval::unknown();
+        narrow.absorb(&Type::Int(Width::W32));
+        narrow.absorb(&Type::Float);
+        assert_eq!(score_param(Some(&narrow), &gt), (false, false));
+    }
+
+    #[test]
+    fn abstract_num_is_recall_not_precision() {
+        let gt = Type::Int(Width::W64);
+        let num = TypeInterval::exact(Type::Num(Width::W64));
+        let (c, i) = score_param(Some(&num), &gt);
+        assert!(!c);
+        assert!(i);
+    }
+
+    #[test]
+    fn icall_score_math() {
+        let mut s = IcallScore::default();
+        let gt: std::collections::BTreeSet<String> =
+            ["a", "b"].iter().map(|s| s.to_string()).collect();
+        // 10 candidates, tool kept 4 (both feasible among them).
+        s.add_site(
+            &["a".into(), "b".into(), "x".into(), "y".into()],
+            &gt,
+            10,
+        );
+        assert_eq!(s.aict(), 4.0);
+        assert_eq!(s.source_aict(), 2.0);
+        // pruned 6 of 8 infeasible = 75%
+        assert!((s.precision() - 75.0).abs() < 1e-9);
+        assert!((s.recall() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bug_score_math() {
+        use manta_clients::BugKind;
+        use manta_workloads::truth::{BugClass, InjectedBug};
+        let mut truth = GroundTruth::default();
+        truth.bugs.push(InjectedBug { class: BugClass::Cmi, func: "real1".into(), real: true });
+        truth.bugs.push(InjectedBug { class: BugClass::Cmi, func: "real2".into(), real: true });
+        truth.bugs.push(InjectedBug { class: BugClass::Cmi, func: "decoy".into(), real: false });
+        let reports = vec![
+            (BugKind::Cmi, "real1".to_string()),
+            (BugKind::Cmi, "decoy".to_string()),
+            (BugKind::Cmi, "noise".to_string()),
+        ];
+        let s = score_bug_reports(&reports, &truth);
+        assert_eq!((s.tp, s.fp, s.missed), (1, 2, 1));
+        assert!((s.fpr() - 66.666).abs() < 0.01);
+        assert!(s.f1() > 0.0);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean([4.0, 16.0]) - 8.0).abs() < 1e-9);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Suite loading: generate workloads and build their module analyses,
+//! in parallel across projects.
+
+use std::time::Instant;
+
+use manta_analysis::ModuleAnalysis;
+use manta_workloads::{
+    coreutils_suite, firmware_suite, generate_firmware, project_suite, GroundTruth, ProjectSpec,
+};
+
+/// A generated, analyzed project ready for experiments.
+#[derive(Debug)]
+pub struct ProjectData {
+    /// The project name.
+    pub name: String,
+    /// Nominal KLoC label.
+    pub kloc: f64,
+    /// The prepared analysis (preprocessing, points-to, DDG).
+    pub analysis: ModuleAnalysis,
+    /// The scoring oracle.
+    pub truth: GroundTruth,
+    /// Wall time to generate + analyze, in milliseconds.
+    pub build_ms: f64,
+}
+
+fn build_one(name: String, kloc: f64, module: manta_ir::Module, truth: GroundTruth) -> ProjectData {
+    let start = Instant::now();
+    let analysis = ModuleAnalysis::build(module);
+    let build_ms = start.elapsed().as_secs_f64() * 1e3;
+    ProjectData { name, kloc, analysis, truth, build_ms }
+}
+
+fn build_many(specs: Vec<ProjectSpec>) -> Vec<ProjectData> {
+    let mut out: Vec<Option<ProjectData>> = Vec::with_capacity(specs.len());
+    out.resize_with(specs.len(), || None);
+    let slots = parking_lot::Mutex::new(&mut out);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let work = parking_lot::Mutex::new(specs.into_iter().enumerate().collect::<Vec<_>>());
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(8) {
+            scope.spawn(|_| loop {
+                let job = work.lock().pop();
+                let Some((idx, spec)) = job else { break };
+                let generated = spec.generate();
+                let data = build_one(spec.name.clone(), spec.kloc, generated.module, generated.truth);
+                slots.lock()[idx] = Some(data);
+            });
+        }
+    })
+    .expect("suite build threads");
+    out.into_iter().map(|d| d.expect("all projects built")).collect()
+}
+
+/// Generates and analyzes the 14-project suite.
+pub fn load_projects() -> Vec<ProjectData> {
+    build_many(project_suite())
+}
+
+/// Generates and analyzes the 104-binary coreutils-like suite.
+pub fn load_coreutils() -> Vec<ProjectData> {
+    build_many(coreutils_suite())
+}
+
+/// Generates and analyzes the nine firmware images.
+pub fn load_firmware() -> Vec<ProjectData> {
+    firmware_suite()
+        .into_iter()
+        .map(|spec| {
+            let g = generate_firmware(&spec);
+            build_one(spec.name.clone(), 0.0, g.module, g.truth)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_firmware_suite() {
+        let fw = load_firmware();
+        assert_eq!(fw.len(), 9);
+        assert!(fw.iter().all(|p| !p.truth.bugs.is_empty()));
+    }
+}

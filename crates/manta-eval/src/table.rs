@@ -1,0 +1,82 @@
+//! Minimal fixed-width text table rendering for experiment output.
+
+/// A text table under construction.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len().max(
+            self.rows.iter().map(Vec::len).max().unwrap_or(0),
+        );
+        let mut width = vec![0usize; cols];
+        let all = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], out: &mut String| {
+            for (i, w) in width.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{cell:>w$}"));
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &mut out);
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a float with one decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["alpha".into(), "1.0".into()]);
+        t.row(vec!["b".into(), "123.4".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("1.0"));
+        assert!(lines[3].ends_with("123.4"));
+    }
+}

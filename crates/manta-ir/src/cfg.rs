@@ -1,0 +1,205 @@
+//! Control-flow-graph utilities: predecessors, successors, reverse
+//! post-order, reachability and back-edge detection.
+
+use std::collections::HashSet;
+
+use crate::function::Function;
+use crate::ids::BlockId;
+
+/// Precomputed CFG adjacency for one function.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    entry: BlockId,
+}
+
+impl Cfg {
+    /// Computes the CFG of `func`.
+    pub fn new(func: &Function) -> Cfg {
+        let n = func.block_count();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for block in func.blocks() {
+            for s in block.term.successors() {
+                succs[block.id.index()].push(s);
+                preds[s.index()].push(block.id);
+            }
+        }
+        let rpo = reverse_post_order(func.entry(), &succs);
+        Cfg { preds, succs, rpo, entry: func.entry() }
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Blocks in reverse post-order from the entry (unreachable blocks are
+    /// excluded).
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo.contains(&b)
+    }
+
+    /// All back edges `(from, to)` where `to` is an ancestor of `from` on
+    /// the DFS spanning tree (the heads of natural loops).
+    pub fn back_edges(&self) -> Vec<(BlockId, BlockId)> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum State {
+            Unvisited,
+            Active,
+            Done,
+        }
+        let n = self.succs.len();
+        let mut state = vec![State::Unvisited; n];
+        let mut out = Vec::new();
+        // Iterative DFS with explicit edge stack to track the active path.
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry, 0)];
+        state[self.entry.index()] = State::Active;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs = &self.succs[b.index()];
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                match state[s.index()] {
+                    State::Active => out.push((b, s)),
+                    State::Unvisited => {
+                        state[s.index()] = State::Active;
+                        stack.push((s, 0));
+                    }
+                    State::Done => {}
+                }
+            } else {
+                state[b.index()] = State::Done;
+                stack.pop();
+            }
+        }
+        out
+    }
+
+    /// Whether the reachable CFG contains any cycle.
+    pub fn has_cycle(&self) -> bool {
+        !self.back_edges().is_empty()
+    }
+}
+
+fn reverse_post_order(entry: BlockId, succs: &[Vec<BlockId>]) -> Vec<BlockId> {
+    let mut visited: HashSet<BlockId> = HashSet::new();
+    let mut post = Vec::new();
+    // Iterative post-order DFS.
+    let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+    visited.insert(entry);
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        let ss = &succs[b.index()];
+        if *next < ss.len() {
+            let s = ss[*next];
+            *next += 1;
+            if visited.insert(s) {
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::inst::CmpPred;
+    use crate::types::Width;
+
+    /// entry -> loop_head <-> loop_body; loop_head -> exit
+    fn looped_function() -> crate::Module {
+        let mut mb = ModuleBuilder::new("m");
+        let (_, mut fb) = mb.function("loopy", &[Width::W64], Some(Width::W64));
+        let p = fb.param(0);
+        let entry = fb.current_block();
+        let head = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.br(head);
+        fb.switch_to(head);
+        let zero = fb.const_int(0, Width::W64);
+        let c = fb.cmp(CmpPred::Gt, p, zero);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        fb.br(head);
+        fb.switch_to(exit);
+        fb.ret(Some(p));
+        assert_eq!(entry.index(), 0);
+        mb.finish_function(fb);
+        mb.finish()
+    }
+
+    #[test]
+    fn preds_succs_and_rpo() {
+        let m = looped_function();
+        let f = m.function_by_name("loopy").unwrap();
+        let cfg = Cfg::new(f);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1)]);
+        assert_eq!(cfg.preds(BlockId(1)).len(), 2); // entry + body
+        assert_eq!(cfg.rpo().first(), Some(&BlockId(0)));
+        assert_eq!(cfg.rpo().len(), 4);
+        assert!(cfg.is_reachable(BlockId(3)));
+    }
+
+    #[test]
+    fn detects_back_edge() {
+        let m = looped_function();
+        let f = m.function_by_name("loopy").unwrap();
+        let cfg = Cfg::new(f);
+        assert!(cfg.has_cycle());
+        assert_eq!(cfg.back_edges(), vec![(BlockId(2), BlockId(1))]);
+    }
+
+    #[test]
+    fn acyclic_function_has_no_back_edge() {
+        let mut mb = ModuleBuilder::new("m");
+        let (_, mut fb) = mb.function("f", &[], None);
+        let next = fb.new_block();
+        fb.br(next);
+        fb.switch_to(next);
+        fb.ret(None);
+        mb.finish_function(fb);
+        let m = mb.finish();
+        let cfg = Cfg::new(m.function_by_name("f").unwrap());
+        assert!(!cfg.has_cycle());
+        assert!(cfg.back_edges().is_empty());
+    }
+
+    #[test]
+    fn unreachable_block_excluded_from_rpo() {
+        let mut mb = ModuleBuilder::new("m");
+        let (_, mut fb) = mb.function("f", &[], None);
+        let dead = fb.new_block();
+        fb.ret(None);
+        fb.switch_to(dead);
+        fb.ret(None);
+        mb.finish_function(fb);
+        let m = mb.finish();
+        let cfg = Cfg::new(m.function_by_name("f").unwrap());
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.rpo().len(), 1);
+    }
+}

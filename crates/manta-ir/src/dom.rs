@@ -1,0 +1,183 @@
+//! Dominator-tree computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::cfg::Cfg;
+use crate::ids::BlockId;
+
+/// Immediate-dominator table for one function's CFG.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    idom: Vec<Option<BlockId>>,
+    rpo_index: Vec<usize>,
+}
+
+impl Dominators {
+    /// Computes dominators over `cfg`.
+    pub fn new(cfg: &Cfg) -> Dominators {
+        let n_blocks = cfg
+            .rpo()
+            .iter()
+            .map(|b| b.index() + 1)
+            .max()
+            .unwrap_or(1)
+            .max(cfg.entry().index() + 1);
+        let mut rpo_index = vec![usize::MAX; n_blocks];
+        for (i, b) in cfg.rpo().iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; n_blocks];
+        idom[cfg.entry().index()] = Some(cfg.entry());
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo().iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom, rpo_index }
+    }
+
+    /// The immediate dominator of `b` (the entry dominates itself).
+    /// `None` for unreachable blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom.get(b.index()).copied().flatten()
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(i) if i != cur => cur = i,
+                _ => return false,
+            }
+        }
+    }
+
+    /// The reverse-post-order index of `b`, if reachable.
+    pub fn rpo_index(&self, b: BlockId) -> Option<usize> {
+        self.rpo_index
+            .get(b.index())
+            .copied()
+            .filter(|&i| i != usize::MAX)
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("intersect: unprocessed block");
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("intersect: unprocessed block");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::inst::CmpPred;
+    use crate::types::Width;
+
+    #[test]
+    fn loop_head_dominates_body_and_exit() {
+        // entry -> head; head -> body|exit; body -> head
+        let mut mb = ModuleBuilder::new("m");
+        let (_, mut fb) = mb.function("f", &[Width::W64], Some(Width::W64));
+        let p = fb.param(0);
+        let head = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.br(head);
+        fb.switch_to(head);
+        let zero = fb.const_int(0, Width::W64);
+        let c = fb.cmp(CmpPred::Gt, p, zero);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        fb.br(head);
+        fb.switch_to(exit);
+        fb.ret(Some(p));
+        mb.finish_function(fb);
+        let m = mb.finish();
+        let cfg = Cfg::new(m.function_by_name("f").unwrap());
+        let dom = Dominators::new(&cfg);
+        assert!(dom.dominates(head, body));
+        assert!(dom.dominates(head, exit));
+        assert!(!dom.dominates(body, exit));
+        assert_eq!(dom.idom(head), Some(BlockId(0)));
+        assert!(dom.rpo_index(head).is_some());
+    }
+
+    #[test]
+    fn unreachable_block_has_no_idom() {
+        let mut mb = ModuleBuilder::new("m");
+        let (_, mut fb) = mb.function("f", &[], None);
+        let dead = fb.new_block();
+        fb.ret(None);
+        fb.switch_to(dead);
+        fb.ret(None);
+        mb.finish_function(fb);
+        let m = mb.finish();
+        let cfg = Cfg::new(m.function_by_name("f").unwrap());
+        let dom = Dominators::new(&cfg);
+        assert_eq!(dom.idom(dead), None);
+        assert_eq!(dom.rpo_index(dead), None);
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        // bb0 -> bb1, bb2; bb1,bb2 -> bb3
+        let mut mb = ModuleBuilder::new("m");
+        let (_, mut fb) = mb.function("f", &[Width::W64], Some(Width::W64));
+        let p = fb.param(0);
+        let zero = fb.const_int(0, Width::W64);
+        let c = fb.cmp(CmpPred::Eq, p, zero);
+        let t = fb.new_block();
+        let e = fb.new_block();
+        let j = fb.new_block();
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        fb.br(j);
+        fb.switch_to(e);
+        fb.br(j);
+        fb.switch_to(j);
+        fb.ret(Some(p));
+        mb.finish_function(fb);
+        let m = mb.finish();
+        let f = m.function_by_name("f").unwrap();
+        let cfg = Cfg::new(f);
+        let dom = Dominators::new(&cfg);
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(0)));
+        // Join point is dominated by the entry, not by either branch arm.
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(dom.dominates(BlockId(3), BlockId(3)));
+    }
+}

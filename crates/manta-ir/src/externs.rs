@@ -1,0 +1,239 @@
+//! External function declarations.
+//!
+//! Calls to *type-known* external functions (e.g. `malloc`) are the main
+//! type-revealing instructions of Table 1 rule ④. Each declaration carries
+//! an optional known [`FuncSig`]; unmodeled externals (`sig == None`)
+//! provide no hints, which is one of the paper's documented sources of
+//! recall loss (§6.4).
+//!
+//! Declarations also carry an [`ExternEffect`] consumed by the points-to
+//! analysis (heap allocation) and the bug checkers (taint sources, command
+//! sinks, frees, …).
+
+use crate::ids::ExternId;
+use crate::types::{FuncSig, Type, Width};
+
+/// Behavioural classification of an external function, consumed by the
+/// points-to analysis and the §5.3 bug checkers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum ExternEffect {
+    /// Returns a fresh heap object (`malloc`, `calloc`).
+    AllocHeap,
+    /// Frees its first pointer argument (`free`) — UAF source.
+    FreeHeap,
+    /// Reads attacker-controlled input into/through its return value
+    /// (`nvram_get`, `getenv`, `recv`-style) — taint source for CMI/BOF.
+    TaintSource,
+    /// Executes its first argument as a shell command (`system`) — CMI sink.
+    CommandSink,
+    /// Copies a string from arg1 into arg0 without bounds (`strcpy`) — BOF
+    /// sink when arg0 is a fixed-size buffer and arg1 is tainted.
+    StrCopy,
+    /// Parses a string to an integer (`atoi`) — sanitizes taint for CMI.
+    IntParse,
+    /// Formats/prints; reveals nothing about memory.
+    Format,
+    /// Pure helper with no memory effect.
+    Pure,
+    /// Terminates the program (`exit`).
+    Exit,
+    /// Unmodeled: the analysis knows nothing about it.
+    Unknown,
+}
+
+/// An external function declaration.
+#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ExternDecl {
+    /// This declaration's id.
+    pub id: ExternId,
+    /// Symbol name.
+    pub name: String,
+    /// Machine widths of the parameters (always recoverable from the ABI).
+    pub param_widths: Vec<Width>,
+    /// Machine width of the return value, or `None` for void.
+    pub ret_width: Option<Width>,
+    /// Known source signature, if this external is modeled (rule ④ hints).
+    pub sig: Option<FuncSig>,
+    /// Behavioural effect.
+    pub effect: ExternEffect,
+}
+
+/// The registry of well-known external functions shared by the lifter, the
+/// workload generator and the analyses.
+#[derive(Clone, Debug, Default)]
+pub struct ExternRegistry;
+
+impl ExternRegistry {
+    /// Builds the declaration for a well-known name, or an [`Unknown`]
+    /// declaration with the given widths for anything unrecognized.
+    ///
+    /// [`Unknown`]: ExternEffect::Unknown
+    pub fn declare(
+        id: ExternId,
+        name: &str,
+        fallback_params: &[Width],
+        fallback_ret: Option<Width>,
+    ) -> ExternDecl {
+        let w64 = Width::W64;
+        let i64t = Type::Int(Width::W64);
+        let i32t = Type::Int(Width::W32);
+        let cstr = Type::byte_ptr;
+        let (param_widths, ret_width, sig, effect): (
+            Vec<Width>,
+            Option<Width>,
+            Option<FuncSig>,
+            ExternEffect,
+        ) = match name {
+            "malloc" => (
+                vec![w64],
+                Some(w64),
+                Some(FuncSig::new(vec![i64t.clone()], cstr())),
+                ExternEffect::AllocHeap,
+            ),
+            "calloc" => (
+                vec![w64, w64],
+                Some(w64),
+                Some(FuncSig::new(vec![i64t.clone(), i64t.clone()], cstr())),
+                ExternEffect::AllocHeap,
+            ),
+            "free" => (
+                vec![w64],
+                None,
+                Some(FuncSig::new(vec![cstr()], Type::Bottom)),
+                ExternEffect::FreeHeap,
+            ),
+            "printf_s" => (
+                // `printf("%s", p)` lifted with the pointer vararg made
+                // explicit: reveals arg1 : ptr(i8).
+                vec![w64, w64],
+                Some(Width::W32),
+                Some(FuncSig::new(vec![cstr(), cstr()], i32t.clone())),
+                ExternEffect::Format,
+            ),
+            "printf_d" => (
+                // `printf("%ld", n)`: reveals arg1 : int64.
+                vec![w64, w64],
+                Some(Width::W32),
+                Some(FuncSig::new(vec![cstr(), i64t.clone()], i32t.clone())),
+                ExternEffect::Format,
+            ),
+            "system" => (
+                vec![w64],
+                Some(Width::W32),
+                Some(FuncSig::new(vec![cstr()], i32t.clone())),
+                ExternEffect::CommandSink,
+            ),
+            "strcpy" => (
+                vec![w64, w64],
+                Some(w64),
+                Some(FuncSig::new(vec![cstr(), cstr()], cstr())),
+                ExternEffect::StrCopy,
+            ),
+            "strlen" => (
+                vec![w64],
+                Some(w64),
+                Some(FuncSig::new(vec![cstr()], i64t.clone())),
+                ExternEffect::Pure,
+            ),
+            "atoi" => (
+                vec![w64],
+                Some(Width::W32),
+                Some(FuncSig::new(vec![cstr()], i32t.clone())),
+                ExternEffect::IntParse,
+            ),
+            "atol" => (
+                vec![w64],
+                Some(w64),
+                Some(FuncSig::new(vec![cstr()], i64t.clone())),
+                ExternEffect::IntParse,
+            ),
+            "nvram_get" | "getenv" => (
+                vec![w64],
+                Some(w64),
+                Some(FuncSig::new(vec![cstr()], cstr())),
+                ExternEffect::TaintSource,
+            ),
+            "recv_str" => (
+                vec![],
+                Some(w64),
+                Some(FuncSig::new(vec![], cstr())),
+                ExternEffect::TaintSource,
+            ),
+            "exit" => (
+                vec![w64],
+                None,
+                Some(FuncSig::new(vec![i32t.clone()], Type::Bottom)),
+                ExternEffect::Exit,
+            ),
+            "fabs" => (
+                vec![w64],
+                Some(w64),
+                Some(FuncSig::new(vec![Type::Double], Type::Double)),
+                ExternEffect::Pure,
+            ),
+            "fabsf" => (
+                vec![Width::W32],
+                Some(Width::W32),
+                Some(FuncSig::new(vec![Type::Float], Type::Float)),
+                ExternEffect::Pure,
+            ),
+            _ => (
+                fallback_params.to_vec(),
+                fallback_ret,
+                None,
+                ExternEffect::Unknown,
+            ),
+        };
+        ExternDecl { id, name: name.to_string(), param_widths, ret_width, sig, effect }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malloc_is_modeled_alloc() {
+        let d = ExternRegistry::declare(ExternId(0), "malloc", &[], None);
+        assert_eq!(d.effect, ExternEffect::AllocHeap);
+        let sig = d.sig.expect("malloc must be modeled");
+        assert!(sig.ret.is_pointer());
+        assert_eq!(sig.params, vec![Type::Int(Width::W64)]);
+    }
+
+    #[test]
+    fn unknown_extern_has_no_signature() {
+        let d = ExternRegistry::declare(ExternId(1), "vendor_blob", &[Width::W64], Some(Width::W64));
+        assert_eq!(d.effect, ExternEffect::Unknown);
+        assert!(d.sig.is_none());
+        assert_eq!(d.param_widths, vec![Width::W64]);
+    }
+
+    #[test]
+    fn taint_and_sink_classification() {
+        assert_eq!(
+            ExternRegistry::declare(ExternId(0), "nvram_get", &[], None).effect,
+            ExternEffect::TaintSource
+        );
+        assert_eq!(
+            ExternRegistry::declare(ExternId(0), "system", &[], None).effect,
+            ExternEffect::CommandSink
+        );
+        assert_eq!(
+            ExternRegistry::declare(ExternId(0), "strcpy", &[], None).effect,
+            ExternEffect::StrCopy
+        );
+        assert_eq!(
+            ExternRegistry::declare(ExternId(0), "atoi", &[], None).effect,
+            ExternEffect::IntParse
+        );
+    }
+
+    #[test]
+    fn printf_variants_reveal_different_arg_types() {
+        let ps = ExternRegistry::declare(ExternId(0), "printf_s", &[], None);
+        let pd = ExternRegistry::declare(ExternId(0), "printf_d", &[], None);
+        assert!(ps.sig.unwrap().params[1].is_pointer());
+        assert!(pd.sig.unwrap().params[1].is_numeric());
+    }
+}

@@ -1,0 +1,103 @@
+//! Strongly-typed index newtypes for IR entities.
+//!
+//! All IR containers are arena-style `Vec`s indexed by these ids. Ids are
+//! plain `u32` indices wrapped in newtypes so that, e.g., a [`BlockId`] can
+//! never be used where a [`ValueId`] is expected (C-NEWTYPE).
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            serde::Serialize, serde::Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index of this id.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an id from a raw index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index overflow"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a function within a [`crate::Module`].
+    FuncId, "f"
+);
+define_id!(
+    /// Identifies a basic block within a [`crate::Function`].
+    BlockId, "bb"
+);
+define_id!(
+    /// Identifies an SSA value within a [`crate::Function`].
+    ///
+    /// Values are function-local: two functions may both have a `v0`.
+    ValueId, "v"
+);
+define_id!(
+    /// Identifies an instruction within a [`crate::Function`].
+    InstId, "i"
+);
+define_id!(
+    /// Identifies a global variable within a [`crate::Module`].
+    GlobalId, "g"
+);
+define_id!(
+    /// Identifies an external function declaration within a [`crate::Module`].
+    ExternId, "e"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let v = ValueId::from_index(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, ValueId(42));
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(ValueId(3).to_string(), "v3");
+        assert_eq!(BlockId(0).to_string(), "bb0");
+        assert_eq!(FuncId(7).to_string(), "f7");
+        assert_eq!(format!("{:?}", InstId(9)), "i9");
+        assert_eq!(GlobalId(1).to_string(), "g1");
+        assert_eq!(ExternId(2).to_string(), "e2");
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(ValueId(1) < ValueId(2));
+        assert!(BlockId(0) < BlockId(10));
+    }
+}

@@ -1,0 +1,663 @@
+//! Textual IR parser — the inverse of [`crate::printer`].
+//!
+//! The grammar is line-oriented:
+//!
+//! ```text
+//! module <name>
+//! extern <name>(<w>, …) -> <w|void>
+//! global <name> <size>
+//! func <name>(<w>, …) -> <w|void> [addrtaken] {
+//! bb<N>:
+//!   v<K> = copy.<w> <opnd>
+//!   v<K> = phi.<w> [bb<N>: <opnd>, …]
+//!   v<K> = load.<w> <opnd>
+//!   store <opnd>, <opnd>
+//!   v<K> = alloca <size>
+//!   v<K> = gep <opnd>, <offset>
+//!   v<K> = <binop>.<w> <opnd>, <opnd>
+//!   v<K> = cmp.<pred> <opnd>, <opnd>
+//!   [v<K> =] call[.<w>] @<func>|!<extern>(<opnd>, …)
+//!   [v<K> =] icall[.<w>] <opnd>(<opnd>, …)
+//!   br bb<N> | condbr <opnd>, bb<N>, bb<N> | ret [<opnd>] | unreachable
+//! }
+//! ```
+//!
+//! Operands: `p<N>` (parameter), `v<K>` (instruction result), `<int>:i<w>`,
+//! `<float>:f<w>`, `null`, `g.<global>`, `fn.<function>`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::externs::ExternRegistry;
+use crate::function::{Function, Terminator};
+use crate::ids::{BlockId, FuncId, ValueId};
+use crate::inst::{BinOp, Callee, CmpPred, InstKind};
+use crate::module::Module;
+use crate::types::Width;
+use crate::value::{ConstKind, Value, ValueKind};
+
+/// A parse failure with its 1-based source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T> {
+    Err(ParseError { line, message: message.into() })
+}
+
+fn parse_width(line: usize, tok: &str) -> Result<Width> {
+    let bits: u32 = tok
+        .strip_prefix('w')
+        .and_then(|s| s.parse().ok())
+        .ok_or(ParseError { line, message: format!("bad width `{tok}`") })?;
+    Width::from_bits(bits).ok_or(ParseError { line, message: format!("bad width `{tok}`") })
+}
+
+fn parse_ret(line: usize, tok: &str) -> Result<Option<Width>> {
+    if tok == "void" {
+        Ok(None)
+    } else {
+        parse_width(line, tok).map(Some)
+    }
+}
+
+struct FuncHeader {
+    name: String,
+    params: Vec<Width>,
+    ret: Option<Width>,
+    addrtaken: bool,
+    body: Vec<(usize, String)>,
+}
+
+/// Parses the canonical textual format into a [`Module`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] pointing at the offending line.
+pub fn parse_module(text: &str) -> Result<Module> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with(';'));
+
+    let (ln, first) = lines.next().ok_or(ParseError { line: 0, message: "empty input".into() })?;
+    let name = first
+        .strip_prefix("module ")
+        .ok_or(ParseError { line: ln, message: "expected `module <name>`".into() })?;
+    let mut module = Module::new(name.trim());
+
+    let mut headers: Vec<FuncHeader> = Vec::new();
+    let mut in_func = false;
+    for (ln, line) in lines {
+        if in_func {
+            if line == "}" {
+                in_func = false;
+            } else {
+                headers.last_mut().expect("in_func implies a header").body.push((ln, line.to_string()));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("extern ") {
+            let (name, params, ret) = parse_sig(ln, rest.trim_end())?;
+            let id = module.next_extern_id();
+            module.push_extern(ExternRegistry::declare(id, &name, &params, ret));
+        } else if let Some(rest) = line.strip_prefix("global ") {
+            let mut it = rest.split_whitespace();
+            let gname = it.next().ok_or(ParseError { line: ln, message: "global name".into() })?;
+            let size: u64 = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(ParseError { line: ln, message: "global size".into() })?;
+            module.push_global(gname.to_string(), size);
+        } else if let Some(rest) = line.strip_prefix("func ") {
+            let rest = rest
+                .strip_suffix('{')
+                .ok_or(ParseError { line: ln, message: "expected `{` ending func header".into() })?
+                .trim_end();
+            let (rest, addrtaken) = match rest.strip_suffix("addrtaken") {
+                Some(r) => (r.trim_end(), true),
+                None => (rest, false),
+            };
+            let (name, params, ret) = parse_sig(ln, rest)?;
+            headers.push(FuncHeader { name, params, ret, addrtaken, body: Vec::new() });
+            in_func = true;
+        } else {
+            return err(ln, format!("unexpected top-level line `{line}`"));
+        }
+    }
+    if in_func {
+        return err(usize::MAX, "unterminated function body");
+    }
+
+    let func_ids: HashMap<String, FuncId> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| (h.name.clone(), FuncId::from_index(i)))
+        .collect();
+
+    for (i, header) in headers.iter().enumerate() {
+        let mut func = Function::new(
+            FuncId::from_index(i),
+            header.name.clone(),
+            &header.params,
+            header.ret,
+        );
+        func.set_address_taken(header.addrtaken);
+        parse_body(&mut func, header, &module, &func_ids)?;
+        module.push_function(func);
+    }
+    Ok(module)
+}
+
+/// Parses `name(w64, w32) -> w64`.
+fn parse_sig(ln: usize, s: &str) -> Result<(String, Vec<Width>, Option<Width>)> {
+    let open = s.find('(').ok_or(ParseError { line: ln, message: "expected `(`".into() })?;
+    let close = s.rfind(')').ok_or(ParseError { line: ln, message: "expected `)`".into() })?;
+    let name = s[..open].trim().to_string();
+    let params_s = &s[open + 1..close];
+    let params = if params_s.trim().is_empty() {
+        Vec::new()
+    } else {
+        params_s
+            .split(',')
+            .map(|t| parse_width(ln, t.trim()))
+            .collect::<Result<Vec<_>>>()?
+    };
+    let arrow = s[close..]
+        .find("->")
+        .ok_or(ParseError { line: ln, message: "expected `->`".into() })?;
+    let ret = parse_ret(ln, s[close + arrow + 2..].trim())?;
+    Ok((name, params, ret))
+}
+
+struct BodyCtx<'a> {
+    module: &'a Module,
+    func_ids: &'a HashMap<String, FuncId>,
+    defs: Vec<ValueId>,
+    consts: HashMap<String, ValueId>,
+}
+
+fn parse_body(
+    func: &mut Function,
+    header: &FuncHeader,
+    module: &Module,
+    func_ids: &HashMap<String, FuncId>,
+) -> Result<()> {
+    // Pass 1: discover blocks and defining lines.
+    let mut max_block = 0usize;
+    // def number -> (line, width, inst index)
+    let mut def_specs: Vec<Option<(usize, Width, usize)>> = Vec::new();
+    let mut inst_counter = 0usize;
+    for (ln, line) in &header.body {
+        if let Some(bb) = line.strip_suffix(':') {
+            let n: usize = bb
+                .strip_prefix("bb")
+                .and_then(|s| s.parse().ok())
+                .ok_or(ParseError { line: *ln, message: format!("bad block label `{line}`") })?;
+            max_block = max_block.max(n);
+            continue;
+        }
+        let word = line.split_whitespace().next().unwrap_or("");
+        if matches!(word, "br" | "condbr" | "ret" | "unreachable") {
+            // Terminator lines may still reference blocks forward.
+            for tok in line.split(|c: char| c == ',' || c.is_whitespace()) {
+                if let Some(n) = tok.strip_prefix("bb").and_then(|s| s.parse::<usize>().ok()) {
+                    max_block = max_block.max(n);
+                }
+            }
+            continue;
+        }
+        // Instruction line.
+        if let Some((def, rhs)) = line.split_once('=') {
+            let def = def.trim();
+            let k: usize = def
+                .strip_prefix('v')
+                .and_then(|s| s.parse().ok())
+                .ok_or(ParseError { line: *ln, message: format!("bad def `{def}`") })?;
+            if k >= def_specs.len() {
+                def_specs.resize(k + 1, None);
+            }
+            if def_specs[k].is_some() {
+                return err(*ln, format!("duplicate definition of v{k}"));
+            }
+            let width = def_width(*ln, rhs.trim())?;
+            def_specs[k] = Some((*ln, width, inst_counter));
+        }
+        inst_counter += 1;
+    }
+    // Forward-reference blocks inside phi incomings as well.
+    for (_, line) in &header.body {
+        if line.contains("= phi.") {
+            if let (Some(o), Some(c)) = (line.find('['), line.rfind(']')) {
+                for pair in line[o + 1..c].split(',') {
+                    if let Some((bb, _)) = pair.split_once(':') {
+                        if let Some(n) =
+                            bb.trim().strip_prefix("bb").and_then(|s| s.parse::<usize>().ok())
+                        {
+                            max_block = max_block.max(n);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    while func.block_count() <= max_block {
+        func.add_block();
+    }
+
+    // Pre-create def values so forward references (loops/phis) resolve.
+    let mut defs = Vec::with_capacity(def_specs.len());
+    for (k, spec) in def_specs.iter().enumerate() {
+        let (_, width, inst_index) =
+            spec.ok_or(ParseError { line: 0, message: format!("v{k} referenced but never defined") })?;
+        let inst = crate::ids::InstId::from_index(inst_index);
+        defs.push(func.add_value(Value { kind: ValueKind::Inst { def: inst }, width }));
+    }
+
+    let mut ctx = BodyCtx { module, func_ids, defs, consts: HashMap::new() };
+
+    // Pass 2: emit instructions and terminators.
+    let mut current = func.entry();
+    for (ln, line) in &header.body {
+        if let Some(bb) = line.strip_suffix(':') {
+            let n: usize = bb.strip_prefix("bb").unwrap().parse().unwrap();
+            current = BlockId::from_index(n);
+            continue;
+        }
+        let word = line.split_whitespace().next().unwrap_or("");
+        match word {
+            "br" => {
+                let t = parse_block_ref(*ln, line[2..].trim())?;
+                func.replace_terminator(current, Terminator::Br(t));
+            }
+            "condbr" => {
+                let rest = line["condbr".len()..].trim();
+                let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+                if parts.len() != 3 {
+                    return err(*ln, "condbr expects 3 operands");
+                }
+                let cond = parse_operand(func, &mut ctx, *ln, parts[0])?;
+                let t = parse_block_ref(*ln, parts[1])?;
+                let e = parse_block_ref(*ln, parts[2])?;
+                func.replace_terminator(
+                    current,
+                    Terminator::CondBr { cond, then_bb: t, else_bb: e },
+                );
+            }
+            "ret" => {
+                let rest = line[3..].trim();
+                let val = if rest.is_empty() {
+                    None
+                } else {
+                    Some(parse_operand(func, &mut ctx, *ln, rest)?)
+                };
+                func.replace_terminator(current, Terminator::Ret(val));
+            }
+            "unreachable" => {
+                func.replace_terminator(current, Terminator::Unreachable);
+            }
+            _ => {
+                let kind = parse_inst(func, &mut ctx, *ln, line)?;
+                func.append_inst(current, kind);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Determines the width of the value defined by the right-hand side `rhs`.
+fn def_width(ln: usize, rhs: &str) -> Result<Width> {
+    let mnemonic = rhs.split_whitespace().next().unwrap_or("");
+    let (op, suffix) = match mnemonic.split_once('.') {
+        Some((o, s)) => (o, Some(s)),
+        None => (mnemonic, None),
+    };
+    match op {
+        "alloca" | "gep" => Ok(Width::W64),
+        "cmp" => Ok(Width::W1),
+        _ => {
+            let s = suffix
+                .ok_or(ParseError { line: ln, message: format!("`{op}` needs a width suffix") })?;
+            parse_width(ln, s)
+        }
+    }
+}
+
+fn parse_block_ref(ln: usize, tok: &str) -> Result<BlockId> {
+    tok.strip_prefix("bb")
+        .and_then(|s| s.parse::<usize>().ok())
+        .map(BlockId::from_index)
+        .ok_or(ParseError { line: ln, message: format!("bad block ref `{tok}`") })
+}
+
+fn parse_operand(func: &mut Function, ctx: &mut BodyCtx<'_>, ln: usize, tok: &str) -> Result<ValueId> {
+    let tok = tok.trim();
+    if let Some(n) = tok.strip_prefix('p').and_then(|s| s.parse::<usize>().ok()) {
+        return func
+            .params()
+            .get(n)
+            .copied()
+            .ok_or(ParseError { line: ln, message: format!("no parameter p{n}") });
+    }
+    if let Some(k) = tok.strip_prefix('v').and_then(|s| s.parse::<usize>().ok()) {
+        return ctx
+            .defs
+            .get(k)
+            .copied()
+            .ok_or(ParseError { line: ln, message: format!("undefined value v{k}") });
+    }
+    if let Some(v) = ctx.consts.get(tok) {
+        return Ok(*v);
+    }
+    let value = if tok == "null" {
+        Value { kind: ValueKind::Const(ConstKind::Null), width: Width::W64 }
+    } else if tok == "undef" {
+        Value { kind: ValueKind::Const(ConstKind::Undef), width: Width::W64 }
+    } else if let Some(gname) = tok.strip_prefix("g.") {
+        let g = ctx
+            .module
+            .globals()
+            .find(|g| g.name == gname)
+            .ok_or(ParseError { line: ln, message: format!("unknown global `{gname}`") })?;
+        Value { kind: ValueKind::GlobalAddr(g.id), width: Width::W64 }
+    } else if let Some(fname) = tok.strip_prefix("fn.") {
+        let f = ctx
+            .func_ids
+            .get(fname)
+            .ok_or(ParseError { line: ln, message: format!("unknown function `{fname}`") })?;
+        Value { kind: ValueKind::FuncAddr(*f), width: Width::W64 }
+    } else if let Some((lit, ty)) = tok.rsplit_once(':') {
+        if let Some(bits) = ty.strip_prefix('i') {
+            let w = Width::from_bits(bits.parse().map_err(|_| ParseError {
+                line: ln,
+                message: format!("bad const type `{ty}`"),
+            })?)
+            .ok_or(ParseError { line: ln, message: format!("bad const width `{ty}`") })?;
+            let v: i64 = lit
+                .parse()
+                .map_err(|_| ParseError { line: ln, message: format!("bad int `{lit}`") })?;
+            Value { kind: ValueKind::Const(ConstKind::Int(v)), width: w }
+        } else if let Some(bits) = ty.strip_prefix('f') {
+            let w = Width::from_bits(bits.parse().map_err(|_| ParseError {
+                line: ln,
+                message: format!("bad const type `{ty}`"),
+            })?)
+            .ok_or(ParseError { line: ln, message: format!("bad const width `{ty}`") })?;
+            let v: f64 = lit
+                .parse()
+                .map_err(|_| ParseError { line: ln, message: format!("bad float `{lit}`") })?;
+            Value { kind: ValueKind::Const(ConstKind::Float(v)), width: w }
+        } else {
+            return err(ln, format!("bad operand `{tok}`"));
+        }
+    } else {
+        return err(ln, format!("bad operand `{tok}`"));
+    };
+    let id = func.add_value(value);
+    ctx.consts.insert(tok.to_string(), id);
+    Ok(id)
+}
+
+fn next_def(ctx: &mut BodyCtx<'_>, ln: usize, lhs: &str) -> Result<ValueId> {
+    let k: usize = lhs
+        .trim()
+        .strip_prefix('v')
+        .and_then(|s| s.parse().ok())
+        .ok_or(ParseError { line: ln, message: format!("bad def `{lhs}`") })?;
+    Ok(ctx.defs[k])
+}
+
+fn parse_inst(
+    func: &mut Function,
+    ctx: &mut BodyCtx<'_>,
+    ln: usize,
+    line: &str,
+) -> Result<InstKind> {
+    let (lhs, rhs) = match line.split_once('=') {
+        Some((l, r)) => (Some(l.trim()), r.trim()),
+        None => (None, line.trim()),
+    };
+    let mnemonic = rhs.split_whitespace().next().unwrap_or("");
+    let (op, _suffix) = match mnemonic.split_once('.') {
+        Some((o, s)) => (o, Some(s)),
+        None => (mnemonic, None),
+    };
+    let rest = rhs[mnemonic.len()..].trim();
+
+    let kind = match op {
+        "copy" => {
+            let dst = next_def(ctx, ln, lhs.ok_or(ParseError { line: ln, message: "copy needs a def".into() })?)?;
+            let src = parse_operand(func, ctx, ln, rest)?;
+            InstKind::Copy { dst, src }
+        }
+        "phi" => {
+            let dst = next_def(ctx, ln, lhs.ok_or(ParseError { line: ln, message: "phi needs a def".into() })?)?;
+            let inner = rest
+                .strip_prefix('[')
+                .and_then(|s| s.strip_suffix(']'))
+                .ok_or(ParseError { line: ln, message: "phi expects `[...]`".into() })?;
+            let mut incomings = Vec::new();
+            for pair in inner.split(',') {
+                let (bb, val) = pair
+                    .split_once(':')
+                    .ok_or(ParseError { line: ln, message: "phi incoming `bb: v`".into() })?;
+                let b = parse_block_ref(ln, bb.trim())?;
+                let v = parse_operand(func, ctx, ln, val)?;
+                incomings.push((b, v));
+            }
+            InstKind::Phi { dst, incomings }
+        }
+        "load" => {
+            let dst = next_def(ctx, ln, lhs.ok_or(ParseError { line: ln, message: "load needs a def".into() })?)?;
+            let width = func.value(dst).width;
+            let addr = parse_operand(func, ctx, ln, rest)?;
+            InstKind::Load { dst, addr, width }
+        }
+        "store" => {
+            let (a, v) = rest
+                .split_once(',')
+                .ok_or(ParseError { line: ln, message: "store expects 2 operands".into() })?;
+            let addr = parse_operand(func, ctx, ln, a)?;
+            let val = parse_operand(func, ctx, ln, v)?;
+            InstKind::Store { addr, val }
+        }
+        "alloca" => {
+            let dst = next_def(ctx, ln, lhs.ok_or(ParseError { line: ln, message: "alloca needs a def".into() })?)?;
+            let size: u64 = rest
+                .parse()
+                .map_err(|_| ParseError { line: ln, message: format!("bad alloca size `{rest}`") })?;
+            InstKind::Alloca { dst, size }
+        }
+        "gep" => {
+            let dst = next_def(ctx, ln, lhs.ok_or(ParseError { line: ln, message: "gep needs a def".into() })?)?;
+            let (b, o) = rest
+                .split_once(',')
+                .ok_or(ParseError { line: ln, message: "gep expects 2 operands".into() })?;
+            let base = parse_operand(func, ctx, ln, b)?;
+            let offset: u64 = o
+                .trim()
+                .parse()
+                .map_err(|_| ParseError { line: ln, message: format!("bad gep offset `{o}`") })?;
+            InstKind::Gep { dst, base, offset }
+        }
+        "cmp" => {
+            let dst = next_def(ctx, ln, lhs.ok_or(ParseError { line: ln, message: "cmp needs a def".into() })?)?;
+            let pred = mnemonic
+                .split_once('.')
+                .and_then(|(_, p)| CmpPred::from_mnemonic(p))
+                .ok_or(ParseError { line: ln, message: format!("bad cmp `{mnemonic}`") })?;
+            let (l, r) = rest
+                .split_once(',')
+                .ok_or(ParseError { line: ln, message: "cmp expects 2 operands".into() })?;
+            let lhs_v = parse_operand(func, ctx, ln, l)?;
+            let rhs_v = parse_operand(func, ctx, ln, r)?;
+            InstKind::Cmp { dst, pred, lhs: lhs_v, rhs: rhs_v }
+        }
+        "call" | "icall" => {
+            let dst = match lhs {
+                Some(l) => Some(next_def(ctx, ln, l)?),
+                None => None,
+            };
+            let open = rest
+                .find('(')
+                .ok_or(ParseError { line: ln, message: "call expects `(`".into() })?;
+            let close = rest
+                .rfind(')')
+                .ok_or(ParseError { line: ln, message: "call expects `)`".into() })?;
+            let target = rest[..open].trim();
+            let args_s = &rest[open + 1..close];
+            let mut args = Vec::new();
+            if !args_s.trim().is_empty() {
+                for a in args_s.split(',') {
+                    args.push(parse_operand(func, ctx, ln, a)?);
+                }
+            }
+            let callee = if op == "icall" {
+                Callee::Indirect(parse_operand(func, ctx, ln, target)?)
+            } else if let Some(fname) = target.strip_prefix('@') {
+                Callee::Direct(*ctx.func_ids.get(fname).ok_or(ParseError {
+                    line: ln,
+                    message: format!("unknown function `{fname}`"),
+                })?)
+            } else if let Some(ename) = target.strip_prefix('!') {
+                Callee::Extern(ctx.module.extern_by_name(ename).ok_or(ParseError {
+                    line: ln,
+                    message: format!("unknown extern `{ename}`"),
+                })?)
+            } else {
+                return err(ln, format!("bad call target `{target}`"));
+            };
+            InstKind::Call { dst, callee, args }
+        }
+        other => {
+            // Binary operators.
+            let binop = BinOp::from_mnemonic(other)
+                .ok_or(ParseError { line: ln, message: format!("unknown instruction `{other}`") })?;
+            let dst = next_def(ctx, ln, lhs.ok_or(ParseError { line: ln, message: "binop needs a def".into() })?)?;
+            let (l, r) = rest
+                .split_once(',')
+                .ok_or(ParseError { line: ln, message: "binop expects 2 operands".into() })?;
+            let lhs_v = parse_operand(func, ctx, ln, l)?;
+            let rhs_v = parse_operand(func, ctx, ln, r)?;
+            InstKind::BinOp { op: binop, dst, lhs: lhs_v, rhs: rhs_v }
+        }
+    };
+    Ok(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_module;
+    use crate::verify::verify_module;
+
+    const SAMPLE: &str = r#"
+module demo
+extern malloc(w64) -> w64
+extern unknowable(w64, w64) -> w64
+global table 32
+
+func helper(w64) -> w64 addrtaken {
+bb0:
+  v0 = add.w64 p0, 1:i64
+  ret v0
+}
+
+func main(w64) -> w64 {
+bb0:
+  v0 = call.w64 !malloc(p0)
+  store g.table, v0
+  v1 = cmp.eq v0, null
+  condbr v1, bb1, bb2
+bb1:
+  ret 0:i64
+bb2:
+  v2 = call.w64 @helper(p0)
+  v3 = icall.w64 fn.helper(v2)
+  ret v3
+}
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let m = parse_module(SAMPLE).unwrap();
+        verify_module(&m).unwrap();
+        assert_eq!(m.function_count(), 2);
+        assert!(m.function_by_name("helper").unwrap().is_address_taken());
+        assert_eq!(m.extern_by_name("malloc").map(|e| e.index()), Some(0));
+        assert_eq!(m.globals().count(), 1);
+    }
+
+    #[test]
+    fn print_parse_print_is_fixpoint() {
+        let m = parse_module(SAMPLE).unwrap();
+        let p1 = print_module(&m);
+        let m2 = parse_module(&p1).unwrap();
+        let p2 = print_module(&m2);
+        assert_eq!(p1, p2);
+        verify_module(&m2).unwrap();
+    }
+
+    #[test]
+    fn parses_loop_with_forward_phi() {
+        let text = r#"
+module looped
+func f(w64) -> w64 {
+bb0:
+  br bb1
+bb1:
+  v0 = phi.w64 [bb0: p0, bb2: v1]
+  v2 = cmp.gt v0, 0:i64
+  condbr v2, bb2, bb3
+bb2:
+  v1 = sub.w64 v0, 1:i64
+  br bb1
+bb3:
+  ret v0
+}
+"#;
+        let m = parse_module(text).unwrap();
+        verify_module(&m).unwrap();
+        let p1 = print_module(&m);
+        let m2 = parse_module(&p1).unwrap();
+        assert_eq!(p1, print_module(&m2));
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "module m\nfunc f() -> void {\nbb0:\n  v0 = frobnicate.w64 p0\n  ret\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn rejects_sparse_def_numbering() {
+        let text = "module m\nfunc f() -> void {\nbb0:\n  v5 = alloca 8\n  ret\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert!(e.message.contains("never defined"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_defs() {
+        let text =
+            "module m\nfunc f() -> void {\nbb0:\n  v0 = alloca 8\n  v0 = alloca 8\n  ret\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+    }
+}

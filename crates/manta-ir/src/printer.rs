@@ -1,0 +1,253 @@
+//! Textual IR printer.
+//!
+//! The printed form is *canonical*: instruction results are renumbered
+//! sequentially, and constants/addresses are printed inline at their use
+//! sites. Consequently `print(parse(print(m))) == print(m)`, which the
+//! property tests rely on. See [`crate::parser`] for the grammar.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::function::{Function, Terminator};
+use crate::ids::ValueId;
+use crate::inst::{Callee, InstKind};
+use crate::module::Module;
+use crate::types::Width;
+use crate::value::{ConstKind, ValueKind};
+
+fn width_token(w: Width) -> &'static str {
+    match w {
+        Width::W1 => "w1",
+        Width::W8 => "w8",
+        Width::W16 => "w16",
+        Width::W32 => "w32",
+        Width::W64 => "w64",
+    }
+}
+
+/// Renders `module` in the canonical textual format.
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module {}", module.name());
+    for e in module.externs() {
+        let params: Vec<&str> = e.param_widths.iter().map(|&w| width_token(w)).collect();
+        let ret = e.ret_width.map_or("void", width_token);
+        let _ = writeln!(out, "extern {}({}) -> {}", e.name, params.join(", "), ret);
+    }
+    for g in module.globals() {
+        let _ = writeln!(out, "global {} {}", g.name, g.size);
+    }
+    for f in module.functions() {
+        out.push('\n');
+        print_function(module, f, &mut out);
+    }
+    out
+}
+
+fn print_function(module: &Module, func: &Function, out: &mut String) {
+    let params: Vec<&str> = func
+        .params()
+        .iter()
+        .map(|&p| width_token(func.value(p).width))
+        .collect();
+    let ret = func.ret_width().map_or("void", width_token);
+    let taken = if func.is_address_taken() { " addrtaken" } else { "" };
+    let _ = writeln!(out, "func {}({}) -> {}{} {{", func.name(), params.join(", "), ret, taken);
+
+    // Renumber instruction results sequentially in block-traversal order.
+    let mut names: HashMap<ValueId, usize> = HashMap::new();
+    for block in func.blocks() {
+        for &i in &block.insts {
+            if let Some(d) = func.inst(i).kind.def() {
+                let n = names.len();
+                names.insert(d, n);
+            }
+        }
+    }
+
+    let operand = |v: ValueId| -> String {
+        let val = func.value(v);
+        match val.kind {
+            ValueKind::Param { index } => format!("p{index}"),
+            ValueKind::Inst { .. } => format!("v{}", names[&v]),
+            ValueKind::Const(ConstKind::Int(k)) => {
+                format!("{k}:i{}", val.width.bits())
+            }
+            ValueKind::Const(ConstKind::Float(x)) => format!("{x:?}:f{}", val.width.bits()),
+            ValueKind::Const(ConstKind::Null) => "null".to_string(),
+            ValueKind::Const(ConstKind::Undef) => "undef".to_string(),
+            ValueKind::GlobalAddr(g) => format!("g.{}", module.global(g).name),
+            ValueKind::FuncAddr(f) => format!("fn.{}", module.function(f).name()),
+        }
+    };
+    let def_name = |v: ValueId| format!("v{}", names[&v]);
+
+    for block in func.blocks() {
+        let _ = writeln!(out, "{}:", block.id);
+        for &i in &block.insts {
+            let inst = func.inst(i);
+            out.push_str("  ");
+            match &inst.kind {
+                InstKind::Copy { dst, src } => {
+                    let w = width_token(func.value(*dst).width);
+                    let _ = writeln!(out, "{} = copy.{} {}", def_name(*dst), w, operand(*src));
+                }
+                InstKind::Phi { dst, incomings } => {
+                    let w = width_token(func.value(*dst).width);
+                    let incs: Vec<String> = incomings
+                        .iter()
+                        .map(|(b, v)| format!("{}: {}", b, operand(*v)))
+                        .collect();
+                    let _ =
+                        writeln!(out, "{} = phi.{} [{}]", def_name(*dst), w, incs.join(", "));
+                }
+                InstKind::Load { dst, addr, width } => {
+                    let _ = writeln!(
+                        out,
+                        "{} = load.{} {}",
+                        def_name(*dst),
+                        width_token(*width),
+                        operand(*addr)
+                    );
+                }
+                InstKind::Store { addr, val } => {
+                    let _ = writeln!(out, "store {}, {}", operand(*addr), operand(*val));
+                }
+                InstKind::Alloca { dst, size } => {
+                    let _ = writeln!(out, "{} = alloca {}", def_name(*dst), size);
+                }
+                InstKind::Gep { dst, base, offset } => {
+                    let _ =
+                        writeln!(out, "{} = gep {}, {}", def_name(*dst), operand(*base), offset);
+                }
+                InstKind::BinOp { op, dst, lhs, rhs } => {
+                    let w = width_token(func.value(*dst).width);
+                    let _ = writeln!(
+                        out,
+                        "{} = {}.{} {}, {}",
+                        def_name(*dst),
+                        op.mnemonic(),
+                        w,
+                        operand(*lhs),
+                        operand(*rhs)
+                    );
+                }
+                InstKind::Cmp { dst, pred, lhs, rhs } => {
+                    let _ = writeln!(
+                        out,
+                        "{} = cmp.{} {}, {}",
+                        def_name(*dst),
+                        pred.mnemonic(),
+                        operand(*lhs),
+                        operand(*rhs)
+                    );
+                }
+                InstKind::Call { dst, callee, args } => {
+                    let args_s: Vec<String> = args.iter().map(|&a| operand(a)).collect();
+                    let target = match callee {
+                        Callee::Direct(f) => format!("@{}", module.function(*f).name()),
+                        Callee::Extern(e) => format!("!{}", module.extern_decl(*e).name),
+                        Callee::Indirect(v) => operand(*v),
+                    };
+                    let mnemonic = if matches!(callee, Callee::Indirect(_)) { "icall" } else { "call" };
+                    match dst {
+                        Some(d) => {
+                            let w = width_token(func.value(*d).width);
+                            let _ = writeln!(
+                                out,
+                                "{} = {mnemonic}.{} {}({})",
+                                def_name(*d),
+                                w,
+                                target,
+                                args_s.join(", ")
+                            );
+                        }
+                        None => {
+                            let _ = writeln!(out, "{mnemonic} {}({})", target, args_s.join(", "));
+                        }
+                    }
+                }
+            }
+        }
+        out.push_str("  ");
+        match &block.term {
+            Terminator::Br(b) => {
+                let _ = writeln!(out, "br {b}");
+            }
+            Terminator::CondBr { cond, then_bb, else_bb } => {
+                let _ = writeln!(out, "condbr {}, {then_bb}, {else_bb}", operand(*cond));
+            }
+            Terminator::Ret(Some(v)) => {
+                let _ = writeln!(out, "ret {}", operand(*v));
+            }
+            Terminator::Ret(None) => {
+                let _ = writeln!(out, "ret");
+            }
+            Terminator::Unreachable => {
+                let _ = writeln!(out, "unreachable");
+            }
+        }
+    }
+    out.push_str("}\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::inst::{BinOp, CmpPred};
+
+    #[test]
+    fn prints_phi_and_special_constants() {
+        let mut mb = ModuleBuilder::new("m");
+        let (_, mut fb) = mb.function("f", &[Width::W1], Some(Width::W64));
+        let c = fb.param(0);
+        let t = fb.new_block();
+        let e = fb.new_block();
+        let j = fb.new_block();
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        let n = fb.const_null();
+        fb.br(j);
+        fb.switch_to(e);
+        let x = fb.const_float(2.5, Width::W64);
+        fb.br(j);
+        fb.switch_to(j);
+        let m = fb.phi(&[(t, n), (e, x)], Width::W64);
+        fb.ret(Some(m));
+        mb.finish_function(fb);
+        let text = print_module(&mb.finish());
+        assert!(text.contains("v0 = phi.w64 [bb1: null, bb2: 2.5:f64]"), "{text}");
+        assert!(text.contains("condbr p0, bb1, bb2"), "{text}");
+    }
+
+    #[test]
+    fn prints_representative_module() {
+        let mut mb = ModuleBuilder::new("demo");
+        let malloc = mb.extern_fn("malloc", &[], None);
+        let g = mb.global("table", 32);
+        let (_, mut fb) = mb.function("f", &[Width::W64], Some(Width::W64));
+        let p = fb.param(0);
+        let buf = fb.call_extern(malloc, &[p], Some(Width::W64)).unwrap();
+        let ga = fb.global_addr(g);
+        fb.store(ga, buf);
+        let eight = fb.const_int(8, Width::W64);
+        let end = fb.binop(BinOp::Add, buf, eight, Width::W64);
+        let c = fb.cmp(CmpPred::Ne, end, buf);
+        let done = fb.new_block();
+        fb.cond_br(c, done, done);
+        fb.switch_to(done);
+        fb.ret(Some(end));
+        mb.finish_function(fb);
+        let text = print_module(&mb.finish());
+        assert!(text.contains("module demo"));
+        assert!(text.contains("extern malloc(w64) -> w64"));
+        assert!(text.contains("global table 32"));
+        assert!(text.contains("v0 = call.w64 !malloc(p0)"));
+        assert!(text.contains("store g.table, v0"));
+        assert!(text.contains("v1 = add.w64 v0, 8:i64"));
+        assert!(text.contains("v2 = cmp.ne v1, v0"));
+        assert!(text.contains("condbr v2, bb1, bb1"));
+        assert!(text.contains("ret v1"));
+    }
+}

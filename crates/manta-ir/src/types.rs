@@ -1,0 +1,535 @@
+//! The Manta type grammar and lattice (paper Figure 6).
+//!
+//! ```text
+//! Type(T)        := T_prim | T_array | T_object | T_func
+//! Primary        := T_reg<size> | ⊤ | ⊥
+//! Register       := T_num<size> | ptr(T)
+//! Numeric<size>  := int<size> | float | double
+//! Array          := T × <length>
+//! Object         := { <offset>_i : T_i }
+//! Function       := { arg_i : T_i } -> T
+//! <size>         := {1, 8, 16, 32, 64}
+//! ```
+//!
+//! The types form a lattice with `⊤` (any value) at the top and `⊥` (no
+//! value / untyped) at the bottom, ordered by subtyping `<:`:
+//!
+//! * `int<w>  <: num<w> <: reg<w> <: ⊤`
+//! * `float   <: num<32>`, `double <: num<64>`
+//! * `ptr(t)  <: reg<64>` and `ptr` is covariant in its pointee
+//! * objects use *width subtyping* — an object with more fields is a
+//!   subtype of one with fewer fields
+//! * functions are contravariant in parameters and covariant in return
+//!
+//! [`Type::join`] computes least upper bounds (used to maintain the
+//! upper-bound map `F↑`) and [`Type::meet`] greatest lower bounds (for the
+//! lower-bound map `F↓`), exactly as §4.1 of the paper prescribes.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Maximum structural depth considered by [`Type::join`] / [`Type::meet`] /
+/// [`Type::is_subtype_of`] before conservatively widening. Recursive data
+/// structures in binaries (linked lists) otherwise produce unbounded types.
+pub const MAX_TYPE_DEPTH: usize = 12;
+
+/// Machine value widths supported by the type system (paper: `<size>`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum Width {
+    /// 1-bit (comparison results / flags).
+    W1,
+    /// 8-bit.
+    W8,
+    /// 16-bit.
+    W16,
+    /// 32-bit.
+    W32,
+    /// 64-bit (also the width of pointers on SB-ISA).
+    W64,
+}
+
+impl Width {
+    /// All widths, smallest first.
+    pub const ALL: [Width; 5] = [Width::W1, Width::W8, Width::W16, Width::W32, Width::W64];
+
+    /// The width in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            Width::W1 => 1,
+            Width::W8 => 8,
+            Width::W16 => 16,
+            Width::W32 => 32,
+            Width::W64 => 64,
+        }
+    }
+
+    /// The width in bytes (W1 rounds up to one byte).
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::W1 | Width::W8 => 1,
+            Width::W16 => 2,
+            Width::W32 => 4,
+            Width::W64 => 8,
+        }
+    }
+
+    /// Parses a width from its bit count.
+    pub fn from_bits(bits: u32) -> Option<Width> {
+        Some(match bits {
+            1 => Width::W1,
+            8 => Width::W8,
+            16 => Width::W16,
+            32 => Width::W32,
+            64 => Width::W64,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bits())
+    }
+}
+
+/// A function type: parameter types and a return type (paper `T_func`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct FuncSig {
+    /// Parameter types, in order.
+    pub params: Vec<Type>,
+    /// Return type; `Type::Bottom` conventionally encodes "no return value".
+    pub ret: Box<Type>,
+}
+
+impl FuncSig {
+    /// Creates a signature from parameter types and a return type.
+    pub fn new(params: Vec<Type>, ret: Type) -> Self {
+        FuncSig { params, ret: Box::new(ret) }
+    }
+}
+
+/// A type in the Manta lattice (paper Figure 6). See the [module docs](self)
+/// for the subtyping order.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum Type {
+    /// `⊤` — any value; the top of the lattice.
+    Top,
+    /// `⊥` — no information; the bottom of the lattice.
+    Bottom,
+    /// `T_reg<w>` — a register value of width `w`, numeric or pointer.
+    Reg(Width),
+    /// `T_num<w>` — a numeric value of width `w` (integer or floating).
+    Num(Width),
+    /// `int<w>` — an integer of width `w`.
+    Int(Width),
+    /// 32-bit IEEE float.
+    Float,
+    /// 64-bit IEEE double.
+    Double,
+    /// `ptr(T)` — a pointer to a value of type `T`.
+    Ptr(Arc<Type>),
+    /// `T × n` — an array of `n` elements of type `T`.
+    Array(Arc<Type>, u64),
+    /// `{ offset_i : T_i }` — an object (struct) with typed fields at byte
+    /// offsets. Fields are kept sorted by offset and deduplicated.
+    Object(Vec<(u64, Type)>),
+    /// `{ arg_i : T_i } -> T` — a function.
+    Func(FuncSig),
+}
+
+impl Type {
+    /// Convenience constructor for `ptr(T)`.
+    pub fn ptr(pointee: Type) -> Type {
+        Type::Ptr(Arc::new(pointee))
+    }
+
+    /// Convenience constructor for `T × n`.
+    pub fn array(elem: Type, len: u64) -> Type {
+        Type::Array(Arc::new(elem), len)
+    }
+
+    /// Convenience constructor for an object; sorts and deduplicates fields.
+    pub fn object(mut fields: Vec<(u64, Type)>) -> Type {
+        fields.sort_by_key(|(off, _)| *off);
+        fields.dedup_by(|a, b| a.0 == b.0);
+        Type::Object(fields)
+    }
+
+    /// A pointer to `int<8>` — the conventional C string / byte pointer.
+    pub fn byte_ptr() -> Type {
+        Type::ptr(Type::Int(Width::W8))
+    }
+
+    /// True for `ptr(_)`.
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// True for `int`, `float`, `double`, or the abstract `num<w>`.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Type::Int(_) | Type::Float | Type::Double | Type::Num(_))
+    }
+
+    /// The register width this type occupies, if it is a register type.
+    pub fn width(&self) -> Option<Width> {
+        match self {
+            Type::Int(w) | Type::Num(w) | Type::Reg(w) => Some(*w),
+            Type::Float => Some(Width::W32),
+            Type::Double => Some(Width::W64),
+            Type::Ptr(_) => Some(Width::W64),
+            _ => None,
+        }
+    }
+
+    /// True when the type is a *singleton* — precisely resolved, i.e. not
+    /// `⊤`, `⊥`, or an abstract register/numeric class. Abstractness is
+    /// checked recursively through pointers, arrays, objects and functions.
+    pub fn is_concrete(&self) -> bool {
+        self.is_concrete_at(MAX_TYPE_DEPTH)
+    }
+
+    fn is_concrete_at(&self, depth: usize) -> bool {
+        if depth == 0 {
+            return false;
+        }
+        match self {
+            Type::Top | Type::Bottom | Type::Reg(_) | Type::Num(_) => false,
+            Type::Int(_) | Type::Float | Type::Double => true,
+            Type::Ptr(t) => t.is_concrete_at(depth - 1),
+            Type::Array(t, _) => t.is_concrete_at(depth - 1),
+            Type::Object(fields) => fields.iter().all(|(_, t)| t.is_concrete_at(depth - 1)),
+            Type::Func(sig) => {
+                sig.params.iter().all(|t| t.is_concrete_at(depth - 1))
+                    && sig.ret.is_concrete_at(depth - 1)
+            }
+        }
+    }
+
+    /// Structural depth of the type (used to keep lattice operations bounded).
+    pub fn depth(&self) -> usize {
+        match self {
+            Type::Ptr(t) | Type::Array(t, _) => 1 + t.depth(),
+            Type::Object(fields) => 1 + fields.iter().map(|(_, t)| t.depth()).max().unwrap_or(0),
+            Type::Func(sig) => {
+                1 + sig
+                    .params
+                    .iter()
+                    .map(Type::depth)
+                    .chain(std::iter::once(sig.ret.depth()))
+                    .max()
+                    .unwrap_or(0)
+            }
+            _ => 0,
+        }
+    }
+
+    /// The subtyping relation `self <: other` (paper notation `other >: self`).
+    pub fn is_subtype_of(&self, other: &Type) -> bool {
+        self.subtype_at(other, MAX_TYPE_DEPTH)
+    }
+
+    fn subtype_at(&self, other: &Type, depth: usize) -> bool {
+        if depth == 0 {
+            // Conservative: beyond the depth budget only ⊤/⊥ relations hold.
+            return matches!(self, Type::Bottom) || matches!(other, Type::Top);
+        }
+        match (self, other) {
+            (Type::Bottom, _) | (_, Type::Top) => true,
+            (Type::Top, _) | (_, Type::Bottom) => false,
+            (a, b) if a == b => true,
+            // int<w> <: num<w> <: reg<w>
+            (Type::Int(w), Type::Num(w2)) => w == w2,
+            (Type::Float, Type::Num(w)) => *w == Width::W32,
+            (Type::Double, Type::Num(w)) => *w == Width::W64,
+            (Type::Int(w), Type::Reg(w2)) => w == w2,
+            (Type::Float, Type::Reg(w)) => *w == Width::W32,
+            (Type::Double, Type::Reg(w)) => *w == Width::W64,
+            (Type::Num(w), Type::Reg(w2)) => w == w2,
+            // ptr(t) <: reg<64>, covariant in pointee
+            (Type::Ptr(_), Type::Reg(w)) => *w == Width::W64,
+            (Type::Ptr(a), Type::Ptr(b)) => a.subtype_at(b, depth - 1),
+            (Type::Array(a, n), Type::Array(b, m)) => n == m && a.subtype_at(b, depth - 1),
+            // Width subtyping on objects: `self` must provide every field of
+            // `other` at a subtype.
+            (Type::Object(fa), Type::Object(fb)) => fb.iter().all(|(off, tb)| {
+                fa.iter()
+                    .any(|(ofa, ta)| ofa == off && ta.subtype_at(tb, depth - 1))
+            }),
+            (Type::Func(a), Type::Func(b)) => {
+                a.params.len() == b.params.len()
+                    && a.ret.subtype_at(&b.ret, depth - 1)
+                    && a.params
+                        .iter()
+                        .zip(&b.params)
+                        .all(|(pa, pb)| pb.subtype_at(pa, depth - 1))
+            }
+            _ => false,
+        }
+    }
+
+    /// Least upper bound on the lattice (`∨`, used to update `F↑`).
+    pub fn join(&self, other: &Type) -> Type {
+        self.join_at(other, MAX_TYPE_DEPTH)
+    }
+
+    fn join_at(&self, other: &Type, depth: usize) -> Type {
+        if depth == 0 {
+            return Type::Top;
+        }
+        if self == other {
+            return self.clone();
+        }
+        match (self, other) {
+            (Type::Bottom, t) | (t, Type::Bottom) => t.clone(),
+            (Type::Top, _) | (_, Type::Top) => Type::Top,
+            (a, b) if a.subtype_at(b, depth) => b.clone(),
+            (a, b) if b.subtype_at(a, depth) => a.clone(),
+            // Distinct numerics of equal width meet at num<w>.
+            (a, b) if a.is_numeric() && b.is_numeric() => match (a.width(), b.width()) {
+                (Some(w1), Some(w2)) if w1 == w2 => Type::Num(w1),
+                _ => Type::Top,
+            },
+            // Pointer joins pointer: covariant join of pointees.
+            (Type::Ptr(a), Type::Ptr(b)) => Type::Ptr(Arc::new(a.join_at(b, depth - 1))),
+            // Pointer joins a 64-bit numeric at reg<64>.
+            (Type::Ptr(_), b) if b.is_numeric() && b.width() == Some(Width::W64) => {
+                Type::Reg(Width::W64)
+            }
+            (a, Type::Ptr(_)) if a.is_numeric() && a.width() == Some(Width::W64) => {
+                Type::Reg(Width::W64)
+            }
+            (Type::Ptr(_), Type::Reg(w)) | (Type::Reg(w), Type::Ptr(_)) if *w == Width::W64 => {
+                Type::Reg(Width::W64)
+            }
+            (Type::Num(w1), Type::Reg(w2)) | (Type::Reg(w1), Type::Num(w2)) if w1 == w2 => {
+                Type::Reg(*w1)
+            }
+            (Type::Array(a, n), Type::Array(b, m)) if n == m => {
+                Type::Array(Arc::new(a.join_at(b, depth - 1)), *n)
+            }
+            // Object join: width subtyping ⇒ LUB keeps the common fields.
+            (Type::Object(fa), Type::Object(fb)) => {
+                let mut fields = Vec::new();
+                for (off, ta) in fa {
+                    if let Some((_, tb)) = fb.iter().find(|(ob, _)| ob == off) {
+                        fields.push((*off, ta.join_at(tb, depth - 1)));
+                    }
+                }
+                Type::Object(fields)
+            }
+            (Type::Func(a), Type::Func(b)) if a.params.len() == b.params.len() => {
+                let params = a
+                    .params
+                    .iter()
+                    .zip(&b.params)
+                    .map(|(pa, pb)| pa.meet_at(pb, depth - 1))
+                    .collect();
+                Type::Func(FuncSig::new(params, a.ret.join_at(&b.ret, depth - 1)))
+            }
+            _ => Type::Top,
+        }
+    }
+
+    /// Greatest lower bound on the lattice (`∧`, used to update `F↓`).
+    pub fn meet(&self, other: &Type) -> Type {
+        self.meet_at(other, MAX_TYPE_DEPTH)
+    }
+
+    fn meet_at(&self, other: &Type, depth: usize) -> Type {
+        if depth == 0 {
+            return Type::Bottom;
+        }
+        if self == other {
+            return self.clone();
+        }
+        match (self, other) {
+            (Type::Top, t) | (t, Type::Top) => t.clone(),
+            (Type::Bottom, _) | (_, Type::Bottom) => Type::Bottom,
+            (a, b) if a.subtype_at(b, depth) => a.clone(),
+            (a, b) if b.subtype_at(a, depth) => b.clone(),
+            (Type::Ptr(a), Type::Ptr(b)) => Type::Ptr(Arc::new(a.meet_at(b, depth - 1))),
+            // reg<64> ∧ ptr-shaped... handled by subtype arms above; the
+            // remaining same-kind structural meets:
+            (Type::Array(a, n), Type::Array(b, m)) if n == m => {
+                Type::Array(Arc::new(a.meet_at(b, depth - 1)), *n)
+            }
+            // Object meet: union of fields, conflicting offsets meet.
+            (Type::Object(fa), Type::Object(fb)) => {
+                let mut fields: Vec<(u64, Type)> = fa.clone();
+                for (off, tb) in fb {
+                    if let Some(slot) = fields.iter_mut().find(|(ofa, _)| ofa == off) {
+                        slot.1 = slot.1.meet_at(tb, depth - 1);
+                    } else {
+                        fields.push((*off, tb.clone()));
+                    }
+                }
+                fields.sort_by_key(|(off, _)| *off);
+                Type::Object(fields)
+            }
+            (Type::Func(a), Type::Func(b)) if a.params.len() == b.params.len() => {
+                let params = a
+                    .params
+                    .iter()
+                    .zip(&b.params)
+                    .map(|(pa, pb)| pa.join_at(pb, depth - 1))
+                    .collect();
+                Type::Func(FuncSig::new(params, a.ret.meet_at(&b.ret, depth - 1)))
+            }
+            _ => Type::Bottom,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Top => write!(f, "top"),
+            Type::Bottom => write!(f, "bot"),
+            Type::Reg(w) => write!(f, "reg{w}"),
+            Type::Num(w) => write!(f, "num{w}"),
+            Type::Int(w) => write!(f, "i{w}"),
+            Type::Float => write!(f, "f32"),
+            Type::Double => write!(f, "f64"),
+            Type::Ptr(t) => write!(f, "ptr({t})"),
+            Type::Array(t, n) => write!(f, "[{t} x {n}]"),
+            Type::Object(fields) => {
+                write!(f, "{{")?;
+                for (i, (off, t)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{off}: {t}")?;
+                }
+                write!(f, "}}")
+            }
+            Type::Func(sig) => {
+                write!(f, "fn(")?;
+                for (i, p) in sig.params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ") -> {}", sig.ret)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i64t() -> Type {
+        Type::Int(Width::W64)
+    }
+    fn i32t() -> Type {
+        Type::Int(Width::W32)
+    }
+
+    #[test]
+    fn subtype_chain_int_num_reg_top() {
+        assert!(i32t().is_subtype_of(&Type::Num(Width::W32)));
+        assert!(Type::Num(Width::W32).is_subtype_of(&Type::Reg(Width::W32)));
+        assert!(Type::Reg(Width::W32).is_subtype_of(&Type::Top));
+        assert!(i32t().is_subtype_of(&Type::Top));
+        assert!(!Type::Num(Width::W32).is_subtype_of(&i32t()));
+    }
+
+    #[test]
+    fn float_double_live_under_their_widths() {
+        assert!(Type::Float.is_subtype_of(&Type::Num(Width::W32)));
+        assert!(Type::Double.is_subtype_of(&Type::Num(Width::W64)));
+        assert!(!Type::Float.is_subtype_of(&Type::Num(Width::W64)));
+    }
+
+    #[test]
+    fn pointer_is_a_64bit_register_value() {
+        assert!(Type::byte_ptr().is_subtype_of(&Type::Reg(Width::W64)));
+        assert!(!Type::byte_ptr().is_subtype_of(&Type::Num(Width::W64)));
+    }
+
+    #[test]
+    fn pointer_covariance() {
+        let p_int = Type::ptr(i64t());
+        let p_num = Type::ptr(Type::Num(Width::W64));
+        assert!(p_int.is_subtype_of(&p_num));
+        assert!(!p_num.is_subtype_of(&p_int));
+    }
+
+    #[test]
+    fn join_int_float_is_num32() {
+        assert_eq!(i32t().join(&Type::Float), Type::Num(Width::W32));
+    }
+
+    #[test]
+    fn join_ptr_int64_is_reg64() {
+        // The paper's motivating example: a union of char* and int64 joins
+        // at the abstract 64-bit register class.
+        assert_eq!(Type::byte_ptr().join(&i64t()), Type::Reg(Width::W64));
+    }
+
+    #[test]
+    fn join_mismatched_widths_is_top() {
+        assert_eq!(i32t().join(&i64t()), Type::Top);
+    }
+
+    #[test]
+    fn meet_num_and_ptr_under_reg64() {
+        assert_eq!(Type::Reg(Width::W64).meet(&Type::byte_ptr()), Type::byte_ptr());
+        assert_eq!(Type::Num(Width::W64).meet(&i64t()), i64t());
+        assert_eq!(Type::byte_ptr().meet(&i64t()), Type::Bottom);
+    }
+
+    #[test]
+    fn object_width_subtyping() {
+        let small = Type::object(vec![(0, i64t())]);
+        let big = Type::object(vec![(0, i64t()), (8, Type::byte_ptr())]);
+        assert!(big.is_subtype_of(&small));
+        assert!(!small.is_subtype_of(&big));
+        // join keeps common fields, meet unions fields
+        assert_eq!(big.join(&small), small);
+        assert_eq!(small.meet(&big), big);
+    }
+
+    #[test]
+    fn func_contravariance() {
+        // fn(num64) -> i64  <:  fn(i64) -> num64
+        let f1 = Type::Func(FuncSig::new(vec![Type::Num(Width::W64)], i64t()));
+        let f2 = Type::Func(FuncSig::new(vec![i64t()], Type::Num(Width::W64)));
+        assert!(f1.is_subtype_of(&f2));
+        assert!(!f2.is_subtype_of(&f1));
+    }
+
+    #[test]
+    fn concrete_detection() {
+        assert!(i64t().is_concrete());
+        assert!(Type::ptr(Type::Int(Width::W8)).is_concrete());
+        assert!(!Type::Num(Width::W64).is_concrete());
+        assert!(!Type::ptr(Type::Reg(Width::W64)).is_concrete());
+        assert!(!Type::Top.is_concrete());
+        assert!(!Type::Bottom.is_concrete());
+    }
+
+    #[test]
+    fn display_roundtrip_shapes() {
+        assert_eq!(i64t().to_string(), "i64");
+        assert_eq!(Type::byte_ptr().to_string(), "ptr(i8)");
+        assert_eq!(Type::array(i32t(), 4).to_string(), "[i32 x 4]");
+        assert_eq!(
+            Type::object(vec![(0, i64t()), (8, Type::byte_ptr())]).to_string(),
+            "{0: i64, 8: ptr(i8)}"
+        );
+        assert_eq!(
+            Type::Func(FuncSig::new(vec![i64t()], Type::Bottom)).to_string(),
+            "fn(i64) -> bot"
+        );
+    }
+
+    #[test]
+    fn depth_is_structural() {
+        assert_eq!(i64t().depth(), 0);
+        assert_eq!(Type::ptr(Type::ptr(i64t())).depth(), 2);
+        assert_eq!(Type::object(vec![(0, Type::ptr(i64t()))]).depth(), 2);
+    }
+}

@@ -1,0 +1,119 @@
+//! SSA values.
+//!
+//! A [`Value`] is anything a binary register can hold at a program point:
+//! a function parameter, the result of an instruction, an integer/float
+//! constant, the address of a global, or the address of a function. Values
+//! carry a machine [`Width`] — *not* a source type, since the binary is
+//! stripped.
+
+use crate::ids::{FuncId, GlobalId, InstId};
+use crate::types::Width;
+
+/// What kind of entity an SSA value is.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum ValueKind {
+    /// The `index`-th formal parameter of the enclosing function.
+    Param {
+        /// Zero-based parameter position.
+        index: u32,
+    },
+    /// The result of the instruction `def`.
+    Inst {
+        /// Defining instruction.
+        def: InstId,
+    },
+    /// A constant.
+    Const(ConstKind),
+    /// The address of a module global.
+    GlobalAddr(GlobalId),
+    /// The address of a module function (an address-taken function).
+    FuncAddr(FuncId),
+}
+
+/// Constant payloads.
+#[derive(Clone, Copy, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+pub enum ConstKind {
+    /// An integer constant (sign-agnostic bit pattern).
+    Int(i64),
+    /// A floating constant.
+    Float(f64),
+    /// The null pointer constant — in a binary this is just `0`, but the
+    /// lifter marks zero constants used in address positions distinctly so
+    /// bug checkers can describe NPD sources. Type inference treats it as an
+    /// ordinary zero: deciding whether a zero is an integer or a null
+    /// pointer is exactly what the inference is for.
+    Null,
+    /// An undefined value: reading a register that was never written
+    /// (produced only by the lifter for ill-formed machine code). Reveals
+    /// nothing and is not a bug source.
+    Undef,
+}
+
+impl Eq for ConstKind {}
+
+impl std::hash::Hash for ConstKind {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            ConstKind::Int(v) => {
+                0u8.hash(state);
+                v.hash(state);
+            }
+            ConstKind::Float(v) => {
+                1u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            ConstKind::Null => 2u8.hash(state),
+            ConstKind::Undef => 3u8.hash(state),
+        }
+    }
+}
+
+/// An SSA value: its kind plus the machine width it occupies.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Value {
+    /// What the value is.
+    pub kind: ValueKind,
+    /// The register width the value occupies.
+    pub width: Width,
+}
+
+impl Value {
+    /// True if the value is a constant equal to integer zero (or null).
+    pub fn is_zero_const(&self) -> bool {
+        matches!(
+            self.kind,
+            ValueKind::Const(ConstKind::Int(0)) | ValueKind::Const(ConstKind::Null)
+        )
+    }
+
+    /// True if the value is any constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self.kind, ValueKind::Const(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_detection() {
+        let z = Value { kind: ValueKind::Const(ConstKind::Int(0)), width: Width::W64 };
+        let n = Value { kind: ValueKind::Const(ConstKind::Null), width: Width::W64 };
+        let one = Value { kind: ValueKind::Const(ConstKind::Int(1)), width: Width::W64 };
+        assert!(z.is_zero_const());
+        assert!(n.is_zero_const());
+        assert!(!one.is_zero_const());
+        assert!(one.is_const());
+    }
+
+    #[test]
+    fn const_hash_distinguishes_kinds() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(ConstKind::Int(0));
+        s.insert(ConstKind::Null);
+        s.insert(ConstKind::Float(0.0));
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,545 @@
+//! A line-oriented SB-ISA assembler and disassembler.
+//!
+//! Grammar:
+//!
+//! ```text
+//! module <name>
+//! extern <name>, <nparams>[, ret]
+//! global <name>, <size>
+//! func <name>(<nparams>) -> ret|void {
+//! <label>:
+//!     mov r0, r1          movi r2, 42        movf r3, 1.5
+//!     add r0, r1, r2      cmp.eq r4, r1, r2
+//!     ld.w64 r5, [r7+8]   st.w32 [r7+0], r5
+//!     salloc r6, 16       lea.g r7, <global> lea.f r8, <func>
+//!     call <func>, 1      ecall <extern>, 2  icall r8, 2[, ret]
+//!     jmp <label>         brz r4, <label>    ret
+//! }
+//! ```
+//!
+//! Labels bind to the following instruction; branch operands name labels
+//! and are resolved to instruction indexes. [`disassemble`] emits text that
+//! [`assemble`] parses back to an identical [`Image`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use manta_ir::{BinOp, CmpPred, Width};
+
+use crate::image::{Image, ImageExtern, ImageFunction, ImageGlobal};
+use crate::inst::{MachInst, Reg};
+
+/// Assembly failure with its 1-based line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assembly error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+type Result<T> = std::result::Result<T, AsmError>;
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T> {
+    Err(AsmError { line, message: message.into() })
+}
+
+fn parse_reg(ln: usize, tok: &str) -> Result<Reg> {
+    let n: u8 = tok
+        .trim()
+        .strip_prefix('r')
+        .and_then(|s| s.parse().ok())
+        .ok_or(AsmError { line: ln, message: format!("bad register `{tok}`") })?;
+    if (n as usize) >= Reg::COUNT {
+        return err(ln, format!("register out of range `{tok}`"));
+    }
+    Ok(Reg(n))
+}
+
+/// `extern name(w64, w64) -> w64` style is accepted too for convenience, but
+/// the canonical form is `extern name, nparams[, ret]`.
+fn parse_extern(ln: usize, rest: &str) -> Result<ImageExtern> {
+    if let Some(open) = rest.find('(') {
+        let name = rest[..open].trim().to_string();
+        let close =
+            rest.rfind(')').ok_or(AsmError { line: ln, message: "expected `)`".into() })?;
+        let nparams = rest[open + 1..close]
+            .split(',')
+            .filter(|p| !p.trim().is_empty())
+            .count() as u8;
+        let has_ret = rest[close..].contains("->") && !rest[close..].contains("void");
+        Ok(ImageExtern { name, nparams, has_ret })
+    } else {
+        let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+        if parts.len() < 2 {
+            return err(ln, "extern expects `name, nparams[, ret]`");
+        }
+        let nparams: u8 = parts[1]
+            .parse()
+            .map_err(|_| AsmError { line: ln, message: format!("bad nparams `{}`", parts[1]) })?;
+        Ok(ImageExtern {
+            name: parts[0].to_string(),
+            nparams,
+            has_ret: parts.get(2) == Some(&"ret"),
+        })
+    }
+}
+
+/// Assembles a whole program.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] pointing at the offending line.
+pub fn assemble(text: &str) -> Result<Image> {
+    let mut image = Image::default();
+    // Pre-scan function names for forward references.
+    let mut func_names: Vec<String> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("func ") {
+            let name = rest.split('(').next().unwrap_or("").trim().to_string();
+            func_names.push(name);
+        }
+    }
+    let func_index: HashMap<&str, u32> =
+        func_names.iter().enumerate().map(|(i, n)| (n.as_str(), i as u32)).collect();
+
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+    let mut current: Option<(ImageFunction, HashMap<String, u32>, Vec<(usize, usize, String)>)> =
+        None; // (function, labels, fixups: (line, inst index, label))
+
+    while let Some((ln, line)) = lines.next() {
+        let line = line.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((ref mut func, ref mut labels, ref mut fixups)) = current {
+            if line == "}" {
+                // Resolve label fixups.
+                for (fln, idx, label) in fixups.drain(..) {
+                    let target = *labels.get(&label).ok_or(AsmError {
+                        line: fln,
+                        message: format!("undefined label `{label}`"),
+                    })?;
+                    match &mut func.code[idx] {
+                        MachInst::Jmp { target: t } | MachInst::Brz { target: t, .. } => {
+                            *t = target;
+                        }
+                        _ => unreachable!("fixup on non-branch"),
+                    }
+                }
+                let (func, _, _) = current.take().expect("current function");
+                image.functions.push(func);
+                continue;
+            }
+            if let Some(label) = line.strip_suffix(':') {
+                labels.insert(label.trim().to_string(), func.code.len() as u32);
+                continue;
+            }
+            let inst = parse_inst(ln, line, &image, &func_index, func.code.len(), fixups)?;
+            func.code.push(inst);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("module ") {
+            image.name = rest.trim().to_string();
+        } else if let Some(rest) = line.strip_prefix("extern ") {
+            image.externs.push(parse_extern(ln, rest)?);
+        } else if let Some(rest) = line.strip_prefix("global ") {
+            let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+            if parts.len() != 2 {
+                return err(ln, "global expects `name, size`");
+            }
+            let size: u64 = parts[1]
+                .parse()
+                .map_err(|_| AsmError { line: ln, message: format!("bad size `{}`", parts[1]) })?;
+            image.globals.push(ImageGlobal { name: parts[0].to_string(), size });
+        } else if let Some(rest) = line.strip_prefix("func ") {
+            let rest = rest
+                .strip_suffix('{')
+                .ok_or(AsmError { line: ln, message: "expected `{`".into() })?
+                .trim();
+            let open =
+                rest.find('(').ok_or(AsmError { line: ln, message: "expected `(`".into() })?;
+            let close =
+                rest.rfind(')').ok_or(AsmError { line: ln, message: "expected `)`".into() })?;
+            let name = rest[..open].trim().to_string();
+            let nparams: u8 = rest[open + 1..close].trim().parse().map_err(|_| AsmError {
+                line: ln,
+                message: "func expects `(nparams)`".into(),
+            })?;
+            let has_ret = rest[close..].contains("->") && !rest[close..].contains("void");
+            current = Some((
+                ImageFunction { name, nparams, has_ret, code: Vec::new() },
+                HashMap::new(),
+                Vec::new(),
+            ));
+        } else {
+            return err(ln, format!("unexpected top-level line `{line}`"));
+        }
+    }
+    if current.is_some() {
+        return err(usize::MAX, "unterminated function body");
+    }
+    Ok(image)
+}
+
+fn parse_inst(
+    ln: usize,
+    line: &str,
+    image: &Image,
+    func_index: &HashMap<&str, u32>,
+    inst_idx: usize,
+    fixups: &mut Vec<(usize, usize, String)>,
+) -> Result<MachInst> {
+    let (mn, rest) = match line.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (line, ""),
+    };
+    let parts: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let global_idx = |ln: usize, name: &str| -> Result<u32> {
+        image
+            .globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| i as u32)
+            .ok_or(AsmError { line: ln, message: format!("unknown global `{name}`") })
+    };
+    let extern_idx = |ln: usize, name: &str| -> Result<u32> {
+        image
+            .externs
+            .iter()
+            .position(|e| e.name == name)
+            .map(|i| i as u32)
+            .ok_or(AsmError { line: ln, message: format!("unknown extern `{name}`") })
+    };
+
+    let (base, suffix) = match mn.split_once('.') {
+        Some((b, s)) => (b, Some(s)),
+        None => (mn, None),
+    };
+    let need = |n: usize| -> Result<()> {
+        if parts.len() == n {
+            Ok(())
+        } else {
+            err(ln, format!("`{mn}` expects {n} operands, got {}", parts.len()))
+        }
+    };
+    Ok(match base {
+        "mov" => {
+            need(2)?;
+            MachInst::Mov { rd: parse_reg(ln, parts[0])?, rs: parse_reg(ln, parts[1])? }
+        }
+        "movi" => {
+            need(2)?;
+            let imm: i64 = parts[1]
+                .parse()
+                .map_err(|_| AsmError { line: ln, message: format!("bad imm `{}`", parts[1]) })?;
+            MachInst::MovImm { rd: parse_reg(ln, parts[0])?, imm }
+        }
+        "movf" => {
+            need(2)?;
+            let imm: f64 = parts[1]
+                .parse()
+                .map_err(|_| AsmError { line: ln, message: format!("bad float `{}`", parts[1]) })?;
+            MachInst::MovFloat { rd: parse_reg(ln, parts[0])?, imm }
+        }
+        "cmp" => {
+            need(3)?;
+            let pred = suffix
+                .and_then(CmpPred::from_mnemonic)
+                .ok_or(AsmError { line: ln, message: format!("bad predicate `{mn}`") })?;
+            MachInst::Cmp {
+                pred,
+                rd: parse_reg(ln, parts[0])?,
+                rs: parse_reg(ln, parts[1])?,
+                rt: parse_reg(ln, parts[2])?,
+            }
+        }
+        "ld" => {
+            need(2)?;
+            let width = parse_mem_width(ln, suffix)?;
+            let (rs, off) = parse_mem(ln, parts[1])?;
+            MachInst::Load { width, rd: parse_reg(ln, parts[0])?, rs, off }
+        }
+        "st" => {
+            need(2)?;
+            let width = parse_mem_width(ln, suffix)?;
+            let (rd, off) = parse_mem(ln, parts[0])?;
+            MachInst::Store { width, rd, off, rs: parse_reg(ln, parts[1])? }
+        }
+        "salloc" => {
+            need(2)?;
+            let size: u32 = parts[1]
+                .parse()
+                .map_err(|_| AsmError { line: ln, message: format!("bad size `{}`", parts[1]) })?;
+            MachInst::Salloc { rd: parse_reg(ln, parts[0])?, size }
+        }
+        "lea" => {
+            need(2)?;
+            let rd = parse_reg(ln, parts[0])?;
+            match suffix {
+                Some("g") => MachInst::LeaGlobal { rd, index: global_idx(ln, parts[1])? },
+                Some("f") => {
+                    let index = *func_index.get(parts[1]).ok_or(AsmError {
+                        line: ln,
+                        message: format!("unknown function `{}`", parts[1]),
+                    })?;
+                    MachInst::LeaFunc { rd, index }
+                }
+                _ => return err(ln, "lea needs `.g` or `.f` suffix"),
+            }
+        }
+        "call" => {
+            need(2)?;
+            let index = *func_index.get(parts[0]).ok_or(AsmError {
+                line: ln,
+                message: format!("unknown function `{}`", parts[0]),
+            })?;
+            let nargs: u8 = parts[1]
+                .parse()
+                .map_err(|_| AsmError { line: ln, message: "bad nargs".into() })?;
+            MachInst::Call { index, nargs }
+        }
+        "ecall" => {
+            need(2)?;
+            let index = extern_idx(ln, parts[0])?;
+            let nargs: u8 = parts[1]
+                .parse()
+                .map_err(|_| AsmError { line: ln, message: "bad nargs".into() })?;
+            MachInst::ECall { index, nargs }
+        }
+        "icall" => {
+            if parts.len() < 2 || parts.len() > 3 {
+                return err(ln, "icall expects `rs, nargs[, ret]`");
+            }
+            let rs = parse_reg(ln, parts[0])?;
+            let nargs: u8 = parts[1]
+                .parse()
+                .map_err(|_| AsmError { line: ln, message: "bad nargs".into() })?;
+            let ret = parts.get(2) == Some(&"ret");
+            MachInst::ICall { rs, nargs, ret }
+        }
+        "jmp" => {
+            need(1)?;
+            fixups.push((ln, inst_idx, parts[0].to_string()));
+            MachInst::Jmp { target: 0 }
+        }
+        "brz" => {
+            need(2)?;
+            let rs = parse_reg(ln, parts[0])?;
+            fixups.push((ln, inst_idx, parts[1].to_string()));
+            MachInst::Brz { rs, target: 0 }
+        }
+        "ret" => MachInst::Ret,
+        other => {
+            let op = BinOp::from_mnemonic(other)
+                .ok_or(AsmError { line: ln, message: format!("unknown mnemonic `{other}`") })?;
+            need(3)?;
+            MachInst::Bin {
+                op,
+                rd: parse_reg(ln, parts[0])?,
+                rs: parse_reg(ln, parts[1])?,
+                rt: parse_reg(ln, parts[2])?,
+            }
+        }
+    })
+}
+
+fn parse_mem_width(ln: usize, suffix: Option<&str>) -> Result<Width> {
+    let s = suffix.ok_or(AsmError { line: ln, message: "memory access needs `.w<bits>`".into() })?;
+    s.strip_prefix('w')
+        .and_then(|b| b.parse::<u32>().ok())
+        .and_then(Width::from_bits)
+        .ok_or(AsmError { line: ln, message: format!("bad width `{s}`") })
+}
+
+/// `[rN+off]`
+fn parse_mem(ln: usize, tok: &str) -> Result<(Reg, u32)> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or(AsmError { line: ln, message: format!("bad memory operand `{tok}`") })?;
+    match inner.split_once('+') {
+        Some((r, o)) => {
+            let off: u32 = o
+                .trim()
+                .parse()
+                .map_err(|_| AsmError { line: ln, message: format!("bad offset `{o}`") })?;
+            Ok((parse_reg(ln, r)?, off))
+        }
+        None => Ok((parse_reg(ln, inner)?, 0)),
+    }
+}
+
+/// Renders an image back to assembly text that [`assemble`] parses to an
+/// identical image.
+pub fn disassemble(image: &Image) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "module {}", image.name);
+    for e in &image.externs {
+        let ret = if e.has_ret { ", ret" } else { "" };
+        let _ = writeln!(out, "extern {}, {}{}", e.name, e.nparams, ret);
+    }
+    for g in &image.globals {
+        let _ = writeln!(out, "global {}, {}", g.name, g.size);
+    }
+    for f in &image.functions {
+        let ret = if f.has_ret { "ret" } else { "void" };
+        let _ = writeln!(out, "\nfunc {}({}) -> {} {{", f.name, f.nparams, ret);
+        // Labels at branch targets.
+        let mut targets: Vec<u32> = f.code.iter().flat_map(MachInst::targets).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        for (i, inst) in f.code.iter().enumerate() {
+            if targets.contains(&(i as u32)) {
+                let _ = writeln!(out, "L{i}:");
+            }
+            match inst {
+                MachInst::Jmp { target } => {
+                    let _ = writeln!(out, "    jmp L{target}");
+                }
+                MachInst::Brz { rs, target } => {
+                    let _ = writeln!(out, "    brz {rs}, L{target}");
+                }
+                MachInst::Call { index, nargs } => {
+                    let _ = writeln!(
+                        out,
+                        "    call {}, {}",
+                        image.functions[*index as usize].name, nargs
+                    );
+                }
+                MachInst::ECall { index, nargs } => {
+                    let _ = writeln!(
+                        out,
+                        "    ecall {}, {}",
+                        image.externs[*index as usize].name, nargs
+                    );
+                }
+                MachInst::LeaGlobal { rd, index } => {
+                    let _ =
+                        writeln!(out, "    lea.g {rd}, {}", image.globals[*index as usize].name);
+                }
+                MachInst::LeaFunc { rd, index } => {
+                    let _ = writeln!(
+                        out,
+                        "    lea.f {rd}, {}",
+                        image.functions[*index as usize].name
+                    );
+                }
+                other => {
+                    let _ = writeln!(out, "    {other}");
+                }
+            }
+        }
+        // A trailing label (branch to one-past-the-end) cannot occur: the
+        // assembler only creates labels it later binds.
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+module demo
+extern malloc, 1, ret
+extern free, 1
+global table, 64
+
+func helper(1) -> ret {
+    add r0, r1, r1
+    ret
+}
+
+func main(1) -> ret {
+    salloc r7, 16
+    movi r2, 42
+    st.w64 [r7+8], r2
+    ld.w64 r3, [r7+8]
+    cmp.eq r4, r3, r2
+    brz r4, skip
+    mov r1, r3
+    call helper, 1
+skip:
+    lea.f r5, helper
+    icall r5, 1, ret
+    lea.g r6, table
+    ecall malloc, 1
+    ret
+}
+"#;
+
+    #[test]
+    fn assembles_sample() {
+        let img = assemble(SAMPLE).unwrap();
+        assert_eq!(img.name, "demo");
+        assert_eq!(img.externs.len(), 2);
+        assert!(img.externs[0].has_ret && !img.externs[1].has_ret);
+        assert_eq!(img.globals.len(), 1);
+        assert_eq!(img.functions.len(), 2);
+        let main = &img.functions[1];
+        assert!(main.code.iter().any(|i| matches!(i, MachInst::Brz { .. })));
+        // `skip` resolved to the lea.f instruction index.
+        let brz_target = main
+            .code
+            .iter()
+            .find_map(|i| match i {
+                MachInst::Brz { target, .. } => Some(*target),
+                _ => None,
+            })
+            .unwrap();
+        assert!(matches!(main.code[brz_target as usize], MachInst::LeaFunc { .. }));
+    }
+
+    #[test]
+    fn disassemble_roundtrip() {
+        let img = assemble(SAMPLE).unwrap();
+        let text = disassemble(&img);
+        let img2 = assemble(&text).unwrap();
+        assert_eq!(img, img2);
+    }
+
+    #[test]
+    fn undefined_label_is_reported() {
+        let bad = "module m\nfunc f(0) -> void {\n    jmp nowhere\n}\n";
+        let e = assemble(bad).unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let bad = "module m\nfunc f(0) -> void {\n    frob r0, r1\n}\n";
+        let e = assemble(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn forward_function_references_resolve() {
+        let text = "module m\nfunc a(0) -> void {\n    call b, 0\n    ret\n}\nfunc b(0) -> void {\n    ret\n}\n";
+        let img = assemble(text).unwrap();
+        assert!(matches!(img.functions[0].code[0], MachInst::Call { index: 1, nargs: 0 }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored()
+    {
+        let text = "module m ; trailing\n; full comment\n\nfunc f(0) -> void {\n    ret ; done\n}\n";
+        let img = assemble(text).unwrap();
+        assert_eq!(img.functions[0].code, vec![MachInst::Ret]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests: arbitrary instruction streams survive the SBF
+//! encode/decode roundtrip, and structurally valid programs always lift to
+//! verifier-clean IR.
+
+use proptest::prelude::*;
+
+use manta_ir::{BinOp, CmpPred, Width};
+use manta_isa::{decode, encode, Image, ImageExtern, ImageFunction, ImageGlobal, MachInst, Reg};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg)
+}
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop_oneof![
+        Just(Width::W8),
+        Just(Width::W16),
+        Just(Width::W32),
+        Just(Width::W64),
+    ]
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::And),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+    ]
+}
+
+fn arb_pred() -> impl Strategy<Value = CmpPred> {
+    prop_oneof![
+        Just(CmpPred::Eq),
+        Just(CmpPred::Ne),
+        Just(CmpPred::Lt),
+        Just(CmpPred::Ge),
+    ]
+}
+
+/// Any instruction, with targets/indexes bounded so programs can be made
+/// structurally valid.
+fn arb_inst(code_len: u32) -> impl Strategy<Value = MachInst> {
+    prop_oneof![
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| MachInst::Mov { rd, rs }),
+        (arb_reg(), any::<i64>()).prop_map(|(rd, imm)| MachInst::MovImm { rd, imm }),
+        (arb_reg(), -1e9f64..1e9).prop_map(|(rd, imm)| MachInst::MovFloat { rd, imm }),
+        (arb_binop(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs, rt)| MachInst::Bin { op, rd, rs, rt }),
+        (arb_pred(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(pred, rd, rs, rt)| MachInst::Cmp { pred, rd, rs, rt }),
+        (arb_width(), arb_reg(), arb_reg(), 0u32..64)
+            .prop_map(|(width, rd, rs, off)| MachInst::Load { width, rd, rs, off }),
+        (arb_width(), arb_reg(), 0u32..64, arb_reg())
+            .prop_map(|(width, rd, off, rs)| MachInst::Store { width, rd, off, rs }),
+        (arb_reg(), 1u32..128).prop_map(|(rd, size)| MachInst::Salloc { rd, size }),
+        (arb_reg(), 0..code_len).prop_map(|(rs, target)| MachInst::Brz { rs, target }),
+        (0..code_len).prop_map(|target| MachInst::Jmp { target }),
+        Just(MachInst::Ret),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Encode → decode is the identity on arbitrary images.
+    #[test]
+    fn sbf_roundtrip_arbitrary_images(
+        insts in prop::collection::vec(arb_inst(8), 1..24),
+        nparams in 0u8..6,
+        has_ret in any::<bool>(),
+        gsize in 1u64..512,
+    ) {
+        let mut code = insts;
+        code.push(MachInst::Ret); // ensure at least one terminator
+        let image = Image {
+            name: "prop".into(),
+            externs: vec![ImageExtern { name: "malloc".into(), nparams: 1, has_ret: true }],
+            globals: vec![ImageGlobal { name: "g".into(), size: gsize }],
+            functions: vec![ImageFunction { name: "f".into(), nparams, has_ret, code }],
+        };
+        let bytes = encode(&image);
+        let back = decode(&bytes).expect("well-formed image decodes");
+        prop_assert_eq!(image, back);
+    }
+
+    /// Valid branch targets always lift to verifier-clean SSA, loops and
+    /// all (the lifter is total on structurally valid code).
+    #[test]
+    fn valid_programs_always_lift(
+        body in prop::collection::vec(arb_inst(6), 4..12),
+        nparams in 0u8..4,
+    ) {
+        let mut code = body;
+        code.push(MachInst::Ret);
+        let len = code.len() as u32;
+        // Clamp targets into range.
+        for inst in &mut code {
+            match inst {
+                MachInst::Jmp { target } | MachInst::Brz { target, .. } => {
+                    *target %= len;
+                }
+                _ => {}
+            }
+        }
+        let image = Image {
+            name: "prop".into(),
+            externs: vec![],
+            globals: vec![ImageGlobal { name: "g".into(), size: 8 }],
+            functions: vec![ImageFunction { name: "f".into(), nparams, has_ret: true, code }],
+        };
+        let module = manta_isa::lift::lift(&image).expect("valid code lifts");
+        manta_ir::verify::verify_module(&module).expect("lifted module verifies");
+    }
+}

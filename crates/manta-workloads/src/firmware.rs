@@ -1,0 +1,362 @@
+//! Synthetic IoT firmware images with injected bugs and decoys (Table 5's
+//! workload).
+//!
+//! Each image contains, per vulnerability class, a number of *real* bugs
+//! (feasible source→sink flows) and *decoys* — flows that exist in an
+//! untyped DDG but are infeasible once types are known (a tainted string
+//! converted to an integer before `system`, a numeric offset mistaken for
+//! a null pointer, a pointer difference mistaken for an escaping stack
+//! address). The decoys are exactly the false-positive populations the
+//! paper attributes to SaTC, cwe_checker and Manta-NoType (§6.3).
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use manta_ir::{BinOp, CmpPred, ModuleBuilder, Width};
+
+use crate::generator::GeneratedProgram;
+use crate::truth::{BugClass, GroundTruth, InjectedBug};
+
+/// A firmware image request.
+#[derive(Clone, Debug)]
+pub struct FirmwareSpec {
+    /// Vendor/model name (Table 5 rows).
+    pub name: String,
+    /// Real injected bugs per class.
+    pub real_bugs_per_class: usize,
+    /// Infeasible decoys per class.
+    pub decoys_per_class: usize,
+    /// Benign noise functions.
+    pub noise_functions: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+/// Generates a firmware image.
+pub fn generate_firmware(spec: &FirmwareSpec) -> GeneratedProgram {
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    let mut mb = ModuleBuilder::new(spec.name.clone());
+    let malloc = mb.extern_fn("malloc", &[], None);
+    let free = mb.extern_fn("free", &[], None);
+    let nvram = mb.extern_fn("nvram_get", &[], None);
+    let system = mb.extern_fn("system", &[], None);
+    let strcpy = mb.extern_fn("strcpy", &[], None);
+    let atoi = mb.extern_fn("atol", &[], None);
+    let printf_d = mb.extern_fn("printf_d", &[], None);
+    let strlen = mb.extern_fn("strlen", &[], None);
+    let vendor = mb.extern_fn("vendor_ioctl", &[Width::W64], Some(Width::W64));
+    let mut truth = GroundTruth::default();
+    let record = |truth: &mut GroundTruth, class: BugClass, func: &str, real: bool| {
+        let bug = InjectedBug { class, func: func.to_string(), real };
+        truth.bugs.push(bug.clone());
+        truth.source_sink_pairs.push(bug);
+    };
+
+    let classes = [BugClass::Cmi, BugClass::Bof, BugClass::Npd, BugClass::Rsa, BugClass::Uaf];
+    for class in classes {
+        for k in 0..spec.real_bugs_per_class {
+            let name = format!("{}_real{}", label(class), k);
+            // Half of the taint-class reals route the sink value through
+            // pointer-arithmetic "length math" — type-unsafe but feasible.
+            // Heuristic inference (arithmetic evidence) mistypes the value
+            // as an integer and *misses* the real bug; Manta's per-site
+            // refinement recovers the pointer type from the def site.
+            let arith_obscured = k % 2 == 1;
+            match class {
+                BugClass::Cmi => {
+                    let (_, mut fb) = mb.function(&name, &[], Some(Width::W32));
+                    let key = fb.alloca(8);
+                    let taint = fb.call_extern(nvram, &[key], Some(Width::W64)).unwrap();
+                    let cmd = if arith_obscured {
+                        let t2 = fb.copy(taint);
+                        let one = fb.const_int(1, Width::W64);
+                        fb.binop(BinOp::Mul, t2, one, Width::W64);
+                        t2
+                    } else {
+                        taint
+                    };
+                    let r = fb.call_extern(system, &[cmd], Some(Width::W32)).unwrap();
+                    fb.ret(Some(r));
+                    mb.finish_function(fb);
+                }
+                BugClass::Bof => {
+                    let (_, mut fb) = mb.function(&name, &[], None);
+                    let key = fb.alloca(8);
+                    let taint = fb.call_extern(nvram, &[key], Some(Width::W64)).unwrap();
+                    let src = if arith_obscured {
+                        let t2 = fb.copy(taint);
+                        let one = fb.const_int(1, Width::W64);
+                        fb.binop(BinOp::Mul, t2, one, Width::W64);
+                        t2
+                    } else {
+                        taint
+                    };
+                    let buf = fb.alloca(16);
+                    fb.call_extern(strcpy, &[buf, src], Some(Width::W64));
+                    fb.ret(None);
+                    mb.finish_function(fb);
+                }
+                BugClass::Npd => {
+                    let (_, mut fb) = mb.function(&name, &[Width::W1], Some(Width::W64));
+                    let c = fb.param(0);
+                    let slot = fb.alloca(8);
+                    let null = fb.const_null();
+                    let t = fb.new_block();
+                    let e = fb.new_block();
+                    let j = fb.new_block();
+                    fb.cond_br(c, t, e);
+                    fb.switch_to(t);
+                    fb.store(slot, null);
+                    fb.br(j);
+                    fb.switch_to(e);
+                    let sz = fb.const_int(32, Width::W64);
+                    let buf = fb.call_extern(malloc, &[sz], Some(Width::W64)).unwrap();
+                    fb.store(slot, buf);
+                    fb.br(j);
+                    fb.switch_to(j);
+                    let p = fb.load(slot, Width::W64);
+                    let v = fb.load(p, Width::W64);
+                    fb.ret(Some(v));
+                    mb.finish_function(fb);
+                }
+                BugClass::Rsa => {
+                    let (_, mut fb) = mb.function(&name, &[], Some(Width::W64));
+                    let slot = fb.alloca(64);
+                    let alias = fb.copy(slot);
+                    fb.ret(Some(alias));
+                    mb.finish_function(fb);
+                }
+                BugClass::Uaf => {
+                    let (_, mut fb) = mb.function(&name, &[], Some(Width::W64));
+                    let sz = fb.const_int(24, Width::W64);
+                    let p = fb.call_extern(malloc, &[sz], Some(Width::W64)).unwrap();
+                    fb.call_extern(free, &[p], None);
+                    let v = fb.load(p, Width::W64);
+                    fb.ret(Some(v));
+                    mb.finish_function(fb);
+                }
+            }
+            record(&mut truth, class, &name, true);
+        }
+        // Hard decoys: the flow is type-consistent but guarded by a
+        // condition that never holds — path-feasibility is beyond the
+        // type-assisted analysis, so even Manta reports these (its
+        // residual ~23% FPR in Table 5).
+        if matches!(class, BugClass::Cmi | BugClass::Bof) {
+            for k in 0..spec.decoys_per_class.div_ceil(2) {
+                let name = format!("{}_hard{}", label(class), k);
+                let (_, mut fb) = mb.function(&name, &[Width::W64], Some(Width::W32));
+                let key = fb.alloca(8);
+                let taint = fb.call_extern(nvram, &[key], Some(Width::W64)).unwrap();
+                let n = fb.call_extern(strlen, &[taint], Some(Width::W64)).unwrap();
+                // `if (n < 0)` — never true for a length.
+                let zero = fb.const_int(0, Width::W64);
+                let c = fb.cmp(CmpPred::Lt, n, zero);
+                let dead = fb.new_block();
+                let live = fb.new_block();
+                fb.cond_br(c, dead, live);
+                fb.switch_to(dead);
+                match class {
+                    BugClass::Cmi => {
+                        fb.call_extern(system, &[taint], Some(Width::W32));
+                    }
+                    _ => {
+                        let buf = fb.alloca(16);
+                        fb.call_extern(strcpy, &[buf, taint], Some(Width::W64));
+                    }
+                }
+                fb.br(live);
+                fb.switch_to(live);
+                let r = fb.const_int(0, Width::W32);
+                fb.ret(Some(r));
+                mb.finish_function(fb);
+                record(&mut truth, class, &name, false);
+            }
+        }
+        for k in 0..spec.decoys_per_class {
+            let name = format!("{}_decoy{}", label(class), k);
+            match class {
+                BugClass::Cmi => {
+                    // Taint sanitized through integer conversion: the
+                    // "command" reaching system is numeric.
+                    let (_, mut fb) = mb.function(&name, &[], Some(Width::W32));
+                    let key = fb.alloca(8);
+                    let taint = fb.call_extern(nvram, &[key], Some(Width::W64)).unwrap();
+                    let n = fb.call_extern(atoi, &[taint], Some(Width::W64)).unwrap();
+                    let n2 = fb.copy(n);
+                    let fmt = fb.alloca(8);
+                    fb.call_extern(printf_d, &[fmt, n2], Some(Width::W32));
+                    let r = fb.call_extern(system, &[n2], Some(Width::W32)).unwrap();
+                    fb.ret(Some(r));
+                    mb.finish_function(fb);
+                }
+                BugClass::Bof => {
+                    // Same sanitization, strcpy source is an integer.
+                    let (_, mut fb) = mb.function(&name, &[], None);
+                    let key = fb.alloca(8);
+                    let taint = fb.call_extern(nvram, &[key], Some(Width::W64)).unwrap();
+                    let n = fb.call_extern(atoi, &[taint], Some(Width::W64)).unwrap();
+                    let fmt = fb.alloca(8);
+                    fb.call_extern(printf_d, &[fmt, n], Some(Width::W32));
+                    let buf = fb.alloca(16);
+                    fb.call_extern(strcpy, &[buf, n], Some(Width::W64));
+                    fb.ret(None);
+                    mb.finish_function(fb);
+                }
+                BugClass::Npd => {
+                    // Figure 4's false NPD: a zero-initialized *offset*
+                    // added to a real pointer before the dereference.
+                    let (_, mut fb) = mb.function(&name, &[Width::W1], Some(Width::W64));
+                    let c = fb.param(0);
+                    let off_slot = fb.alloca(8);
+                    let zero = fb.const_int(0, Width::W64);
+                    fb.store(off_slot, zero);
+                    let t = fb.new_block();
+                    let j = fb.new_block();
+                    fb.cond_br(c, t, j);
+                    fb.switch_to(t);
+                    let one = fb.const_int(1, Width::W64);
+                    let adj = fb.binop(BinOp::Mul, one, one, Width::W64);
+                    fb.store(off_slot, adj);
+                    fb.br(j);
+                    fb.switch_to(j);
+                    let off = fb.load(off_slot, Width::W64);
+                    let two = fb.const_int(2, Width::W64);
+                    let off2 = fb.binop(BinOp::Mul, off, two, Width::W64);
+                    let sz = fb.const_int(64, Width::W64);
+                    let base = fb.call_extern(malloc, &[sz], Some(Width::W64)).unwrap();
+                    let pchr = fb.binop(BinOp::Add, base, off2, Width::W64);
+                    let v = fb.load(pchr, Width::W64);
+                    fb.ret(Some(v));
+                    mb.finish_function(fb);
+                }
+                BugClass::Rsa => {
+                    // A pointer *difference* (numeric) escaping: fine.
+                    let (_, mut fb) = mb.function(&name, &[], Some(Width::W64));
+                    let a = fb.alloca(32);
+                    let b = fb.alloca(32);
+                    let d = fb.binop(BinOp::Sub, a, b, Width::W64);
+                    let two = fb.const_int(2, Width::W64);
+                    let half = fb.binop(BinOp::Div, d, two, Width::W64);
+                    fb.ret(Some(half));
+                    mb.finish_function(fb);
+                }
+                BugClass::Uaf => {
+                    // Use *before* free plus a disjoint object after: no
+                    // ordering violation.
+                    let (_, mut fb) = mb.function(&name, &[], Some(Width::W64));
+                    let sz = fb.const_int(24, Width::W64);
+                    let p = fb.call_extern(malloc, &[sz], Some(Width::W64)).unwrap();
+                    let v = fb.load(p, Width::W64);
+                    fb.call_extern(free, &[p], None);
+                    let q = fb.call_extern(malloc, &[sz], Some(Width::W64)).unwrap();
+                    let w = fb.load(q, Width::W64);
+                    let s = fb.binop(BinOp::Add, v, w, Width::W64);
+                    fb.ret(Some(s));
+                    mb.finish_function(fb);
+                }
+            }
+            record(&mut truth, class, &name, false);
+        }
+    }
+
+    // Benign noise: taint handled safely, pointer workhorses.
+    for i in 0..spec.noise_functions {
+        let name = format!("svc_{i}");
+        let (_, mut fb) = mb.function(&name, &[Width::W64], Some(Width::W64));
+        let p = fb.param(0);
+        match rng.gen_range(0..4) {
+            0 => {
+                // Length check then use.
+                let n = fb.call_extern(strlen, &[p], Some(Width::W64)).unwrap();
+                let k = fb.const_int(16, Width::W64);
+                let c = fb.cmp(CmpPred::Lt, n, k);
+                let ok = fb.new_block();
+                let done = fb.new_block();
+                fb.cond_br(c, ok, done);
+                fb.switch_to(ok);
+                let buf = fb.alloca(32);
+                fb.call_extern(strcpy, &[buf, p], Some(Width::W64));
+                fb.br(done);
+                fb.switch_to(done);
+                fb.ret(Some(n));
+            }
+            1 => {
+                let r = fb.call_extern(vendor, &[p], Some(Width::W64)).unwrap();
+                fb.ret(Some(r));
+            }
+            2 => {
+                let sz = fb.const_int(48, Width::W64);
+                let buf = fb.call_extern(malloc, &[sz], Some(Width::W64)).unwrap();
+                fb.store(buf, p);
+                let v = fb.load(buf, Width::W64);
+                fb.call_extern(free, &[buf], None);
+                let _ = v;
+                let k = fb.const_int(0x33, Width::W64);
+                fb.ret(Some(k));
+            }
+            _ => {
+                let fmt = fb.alloca(8);
+                let n = fb.call_extern(strlen, &[p], Some(Width::W64)).unwrap();
+                fb.call_extern(printf_d, &[fmt, n], Some(Width::W32));
+                fb.ret(Some(n));
+            }
+        }
+        mb.finish_function(fb);
+    }
+
+    let module = mb.finish();
+    manta_ir::verify::assert_valid(&module);
+    GeneratedProgram { module, truth }
+}
+
+fn label(class: BugClass) -> &'static str {
+    match class {
+        BugClass::Npd => "npd",
+        BugClass::Rsa => "rsa",
+        BugClass::Uaf => "uaf",
+        BugClass::Cmi => "cmi",
+        BugClass::Bof => "bof",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FirmwareSpec {
+        FirmwareSpec {
+            name: "TestFW".into(),
+            real_bugs_per_class: 2,
+            decoys_per_class: 2,
+            noise_functions: 10,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn firmware_generates_and_verifies() {
+        let g = generate_firmware(&spec());
+        manta_ir::verify::verify_module(&g.module).unwrap();
+        // 5 classes × (2 real + 2 decoys) plus one hard decoy for each of
+        // the two taint classes.
+        assert_eq!(g.truth.bugs.len(), 5 * 4 + 2);
+        assert!(g.truth.bugs.iter().any(|b| b.func.starts_with("cmi_hard")));
+        assert_eq!(g.truth.real_bugs(BugClass::Cmi).count(), 2);
+        assert_eq!(g.truth.decoys(BugClass::Npd).count(), 2);
+        // Every bug's function exists.
+        for b in &g.truth.bugs {
+            assert!(g.module.function_by_name(&b.func).is_some(), "{}", b.func);
+        }
+    }
+
+    #[test]
+    fn firmware_is_deterministic() {
+        let a = generate_firmware(&spec());
+        let b = generate_firmware(&spec());
+        assert_eq!(
+            manta_ir::printer::print_module(&a.module),
+            manta_ir::printer::print_module(&b.module)
+        );
+    }
+}

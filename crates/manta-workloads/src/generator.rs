@@ -1,0 +1,854 @@
+//! The synthetic program generator.
+//!
+//! Programs are emitted directly as stripped [`manta_ir::Module`]s (the
+//! SB-ISA path is exercised separately by the examples and integration
+//! tests; analytically the two are equivalent because the lifter's output
+//! is exactly this IR). Every function parameter is assigned an
+//! *archetype* (see [`crate::mix::PhenomenonMix`]) that determines which
+//! usage gadget is emitted for it, and therefore how each inference
+//! sensitivity will fare on it. The intended source type of every
+//! parameter is recorded in the [`GroundTruth`].
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use manta_ir::{
+    BinOp, CmpPred, ExternId, FuncId, FunctionBuilder, Module, ModuleBuilder, Type, ValueId,
+    Width,
+};
+
+use crate::mix::{Archetype, PhenomenonMix};
+use crate::truth::{GroundTruth, ParamKey};
+
+/// A generation request.
+#[derive(Clone, Debug)]
+pub struct GenSpec {
+    /// Module name.
+    pub name: String,
+    /// Number of regular (scored) functions.
+    pub functions: usize,
+    /// Phenomenon rates.
+    pub mix: PhenomenonMix,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A generated program: the stripped module plus its scoring oracle.
+#[derive(Debug)]
+pub struct GeneratedProgram {
+    /// The stripped module (no type information anywhere).
+    pub module: Module,
+    /// The evaluation oracle.
+    pub truth: GroundTruth,
+}
+
+/// Ground-truth parameter types used by the generator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum GtTy {
+    Int64,
+    StrPtr,
+    ObjPtr,
+    Double,
+}
+
+impl GtTy {
+    fn to_type(self) -> Type {
+        match self {
+            GtTy::Int64 => Type::Int(Width::W64),
+            GtTy::StrPtr => Type::byte_ptr(),
+            GtTy::ObjPtr => Type::ptr(Type::object(vec![
+                (0, Type::Int(Width::W64)),
+                (8, Type::byte_ptr()),
+            ])),
+            GtTy::Double => Type::Double,
+        }
+    }
+
+    fn is_ptr(self) -> bool {
+        matches!(self, GtTy::StrPtr | GtTy::ObjPtr)
+    }
+}
+
+struct Ctx {
+    mb: ModuleBuilder,
+    truth: GroundTruth,
+    rng: ChaCha8Rng,
+    mix: PhenomenonMix,
+    // Modeled externs.
+    malloc: ExternId,
+    printf_d: ExternId,
+    printf_s: ExternId,
+    strlen: ExternId,
+    fabs: ExternId,
+    vendors: Vec<ExternId>,
+    // Shared typed reveal helpers (archetype B): name, id.
+    bderef_str: FuncId,
+    bint: FuncId,
+    // Indirect-call candidate pool: (id, name, source param kinds).
+    cb_pool: Vec<(FuncId, String, Vec<CbParam>)>,
+    // Shared infrastructure for globally-routed polymorphic icall args:
+    // (config global, forwarding helper).
+    icall_poly: Option<(manta_ir::GlobalId, FuncId)>,
+    // Counter for unique helper names.
+    fresh: usize,
+}
+
+impl Ctx {
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        self.fresh += 1;
+        format!("{prefix}_{}", self.fresh)
+    }
+}
+
+/// Generates a program from `spec`.
+pub fn generate(spec: &GenSpec) -> GeneratedProgram {
+    let mut mb = ModuleBuilder::new(spec.name.clone());
+    let malloc = mb.extern_fn("malloc", &[], None);
+    let printf_d = mb.extern_fn("printf_d", &[], None);
+    let printf_s = mb.extern_fn("printf_s", &[], None);
+    let strlen = mb.extern_fn("strlen", &[], None);
+    let fabs = mb.extern_fn("fabs", &[], None);
+    let vendors: Vec<ExternId> = (0..4)
+        .map(|i| mb.extern_fn(&format!("vendor_op{i}"), &[Width::W64], Some(Width::W64)))
+        .collect();
+
+    // Shared archetype-B helpers: consistent contexts, reveal inside the
+    // callee. One per ground-truth type so unification classes never mix.
+    let bderef_str = {
+        let (id, mut fb) = mb.function("lib_strsink", &[Width::W64], Some(Width::W64));
+        let p = fb.param(0);
+        let n = fb.call_extern(strlen, &[p], Some(Width::W64)).unwrap();
+        fb.ret(Some(n));
+        mb.finish_function(fb);
+        id
+    };
+    let bint = {
+        let (id, mut fb) = mb.function("lib_intsink", &[Width::W64], Some(Width::W64));
+        let p = fb.param(0);
+        let fmt = fb.alloca(8);
+        fb.call_extern(printf_d, &[fmt, p], Some(Width::W32));
+        fb.ret(Some(p));
+        mb.finish_function(fb);
+        id
+    };
+    // The B helpers' own parameters are scored too; record their truth.
+    let mut truth = GroundTruth::default();
+    truth.param_types.insert(ParamKey::new("lib_strsink", 0), GtTy::StrPtr.to_type());
+    truth.param_types.insert(ParamKey::new("lib_intsink", 0), GtTy::Int64.to_type());
+
+    let mut ctx = Ctx {
+        mb,
+        truth,
+        rng: ChaCha8Rng::seed_from_u64(spec.seed),
+        mix: spec.mix,
+        malloc,
+        printf_d,
+        printf_s,
+        strlen,
+        fabs,
+        vendors,
+        bderef_str,
+        bint,
+        cb_pool: Vec::new(),
+        icall_poly: None,
+        fresh: 0,
+    };
+
+    build_icall_pools(&mut ctx, spec);
+    build_icall_poly_route(&mut ctx, spec);
+    for i in 0..spec.functions {
+        build_regular_function(&mut ctx, i);
+    }
+
+    let module = ctx.mb.finish();
+    manta_ir::verify::assert_valid(&module);
+    GeneratedProgram { module, truth: ctx.truth }
+}
+
+/// Source-level parameter kinds of indirect-call candidates (the oracle
+/// matches on these, per the paper's source-level ground-truth analysis).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum CbParam {
+    /// 64-bit integer.
+    Int64,
+    /// 32-bit integer — arity-compatible everywhere, width-incompatible
+    /// with 64-bit arguments (the evidence τ-CFI exploits over TypeArmor).
+    Int32,
+    /// String pointer.
+    Ptr,
+}
+
+impl CbParam {
+    fn compatible(self, arg: ArgKind) -> bool {
+        match (self, arg) {
+            (CbParam::Int64, ArgKind::Int) => true,
+            (CbParam::Ptr, ArgKind::Ptr) => true,
+            // A union-typed or unknown argument is *source-typed* by the
+            // intent recorded at the site; type checks use that intent.
+            _ => false,
+        }
+    }
+
+    fn width(self) -> Width {
+        match self {
+            CbParam::Int32 => Width::W32,
+            _ => Width::W64,
+        }
+    }
+}
+
+/// Shared route for icall arguments whose pointer provenance is a global
+/// initialized elsewhere and forwarded through a polymorphic helper: the
+/// flow-insensitive stage over-approximates (the helper is also called with
+/// an integer), the flow-sensitive stage finds no CFG-reachable hint (the
+/// initialization is in another root), and only the context-sensitive DDG
+/// traversal types it — the Table 4 separation between FI+FS and FI+CS+FS.
+fn build_icall_poly_route(ctx: &mut Ctx, spec: &GenSpec) {
+    if spec.functions < 6 {
+        return;
+    }
+    let g = ctx.mb.global("g_dispatch_cfg", 8);
+    // Initialization root: stores a heap buffer into the global.
+    let (_, mut ib) = ctx.mb.function("init_dispatch", &[], Some(Width::W64));
+    let sz = ib.const_int(64, Width::W64);
+    let buf = ib.call_extern(ctx.malloc, &[sz], Some(Width::W64)).unwrap();
+    let ga = ib.global_addr(g);
+    ib.store(ga, buf);
+    let k = ib.const_int(1, Width::W64);
+    ib.ret(Some(k));
+    ctx.mb.finish_function(ib);
+    // Polymorphic forwarder.
+    let (fwd, mut sb) = ctx.mb.function("ipoly_fwd", &[Width::W64], Some(Width::W64));
+    let x = sb.param(0);
+    let slot = sb.alloca(8);
+    sb.store(slot, x);
+    let v = sb.load(slot, Width::W64);
+    sb.ret(Some(v));
+    ctx.mb.finish_function(sb);
+    // Integer pollution context.
+    let (_, mut pb) = ctx.mb.function("ipoly_pollute", &[], Some(Width::W64));
+    let k = pb.const_int(77, Width::W64);
+    let fmt = pb.alloca(8);
+    pb.call_extern(ctx.printf_d, &[fmt, k], Some(Width::W32));
+    let r = pb.call(fwd, &[k], Some(Width::W64)).unwrap();
+    pb.ret(Some(r));
+    ctx.mb.finish_function(pb);
+    ctx.icall_poly = Some((g, fwd));
+}
+
+/// The source-intended kind of an indirect-call argument.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ArgKind {
+    Int,
+    Ptr,
+}
+
+/// Address-taken callback pools for indirect-call sites. Signatures vary
+/// in arity (0–2) and width so the count-based (TypeArmor), width-based
+/// (τ-CFI) and type-based (Manta) clients separate.
+fn build_icall_pools(ctx: &mut Ctx, spec: &GenSpec) {
+    if spec.functions < 6 {
+        return; // tiny binaries (coreutils-style) have no function-pointer tables
+    }
+    let n = (spec.functions / 10).clamp(2, 10);
+    let shapes: [(&str, &[CbParam]); 5] = [
+        ("cb_int", &[CbParam::Int64]),
+        ("cb_str", &[CbParam::Ptr]),
+        ("cb_nar", &[CbParam::Int32]),
+        ("cb_two", &[CbParam::Ptr, CbParam::Int64]),
+        ("cb_nil", &[]),
+    ];
+    for i in 0..n {
+        for (prefix, params) in shapes {
+            if prefix == "cb_nar" && i != 0 {
+                continue; // narrow-width shapes are the rarer minority
+            }
+            let name = format!("{prefix}{i}");
+            let widths: Vec<Width> = params.iter().map(|p| p.width()).collect();
+            let (id, mut fb) = ctx.mb.function(&name, &widths, Some(Width::W64));
+            // Reveal each parameter per its source type.
+            for (pi, kind) in params.iter().enumerate() {
+                let p = fb.param(pi);
+                match kind {
+                    CbParam::Ptr => {
+                        fb.call_extern(ctx.strlen, &[p], Some(Width::W64));
+                    }
+                    CbParam::Int64 | CbParam::Int32 => {
+                        let fmt = fb.alloca(8);
+                        fb.call_extern(ctx.printf_d, &[fmt, p], Some(Width::W32));
+                    }
+                }
+            }
+            let k = fb.const_int(3 + i as i64, Width::W64);
+            fb.ret(Some(k));
+            ctx.mb.finish_function(fb);
+            ctx.mb.mark_address_taken(id);
+            for (pi, kind) in params.iter().enumerate() {
+                let gt = match kind {
+                    CbParam::Ptr => GtTy::StrPtr.to_type(),
+                    CbParam::Int64 => Type::Int(Width::W64),
+                    CbParam::Int32 => Type::Int(Width::W32),
+                };
+                ctx.truth.param_types.insert(ParamKey::new(&name, pi), gt);
+                ctx.truth
+                    .param_archetypes
+                    .insert(ParamKey::new(&name, pi), "Callback".into());
+            }
+            ctx.truth.address_taken.insert(name.clone());
+            ctx.cb_pool.push((id, name, params.to_vec()));
+        }
+    }
+}
+
+fn pick_archetypes(ctx: &mut Ctx, count: usize) -> Vec<Archetype> {
+    // Partition: a function is either "driven" (has a caller building its
+    // arguments: BranchCast / CallsiteCast archetypes) or a "root" (no
+    // callers: everything else). Mixing both in one function would let the
+    // driver's hints leak into archetypes that must stay caller-less.
+    let weights = ctx.mix.archetype_weights();
+    let driven_w: f64 = weights
+        .iter()
+        .filter(|(a, _)| matches!(a, Archetype::BranchCast | Archetype::CallsiteCast))
+        .map(|(_, w)| w)
+        .sum();
+    let total: f64 = weights.iter().map(|(_, w)| w).sum();
+    let driven = ctx.rng.gen_bool((driven_w / total).clamp(0.0, 1.0));
+    let allowed: Vec<(Archetype, f64)> = weights
+        .iter()
+        .copied()
+        .filter(|(a, _)| {
+            let is_driven_arch = matches!(a, Archetype::BranchCast | Archetype::CallsiteCast);
+            is_driven_arch == driven
+        })
+        .collect();
+    let sum: f64 = allowed.iter().map(|(_, w)| w).sum();
+    (0..count)
+        .map(|_| {
+            let mut x = ctx.rng.gen_range(0.0..sum.max(f64::MIN_POSITIVE));
+            for &(a, w) in &allowed {
+                if x < w {
+                    return a;
+                }
+                x -= w;
+            }
+            allowed.last().expect("non-empty archetype set").0
+        })
+        .collect()
+}
+
+fn build_regular_function(ctx: &mut Ctx, index: usize) {
+    let nparams = ctx.rng.gen_range(1..=3);
+    let archetypes = pick_archetypes(ctx, nparams);
+    let name = format!("fn_{index}");
+    let widths = vec![Width::W64; nparams];
+    let (fid, mut fb) = ctx.mb.function(&name, &widths, Some(Width::W64));
+
+    // Choose ground-truth types per archetype.
+    let gts: Vec<GtTy> = archetypes
+        .iter()
+        .map(|a| match a {
+            Archetype::LocalReveal => match ctx.rng.gen_range(0..10) {
+                0..=4 => GtTy::Int64,
+                5..=7 => GtTy::StrPtr,
+                8 => GtTy::ObjPtr,
+                _ => GtTy::Double,
+            },
+            Archetype::InterprocReveal => {
+                if ctx.rng.gen_bool(0.5) {
+                    GtTy::StrPtr
+                } else {
+                    GtTy::Int64
+                }
+            }
+            Archetype::PolyShared => GtTy::StrPtr,
+            Archetype::BranchCast => GtTy::StrPtr,
+            Archetype::Unmodeled => {
+                if ctx.rng.gen_bool(0.5) {
+                    GtTy::Int64
+                } else {
+                    GtTy::StrPtr
+                }
+            }
+            Archetype::WrongInt => GtTy::StrPtr,
+            Archetype::CallsiteCast => GtTy::StrPtr,
+            Archetype::NumericAbstract => GtTy::Int64,
+        })
+        .collect();
+    for (i, (gt, arch)) in gts.iter().zip(&archetypes).enumerate() {
+        ctx.truth.param_types.insert(ParamKey::new(&name, i), gt.to_type());
+        ctx.truth
+            .param_archetypes
+            .insert(ParamKey::new(&name, i), format!("{arch:?}"));
+    }
+
+    // Emit per-parameter gadgets.
+    let mut needs_driver: Vec<(usize, Archetype, GtTy)> = Vec::new();
+    for (i, (&arch, &gt)) in archetypes.iter().zip(&gts).enumerate() {
+        let p = fb.param(i);
+        match arch {
+            Archetype::LocalReveal => emit_local_reveal(ctx, &mut fb, p, gt),
+            Archetype::InterprocReveal => {
+                let helper = if gt.is_ptr() { ctx.bderef_str } else { ctx.bint };
+                fb.call(helper, &[p], Some(Width::W64));
+            }
+            Archetype::PolyShared => {
+                let (sink, deref) = emit_poly_shared(ctx, i);
+                fb.call(sink, &[p], Some(Width::W64));
+                fb.call(deref, &[p], Some(Width::W64));
+            }
+            Archetype::BranchCast => {
+                emit_branch_cast(ctx, &mut fb, p);
+                needs_driver.push((i, arch, gt));
+            }
+            Archetype::Unmodeled => {
+                let v = ctx.vendors[ctx.rng.gen_range(0..ctx.vendors.len())];
+                fb.call_extern(v, &[p], Some(Width::W64));
+            }
+            Archetype::WrongInt => emit_wrong_int(ctx, &mut fb, p),
+            Archetype::CallsiteCast => {
+                // Local pointer reveal; the conflicting hint comes from the
+                // driver's cast at the call site.
+                fb.load(p, Width::W64);
+                needs_driver.push((i, arch, gt));
+            }
+            Archetype::NumericAbstract => {
+                let two = fb.const_int(2, Width::W64);
+                let sq = fb.binop(BinOp::Mul, p, two, Width::W64);
+                let _ = fb.binop(BinOp::Xor, sq, p, Width::W64);
+            }
+        }
+    }
+
+    // Function-level phenomena.
+    if ctx.rng.gen_bool(ctx.mix.union_rate) {
+        emit_union_gadget(ctx, &mut fb);
+    }
+    if ctx.rng.gen_bool(ctx.mix.stack_recycle_rate) {
+        emit_stack_recycle(ctx, &mut fb);
+    }
+    if ctx.rng.gen_bool(ctx.mix.loop_rate) {
+        emit_loop(ctx, &mut fb);
+    }
+    if ctx.rng.gen_bool(ctx.mix.icall_rate) {
+        emit_icall(ctx, &mut fb, &name);
+    }
+
+    let ret = fb.const_int(1 + index as i64, Width::W64);
+    fb.ret(Some(ret));
+    ctx.mb.finish_function(fb);
+
+    // Driver for branch-cast / callsite-cast parameters.
+    if !needs_driver.is_empty() {
+        emit_driver(ctx, fid, nparams, &needs_driver);
+    }
+}
+
+/// Archetype A: a consistent modeled-extern reveal in the function itself.
+fn emit_local_reveal(ctx: &mut Ctx, fb: &mut FunctionBuilder, p: ValueId, gt: GtTy) {
+    match gt {
+        GtTy::Int64 => {
+            let fmt = fb.alloca(8);
+            fb.call_extern(ctx.printf_d, &[fmt, p], Some(Width::W32));
+        }
+        GtTy::StrPtr => {
+            if ctx.rng.gen_bool(0.5) {
+                fb.call_extern(ctx.strlen, &[p], Some(Width::W64));
+            } else {
+                let fmt = fb.alloca(8);
+                fb.call_extern(ctx.printf_s, &[fmt, p], Some(Width::W32));
+            }
+        }
+        GtTy::ObjPtr => {
+            // Field accesses reveal pointer-ness (field-sensitive).
+            let f0 = fb.gep(p, 0);
+            fb.load(f0, Width::W64);
+            let f8 = fb.gep(p, 8);
+            fb.load(f8, Width::W64);
+        }
+        GtTy::Double => {
+            fb.call_extern(ctx.fabs, &[p], Some(Width::W64));
+        }
+    }
+}
+
+/// Archetype C: builds the private helper trio for a poly-shared
+/// parameter and returns `(sink, deref)` for the host to call. The sink is
+/// *also* called with an integer from an unrelated pollution root, so
+/// flow-insensitive unification merges the two contexts; CFL-valid
+/// traversal (Algorithm 1) separates them.
+fn emit_poly_shared(ctx: &mut Ctx, param_index: usize) -> (FuncId, FuncId) {
+    // Private polymorphic sink: stores and reloads its argument, no hints.
+    let sink_name = ctx.fresh_name("psink");
+    let (sink, mut sb) = ctx.mb.function(&sink_name, &[Width::W64], Some(Width::W64));
+    let x = sb.param(0);
+    let slot = sb.alloca(8);
+    sb.store(slot, x);
+    let v = sb.load(slot, Width::W64);
+    sb.ret(Some(v));
+    ctx.mb.finish_function(sb);
+    // The private helpers are per-parameter scaffolding; they are not
+    // scored (the C2 parameter they serve is), keeping the scored
+    // population composition equal to the archetype mix.
+
+    // Private revealing callee: dereferences its parameter.
+    let deref_name = ctx.fresh_name("pderef");
+    let (deref, mut db) = ctx.mb.function(&deref_name, &[Width::W64], Some(Width::W64));
+    let q = db.param(0);
+    let w = db.load(q, Width::W64);
+    db.ret(Some(w));
+    ctx.mb.finish_function(db);
+
+    // Pollution root: calls the sink with a printf-revealed integer.
+    let pol_name = ctx.fresh_name("pollute");
+    let (_pol, mut pb) = ctx.mb.function(&pol_name, &[], Some(Width::W64));
+    let k = pb.const_int(40 + param_index as i64, Width::W64);
+    let fmt = pb.alloca(8);
+    pb.call_extern(ctx.printf_d, &[fmt, k], Some(Width::W32));
+    let r = pb.call(sink, &[k], Some(Width::W64)).unwrap();
+    pb.ret(Some(r));
+    ctx.mb.finish_function(pb);
+
+    (sink, deref)
+}
+
+/// Archetype D: conflicting uses on opposite branches.
+fn emit_branch_cast(ctx: &mut Ctx, fb: &mut FunctionBuilder, p: ValueId) {
+    let probe = fb.call_extern(ctx.vendors[0], &[p], Some(Width::W64)).unwrap();
+    let zero = fb.const_int(0, Width::W64);
+    let c = fb.cmp(CmpPred::Ne, probe, zero);
+    let bb_ptr = fb.new_block();
+    let bb_int = fb.new_block();
+    let bb_join = fb.new_block();
+    fb.cond_br(c, bb_ptr, bb_int);
+    fb.switch_to(bb_ptr);
+    fb.load(p, Width::W64); // pointer use
+    fb.br(bb_join);
+    fb.switch_to(bb_int);
+    let three = fb.const_int(3, Width::W64);
+    fb.binop(BinOp::Mul, p, three, Width::W64); // numeric (cast) use
+    fb.br(bb_join);
+    fb.switch_to(bb_join);
+}
+
+/// Archetype W: the only hint is a comparison with `-1` (§6.4).
+fn emit_wrong_int(ctx: &mut Ctx, fb: &mut FunctionBuilder, p: ValueId) {
+    let neg = fb.const_int(-1, Width::W64);
+    let c = fb.cmp(CmpPred::Eq, p, neg);
+    let bb_err = fb.new_block();
+    let bb_ok = fb.new_block();
+    fb.cond_br(c, bb_err, bb_ok);
+    fb.switch_to(bb_err);
+    let v = ctx.vendors[1];
+    fb.call_extern(v, &[p], Some(Width::W64));
+    fb.br(bb_ok);
+    fb.switch_to(bb_ok);
+}
+
+/// The Figure-3 union gadget: one slot, two branch-local types.
+fn emit_union_gadget(ctx: &mut Ctx, fb: &mut FunctionBuilder) {
+    let slot = fb.alloca(8);
+    let sel = fb.call_extern(ctx.vendors[2], &[slot], Some(Width::W64)).unwrap();
+    let zero = fb.const_int(0, Width::W64);
+    let c = fb.cmp(CmpPred::Eq, sel, zero);
+    let bb_i = fb.new_block();
+    let bb_p = fb.new_block();
+    let bb_j = fb.new_block();
+    fb.cond_br(c, bb_i, bb_p);
+    fb.switch_to(bb_i);
+    let k = fb.const_int(11, Width::W64);
+    fb.store(slot, k);
+    let vi = fb.load(slot, Width::W64);
+    let fmt = fb.alloca(8);
+    fb.call_extern(ctx.printf_d, &[fmt, vi], Some(Width::W32));
+    fb.br(bb_j);
+    fb.switch_to(bb_p);
+    let sz = fb.const_int(24, Width::W64);
+    let buf = fb.call_extern(ctx.malloc, &[sz], Some(Width::W64)).unwrap();
+    fb.store(slot, buf);
+    let vp = fb.load(slot, Width::W64);
+    let fmt = fb.alloca(8);
+    fb.call_extern(ctx.printf_s, &[fmt, vp], Some(Width::W32));
+    fb.br(bb_j);
+    fb.switch_to(bb_j);
+}
+
+/// Stack recycling: the same slot holds an int early and a pointer later.
+fn emit_stack_recycle(ctx: &mut Ctx, fb: &mut FunctionBuilder) {
+    let slot = fb.alloca(8);
+    let k = fb.const_int(5, Width::W64);
+    fb.store(slot, k);
+    let early = fb.load(slot, Width::W64);
+    let fmt = fb.alloca(8);
+    fb.call_extern(ctx.printf_d, &[fmt, early], Some(Width::W32));
+    // Later region (same block suffices; the discriminator is flow order).
+    let sz = fb.const_int(16, Width::W64);
+    let buf = fb.call_extern(ctx.malloc, &[sz], Some(Width::W64)).unwrap();
+    fb.store(slot, buf);
+    let late = fb.load(slot, Width::W64);
+    fb.load(late, Width::W64);
+}
+
+/// A bounded counting loop (preprocessing unrolls it).
+fn emit_loop(ctx: &mut Ctx, fb: &mut FunctionBuilder) {
+    let n = fb.const_int(4 + ctx.rng.gen_range(0..4), Width::W64);
+    let entry = fb.current_block();
+    let head = fb.new_block();
+    let body = fb.new_block();
+    let exit = fb.new_block();
+    fb.br(head);
+    fb.switch_to(head);
+    let one = fb.const_int(1, Width::W64);
+    // The loop-carried value: a phi over the init and a body-defined
+    // placeholder (the analyses only need the cyclic CFG shape).
+    let carried = fb.const_int(1, Width::W64);
+    let i = fb.phi(&[(entry, n), (body, carried)], Width::W64);
+    let zero = fb.const_int(0, Width::W64);
+    let c = fb.cmp(CmpPred::Gt, i, zero);
+    fb.cond_br(c, body, exit);
+    fb.switch_to(body);
+    fb.binop(BinOp::Sub, i, one, Width::W64);
+    fb.br(head);
+    fb.switch_to(exit);
+}
+
+/// An indirect call with a source-level oracle target set. Argument
+/// *provenance* varies: cleanly revealed values, union-loaded values the
+/// binary analysis over-approximates, and vendor-returned unknowns — so the
+/// binary-level client cannot always match the source oracle.
+fn emit_icall(ctx: &mut Ctx, fb: &mut FunctionBuilder, host: &str) {
+    if ctx.cb_pool.is_empty() {
+        return;
+    }
+    // Site shape: one or two arguments.
+    let two_args = ctx.rng.gen_bool(0.35);
+    let mut arg_kinds: Vec<ArgKind> = Vec::new();
+    let mut args: Vec<ValueId> = Vec::new();
+    let n_args = if two_args { 2 } else { 1 };
+    for ai in 0..n_args {
+        let mut intended = if ai == 0 && two_args {
+            ArgKind::Ptr
+        } else if ctx.rng.gen_bool(0.5) {
+            ArgKind::Int
+        } else {
+            ArgKind::Ptr
+        };
+        // Provenance: 35% revealed, 30% branch-union (stays
+        // over-approximated for every stage), 15% global-poly route (only
+        // the context-sensitive stage resolves it), 20% unknown.
+        let roll: f64 = ctx.rng.gen();
+        let v = if roll < 0.35 {
+            match intended {
+                ArgKind::Int => {
+                    // Revealed only interprocedurally (inside the shared
+                    // library sink): the flow-insensitive stage types it,
+                    // intraprocedural flow-sensitive analysis cannot.
+                    let probe = fb.alloca(8);
+                    let raw = fb.call_extern(ctx.vendors[1], &[probe], Some(Width::W64)).unwrap();
+                    fb.call(ctx.bint, &[raw], Some(Width::W64)).unwrap()
+                }
+                ArgKind::Ptr => {
+                    let sz = fb.const_int(32, Width::W64);
+                    fb.call_extern(ctx.malloc, &[sz], Some(Width::W64)).unwrap()
+                }
+            }
+        } else if roll < 0.47 {
+            // Recycled slot: an int then (per intent, possibly) a pointer
+            // stored sequentially — the flow-sensitive per-site refinement
+            // picks the last store; flow-insensitive merges both.
+            let slot = fb.alloca(8);
+            let sz = fb.const_int(16, Width::W64);
+            let buf = fb.call_extern(ctx.malloc, &[sz], Some(Width::W64)).unwrap();
+            let n = fb.call_extern(ctx.strlen, &[buf], Some(Width::W64)).unwrap();
+            match intended {
+                ArgKind::Int => {
+                    fb.store(slot, buf);
+                    fb.store(slot, n);
+                }
+                ArgKind::Ptr => {
+                    fb.store(slot, n);
+                    fb.store(slot, buf);
+                }
+            }
+            fb.load(slot, Width::W64)
+        } else if roll < 0.65 {
+            // Branch union: an int and a pointer stored on opposite
+            // branches, merged at the join — every stage keeps both
+            // families feasible.
+            let slot = fb.alloca(8);
+            let sz = fb.const_int(16, Width::W64);
+            let buf = fb.call_extern(ctx.malloc, &[sz], Some(Width::W64)).unwrap();
+            let n = fb.call_extern(ctx.strlen, &[buf], Some(Width::W64)).unwrap();
+            let zero = fb.const_int(0, Width::W64);
+            let c = fb.cmp(CmpPred::Gt, n, zero);
+            let bi = fb.new_block();
+            let bp = fb.new_block();
+            let bj = fb.new_block();
+            fb.cond_br(c, bi, bp);
+            fb.switch_to(bi);
+            fb.store(slot, n);
+            fb.br(bj);
+            fb.switch_to(bp);
+            fb.store(slot, buf);
+            fb.br(bj);
+            fb.switch_to(bj);
+            fb.load(slot, Width::W64)
+        } else if roll < 0.80 {
+            intended = ArgKind::Ptr; // the global route carries a pointer
+            if let Some((g, fwd)) = ctx.icall_poly {
+                let ga = fb.global_addr(g);
+                let x = fb.load(ga, Width::W64);
+                fb.call(fwd, &[x], Some(Width::W64)).unwrap()
+            } else {
+                let probe = fb.alloca(8);
+                fb.call_extern(ctx.vendors[0], &[probe], Some(Width::W64)).unwrap()
+            }
+        } else {
+            let probe = fb.alloca(8);
+            let v = ctx.vendors[ctx.rng.gen_range(0..ctx.vendors.len())];
+            fb.call_extern(v, &[probe], Some(Width::W64)).unwrap()
+        };
+        arg_kinds.push(intended);
+        args.push(v);
+    }
+    // Pick a source-compatible target for the constant pointer (arbitrary;
+    // the site is indirect so the analysis cannot use it).
+    let feasible: Vec<&(FuncId, String, Vec<CbParam>)> = ctx
+        .cb_pool
+        .iter()
+        .filter(|(_, _, params)| {
+            params.len() <= arg_kinds.len()
+                && params.iter().zip(&arg_kinds).all(|(p, &a)| p.compatible(a))
+        })
+        .collect();
+    if feasible.is_empty() {
+        return;
+    }
+    let (target, _, _) = feasible[ctx.rng.gen_range(0..feasible.len())];
+    let fp = fb.func_addr(*target);
+    fb.call_indirect(fp, &args, Some(Width::W64));
+
+    // Source-level oracle: every address-taken function whose source
+    // signature is compatible with the *intended* argument types.
+    let ordinal = ctx
+        .truth
+        .icall_targets
+        .keys()
+        .filter(|(f, _)| f == host)
+        .count();
+    let targets: std::collections::BTreeSet<String> = ctx
+        .cb_pool
+        .iter()
+        .filter(|(_, _, params)| {
+            params.len() <= arg_kinds.len()
+                && params.iter().zip(&arg_kinds).all(|(p, &a)| p.compatible(a))
+        })
+        .map(|(_, n, _)| n.clone())
+        .collect();
+    ctx.truth.icall_targets.insert((host.to_string(), ordinal), targets);
+}
+
+/// Archetype X / driver for archetype D: a root function that builds the
+/// host's arguments.
+fn emit_driver(ctx: &mut Ctx, host: FuncId, nparams: usize, specials: &[(usize, Archetype, GtTy)]) {
+    let drv_name = ctx.fresh_name("driver");
+    let (_id, mut fb) = ctx.mb.function(&drv_name, &[], Some(Width::W64));
+    let mut args: Vec<ValueId> = Vec::with_capacity(nparams);
+    for i in 0..nparams {
+        let special = specials.iter().find(|(idx, _, _)| *idx == i);
+        let arg = match special {
+            Some((_, Archetype::BranchCast, _)) => {
+                // A cleanly pointer-typed argument: malloc'd buffer.
+                let sz = fb.const_int(64, Width::W64);
+                fb.call_extern(ctx.malloc, &[sz], Some(Width::W64)).unwrap()
+            }
+            Some((_, Archetype::CallsiteCast, _)) => {
+                // Type-unsafe: an integer-revealed value passed where a
+                // pointer is declared (the flow-sensitive trap).
+                let sz = fb.const_int(8, Width::W64);
+                let tmp = fb.call_extern(ctx.malloc, &[sz], Some(Width::W64)).unwrap();
+                fb.call_extern(ctx.strlen, &[tmp], Some(Width::W64)).unwrap()
+            }
+            _ => fb.const_int(100 + i as i64, Width::W64),
+        };
+        args.push(arg);
+    }
+    fb.call(host, &args, Some(Width::W64));
+    let r = fb.const_int(0x5a, Width::W64);
+    fb.ret(Some(r));
+    ctx.mb.finish_function(fb);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(functions: usize, seed: u64) -> GenSpec {
+        GenSpec {
+            name: "testgen".into(),
+            functions,
+            mix: PhenomenonMix::balanced(),
+            seed,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&spec(20, 7));
+        let b = generate(&spec(20, 7));
+        assert_eq!(
+            manta_ir::printer::print_module(&a.module),
+            manta_ir::printer::print_module(&b.module)
+        );
+        assert_eq!(a.truth.param_types, b.truth.param_types);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&spec(20, 1));
+        let b = generate(&spec(20, 2));
+        assert_ne!(
+            manta_ir::printer::print_module(&a.module),
+            manta_ir::printer::print_module(&b.module)
+        );
+    }
+
+    #[test]
+    fn generated_module_verifies_and_scores_params() {
+        let g = generate(&spec(30, 42));
+        manta_ir::verify::verify_module(&g.module).unwrap();
+        assert!(g.truth.param_count() > 30, "params should be scored");
+        // Every truth key refers to an actual function/param.
+        for key in g.truth.param_types.keys() {
+            let f = g
+                .module
+                .function_by_name(&key.func)
+                .unwrap_or_else(|| panic!("missing {}", key.func));
+            assert!(key.index < f.params().len(), "{key:?} out of range");
+        }
+    }
+
+    #[test]
+    fn icall_truth_targets_exist() {
+        let g = generate(&spec(40, 9));
+        assert!(!g.truth.icall_targets.is_empty(), "icall sites should be generated");
+        for ((host, _), targets) in &g.truth.icall_targets {
+            assert!(g.module.function_by_name(host).is_some());
+            for t in targets {
+                let f = g.module.function_by_name(t).expect("target exists");
+                assert!(f.is_address_taken());
+            }
+        }
+    }
+
+    #[test]
+    fn address_taken_truth_matches_module() {
+        let g = generate(&spec(25, 3));
+        let module_taken: std::collections::BTreeSet<String> = g
+            .module
+            .address_taken_functions()
+            .into_iter()
+            .map(|f| g.module.function(f).name().to_string())
+            .collect();
+        assert_eq!(module_taken, g.truth.address_taken);
+    }
+}

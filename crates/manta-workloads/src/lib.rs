@@ -1,0 +1,47 @@
+//! # manta-workloads
+//!
+//! Deterministic synthetic workloads with ground truth for the Manta
+//! evaluation.
+//!
+//! The paper evaluates on 14 open-source projects, the coreutils binaries
+//! and nine IoT firmware images — none of which (as compiled binaries with
+//! the authors' toolchain) are available to this reproduction. Following
+//! the substitution rule documented in `DESIGN.md`, this crate generates
+//! *stripped* [`manta_ir::Module`]s that exhibit, at controllable rates,
+//! exactly the phenomena the paper's analysis confronts:
+//!
+//! * type-revealing uses at different distances (local, interprocedural,
+//!   inside callees);
+//! * polymorphic shared helpers that pollute flow-insensitive unification
+//!   across calling contexts (§2.1 "Polymorphic Function");
+//! * union-style branch-dependent typing and type-unsafe casts (§2.1
+//!   "Union Type", "Type-Unsafe Idioms");
+//! * stack-slot recycling;
+//! * the pointer-compared-with-`-1` error-code idiom (§6.4);
+//! * indirect calls through function-pointer tables with a source-level
+//!   target oracle;
+//! * unmodeled vendor externals that leave variables unknown.
+//!
+//! Alongside each module the generator emits a [`GroundTruth`]: the
+//! DWARF-equivalent source types of every function parameter, the
+//! source-level indirect-call target sets, and (for firmware images) the
+//! injected true bugs and infeasible decoys. The analyses never see any of
+//! this — it exists purely for scoring, like the `.debug_line` sections the
+//! paper keeps for evaluation.
+//!
+//! All generation is seeded ([`rand_chacha`]); the same spec always
+//! produces byte-identical programs.
+
+#![warn(missing_docs)]
+
+pub mod firmware;
+pub mod generator;
+pub mod mix;
+pub mod projects;
+pub mod truth;
+
+pub use firmware::{generate_firmware, FirmwareSpec};
+pub use generator::{generate, GeneratedProgram};
+pub use mix::PhenomenonMix;
+pub use projects::{coreutils_suite, firmware_suite, project_suite, ProjectSpec};
+pub use truth::{GroundTruth, InjectedBug, ParamKey};

@@ -1,0 +1,125 @@
+//! Phenomenon rates controlling workload generation.
+
+/// Per-parameter archetype weights plus function-level phenomenon rates.
+///
+/// The archetype weights need not sum to one; they are normalized at
+/// sampling time. Each archetype corresponds to a distinct inference
+/// outcome profile (see `DESIGN.md` §4 and the crate docs):
+///
+/// | archetype | FI | FS | FI+FS | FI+CS+FS |
+/// |---|---|---|---|---|
+/// | `local_reveal` | precise | precise | precise | precise |
+/// | `interproc_reveal` | precise | unknown | precise | precise |
+/// | `poly_shared` | over | unknown | *lost* | precise |
+/// | `branch_cast` | over | over | precise | precise |
+/// | `unmodeled` | unknown | unknown | unknown | unknown |
+/// | `wrong_int` | wrong | unknown | wrong | wrong |
+/// | `callsite_cast` | over | unknown | wrong | wrong |
+/// | `numeric_abstract` | abstract | abstract | abstract | abstract |
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PhenomenonMix {
+    /// Parameter revealed by a modeled external call in its own function.
+    pub local_reveal: f64,
+    /// Parameter revealed only through interprocedural unification
+    /// (passed to a callee that reveals it), with consistent contexts.
+    pub interproc_reveal: f64,
+    /// Parameter revealed in a callee *and* polluted through a shared
+    /// polymorphic helper called from a conflicting context.
+    pub poly_shared: f64,
+    /// Parameter used under conflicting types on opposite branches; its
+    /// def-site (caller-side) type is unambiguous.
+    pub branch_cast: f64,
+    /// Parameter only ever passed to unmodeled vendor externals.
+    pub unmodeled: f64,
+    /// Pointer parameter whose only hint is a comparison against `-1`
+    /// (inferred *incorrectly* as an integer — the §6.4 recall loss).
+    pub wrong_int: f64,
+    /// Pointer parameter whose caller-side argument is built from an
+    /// integer cast right at the call site (flow-sensitive refinement
+    /// picks the wrong hint).
+    pub callsite_cast: f64,
+    /// Integer parameter whose only hints are abstract arithmetic
+    /// (`num<w>`), never a concrete reveal.
+    pub numeric_abstract: f64,
+    /// Fraction of functions containing a Figure-3-style union slot.
+    pub union_rate: f64,
+    /// Fraction of functions containing a recycled stack slot.
+    pub stack_recycle_rate: f64,
+    /// Fraction of functions containing an indirect call.
+    pub icall_rate: f64,
+    /// Fraction of functions containing a bounded loop.
+    pub loop_rate: f64,
+    /// Fraction of pointer parameters that are structure pointers
+    /// (`ptr(obj)`) rather than string pointers.
+    pub struct_ptr_rate: f64,
+}
+
+impl PhenomenonMix {
+    /// The default mix, calibrated so the aggregate Table 3 row shapes
+    /// match the paper (see `EXPERIMENTS.md`).
+    pub fn balanced() -> PhenomenonMix {
+        PhenomenonMix {
+            local_reveal: 0.12,
+            interproc_reveal: 0.14,
+            poly_shared: 0.26,
+            branch_cast: 0.17,
+            unmodeled: 0.15,
+            wrong_int: 0.012,
+            callsite_cast: 0.015,
+            numeric_abstract: 0.022,
+            union_rate: 0.25,
+            stack_recycle_rate: 0.15,
+            icall_rate: 0.20,
+            loop_rate: 0.15,
+            struct_ptr_rate: 0.35,
+        }
+    }
+
+    /// Archetype weights in a fixed order for sampling.
+    pub(crate) fn archetype_weights(&self) -> [(Archetype, f64); 8] {
+        [
+            (Archetype::LocalReveal, self.local_reveal),
+            (Archetype::InterprocReveal, self.interproc_reveal),
+            (Archetype::PolyShared, self.poly_shared),
+            (Archetype::BranchCast, self.branch_cast),
+            (Archetype::Unmodeled, self.unmodeled),
+            (Archetype::WrongInt, self.wrong_int),
+            (Archetype::CallsiteCast, self.callsite_cast),
+            (Archetype::NumericAbstract, self.numeric_abstract),
+        ]
+    }
+}
+
+impl Default for PhenomenonMix {
+    fn default() -> Self {
+        Self::balanced()
+    }
+}
+
+/// Parameter archetypes (crate-internal).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) enum Archetype {
+    LocalReveal,
+    InterprocReveal,
+    PolyShared,
+    BranchCast,
+    Unmodeled,
+    WrongInt,
+    CallsiteCast,
+    NumericAbstract,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_weights_are_positive_and_normalizable() {
+        let m = PhenomenonMix::balanced();
+        let total: f64 = m.archetype_weights().iter().map(|(_, w)| w).sum();
+        assert!(total > 0.8 && total < 1.2, "weights should roughly sum to 1, got {total}");
+        for (a, w) in m.archetype_weights() {
+            assert!(w >= 0.0, "{a:?} weight negative");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! The evaluation suites: the 14 "open-source projects" (named and
+//! size-scaled after the paper's Table 3 targets), the 104-binary
+//! coreutils-like micro suite, and the nine firmware images of Table 5.
+//!
+//! Paper KLoC is scaled to laptop-friendly function counts while keeping
+//! the relative project ordering, so the scalability figure (Figure 10)
+//! still sweeps over an order of magnitude of program size.
+
+use crate::firmware::FirmwareSpec;
+use crate::generator::{generate, GeneratedProgram, GenSpec};
+use crate::mix::PhenomenonMix;
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// A named project workload.
+#[derive(Clone, Debug)]
+pub struct ProjectSpec {
+    /// Project name (matches the paper's tables).
+    pub name: String,
+    /// Nominal KLoC label from the paper.
+    pub kloc: f64,
+    /// Regular function count after scaling.
+    pub functions: usize,
+    /// Phenomenon mix (jittered per project).
+    pub mix: PhenomenonMix,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl ProjectSpec {
+    /// Generates the project's program.
+    pub fn generate(&self) -> GeneratedProgram {
+        generate(&GenSpec {
+            name: self.name.clone(),
+            functions: self.functions,
+            mix: self.mix,
+            seed: self.seed,
+        })
+    }
+}
+
+/// Per-project jitter so projects are not statistical clones: each weight
+/// is scaled by a seeded factor in `[1-amount, 1+amount]`.
+fn jitter(mix: PhenomenonMix, seed: u64, amount: f64) -> PhenomenonMix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6a77);
+    let mut j = |w: f64| w * (1.0 + rng.gen_range(-amount..amount));
+    PhenomenonMix {
+        local_reveal: j(mix.local_reveal),
+        interproc_reveal: j(mix.interproc_reveal),
+        poly_shared: j(mix.poly_shared),
+        branch_cast: j(mix.branch_cast),
+        unmodeled: j(mix.unmodeled),
+        wrong_int: j(mix.wrong_int),
+        callsite_cast: j(mix.callsite_cast),
+        numeric_abstract: j(mix.numeric_abstract),
+        union_rate: j(mix.union_rate).min(1.0),
+        stack_recycle_rate: j(mix.stack_recycle_rate).min(1.0),
+        icall_rate: j(mix.icall_rate).min(1.0),
+        loop_rate: j(mix.loop_rate).min(1.0),
+        struct_ptr_rate: mix.struct_ptr_rate,
+    }
+}
+
+/// The 14 projects of Table 3/4 with their paper KLoC labels.
+pub fn project_suite() -> Vec<ProjectSpec> {
+    let paper: [(&str, f64); 14] = [
+        ("vsftpd", 16.0),
+        ("libuv", 36.0),
+        ("memcached", 48.0),
+        ("lighttpd", 89.0),
+        ("tmux", 110.0),
+        ("openssh", 119.0),
+        ("wolfssl", 122.0),
+        ("redis", 179.0),
+        ("libicu", 317.0),
+        ("vim", 416.0),
+        ("python", 560.0),
+        ("wrk", 594.0),
+        ("ffmpeg", 1213.0),
+        ("php", 1358.0),
+    ];
+    paper
+        .iter()
+        .enumerate()
+        .map(|(i, &(name, kloc))| {
+            let functions = ((kloc / 4.0) as usize).clamp(8, 300);
+            ProjectSpec {
+                name: name.to_string(),
+                kloc,
+                functions,
+                mix: jitter(PhenomenonMix::balanced(), 1000 + i as u64, 0.25),
+                seed: 5000 + i as u64,
+            }
+        })
+        .collect()
+}
+
+/// The coreutils-like suite: 104 small separate binaries.
+pub fn coreutils_suite() -> Vec<ProjectSpec> {
+    (0..104)
+        .map(|i| ProjectSpec {
+            name: format!("coreutil_{i:03}"),
+            kloc: 1.1,
+            functions: 2 + (i % 3),
+            mix: jitter(PhenomenonMix::balanced(), 9000 + i as u64, 0.35),
+            seed: 7000 + i as u64,
+        })
+        .collect()
+}
+
+/// The nine firmware images of Table 5.
+pub fn firmware_suite() -> Vec<FirmwareSpec> {
+    let models: [(&str, usize); 9] = [
+        ("Netgear_SXR80", 46),
+        ("Zyxel_NR7101", 20),
+        ("Tenda_A15", 24),
+        ("TRENDNet_TEW755AP", 60),
+        ("ASUS_RT_AX56U", 22),
+        ("TOTOLink_LR350", 16),
+        ("TOTOLink_NR1800X", 28),
+        ("TPLink_WR940N", 72),
+        ("H3C_MagicR200", 18),
+    ];
+    models
+        .iter()
+        .enumerate()
+        .map(|(i, &(name, scale))| FirmwareSpec {
+            name: name.to_string(),
+            // Bug volume tracks the paper's report counts loosely.
+            real_bugs_per_class: 1 + scale / 20,
+            decoys_per_class: 1 + scale / 14,
+            noise_functions: scale,
+            seed: 3000 + i as u64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_shapes() {
+        let p = project_suite();
+        assert_eq!(p.len(), 14);
+        assert_eq!(p[0].name, "vsftpd");
+        assert_eq!(p[13].name, "php");
+        assert!(p[13].functions > p[0].functions, "php must be larger than vsftpd");
+        assert_eq!(coreutils_suite().len(), 104);
+        assert_eq!(firmware_suite().len(), 9);
+    }
+
+    #[test]
+    fn small_project_generates() {
+        let spec = &project_suite()[0];
+        let g = spec.generate();
+        manta_ir::verify::verify_module(&g.module).unwrap();
+        assert!(g.truth.param_count() > 0);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_but_varies() {
+        let base = PhenomenonMix::balanced();
+        let a = jitter(base, 1, 0.25);
+        let b = jitter(base, 1, 0.25);
+        let c = jitter(base, 2, 0.25);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,109 @@
+//! Ground truth emitted alongside generated programs.
+//!
+//! Keys are *function names* (stable across preprocessing — loop unrolling
+//! rewrites instruction ids but never function names), mirroring how the
+//! paper matches binary-level results back to source via `.debug_line`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use manta_ir::Type;
+
+/// Identifies a function parameter by function name and position.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ParamKey {
+    /// Function name.
+    pub func: String,
+    /// Zero-based parameter index.
+    pub index: usize,
+}
+
+impl ParamKey {
+    /// Shorthand constructor.
+    pub fn new(func: impl Into<String>, index: usize) -> ParamKey {
+        ParamKey { func: func.into(), index }
+    }
+}
+
+/// The vulnerability classes of injected bugs (mirrors
+/// `manta_clients::BugKind`, duplicated here so workloads do not depend on
+/// the clients crate).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum BugClass {
+    /// Null pointer dereference.
+    Npd,
+    /// Return stack address.
+    Rsa,
+    /// Use after free.
+    Uaf,
+    /// Command injection.
+    Cmi,
+    /// Buffer overflow.
+    Bof,
+}
+
+/// One injected bug site (or decoy).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InjectedBug {
+    /// The vulnerability class.
+    pub class: BugClass,
+    /// The function containing the sink.
+    pub func: String,
+    /// `true` for a real, feasible bug; `false` for a decoy whose path is
+    /// infeasible (type-pruning should eliminate it).
+    pub real: bool,
+}
+
+/// Everything the evaluation oracle knows about a generated program.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct GroundTruth {
+    /// Source (first-layer-relevant) type of each function parameter.
+    pub param_types: BTreeMap<ParamKey, Type>,
+    /// Generator archetype per parameter (diagnostics/calibration only).
+    pub param_archetypes: BTreeMap<ParamKey, String>,
+    /// Source-level feasible target sets per indirect call: function name →
+    /// ordinal of the icall within it → feasible target function names.
+    pub icall_targets: BTreeMap<(String, usize), BTreeSet<String>>,
+    /// Names of address-taken functions.
+    pub address_taken: BTreeSet<String>,
+    /// Injected bugs and decoys (firmware workloads only).
+    pub bugs: Vec<InjectedBug>,
+    /// Ground-truth source–sink pairs per bug class for the slicing
+    /// similarity experiment: (class, sink function name, real flag).
+    pub source_sink_pairs: Vec<InjectedBug>,
+}
+
+impl GroundTruth {
+    /// Number of scored parameters.
+    pub fn param_count(&self) -> usize {
+        self.param_types.len()
+    }
+
+    /// The real injected bugs of a class.
+    pub fn real_bugs(&self, class: BugClass) -> impl Iterator<Item = &InjectedBug> {
+        self.bugs.iter().filter(move |b| b.class == class && b.real)
+    }
+
+    /// The decoy injected bugs of a class.
+    pub fn decoys(&self, class: BugClass) -> impl Iterator<Item = &InjectedBug> {
+        self.bugs.iter().filter(move |b| b.class == class && !b.real)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manta_ir::Width;
+
+    #[test]
+    fn truth_accessors() {
+        let mut t = GroundTruth::default();
+        t.param_types.insert(ParamKey::new("f", 0), Type::Int(Width::W64));
+        t.bugs.push(InjectedBug { class: BugClass::Cmi, func: "f".into(), real: true });
+        t.bugs.push(InjectedBug { class: BugClass::Cmi, func: "g".into(), real: false });
+        t.bugs.push(InjectedBug { class: BugClass::Npd, func: "h".into(), real: true });
+        assert_eq!(t.param_count(), 1);
+        assert_eq!(t.real_bugs(BugClass::Cmi).count(), 1);
+        assert_eq!(t.decoys(BugClass::Cmi).count(), 1);
+        assert_eq!(t.real_bugs(BugClass::Npd).count(), 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Variable classification into `V_P` / `V_O` / `V_U` (paper §4.1).
+
+use manta_analysis::{ModuleAnalysis, VarRef};
+use manta_ir::ValueKind;
+
+use crate::interval::Resolution;
+use crate::{ClassCounts, InferenceResult};
+
+/// The classification of one variable after a stage.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum VarClass {
+    /// `V_P` — type precisely resolved as a singleton; no refinement can
+    /// produce a better result.
+    Precise,
+    /// `V_O` — over-approximated; higher-precision stages may narrow the
+    /// interval.
+    Over,
+    /// `V_U` — no type hints were captured; refinement cannot help either
+    /// (even the flow-insensitive stage saw nothing), so the variable is
+    /// widened to the *any-type* interval.
+    Unknown,
+}
+
+/// Recomputes the classification of every non-constant variable from the
+/// intervals in `result`, updates `result.class`, widens unknowns to the
+/// any-type interval, and returns the counts.
+///
+/// Constants are excluded: their types are trivially known and the paper's
+/// metrics count program variables.
+pub fn classify(analysis: &ModuleAnalysis, result: &mut InferenceResult) -> ClassCounts {
+    let mut counts = ClassCounts::default();
+    for func in analysis.module().functions() {
+        for (value, data) in func.values() {
+            if matches!(data.kind, ValueKind::Const(_)) {
+                continue;
+            }
+            let v = VarRef::new(func.id(), value);
+            let class = match result.var_types.get(&v) {
+                None => VarClass::Unknown,
+                Some(i) => match i.resolution() {
+                    Resolution::Unknown => VarClass::Unknown,
+                    Resolution::Precise(_) => VarClass::Precise,
+                    Resolution::Over => VarClass::Over,
+                },
+            };
+            match class {
+                VarClass::Precise => counts.precise += 1,
+                VarClass::Over => counts.over += 1,
+                // §4.1 widens V_U to the any-type interval `(⊤, ⊥)`; here
+                // the `(⊥, ⊤)` sentinel is kept internally (so unknowns
+                // stay distinguishable from maximal hint conflicts) and
+                // the widening happens in [`InferenceResult::upper`] /
+                // [`InferenceResult::lower`].
+                VarClass::Unknown => counts.unknown += 1,
+            }
+            result.class.insert(v, class);
+        }
+    }
+    counts
+}
+
+/// The set of variables currently classified `V_O`, in deterministic order.
+pub fn over_approximated(analysis: &ModuleAnalysis, result: &InferenceResult) -> Vec<VarRef> {
+    let mut out = Vec::new();
+    for func in analysis.module().functions() {
+        for (value, data) in func.values() {
+            if matches!(data.kind, ValueKind::Const(_)) {
+                continue;
+            }
+            let v = VarRef::new(func.id(), value);
+            if result.class.get(&v) == Some(&VarClass::Over) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}

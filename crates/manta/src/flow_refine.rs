@@ -1,0 +1,599 @@
+//! Stage 3: flow-sensitive type refinement (paper §4.2.2, Algorithm 2) and
+//! the standalone Manta-FS ablation.
+//!
+//! For each still-over-approximated variable `v`, the def site and every
+//! use site `s` is treated as a distinct variable `v@s`. A backward search
+//! on the CFG collects type annotations on *aliases* of `v` that reach `s`
+//! in control-flow order; the search stops at the first annotation along a
+//! path (a strong update). The collected set becomes `F↑(v@s)`/`F↓(v@s)`.
+//!
+//! This is the paper's "more aggressive" stage: when **no** hint is
+//! CFG-reachable for any site of `v`, the refinement loses the type
+//! entirely (`v` becomes unknown) — the phenomenon that makes FI+FS weaker
+//! than FI+CS+FS (§6.1, Ablation Analysis; §6.4, Type Refinement Order).
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use manta_analysis::cfl::{CtxOp, CtxStack};
+use manta_analysis::{DepKind, ModuleAnalysis, NodeId, VarRef};
+use manta_ir::cfg::Cfg;
+use manta_ir::{BlockId, FuncId, InstId, Type, ValueKind};
+
+use crate::classify;
+use crate::ctx_refine::find_roots;
+use crate::interval::TypeInterval;
+use crate::reveal::RevealMap;
+use crate::{InferenceResult, MantaConfig, Stage};
+
+/// Runs Algorithm 2 over the current `V_O` set and appends a
+/// [`Stage::FlowRefine`] classification.
+pub fn refine(
+    analysis: &ModuleAnalysis,
+    reveals: &RevealMap,
+    config: &MantaConfig,
+    result: &mut InferenceResult,
+) {
+    let cfgs = Cfgs::new(analysis);
+    let over = classify::over_approximated(analysis, result);
+    let mut roots_cache: HashMap<VarRef, BTreeSet<NodeId>> = HashMap::new();
+    let mut var_updates: Vec<(VarRef, TypeInterval)> = Vec::new();
+    let mut site_updates: Vec<((VarRef, InstId), TypeInterval)> = Vec::new();
+
+    for v in over {
+        let roots = find_roots(analysis, result, config, v, &mut roots_cache);
+        let func = analysis.module().function(v.func);
+        // Def site plus each use site (Algorithm 2 line 7).
+        let mut site_intervals: Vec<(Option<InstId>, TypeInterval)> = Vec::new();
+        let def_site = func.def_inst(v.value);
+        let mut sites: Vec<Option<InstId>> = vec![def_site.map(Some).unwrap_or(None)];
+        for u in func.users(v.value) {
+            sites.push(Some(u));
+        }
+        sites.dedup();
+        for site in sites {
+            let types = reachable_types(
+                analysis,
+                reveals,
+                result,
+                config,
+                &cfgs,
+                v.func,
+                site,
+                &roots,
+                &mut roots_cache,
+                true,
+            );
+            if types.is_empty() {
+                continue;
+            }
+            let mut interval = TypeInterval::unknown();
+            for t in &types {
+                interval.absorb(t);
+            }
+            if let Some(s) = site {
+                site_updates.push(((v, s), interval.clone()));
+            }
+            site_intervals.push((site, interval));
+        }
+        // Variable-level: prefer the def-site result; otherwise merge all
+        // site results; with no reachable hint anywhere the type is lost.
+        let def_result = site_intervals
+            .iter()
+            .find(|(s, _)| *s == def_site)
+            .map(|(_, i)| i.clone());
+        let var_interval = def_result.unwrap_or_else(|| {
+            let mut merged = TypeInterval::unknown();
+            for (_, i) in &site_intervals {
+                merged.merge(i);
+            }
+            merged
+        });
+        // When no hint is CFG-reachable at any site the type is lost: the
+        // variable drops back to the unknown sentinel (the aggressive
+        // behavior §6.4 attributes to flow-sensitive refinement).
+        var_updates.push((v, var_interval));
+    }
+    for (v, i) in var_updates {
+        result.var_types.insert(v, i);
+    }
+    for (k, i) in site_updates {
+        result.site_types.insert(k, i);
+    }
+    let counts = classify::classify(analysis, result);
+    result.stage_counts.push((Stage::FlowRefine, counts));
+}
+
+/// The standalone Manta-FS ablation: flow-sensitive hint collection with
+/// strong updates for *every* variable, no global unification, and —
+/// matching classic flow-sensitive binary type recovery — no crossing of
+/// function boundaries. Aliasing is the intraprocedural copy/memory
+/// closure.
+pub fn standalone_fs(
+    analysis: &ModuleAnalysis,
+    reveals: &RevealMap,
+    config: &MantaConfig,
+) -> InferenceResult {
+    let cfgs = Cfgs::new(analysis);
+    let mut result = InferenceResult::empty(*config);
+    // Intraprocedural alias classes: values connected by copy/phi or by
+    // same-function memory dependencies.
+    let mut alias_class: HashMap<VarRef, usize> = HashMap::new();
+    {
+        let ddg = &analysis.ddg;
+        let n = ddg.node_count();
+        let mut uf = crate::unify::UnionFind::new(n);
+        for idx in 0..n {
+            let node = NodeId(idx as u32);
+            let from = ddg.var(node);
+            for &(to, kind) in ddg.children(node) {
+                let tv = ddg.var(to);
+                if tv.func != from.func {
+                    continue;
+                }
+                if matches!(kind, DepKind::Direct | DepKind::Memory(_)) {
+                    uf.union(idx, to.index());
+                }
+            }
+        }
+        for idx in 0..n {
+            let v = analysis.ddg.var(NodeId(idx as u32));
+            alias_class.insert(v, uf.find(idx));
+        }
+    }
+
+    for func in analysis.module().functions() {
+        for (value, data) in func.values() {
+            if matches!(data.kind, ValueKind::Const(_)) {
+                continue;
+            }
+            let v = VarRef::new(func.id(), value);
+            let class = alias_class[&v];
+            let def_site = func.def_inst(value);
+            let mut sites: Vec<Option<InstId>> = vec![def_site.map(Some).unwrap_or(None)];
+            for u in func.users(value) {
+                sites.push(Some(u));
+            }
+            sites.dedup();
+            let mut var_interval: Option<TypeInterval> = None;
+            for site in sites {
+                let types = reachable_types_with_alias(
+                    analysis,
+                    reveals,
+                    config,
+                    &cfgs,
+                    v.func,
+                    site,
+                    &|u| alias_class.get(&u) == Some(&class),
+                    false,
+                );
+                if types.is_empty() {
+                    continue;
+                }
+                let mut interval = TypeInterval::unknown();
+                for t in &types {
+                    interval.absorb(t);
+                }
+                if let Some(s) = site {
+                    result.site_types.insert((v, s), interval.clone());
+                }
+                match (&mut var_interval, site == def_site.map(Some).unwrap_or(None)) {
+                    (_, true) => var_interval = Some(interval),
+                    (Some(existing), false) => existing.merge(&interval),
+                    (None, false) => var_interval = Some(interval),
+                }
+            }
+            if let Some(i) = var_interval {
+                result.var_types.insert(v, i);
+            }
+        }
+    }
+    let counts = classify::classify(analysis, &mut result);
+    result.stage_counts.push((Stage::StandaloneFs, counts));
+    result
+}
+
+/// Per-function CFGs plus block/instruction position indexes.
+struct Cfgs {
+    cfg: Vec<Cfg>,
+    /// For each function: inst id → (block, index in block).
+    positions: Vec<HashMap<InstId, (BlockId, usize)>>,
+}
+
+impl Cfgs {
+    fn new(analysis: &ModuleAnalysis) -> Cfgs {
+        let mut cfg = Vec::new();
+        let mut positions = Vec::new();
+        for f in analysis.module().functions() {
+            cfg.push(Cfg::new(f));
+            let mut pos = HashMap::new();
+            for b in f.blocks() {
+                for (i, &inst) in b.insts.iter().enumerate() {
+                    pos.insert(inst, (b.id, i));
+                }
+            }
+            positions.push(pos);
+        }
+        Cfgs { cfg, positions }
+    }
+}
+
+/// `REACHABLE_TYPES(s, roots)` with DDG-root aliasing (Algorithm 2,
+/// lines 12–23).
+#[allow(clippy::too_many_arguments)]
+fn reachable_types(
+    analysis: &ModuleAnalysis,
+    reveals: &RevealMap,
+    result: &InferenceResult,
+    config: &MantaConfig,
+    cfgs: &Cfgs,
+    func: FuncId,
+    site: Option<InstId>,
+    roots: &BTreeSet<NodeId>,
+    roots_cache: &mut HashMap<VarRef, BTreeSet<NodeId>>,
+    cross_callers: bool,
+) -> Vec<Type> {
+    // The alias check of line 14: FIND_ROOTS(u) ∩ roots ≠ ∅. Pre-resolving
+    // per queried variable via the shared memoized cache.
+    let mut alias_memo: HashMap<VarRef, bool> = HashMap::new();
+    let mut walker = Walker {
+        analysis,
+        reveals,
+        config,
+        cfgs,
+        out: Vec::new(),
+        memo: HashMap::new(),
+        active: HashSet::new(),
+        budget: config.max_visits,
+        cross_callers,
+    };
+    let mut is_alias = |u: VarRef,
+                        roots_cache: &mut HashMap<VarRef, BTreeSet<NodeId>>|
+     -> bool {
+        if let Some(&b) = alias_memo.get(&u) {
+            return b;
+        }
+        let ur = find_roots(analysis, result, config, u, roots_cache);
+        let b = ur.iter().any(|r| roots.contains(r));
+        alias_memo.insert(u, b);
+        b
+    };
+    // Bridge the two mutable borrows through a small closure enum.
+    let mut alias_fn = |u: VarRef| is_alias(u, roots_cache);
+    walker.start(func, site, &mut alias_fn);
+    walker.out
+}
+
+/// `REACHABLE_TYPES` with an arbitrary alias predicate (used by the
+/// standalone FS mode).
+#[allow(clippy::too_many_arguments)]
+fn reachable_types_with_alias(
+    analysis: &ModuleAnalysis,
+    reveals: &RevealMap,
+    config: &MantaConfig,
+    cfgs: &Cfgs,
+    func: FuncId,
+    site: Option<InstId>,
+    alias: &dyn Fn(VarRef) -> bool,
+    cross_callers: bool,
+) -> Vec<Type> {
+    let mut walker = Walker {
+        analysis,
+        reveals,
+        config,
+        cfgs,
+        out: Vec::new(),
+        memo: HashMap::new(),
+        active: HashSet::new(),
+        budget: config.max_visits,
+        cross_callers,
+    };
+    let mut alias_fn = |u: VarRef| alias(u);
+    walker.start(func, site, &mut alias_fn);
+    walker.out
+}
+
+struct Walker<'a> {
+    analysis: &'a ModuleAnalysis,
+    reveals: &'a RevealMap,
+    config: &'a MantaConfig,
+    cfgs: &'a Cfgs,
+    out: Vec<Type>,
+    /// Memoized whole-block results: the types collectible scanning
+    /// backward from the end of a block (first reveal per path).
+    memo: HashMap<(FuncId, BlockId), Vec<Type>>,
+    /// Blocks currently on the recursion stack (cycle guard; CFGs are
+    /// acyclic after preprocessing, but caller crossings could revisit).
+    active: HashSet<(FuncId, BlockId)>,
+    budget: usize,
+    cross_callers: bool,
+}
+
+impl<'a> Walker<'a> {
+    /// Starts the backward walk at `site` (or at the function entry when
+    /// `site` is `None` — the def site of a parameter).
+    fn start(&mut self, func: FuncId, site: Option<InstId>, alias: &mut dyn FnMut(VarRef) -> bool) {
+        let types = match site {
+            Some(s) => {
+                let (block, idx) = self.cfgs.positions[func.index()][&s];
+                let mut ctx = CtxStack::new(self.config.max_ctx_depth);
+                self.scan_block(func, block, Some(idx), &mut ctx, alias)
+            }
+            None => {
+                let mut ctx = CtxStack::new(self.config.max_ctx_depth);
+                self.cross_to_callers(func, &mut ctx, alias)
+            }
+        };
+        self.out = types;
+    }
+
+    /// Collects the set of first-reveals along every backward path from the
+    /// given position. Whole-block scans are memoized per `(func, block)`.
+    fn scan_block(
+        &mut self,
+        func: FuncId,
+        block: BlockId,
+        from_idx: Option<usize>,
+        ctx: &mut CtxStack,
+        alias: &mut dyn FnMut(VarRef) -> bool,
+    ) -> Vec<Type> {
+        if from_idx.is_none() {
+            if let Some(cached) = self.memo.get(&(func, block)) {
+                return cached.clone();
+            }
+            if !self.active.insert((func, block)) || self.budget == 0 {
+                return Vec::new();
+            }
+        }
+        if self.budget > 0 {
+            self.budget -= 1;
+        } else {
+            if from_idx.is_none() {
+                self.active.remove(&(func, block));
+            }
+            return Vec::new();
+        }
+        let f = self.analysis.module().function(func);
+        let b = f.block(block);
+        let mut result: Option<Vec<Type>> = None;
+        let start = match from_idx {
+            Some(i) => Some(i),
+            None if b.insts.is_empty() => None,
+            None => Some(b.insts.len() - 1),
+        };
+        if let Some(start) = start {
+            for pos in (0..=start).rev() {
+                let inst = f.inst(b.insts[pos]);
+                // Line 13: operands of s plus s's own definition.
+                let mut candidates = inst.kind.uses();
+                if let Some(d) = inst.kind.def() {
+                    candidates.push(d);
+                }
+                candidates.dedup();
+                let mut here: Vec<Type> = Vec::new();
+                for u in candidates {
+                    let uv = VarRef::new(func, u);
+                    if let Some(t) = self.reveals.at_site(uv, inst.id) {
+                        if alias(uv) {
+                            here.push(t.clone());
+                        }
+                    }
+                }
+                if !here.is_empty() {
+                    result.get_or_insert_with(Vec::new).extend(here);
+                    // Strong update at instruction granularity: annotations
+                    // here kill older hints along this path (lines 15-16);
+                    // all aliases annotated at the *same* instruction
+                    // contribute.
+                    if self.config.strong_updates {
+                        break;
+                    }
+                }
+            }
+        }
+        let types = match (result, self.config.strong_updates) {
+            (Some(tys), true) => tys,
+            (found, _) => {
+                let mut tys = found.unwrap_or_default();
+                tys.extend(self.continue_upward(func, block, ctx, alias));
+                tys
+            }
+        };
+        if from_idx.is_none() {
+            self.active.remove(&(func, block));
+            self.memo.insert((func, block), types.clone());
+        }
+        types
+    }
+
+    fn continue_upward(
+        &mut self,
+        func: FuncId,
+        block: BlockId,
+        ctx: &mut CtxStack,
+        alias: &mut dyn FnMut(VarRef) -> bool,
+    ) -> Vec<Type> {
+        let cfg = &self.cfgs.cfg[func.index()];
+        let preds = cfg.preds(block).to_vec();
+        if preds.is_empty() {
+            if block == cfg.entry() && self.cross_callers {
+                return self.cross_to_callers(func, ctx, alias);
+            }
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for p in preds {
+            out.extend(self.scan_block(func, p, None, ctx, alias));
+        }
+        out
+    }
+
+    /// Crossing a function entry backward lands just above each call site
+    /// (line 18's `CFG.parents` at entry), popping the context.
+    fn cross_to_callers(
+        &mut self,
+        func: FuncId,
+        ctx: &mut CtxStack,
+        alias: &mut dyn FnMut(VarRef) -> bool,
+    ) -> Vec<Type> {
+        let callers = self.analysis.callgraph.callers(func).to_vec();
+        let mut out = Vec::new();
+        for edge in callers {
+            let cs = manta_analysis::CallSite { caller: edge.caller, site: edge.site };
+            let op = CtxOp::Pop(cs);
+            if ctx.enter(op) {
+                let (block, idx) = self.cfgs.positions[edge.caller.index()][&edge.site];
+                out.extend(self.scan_block(edge.caller, block, Some(idx), ctx, alias));
+                ctx.leave(op);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Resolution;
+    use crate::{Manta, MantaConfig, Sensitivity, VarClass};
+    use manta_ir::{ModuleBuilder, Width};
+
+    /// The Figure 3 union scenario: one stack slot holds an int on one
+    /// branch and a char* on the other; each branch reveals the type it
+    /// instantiates.
+    fn union_module() -> manta_ir::Module {
+        let mut mb = ModuleBuilder::new("m");
+        let pd = mb.extern_fn("printf_d", &[], None);
+        let ps = mb.extern_fn("printf_s", &[], None);
+        let malloc = mb.extern_fn("malloc", &[], None);
+        let (_, mut fb) = mb.function("f", &[Width::W64, Width::W1], None);
+        let x = fb.param(0);
+        let c = fb.param(1);
+        let slot = fb.alloca(8);
+        let bb_i = fb.new_block();
+        let bb_p = fb.new_block();
+        let bb_j = fb.new_block();
+        fb.cond_br(c, bb_i, bb_p);
+        // Int branch: store x, reload, print as %ld.
+        fb.switch_to(bb_i);
+        fb.store(slot, x);
+        let vi = fb.load(slot, Width::W64);
+        let fmt1 = fb.alloca(8);
+        fb.call_extern(pd, &[fmt1, vi], Some(Width::W32));
+        fb.br(bb_j);
+        // Ptr branch: store a heap pointer, reload, print as %s.
+        fb.switch_to(bb_p);
+        let k = fb.const_int(32, Width::W64);
+        let buf = fb.call_extern(malloc, &[k], Some(Width::W64)).unwrap();
+        fb.store(slot, buf);
+        let vp = fb.load(slot, Width::W64);
+        let fmt2 = fb.alloca(8);
+        fb.call_extern(ps, &[fmt2, vp], Some(Width::W32));
+        fb.br(bb_j);
+        fb.switch_to(bb_j);
+        fb.ret(None);
+        mb.finish_function(fb);
+        mb.finish()
+    }
+
+    fn loaded_values(
+        analysis: &manta_analysis::ModuleAnalysis,
+    ) -> Vec<(VarRef, InstId)> {
+        let f = analysis.module().function_by_name("f").unwrap();
+        f.insts()
+            .filter_map(|i| match i.kind {
+                manta_ir::InstKind::Load { dst, .. } => {
+                    Some((VarRef::new(f.id(), dst), i.id))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fi_merges_union_branches() {
+        let analysis = manta_analysis::ModuleAnalysis::build(union_module());
+        let r = Manta::new(MantaConfig::with_sensitivity(Sensitivity::Fi)).infer(&analysis);
+        for (v, _) in loaded_values(&analysis) {
+            assert_eq!(r.class_of(v), VarClass::Over, "{v} should merge int+ptr");
+        }
+    }
+
+    #[test]
+    fn flow_refinement_recovers_per_branch_types() {
+        // The full cascade must type the int-branch load as numeric and the
+        // ptr-branch load as a pointer (Example 4.2).
+        let analysis = manta_analysis::ModuleAnalysis::build(union_module());
+        let r = Manta::new(MantaConfig::with_sensitivity(Sensitivity::FiCsFs)).infer(&analysis);
+        let loads = loaded_values(&analysis);
+        assert_eq!(loads.len(), 2);
+        let (vi, _si) = loads[0];
+        let (vp, _sp) = loads[1];
+        let ti = r.interval(vi).unwrap().resolution();
+        let tp = r.interval(vp).unwrap().resolution();
+        let Resolution::Precise(ti) = ti else {
+            panic!("int-branch load not precise: {ti:?}")
+        };
+        let Resolution::Precise(tp) = tp else {
+            panic!("ptr-branch load not precise: {tp:?}")
+        };
+        assert!(ti.is_numeric(), "int branch inferred {ti}");
+        assert!(tp.is_pointer(), "ptr branch inferred {tp}");
+    }
+
+    #[test]
+    fn standalone_fs_leaves_unhinted_vars_unknown() {
+        // A parameter whose only hint lives in its caller is invisible to
+        // the intraprocedural standalone FS.
+        let mut mb = ModuleBuilder::new("m");
+        let malloc = mb.extern_fn("malloc", &[], None);
+        let (callee, mut cb) = mb.function("sink2", &[Width::W64], None);
+        let p = cb.param(0);
+        let q = cb.copy(p); // uses exist, but reveal nothing
+        let _ = q;
+        cb.ret(None);
+        mb.finish_function(cb);
+        let (_caller, mut fb) = mb.function("caller", &[], None);
+        let k = fb.const_int(8, Width::W64);
+        let buf = fb.call_extern(malloc, &[k], Some(Width::W64)).unwrap();
+        fb.call(callee, &[buf], None);
+        fb.ret(None);
+        mb.finish_function(fb);
+        let analysis = manta_analysis::ModuleAnalysis::build(mb.finish());
+        let fs = Manta::new(MantaConfig::with_sensitivity(Sensitivity::Fs)).infer(&analysis);
+        let callee = analysis.module().function_by_name("sink2").unwrap();
+        let pv = VarRef::new(callee.id(), callee.params()[0]);
+        assert_eq!(fs.class_of(pv), VarClass::Unknown);
+        // FI sees the interprocedural unification and types it.
+        let fi = Manta::new(MantaConfig::with_sensitivity(Sensitivity::Fi)).infer(&analysis);
+        assert_eq!(fi.class_of(pv), VarClass::Precise);
+    }
+
+    #[test]
+    fn standalone_fs_types_locally_revealed_vars() {
+        let mut mb = ModuleBuilder::new("m");
+        let (fid, mut fb) = mb.function("f", &[Width::W64], Some(Width::W64));
+        let p = fb.param(0);
+        let v = fb.load(p, Width::W64); // p revealed ptr at its use
+        fb.ret(Some(v));
+        mb.finish_function(fb);
+        let analysis = manta_analysis::ModuleAnalysis::build(mb.finish());
+        let fs = Manta::new(MantaConfig::with_sensitivity(Sensitivity::Fs)).infer(&analysis);
+        let pv = VarRef::new(fid, p);
+        assert_eq!(fs.class_of(pv), VarClass::Precise);
+        assert!(matches!(fs.precise_type(pv), Some(t) if t.is_pointer()));
+    }
+
+    #[test]
+    fn site_types_differ_across_branches() {
+        let analysis = manta_analysis::ModuleAnalysis::build(union_module());
+        let r = Manta::new(MantaConfig::with_sensitivity(Sensitivity::FiCsFs)).infer(&analysis);
+        // The two printf call sites see the same stack slot with different
+        // per-site types via interval_at.
+        let loads = loaded_values(&analysis);
+        let (vi, si) = loads[0];
+        let (vp, sp) = loads[1];
+        let at_i = r.interval_at(vi, si).unwrap().clone();
+        let at_p = r.interval_at(vp, sp).unwrap().clone();
+        assert_ne!(at_i, at_p);
+    }
+}

@@ -1,0 +1,389 @@
+//! # manta
+//!
+//! The hybrid-sensitive type inference of *Manta: Hybrid-Sensitive Type
+//! Inference Toward Type-Assisted Bug Detection for Stripped Binaries*
+//! (ASPLOS 2024), reproduced in Rust.
+//!
+//! The inference runs in up to three stages of increasing precision
+//! (paper §4, Figure 1):
+//!
+//! 1. **Global flow-insensitive inference** ([`flow_insensitive`]) — a
+//!    unification-based analysis applying Table 1's rules, maintaining an
+//!    upper-bound type map `F↑` (joins) and a lower-bound map `F↓` (meets)
+//!    for every variable and memory object. Variables are then classified
+//!    as *precise* (`V_P`), *over-approximated* (`V_O`) or *unknown*
+//!    (`V_U`).
+//! 2. **Context-sensitive refinement** ([`ctx_refine`], Algorithm 1) — for
+//!    each `v ∈ V_O`, a backward DDG traversal finds the alias roots of
+//!    `v` under CFL-reachability, then a forward traversal collects only
+//!    the type hints in CFL-valid contexts, shrinking the interval.
+//! 3. **Flow-sensitive refinement** ([`flow_refine`], Algorithm 2) — for
+//!    variables still over-approximated, type hints are collected per
+//!    def/use site by backward CFG search with strong updates, producing
+//!    `v@s` types.
+//!
+//! The [`Manta`] driver runs any prefix combination of the stages
+//! ([`Sensitivity`]), which is exactly the ablation axis of the paper's
+//! evaluation (Manta-FI, Manta-FS, Manta-FI+FS, Manta-FI+CS+FS).
+//!
+//! ```
+//! use manta_ir::{ModuleBuilder, Width};
+//! use manta_analysis::ModuleAnalysis;
+//! use manta::{Manta, MantaConfig, Sensitivity};
+//!
+//! let mut mb = ModuleBuilder::new("demo");
+//! let malloc = mb.extern_fn("malloc", &[], None);
+//! let (_f, mut fb) = mb.function("grab", &[Width::W64], Some(Width::W64));
+//! let n = fb.param(0);
+//! let buf = fb.call_extern(malloc, &[n], Some(Width::W64));
+//! fb.ret(buf);
+//! mb.finish_function(fb);
+//!
+//! let analysis = ModuleAnalysis::build(mb.finish());
+//! let result = Manta::new(MantaConfig::with_sensitivity(Sensitivity::FiCsFs))
+//!     .infer(&analysis);
+//! // `n` flows into malloc's size parameter: revealed as int64.
+//! let f = analysis.module().function_by_name("grab").unwrap();
+//! let p0 = manta_analysis::VarRef::new(f.id(), f.params()[0]);
+//! assert!(result.interval(p0).unwrap().resolution().is_precise());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod ctx_refine;
+pub mod flow_insensitive;
+pub mod flow_refine;
+pub mod interval;
+pub mod reveal;
+mod unify;
+
+use std::collections::HashMap;
+
+use manta_analysis::{ModuleAnalysis, ObjectId, VarRef};
+use manta_ir::{InstId, Type};
+
+pub use classify::VarClass;
+pub use interval::{FirstLayer, Resolution, TypeInterval};
+pub use reveal::{Reveal, RevealMap};
+pub use unify::UnionFind;
+
+/// Which stages of the hybrid cascade to run — the paper's ablation axis.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Sensitivity {
+    /// Global flow-insensitive inference only (Manta-FI).
+    Fi,
+    /// Standalone flow-sensitive inference only (Manta-FS): per-use-site
+    /// backward hint collection with strong updates and no global
+    /// unification.
+    Fs,
+    /// FI followed directly by flow-sensitive refinement (Manta-FI+FS).
+    FiFs,
+    /// The full cascade: FI, then context-sensitive, then flow-sensitive
+    /// refinement (Manta-FI+CS+FS).
+    FiCsFs,
+    /// The *reversed* refinement order (FI, then flow-sensitive, then
+    /// context-sensitive) — the §6.4 "Type Refinement Order" ablation. The
+    /// aggressive flow-sensitive stage runs first and loses types that the
+    /// context-sensitive stage could have resolved, so this configuration
+    /// is strictly weaker than [`Sensitivity::FiCsFs`].
+    FiFsCs,
+}
+
+impl Sensitivity {
+    /// All ablation configurations, in the paper's column order.
+    pub const ALL: [Sensitivity; 4] =
+        [Sensitivity::Fi, Sensitivity::Fs, Sensitivity::FiFs, Sensitivity::FiCsFs];
+
+    /// The ablation columns plus the reversed-order configuration of §6.4.
+    pub const WITH_REVERSED: [Sensitivity; 5] = [
+        Sensitivity::Fi,
+        Sensitivity::Fs,
+        Sensitivity::FiFs,
+        Sensitivity::FiCsFs,
+        Sensitivity::FiFsCs,
+    ];
+
+    /// Display label matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Sensitivity::Fi => "FI",
+            Sensitivity::Fs => "FS",
+            Sensitivity::FiFs => "FI+FS",
+            Sensitivity::FiCsFs => "FI+CS+FS",
+            Sensitivity::FiFsCs => "FI+FS+CS",
+        }
+    }
+}
+
+/// Tuning parameters of the inference.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MantaConfig {
+    /// The stage combination to run.
+    pub sensitivity: Sensitivity,
+    /// Maximum calling-context stack depth during CFL traversals.
+    pub max_ctx_depth: usize,
+    /// Node-visit budget per refined variable (scalability guard).
+    pub max_visits: usize,
+    /// Whether the flow-sensitive stage applies strong updates (stops at
+    /// the first annotation per backward path). Ablation knob; the paper's
+    /// algorithm always does.
+    pub strong_updates: bool,
+}
+
+impl MantaConfig {
+    /// The paper's default: full hybrid cascade.
+    pub fn full() -> MantaConfig {
+        Self::with_sensitivity(Sensitivity::FiCsFs)
+    }
+
+    /// Defaults with an explicit sensitivity.
+    pub fn with_sensitivity(sensitivity: Sensitivity) -> MantaConfig {
+        MantaConfig { sensitivity, max_ctx_depth: 32, max_visits: 4096, strong_updates: true }
+    }
+}
+
+impl Default for MantaConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// Per-stage classification counts (drives the paper's Figure 9).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ClassCounts {
+    /// `|V_P|` — precisely resolved.
+    pub precise: usize,
+    /// `|V_O|` — over-approximated.
+    pub over: usize,
+    /// `|V_U|` — unknown.
+    pub unknown: usize,
+}
+
+impl ClassCounts {
+    /// Total classified variables.
+    pub fn total(&self) -> usize {
+        self.precise + self.over + self.unknown
+    }
+}
+
+/// A stage label used in [`InferenceResult::stage_counts`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Stage {
+    /// After global flow-insensitive inference.
+    FlowInsensitive,
+    /// After context-sensitive refinement.
+    ContextRefine,
+    /// After flow-sensitive refinement.
+    FlowRefine,
+    /// After standalone flow-sensitive inference.
+    StandaloneFs,
+}
+
+/// The output of the inference: interval type maps for variables, objects
+/// and use sites, plus per-stage statistics.
+#[derive(Clone, Debug)]
+pub struct InferenceResult {
+    pub(crate) var_types: HashMap<VarRef, TypeInterval>,
+    pub(crate) obj_types: HashMap<ObjectId, TypeInterval>,
+    pub(crate) site_types: HashMap<(VarRef, InstId), TypeInterval>,
+    pub(crate) class: HashMap<VarRef, VarClass>,
+    /// Classification after each executed stage, in execution order.
+    pub stage_counts: Vec<(Stage, ClassCounts)>,
+    /// The configuration that produced this result.
+    pub config: MantaConfig,
+}
+
+impl InferenceResult {
+    pub(crate) fn empty(config: MantaConfig) -> InferenceResult {
+        InferenceResult {
+            var_types: HashMap::new(),
+            obj_types: HashMap::new(),
+            site_types: HashMap::new(),
+            class: HashMap::new(),
+            stage_counts: Vec::new(),
+            config,
+        }
+    }
+
+    /// The inferred interval for variable `v`, if any hint reached it.
+    pub fn interval(&self, v: VarRef) -> Option<&TypeInterval> {
+        self.var_types.get(&v)
+    }
+
+    /// The inferred interval for object `o`.
+    pub fn obj_interval(&self, o: ObjectId) -> Option<&TypeInterval> {
+        self.obj_types.get(&o)
+    }
+
+    /// The inferred interval for `v` at site `s` (`v@s`). Falls back to the
+    /// variable-level interval: per §4.2.2, `F(v@s) = F(v)` for variables
+    /// that needed no flow-sensitive refinement.
+    pub fn interval_at(&self, v: VarRef, s: InstId) -> Option<&TypeInterval> {
+        self.site_types.get(&(v, s)).or_else(|| self.var_types.get(&v))
+    }
+
+    /// Upper-bound type `F↑(v)`. Unknown variables read as `⊤` — the
+    /// conservative any-type widening of §4.1.
+    pub fn upper(&self, v: VarRef) -> Type {
+        match self.var_types.get(&v) {
+            Some(i) if !i.is_unknown() => i.upper.clone(),
+            _ => Type::Top,
+        }
+    }
+
+    /// Lower-bound type `F↓(v)`. Unknown variables read as `⊥` — the
+    /// conservative any-type widening of §4.1.
+    pub fn lower(&self, v: VarRef) -> Type {
+        match self.var_types.get(&v) {
+            Some(i) if !i.is_unknown() => i.lower.clone(),
+            _ => Type::Bottom,
+        }
+    }
+
+    /// The classification of `v` after the final executed stage.
+    pub fn class_of(&self, v: VarRef) -> VarClass {
+        self.class.get(&v).copied().unwrap_or(VarClass::Unknown)
+    }
+
+    /// Classification counts after the final stage.
+    pub fn final_counts(&self) -> ClassCounts {
+        self.stage_counts.last().map(|&(_, c)| c).unwrap_or_default()
+    }
+
+    /// The resolved singleton type of `v`, if precise.
+    pub fn precise_type(&self, v: VarRef) -> Option<Type> {
+        match self.var_types.get(&v)?.resolution() {
+            Resolution::Precise(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Read-only access to inferred type intervals — the interface the §5
+/// clients (indirect-call pruning, DDG pruning, bug checkers) consume.
+///
+/// [`InferenceResult`] implements it with full `v@s` site granularity;
+/// baseline tools implement it through [`MapTypes`] at variable
+/// granularity, which lets the evaluation feed *any* tool's types into the
+/// same clients (the paper's Figure 12 setup).
+pub trait TypeQuery {
+    /// The interval for variable `v`, if known.
+    fn var_interval(&self, v: VarRef) -> Option<&TypeInterval>;
+
+    /// The interval for `v` at site `s`; defaults to the variable-level
+    /// interval.
+    fn site_interval(&self, v: VarRef, s: InstId) -> Option<&TypeInterval> {
+        let _ = s;
+        self.var_interval(v)
+    }
+
+    /// `F↑(v)` with the §4.1 any-type widening for unknowns.
+    fn upper_of(&self, v: VarRef) -> Type {
+        match self.var_interval(v) {
+            Some(i) if !i.is_unknown() => i.upper.clone(),
+            _ => Type::Top,
+        }
+    }
+
+    /// `F↓(v)` with the §4.1 any-type widening for unknowns.
+    fn lower_of(&self, v: VarRef) -> Type {
+        match self.var_interval(v) {
+            Some(i) if !i.is_unknown() => i.lower.clone(),
+            _ => Type::Bottom,
+        }
+    }
+
+    /// `F↑(v@s)` with the widening.
+    fn upper_at(&self, v: VarRef, s: InstId) -> Type {
+        match self.site_interval(v, s) {
+            Some(i) if !i.is_unknown() => i.upper.clone(),
+            _ => Type::Top,
+        }
+    }
+
+    /// The precisely-resolved type of `v` at `s`, if any.
+    fn precise_at(&self, v: VarRef, s: InstId) -> Option<Type> {
+        match self.site_interval(v, s)?.resolution() {
+            Resolution::Precise(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The precisely-resolved type of `v`, if any.
+    fn precise_of(&self, v: VarRef) -> Option<Type> {
+        match self.var_interval(v)?.resolution() {
+            Resolution::Precise(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl TypeQuery for InferenceResult {
+    fn var_interval(&self, v: VarRef) -> Option<&TypeInterval> {
+        self.var_types.get(&v)
+    }
+
+    fn site_interval(&self, v: VarRef, s: InstId) -> Option<&TypeInterval> {
+        self.interval_at(v, s)
+    }
+}
+
+/// A plain variable-to-interval map implementing [`TypeQuery`] — the
+/// adapter for baseline tools that produce flat type assignments.
+#[derive(Clone, Debug, Default)]
+pub struct MapTypes(pub HashMap<VarRef, TypeInterval>);
+
+impl TypeQuery for MapTypes {
+    fn var_interval(&self, v: VarRef) -> Option<&TypeInterval> {
+        self.0.get(&v)
+    }
+}
+
+/// The hybrid-sensitive type-inference driver.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Manta {
+    config: MantaConfig,
+}
+
+impl Manta {
+    /// Creates a driver with the given configuration.
+    pub fn new(config: MantaConfig) -> Manta {
+        Manta { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MantaConfig {
+        &self.config
+    }
+
+    /// Runs the configured stage cascade over a prepared [`ModuleAnalysis`].
+    pub fn infer(&self, analysis: &ModuleAnalysis) -> InferenceResult {
+        let reveals = reveal::RevealMap::collect(analysis);
+        let mut result = match self.config.sensitivity {
+            Sensitivity::Fs => {
+                // Standalone flow-sensitive: no global unification at all.
+                flow_refine::standalone_fs(analysis, &reveals, &self.config)
+            }
+            _ => flow_insensitive::run(analysis, &reveals, self.config),
+        };
+        result.config = self.config;
+
+        match self.config.sensitivity {
+            Sensitivity::Fi | Sensitivity::Fs => {}
+            Sensitivity::FiFs => {
+                flow_refine::refine(analysis, &reveals, &self.config, &mut result);
+            }
+            Sensitivity::FiCsFs => {
+                ctx_refine::refine(analysis, &reveals, &self.config, &mut result);
+                flow_refine::refine(analysis, &reveals, &self.config, &mut result);
+            }
+            Sensitivity::FiFsCs => {
+                // §6.4 reversed order: the aggressive stage first.
+                flow_refine::refine(analysis, &reveals, &self.config, &mut result);
+                ctx_refine::refine(analysis, &reveals, &self.config, &mut result);
+            }
+        }
+        result
+    }
+}

@@ -1,0 +1,73 @@
+//! Define a brand-new bug checker from a source/sink specification — the
+//! paper's §5.3 extensibility claim: "users of MANTA can easily implement
+//! a new bug checker by specifying the sources and sinks of the
+//! vulnerabilities to detect".
+//!
+//! ```sh
+//! cargo run --example custom_checker
+//! ```
+
+use manta::{Manta, MantaConfig, TypeQuery};
+use manta_analysis::ModuleAnalysis;
+use manta_clients::{CustomChecker, SinkSpec, SlicerConfig, SourceSpec};
+use manta_ir::{ExternEffect, ModuleBuilder, Width};
+
+fn main() {
+    // A format-string checker, written in four lines: attacker-controlled
+    // strings must not become printf's *format* argument.
+    let fmt_checker = CustomChecker {
+        name: "FMT-STRING".into(),
+        sources: SourceSpec::Effect(ExternEffect::TaintSource),
+        sinks: SinkSpec::ExternArg { name: "printf_s".into(), index: 0 },
+        numeric_guard: true,
+    };
+
+    // A vulnerable service: logs an NVRAM value as the format string, and
+    // a sanitized one that converts to an integer first.
+    let mut mb = ModuleBuilder::new("logger");
+    let nvram = mb.extern_fn("nvram_get", &[], None);
+    let atol = mb.extern_fn("atol", &[], None);
+    let printf_s = mb.extern_fn("printf_s", &[], None);
+    let printf_d = mb.extern_fn("printf_d", &[], None);
+
+    let (_, mut fb) = mb.function("log_banner", &[], Some(Width::W32));
+    let key = fb.alloca(8);
+    let banner = fb.call_extern(nvram, &[key], Some(Width::W64)).unwrap();
+    let r = fb.call_extern(printf_s, &[banner, banner], Some(Width::W32)).unwrap();
+    fb.ret(Some(r));
+    mb.finish_function(fb);
+
+    let (_, mut fb) = mb.function("log_level", &[], Some(Width::W32));
+    let key = fb.alloca(8);
+    let raw = fb.call_extern(nvram, &[key], Some(Width::W64)).unwrap();
+    let level = fb.call_extern(atol, &[raw], Some(Width::W64)).unwrap();
+    let shown = fb.copy(level);
+    let fmt = fb.alloca(8);
+    fb.call_extern(printf_d, &[fmt, shown], Some(Width::W32));
+    let r = fb.call_extern(printf_s, &[shown, shown], Some(Width::W32)).unwrap();
+    fb.ret(Some(r));
+    mb.finish_function(fb);
+
+    let analysis = ModuleAnalysis::build(mb.finish());
+    let inference = Manta::new(MantaConfig::full()).infer(&analysis);
+
+    for (label, types) in [
+        ("type-assisted", Some(&inference as &dyn TypeQuery)),
+        ("untyped", None),
+    ] {
+        let reports = fmt_checker.detect(&analysis, types, SlicerConfig::default());
+        println!("{label}: {} report(s)", reports.len());
+        for r in &reports {
+            println!(
+                "  [{}] in {}",
+                r.checker,
+                analysis.module().function(r.func).name()
+            );
+        }
+    }
+    println!(
+        "\nThe untyped run also flags log_level — but its \"format\" is an\n\
+         integer after atol, so the type-assisted run prunes it (only the\n\
+         genuine log_banner finding remains)."
+    );
+}

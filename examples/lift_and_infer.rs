@@ -1,0 +1,74 @@
+//! The whole pipeline from *bytes*: assemble an SB-ISA program, encode it
+//! to an SBF image, decode + lift it to SSA IR, and run the inference —
+//! exactly what the paper does to a stripped firmware binary.
+//!
+//! ```sh
+//! cargo run --example lift_and_infer
+//! ```
+
+use manta::{Manta, MantaConfig};
+use manta_analysis::{ModuleAnalysis, VarRef};
+
+const PROGRAM: &str = r#"
+module device_ctl
+extern malloc, 1, ret
+extern strlen, 1, ret
+extern printf_d, 2, ret
+
+func scale(2) -> ret {
+    ; r1 = buffer pointer, r2 = count (both just 64-bit registers here)
+    ld.w64 r3, [r1+8]
+    add r4, r3, r2
+    mov r0, r4
+    ret
+}
+
+func main(1) -> ret {
+    movi r1, 64
+    ecall malloc, 1
+    mov r7, r0          ; r7 = heap buffer
+    mov r1, r7
+    ecall strlen, 1
+    mov r6, r0          ; r6 = length (int)
+    salloc r5, 8
+    st.w64 [r5+0], r6
+    mov r1, r7
+    mov r2, r6
+    call scale, 2
+    mov r2, r0
+    salloc r1, 8
+    ecall printf_d, 2
+    ret
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Assemble to machine code and serialize to raw bytes — the "binary".
+    let image = manta_isa::assemble(PROGRAM)?;
+    let bytes = manta_isa::encode(&image);
+    println!("encoded SBF image: {} bytes, {} instructions", bytes.len(), image.total_insts());
+
+    // A consumer sees only the bytes.
+    let decoded = manta_isa::decode(&bytes)?;
+    println!("--- disassembly ---\n{}", manta_isa::asm::disassemble(&decoded));
+
+    // Lift to SSA (registers -> values, no types survive).
+    let module = manta_isa::lift::lift(&decoded)?;
+    println!("--- lifted IR ---\n{}", manta_ir::printer::print_module(&module));
+
+    // Infer types.
+    let analysis = ModuleAnalysis::build(module);
+    let result = Manta::new(MantaConfig::full()).infer(&analysis);
+    for func in analysis.module().functions() {
+        for (i, &p) in func.params().iter().enumerate() {
+            let v = VarRef::new(func.id(), p);
+            println!(
+                "{}#arg{i}: F^ = {}, Fv = {}",
+                func.name(),
+                result.upper(v),
+                result.lower(v)
+            );
+        }
+    }
+    Ok(())
+}

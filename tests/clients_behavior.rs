@@ -1,0 +1,162 @@
+//! Cross-crate behavioral invariants of the §5 clients.
+
+use manta::{Manta, MantaConfig, Sensitivity, TypeQuery};
+use manta_analysis::ModuleAnalysis;
+use manta_clients::{
+    ddg_prune, detect_bugs, BugKind, CheckerConfig, CustomChecker, SinkSpec, SlicerConfig,
+    SourceSpec,
+};
+use manta_workloads::{generate_firmware, generator, FirmwareSpec, PhenomenonMix};
+
+fn workload(seed: u64) -> ModuleAnalysis {
+    let g = generator::generate(&generator::GenSpec {
+        name: format!("inv{seed}"),
+        functions: 30,
+        mix: PhenomenonMix::balanced(),
+        seed,
+    });
+    ModuleAnalysis::build(g.module)
+}
+
+#[test]
+fn more_precise_types_prune_at_least_as_many_dependencies() {
+    // Table 2 pruning fires only on precisely-resolved types, so a more
+    // precise inference can never prune fewer edges.
+    for seed in [1u64, 2, 3] {
+        let analysis = workload(seed);
+        let fi = Manta::new(MantaConfig::with_sensitivity(Sensitivity::Fi)).infer(&analysis);
+        let full = Manta::new(MantaConfig::full()).infer(&analysis);
+        let (_, s_fi) = ddg_prune::pruned_ddg(&analysis, &fi);
+        let (_, s_full) = ddg_prune::pruned_ddg(&analysis, &full);
+        assert!(
+            s_full.removed >= s_fi.removed,
+            "seed {seed}: full pruned {} < FI {}",
+            s_full.removed,
+            s_fi.removed
+        );
+        assert_eq!(s_full.examined, s_fi.examined);
+    }
+}
+
+#[test]
+fn typed_detection_reports_a_subset_of_untyped_reports() {
+    // Type guards and DDG pruning only *remove* candidate flows; every
+    // typed report must also exist untyped (at (kind, sink) granularity).
+    let g = generate_firmware(&FirmwareSpec {
+        name: "subset_fw".into(),
+        real_bugs_per_class: 2,
+        decoys_per_class: 3,
+        noise_functions: 15,
+        seed: 77,
+    });
+    let analysis = ModuleAnalysis::build(g.module);
+    let inference = Manta::new(MantaConfig::full()).infer(&analysis);
+    let (typed, _) = detect_bugs(
+        &analysis,
+        Some(&inference as &dyn TypeQuery),
+        &BugKind::ALL,
+        CheckerConfig::default(),
+    );
+    let (untyped, _) = detect_bugs(&analysis, None, &BugKind::ALL, CheckerConfig::default());
+    let untyped_keys: std::collections::BTreeSet<(BugKind, manta_ir::FuncId)> =
+        untyped.iter().map(|r| (r.kind, r.func)).collect();
+    for r in &typed {
+        assert!(
+            untyped_keys.contains(&(r.kind, r.func)),
+            "typed-only report {:?} in {:?}",
+            r.kind,
+            r.func
+        );
+    }
+    assert!(typed.len() < untyped.len(), "types must remove some reports");
+}
+
+#[test]
+fn typed_slicing_visits_fewer_ddg_nodes() {
+    // The paper's timing observation: inferred types stop slicing on
+    // incorrect paths, so the typed detector does less traversal work.
+    let g = generate_firmware(&FirmwareSpec {
+        name: "work_fw".into(),
+        real_bugs_per_class: 3,
+        decoys_per_class: 3,
+        noise_functions: 25,
+        seed: 13,
+    });
+    let analysis = ModuleAnalysis::build(g.module);
+    let inference = Manta::new(MantaConfig::full()).infer(&analysis);
+    let (_, typed_visits) = detect_bugs(
+        &analysis,
+        Some(&inference as &dyn TypeQuery),
+        &BugKind::ALL,
+        CheckerConfig::default(),
+    );
+    let (_, untyped_visits) =
+        detect_bugs(&analysis, None, &BugKind::ALL, CheckerConfig::default());
+    assert!(
+        typed_visits < untyped_visits,
+        "typed {typed_visits} vs untyped {untyped_visits}"
+    );
+}
+
+#[test]
+fn custom_checker_composes_with_generated_firmware() {
+    // A user-defined "taint reaches strcpy destination" checker runs over
+    // the same images as the built-ins.
+    let g = generate_firmware(&FirmwareSpec {
+        name: "custom_fw".into(),
+        real_bugs_per_class: 2,
+        decoys_per_class: 1,
+        noise_functions: 8,
+        seed: 5,
+    });
+    let analysis = ModuleAnalysis::build(g.module);
+    let inference = Manta::new(MantaConfig::full()).infer(&analysis);
+    let checker = CustomChecker {
+        name: "TAINT->STRCPY".into(),
+        sources: SourceSpec::ExternReturn("nvram_get".into()),
+        sinks: SinkSpec::ExternArg { name: "strcpy".into(), index: 1 },
+        numeric_guard: true,
+    };
+    let reports = checker.detect(
+        &analysis,
+        Some(&inference as &dyn TypeQuery),
+        SlicerConfig::default(),
+    );
+    // Both real BOFs reach strcpy's source argument.
+    let funcs: std::collections::BTreeSet<&str> = reports
+        .iter()
+        .map(|r| analysis.module().function(r.func).name())
+        .collect();
+    assert!(funcs.contains("bof_real0"), "{funcs:?}");
+    assert!(funcs.contains("bof_real1"), "{funcs:?}");
+    // The atol-sanitized decoy is type-pruned.
+    assert!(!funcs.contains("bof_decoy0"), "{funcs:?}");
+}
+
+#[test]
+fn detection_is_deterministic() {
+    let run = || {
+        let g = generate_firmware(&FirmwareSpec {
+            name: "det_fw".into(),
+            real_bugs_per_class: 2,
+            decoys_per_class: 2,
+            noise_functions: 10,
+            seed: 21,
+        });
+        let analysis = ModuleAnalysis::build(g.module);
+        let inference = Manta::new(MantaConfig::full()).infer(&analysis);
+        let (reports, _) = detect_bugs(
+            &analysis,
+            Some(&inference as &dyn TypeQuery),
+            &BugKind::ALL,
+            CheckerConfig::default(),
+        );
+        reports
+            .into_iter()
+            .map(|r| {
+                (r.kind, analysis.module().function(r.func).name().to_string())
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,148 @@
+//! Property-based tests spanning crates: text/bytes roundtrips on
+//! generated programs, lattice laws exercised through the inference, and
+//! metric identities.
+
+use proptest::prelude::*;
+
+use manta::{Manta, MantaConfig, Sensitivity};
+use manta_analysis::ModuleAnalysis;
+use manta_ir::{parser::parse_module, printer::print_module, Type, Width};
+use manta_workloads::{generator, PhenomenonMix};
+
+fn arb_type() -> impl Strategy<Value = Type> {
+    let leaf = prop_oneof![
+        Just(Type::Top),
+        Just(Type::Bottom),
+        Just(Type::Int(Width::W8)),
+        Just(Type::Int(Width::W32)),
+        Just(Type::Int(Width::W64)),
+        Just(Type::Float),
+        Just(Type::Double),
+        Just(Type::Num(Width::W32)),
+        Just(Type::Num(Width::W64)),
+        Just(Type::Reg(Width::W64)),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Type::ptr),
+            (inner.clone(), 1u64..8).prop_map(|(t, n)| Type::array(t, n)),
+            prop::collection::vec((0u64..4, inner), 0..3)
+                .prop_map(|fields| Type::object(fields.into_iter().map(|(o, t)| (o * 8, t)).collect())),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lattice laws: join/meet are commutative, idempotent, bounded, and
+    /// consistent with subtyping.
+    #[test]
+    fn lattice_laws(a in arb_type(), b in arb_type()) {
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.meet(&b), b.meet(&a));
+        prop_assert_eq!(a.join(&a), a.clone());
+        prop_assert_eq!(a.meet(&a), a.clone());
+        prop_assert_eq!(a.join(&Type::Bottom), a.clone());
+        prop_assert_eq!(a.meet(&Type::Top), a.clone());
+        prop_assert_eq!(a.join(&Type::Top), Type::Top);
+        prop_assert_eq!(a.meet(&Type::Bottom), Type::Bottom);
+        // join is an upper bound, meet a lower bound.
+        let j = a.join(&b);
+        prop_assert!(a.is_subtype_of(&j), "a {} !<: join {}", a, j);
+        prop_assert!(b.is_subtype_of(&j), "b {} !<: join {}", b, j);
+        let m = a.meet(&b);
+        prop_assert!(m.is_subtype_of(&a), "meet {} !<: a {}", m, a);
+        prop_assert!(m.is_subtype_of(&b), "meet {} !<: b {}", m, b);
+    }
+
+    /// Subtyping is reflexive and transitive through join.
+    #[test]
+    fn subtyping_partial_order(a in arb_type(), b in arb_type(), c in arb_type()) {
+        prop_assert!(a.is_subtype_of(&a));
+        if a.is_subtype_of(&b) && b.is_subtype_of(&c) {
+            prop_assert!(a.is_subtype_of(&c), "transitivity: {} <: {} <: {}", a, b, c);
+        }
+    }
+
+    /// Generated programs survive a textual print → parse → print fixpoint
+    /// and stay verifier-clean.
+    #[test]
+    fn generated_ir_text_roundtrip(seed in 0u64..64, functions in 2usize..10) {
+        let g = generator::generate(&generator::GenSpec {
+            name: "prop".into(),
+            functions,
+            mix: PhenomenonMix::balanced(),
+            seed,
+        });
+        let p1 = print_module(&g.module);
+        let parsed = parse_module(&p1).expect("printer output parses");
+        manta_ir::verify::verify_module(&parsed).expect("parsed module verifies");
+        prop_assert_eq!(p1, print_module(&parsed));
+    }
+
+    /// Inference is deterministic and classification counts are consistent
+    /// with the variable population for every sensitivity.
+    #[test]
+    fn inference_deterministic_and_counts_consistent(seed in 0u64..32) {
+        let build = || {
+            let g = generator::generate(&generator::GenSpec {
+                name: "prop".into(),
+                functions: 6,
+                mix: PhenomenonMix::balanced(),
+                seed,
+            });
+            ModuleAnalysis::build(g.module)
+        };
+        let (a1, a2) = (build(), build());
+        for s in Sensitivity::ALL {
+            let r1 = Manta::new(MantaConfig::with_sensitivity(s)).infer(&a1);
+            let r2 = Manta::new(MantaConfig::with_sensitivity(s)).infer(&a2);
+            prop_assert_eq!(r1.final_counts(), r2.final_counts());
+            let non_const: usize = a1
+                .module()
+                .functions()
+                .map(|f| {
+                    f.values()
+                        .filter(|(_, d)| !matches!(d.kind, manta_ir::ValueKind::Const(_)))
+                        .count()
+                })
+                .sum();
+            prop_assert_eq!(r1.final_counts().total(), non_const);
+        }
+    }
+
+    /// The hybrid cascade never classifies fewer variables precisely than
+    /// plain flow-insensitive inference on the same program.
+    #[test]
+    fn cascade_never_loses_precise_count_overall(seed in 0u64..16) {
+        let g = generator::generate(&generator::GenSpec {
+            name: "prop".into(),
+            functions: 8,
+            mix: PhenomenonMix::balanced(),
+            seed,
+        });
+        let analysis = ModuleAnalysis::build(g.module);
+        let fi = Manta::new(MantaConfig::with_sensitivity(Sensitivity::Fi)).infer(&analysis);
+        let full = Manta::new(MantaConfig::full()).infer(&analysis);
+        prop_assert!(full.final_counts().precise >= fi.final_counts().precise);
+    }
+
+    /// SBF images roundtrip through bytes for arbitrary generated programs
+    /// expressed in SB-ISA (via the assembler sample corpus).
+    #[test]
+    fn sbf_bytes_roundtrip(nfn in 1usize..4, imm in -1000i64..1000) {
+        let mut text = String::from("module prop\nextern malloc, 1, ret\n");
+        for i in 0..nfn {
+            text.push_str(&format!(
+                "func f{i}(1) -> ret {{\n    movi r2, {imm}\n    add r0, r1, r2\n    brz r0, out\n    mul r0, r0, r2\nout:\n    ret\n}}\n"
+            ));
+        }
+        let img = manta_isa::assemble(&text).expect("assembles");
+        let bytes = manta_isa::encode(&img);
+        let back = manta_isa::decode(&bytes).expect("decodes");
+        prop_assert_eq!(&img, &back);
+        let lifted = manta_isa::lift::lift(&back).expect("lifts");
+        manta_ir::verify::verify_module(&lifted).expect("verifies");
+    }
+}

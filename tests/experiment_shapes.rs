@@ -1,0 +1,177 @@
+//! Qualitative shape assertions for the §6 experiments: who wins, in what
+//! order, where the crossovers fall. Absolute numbers are workload-bound,
+//! but these orderings are the paper's claims and must hold.
+//!
+//! Runs on a reduced suite to stay fast under the debug test profile.
+
+use manta_eval::experiments::{ablation_order, figure11, figure12, figure9, table3, table4, table5};
+use manta_eval::runner::ProjectData;
+use manta_analysis::ModuleAnalysis;
+use manta_workloads::{coreutils_suite, firmware_suite, generate_firmware, project_suite};
+
+fn small_projects() -> Vec<ProjectData> {
+    project_suite()
+        .into_iter()
+        .take(6)
+        .map(|spec| {
+            let g = spec.generate();
+            ProjectData {
+                name: spec.name,
+                kloc: spec.kloc,
+                analysis: ModuleAnalysis::build(g.module),
+                truth: g.truth,
+                build_ms: 0.0,
+            }
+        })
+        .collect()
+}
+
+fn small_coreutils() -> Vec<ProjectData> {
+    coreutils_suite()
+        .into_iter()
+        .take(12)
+        .map(|spec| {
+            let g = spec.generate();
+            ProjectData {
+                name: spec.name,
+                kloc: spec.kloc,
+                analysis: ModuleAnalysis::build(g.module),
+                truth: g.truth,
+                build_ms: 0.0,
+            }
+        })
+        .collect()
+}
+
+fn small_firmware() -> Vec<ProjectData> {
+    firmware_suite()
+        .into_iter()
+        .take(4)
+        .map(|spec| {
+            let g = generate_firmware(&spec);
+            ProjectData {
+                name: spec.name,
+                kloc: 0.0,
+                analysis: ModuleAnalysis::build(g.module),
+                truth: g.truth,
+                build_ms: 0.0,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn table3_orderings_hold() {
+    let projects = small_projects();
+    let coreutils = small_coreutils();
+    let t3 = table3::run(&projects, &coreutils);
+    let p = |tool: &str| t3.total_of(tool).unwrap().precision();
+    let r = |tool: &str| t3.total_of(tool).unwrap().recall();
+
+    // The headline: the full cascade has the best precision of all tools.
+    for tool in ["Dirty", "Ghidra", "RetDec", "Retypd", "FI", "FS", "FI+FS"] {
+        assert!(
+            p("FI+CS+FS") > p(tool),
+            "full cascade must beat {tool}: {} vs {}",
+            p("FI+CS+FS"),
+            p(tool)
+        );
+    }
+    // The staging order: each added stage increases precision.
+    assert!(p("FI+CS+FS") > p("FI+FS"));
+    assert!(p("FI+FS") > p("FI"));
+    assert!(p("FI") > p("FS"), "standalone FS is the least precise ablation");
+    // Recall: all Manta ablations stay high; the hybrid pays only a small
+    // recall cost relative to FI (the §6.4 discussion).
+    assert!(r("FI") > 95.0 && r("FS") > 95.0 && r("FI+CS+FS") > 93.0);
+    assert!(r("FI") >= r("FI+CS+FS"));
+    // RetDec emits concrete types for everything: precision == recall.
+    let retdec = t3.total_of("RetDec").unwrap();
+    assert_eq!(retdec.correct, retdec.included);
+    // Non-Manta tools have visibly lower recall than FI.
+    for tool in ["Dirty", "Ghidra", "RetDec"] {
+        assert!(r(tool) < r("FI"), "{tool} recall must trail FI");
+    }
+}
+
+#[test]
+fn table4_and_figure11_orderings_hold() {
+    let projects = small_projects();
+    let t4 = table4::run(&projects);
+    let aict = |tool: &str| t4.geomean_aict(tool).unwrap();
+    let prec = |tool: &str| t4.geomean_precision(tool).unwrap();
+    let recall = |tool: &str| t4.geomean_recall(tool).unwrap();
+
+    // Manta prunes more than the count/width baselines…
+    assert!(prec("FI+CS+FS") > prec("TypeArmor"));
+    assert!(prec("FI+CS+FS") > prec("tau-CFI"));
+    assert!(aict("FI+CS+FS") < aict("TypeArmor"));
+    // …without pruning feasible targets (recall stays ~perfect)…
+    assert!(recall("FI+CS+FS") > 99.0);
+    assert!(recall("TypeArmor") > 99.0);
+    // …and never prunes below the source-level oracle.
+    assert!(aict("FI+CS+FS") >= t4.geomean_source_aict() - 1e-9);
+    // RetDec's wrong types cost indirect-call recall (Figure 11's outlier).
+    let f11 = figure11::run(&t4);
+    assert!(f11.recall_of("RetDec").unwrap() < 80.0);
+}
+
+#[test]
+fn figure9_proportions_shift_as_designed() {
+    let projects = small_projects();
+    let f9 = figure9::run(&projects);
+    let (p_fi, o_fi, _) = f9.proportions("FI").unwrap();
+    let (p_fs, _, u_fs) = f9.proportions("FS").unwrap();
+    let (p_full, o_full, _) = f9.proportions("FI+CS+FS").unwrap();
+    // FI leaves a large over-approximated population; FS a large unknown
+    // population; the full cascade resolves most of both.
+    assert!(o_fi > 15.0, "FI over-approximates: {o_fi}");
+    assert!(u_fs > 25.0, "FS leaves unknowns: {u_fs}");
+    assert!(p_full > p_fi && p_full > p_fs);
+    assert!(o_full < o_fi);
+}
+
+#[test]
+fn refinement_order_ablation_holds() {
+    // §6.4: the paper's CS-before-FS ordering must beat the reversed one
+    // (flow-sensitive refinement first loses types CS could resolve).
+    let projects = small_projects();
+    let abl = ablation_order::run(&projects);
+    let paper_order = abl.score_of("FI+CS+FS").unwrap();
+    let reversed = abl.score_of("FI+FS+CS").unwrap();
+    let no_cs = abl.score_of("FI+FS").unwrap();
+    assert!(
+        paper_order.precision() > reversed.precision(),
+        "CS-first must beat FS-first: {} vs {}",
+        paper_order.precision(),
+        reversed.precision()
+    );
+    assert!(reversed.precision() >= no_cs.precision(), "a late CS pass never hurts");
+}
+
+#[test]
+fn table5_and_figure12_orderings_hold() {
+    let firmware = small_firmware();
+    let t5 = table5::run(&firmware);
+    let manta = t5.fpr_of("Manta").unwrap();
+    let notype = t5.fpr_of("Manta-NoType").unwrap();
+    let cwe = t5.fpr_of("cwe_checker").unwrap();
+    let satc = t5.fpr_of("SaTC").unwrap();
+    // FPR ordering: Manta < Manta-NoType < cwe_checker < SaTC.
+    assert!(manta < notype, "types must reduce FPR: {manta} vs {notype}");
+    assert!(notype < cwe, "{notype} vs {cwe}");
+    assert!(cwe < satc, "{cwe} vs {satc}");
+    // Arbiter reports nothing anywhere it runs.
+    assert_eq!(t5.reports_of("Arbiter"), 0);
+    // NoType floods more reports than typed Manta.
+    assert!(t5.reports_of("Manta-NoType") > t5.reports_of("Manta"));
+
+    let f12 = figure12::run(&firmware);
+    let full = f12.f1_of("FI+CS+FS").unwrap();
+    for tool in ["Dirty", "Ghidra", "RetDec", "Retypd", "FI"] {
+        assert!(
+            full >= f12.f1_of(tool).unwrap(),
+            "full cascade F1 must dominate {tool}"
+        );
+    }
+}
