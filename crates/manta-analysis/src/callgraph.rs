@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use manta_ir::{Callee, FuncId, InstKind, InstId};
+use manta_ir::{Callee, FuncId, InstId, InstKind};
 
 use crate::preprocess::Preprocessed;
 
@@ -38,11 +38,19 @@ impl CallGraph {
         let mut edges = Vec::new();
         for f in module.functions() {
             for inst in f.insts() {
-                if let InstKind::Call { callee: Callee::Direct(target), .. } = &inst.kind {
+                if let InstKind::Call {
+                    callee: Callee::Direct(target),
+                    ..
+                } = &inst.kind
+                {
                     if pre.is_broken_call(f.id(), inst.id) {
                         continue;
                     }
-                    edges.push(CallEdge { caller: f.id(), site: inst.id, callee: *target });
+                    edges.push(CallEdge {
+                        caller: f.id(),
+                        site: inst.id,
+                        callee: *target,
+                    });
                 }
             }
         }
@@ -79,7 +87,12 @@ impl CallGraph {
                 }
             }
         }
-        CallGraph { edges, callees_of, callers_of, bottom_up: order }
+        CallGraph {
+            edges,
+            callees_of,
+            callers_of,
+            bottom_up: order,
+        }
     }
 
     /// All call edges.

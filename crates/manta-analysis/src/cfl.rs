@@ -56,7 +56,11 @@ pub struct CtxStack {
 impl CtxStack {
     /// Creates an empty stack bounded at `max_depth` frames.
     pub fn new(max_depth: usize) -> CtxStack {
-        CtxStack { stack: Vec::new(), free_pops: Vec::new(), max_depth }
+        CtxStack {
+            stack: Vec::new(),
+            free_pops: Vec::new(),
+            max_depth,
+        }
     }
 
     /// Current depth.
@@ -69,6 +73,8 @@ impl CtxStack {
     /// successful crossing with [`leave`](Self::leave), passing the same
     /// operation.
     pub fn enter(&mut self, op: CtxOp) -> bool {
+        static QUERIES: manta_telemetry::Counter = manta_telemetry::Counter::new("cfl.queries");
+        QUERIES.incr();
         match op {
             CtxOp::None => true,
             CtxOp::Push(cs) => {
@@ -124,7 +130,10 @@ mod tests {
     use manta_ir::{FuncId, InstId};
 
     fn cs(n: u32) -> CallSite {
-        CallSite { caller: FuncId(n), site: InstId(n) }
+        CallSite {
+            caller: FuncId(n),
+            site: InstId(n),
+        }
     }
 
     #[test]
@@ -140,14 +149,20 @@ mod tests {
     fn mismatched_pop_rejected() {
         let mut st = CtxStack::new(8);
         assert!(st.enter(CtxOp::Push(cs(1))));
-        assert!(!st.enter(CtxOp::Pop(cs(2))), "CFL-unreachable path must be rejected");
+        assert!(
+            !st.enter(CtxOp::Pop(cs(2))),
+            "CFL-unreachable path must be rejected"
+        );
         assert_eq!(st.depth(), 1);
     }
 
     #[test]
     fn empty_stack_pop_allowed() {
         let mut st = CtxStack::new(8);
-        assert!(st.enter(CtxOp::Pop(cs(3))), "partially balanced strings are realizable");
+        assert!(
+            st.enter(CtxOp::Pop(cs(3))),
+            "partially balanced strings are realizable"
+        );
     }
 
     #[test]
@@ -180,10 +195,22 @@ mod tests {
     fn ctx_op_direction_table() {
         use crate::ddg::DepKind;
         let c = cs(4);
-        assert_eq!(ctx_op(DepKind::CallParam(c), Direction::Forward), CtxOp::Push(c));
-        assert_eq!(ctx_op(DepKind::CallParam(c), Direction::Backward), CtxOp::Pop(c));
-        assert_eq!(ctx_op(DepKind::CallReturn(c), Direction::Forward), CtxOp::Pop(c));
-        assert_eq!(ctx_op(DepKind::CallReturn(c), Direction::Backward), CtxOp::Push(c));
+        assert_eq!(
+            ctx_op(DepKind::CallParam(c), Direction::Forward),
+            CtxOp::Push(c)
+        );
+        assert_eq!(
+            ctx_op(DepKind::CallParam(c), Direction::Backward),
+            CtxOp::Pop(c)
+        );
+        assert_eq!(
+            ctx_op(DepKind::CallReturn(c), Direction::Forward),
+            CtxOp::Pop(c)
+        );
+        assert_eq!(
+            ctx_op(DepKind::CallReturn(c), Direction::Backward),
+            CtxOp::Push(c)
+        );
         assert_eq!(ctx_op(DepKind::Direct, Direction::Forward), CtxOp::None);
     }
 }

@@ -131,8 +131,26 @@ impl Ddg {
                         }
                     }
                     InstKind::BinOp { op, dst, lhs, rhs } => {
-                        ddg.add_edge(fid, *lhs, fid, *dst, DepKind::Arith { op: *op, operand: 0 });
-                        ddg.add_edge(fid, *rhs, fid, *dst, DepKind::Arith { op: *op, operand: 1 });
+                        ddg.add_edge(
+                            fid,
+                            *lhs,
+                            fid,
+                            *dst,
+                            DepKind::Arith {
+                                op: *op,
+                                operand: 0,
+                            },
+                        );
+                        ddg.add_edge(
+                            fid,
+                            *rhs,
+                            fid,
+                            *dst,
+                            DepKind::Arith {
+                                op: *op,
+                                operand: 1,
+                            },
+                        );
                     }
                     InstKind::Cmp { dst, lhs, rhs, .. } => {
                         ddg.add_edge(fid, *lhs, fid, *dst, DepKind::Cmp);
@@ -159,7 +177,10 @@ impl Ddg {
                             if pre.is_broken_call(fid, inst.id) {
                                 continue;
                             }
-                            let cs = CallSite { caller: fid, site: inst.id };
+                            let cs = CallSite {
+                                caller: fid,
+                                site: inst.id,
+                            };
                             let tf = module.function(*target);
                             for (i, &a) in args.iter().enumerate() {
                                 if let Some(&p) = tf.params().get(i) {
@@ -185,8 +206,7 @@ impl Ddg {
                                             ddg.add_edge(fid, src, fid, *d, DepKind::ExternFlow);
                                         }
                                         if let Some(&dbuf) = args.first() {
-                                            let objs =
-                                                pts.pts_var(VarRef::new(fid, dbuf)).clone();
+                                            let objs = pts.pts_var(VarRef::new(fid, dbuf)).clone();
                                             if !objs.is_empty() {
                                                 writes.push((VarRef::new(fid, src), objs));
                                             }
@@ -227,6 +247,8 @@ impl Ddg {
                 }
             }
         }
+        manta_telemetry::counter("ddg.nodes", ddg.node_count() as u64);
+        manta_telemetry::counter("ddg.edges", ddg.edge_count() as u64);
         ddg
     }
 
@@ -323,11 +345,18 @@ mod tests {
         let np = ddg.node(VarRef::new(fid, p));
         let nc = ddg.node(VarRef::new(fid, c));
         let ns = ddg.node(VarRef::new(fid, s));
-        assert!(ddg.children(np).iter().any(|&(t, k)| t == nc && k == DepKind::Direct));
         assert!(ddg
-            .children(nc)
+            .children(np)
             .iter()
-            .any(|&(t, k)| t == ns && matches!(k, DepKind::Arith { op: BinOp::Add, operand: 0 })));
+            .any(|&(t, k)| t == nc && k == DepKind::Direct));
+        assert!(ddg.children(nc).iter().any(|&(t, k)| t == ns
+            && matches!(
+                k,
+                DepKind::Arith {
+                    op: BinOp::Add,
+                    operand: 0
+                }
+            )));
         assert!(ddg.parents(ns).len() >= 2);
     }
 
@@ -388,7 +417,9 @@ mod tests {
             .iter()
             .find(|&&(t, k)| t == nx && matches!(k, DepKind::CallParam(_)))
             .expect("param binding edge");
-        let DepKind::CallParam(cs) = param_edge.1 else { unreachable!() };
+        let DepKind::CallParam(cs) = param_edge.1 else {
+            unreachable!()
+        };
         assert_eq!(cs.caller, caller);
         // Return edge closes with the same call site.
         let nr = ddg.node(VarRef::new(caller, r));

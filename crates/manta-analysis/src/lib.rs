@@ -79,11 +79,29 @@ impl ModuleAnalysis {
 
     /// Runs the whole substrate pipeline with an explicit configuration.
     pub fn build_with(module: manta_ir::Module, config: PreprocessConfig) -> ModuleAnalysis {
-        let pre = preprocess(module, config);
-        let callgraph = CallGraph::build(&pre);
-        let pointsto = PointsTo::solve(&pre, &callgraph);
-        let ddg = Ddg::build(&pre, &pointsto);
-        ModuleAnalysis { pre, callgraph, pointsto, ddg }
+        manta_telemetry::span!("analysis.build");
+        let pre = {
+            manta_telemetry::span!("preprocess");
+            preprocess(module, config)
+        };
+        let callgraph = {
+            manta_telemetry::span!("callgraph");
+            CallGraph::build(&pre)
+        };
+        let pointsto = {
+            manta_telemetry::span!("pointsto");
+            PointsTo::solve(&pre, &callgraph)
+        };
+        let ddg = {
+            manta_telemetry::span!("ddg");
+            Ddg::build(&pre, &pointsto)
+        };
+        ModuleAnalysis {
+            pre,
+            callgraph,
+            pointsto,
+            ddg,
+        }
     }
 
     /// The analyzed (acyclic) module.

@@ -17,7 +17,9 @@
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
-use manta_ir::{BinOp, Callee, ExternEffect, FuncId, GlobalId, InstId, InstKind, Terminator, ValueId};
+use manta_ir::{
+    BinOp, Callee, ExternEffect, FuncId, GlobalId, InstId, InstKind, Terminator, ValueId,
+};
 
 use crate::callgraph::CallGraph;
 use crate::preprocess::Preprocessed;
@@ -124,7 +126,10 @@ impl PointsTo {
 
     /// Iterates over all objects.
     pub fn objects(&self) -> impl Iterator<Item = (ObjectId, ObjectKind)> + '_ {
-        self.objects.iter().enumerate().map(|(i, &k)| (ObjectId(i as u32), k))
+        self.objects
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (ObjectId(i as u32), k))
     }
 
     /// Number of abstract objects.
@@ -156,10 +161,10 @@ struct Solver<'a> {
     /// Simple inclusion edges `src ⊆ dst`.
     copy_edges: HashMap<Node, Vec<Node>>,
     /// Complex constraints re-evaluated each round.
-    loads: Vec<(VarRef, VarRef)>,          // (addr, dst)
-    stores: Vec<(VarRef, VarRef)>,         // (addr, val)
-    geps: Vec<(VarRef, VarRef, u64)>,      // (base, dst, offset)
-    collapses: Vec<(VarRef, VarRef)>,      // (operand, dst) — symbolic indexing
+    loads: Vec<(VarRef, VarRef)>, // (addr, dst)
+    stores: Vec<(VarRef, VarRef)>,    // (addr, val)
+    geps: Vec<(VarRef, VarRef, u64)>, // (base, dst, offset)
+    collapses: Vec<(VarRef, VarRef)>, // (operand, dst) — symbolic indexing
 }
 
 impl<'a> Solver<'a> {
@@ -244,7 +249,11 @@ impl<'a> Solver<'a> {
             for (operand, dst) in self.collapses.clone() {
                 // Symbolic indexing: the result aliases the base object
                 // monolithically.
-                let set = self.pts.get(&Node::Var(operand)).cloned().unwrap_or_default();
+                let set = self
+                    .pts
+                    .get(&Node::Var(operand))
+                    .cloned()
+                    .unwrap_or_default();
                 for o in set {
                     if self.add_obj(Node::Var(dst), o) {
                         changed = true;
@@ -277,6 +286,8 @@ impl<'a> Solver<'a> {
                 break;
             }
         }
+        manta_telemetry::counter("pointsto.worklist_iters", iterations as u64);
+        manta_telemetry::counter("pointsto.objects", self.objects.len() as u64);
         PointsTo {
             objects: self.objects,
             field_intern: self.field_intern,
@@ -328,20 +339,30 @@ impl<'a> Solver<'a> {
                         self.add_obj(var(*dst), o);
                     }
                     InstKind::Gep { dst, base, offset } => {
-                        self.geps.push((VarRef::new(fid, *base), VarRef::new(fid, *dst), *offset));
+                        self.geps
+                            .push((VarRef::new(fid, *base), VarRef::new(fid, *dst), *offset));
                     }
                     InstKind::Load { dst, addr, .. } => {
-                        self.loads.push((VarRef::new(fid, *addr), VarRef::new(fid, *dst)));
+                        self.loads
+                            .push((VarRef::new(fid, *addr), VarRef::new(fid, *dst)));
                     }
                     InstKind::Store { addr, val } => {
-                        self.stores.push((VarRef::new(fid, *addr), VarRef::new(fid, *val)));
+                        self.stores
+                            .push((VarRef::new(fid, *addr), VarRef::new(fid, *val)));
                     }
-                    InstKind::BinOp { op: BinOp::Add | BinOp::Sub, dst, lhs, rhs } => {
+                    InstKind::BinOp {
+                        op: BinOp::Add | BinOp::Sub,
+                        dst,
+                        lhs,
+                        rhs,
+                    } => {
                         // Pointer arithmetic with a non-constant offset:
                         // collapse to the base objects (both operands are
                         // candidates; non-pointers contribute nothing).
-                        self.collapses.push((VarRef::new(fid, *lhs), VarRef::new(fid, *dst)));
-                        self.collapses.push((VarRef::new(fid, *rhs), VarRef::new(fid, *dst)));
+                        self.collapses
+                            .push((VarRef::new(fid, *lhs), VarRef::new(fid, *dst)));
+                        self.collapses
+                            .push((VarRef::new(fid, *rhs), VarRef::new(fid, *dst)));
                     }
                     InstKind::BinOp { .. } | InstKind::Cmp { .. } => {}
                     InstKind::Call { dst, callee, args } => match callee {
@@ -454,7 +475,10 @@ mod tests {
         let heap: Vec<_> = pts.pts_var(VarRef::new(fid, p)).iter().copied().collect();
         assert_eq!(heap.len(), 1);
         assert!(matches!(pts.object_kind(heap[0]), ObjectKind::Heap { .. }));
-        assert_eq!(pts.pts_var(VarRef::new(fid, r)), pts.pts_var(VarRef::new(fid, p)));
+        assert_eq!(
+            pts.pts_var(VarRef::new(fid, r)),
+            pts.pts_var(VarRef::new(fid, p))
+        );
     }
 
     #[test]
@@ -526,7 +550,10 @@ mod tests {
         let (_, pts) = analyze(mb.finish());
         let set = pts.pts_var(VarRef::new(fid, ga));
         assert_eq!(set.len(), 1);
-        assert!(matches!(pts.object_kind(*set.iter().next().unwrap()), ObjectKind::Global(_)));
+        assert!(matches!(
+            pts.object_kind(*set.iter().next().unwrap()),
+            ObjectKind::Global(_)
+        ));
     }
 
     #[test]

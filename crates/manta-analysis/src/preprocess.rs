@@ -94,8 +94,16 @@ pub fn preprocess(mut module: Module, config: PreprocessConfig) -> Preprocessed 
     // 2. Break call-graph back edges (recursion).
     let broken = break_recursion(&module);
     stats.recursive_calls_broken = broken.len();
+    manta_telemetry::counter("preprocess.recursive_calls_broken", broken.len() as u64);
+    manta_telemetry::counter("preprocess.cyclic_functions", stats.cyclic_functions as u64);
+    manta_telemetry::counter("preprocess.back_edges_cut", stats.back_edges_cut as u64);
 
-    Preprocessed { module, broken_call_edges: broken, stats, config }
+    Preprocessed {
+        module,
+        broken_call_edges: broken,
+        stats,
+        config,
+    }
 }
 
 /// Clones the body of `func` `k` times, redirecting back edges forward
@@ -104,7 +112,12 @@ pub fn preprocess(mut module: Module, config: PreprocessConfig) -> Preprocessed 
 fn unroll_function(func: &Function, cfg: &Cfg, k: usize) -> Function {
     let back: HashSet<(BlockId, BlockId)> = cfg.back_edges().into_iter().collect();
     let param_widths: Vec<_> = func.params().iter().map(|&p| func.value(p).width).collect();
-    let mut out = Function::new(func.id(), func.name().to_string(), &param_widths, func.ret_width());
+    let mut out = Function::new(
+        func.id(),
+        func.name().to_string(),
+        &param_widths,
+        func.ret_width(),
+    );
     out.set_address_taken(func.is_address_taken());
 
     // Map (copy, old block) -> new block. Copy 0 of the entry is the new
@@ -113,7 +126,9 @@ fn unroll_function(func: &Function, cfg: &Cfg, k: usize) -> Function {
     block_map.insert((0, func.entry()), out.entry());
     for c in 0..k {
         for b in func.blocks() {
-            block_map.entry((c, b.id)).or_insert_with(|| out.add_block());
+            block_map
+                .entry((c, b.id))
+                .or_insert_with(|| out.add_block());
         }
     }
     // Stub target for back edges leaving the last copy.
@@ -143,10 +158,15 @@ fn unroll_function(func: &Function, cfg: &Cfg, k: usize) -> Function {
             let new_v = match data.kind {
                 ValueKind::Param { index } => out.params()[index as usize],
                 ValueKind::Inst { def } => out.add_value(Value {
-                    kind: ValueKind::Inst { def: new_inst_id[&(c, def)] },
+                    kind: ValueKind::Inst {
+                        def: new_inst_id[&(c, def)],
+                    },
                     width: data.width,
                 }),
-                other => out.add_value(Value { kind: other, width: data.width }),
+                other => out.add_value(Value {
+                    kind: other,
+                    width: data.width,
+                }),
             };
             value_map.insert((c, v), new_v);
         }
@@ -159,7 +179,10 @@ fn unroll_function(func: &Function, cfg: &Cfg, k: usize) -> Function {
         let nb = block_map[&(c, old_block)];
         let m = |v: ValueId| value_map[&(c, v)];
         let kind = match &inst.kind {
-            InstKind::Copy { dst, src } => InstKind::Copy { dst: m(*dst), src: m(*src) },
+            InstKind::Copy { dst, src } => InstKind::Copy {
+                dst: m(*dst),
+                src: m(*src),
+            },
             InstKind::Phi { dst, incomings } => {
                 let mut incs = Vec::new();
                 for (p, v) in incomings {
@@ -177,25 +200,52 @@ fn unroll_function(func: &Function, cfg: &Cfg, k: usize) -> Function {
                     // Degenerate phi (head with only back-edge incomings);
                     // keep SSA shape with a copy of the first original value.
                     let (_, v0) = incomings[0];
-                    InstKind::Copy { dst: m(*dst), src: m(v0) }
+                    InstKind::Copy {
+                        dst: m(*dst),
+                        src: m(v0),
+                    }
                 } else {
-                    InstKind::Phi { dst: m(*dst), incomings: incs }
+                    InstKind::Phi {
+                        dst: m(*dst),
+                        incomings: incs,
+                    }
                 }
             }
-            InstKind::Load { dst, addr, width } => {
-                InstKind::Load { dst: m(*dst), addr: m(*addr), width: *width }
-            }
-            InstKind::Store { addr, val } => InstKind::Store { addr: m(*addr), val: m(*val) },
-            InstKind::Alloca { dst, size } => InstKind::Alloca { dst: m(*dst), size: *size },
-            InstKind::Gep { dst, base, offset } => {
-                InstKind::Gep { dst: m(*dst), base: m(*base), offset: *offset }
-            }
-            InstKind::BinOp { op, dst, lhs, rhs } => {
-                InstKind::BinOp { op: *op, dst: m(*dst), lhs: m(*lhs), rhs: m(*rhs) }
-            }
-            InstKind::Cmp { dst, pred, lhs, rhs } => {
-                InstKind::Cmp { dst: m(*dst), pred: *pred, lhs: m(*lhs), rhs: m(*rhs) }
-            }
+            InstKind::Load { dst, addr, width } => InstKind::Load {
+                dst: m(*dst),
+                addr: m(*addr),
+                width: *width,
+            },
+            InstKind::Store { addr, val } => InstKind::Store {
+                addr: m(*addr),
+                val: m(*val),
+            },
+            InstKind::Alloca { dst, size } => InstKind::Alloca {
+                dst: m(*dst),
+                size: *size,
+            },
+            InstKind::Gep { dst, base, offset } => InstKind::Gep {
+                dst: m(*dst),
+                base: m(*base),
+                offset: *offset,
+            },
+            InstKind::BinOp { op, dst, lhs, rhs } => InstKind::BinOp {
+                op: *op,
+                dst: m(*dst),
+                lhs: m(*lhs),
+                rhs: m(*rhs),
+            },
+            InstKind::Cmp {
+                dst,
+                pred,
+                lhs,
+                rhs,
+            } => InstKind::Cmp {
+                dst: m(*dst),
+                pred: *pred,
+                lhs: m(*lhs),
+                rhs: m(*rhs),
+            },
             InstKind::Call { dst, callee, args } => InstKind::Call {
                 dst: dst.map(m),
                 callee: match callee {
@@ -227,7 +277,11 @@ fn unroll_function(func: &Function, cfg: &Cfg, k: usize) -> Function {
             let m = |v: ValueId| value_map[&(c, v)];
             let term = match &b.term {
                 Terminator::Br(t) => Terminator::Br(map_target(*t)),
-                Terminator::CondBr { cond, then_bb, else_bb } => Terminator::CondBr {
+                Terminator::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => Terminator::CondBr {
                     cond: m(*cond),
                     then_bb: map_target(*then_bb),
                     else_bb: map_target(*else_bb),
@@ -249,7 +303,11 @@ fn break_recursion(module: &Module) -> HashSet<(FuncId, InstId)> {
     let mut edges: Vec<Vec<(FuncId, InstId)>> = vec![Vec::new(); n]; // callee + site per caller
     for f in module.functions() {
         for inst in f.insts() {
-            if let InstKind::Call { callee: Callee::Direct(target), .. } = &inst.kind {
+            if let InstKind::Call {
+                callee: Callee::Direct(target),
+                ..
+            } = &inst.kind
+            {
                 edges[f.id().index()].push((*target, inst.id));
             }
         }
@@ -330,7 +388,11 @@ mod tests {
         let pre = preprocess(loop_module(), PreprocessConfig::default());
         verify_module(&pre.module).unwrap();
         for f in pre.module.functions() {
-            assert!(!Cfg::new(f).has_cycle(), "function {} still cyclic", f.name());
+            assert!(
+                !Cfg::new(f).has_cycle(),
+                "function {} still cyclic",
+                f.name()
+            );
         }
         assert_eq!(pre.stats.cyclic_functions, 1);
         assert_eq!(pre.stats.back_edges_cut, 1);
@@ -358,7 +420,13 @@ mod tests {
         let m = mb.finish();
         let before = m.function_by_name("straight").unwrap().block_count();
         let pre = preprocess(m, PreprocessConfig::default());
-        assert_eq!(pre.module.function_by_name("straight").unwrap().block_count(), before);
+        assert_eq!(
+            pre.module
+                .function_by_name("straight")
+                .unwrap()
+                .block_count(),
+            before
+        );
         assert_eq!(pre.stats.cyclic_functions, 0);
     }
 

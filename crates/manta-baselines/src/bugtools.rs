@@ -67,46 +67,45 @@ impl BugTool for CweCheckerLike {
                     }
                     InstKind::Cmp { lhs, rhs, .. } => {
                         let f = |v: &manta_ir::ValueId| {
-                            module
-                                .function(func.id())
-                                .value(*v)
-                                .is_zero_const()
+                            module.function(func.id()).value(*v).is_zero_const()
                         };
                         if f(lhs) || f(rhs) {
                             null_check = true;
                         }
                     }
-                    InstKind::Call { callee: Callee::Extern(e), args, .. } => {
-                        match module.extern_decl(*e).effect {
-                            ExternEffect::FreeHeap => calls_free = true,
-                            ExternEffect::AllocHeap => mallocs = true,
-                            ExternEffect::CommandSink => {
-                                let non_const = args
-                                    .first()
-                                    .map(|&a| !func.value(a).is_const())
-                                    .unwrap_or(false);
-                                if non_const {
-                                    out.insert(ToolBugReport {
-                                        class: BugKind::Cmi,
-                                        func: name.clone(),
-                                    });
-                                }
+                    InstKind::Call {
+                        callee: Callee::Extern(e),
+                        args,
+                        ..
+                    } => match module.extern_decl(*e).effect {
+                        ExternEffect::FreeHeap => calls_free = true,
+                        ExternEffect::AllocHeap => mallocs = true,
+                        ExternEffect::CommandSink => {
+                            let non_const = args
+                                .first()
+                                .map(|&a| !func.value(a).is_const())
+                                .unwrap_or(false);
+                            if non_const {
+                                out.insert(ToolBugReport {
+                                    class: BugKind::Cmi,
+                                    func: name.clone(),
+                                });
                             }
-                            ExternEffect::StrCopy => {
-                                let non_const_src = args
-                                    .get(1)
-                                    .map(|&a| !func.value(a).is_const())
-                                    .unwrap_or(false);
-                                if non_const_src {
-                                    out.insert(ToolBugReport {
-                                        class: BugKind::Bof,
-                                        func: name.clone(),
-                                    });
-                                }
-                            }
-                            _ => {}
                         }
-                    }
+                        ExternEffect::StrCopy => {
+                            let non_const_src = args
+                                .get(1)
+                                .map(|&a| !func.value(a).is_const())
+                                .unwrap_or(false);
+                            if non_const_src {
+                                out.insert(ToolBugReport {
+                                    class: BugKind::Bof,
+                                    func: name.clone(),
+                                });
+                            }
+                        }
+                        _ => {}
+                    },
                     _ => {}
                 }
             }
@@ -118,13 +117,22 @@ impl BugTool for CweCheckerLike {
                 }
             }
             if calls_free && derefs {
-                out.insert(ToolBugReport { class: BugKind::Uaf, func: name.clone() });
+                out.insert(ToolBugReport {
+                    class: BugKind::Uaf,
+                    func: name.clone(),
+                });
             }
             if mallocs && derefs && !null_check {
-                out.insert(ToolBugReport { class: BugKind::Npd, func: name.clone() });
+                out.insert(ToolBugReport {
+                    class: BugKind::Npd,
+                    func: name.clone(),
+                });
             }
             if returns_alloca_chain {
-                out.insert(ToolBugReport { class: BugKind::Rsa, func: name.clone() });
+                out.insert(ToolBugReport {
+                    class: BugKind::Rsa,
+                    func: name.clone(),
+                });
             }
         }
         let mut v: Vec<_> = out.into_iter().collect();
@@ -164,7 +172,11 @@ impl BugTool for SatcLike {
             let mut has_sink_bof = false;
             let mut touches_input_keyword = false;
             for inst in func.insts() {
-                if let InstKind::Call { callee: Callee::Extern(e), .. } = &inst.kind {
+                if let InstKind::Call {
+                    callee: Callee::Extern(e),
+                    ..
+                } = &inst.kind
+                {
                     match module.extern_decl(*e).effect {
                         ExternEffect::CommandSink => has_sink_cmi = true,
                         ExternEffect::StrCopy => has_sink_bof = true,
@@ -176,13 +188,22 @@ impl BugTool for SatcLike {
                 }
             }
             if has_sink_cmi {
-                out.push(ToolBugReport { class: BugKind::Cmi, func: func.name().into() });
+                out.push(ToolBugReport {
+                    class: BugKind::Cmi,
+                    func: func.name().into(),
+                });
             }
             if has_sink_bof {
-                out.push(ToolBugReport { class: BugKind::Bof, func: func.name().into() });
+                out.push(ToolBugReport {
+                    class: BugKind::Bof,
+                    func: func.name().into(),
+                });
             }
             if touches_input_keyword && !has_sink_cmi && !has_sink_bof {
-                out.push(ToolBugReport { class: BugKind::Cmi, func: func.name().into() });
+                out.push(ToolBugReport {
+                    class: BugKind::Cmi,
+                    func: func.name().into(),
+                });
             }
         }
         out.sort_by(|a, b| (a.class, &a.func).cmp(&(b.class, &b.func)));
@@ -257,19 +278,30 @@ mod tests {
         assert!(reports.len() >= 8, "got {}", reports.len());
         assert!(reports.iter().any(|r| r.func.starts_with("cmi_real")));
         assert!(reports.iter().any(|r| r.func.starts_with("cmi_decoy")));
-        assert!(reports.iter().any(|r| r.func.starts_with("svc_")), "noise flagged too");
+        assert!(
+            reports.iter().any(|r| r.func.starts_with("svc_")),
+            "noise flagged too"
+        );
     }
 
     #[test]
     fn cwe_checker_reports_locals_without_types() {
         let a = image("fw");
         let reports = CweCheckerLike.detect(&a).unwrap();
-        assert!(reports.iter().any(|r| r.class == BugKind::Cmi && r.func == "cmi_real0"));
+        assert!(reports
+            .iter()
+            .any(|r| r.class == BugKind::Cmi && r.func == "cmi_real0"));
         // The sanitized decoy is also flagged: no types.
-        assert!(reports.iter().any(|r| r.class == BugKind::Cmi && r.func == "cmi_decoy0"));
-        assert!(reports.iter().any(|r| r.class == BugKind::Rsa && r.func == "rsa_real0"));
+        assert!(reports
+            .iter()
+            .any(|r| r.class == BugKind::Cmi && r.func == "cmi_decoy0"));
+        assert!(reports
+            .iter()
+            .any(|r| r.class == BugKind::Rsa && r.func == "rsa_real0"));
         // Pointer-difference decoy flagged too.
-        assert!(reports.iter().any(|r| r.class == BugKind::Rsa && r.func == "rsa_decoy0"));
+        assert!(reports
+            .iter()
+            .any(|r| r.class == BugKind::Rsa && r.func == "rsa_decoy0"));
     }
 
     #[test]

@@ -140,7 +140,10 @@ impl TypeTool for DirtyLike {
                 let (ty, conf) = self.predict_value(analysis, func.id(), v, 2);
                 let interval = if conf == 0.0 {
                     // Coarse superset prediction: a range, not a singleton.
-                    TypeInterval { upper: ty, lower: Type::Bottom }
+                    TypeInterval {
+                        upper: ty,
+                        lower: Type::Bottom,
+                    }
                 } else if Self::noise(&module_name, func.id(), v.index()) < conf {
                     TypeInterval::exact(ty)
                 } else {
@@ -182,7 +185,10 @@ mod tests {
         let analysis = ModuleAnalysis::build(mb.finish());
         let r = DirtyLike::default().infer(&analysis);
         assert!(r.params.contains_key(&(fid, 0)));
-        assert!(r.params.contains_key(&(fid, 1)), "featureless param still predicted");
+        assert!(
+            r.params.contains_key(&(fid, 1)),
+            "featureless param still predicted"
+        );
         // The featureless one is a coarse range.
         assert_eq!(r.params[&(fid, 1)].upper, Type::Reg(Width::W64));
     }

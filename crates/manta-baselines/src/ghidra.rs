@@ -46,12 +46,13 @@ pub(crate) fn local_evidence(
             InstKind::Load { addr, .. } if *addr == v => ev.deref = true,
             InstKind::Store { addr, .. } if *addr == v => ev.deref = true,
             InstKind::Gep { base, .. } if *base == v => ev.deref = true,
-            InstKind::BinOp { op, lhs, rhs, .. } if *lhs == v || *rhs == v => {
+            InstKind::BinOp { op, lhs, rhs, .. }
+                if (*lhs == v || *rhs == v)
                 // Pointer arithmetic (`add`/`sub`) is not integer
                 // evidence; everything else is.
-                if !matches!(op, BinOp::Add | BinOp::Sub) {
-                    ev.arith = true;
-                }
+                && !matches!(op, BinOp::Add | BinOp::Sub) =>
+            {
+                ev.arith = true;
             }
             InstKind::Cmp { lhs, rhs, .. } if *lhs == v || *rhs == v => {
                 let other = if *lhs == v { *rhs } else { *lhs };
@@ -154,7 +155,10 @@ mod tests {
         let analysis = ModuleAnalysis::build(mb.finish());
         let r = GhidraLike.infer(&analysis);
         assert!(r.params[&(fid, 0)].upper.is_pointer());
-        assert!(!r.params.contains_key(&(fid, 1)), "unused param is undefined");
+        assert!(
+            !r.params.contains_key(&(fid, 1)),
+            "unused param is undefined"
+        );
     }
 
     #[test]

@@ -86,7 +86,11 @@ impl TypeTool for RetypdLike {
                         let root = uf.find(key(var(*dst)));
                         arith_class[root] = true;
                     }
-                    InstKind::Call { dst, callee: Callee::Direct(t), args } => {
+                    InstKind::Call {
+                        dst,
+                        callee: Callee::Direct(t),
+                        args,
+                    } => {
                         if analysis.pre.is_broken_call(fid, inst.id) {
                             continue;
                         }
@@ -117,8 +121,7 @@ impl TypeTool for RetypdLike {
             }
         }
         // The arith flag may predate later unions; recompute per root.
-        let flags: Vec<usize> =
-            (0..arith_class.len()).filter(|&i| arith_class[i]).collect();
+        let flags: Vec<usize> = (0..arith_class.len()).filter(|&i| arith_class[i]).collect();
         for i in flags {
             let root = uf.find(i);
             arith_class[root] = true;
@@ -157,7 +160,10 @@ impl TypeTool for RetypdLike {
                         } else {
                             interval.upper.clone()
                         };
-                        TypeInterval { upper, lower: Type::Bottom }
+                        TypeInterval {
+                            upper,
+                            lower: Type::Bottom,
+                        }
                     }
                 };
                 if let Some(&i) = param_pos.get(&p) {

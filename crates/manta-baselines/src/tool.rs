@@ -25,12 +25,18 @@ pub struct ToolResult {
 impl ToolResult {
     /// A result marking a timeout.
     pub fn timeout() -> ToolResult {
-        ToolResult { timed_out: true, ..Default::default() }
+        ToolResult {
+            timed_out: true,
+            ..Default::default()
+        }
     }
 
     /// A result marking a crash.
     pub fn crash() -> ToolResult {
-        ToolResult { crashed: true, ..Default::default() }
+        ToolResult {
+            crashed: true,
+            ..Default::default()
+        }
     }
 
     /// Whether usable results exist.

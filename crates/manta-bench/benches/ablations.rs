@@ -2,9 +2,10 @@
 //! refinement order, loop-unroll factor, context-stack depth, and strong
 //! updates on/off.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use manta::{Manta, MantaConfig, Sensitivity};
 use manta_analysis::{ModuleAnalysis, PreprocessConfig};
+use manta_bench::harness::{BenchmarkId, Criterion};
+use manta_bench::{criterion_group, criterion_main};
 use manta_workloads::{generator, PhenomenonMix};
 
 fn module() -> manta_ir::Module {
@@ -20,8 +21,7 @@ fn module() -> manta_ir::Module {
 fn bench_unroll_factor(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_unroll_factor");
     for k in [1usize, 2, 3] {
-        let analysis =
-            ModuleAnalysis::build_with(module(), PreprocessConfig { unroll_factor: k });
+        let analysis = ModuleAnalysis::build_with(module(), PreprocessConfig { unroll_factor: k });
         group.bench_with_input(BenchmarkId::from_parameter(k), &analysis, |b, a| {
             b.iter(|| Manta::new(MantaConfig::full()).infer(a))
         });
@@ -52,14 +52,17 @@ fn bench_strong_updates(c: &mut Criterion) {
             strong_updates: strong,
             ..MantaConfig::with_sensitivity(Sensitivity::FiFs)
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(strong),
-            &config,
-            |b, cfg| b.iter(|| Manta::new(*cfg).infer(&analysis)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(strong), &config, |b, cfg| {
+            b.iter(|| Manta::new(*cfg).infer(&analysis))
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_unroll_factor, bench_ctx_depth, bench_strong_updates);
+criterion_group!(
+    benches,
+    bench_unroll_factor,
+    bench_ctx_depth,
+    bench_strong_updates
+);
 criterion_main!(benches);

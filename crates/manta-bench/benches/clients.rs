@@ -1,11 +1,12 @@
 //! Criterion benches for the §5 clients: indirect-call resolution, DDG
 //! pruning and source-sink bug detection (typed vs untyped).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use manta::{Manta, MantaConfig, TypeQuery};
 use manta_analysis::ModuleAnalysis;
+use manta_bench::harness::Criterion;
+use manta_bench::{criterion_group, criterion_main};
 use manta_clients::{
-    detect_bugs, ddg_prune, indirect_call_sites, resolve_targets_manta, BugKind, CheckerConfig,
+    ddg_prune, detect_bugs, indirect_call_sites, resolve_targets_manta, BugKind, CheckerConfig,
 };
 use manta_workloads::{generate_firmware, generator, FirmwareSpec, PhenomenonMix};
 

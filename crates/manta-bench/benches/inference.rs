@@ -1,9 +1,10 @@
 //! Criterion benches for the hybrid-sensitive inference itself: per-stage
 //! cost and scaling over program size (the performance side of Figure 10).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use manta::{Manta, MantaConfig, Sensitivity};
 use manta_analysis::ModuleAnalysis;
+use manta_bench::harness::{BenchmarkId, Criterion};
+use manta_bench::{criterion_group, criterion_main};
 use manta_workloads::{generator, PhenomenonMix};
 
 fn module_of(functions: usize) -> ModuleAnalysis {
@@ -31,11 +32,9 @@ fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("inference_scaling");
     for functions in [10usize, 40, 160] {
         let analysis = module_of(functions);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(functions),
-            &analysis,
-            |b, a| b.iter(|| Manta::new(MantaConfig::full()).infer(a)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(functions), &analysis, |b, a| {
+            b.iter(|| Manta::new(MantaConfig::full()).infer(a))
+        });
     }
     group.finish();
 }

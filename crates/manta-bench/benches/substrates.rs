@@ -1,8 +1,9 @@
 //! Criterion benches for the analysis substrates: preprocessing,
 //! points-to solving, DDG construction and the lifter.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use manta_analysis::{preprocess, CallGraph, Ddg, PointsTo, PreprocessConfig};
+use manta_bench::harness::Criterion;
+use manta_bench::{criterion_group, criterion_main};
 use manta_workloads::{generator, PhenomenonMix};
 
 fn module() -> manta_ir::Module {

@@ -1,1 +1,3 @@
 //! Shared helpers for the Manta benchmark harness.
+
+pub mod harness;

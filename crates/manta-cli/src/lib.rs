@@ -9,7 +9,12 @@
 //! manta infer  prog.sbf [-s SENS]     infer types (fi|fs|fifs|full|fifscs)
 //! manta bugs   prog.sbf [--no-types]  run the NPD/RSA/UAF/CMI/BOF checkers
 //! manta icall  prog.sbf               resolve indirect-call targets
+//! manta stats  prog.sbf               full-pipeline stage cost breakdown
 //! ```
+//!
+//! `infer`, `bugs` and `icall` additionally take `--trace` (print the span
+//! tree to stderr) and `--stats <out.json>` (write the full telemetry
+//! report as JSON).
 //!
 //! Inputs may be SBF images (binary, `SBF1` magic), SB-ISA assembly text,
 //! or textual IR (`module …` followed by `func name(wN,…)` headers); the
@@ -27,6 +32,7 @@ use manta_clients::{
     detect_bugs, indirect_call_sites, resolve_targets_manta, BugKind, CheckerConfig,
 };
 use manta_ir::Module;
+use manta_telemetry::{JsonSink, TelemetrySink, TextSink};
 
 /// A CLI failure, printed to stderr with exit code 1.
 #[derive(Debug)]
@@ -52,11 +58,18 @@ USAGE:
     manta asm    <prog.s> -o <prog.sbf>
     manta disasm <prog.sbf>
     manta lift   <input>
-    manta infer  <input> [-s fi|fs|fifs|full|fifscs]
-    manta bugs   <input> [--no-types]
-    manta icall  <input>
+    manta infer  <input> [-s fi|fs|fifs|full|fifscs] [--trace] [--stats <out.json>]
+    manta bugs   <input> [--no-types] [--trace] [--stats <out.json>]
+    manta icall  <input> [--trace] [--stats <out.json>]
+    manta stats  <input>
 
 <input> is an SBF image, SB-ISA assembly, or textual IR (auto-detected).
+
+OBSERVABILITY:
+    --trace           print the hierarchical span tree to stderr afterwards
+    --stats <file>    write spans, counters and histograms as JSON
+    manta stats       run the whole pipeline (substrate, full cascade,
+                      checkers, icall) and print the cost breakdown
 ";
 
 /// Loads any supported input file into an IR module.
@@ -95,13 +108,73 @@ fn parse_sensitivity(s: &str) -> Result<Sensitivity, CliError> {
     })
 }
 
+/// Telemetry-related flags shared by `infer`, `bugs` and `icall`.
+#[derive(Debug, Default)]
+struct TelemetryOpts {
+    trace: bool,
+    stats: Option<String>,
+}
+
+/// Strips `--trace` / `--stats <file>` from anywhere in the argument list.
+fn extract_telemetry_flags(args: &[String]) -> Result<(Vec<String>, TelemetryOpts), CliError> {
+    let mut opts = TelemetryOpts::default();
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => opts.trace = true,
+            "--stats" => match it.next() {
+                Some(path) => opts.stats = Some(path.clone()),
+                None => return err("--stats requires an output path"),
+            },
+            _ => rest.push(a.clone()),
+        }
+    }
+    Ok((rest, opts))
+}
+
 /// Executes a command line (without the program name); returns the text to
 /// print on success.
+///
+/// Commands run with telemetry collection on when `--trace`/`--stats` is
+/// given or the command is `stats`; the report is rendered afterwards (the
+/// span tree to stderr via [`TextSink`], the JSON file via [`JsonSink`]).
 ///
 /// # Errors
 ///
 /// Returns [`CliError`] on bad arguments or failing pipelines.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (args, telemetry) = extract_telemetry_flags(args)?;
+    let collecting = telemetry.trace
+        || telemetry.stats.is_some()
+        || args.first().map(String::as_str) == Some("stats");
+    if collecting {
+        manta_telemetry::set_enabled(true);
+        manta_telemetry::reset();
+    }
+    let result = run_command(&args);
+    if collecting {
+        let report = manta_telemetry::report();
+        manta_telemetry::set_enabled(false);
+        if result.is_ok() {
+            if telemetry.trace {
+                TextSink(std::io::stderr())
+                    .emit(&report)
+                    .map_err(|e| CliError(format!("cannot write trace: {e}")))?;
+            }
+            if let Some(path) = &telemetry.stats {
+                let file = fs::File::create(path)
+                    .map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
+                JsonSink(file)
+                    .emit(&report)
+                    .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+            }
+        }
+    }
+    result
+}
+
+fn run_command(args: &[String]) -> Result<String, CliError> {
     let mut out = String::new();
     match args.first().map(String::as_str) {
         Some("asm") => {
@@ -126,8 +199,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         Some("disasm") => {
             let [_, input] = args else { return err(USAGE) };
-            let bytes = fs::read(input)
-                .map_err(|e| CliError(format!("cannot read {input}: {e}")))?;
+            let bytes =
+                fs::read(input).map_err(|e| CliError(format!("cannot read {input}: {e}")))?;
             let image = manta_isa::decode(&bytes).map_err(|e| CliError(e.to_string()))?;
             out.push_str(&manta_isa::asm::disassemble(&image));
         }
@@ -144,8 +217,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             };
             let module = load_module(Path::new(input))?;
             let analysis = ModuleAnalysis::build(module);
-            let result =
-                Manta::new(MantaConfig::with_sensitivity(sens)).infer(&analysis);
+            let result = Manta::new(MantaConfig::with_sensitivity(sens)).infer(&analysis);
             let _ = writeln!(out, "types ({}):", sens.label());
             for func in analysis.module().functions() {
                 for (i, &p) in func.params().iter().enumerate() {
@@ -177,8 +249,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let analysis = ModuleAnalysis::build(module);
             let inference = typed.then(|| Manta::new(MantaConfig::full()).infer(&analysis));
             let q: Option<&dyn TypeQuery> = inference.as_ref().map(|i| i as &dyn TypeQuery);
-            let (reports, _) =
-                detect_bugs(&analysis, q, &BugKind::ALL, CheckerConfig::default());
+            let (reports, _) = detect_bugs(&analysis, q, &BugKind::ALL, CheckerConfig::default());
             let mut seen = std::collections::BTreeSet::new();
             for r in &reports {
                 let func = analysis.module().function(r.func).name();
@@ -215,6 +286,29 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             if out.is_empty() {
                 out.push_str("no indirect calls\n");
             }
+        }
+        Some("stats") => {
+            let [_, input] = args else { return err(USAGE) };
+            let module = load_module(Path::new(input))?;
+            // Drive the whole cascade: substrate build, full-sensitivity
+            // inference, every checker, and indirect-call resolution, then
+            // print the per-stage cost breakdown they recorded.
+            let analysis = ModuleAnalysis::build(module);
+            let inference = Manta::new(MantaConfig::full()).infer(&analysis);
+            let q: &dyn TypeQuery = &inference;
+            let (reports, _) =
+                detect_bugs(&analysis, Some(q), &BugKind::ALL, CheckerConfig::default());
+            let sites = indirect_call_sites(&analysis);
+            for site in &sites {
+                let _ = resolve_targets_manta(&analysis, q, site);
+            }
+            let _ = writeln!(
+                out,
+                "pipeline: {} bug reports, {} indirect call sites",
+                reports.len(),
+                sites.len()
+            );
+            out.push_str(&manta_telemetry::report().render_text());
         }
         _ => return err(USAGE),
     }
@@ -318,5 +412,83 @@ func main(0) -> ret {
         assert!(run(&s(&["frobnicate"])).is_err());
         assert!(run(&s(&[])).is_err());
         assert!(run(&s(&["infer", "/nonexistent/file"])).is_err());
+        assert!(
+            run(&s(&["infer", "x.s", "--stats"])).is_err(),
+            "--stats needs a path"
+        );
+    }
+
+    /// An input with an indirect call so `stats` exercises icall spans too.
+    const ICALL_ASM: &str = "\
+module clistats
+extern malloc, 1, ret
+extern free, 1
+func take(1) -> ret {
+    ld.w64 r0, [r1+0]
+    ret
+}
+func main(0) -> ret {
+    movi r1, 32
+    ecall malloc, 1
+    mov r7, r0
+    mov r1, r7
+    call take, 1
+    lea.f r2, take
+    icall r2, 1
+    mov r1, r7
+    ecall free, 1
+    ld.w64 r0, [r7+0]
+    ret
+}
+";
+
+    // `stats`, `--trace` and `--stats` all flip the process-global
+    // collector, so they share one serialized test.
+    #[test]
+    fn stats_views_cover_the_whole_pipeline() {
+        with_files(|dir| {
+            let src = dir.join("p.s");
+            fs::write(&src, ICALL_ASM).unwrap();
+
+            // The subcommand prints every pipeline stage with wall time.
+            let out = run(&s(&["stats", src.to_str().unwrap()])).unwrap();
+            for span in [
+                "preprocess",
+                "pointsto",
+                "ddg",
+                "fi",
+                "cs",
+                "fs",
+                "checkers",
+            ] {
+                assert!(out.contains(span), "stage `{span}` missing from:\n{out}");
+            }
+            assert!(out.contains("ms"), "spans carry wall time: {out}");
+            assert!(out.contains("counters:"), "{out}");
+            assert!(out.contains("unify.ops"), "{out}");
+
+            // `--stats` writes a JSON report the hand parser accepts.
+            let json_path = dir.join("stats.json");
+            run(&s(&[
+                "infer",
+                src.to_str().unwrap(),
+                "--stats",
+                json_path.to_str().unwrap(),
+            ]))
+            .unwrap();
+            let text = fs::read_to_string(&json_path).unwrap();
+            let v = manta_telemetry::json::parse(&text).expect("valid JSON");
+            assert!(!v.get("spans").unwrap().as_array().unwrap().is_empty());
+            let counters = v.get("counters").unwrap();
+            assert!(counters.get("unify.ops").unwrap().as_f64().unwrap() > 0.0);
+
+            // `--trace` keeps stdout clean (the tree goes to stderr).
+            let out = run(&s(&["bugs", src.to_str().unwrap(), "--trace"])).unwrap();
+            assert!(out.contains("reports"), "{out}");
+            assert!(
+                !out.contains("spans:"),
+                "trace must not pollute stdout: {out}"
+            );
+        });
     }
 }

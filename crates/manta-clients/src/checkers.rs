@@ -38,8 +38,13 @@ pub enum BugKind {
 
 impl BugKind {
     /// All checkers, in the paper's order.
-    pub const ALL: [BugKind; 5] =
-        [BugKind::Npd, BugKind::Rsa, BugKind::Uaf, BugKind::Cmi, BugKind::Bof];
+    pub const ALL: [BugKind; 5] = [
+        BugKind::Npd,
+        BugKind::Rsa,
+        BugKind::Uaf,
+        BugKind::Cmi,
+        BugKind::Bof,
+    ];
 
     /// Short display label.
     pub fn label(self) -> &'static str {
@@ -84,16 +89,27 @@ pub fn detect_bugs(
     kinds: &[BugKind],
     config: CheckerConfig,
 ) -> (Vec<BugReport>, usize) {
+    manta_telemetry::span!("checkers");
     // Type-assisted mode prunes the DDG first (§5.2).
-    let owned_pruned: Option<Ddg> =
-        inference.map(|inf| ddg_prune::pruned_ddg(analysis, inf).0);
+    let owned_pruned: Option<Ddg> = inference.map(|inf| {
+        manta_telemetry::span!("ddg_prune");
+        let (pruned, stats) = ddg_prune::pruned_ddg(analysis, inf);
+        manta_telemetry::counter("checker.ddg_edges_pruned", stats.removed as u64);
+        pruned
+    });
     let ddg: &Ddg = owned_pruned.as_ref().unwrap_or(&analysis.ddg);
 
     let mut reports = Vec::new();
     let mut visits = 0usize;
+    let mut raised = 0u64;
+    let mut pruned_alarms = 0u64;
     for &kind in kinds {
         match kind {
-            BugKind::Uaf => reports.extend(detect_uaf(analysis, inference)),
+            BugKind::Uaf => {
+                let uaf = detect_uaf(analysis, inference);
+                raised += uaf.len() as u64;
+                reports.extend(uaf);
+            }
             _ => {
                 let (srcs, sinks) = spec(analysis, ddg, kind);
                 let sink_nodes: HashSet<NodeId> = sinks.keys().copied().collect();
@@ -104,16 +120,19 @@ pub fn detect_bugs(
                 };
                 let pairs = slicer.slice(&srcs, &sink_nodes, guard);
                 visits += slicer.visits;
+                raised += pairs.len() as u64;
                 for p in pairs {
                     let (site, func) = sinks[&p.sink];
                     if kind == BugKind::Rsa && ddg.var(p.source).func != func {
                         // A stack address returned by a *different* frame
                         // than the one that owns it is legal (caller-owned
                         // buffer).
+                        pruned_alarms += 1;
                         continue;
                     }
                     if let Some(inf) = inference {
                         if !sink_guard(inf, ddg, p.sink, site, kind) {
+                            pruned_alarms += 1;
                             continue;
                         }
                     }
@@ -130,6 +149,9 @@ pub fn detect_bugs(
     }
     reports.sort_by_key(|r| (r.kind, r.func, r.sink_site, r.source));
     reports.dedup();
+    manta_telemetry::counter("checker.alarms_raised", raised);
+    manta_telemetry::counter("checker.alarms_pruned", pruned_alarms);
+    manta_telemetry::counter("checker.slicer_visits", visits as u64);
     (reports, visits)
 }
 
@@ -140,9 +162,7 @@ fn flow_guard(inference: &dyn TypeQuery, ddg: &Ddg, n: NodeId, kind: BugKind) ->
     let v = ddg.var(n);
     let numeric = matches!(
         inference.precise_of(v).map(|t| FirstLayer::of(&t)),
-        Some(
-            FirstLayer::Int(_) | FirstLayer::Float | FirstLayer::Double | FirstLayer::Num(_)
-        )
+        Some(FirstLayer::Int(_) | FirstLayer::Float | FirstLayer::Double | FirstLayer::Num(_))
     );
     match kind {
         BugKind::Npd | BugKind::Rsa | BugKind::Cmi | BugKind::Bof => !numeric,
@@ -227,7 +247,12 @@ fn spec(analysis: &ModuleAnalysis, ddg: &Ddg, kind: BugKind) -> (Vec<NodeId>, Si
             }
             BugKind::Cmi | BugKind::Bof => {
                 for inst in func.insts() {
-                    if let InstKind::Call { dst, callee: Callee::Extern(e), args } = &inst.kind {
+                    if let InstKind::Call {
+                        dst,
+                        callee: Callee::Extern(e),
+                        args,
+                    } = &inst.kind
+                    {
                         match module.extern_decl(*e).effect {
                             ExternEffect::TaintSource => {
                                 if let Some(d) = dst {
@@ -236,10 +261,7 @@ fn spec(analysis: &ModuleAnalysis, ddg: &Ddg, kind: BugKind) -> (Vec<NodeId>, Si
                             }
                             ExternEffect::CommandSink if kind == BugKind::Cmi => {
                                 if let Some(&a0) = args.first() {
-                                    sinks.insert(
-                                        ddg.node(VarRef::new(fid, a0)),
-                                        (inst.id, fid),
-                                    );
+                                    sinks.insert(ddg.node(VarRef::new(fid, a0)), (inst.id, fid));
                                 }
                             }
                             ExternEffect::StrCopy if kind == BugKind::Bof => {
@@ -263,10 +285,7 @@ fn spec(analysis: &ModuleAnalysis, ddg: &Ddg, kind: BugKind) -> (Vec<NodeId>, Si
 
 /// UAF is detected directly on points-to + CFG order: a `free(p)` followed
 /// (in control flow) by a dereference whose address may alias `p`.
-fn detect_uaf(
-    analysis: &ModuleAnalysis,
-    _inference: Option<&dyn TypeQuery>,
-) -> Vec<BugReport> {
+fn detect_uaf(analysis: &ModuleAnalysis, _inference: Option<&dyn TypeQuery>) -> Vec<BugReport> {
     let module = analysis.module();
     let pts = &analysis.pointsto;
     let ddg = &analysis.ddg;
@@ -278,9 +297,11 @@ fn detect_uaf(
         let frees: Vec<(InstId, manta_ir::ValueId)> = func
             .insts()
             .filter_map(|inst| match &inst.kind {
-                InstKind::Call { callee: Callee::Extern(e), args, .. }
-                    if module.extern_decl(*e).effect == ExternEffect::FreeHeap =>
-                {
+                InstKind::Call {
+                    callee: Callee::Extern(e),
+                    args,
+                    ..
+                } if module.extern_decl(*e).effect == ExternEffect::FreeHeap => {
                     args.first().map(|&p| (inst.id, p))
                 }
                 _ => None,
@@ -355,8 +376,7 @@ mod tests {
     fn run(m: manta_ir::Module, kinds: &[BugKind], typed: bool) -> Vec<BugReport> {
         let analysis = ModuleAnalysis::build(m);
         let inference = Manta::new(MantaConfig::full()).infer(&analysis);
-        let inf: Option<&dyn TypeQuery> =
-            if typed { Some(&inference) } else { None };
+        let inf: Option<&dyn TypeQuery> = if typed { Some(&inference) } else { None };
         detect_bugs(&analysis, inf, kinds, CheckerConfig::default()).0
     }
 
@@ -459,9 +479,7 @@ mod tests {
         mb.finish_function(fb);
         let reports = run(mb.finish(), &[BugKind::Rsa], true);
         // caller returns its own alloca — that *is* a bug; fill is clean.
-        assert!(reports.iter().all(|r| {
-            r.kind == BugKind::Rsa
-        }));
+        assert!(reports.iter().all(|r| { r.kind == BugKind::Rsa }));
         let analysis_names: Vec<_> = reports.iter().map(|r| r.func.index()).collect();
         assert!(!analysis_names.contains(&0), "fill must not be blamed");
     }
@@ -516,7 +534,11 @@ mod tests {
         let untyped = run(m.clone(), &[BugKind::Cmi], false);
         assert_eq!(untyped.len(), 2, "NoType reports both: {untyped:?}");
         let typed = run(m, &[BugKind::Cmi], true);
-        assert_eq!(typed.len(), 1, "types prune the int-typed command: {typed:?}");
+        assert_eq!(
+            typed.len(),
+            1,
+            "types prune the int-typed command: {typed:?}"
+        );
     }
 
     fn fb_unused(_: &mut manta_ir::FunctionBuilder) {}

@@ -10,7 +10,9 @@ use std::collections::{HashMap, HashSet};
 
 use manta::{FirstLayer, TypeQuery};
 use manta_analysis::{ModuleAnalysis, NodeId, VarRef};
-use manta_ir::{Callee, ConstKind, ExternEffect, FuncId, InstId, InstKind, Terminator, ValueKind, Width};
+use manta_ir::{
+    Callee, ConstKind, ExternEffect, FuncId, InstId, InstKind, Terminator, ValueKind, Width,
+};
 
 use crate::slicing::{Slicer, SlicerConfig};
 
@@ -91,8 +93,11 @@ impl CustomChecker {
             match &self.sources {
                 SourceSpec::ExternReturn(_) | SourceSpec::Effect(_) => {
                     for inst in func.insts() {
-                        if let InstKind::Call { dst: Some(d), callee: Callee::Extern(e), .. } =
-                            &inst.kind
+                        if let InstKind::Call {
+                            dst: Some(d),
+                            callee: Callee::Extern(e),
+                            ..
+                        } = &inst.kind
                         {
                             let decl = module.extern_decl(*e);
                             let hit = match &self.sources {
@@ -133,12 +138,15 @@ impl CustomChecker {
             match &self.sinks {
                 SinkSpec::ExternArg { name, index } => {
                     for inst in func.insts() {
-                        if let InstKind::Call { callee: Callee::Extern(e), args, .. } = &inst.kind
+                        if let InstKind::Call {
+                            callee: Callee::Extern(e),
+                            args,
+                            ..
+                        } = &inst.kind
                         {
                             if &module.extern_decl(*e).name == name {
                                 if let Some(&a) = args.get(*index) {
-                                    sinks
-                                        .insert(ddg.node(VarRef::new(fid, a)), (inst.id, fid));
+                                    sinks.insert(ddg.node(VarRef::new(fid, a)), (inst.id, fid));
                                 }
                             }
                         }
@@ -160,8 +168,11 @@ impl CustomChecker {
                 SinkSpec::ReturnValues => {
                     for b in func.blocks() {
                         if let Terminator::Ret(Some(v)) = b.term {
-                            let site =
-                                b.insts.last().copied().unwrap_or_else(|| InstId::from_index(0));
+                            let site = b
+                                .insts
+                                .last()
+                                .copied()
+                                .unwrap_or_else(|| InstId::from_index(0));
                             sinks.insert(ddg.node(VarRef::new(fid, v)), (site, fid));
                         }
                     }
@@ -207,7 +218,7 @@ impl CustomChecker {
 mod tests {
     use super::*;
     use manta::{Manta, MantaConfig};
-    use manta_ir::{ModuleBuilder};
+    use manta_ir::ModuleBuilder;
 
     /// A format-string-style checker: attacker-controlled data must not
     /// reach `printf_s`'s *format* argument (arg 0).
@@ -215,7 +226,10 @@ mod tests {
         CustomChecker {
             name: "FMT".into(),
             sources: SourceSpec::Effect(ExternEffect::TaintSource),
-            sinks: SinkSpec::ExternArg { name: "printf_s".into(), index: 0 },
+            sinks: SinkSpec::ExternArg {
+                name: "printf_s".into(),
+                index: 0,
+            },
             numeric_guard: true,
         }
     }
@@ -229,7 +243,9 @@ mod tests {
         let key = fb.alloca(8);
         let taint = fb.call_extern(nvram, &[key], Some(Width::W64)).unwrap();
         // BUG: the tainted string is used as the format itself.
-        let r = fb.call_extern(printf_s, &[taint, taint], Some(Width::W32)).unwrap();
+        let r = fb
+            .call_extern(printf_s, &[taint, taint], Some(Width::W32))
+            .unwrap();
         fb.ret(Some(r));
         mb.finish_function(fb);
         let analysis = ModuleAnalysis::build(mb.finish());
@@ -258,7 +274,9 @@ mod tests {
         let fmt = fb.alloca(8);
         fb.call_extern(printf_d, &[fmt, n2], Some(Width::W32));
         // The "format" is an integer — type-infeasible.
-        let r = fb.call_extern(printf_s, &[n2, n2], Some(Width::W32)).unwrap();
+        let r = fb
+            .call_extern(printf_s, &[n2, n2], Some(Width::W32))
+            .unwrap();
         fb.ret(Some(r));
         mb.finish_function(fb);
         let analysis = ModuleAnalysis::build(mb.finish());

@@ -33,7 +33,9 @@ fn ty_at(inference: &dyn TypeQuery, v: VarRef, s: manta_ir::InstId) -> Option<Fi
 fn is_num(l: Option<FirstLayer>) -> bool {
     matches!(
         l,
-        Some(FirstLayer::Int(_)) | Some(FirstLayer::Float) | Some(FirstLayer::Double)
+        Some(FirstLayer::Int(_))
+            | Some(FirstLayer::Float)
+            | Some(FirstLayer::Double)
             | Some(FirstLayer::Num(_))
     )
 }
@@ -67,9 +69,11 @@ pub fn prune_infeasible_deps(
             let mut prune = |operand: ValueId, which: u8| {
                 let from = ddg.node(VarRef::new(fid, operand));
                 let to = ddg.node(VarRef::new(fid, *dst));
-                stats.removed += ddg.remove_edges(from, to, |k| {
-                    matches!(k, DepKind::Arith { operand, .. } if operand == which)
-                });
+                stats.removed += ddg.remove_edges(
+                    from,
+                    to,
+                    |k| matches!(k, DepKind::Arith { operand, .. } if operand == which),
+                );
             };
             match op {
                 BinOp::Add => {
@@ -151,7 +155,10 @@ mod tests {
         let n_r = ddg.node(VarRef::new(fid, r));
         let n_base = ddg.node(VarRef::new(fid, base));
         assert!(!ddg.children(n_off).iter().any(|&(t, _)| t == n_r));
-        assert!(ddg.children(n_base).iter().any(|&(t, _)| t == n_r), "base edge survives");
+        assert!(
+            ddg.children(n_base).iter().any(|&(t, _)| t == n_r),
+            "base edge survives"
+        );
     }
 
     #[test]
@@ -171,7 +178,10 @@ mod tests {
         let analysis = ModuleAnalysis::build(mb.finish());
         let inference = Manta::new(MantaConfig::full()).infer(&analysis);
         let (ddg, stats) = pruned_ddg(&analysis, &inference);
-        assert_eq!(stats.removed, 2, "both ptr operands pruned from numeric result");
+        assert_eq!(
+            stats.removed, 2,
+            "both ptr operands pruned from numeric result"
+        );
         let nd = ddg.node(VarRef::new(fid, d));
         assert!(ddg
             .parents(nd)

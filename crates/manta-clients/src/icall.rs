@@ -15,9 +15,9 @@
 //! TypeArmor checks only rule 1 (argument counts); τ-CFI additionally
 //! matches argument register widths.
 
+use manta::TypeQuery;
 use manta_analysis::{ModuleAnalysis, VarRef};
 use manta_ir::{Callee, FuncId, Function, InstId, InstKind, Terminator, Type, ValueId};
-use manta::TypeQuery;
 
 /// An indirect call site.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -36,10 +36,16 @@ pub struct IndirectCall {
 
 /// Collects every indirect call site in the module.
 pub fn indirect_call_sites(analysis: &ModuleAnalysis) -> Vec<IndirectCall> {
+    manta_telemetry::span!("icall.sites");
     let mut out = Vec::new();
     for func in analysis.module().functions() {
         for inst in func.insts() {
-            if let InstKind::Call { dst, callee: Callee::Indirect(fp), args } = &inst.kind {
+            if let InstKind::Call {
+                dst,
+                callee: Callee::Indirect(fp),
+                args,
+            } = &inst.kind
+            {
                 out.push(IndirectCall {
                     func: func.id(),
                     site: inst.id,
@@ -50,6 +56,7 @@ pub fn indirect_call_sites(analysis: &ModuleAnalysis) -> Vec<IndirectCall> {
             }
         }
     }
+    manta_telemetry::counter("icall.sites", out.len() as u64);
     out
 }
 
@@ -90,9 +97,10 @@ pub fn resolve_targets_taucfi(analysis: &ModuleAnalysis, site: &IndirectCall) ->
             if !arity_ok(site, t) || !ret_ok(site, t) {
                 return false;
             }
-            t.params().iter().zip(&site.args).all(|(&p, &a)| {
-                t.value(p).width == caller.value(a).width
-            })
+            t.params()
+                .iter()
+                .zip(&site.args)
+                .all(|(&p, &a)| t.value(p).width == caller.value(a).width)
         })
         .collect()
 }
@@ -104,10 +112,15 @@ pub fn resolve_targets_manta(
     inference: &dyn TypeQuery,
     site: &IndirectCall,
 ) -> Vec<FuncId> {
-    candidates(analysis)
+    manta_telemetry::span!("icall.resolve");
+    let all = candidates(analysis);
+    manta_telemetry::counter("icall.candidates", all.len() as u64);
+    let kept: Vec<FuncId> = all
         .into_iter()
         .filter(|&f| target_feasible(analysis, inference, site, f))
-        .collect()
+        .collect();
+    manta_telemetry::counter("icall.targets_kept", kept.len() as u64);
+    kept
 }
 
 fn target_feasible(
@@ -264,7 +277,10 @@ mod tests {
         let t0 = resolve_targets_manta(&analysis, &inference, &sites[0]);
         assert!(t0.contains(&f_int), "int-arg site must keep takes_int");
         assert!(!t0.contains(&f_ptr), "int-arg site must prune takes_ptr");
-        assert!(t0.contains(&f_none), "zero-param target always arity-feasible");
+        assert!(
+            t0.contains(&f_none),
+            "zero-param target always arity-feasible"
+        );
 
         let t1 = resolve_targets_manta(&analysis, &inference, &sites[1]);
         assert!(t1.contains(&f_ptr), "ptr-arg site must keep takes_ptr");
@@ -315,7 +331,10 @@ mod tests {
         let inference = Manta::new(MantaConfig::full()).infer(&analysis);
         let sites = indirect_call_sites(&analysis);
         let ta = resolve_targets_typearmor(&analysis, &sites[0]);
-        assert!(!ta.contains(&manta_ir::FuncId(0)), "void target infeasible for ret site");
+        assert!(
+            !ta.contains(&manta_ir::FuncId(0)),
+            "void target infeasible for ret site"
+        );
         let mm = resolve_targets_manta(&analysis, &inference, &sites[0]);
         assert_eq!(mm.len(), 1);
     }

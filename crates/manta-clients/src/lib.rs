@@ -28,7 +28,7 @@ pub use checkers::{detect_bugs, BugKind, BugReport, CheckerConfig};
 pub use custom::{CustomChecker, CustomReport, SinkSpec, SourceSpec};
 pub use ddg_prune::{prune_infeasible_deps, PruneStats};
 pub use icall::{
-    indirect_call_sites, resolve_targets_manta, resolve_targets_taucfi,
-    resolve_targets_typearmor, IndirectCall,
+    indirect_call_sites, resolve_targets_manta, resolve_targets_taucfi, resolve_targets_typearmor,
+    IndirectCall,
 };
 pub use slicing::{Slicer, SlicerConfig, SourceSinkPair};

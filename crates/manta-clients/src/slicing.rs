@@ -20,7 +20,10 @@ pub struct SlicerConfig {
 
 impl Default for SlicerConfig {
     fn default() -> Self {
-        SlicerConfig { max_ctx_depth: 32, max_visits: 200_000 }
+        SlicerConfig {
+            max_ctx_depth: 32,
+            max_visits: 200_000,
+        }
     }
 }
 
@@ -46,7 +49,11 @@ pub struct Slicer<'a> {
 impl<'a> Slicer<'a> {
     /// Creates a slicer over `ddg`.
     pub fn new(ddg: &'a Ddg, config: SlicerConfig) -> Slicer<'a> {
-        Slicer { ddg, config, visits: 0 }
+        Slicer {
+            ddg,
+            config,
+            visits: 0,
+        }
     }
 
     /// Slices forward from every source; returns each `(source, sink)` pair
@@ -63,7 +70,16 @@ impl<'a> Slicer<'a> {
             let mut visited: HashSet<NodeId> = HashSet::new();
             let mut ctx = CtxStack::new(self.config.max_ctx_depth);
             let mut budget = self.config.max_visits;
-            self.walk(src, src, sinks, &mut guard, &mut visited, &mut ctx, &mut budget, &mut out);
+            self.walk(
+                src,
+                src,
+                sinks,
+                &mut guard,
+                &mut visited,
+                &mut ctx,
+                &mut budget,
+                &mut out,
+            );
         }
         out.sort_by_key(|p| (p.source, p.sink));
         out.dedup();
@@ -92,7 +108,10 @@ impl<'a> Slicer<'a> {
             return;
         }
         if sinks.contains(&node) {
-            out.push(SourceSinkPair { source: src, sink: node });
+            out.push(SourceSinkPair {
+                source: src,
+                sink: node,
+            });
         }
         for &(child, kind) in self.ddg.children(node) {
             if !kind.is_value_flow() {
@@ -131,7 +150,13 @@ mod tests {
 
         let mut slicer = Slicer::new(ddg, SlicerConfig::default());
         let pairs = slicer.slice(&[np], &sinks, |_| true);
-        assert_eq!(pairs, vec![SourceSinkPair { source: np, sink: nb }]);
+        assert_eq!(
+            pairs,
+            vec![SourceSinkPair {
+                source: np,
+                sink: nb
+            }]
+        );
         assert!(slicer.visits >= 3);
 
         // Guard that blocks the midpoint kills the path.

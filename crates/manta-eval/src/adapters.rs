@@ -17,10 +17,18 @@ impl MantaTool {
     /// All four ablation columns in the paper's order.
     pub fn ablations() -> [MantaTool; 4] {
         [
-            MantaTool { sensitivity: Sensitivity::Fi },
-            MantaTool { sensitivity: Sensitivity::Fs },
-            MantaTool { sensitivity: Sensitivity::FiFs },
-            MantaTool { sensitivity: Sensitivity::FiCsFs },
+            MantaTool {
+                sensitivity: Sensitivity::Fi,
+            },
+            MantaTool {
+                sensitivity: Sensitivity::Fs,
+            },
+            MantaTool {
+                sensitivity: Sensitivity::FiFs,
+            },
+            MantaTool {
+                sensitivity: Sensitivity::FiCsFs,
+            },
         ]
     }
 }
@@ -74,7 +82,10 @@ mod tests {
             assert!(r.usable());
             if tool.sensitivity != Sensitivity::Fs {
                 assert!(
-                    r.params.get(&(fid, 0)).map(|i| i.upper.is_pointer()).unwrap_or(false),
+                    r.params
+                        .get(&(fid, 0))
+                        .map(|i| i.upper.is_pointer())
+                        .unwrap_or(false),
                     "{} should type the strlen argument",
                     tool.name()
                 );

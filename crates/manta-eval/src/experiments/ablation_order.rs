@@ -41,7 +41,10 @@ pub fn run(projects: &[ProjectData]) -> AblationOrderResult {
 impl AblationOrderResult {
     /// The score of one order.
     pub fn score_of(&self, label: &str) -> Option<PrScore> {
-        self.scores.iter().find(|(l, _)| l == label).map(|(_, s)| *s)
+        self.scores
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, s)| *s)
     }
 
     /// Renders the ablation table.

@@ -33,6 +33,9 @@ impl Figure11Result {
         for (tool, r) in &self.bars {
             t.row(vec![tool.clone(), pct(*r)]);
         }
-        format!("Figure 11: recall of type-based indirect-call analysis\n{}", t.render())
+        format!(
+            "Figure 11: recall of type-based indirect-call analysis\n{}",
+            t.render()
+        )
     }
 }

@@ -20,14 +20,21 @@ pub struct Figure12Result {
     pub scores: Vec<(String, BugScore)>,
 }
 
-fn reports_with(
-    p: &ProjectData,
-    types: &dyn TypeQuery,
-) -> Vec<(BugKind, String)> {
-    let (reports, _) = detect_bugs(&p.analysis, Some(types), &BugKind::ALL, CheckerConfig::default());
+fn reports_with(p: &ProjectData, types: &dyn TypeQuery) -> Vec<(BugKind, String)> {
+    let (reports, _) = detect_bugs(
+        &p.analysis,
+        Some(types),
+        &BugKind::ALL,
+        CheckerConfig::default(),
+    );
     reports
         .into_iter()
-        .map(|r| (r.kind, p.analysis.module().function(r.func).name().to_string()))
+        .map(|r| {
+            (
+                r.kind,
+                p.analysis.module().function(r.func).name().to_string(),
+            )
+        })
         .collect()
 }
 
@@ -39,7 +46,9 @@ pub fn run(corpus: &[ProjectData]) -> Figure12Result {
         Box::new(DirtyLike::default()),
         Box::new(GhidraLike),
         Box::new(RetdecLike),
-        Box::new(RetypdLike { budget_insts: usize::MAX }),
+        Box::new(RetypdLike {
+            budget_insts: usize::MAX,
+        }),
     ];
     for tool in &baselines {
         let mut agg = BugScore::default();
@@ -70,7 +79,10 @@ pub fn run(corpus: &[ProjectData]) -> Figure12Result {
 impl Figure12Result {
     /// F1 of one tool, percent.
     pub fn f1_of(&self, tool: &str) -> Option<f64> {
-        self.scores.iter().find(|(t, _)| t == tool).map(|(_, s)| s.f1())
+        self.scores
+            .iter()
+            .find(|(t, _)| t == tool)
+            .map(|(_, s)| s.f1())
     }
 
     /// Renders the figure data.
@@ -85,6 +97,9 @@ impl Figure12Result {
                 pct(s.f1()),
             ]);
         }
-        format!("Figure 12: F1 of source-sink slicing with each tool's types\n{}", t.render())
+        format!(
+            "Figure 12: F1 of source-sink slicing with each tool's types\n{}",
+            t.render()
+        )
     }
 }

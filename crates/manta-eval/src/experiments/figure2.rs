@@ -95,10 +95,9 @@ impl Figure2Result {
     /// Mean fraction of FS-unknown variables precisely typed by the
     /// low-precision analysis (the brown region of Figure 2b), percent.
     pub fn recovered_fraction(&self) -> f64 {
-        let (num, den): (usize, usize) = self
-            .rows
-            .iter()
-            .fold((0, 0), |(n, d), r| (n + r.unknown_recovered, d + r.unknown_fs));
+        let (num, den): (usize, usize) = self.rows.iter().fold((0, 0), |(n, d), r| {
+            (n + r.unknown_recovered, d + r.unknown_fs)
+        });
         if den == 0 {
             0.0
         } else {

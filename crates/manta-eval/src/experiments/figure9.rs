@@ -49,6 +49,9 @@ impl Figure9Result {
             let (p, o, u) = self.proportions(label).expect("label exists");
             t.row(vec![label.clone(), pct(p), pct(o), pct(u)]);
         }
-        format!("Figure 9: inference result proportions by sensitivity\n{}", t.render())
+        format!(
+            "Figure 9: inference result proportions by sensitivity\n{}",
+            t.render()
+        )
     }
 }

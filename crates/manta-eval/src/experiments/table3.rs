@@ -72,30 +72,33 @@ pub fn run(projects: &[ProjectData], coreutils: &[ProjectData]) -> Table3Result 
     let mut rows = Vec::new();
     let mut totals: Vec<PrScore> = vec![PrScore::default(); tools.len()];
 
-    let add_row =
-        |name: String, kloc: f64, members: &[&ProjectData], rows: &mut Vec<_>, totals: &mut Vec<PrScore>| {
-            let mut cells = Vec::with_capacity(tools.len());
-            let params: usize = members.iter().map(|p| p.truth.param_count()).sum();
-            for (ti, tool) in tools.iter().enumerate() {
-                let mut agg = PrScore::default();
-                let mut bad: Option<Cell> = None;
-                for m in members {
-                    let r = tool.infer(&m.analysis);
-                    match score_tool(m, &r) {
-                        Cell::Pr(s) => agg.merge(s),
-                        other => bad = Some(other),
-                    }
+    let add_row = |name: String,
+                   kloc: f64,
+                   members: &[&ProjectData],
+                   rows: &mut Vec<_>,
+                   totals: &mut Vec<PrScore>| {
+        let mut cells = Vec::with_capacity(tools.len());
+        let params: usize = members.iter().map(|p| p.truth.param_count()).sum();
+        for (ti, tool) in tools.iter().enumerate() {
+            let mut agg = PrScore::default();
+            let mut bad: Option<Cell> = None;
+            for m in members {
+                let r = tool.infer(&m.analysis);
+                match score_tool(m, &r) {
+                    Cell::Pr(s) => agg.merge(s),
+                    other => bad = Some(other),
                 }
-                let cell = bad.unwrap_or(Cell::Pr(agg));
-                if let Cell::Pr(s) = cell {
-                    // Δ/‡ rows are excluded from a tool's total, as in the
-                    // paper.
-                    totals[ti].merge(s);
-                }
-                cells.push(cell);
             }
-            rows.push((name, kloc, params, cells));
-        };
+            let cell = bad.unwrap_or(Cell::Pr(agg));
+            if let Cell::Pr(s) = cell {
+                // Δ/‡ rows are excluded from a tool's total, as in the
+                // paper.
+                totals[ti].merge(s);
+            }
+            cells.push(cell);
+        }
+        rows.push((name, kloc, params, cells));
+    };
 
     for p in projects {
         add_row(p.name.clone(), p.kloc, &[p], &mut rows, &mut totals);
@@ -140,7 +143,10 @@ impl Table3Result {
             row.push(r);
         }
         t.row(row);
-        format!("Table 3: type inference precision and recall\n{}", t.render())
+        format!(
+            "Table 3: type inference precision and recall\n{}",
+            t.render()
+        )
     }
 
     /// The total-row score for a tool by name.

@@ -141,35 +141,44 @@ pub fn run(projects: &[ProjectData]) -> Table4Result {
         };
         rows.push((p.name.clone(), at_count, source_aict, cells));
     }
-    Table4Result { tools: tool_names, rows }
+    Table4Result {
+        tools: tool_names,
+        rows,
+    }
 }
 
 impl Table4Result {
     /// Geometric-mean AICT across projects for a tool.
     pub fn geomean_aict(&self, tool: &str) -> Option<f64> {
         let idx = self.tools.iter().position(|t| t == tool)?;
-        Some(geomean(self.rows.iter().filter_map(|(_, _, _, cells)| match cells[idx] {
-            Cell::Score(s) => Some(s.aict()),
-            _ => None,
-        })))
+        Some(geomean(self.rows.iter().filter_map(
+            |(_, _, _, cells)| match cells[idx] {
+                Cell::Score(s) => Some(s.aict()),
+                _ => None,
+            },
+        )))
     }
 
     /// Geometric-mean pruning precision for a tool, percent.
     pub fn geomean_precision(&self, tool: &str) -> Option<f64> {
         let idx = self.tools.iter().position(|t| t == tool)?;
-        Some(geomean(self.rows.iter().filter_map(|(_, _, _, cells)| match cells[idx] {
-            Cell::Score(s) => Some(s.precision().max(0.1)),
-            _ => None,
-        })))
+        Some(geomean(self.rows.iter().filter_map(
+            |(_, _, _, cells)| match cells[idx] {
+                Cell::Score(s) => Some(s.precision().max(0.1)),
+                _ => None,
+            },
+        )))
     }
 
     /// Geometric-mean recall for a tool, percent (Figure 11's bars).
     pub fn geomean_recall(&self, tool: &str) -> Option<f64> {
         let idx = self.tools.iter().position(|t| t == tool)?;
-        Some(geomean(self.rows.iter().filter_map(|(_, _, _, cells)| match cells[idx] {
-            Cell::Score(s) => Some(s.recall().max(0.1)),
-            _ => None,
-        })))
+        Some(geomean(self.rows.iter().filter_map(
+            |(_, _, _, cells)| match cells[idx] {
+                Cell::Score(s) => Some(s.recall().max(0.1)),
+                _ => None,
+            },
+        )))
     }
 
     /// Geometric-mean source AICT.
@@ -180,8 +189,7 @@ impl Table4Result {
     /// Renders the table in the paper's layout.
     pub fn render(&self) -> String {
         let mut header: Vec<&str> = vec!["Project", "#AT", "Source"];
-        let owned: Vec<String> =
-            self.tools.iter().map(|t| format!("{t} #AICT(P)")).collect();
+        let owned: Vec<String> = self.tools.iter().map(|t| format!("{t} #AICT(P)")).collect();
         header.extend(owned.iter().map(String::as_str));
         let mut t = TextTable::new(&header);
         for (name, at, source, cells) in &self.rows {
@@ -194,8 +202,11 @@ impl Table4Result {
             }
             t.row(row);
         }
-        let mut row =
-            vec!["Geomean".to_string(), String::new(), format!("{:.1}", self.geomean_source_aict())];
+        let mut row = vec![
+            "Geomean".to_string(),
+            String::new(),
+            format!("{:.1}", self.geomean_source_aict()),
+        ];
         for tool in &self.tools {
             row.push(format!(
                 "{:.1} ({}%)",
@@ -204,6 +215,9 @@ impl Table4Result {
             ));
         }
         t.row(row);
-        format!("Table 4: type-based indirect-call analysis (#AICT, pruning precision)\n{}", t.render())
+        format!(
+            "Table 4: type-based indirect-call analysis (#AICT, pruning precision)\n{}",
+            t.render()
+        )
     }
 }

@@ -31,8 +31,13 @@ pub struct Table5Result {
 
 /// Runs every bug-finding tool over the firmware suite.
 pub fn run(images: &[ProjectData]) -> Table5Result {
-    let tools =
-        ["Arbiter".to_string(), "cwe_checker".into(), "SaTC".into(), "Manta".into(), "Manta-NoType".into()];
+    let tools = [
+        "Arbiter".to_string(),
+        "cwe_checker".into(),
+        "SaTC".into(),
+        "Manta".into(),
+        "Manta-NoType".into(),
+    ];
     let mut rows = Vec::new();
     for p in images {
         let mut cells = Vec::new();
@@ -58,20 +63,27 @@ pub fn run(images: &[ProjectData]) -> Table5Result {
         for typed in [true, false] {
             let start = Instant::now();
             let inference = typed.then(|| Manta::new(MantaConfig::full()).infer(&p.analysis));
-            let q: Option<&dyn TypeQuery> =
-                inference.as_ref().map(|i| i as &dyn TypeQuery);
+            let q: Option<&dyn TypeQuery> = inference.as_ref().map(|i| i as &dyn TypeQuery);
             let (reports, _visits) =
                 detect_bugs(&p.analysis, q, &BugKind::ALL, CheckerConfig::default());
             let ms = start.elapsed().as_secs_f64() * 1e3;
             let pairs: Vec<(BugKind, String)> = reports
                 .into_iter()
-                .map(|r| (r.kind, p.analysis.module().function(r.func).name().to_string()))
+                .map(|r| {
+                    (
+                        r.kind,
+                        p.analysis.module().function(r.func).name().to_string(),
+                    )
+                })
                 .collect();
             cells.push(Cell::Ran(score_bug_reports(&pairs, &p.truth), ms));
         }
         rows.push((p.name.clone(), cells));
     }
-    Table5Result { tools: tools.into_iter().collect(), rows }
+    Table5Result {
+        tools: tools.into_iter().collect(),
+        rows,
+    }
 }
 
 impl Table5Result {
@@ -95,7 +107,9 @@ impl Table5Result {
 
     /// Total reports of a tool.
     pub fn reports_of(&self, tool: &str) -> usize {
-        let Some(idx) = self.tools.iter().position(|t| t == tool) else { return 0 };
+        let Some(idx) = self.tools.iter().position(|t| t == tool) else {
+            return 0;
+        };
         self.rows
             .iter()
             .map(|(_, cells)| match cells[idx] {
@@ -107,7 +121,9 @@ impl Table5Result {
 
     /// Total detection time of a tool in milliseconds.
     pub fn time_of(&self, tool: &str) -> f64 {
-        let Some(idx) = self.tools.iter().position(|t| t == tool) else { return 0.0 };
+        let Some(idx) = self.tools.iter().position(|t| t == tool) else {
+            return 0.0;
+        };
         self.rows
             .iter()
             .map(|(_, cells)| match cells[idx] {
@@ -145,13 +161,13 @@ impl Table5Result {
         }
         let mut fpr_row = vec!["FPR %".to_string()];
         for tool in &self.tools {
-            let cell = self
-                .fpr_of(tool)
-                .map(pct)
-                .unwrap_or_else(|| "NA".into());
+            let cell = self.fpr_of(tool).map(pct).unwrap_or_else(|| "NA".into());
             fpr_row.extend([cell, String::new(), String::new()]);
         }
         t.row(fpr_row);
-        format!("Table 5: firmware bug detection (#FP, #R, time)\n{}", t.render())
+        format!(
+            "Table 5: firmware bug detection (#FP, #R, time)\n{}",
+            t.render()
+        )
     }
 }

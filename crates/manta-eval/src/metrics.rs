@@ -85,7 +85,10 @@ pub fn interval_includes(interval: &TypeInterval, gt: &Type) -> bool {
         return true;
     }
     let fl = FirstLayer::of(gt);
-    let (up, low) = (FirstLayer::of(&interval.upper), FirstLayer::of(&interval.lower));
+    let (up, low) = (
+        FirstLayer::of(&interval.upper),
+        FirstLayer::of(&interval.lower),
+    );
     // The lower bound may itself be an *abstract* class above the truth
     // (e.g. a `num64` singleton includes `int64` as a member).
     covered_above(up, fl) && (covered_below(low, fl) || covered_above(low, fl))
@@ -187,7 +190,12 @@ impl IcallScore {
     }
 
     /// Adds one site's outcome.
-    pub fn add_site(&mut self, tool_targets: &[String], gt: &std::collections::BTreeSet<String>, at_count: usize) {
+    pub fn add_site(
+        &mut self,
+        tool_targets: &[String],
+        gt: &std::collections::BTreeSet<String>,
+        at_count: usize,
+    ) {
         self.sites += 1;
         self.at_count = at_count;
         self.targets_sum += tool_targets.len();
@@ -199,8 +207,15 @@ impl IcallScore {
         } else {
             (pruned.min(infeasible)) as f64 / infeasible as f64
         };
-        let kept = tool_targets.iter().filter(|t| gt.contains(t.as_str())).count();
-        self.recall_sum += if gt.is_empty() { 1.0 } else { kept as f64 / gt.len() as f64 };
+        let kept = tool_targets
+            .iter()
+            .filter(|t| gt.contains(t.as_str()))
+            .count();
+        self.recall_sum += if gt.is_empty() {
+            1.0
+        } else {
+            kept as f64 / gt.len() as f64
+        };
     }
 }
 
@@ -363,11 +378,7 @@ mod tests {
         let gt: std::collections::BTreeSet<String> =
             ["a", "b"].iter().map(|s| s.to_string()).collect();
         // 10 candidates, tool kept 4 (both feasible among them).
-        s.add_site(
-            &["a".into(), "b".into(), "x".into(), "y".into()],
-            &gt,
-            10,
-        );
+        s.add_site(&["a".into(), "b".into(), "x".into(), "y".into()], &gt, 10);
         assert_eq!(s.aict(), 4.0);
         assert_eq!(s.source_aict(), 2.0);
         // pruned 6 of 8 infeasible = 75%
@@ -380,9 +391,21 @@ mod tests {
         use manta_clients::BugKind;
         use manta_workloads::truth::{BugClass, InjectedBug};
         let mut truth = GroundTruth::default();
-        truth.bugs.push(InjectedBug { class: BugClass::Cmi, func: "real1".into(), real: true });
-        truth.bugs.push(InjectedBug { class: BugClass::Cmi, func: "real2".into(), real: true });
-        truth.bugs.push(InjectedBug { class: BugClass::Cmi, func: "decoy".into(), real: false });
+        truth.bugs.push(InjectedBug {
+            class: BugClass::Cmi,
+            func: "real1".into(),
+            real: true,
+        });
+        truth.bugs.push(InjectedBug {
+            class: BugClass::Cmi,
+            func: "real2".into(),
+            real: true,
+        });
+        truth.bugs.push(InjectedBug {
+            class: BugClass::Cmi,
+            func: "decoy".into(),
+            real: false,
+        });
         let reports = vec![
             (BugKind::Cmi, "real1".to_string()),
             (BugKind::Cmi, "decoy".to_string()),

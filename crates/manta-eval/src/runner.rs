@@ -1,12 +1,17 @@
 //! Suite loading: generate workloads and build their module analyses,
-//! in parallel across projects.
+//! in parallel across projects, with a per-stage telemetry breakdown.
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 use manta_analysis::ModuleAnalysis;
+use manta_telemetry::Counter;
 use manta_workloads::{
     coreutils_suite, firmware_suite, generate_firmware, project_suite, GroundTruth, ProjectSpec,
 };
+
+/// Worker threads chosen by the most recent [`build_many`]-based load.
+static PARALLELISM: Counter = Counter::new("eval.parallelism");
 
 /// A generated, analyzed project ready for experiments.
 #[derive(Debug)]
@@ -21,34 +26,72 @@ pub struct ProjectData {
     pub truth: GroundTruth,
     /// Wall time to generate + analyze, in milliseconds.
     pub build_ms: f64,
+    /// Per-stage build breakdown `(stage, wall ms)` captured by the
+    /// telemetry spans inside [`ModuleAnalysis::build`]: `preprocess`,
+    /// `callgraph`, `pointsto`, `ddg`.
+    pub stage_ms: Vec<(String, f64)>,
+}
+
+impl ProjectData {
+    /// Wall milliseconds of one named build stage (0 if absent).
+    pub fn stage(&self, name: &str) -> f64 {
+        self.stage_ms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, ms)| ms)
+            .unwrap_or(0.0)
+    }
 }
 
 fn build_one(name: String, kloc: f64, module: manta_ir::Module, truth: GroundTruth) -> ProjectData {
     let start = Instant::now();
-    let analysis = ModuleAnalysis::build(module);
+    let (analysis, spans) = manta_telemetry::scoped(|| ModuleAnalysis::build(module));
     let build_ms = start.elapsed().as_secs_f64() * 1e3;
-    ProjectData { name, kloc, analysis, truth, build_ms }
+    // `scoped` yields the span forest recorded on this thread; the build
+    // wraps itself in one `analysis.build` root with a child per stage.
+    let stage_ms = spans
+        .iter()
+        .flat_map(|root| &root.children)
+        .map(|s| (s.name.clone(), s.total_ms()))
+        .collect();
+    ProjectData {
+        name,
+        kloc,
+        analysis,
+        truth,
+        build_ms,
+        stage_ms,
+    }
 }
 
 fn build_many(specs: Vec<ProjectSpec>) -> Vec<ProjectData> {
     let mut out: Vec<Option<ProjectData>> = Vec::with_capacity(specs.len());
     out.resize_with(specs.len(), || None);
-    let slots = parking_lot::Mutex::new(&mut out);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let work = parking_lot::Mutex::new(specs.into_iter().enumerate().collect::<Vec<_>>());
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.min(8) {
-            scope.spawn(|_| loop {
-                let job = work.lock().pop();
+    let slots = Mutex::new(&mut out);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    PARALLELISM.set(threads as u64);
+    let work = Mutex::new(specs.into_iter().enumerate().collect::<Vec<_>>());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let job = work.lock().expect("work queue").pop();
                 let Some((idx, spec)) = job else { break };
                 let generated = spec.generate();
-                let data = build_one(spec.name.clone(), spec.kloc, generated.module, generated.truth);
-                slots.lock()[idx] = Some(data);
+                let data = build_one(
+                    spec.name.clone(),
+                    spec.kloc,
+                    generated.module,
+                    generated.truth,
+                );
+                slots.lock().expect("result slots")[idx] = Some(data);
             });
         }
-    })
-    .expect("suite build threads");
-    out.into_iter().map(|d| d.expect("all projects built")).collect()
+    });
+    out.into_iter()
+        .map(|d| d.expect("all projects built"))
+        .collect()
 }
 
 /// Generates and analyzes the 14-project suite.
@@ -72,6 +115,30 @@ pub fn load_firmware() -> Vec<ProjectData> {
         .collect()
 }
 
+/// Renders the per-project, per-stage substrate cost table that replaces
+/// the old single `build_ms` column.
+pub fn stage_breakdown_table(projects: &[ProjectData]) -> String {
+    let mut table = crate::table::TextTable::new(&[
+        "project",
+        "preprocess ms",
+        "callgraph ms",
+        "pointsto ms",
+        "ddg ms",
+        "total ms",
+    ]);
+    for p in projects {
+        table.row(vec![
+            p.name.clone(),
+            format!("{:.2}", p.stage("preprocess")),
+            format!("{:.2}", p.stage("callgraph")),
+            format!("{:.2}", p.stage("pointsto")),
+            format!("{:.2}", p.stage("ddg")),
+            format!("{:.2}", p.build_ms),
+        ]);
+    }
+    table.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +148,22 @@ mod tests {
         let fw = load_firmware();
         assert_eq!(fw.len(), 9);
         assert!(fw.iter().all(|p| !p.truth.bugs.is_empty()));
+    }
+
+    #[test]
+    fn builds_capture_stage_breakdown() {
+        let fw = load_firmware();
+        for p in &fw {
+            let stages: Vec<&str> = p.stage_ms.iter().map(|(n, _)| n.as_str()).collect();
+            for expect in ["preprocess", "callgraph", "pointsto", "ddg"] {
+                assert!(
+                    stages.contains(&expect),
+                    "{} missing {expect}: {stages:?}",
+                    p.name
+                );
+            }
+        }
+        let table = stage_breakdown_table(&fw);
+        assert!(table.contains("pointsto ms"), "{table}");
     }
 }

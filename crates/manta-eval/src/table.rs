@@ -10,7 +10,10 @@ pub struct TextTable {
 impl TextTable {
     /// Starts a table with the given column headers.
     pub fn new(header: &[&str]) -> TextTable {
-        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (padded/truncated to the header width).
@@ -21,9 +24,10 @@ impl TextTable {
 
     /// Renders with aligned columns.
     pub fn render(&self) -> String {
-        let cols = self.header.len().max(
-            self.rows.iter().map(Vec::len).max().unwrap_or(0),
-        );
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut width = vec![0usize; cols];
         let all = std::iter::once(&self.header).chain(self.rows.iter());
         for row in all {

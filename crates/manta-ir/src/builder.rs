@@ -37,7 +37,9 @@ pub struct ModuleBuilder {
 impl ModuleBuilder {
     /// Starts a new module named `name`.
     pub fn new(name: impl Into<String>) -> ModuleBuilder {
-        ModuleBuilder { module: Module::new(name) }
+        ModuleBuilder {
+            module: Module::new(name),
+        }
     }
 
     /// Starts a new function; returns its id and a builder positioned at the
@@ -56,7 +58,13 @@ impl ModuleBuilder {
         let placeholder = Function::new(id, name.to_string(), param_widths, ret_width);
         self.module.push_function(placeholder);
         let entry = func.entry();
-        (id, FunctionBuilder { func, cursor: entry })
+        (
+            id,
+            FunctionBuilder {
+                func,
+                cursor: entry,
+            },
+        )
     }
 
     /// Installs a finished function body.
@@ -143,87 +151,124 @@ impl FunctionBuilder {
     fn def_value(&mut self, width: Width) -> ValueId {
         // The def instruction id is the one about to be pushed.
         let next_inst = crate::ids::InstId::from_index(self.func.inst_count());
-        self.func.add_value(Value { kind: ValueKind::Inst { def: next_inst }, width })
+        self.func.add_value(Value {
+            kind: ValueKind::Inst { def: next_inst },
+            width,
+        })
     }
 
     /// An integer constant value.
     pub fn const_int(&mut self, v: i64, width: Width) -> ValueId {
-        self.func.add_value(Value { kind: ValueKind::Const(ConstKind::Int(v)), width })
+        self.func.add_value(Value {
+            kind: ValueKind::Const(ConstKind::Int(v)),
+            width,
+        })
     }
 
     /// A floating constant value.
     pub fn const_float(&mut self, v: f64, width: Width) -> ValueId {
-        self.func.add_value(Value { kind: ValueKind::Const(ConstKind::Float(v)), width })
+        self.func.add_value(Value {
+            kind: ValueKind::Const(ConstKind::Float(v)),
+            width,
+        })
     }
 
     /// The null-pointer constant.
     pub fn const_null(&mut self) -> ValueId {
-        self.func.add_value(Value { kind: ValueKind::Const(ConstKind::Null), width: Width::W64 })
+        self.func.add_value(Value {
+            kind: ValueKind::Const(ConstKind::Null),
+            width: Width::W64,
+        })
     }
 
     /// The address of global `g`.
     pub fn global_addr(&mut self, g: GlobalId) -> ValueId {
-        self.func.add_value(Value { kind: ValueKind::GlobalAddr(g), width: Width::W64 })
+        self.func.add_value(Value {
+            kind: ValueKind::GlobalAddr(g),
+            width: Width::W64,
+        })
     }
 
     /// The address of function `f` (an address-taken constant).
     pub fn func_addr(&mut self, f: FuncId) -> ValueId {
-        self.func.add_value(Value { kind: ValueKind::FuncAddr(f), width: Width::W64 })
+        self.func.add_value(Value {
+            kind: ValueKind::FuncAddr(f),
+            width: Width::W64,
+        })
     }
 
     /// `dst = copy src`.
     pub fn copy(&mut self, src: ValueId) -> ValueId {
         let width = self.func.value(src).width;
         let dst = self.def_value(width);
-        self.func.append_inst(self.cursor, InstKind::Copy { dst, src });
+        self.func
+            .append_inst(self.cursor, InstKind::Copy { dst, src });
         dst
     }
 
     /// `dst = phi [(block, value), …]`.
     pub fn phi(&mut self, incomings: &[(BlockId, ValueId)], width: Width) -> ValueId {
         let dst = self.def_value(width);
-        self.func
-            .append_inst(self.cursor, InstKind::Phi { dst, incomings: incomings.to_vec() });
+        self.func.append_inst(
+            self.cursor,
+            InstKind::Phi {
+                dst,
+                incomings: incomings.to_vec(),
+            },
+        );
         dst
     }
 
     /// `dst = load addr` of the given width.
     pub fn load(&mut self, addr: ValueId, width: Width) -> ValueId {
         let dst = self.def_value(width);
-        self.func.append_inst(self.cursor, InstKind::Load { dst, addr, width });
+        self.func
+            .append_inst(self.cursor, InstKind::Load { dst, addr, width });
         dst
     }
 
     /// `store addr, val`.
     pub fn store(&mut self, addr: ValueId, val: ValueId) {
-        self.func.append_inst(self.cursor, InstKind::Store { addr, val });
+        self.func
+            .append_inst(self.cursor, InstKind::Store { addr, val });
     }
 
     /// `dst = alloca size` — a stack slot address.
     pub fn alloca(&mut self, size: u64) -> ValueId {
         let dst = self.def_value(Width::W64);
-        self.func.append_inst(self.cursor, InstKind::Alloca { dst, size });
+        self.func
+            .append_inst(self.cursor, InstKind::Alloca { dst, size });
         dst
     }
 
     /// `dst = gep base, offset` — a field address.
     pub fn gep(&mut self, base: ValueId, offset: u64) -> ValueId {
         let dst = self.def_value(Width::W64);
-        self.func.append_inst(self.cursor, InstKind::Gep { dst, base, offset });
+        self.func
+            .append_inst(self.cursor, InstKind::Gep { dst, base, offset });
         dst
     }
 
     /// `dst = op lhs, rhs`.
     pub fn binop(&mut self, op: BinOp, lhs: ValueId, rhs: ValueId, width: Width) -> ValueId {
         let dst = self.def_value(width);
-        self.func.append_inst(self.cursor, InstKind::BinOp { op, dst, lhs, rhs });
+        self.func
+            .append_inst(self.cursor, InstKind::BinOp { op, dst, lhs, rhs });
         dst
     }
 
     /// `dst = cmp.pred lhs, rhs` (result width `W1`).
     pub fn cmp(&mut self, pred: CmpPred, lhs: ValueId, rhs: ValueId) -> ValueId {
         let dst = self.def_value(Width::W1);
-        self.func.append_inst(self.cursor, InstKind::Cmp { dst, pred, lhs, rhs });
+        self.func.append_inst(
+            self.cursor,
+            InstKind::Cmp {
+                dst,
+                pred,
+                lhs,
+                rhs,
+            },
+        );
         dst
     }
 
@@ -232,7 +277,11 @@ impl FunctionBuilder {
         let dst = ret.map(|w| self.def_value(w));
         self.func.append_inst(
             self.cursor,
-            InstKind::Call { dst, callee: Callee::Direct(f), args: args.to_vec() },
+            InstKind::Call {
+                dst,
+                callee: Callee::Direct(f),
+                args: args.to_vec(),
+            },
         );
         dst
     }
@@ -247,7 +296,11 @@ impl FunctionBuilder {
         let dst = ret.map(|w| self.def_value(w));
         self.func.append_inst(
             self.cursor,
-            InstKind::Call { dst, callee: Callee::Extern(e), args: args.to_vec() },
+            InstKind::Call {
+                dst,
+                callee: Callee::Extern(e),
+                args: args.to_vec(),
+            },
         );
         dst
     }
@@ -262,30 +315,43 @@ impl FunctionBuilder {
         let dst = ret.map(|w| self.def_value(w));
         self.func.append_inst(
             self.cursor,
-            InstKind::Call { dst, callee: Callee::Indirect(fp), args: args.to_vec() },
+            InstKind::Call {
+                dst,
+                callee: Callee::Indirect(fp),
+                args: args.to_vec(),
+            },
         );
         dst
     }
 
     /// Terminates the current block with `br target`.
     pub fn br(&mut self, target: BlockId) {
-        self.func.replace_terminator(self.cursor, Terminator::Br(target));
+        self.func
+            .replace_terminator(self.cursor, Terminator::Br(target));
     }
 
     /// Terminates the current block with a conditional branch.
     pub fn cond_br(&mut self, cond: ValueId, then_bb: BlockId, else_bb: BlockId) {
-        self.func
-            .replace_terminator(self.cursor, Terminator::CondBr { cond, then_bb, else_bb });
+        self.func.replace_terminator(
+            self.cursor,
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            },
+        );
     }
 
     /// Terminates the current block with `ret`.
     pub fn ret(&mut self, val: Option<ValueId>) {
-        self.func.replace_terminator(self.cursor, Terminator::Ret(val));
+        self.func
+            .replace_terminator(self.cursor, Terminator::Ret(val));
     }
 
     /// Terminates the current block with `unreachable`.
     pub fn unreachable(&mut self) {
-        self.func.replace_terminator(self.cursor, Terminator::Unreachable);
+        self.func
+            .replace_terminator(self.cursor, Terminator::Unreachable);
     }
 
     /// Read access to the function under construction.

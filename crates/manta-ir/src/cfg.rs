@@ -28,7 +28,12 @@ impl Cfg {
             }
         }
         let rpo = reverse_post_order(func.entry(), &succs);
-        Cfg { preds, succs, rpo, entry: func.entry() }
+        Cfg {
+            preds,
+            succs,
+            rpo,
+            entry: func.entry(),
+        }
     }
 
     /// The entry block.

@@ -15,7 +15,7 @@ use crate::types::{FuncSig, Type, Width};
 
 /// Behavioural classification of an external function, consumed by the
 /// points-to analysis and the §5.3 bug checkers.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum ExternEffect {
     /// Returns a fresh heap object (`malloc`, `calloc`).
     AllocHeap,
@@ -42,7 +42,7 @@ pub enum ExternEffect {
 }
 
 /// An external function declaration.
-#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct ExternDecl {
     /// This declaration's id.
     pub id: ExternId,
@@ -184,7 +184,14 @@ impl ExternRegistry {
                 ExternEffect::Unknown,
             ),
         };
-        ExternDecl { id, name: name.to_string(), param_widths, ret_width, sig, effect }
+        ExternDecl {
+            id,
+            name: name.to_string(),
+            param_widths,
+            ret_width,
+            sig,
+            effect,
+        }
     }
 }
 
@@ -203,7 +210,8 @@ mod tests {
 
     #[test]
     fn unknown_extern_has_no_signature() {
-        let d = ExternRegistry::declare(ExternId(1), "vendor_blob", &[Width::W64], Some(Width::W64));
+        let d =
+            ExternRegistry::declare(ExternId(1), "vendor_blob", &[Width::W64], Some(Width::W64));
         assert_eq!(d.effect, ExternEffect::Unknown);
         assert!(d.sig.is_none());
         assert_eq!(d.param_widths, vec![Width::W64]);

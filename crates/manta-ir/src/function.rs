@@ -6,7 +6,7 @@ use crate::types::Width;
 use crate::value::{Value, ValueKind};
 
 /// A basic-block terminator.
-#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Terminator {
     /// Unconditional branch.
     Br(BlockId),
@@ -30,7 +30,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Br(b) => vec![*b],
-            Terminator::CondBr { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
             Terminator::Ret(_) | Terminator::Unreachable => vec![],
         }
     }
@@ -46,7 +48,7 @@ impl Terminator {
 }
 
 /// A basic block: a straight-line instruction sequence plus a terminator.
-#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Block {
     /// This block's id.
     pub id: BlockId,
@@ -58,7 +60,7 @@ pub struct Block {
 
 /// A function: parameter values, an SSA value arena, an instruction arena,
 /// and a CFG of basic blocks.
-#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Function {
     id: FuncId,
     name: String,
@@ -86,7 +88,10 @@ impl Function {
         let mut params = Vec::new();
         for (i, w) in param_widths.iter().enumerate() {
             let vid = ValueId::from_index(values.len());
-            values.push(Value { kind: ValueKind::Param { index: i as u32 }, width: *w });
+            values.push(Value {
+                kind: ValueKind::Param { index: i as u32 },
+                width: *w,
+            });
             params.push(vid);
         }
         Function {
@@ -96,7 +101,11 @@ impl Function {
             ret_width,
             values,
             insts: Vec::new(),
-            blocks: vec![Block { id: BlockId(0), insts: Vec::new(), term: Terminator::Unreachable }],
+            blocks: vec![Block {
+                id: BlockId(0),
+                insts: Vec::new(),
+                term: Terminator::Unreachable,
+            }],
             entry: BlockId(0),
             address_taken: false,
         }
@@ -167,7 +176,10 @@ impl Function {
 
     /// Iterates over all values.
     pub fn values(&self) -> impl Iterator<Item = (ValueId, &Value)> {
-        self.values.iter().enumerate().map(|(i, v)| (ValueId::from_index(i), v))
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ValueId::from_index(i), v))
     }
 
     /// Iterates over all instructions in arena order.
@@ -229,7 +241,11 @@ impl Function {
 
     pub(crate) fn push_block(&mut self) -> BlockId {
         let id = BlockId::from_index(self.blocks.len());
-        self.blocks.push(Block { id, insts: Vec::new(), term: Terminator::Unreachable });
+        self.blocks.push(Block {
+            id,
+            insts: Vec::new(),
+            term: Terminator::Unreachable,
+        });
         id
     }
 
@@ -294,7 +310,12 @@ mod tests {
 
     #[test]
     fn new_function_has_params_and_entry() {
-        let f = Function::new(FuncId(0), "f".into(), &[Width::W64, Width::W32], Some(Width::W64));
+        let f = Function::new(
+            FuncId(0),
+            "f".into(),
+            &[Width::W64, Width::W32],
+            Some(Width::W64),
+        );
         assert_eq!(f.params().len(), 2);
         assert_eq!(f.value(f.params()[0]).width, Width::W64);
         assert_eq!(f.value(f.params()[1]).width, Width::W32);
@@ -306,7 +327,11 @@ mod tests {
     #[test]
     fn terminator_successors() {
         assert_eq!(Terminator::Br(BlockId(3)).successors(), vec![BlockId(3)]);
-        let cb = Terminator::CondBr { cond: ValueId(0), then_bb: BlockId(1), else_bb: BlockId(2) };
+        let cb = Terminator::CondBr {
+            cond: ValueId(0),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
         assert_eq!(cb.successors(), vec![BlockId(1), BlockId(2)]);
         assert_eq!(cb.uses(), vec![ValueId(0)]);
         assert!(Terminator::Ret(None).successors().is_empty());
@@ -317,12 +342,23 @@ mod tests {
     fn users_finds_all_uses() {
         let mut f = Function::new(FuncId(0), "f".into(), &[Width::W64], Some(Width::W64));
         let p = f.params()[0];
-        let d1 = f.push_value(Value { kind: ValueKind::Inst { def: InstId(0) }, width: Width::W64 });
+        let d1 = f.push_value(Value {
+            kind: ValueKind::Inst { def: InstId(0) },
+            width: Width::W64,
+        });
         f.push_inst(BlockId(0), InstKind::Copy { dst: d1, src: p });
-        let d2 = f.push_value(Value { kind: ValueKind::Inst { def: InstId(1) }, width: Width::W64 });
+        let d2 = f.push_value(Value {
+            kind: ValueKind::Inst { def: InstId(1) },
+            width: Width::W64,
+        });
         f.push_inst(
             BlockId(0),
-            InstKind::BinOp { op: crate::BinOp::Add, dst: d2, lhs: p, rhs: d1 },
+            InstKind::BinOp {
+                op: crate::BinOp::Add,
+                dst: d2,
+                lhs: p,
+                rhs: d1,
+            },
         );
         assert_eq!(f.users(p), vec![InstId(0), InstId(1)]);
         assert_eq!(f.users(d1), vec![InstId(1)]);

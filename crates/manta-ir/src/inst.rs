@@ -9,7 +9,7 @@ use crate::ids::{BlockId, ExternId, FuncId, InstId, ValueId};
 use crate::types::Width;
 
 /// Binary arithmetic / bitwise operators.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum BinOp {
     /// Addition — may be integer arithmetic *or* pointer arithmetic; Table 2
     /// of the paper prunes data dependencies through it based on types.
@@ -77,7 +77,7 @@ impl BinOp {
 }
 
 /// Comparison predicates.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CmpPred {
     /// Equal.
     Eq,
@@ -133,7 +133,7 @@ impl CmpPred {
 }
 
 /// The target of a call.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Callee {
     /// A direct call to a module function.
     Direct(FuncId),
@@ -144,7 +144,7 @@ pub enum Callee {
 }
 
 /// Instruction payloads.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum InstKind {
     /// `dst = copy src` — register move / bitcast (a value copy, rule ① of
     /// Table 1).
@@ -234,7 +234,7 @@ pub enum InstKind {
 }
 
 /// An instruction together with its id and owning block.
-#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct InstData {
     /// This instruction's id.
     pub id: InstId,
@@ -290,11 +290,19 @@ mod tests {
 
     #[test]
     fn def_and_uses() {
-        let k = InstKind::BinOp { op: BinOp::Add, dst: ValueId(3), lhs: ValueId(1), rhs: ValueId(2) };
+        let k = InstKind::BinOp {
+            op: BinOp::Add,
+            dst: ValueId(3),
+            lhs: ValueId(1),
+            rhs: ValueId(2),
+        };
         assert_eq!(k.def(), Some(ValueId(3)));
         assert_eq!(k.uses(), vec![ValueId(1), ValueId(2)]);
 
-        let s = InstKind::Store { addr: ValueId(0), val: ValueId(1) };
+        let s = InstKind::Store {
+            addr: ValueId(0),
+            val: ValueId(1),
+        };
         assert_eq!(s.def(), None);
         assert_eq!(s.uses(), vec![ValueId(0), ValueId(1)]);
     }
@@ -326,7 +334,14 @@ mod tests {
         ] {
             assert_eq!(BinOp::from_mnemonic(op.mnemonic()), Some(op));
         }
-        for p in [CmpPred::Eq, CmpPred::Ne, CmpPred::Lt, CmpPred::Le, CmpPred::Gt, CmpPred::Ge] {
+        for p in [
+            CmpPred::Eq,
+            CmpPred::Ne,
+            CmpPred::Lt,
+            CmpPred::Le,
+            CmpPred::Gt,
+            CmpPred::Ge,
+        ] {
             assert_eq!(CmpPred::from_mnemonic(p.mnemonic()), Some(p));
             assert_eq!(p.negate().negate(), p);
         }

@@ -7,7 +7,7 @@ use crate::function::Function;
 use crate::ids::{ExternId, FuncId, GlobalId};
 
 /// A module-level global variable (a `.data`/`.bss` region).
-#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Global {
     /// This global's id.
     pub id: GlobalId,

@@ -56,15 +56,24 @@ impl std::error::Error for ParseError {}
 type Result<T> = std::result::Result<T, ParseError>;
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T> {
-    Err(ParseError { line, message: message.into() })
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 fn parse_width(line: usize, tok: &str) -> Result<Width> {
     let bits: u32 = tok
         .strip_prefix('w')
         .and_then(|s| s.parse().ok())
-        .ok_or(ParseError { line, message: format!("bad width `{tok}`") })?;
-    Width::from_bits(bits).ok_or(ParseError { line, message: format!("bad width `{tok}`") })
+        .ok_or(ParseError {
+            line,
+            message: format!("bad width `{tok}`"),
+        })?;
+    Width::from_bits(bits).ok_or(ParseError {
+        line,
+        message: format!("bad width `{tok}`"),
+    })
 }
 
 fn parse_ret(line: usize, tok: &str) -> Result<Option<Width>> {
@@ -95,10 +104,14 @@ pub fn parse_module(text: &str) -> Result<Module> {
         .map(|(i, l)| (i + 1, l.trim()))
         .filter(|(_, l)| !l.is_empty() && !l.starts_with(';'));
 
-    let (ln, first) = lines.next().ok_or(ParseError { line: 0, message: "empty input".into() })?;
-    let name = first
-        .strip_prefix("module ")
-        .ok_or(ParseError { line: ln, message: "expected `module <name>`".into() })?;
+    let (ln, first) = lines.next().ok_or(ParseError {
+        line: 0,
+        message: "empty input".into(),
+    })?;
+    let name = first.strip_prefix("module ").ok_or(ParseError {
+        line: ln,
+        message: "expected `module <name>`".into(),
+    })?;
     let mut module = Module::new(name.trim());
 
     let mut headers: Vec<FuncHeader> = Vec::new();
@@ -108,7 +121,11 @@ pub fn parse_module(text: &str) -> Result<Module> {
             if line == "}" {
                 in_func = false;
             } else {
-                headers.last_mut().expect("in_func implies a header").body.push((ln, line.to_string()));
+                headers
+                    .last_mut()
+                    .expect("in_func implies a header")
+                    .body
+                    .push((ln, line.to_string()));
             }
             continue;
         }
@@ -118,23 +135,35 @@ pub fn parse_module(text: &str) -> Result<Module> {
             module.push_extern(ExternRegistry::declare(id, &name, &params, ret));
         } else if let Some(rest) = line.strip_prefix("global ") {
             let mut it = rest.split_whitespace();
-            let gname = it.next().ok_or(ParseError { line: ln, message: "global name".into() })?;
-            let size: u64 = it
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or(ParseError { line: ln, message: "global size".into() })?;
+            let gname = it.next().ok_or(ParseError {
+                line: ln,
+                message: "global name".into(),
+            })?;
+            let size: u64 = it.next().and_then(|s| s.parse().ok()).ok_or(ParseError {
+                line: ln,
+                message: "global size".into(),
+            })?;
             module.push_global(gname.to_string(), size);
         } else if let Some(rest) = line.strip_prefix("func ") {
             let rest = rest
                 .strip_suffix('{')
-                .ok_or(ParseError { line: ln, message: "expected `{` ending func header".into() })?
+                .ok_or(ParseError {
+                    line: ln,
+                    message: "expected `{` ending func header".into(),
+                })?
                 .trim_end();
             let (rest, addrtaken) = match rest.strip_suffix("addrtaken") {
                 Some(r) => (r.trim_end(), true),
                 None => (rest, false),
             };
             let (name, params, ret) = parse_sig(ln, rest)?;
-            headers.push(FuncHeader { name, params, ret, addrtaken, body: Vec::new() });
+            headers.push(FuncHeader {
+                name,
+                params,
+                ret,
+                addrtaken,
+                body: Vec::new(),
+            });
             in_func = true;
         } else {
             return err(ln, format!("unexpected top-level line `{line}`"));
@@ -166,8 +195,14 @@ pub fn parse_module(text: &str) -> Result<Module> {
 
 /// Parses `name(w64, w32) -> w64`.
 fn parse_sig(ln: usize, s: &str) -> Result<(String, Vec<Width>, Option<Width>)> {
-    let open = s.find('(').ok_or(ParseError { line: ln, message: "expected `(`".into() })?;
-    let close = s.rfind(')').ok_or(ParseError { line: ln, message: "expected `)`".into() })?;
+    let open = s.find('(').ok_or(ParseError {
+        line: ln,
+        message: "expected `(`".into(),
+    })?;
+    let close = s.rfind(')').ok_or(ParseError {
+        line: ln,
+        message: "expected `)`".into(),
+    })?;
     let name = s[..open].trim().to_string();
     let params_s = &s[open + 1..close];
     let params = if params_s.trim().is_empty() {
@@ -178,9 +213,10 @@ fn parse_sig(ln: usize, s: &str) -> Result<(String, Vec<Width>, Option<Width>)> 
             .map(|t| parse_width(ln, t.trim()))
             .collect::<Result<Vec<_>>>()?
     };
-    let arrow = s[close..]
-        .find("->")
-        .ok_or(ParseError { line: ln, message: "expected `->`".into() })?;
+    let arrow = s[close..].find("->").ok_or(ParseError {
+        line: ln,
+        message: "expected `->`".into(),
+    })?;
     let ret = parse_ret(ln, s[close + arrow + 2..].trim())?;
     Ok((name, params, ret))
 }
@@ -205,10 +241,13 @@ fn parse_body(
     let mut inst_counter = 0usize;
     for (ln, line) in &header.body {
         if let Some(bb) = line.strip_suffix(':') {
-            let n: usize = bb
-                .strip_prefix("bb")
-                .and_then(|s| s.parse().ok())
-                .ok_or(ParseError { line: *ln, message: format!("bad block label `{line}`") })?;
+            let n: usize =
+                bb.strip_prefix("bb")
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ParseError {
+                        line: *ln,
+                        message: format!("bad block label `{line}`"),
+                    })?;
             max_block = max_block.max(n);
             continue;
         }
@@ -225,10 +264,13 @@ fn parse_body(
         // Instruction line.
         if let Some((def, rhs)) = line.split_once('=') {
             let def = def.trim();
-            let k: usize = def
-                .strip_prefix('v')
-                .and_then(|s| s.parse().ok())
-                .ok_or(ParseError { line: *ln, message: format!("bad def `{def}`") })?;
+            let k: usize =
+                def.strip_prefix('v')
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ParseError {
+                        line: *ln,
+                        message: format!("bad def `{def}`"),
+                    })?;
             if k >= def_specs.len() {
                 def_specs.resize(k + 1, None);
             }
@@ -246,8 +288,10 @@ fn parse_body(
             if let (Some(o), Some(c)) = (line.find('['), line.rfind(']')) {
                 for pair in line[o + 1..c].split(',') {
                     if let Some((bb, _)) = pair.split_once(':') {
-                        if let Some(n) =
-                            bb.trim().strip_prefix("bb").and_then(|s| s.parse::<usize>().ok())
+                        if let Some(n) = bb
+                            .trim()
+                            .strip_prefix("bb")
+                            .and_then(|s| s.parse::<usize>().ok())
                         {
                             max_block = max_block.max(n);
                         }
@@ -263,13 +307,23 @@ fn parse_body(
     // Pre-create def values so forward references (loops/phis) resolve.
     let mut defs = Vec::with_capacity(def_specs.len());
     for (k, spec) in def_specs.iter().enumerate() {
-        let (_, width, inst_index) =
-            spec.ok_or(ParseError { line: 0, message: format!("v{k} referenced but never defined") })?;
+        let (_, width, inst_index) = spec.ok_or(ParseError {
+            line: 0,
+            message: format!("v{k} referenced but never defined"),
+        })?;
         let inst = crate::ids::InstId::from_index(inst_index);
-        defs.push(func.add_value(Value { kind: ValueKind::Inst { def: inst }, width }));
+        defs.push(func.add_value(Value {
+            kind: ValueKind::Inst { def: inst },
+            width,
+        }));
     }
 
-    let mut ctx = BodyCtx { module, func_ids, defs, consts: HashMap::new() };
+    let mut ctx = BodyCtx {
+        module,
+        func_ids,
+        defs,
+        consts: HashMap::new(),
+    };
 
     // Pass 2: emit instructions and terminators.
     let mut current = func.entry();
@@ -296,7 +350,11 @@ fn parse_body(
                 let e = parse_block_ref(*ln, parts[2])?;
                 func.replace_terminator(
                     current,
-                    Terminator::CondBr { cond, then_bb: t, else_bb: e },
+                    Terminator::CondBr {
+                        cond,
+                        then_bb: t,
+                        else_bb: e,
+                    },
                 );
             }
             "ret" => {
@@ -331,8 +389,10 @@ fn def_width(ln: usize, rhs: &str) -> Result<Width> {
         "alloca" | "gep" => Ok(Width::W64),
         "cmp" => Ok(Width::W1),
         _ => {
-            let s = suffix
-                .ok_or(ParseError { line: ln, message: format!("`{op}` needs a width suffix") })?;
+            let s = suffix.ok_or(ParseError {
+                line: ln,
+                message: format!("`{op}` needs a width suffix"),
+            })?;
             parse_width(ln, s)
         }
     }
@@ -342,66 +402,101 @@ fn parse_block_ref(ln: usize, tok: &str) -> Result<BlockId> {
     tok.strip_prefix("bb")
         .and_then(|s| s.parse::<usize>().ok())
         .map(BlockId::from_index)
-        .ok_or(ParseError { line: ln, message: format!("bad block ref `{tok}`") })
+        .ok_or(ParseError {
+            line: ln,
+            message: format!("bad block ref `{tok}`"),
+        })
 }
 
-fn parse_operand(func: &mut Function, ctx: &mut BodyCtx<'_>, ln: usize, tok: &str) -> Result<ValueId> {
+fn parse_operand(
+    func: &mut Function,
+    ctx: &mut BodyCtx<'_>,
+    ln: usize,
+    tok: &str,
+) -> Result<ValueId> {
     let tok = tok.trim();
     if let Some(n) = tok.strip_prefix('p').and_then(|s| s.parse::<usize>().ok()) {
-        return func
-            .params()
-            .get(n)
-            .copied()
-            .ok_or(ParseError { line: ln, message: format!("no parameter p{n}") });
+        return func.params().get(n).copied().ok_or(ParseError {
+            line: ln,
+            message: format!("no parameter p{n}"),
+        });
     }
     if let Some(k) = tok.strip_prefix('v').and_then(|s| s.parse::<usize>().ok()) {
-        return ctx
-            .defs
-            .get(k)
-            .copied()
-            .ok_or(ParseError { line: ln, message: format!("undefined value v{k}") });
+        return ctx.defs.get(k).copied().ok_or(ParseError {
+            line: ln,
+            message: format!("undefined value v{k}"),
+        });
     }
     if let Some(v) = ctx.consts.get(tok) {
         return Ok(*v);
     }
     let value = if tok == "null" {
-        Value { kind: ValueKind::Const(ConstKind::Null), width: Width::W64 }
+        Value {
+            kind: ValueKind::Const(ConstKind::Null),
+            width: Width::W64,
+        }
     } else if tok == "undef" {
-        Value { kind: ValueKind::Const(ConstKind::Undef), width: Width::W64 }
+        Value {
+            kind: ValueKind::Const(ConstKind::Undef),
+            width: Width::W64,
+        }
     } else if let Some(gname) = tok.strip_prefix("g.") {
         let g = ctx
             .module
             .globals()
             .find(|g| g.name == gname)
-            .ok_or(ParseError { line: ln, message: format!("unknown global `{gname}`") })?;
-        Value { kind: ValueKind::GlobalAddr(g.id), width: Width::W64 }
+            .ok_or(ParseError {
+                line: ln,
+                message: format!("unknown global `{gname}`"),
+            })?;
+        Value {
+            kind: ValueKind::GlobalAddr(g.id),
+            width: Width::W64,
+        }
     } else if let Some(fname) = tok.strip_prefix("fn.") {
-        let f = ctx
-            .func_ids
-            .get(fname)
-            .ok_or(ParseError { line: ln, message: format!("unknown function `{fname}`") })?;
-        Value { kind: ValueKind::FuncAddr(*f), width: Width::W64 }
+        let f = ctx.func_ids.get(fname).ok_or(ParseError {
+            line: ln,
+            message: format!("unknown function `{fname}`"),
+        })?;
+        Value {
+            kind: ValueKind::FuncAddr(*f),
+            width: Width::W64,
+        }
     } else if let Some((lit, ty)) = tok.rsplit_once(':') {
         if let Some(bits) = ty.strip_prefix('i') {
             let w = Width::from_bits(bits.parse().map_err(|_| ParseError {
                 line: ln,
                 message: format!("bad const type `{ty}`"),
             })?)
-            .ok_or(ParseError { line: ln, message: format!("bad const width `{ty}`") })?;
-            let v: i64 = lit
-                .parse()
-                .map_err(|_| ParseError { line: ln, message: format!("bad int `{lit}`") })?;
-            Value { kind: ValueKind::Const(ConstKind::Int(v)), width: w }
+            .ok_or(ParseError {
+                line: ln,
+                message: format!("bad const width `{ty}`"),
+            })?;
+            let v: i64 = lit.parse().map_err(|_| ParseError {
+                line: ln,
+                message: format!("bad int `{lit}`"),
+            })?;
+            Value {
+                kind: ValueKind::Const(ConstKind::Int(v)),
+                width: w,
+            }
         } else if let Some(bits) = ty.strip_prefix('f') {
             let w = Width::from_bits(bits.parse().map_err(|_| ParseError {
                 line: ln,
                 message: format!("bad const type `{ty}`"),
             })?)
-            .ok_or(ParseError { line: ln, message: format!("bad const width `{ty}`") })?;
-            let v: f64 = lit
-                .parse()
-                .map_err(|_| ParseError { line: ln, message: format!("bad float `{lit}`") })?;
-            Value { kind: ValueKind::Const(ConstKind::Float(v)), width: w }
+            .ok_or(ParseError {
+                line: ln,
+                message: format!("bad const width `{ty}`"),
+            })?;
+            let v: f64 = lit.parse().map_err(|_| ParseError {
+                line: ln,
+                message: format!("bad float `{lit}`"),
+            })?;
+            Value {
+                kind: ValueKind::Const(ConstKind::Float(v)),
+                width: w,
+            }
         } else {
             return err(ln, format!("bad operand `{tok}`"));
         }
@@ -418,7 +513,10 @@ fn next_def(ctx: &mut BodyCtx<'_>, ln: usize, lhs: &str) -> Result<ValueId> {
         .trim()
         .strip_prefix('v')
         .and_then(|s| s.parse().ok())
-        .ok_or(ParseError { line: ln, message: format!("bad def `{lhs}`") })?;
+        .ok_or(ParseError {
+            line: ln,
+            message: format!("bad def `{lhs}`"),
+        })?;
     Ok(ctx.defs[k])
 }
 
@@ -441,21 +539,39 @@ fn parse_inst(
 
     let kind = match op {
         "copy" => {
-            let dst = next_def(ctx, ln, lhs.ok_or(ParseError { line: ln, message: "copy needs a def".into() })?)?;
+            let dst = next_def(
+                ctx,
+                ln,
+                lhs.ok_or(ParseError {
+                    line: ln,
+                    message: "copy needs a def".into(),
+                })?,
+            )?;
             let src = parse_operand(func, ctx, ln, rest)?;
             InstKind::Copy { dst, src }
         }
         "phi" => {
-            let dst = next_def(ctx, ln, lhs.ok_or(ParseError { line: ln, message: "phi needs a def".into() })?)?;
+            let dst = next_def(
+                ctx,
+                ln,
+                lhs.ok_or(ParseError {
+                    line: ln,
+                    message: "phi needs a def".into(),
+                })?,
+            )?;
             let inner = rest
                 .strip_prefix('[')
                 .and_then(|s| s.strip_suffix(']'))
-                .ok_or(ParseError { line: ln, message: "phi expects `[...]`".into() })?;
+                .ok_or(ParseError {
+                    line: ln,
+                    message: "phi expects `[...]`".into(),
+                })?;
             let mut incomings = Vec::new();
             for pair in inner.split(',') {
-                let (bb, val) = pair
-                    .split_once(':')
-                    .ok_or(ParseError { line: ln, message: "phi incoming `bb: v`".into() })?;
+                let (bb, val) = pair.split_once(':').ok_or(ParseError {
+                    line: ln,
+                    message: "phi incoming `bb: v`".into(),
+                })?;
                 let b = parse_block_ref(ln, bb.trim())?;
                 let v = parse_operand(func, ctx, ln, val)?;
                 incomings.push((b, v));
@@ -463,62 +579,104 @@ fn parse_inst(
             InstKind::Phi { dst, incomings }
         }
         "load" => {
-            let dst = next_def(ctx, ln, lhs.ok_or(ParseError { line: ln, message: "load needs a def".into() })?)?;
+            let dst = next_def(
+                ctx,
+                ln,
+                lhs.ok_or(ParseError {
+                    line: ln,
+                    message: "load needs a def".into(),
+                })?,
+            )?;
             let width = func.value(dst).width;
             let addr = parse_operand(func, ctx, ln, rest)?;
             InstKind::Load { dst, addr, width }
         }
         "store" => {
-            let (a, v) = rest
-                .split_once(',')
-                .ok_or(ParseError { line: ln, message: "store expects 2 operands".into() })?;
+            let (a, v) = rest.split_once(',').ok_or(ParseError {
+                line: ln,
+                message: "store expects 2 operands".into(),
+            })?;
             let addr = parse_operand(func, ctx, ln, a)?;
             let val = parse_operand(func, ctx, ln, v)?;
             InstKind::Store { addr, val }
         }
         "alloca" => {
-            let dst = next_def(ctx, ln, lhs.ok_or(ParseError { line: ln, message: "alloca needs a def".into() })?)?;
-            let size: u64 = rest
-                .parse()
-                .map_err(|_| ParseError { line: ln, message: format!("bad alloca size `{rest}`") })?;
+            let dst = next_def(
+                ctx,
+                ln,
+                lhs.ok_or(ParseError {
+                    line: ln,
+                    message: "alloca needs a def".into(),
+                })?,
+            )?;
+            let size: u64 = rest.parse().map_err(|_| ParseError {
+                line: ln,
+                message: format!("bad alloca size `{rest}`"),
+            })?;
             InstKind::Alloca { dst, size }
         }
         "gep" => {
-            let dst = next_def(ctx, ln, lhs.ok_or(ParseError { line: ln, message: "gep needs a def".into() })?)?;
-            let (b, o) = rest
-                .split_once(',')
-                .ok_or(ParseError { line: ln, message: "gep expects 2 operands".into() })?;
+            let dst = next_def(
+                ctx,
+                ln,
+                lhs.ok_or(ParseError {
+                    line: ln,
+                    message: "gep needs a def".into(),
+                })?,
+            )?;
+            let (b, o) = rest.split_once(',').ok_or(ParseError {
+                line: ln,
+                message: "gep expects 2 operands".into(),
+            })?;
             let base = parse_operand(func, ctx, ln, b)?;
-            let offset: u64 = o
-                .trim()
-                .parse()
-                .map_err(|_| ParseError { line: ln, message: format!("bad gep offset `{o}`") })?;
+            let offset: u64 = o.trim().parse().map_err(|_| ParseError {
+                line: ln,
+                message: format!("bad gep offset `{o}`"),
+            })?;
             InstKind::Gep { dst, base, offset }
         }
         "cmp" => {
-            let dst = next_def(ctx, ln, lhs.ok_or(ParseError { line: ln, message: "cmp needs a def".into() })?)?;
+            let dst = next_def(
+                ctx,
+                ln,
+                lhs.ok_or(ParseError {
+                    line: ln,
+                    message: "cmp needs a def".into(),
+                })?,
+            )?;
             let pred = mnemonic
                 .split_once('.')
                 .and_then(|(_, p)| CmpPred::from_mnemonic(p))
-                .ok_or(ParseError { line: ln, message: format!("bad cmp `{mnemonic}`") })?;
-            let (l, r) = rest
-                .split_once(',')
-                .ok_or(ParseError { line: ln, message: "cmp expects 2 operands".into() })?;
+                .ok_or(ParseError {
+                    line: ln,
+                    message: format!("bad cmp `{mnemonic}`"),
+                })?;
+            let (l, r) = rest.split_once(',').ok_or(ParseError {
+                line: ln,
+                message: "cmp expects 2 operands".into(),
+            })?;
             let lhs_v = parse_operand(func, ctx, ln, l)?;
             let rhs_v = parse_operand(func, ctx, ln, r)?;
-            InstKind::Cmp { dst, pred, lhs: lhs_v, rhs: rhs_v }
+            InstKind::Cmp {
+                dst,
+                pred,
+                lhs: lhs_v,
+                rhs: rhs_v,
+            }
         }
         "call" | "icall" => {
             let dst = match lhs {
                 Some(l) => Some(next_def(ctx, ln, l)?),
                 None => None,
             };
-            let open = rest
-                .find('(')
-                .ok_or(ParseError { line: ln, message: "call expects `(`".into() })?;
-            let close = rest
-                .rfind(')')
-                .ok_or(ParseError { line: ln, message: "call expects `)`".into() })?;
+            let open = rest.find('(').ok_or(ParseError {
+                line: ln,
+                message: "call expects `(`".into(),
+            })?;
+            let close = rest.rfind(')').ok_or(ParseError {
+                line: ln,
+                message: "call expects `)`".into(),
+            })?;
             let target = rest[..open].trim();
             let args_s = &rest[open + 1..close];
             let mut args = Vec::new();
@@ -546,15 +704,30 @@ fn parse_inst(
         }
         other => {
             // Binary operators.
-            let binop = BinOp::from_mnemonic(other)
-                .ok_or(ParseError { line: ln, message: format!("unknown instruction `{other}`") })?;
-            let dst = next_def(ctx, ln, lhs.ok_or(ParseError { line: ln, message: "binop needs a def".into() })?)?;
-            let (l, r) = rest
-                .split_once(',')
-                .ok_or(ParseError { line: ln, message: "binop expects 2 operands".into() })?;
+            let binop = BinOp::from_mnemonic(other).ok_or(ParseError {
+                line: ln,
+                message: format!("unknown instruction `{other}`"),
+            })?;
+            let dst = next_def(
+                ctx,
+                ln,
+                lhs.ok_or(ParseError {
+                    line: ln,
+                    message: "binop needs a def".into(),
+                })?,
+            )?;
+            let (l, r) = rest.split_once(',').ok_or(ParseError {
+                line: ln,
+                message: "binop expects 2 operands".into(),
+            })?;
             let lhs_v = parse_operand(func, ctx, ln, l)?;
             let rhs_v = parse_operand(func, ctx, ln, r)?;
-            InstKind::BinOp { op: binop, dst, lhs: lhs_v, rhs: rhs_v }
+            InstKind::BinOp {
+                op: binop,
+                dst,
+                lhs: lhs_v,
+                rhs: rhs_v,
+            }
         }
     };
     Ok(kind)

@@ -51,8 +51,19 @@ fn print_function(module: &Module, func: &Function, out: &mut String) {
         .map(|&p| width_token(func.value(p).width))
         .collect();
     let ret = func.ret_width().map_or("void", width_token);
-    let taken = if func.is_address_taken() { " addrtaken" } else { "" };
-    let _ = writeln!(out, "func {}({}) -> {}{} {{", func.name(), params.join(", "), ret, taken);
+    let taken = if func.is_address_taken() {
+        " addrtaken"
+    } else {
+        ""
+    };
+    let _ = writeln!(
+        out,
+        "func {}({}) -> {}{} {{",
+        func.name(),
+        params.join(", "),
+        ret,
+        taken
+    );
 
     // Renumber instruction results sequentially in block-traversal order.
     let mut names: HashMap<ValueId, usize> = HashMap::new();
@@ -98,8 +109,7 @@ fn print_function(module: &Module, func: &Function, out: &mut String) {
                         .iter()
                         .map(|(b, v)| format!("{}: {}", b, operand(*v)))
                         .collect();
-                    let _ =
-                        writeln!(out, "{} = phi.{} [{}]", def_name(*dst), w, incs.join(", "));
+                    let _ = writeln!(out, "{} = phi.{} [{}]", def_name(*dst), w, incs.join(", "));
                 }
                 InstKind::Load { dst, addr, width } => {
                     let _ = writeln!(
@@ -117,8 +127,13 @@ fn print_function(module: &Module, func: &Function, out: &mut String) {
                     let _ = writeln!(out, "{} = alloca {}", def_name(*dst), size);
                 }
                 InstKind::Gep { dst, base, offset } => {
-                    let _ =
-                        writeln!(out, "{} = gep {}, {}", def_name(*dst), operand(*base), offset);
+                    let _ = writeln!(
+                        out,
+                        "{} = gep {}, {}",
+                        def_name(*dst),
+                        operand(*base),
+                        offset
+                    );
                 }
                 InstKind::BinOp { op, dst, lhs, rhs } => {
                     let w = width_token(func.value(*dst).width);
@@ -132,7 +147,12 @@ fn print_function(module: &Module, func: &Function, out: &mut String) {
                         operand(*rhs)
                     );
                 }
-                InstKind::Cmp { dst, pred, lhs, rhs } => {
+                InstKind::Cmp {
+                    dst,
+                    pred,
+                    lhs,
+                    rhs,
+                } => {
                     let _ = writeln!(
                         out,
                         "{} = cmp.{} {}, {}",
@@ -149,7 +169,11 @@ fn print_function(module: &Module, func: &Function, out: &mut String) {
                         Callee::Extern(e) => format!("!{}", module.extern_decl(*e).name),
                         Callee::Indirect(v) => operand(*v),
                     };
-                    let mnemonic = if matches!(callee, Callee::Indirect(_)) { "icall" } else { "call" };
+                    let mnemonic = if matches!(callee, Callee::Indirect(_)) {
+                        "icall"
+                    } else {
+                        "call"
+                    };
                     match dst {
                         Some(d) => {
                             let w = width_token(func.value(*d).width);
@@ -174,7 +198,11 @@ fn print_function(module: &Module, func: &Function, out: &mut String) {
             Terminator::Br(b) => {
                 let _ = writeln!(out, "br {b}");
             }
-            Terminator::CondBr { cond, then_bb, else_bb } => {
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 let _ = writeln!(out, "condbr {}, {then_bb}, {else_bb}", operand(*cond));
             }
             Terminator::Ret(Some(v)) => {
@@ -217,7 +245,10 @@ mod tests {
         fb.ret(Some(m));
         mb.finish_function(fb);
         let text = print_module(&mb.finish());
-        assert!(text.contains("v0 = phi.w64 [bb1: null, bb2: 2.5:f64]"), "{text}");
+        assert!(
+            text.contains("v0 = phi.w64 [bb1: null, bb2: 2.5:f64]"),
+            "{text}"
+        );
         assert!(text.contains("condbr p0, bb1, bb2"), "{text}");
     }
 

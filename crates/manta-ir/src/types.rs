@@ -34,7 +34,7 @@ use std::sync::Arc;
 pub const MAX_TYPE_DEPTH: usize = 12;
 
 /// Machine value widths supported by the type system (paper: `<size>`).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Width {
     /// 1-bit (comparison results / flags).
     W1,
@@ -93,7 +93,7 @@ impl fmt::Display for Width {
 }
 
 /// A function type: parameter types and a return type (paper `T_func`).
-#[derive(Clone, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct FuncSig {
     /// Parameter types, in order.
     pub params: Vec<Type>,
@@ -104,13 +104,16 @@ pub struct FuncSig {
 impl FuncSig {
     /// Creates a signature from parameter types and a return type.
     pub fn new(params: Vec<Type>, ret: Type) -> Self {
-        FuncSig { params, ret: Box::new(ret) }
+        FuncSig {
+            params,
+            ret: Box::new(ret),
+        }
     }
 }
 
 /// A type in the Manta lattice (paper Figure 6). See the [module docs](self)
 /// for the subtyping order.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Type {
     /// `⊤` — any value; the top of the lattice.
     Top,
@@ -167,7 +170,10 @@ impl Type {
 
     /// True for `int`, `float`, `double`, or the abstract `num<w>`.
     pub fn is_numeric(&self) -> bool {
-        matches!(self, Type::Int(_) | Type::Float | Type::Double | Type::Num(_))
+        matches!(
+            self,
+            Type::Int(_) | Type::Float | Type::Double | Type::Num(_)
+        )
     }
 
     /// The register width this type occupies, if it is a register type.
@@ -476,7 +482,10 @@ mod tests {
 
     #[test]
     fn meet_num_and_ptr_under_reg64() {
-        assert_eq!(Type::Reg(Width::W64).meet(&Type::byte_ptr()), Type::byte_ptr());
+        assert_eq!(
+            Type::Reg(Width::W64).meet(&Type::byte_ptr()),
+            Type::byte_ptr()
+        );
         assert_eq!(Type::Num(Width::W64).meet(&i64t()), i64t());
         assert_eq!(Type::byte_ptr().meet(&i64t()), Type::Bottom);
     }

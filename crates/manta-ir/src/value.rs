@@ -10,7 +10,7 @@ use crate::ids::{FuncId, GlobalId, InstId};
 use crate::types::Width;
 
 /// What kind of entity an SSA value is.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum ValueKind {
     /// The `index`-th formal parameter of the enclosing function.
     Param {
@@ -31,7 +31,7 @@ pub enum ValueKind {
 }
 
 /// Constant payloads.
-#[derive(Clone, Copy, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub enum ConstKind {
     /// An integer constant (sign-agnostic bit pattern).
     Int(i64),
@@ -69,7 +69,7 @@ impl std::hash::Hash for ConstKind {
 }
 
 /// An SSA value: its kind plus the machine width it occupies.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Value {
     /// What the value is.
     pub kind: ValueKind,
@@ -98,9 +98,18 @@ mod tests {
 
     #[test]
     fn zero_detection() {
-        let z = Value { kind: ValueKind::Const(ConstKind::Int(0)), width: Width::W64 };
-        let n = Value { kind: ValueKind::Const(ConstKind::Null), width: Width::W64 };
-        let one = Value { kind: ValueKind::Const(ConstKind::Int(1)), width: Width::W64 };
+        let z = Value {
+            kind: ValueKind::Const(ConstKind::Int(0)),
+            width: Width::W64,
+        };
+        let n = Value {
+            kind: ValueKind::Const(ConstKind::Null),
+            width: Width::W64,
+        };
+        let one = Value {
+            kind: ValueKind::Const(ConstKind::Int(1)),
+            width: Width::W64,
+        };
         assert!(z.is_zero_const());
         assert!(n.is_zero_const());
         assert!(!one.is_zero_const());

@@ -48,7 +48,10 @@ pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
 ///
 /// Returns the first [`VerifyError`] encountered.
 pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyError> {
-    let err = |message: String| VerifyError { func: func.id(), message };
+    let err = |message: String| VerifyError {
+        func: func.id(),
+        message,
+    };
     let check_value = |v: ValueId| -> Result<(), VerifyError> {
         if v.index() >= func.value_count() {
             return Err(err(format!("value {v} out of range")));
@@ -98,7 +101,9 @@ pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyErr
             }
             _ => {
                 if count != 0 {
-                    return Err(err(format!("non-inst value {v} is defined by an instruction")));
+                    return Err(err(format!(
+                        "non-inst value {v} is defined by an instruction"
+                    )));
                 }
             }
         }
@@ -109,7 +114,10 @@ pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyErr
     for block in func.blocks() {
         for &i in &block.insts {
             if i.index() >= func.inst_count() {
-                return Err(err(format!("block {} lists out-of-range inst {i}", block.id)));
+                return Err(err(format!(
+                    "block {} lists out-of-range inst {i}",
+                    block.id
+                )));
             }
             let inst = func.inst(i);
             if inst.block != block.id {
@@ -127,7 +135,10 @@ pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyErr
         }
         if let Terminator::Ret(Some(_)) = block.term {
             if func.ret_width().is_none() {
-                return Err(err(format!("block {} returns a value from a void function", block.id)));
+                return Err(err(format!(
+                    "block {} returns a value from a void function",
+                    block.id
+                )));
             }
         }
     }

@@ -49,7 +49,10 @@ impl std::error::Error for AsmError {}
 type Result<T> = std::result::Result<T, AsmError>;
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T> {
-    Err(AsmError { line, message: message.into() })
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
 }
 
 fn parse_reg(ln: usize, tok: &str) -> Result<Reg> {
@@ -57,7 +60,10 @@ fn parse_reg(ln: usize, tok: &str) -> Result<Reg> {
         .trim()
         .strip_prefix('r')
         .and_then(|s| s.parse().ok())
-        .ok_or(AsmError { line: ln, message: format!("bad register `{tok}`") })?;
+        .ok_or(AsmError {
+            line: ln,
+            message: format!("bad register `{tok}`"),
+        })?;
     if (n as usize) >= Reg::COUNT {
         return err(ln, format!("register out of range `{tok}`"));
     }
@@ -69,22 +75,29 @@ fn parse_reg(ln: usize, tok: &str) -> Result<Reg> {
 fn parse_extern(ln: usize, rest: &str) -> Result<ImageExtern> {
     if let Some(open) = rest.find('(') {
         let name = rest[..open].trim().to_string();
-        let close =
-            rest.rfind(')').ok_or(AsmError { line: ln, message: "expected `)`".into() })?;
+        let close = rest.rfind(')').ok_or(AsmError {
+            line: ln,
+            message: "expected `)`".into(),
+        })?;
         let nparams = rest[open + 1..close]
             .split(',')
             .filter(|p| !p.trim().is_empty())
             .count() as u8;
         let has_ret = rest[close..].contains("->") && !rest[close..].contains("void");
-        Ok(ImageExtern { name, nparams, has_ret })
+        Ok(ImageExtern {
+            name,
+            nparams,
+            has_ret,
+        })
     } else {
         let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
         if parts.len() < 2 {
             return err(ln, "extern expects `name, nparams[, ret]`");
         }
-        let nparams: u8 = parts[1]
-            .parse()
-            .map_err(|_| AsmError { line: ln, message: format!("bad nparams `{}`", parts[1]) })?;
+        let nparams: u8 = parts[1].parse().map_err(|_| AsmError {
+            line: ln,
+            message: format!("bad nparams `{}`", parts[1]),
+        })?;
         Ok(ImageExtern {
             name: parts[0].to_string(),
             nparams,
@@ -109,14 +122,23 @@ pub fn assemble(text: &str) -> Result<Image> {
             func_names.push(name);
         }
     }
-    let func_index: HashMap<&str, u32> =
-        func_names.iter().enumerate().map(|(i, n)| (n.as_str(), i as u32)).collect();
+    let func_index: HashMap<&str, u32> = func_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i as u32))
+        .collect();
 
-    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
-    let mut current: Option<(ImageFunction, HashMap<String, u32>, Vec<(usize, usize, String)>)> =
-        None; // (function, labels, fixups: (line, inst index, label))
+    // An open function body: labels seen so far plus branch fixups of
+    // `(line, inst index, label)` resolved at the closing brace.
+    type OpenFunction = (
+        ImageFunction,
+        HashMap<String, u32>,
+        Vec<(usize, usize, String)>,
+    );
+    let lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+    let mut current: Option<OpenFunction> = None;
 
-    while let Some((ln, line)) = lines.next() {
+    for (ln, line) in lines {
         let line = line.split(';').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
@@ -157,19 +179,30 @@ pub fn assemble(text: &str) -> Result<Image> {
             if parts.len() != 2 {
                 return err(ln, "global expects `name, size`");
             }
-            let size: u64 = parts[1]
-                .parse()
-                .map_err(|_| AsmError { line: ln, message: format!("bad size `{}`", parts[1]) })?;
-            image.globals.push(ImageGlobal { name: parts[0].to_string(), size });
+            let size: u64 = parts[1].parse().map_err(|_| AsmError {
+                line: ln,
+                message: format!("bad size `{}`", parts[1]),
+            })?;
+            image.globals.push(ImageGlobal {
+                name: parts[0].to_string(),
+                size,
+            });
         } else if let Some(rest) = line.strip_prefix("func ") {
             let rest = rest
                 .strip_suffix('{')
-                .ok_or(AsmError { line: ln, message: "expected `{`".into() })?
+                .ok_or(AsmError {
+                    line: ln,
+                    message: "expected `{`".into(),
+                })?
                 .trim();
-            let open =
-                rest.find('(').ok_or(AsmError { line: ln, message: "expected `(`".into() })?;
-            let close =
-                rest.rfind(')').ok_or(AsmError { line: ln, message: "expected `)`".into() })?;
+            let open = rest.find('(').ok_or(AsmError {
+                line: ln,
+                message: "expected `(`".into(),
+            })?;
+            let close = rest.rfind(')').ok_or(AsmError {
+                line: ln,
+                message: "expected `)`".into(),
+            })?;
             let name = rest[..open].trim().to_string();
             let nparams: u8 = rest[open + 1..close].trim().parse().map_err(|_| AsmError {
                 line: ln,
@@ -177,7 +210,12 @@ pub fn assemble(text: &str) -> Result<Image> {
             })?;
             let has_ret = rest[close..].contains("->") && !rest[close..].contains("void");
             current = Some((
-                ImageFunction { name, nparams, has_ret, code: Vec::new() },
+                ImageFunction {
+                    name,
+                    nparams,
+                    has_ret,
+                    code: Vec::new(),
+                },
                 HashMap::new(),
                 Vec::new(),
             ));
@@ -214,7 +252,10 @@ fn parse_inst(
             .iter()
             .position(|g| g.name == name)
             .map(|i| i as u32)
-            .ok_or(AsmError { line: ln, message: format!("unknown global `{name}`") })
+            .ok_or(AsmError {
+                line: ln,
+                message: format!("unknown global `{name}`"),
+            })
     };
     let extern_idx = |ln: usize, name: &str| -> Result<u32> {
         image
@@ -222,7 +263,10 @@ fn parse_inst(
             .iter()
             .position(|e| e.name == name)
             .map(|i| i as u32)
-            .ok_or(AsmError { line: ln, message: format!("unknown extern `{name}`") })
+            .ok_or(AsmError {
+                line: ln,
+                message: format!("unknown extern `{name}`"),
+            })
     };
 
     let (base, suffix) = match mn.split_once('.') {
@@ -233,33 +277,48 @@ fn parse_inst(
         if parts.len() == n {
             Ok(())
         } else {
-            err(ln, format!("`{mn}` expects {n} operands, got {}", parts.len()))
+            err(
+                ln,
+                format!("`{mn}` expects {n} operands, got {}", parts.len()),
+            )
         }
     };
     Ok(match base {
         "mov" => {
             need(2)?;
-            MachInst::Mov { rd: parse_reg(ln, parts[0])?, rs: parse_reg(ln, parts[1])? }
+            MachInst::Mov {
+                rd: parse_reg(ln, parts[0])?,
+                rs: parse_reg(ln, parts[1])?,
+            }
         }
         "movi" => {
             need(2)?;
-            let imm: i64 = parts[1]
-                .parse()
-                .map_err(|_| AsmError { line: ln, message: format!("bad imm `{}`", parts[1]) })?;
-            MachInst::MovImm { rd: parse_reg(ln, parts[0])?, imm }
+            let imm: i64 = parts[1].parse().map_err(|_| AsmError {
+                line: ln,
+                message: format!("bad imm `{}`", parts[1]),
+            })?;
+            MachInst::MovImm {
+                rd: parse_reg(ln, parts[0])?,
+                imm,
+            }
         }
         "movf" => {
             need(2)?;
-            let imm: f64 = parts[1]
-                .parse()
-                .map_err(|_| AsmError { line: ln, message: format!("bad float `{}`", parts[1]) })?;
-            MachInst::MovFloat { rd: parse_reg(ln, parts[0])?, imm }
+            let imm: f64 = parts[1].parse().map_err(|_| AsmError {
+                line: ln,
+                message: format!("bad float `{}`", parts[1]),
+            })?;
+            MachInst::MovFloat {
+                rd: parse_reg(ln, parts[0])?,
+                imm,
+            }
         }
         "cmp" => {
             need(3)?;
-            let pred = suffix
-                .and_then(CmpPred::from_mnemonic)
-                .ok_or(AsmError { line: ln, message: format!("bad predicate `{mn}`") })?;
+            let pred = suffix.and_then(CmpPred::from_mnemonic).ok_or(AsmError {
+                line: ln,
+                message: format!("bad predicate `{mn}`"),
+            })?;
             MachInst::Cmp {
                 pred,
                 rd: parse_reg(ln, parts[0])?,
@@ -271,26 +330,43 @@ fn parse_inst(
             need(2)?;
             let width = parse_mem_width(ln, suffix)?;
             let (rs, off) = parse_mem(ln, parts[1])?;
-            MachInst::Load { width, rd: parse_reg(ln, parts[0])?, rs, off }
+            MachInst::Load {
+                width,
+                rd: parse_reg(ln, parts[0])?,
+                rs,
+                off,
+            }
         }
         "st" => {
             need(2)?;
             let width = parse_mem_width(ln, suffix)?;
             let (rd, off) = parse_mem(ln, parts[0])?;
-            MachInst::Store { width, rd, off, rs: parse_reg(ln, parts[1])? }
+            MachInst::Store {
+                width,
+                rd,
+                off,
+                rs: parse_reg(ln, parts[1])?,
+            }
         }
         "salloc" => {
             need(2)?;
-            let size: u32 = parts[1]
-                .parse()
-                .map_err(|_| AsmError { line: ln, message: format!("bad size `{}`", parts[1]) })?;
-            MachInst::Salloc { rd: parse_reg(ln, parts[0])?, size }
+            let size: u32 = parts[1].parse().map_err(|_| AsmError {
+                line: ln,
+                message: format!("bad size `{}`", parts[1]),
+            })?;
+            MachInst::Salloc {
+                rd: parse_reg(ln, parts[0])?,
+                size,
+            }
         }
         "lea" => {
             need(2)?;
             let rd = parse_reg(ln, parts[0])?;
             match suffix {
-                Some("g") => MachInst::LeaGlobal { rd, index: global_idx(ln, parts[1])? },
+                Some("g") => MachInst::LeaGlobal {
+                    rd,
+                    index: global_idx(ln, parts[1])?,
+                },
                 Some("f") => {
                     let index = *func_index.get(parts[1]).ok_or(AsmError {
                         line: ln,
@@ -307,17 +383,19 @@ fn parse_inst(
                 line: ln,
                 message: format!("unknown function `{}`", parts[0]),
             })?;
-            let nargs: u8 = parts[1]
-                .parse()
-                .map_err(|_| AsmError { line: ln, message: "bad nargs".into() })?;
+            let nargs: u8 = parts[1].parse().map_err(|_| AsmError {
+                line: ln,
+                message: "bad nargs".into(),
+            })?;
             MachInst::Call { index, nargs }
         }
         "ecall" => {
             need(2)?;
             let index = extern_idx(ln, parts[0])?;
-            let nargs: u8 = parts[1]
-                .parse()
-                .map_err(|_| AsmError { line: ln, message: "bad nargs".into() })?;
+            let nargs: u8 = parts[1].parse().map_err(|_| AsmError {
+                line: ln,
+                message: "bad nargs".into(),
+            })?;
             MachInst::ECall { index, nargs }
         }
         "icall" => {
@@ -325,9 +403,10 @@ fn parse_inst(
                 return err(ln, "icall expects `rs, nargs[, ret]`");
             }
             let rs = parse_reg(ln, parts[0])?;
-            let nargs: u8 = parts[1]
-                .parse()
-                .map_err(|_| AsmError { line: ln, message: "bad nargs".into() })?;
+            let nargs: u8 = parts[1].parse().map_err(|_| AsmError {
+                line: ln,
+                message: "bad nargs".into(),
+            })?;
             let ret = parts.get(2) == Some(&"ret");
             MachInst::ICall { rs, nargs, ret }
         }
@@ -344,8 +423,10 @@ fn parse_inst(
         }
         "ret" => MachInst::Ret,
         other => {
-            let op = BinOp::from_mnemonic(other)
-                .ok_or(AsmError { line: ln, message: format!("unknown mnemonic `{other}`") })?;
+            let op = BinOp::from_mnemonic(other).ok_or(AsmError {
+                line: ln,
+                message: format!("unknown mnemonic `{other}`"),
+            })?;
             need(3)?;
             MachInst::Bin {
                 op,
@@ -358,11 +439,17 @@ fn parse_inst(
 }
 
 fn parse_mem_width(ln: usize, suffix: Option<&str>) -> Result<Width> {
-    let s = suffix.ok_or(AsmError { line: ln, message: "memory access needs `.w<bits>`".into() })?;
+    let s = suffix.ok_or(AsmError {
+        line: ln,
+        message: "memory access needs `.w<bits>`".into(),
+    })?;
     s.strip_prefix('w')
         .and_then(|b| b.parse::<u32>().ok())
         .and_then(Width::from_bits)
-        .ok_or(AsmError { line: ln, message: format!("bad width `{s}`") })
+        .ok_or(AsmError {
+            line: ln,
+            message: format!("bad width `{s}`"),
+        })
 }
 
 /// `[rN+off]`
@@ -370,13 +457,16 @@ fn parse_mem(ln: usize, tok: &str) -> Result<(Reg, u32)> {
     let inner = tok
         .strip_prefix('[')
         .and_then(|s| s.strip_suffix(']'))
-        .ok_or(AsmError { line: ln, message: format!("bad memory operand `{tok}`") })?;
+        .ok_or(AsmError {
+            line: ln,
+            message: format!("bad memory operand `{tok}`"),
+        })?;
     match inner.split_once('+') {
         Some((r, o)) => {
-            let off: u32 = o
-                .trim()
-                .parse()
-                .map_err(|_| AsmError { line: ln, message: format!("bad offset `{o}`") })?;
+            let off: u32 = o.trim().parse().map_err(|_| AsmError {
+                line: ln,
+                message: format!("bad offset `{o}`"),
+            })?;
             Ok((parse_reg(ln, r)?, off))
         }
         None => Ok((parse_reg(ln, inner)?, 0)),
@@ -429,8 +519,11 @@ pub fn disassemble(image: &Image) -> String {
                     );
                 }
                 MachInst::LeaGlobal { rd, index } => {
-                    let _ =
-                        writeln!(out, "    lea.g {rd}, {}", image.globals[*index as usize].name);
+                    let _ = writeln!(
+                        out,
+                        "    lea.g {rd}, {}",
+                        image.globals[*index as usize].name
+                    );
                 }
                 MachInst::LeaFunc { rd, index } => {
                     let _ = writeln!(
@@ -503,7 +596,10 @@ skip:
                 _ => None,
             })
             .unwrap();
-        assert!(matches!(main.code[brz_target as usize], MachInst::LeaFunc { .. }));
+        assert!(matches!(
+            main.code[brz_target as usize],
+            MachInst::LeaFunc { .. }
+        ));
     }
 
     #[test]
@@ -532,13 +628,16 @@ skip:
     fn forward_function_references_resolve() {
         let text = "module m\nfunc a(0) -> void {\n    call b, 0\n    ret\n}\nfunc b(0) -> void {\n    ret\n}\n";
         let img = assemble(text).unwrap();
-        assert!(matches!(img.functions[0].code[0], MachInst::Call { index: 1, nargs: 0 }));
+        assert!(matches!(
+            img.functions[0].code[0],
+            MachInst::Call { index: 1, nargs: 0 }
+        ));
     }
 
     #[test]
-    fn comments_and_blank_lines_ignored()
-    {
-        let text = "module m ; trailing\n; full comment\n\nfunc f(0) -> void {\n    ret ; done\n}\n";
+    fn comments_and_blank_lines_ignored() {
+        let text =
+            "module m ; trailing\n; full comment\n\nfunc f(0) -> void {\n    ret ; done\n}\n";
         let img = assemble(text).unwrap();
         assert_eq!(img.functions[0].code, vec![MachInst::Ret]);
     }

@@ -9,7 +9,6 @@
 //! the lifter and analyses never consume types from the image because the
 //! format has none.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
 use manta_ir::{BinOp, CmpPred, Width};
@@ -88,12 +87,14 @@ impl fmt::Display for ImageError {
 impl std::error::Error for ImageError {}
 
 fn err<T>(message: impl Into<String>) -> Result<T, ImageError> {
-    Err(ImageError { message: message.into() })
+    Err(ImageError {
+        message: message.into(),
+    })
 }
 
 /// Serializes `image` to bytes.
-pub fn encode(image: &Image) -> Bytes {
-    let mut buf = BytesMut::new();
+pub fn encode(image: &Image) -> Vec<u8> {
+    let mut buf = Vec::new();
     buf.put_slice(MAGIC);
     put_str(&mut buf, &image.name);
     buf.put_u32_le(image.externs.len() as u32);
@@ -117,7 +118,43 @@ pub fn encode(image: &Image) -> Bytes {
             encode_inst(&mut buf, inst);
         }
     }
-    buf.freeze()
+    buf
+}
+
+/// The little subset of `bytes::BufMut` the encoder needs, implemented on
+/// `Vec<u8>` so the format needs no external crate.
+trait PutLe {
+    fn put_slice(&mut self, s: &[u8]);
+    fn put_u8(&mut self, v: u8);
+    fn put_u16_le(&mut self, v: u16);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_i64_le(&mut self, v: i64);
+    fn put_f64_le(&mut self, v: f64);
+}
+
+impl PutLe for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_i64_le(&mut self, v: i64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
 }
 
 /// Deserializes an image from bytes.
@@ -126,18 +163,25 @@ pub fn encode(image: &Image) -> Bytes {
 ///
 /// Returns [`ImageError`] for truncated or malformed input.
 pub fn decode(mut bytes: &[u8]) -> Result<Image, ImageError> {
-    if bytes.remaining() < 4 || &bytes[..4] != MAGIC {
+    if bytes.len() < 4 || &bytes[..4] != MAGIC {
         return err("bad magic");
     }
-    bytes.advance(4);
+    bytes = &bytes[4..];
     let name = get_str(&mut bytes)?;
-    let mut image = Image { name, ..Default::default() };
+    let mut image = Image {
+        name,
+        ..Default::default()
+    };
     let n_ext = get_u32(&mut bytes)? as usize;
     for _ in 0..n_ext {
         let name = get_str(&mut bytes)?;
         let nparams = get_u8(&mut bytes)?;
         let has_ret = get_u8(&mut bytes)? != 0;
-        image.externs.push(ImageExtern { name, nparams, has_ret });
+        image.externs.push(ImageExtern {
+            name,
+            nparams,
+            has_ret,
+        });
     }
     let n_glob = get_u32(&mut bytes)? as usize;
     for _ in 0..n_glob {
@@ -155,42 +199,49 @@ pub fn decode(mut bytes: &[u8]) -> Result<Image, ImageError> {
         for _ in 0..n_code {
             code.push(decode_inst(&mut bytes)?);
         }
-        image.functions.push(ImageFunction { name, nparams, has_ret, code });
+        image.functions.push(ImageFunction {
+            name,
+            nparams,
+            has_ret,
+            code,
+        });
     }
     Ok(image)
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.put_u16_le(s.len() as u16);
     buf.put_slice(s.as_bytes());
 }
 
 fn get_str(bytes: &mut &[u8]) -> Result<String, ImageError> {
     let len = get_u16(bytes)? as usize;
-    if bytes.remaining() < len {
+    if bytes.len() < len {
         return err("truncated string");
     }
     let s = String::from_utf8(bytes[..len].to_vec()).map_err(|_| ImageError {
         message: "non-utf8 string".into(),
     })?;
-    bytes.advance(len);
+    *bytes = &bytes[len..];
     Ok(s)
 }
 
 macro_rules! getter {
-    ($name:ident, $ty:ty, $get:ident, $size:expr) => {
+    ($name:ident, $ty:ty, $size:expr) => {
         fn $name(bytes: &mut &[u8]) -> Result<$ty, ImageError> {
-            if bytes.remaining() < $size {
+            let Some((head, rest)) = bytes.split_first_chunk::<$size>() else {
                 return err("truncated input");
-            }
-            Ok(bytes.$get())
+            };
+            let v = <$ty>::from_le_bytes(*head);
+            *bytes = rest;
+            Ok(v)
         }
     };
 }
-getter!(get_u8, u8, get_u8, 1);
-getter!(get_u16, u16, get_u16_le, 2);
-getter!(get_u32, u32, get_u32_le, 4);
-getter!(get_u64, u64, get_u64_le, 8);
+getter!(get_u8, u8, 1);
+getter!(get_u16, u16, 2);
+getter!(get_u32, u32, 4);
+getter!(get_u64, u64, 8);
 
 fn width_code(w: Width) -> u8 {
     match w {
@@ -267,7 +318,7 @@ fn pred_from(code: u8) -> Result<CmpPred, ImageError> {
     })
 }
 
-fn encode_inst(buf: &mut BytesMut, inst: &MachInst) {
+fn encode_inst(buf: &mut Vec<u8>, inst: &MachInst) {
     match inst {
         MachInst::Mov { rd, rs } => {
             buf.put_u8(0);
@@ -359,7 +410,10 @@ fn encode_inst(buf: &mut BytesMut, inst: &MachInst) {
 fn decode_inst(bytes: &mut &[u8]) -> Result<MachInst, ImageError> {
     let opcode = get_u8(bytes)?;
     Ok(match opcode {
-        0 => MachInst::Mov { rd: reg(get_u8(bytes)?)?, rs: reg(get_u8(bytes)?)? },
+        0 => MachInst::Mov {
+            rd: reg(get_u8(bytes)?)?,
+            rs: reg(get_u8(bytes)?)?,
+        },
         1 => MachInst::MovImm {
             rd: reg(get_u8(bytes)?)?,
             imm: get_u64(bytes)? as i64,
@@ -392,18 +446,38 @@ fn decode_inst(bytes: &mut &[u8]) -> Result<MachInst, ImageError> {
             off: get_u32(bytes)?,
             rs: reg(get_u8(bytes)?)?,
         },
-        7 => MachInst::Salloc { rd: reg(get_u8(bytes)?)?, size: get_u32(bytes)? },
-        8 => MachInst::LeaGlobal { rd: reg(get_u8(bytes)?)?, index: get_u32(bytes)? },
-        9 => MachInst::LeaFunc { rd: reg(get_u8(bytes)?)?, index: get_u32(bytes)? },
-        10 => MachInst::Call { index: get_u32(bytes)?, nargs: get_u8(bytes)? },
-        11 => MachInst::ECall { index: get_u32(bytes)?, nargs: get_u8(bytes)? },
+        7 => MachInst::Salloc {
+            rd: reg(get_u8(bytes)?)?,
+            size: get_u32(bytes)?,
+        },
+        8 => MachInst::LeaGlobal {
+            rd: reg(get_u8(bytes)?)?,
+            index: get_u32(bytes)?,
+        },
+        9 => MachInst::LeaFunc {
+            rd: reg(get_u8(bytes)?)?,
+            index: get_u32(bytes)?,
+        },
+        10 => MachInst::Call {
+            index: get_u32(bytes)?,
+            nargs: get_u8(bytes)?,
+        },
+        11 => MachInst::ECall {
+            index: get_u32(bytes)?,
+            nargs: get_u8(bytes)?,
+        },
         12 => MachInst::ICall {
             rs: reg(get_u8(bytes)?)?,
             nargs: get_u8(bytes)?,
             ret: get_u8(bytes)? != 0,
         },
-        13 => MachInst::Jmp { target: get_u32(bytes)? },
-        14 => MachInst::Brz { rs: reg(get_u8(bytes)?)?, target: get_u32(bytes)? },
+        13 => MachInst::Jmp {
+            target: get_u32(bytes)?,
+        },
+        14 => MachInst::Brz {
+            rs: reg(get_u8(bytes)?)?,
+            target: get_u32(bytes)?,
+        },
         15 => MachInst::Ret,
         other => return err(format!("bad opcode {other}")),
     })
@@ -424,19 +498,50 @@ mod tests {
     fn sample() -> Image {
         Image {
             name: "sample".into(),
-            externs: vec![ImageExtern { name: "malloc".into(), nparams: 1, has_ret: true }],
-            globals: vec![ImageGlobal { name: "tbl".into(), size: 64 }],
+            externs: vec![ImageExtern {
+                name: "malloc".into(),
+                nparams: 1,
+                has_ret: true,
+            }],
+            globals: vec![ImageGlobal {
+                name: "tbl".into(),
+                size: 64,
+            }],
             functions: vec![ImageFunction {
                 name: "f".into(),
                 nparams: 1,
                 has_ret: true,
                 code: vec![
-                    MachInst::MovImm { rd: Reg(2), imm: -5 },
-                    MachInst::Bin { op: BinOp::Add, rd: Reg(0), rs: Reg(1), rt: Reg(2) },
-                    MachInst::MovFloat { rd: Reg(3), imm: 1.5 },
-                    MachInst::Load { width: Width::W32, rd: Reg(4), rs: Reg(0), off: 12 },
-                    MachInst::Store { width: Width::W64, rd: Reg(0), off: 4, rs: Reg(4) },
-                    MachInst::Brz { rs: Reg(4), target: 7 },
+                    MachInst::MovImm {
+                        rd: Reg(2),
+                        imm: -5,
+                    },
+                    MachInst::Bin {
+                        op: BinOp::Add,
+                        rd: Reg(0),
+                        rs: Reg(1),
+                        rt: Reg(2),
+                    },
+                    MachInst::MovFloat {
+                        rd: Reg(3),
+                        imm: 1.5,
+                    },
+                    MachInst::Load {
+                        width: Width::W32,
+                        rd: Reg(4),
+                        rs: Reg(0),
+                        off: 12,
+                    },
+                    MachInst::Store {
+                        width: Width::W64,
+                        rd: Reg(0),
+                        off: 4,
+                        rs: Reg(4),
+                    },
+                    MachInst::Brz {
+                        rs: Reg(4),
+                        target: 7,
+                    },
                     MachInst::Call { index: 0, nargs: 1 },
                     MachInst::Ret,
                 ],
@@ -462,13 +567,16 @@ mod tests {
     fn rejects_truncation_everywhere() {
         let bytes = encode(&sample());
         for cut in 0..bytes.len() {
-            assert!(decode(&bytes[..cut]).is_err(), "prefix of {cut} bytes must fail");
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must fail"
+            );
         }
     }
 
     #[test]
     fn rejects_bad_register() {
-        let mut bytes = BytesMut::new();
+        let mut bytes = Vec::new();
         bytes.put_slice(MAGIC);
         put_str(&mut bytes, "m");
         bytes.put_u32_le(0); // externs

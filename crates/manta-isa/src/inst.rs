@@ -170,7 +170,10 @@ pub enum MachInst {
 impl MachInst {
     /// Whether this instruction ends a basic block.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, MachInst::Jmp { .. } | MachInst::Brz { .. } | MachInst::Ret)
+        matches!(
+            self,
+            MachInst::Jmp { .. } | MachInst::Brz { .. } | MachInst::Ret
+        )
     }
 
     /// Branch targets referenced by this instruction.
@@ -224,9 +227,24 @@ mod tests {
     fn terminators_and_targets() {
         assert!(MachInst::Ret.is_terminator());
         assert!(MachInst::Jmp { target: 3 }.is_terminator());
-        assert!(MachInst::Brz { rs: Reg(2), target: 9 }.is_terminator());
-        assert!(!MachInst::Mov { rd: Reg(0), rs: Reg(1) }.is_terminator());
-        assert_eq!(MachInst::Brz { rs: Reg(2), target: 9 }.targets(), vec![9]);
+        assert!(MachInst::Brz {
+            rs: Reg(2),
+            target: 9
+        }
+        .is_terminator());
+        assert!(!MachInst::Mov {
+            rd: Reg(0),
+            rs: Reg(1)
+        }
+        .is_terminator());
+        assert_eq!(
+            MachInst::Brz {
+                rs: Reg(2),
+                target: 9
+            }
+            .targets(),
+            vec![9]
+        );
         assert!(MachInst::Ret.targets().is_empty());
     }
 
@@ -246,11 +264,23 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(
-            MachInst::Load { width: Width::W32, rd: Reg(3), rs: Reg(4), off: 8 }.to_string(),
+            MachInst::Load {
+                width: Width::W32,
+                rd: Reg(3),
+                rs: Reg(4),
+                off: 8
+            }
+            .to_string(),
             "ld.w32 r3, [r4+8]"
         );
         assert_eq!(
-            MachInst::Bin { op: BinOp::Add, rd: Reg(1), rs: Reg(2), rt: Reg(3) }.to_string(),
+            MachInst::Bin {
+                op: BinOp::Add,
+                rd: Reg(1),
+                rs: Reg(2),
+                rt: Reg(3)
+            }
+            .to_string(),
             "add r1, r2, r3"
         );
     }

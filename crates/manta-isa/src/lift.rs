@@ -44,7 +44,9 @@ impl From<ImageError> for LiftError {
 }
 
 fn err<T>(message: impl Into<String>) -> Result<T, LiftError> {
-    Err(LiftError { message: message.into() })
+    Err(LiftError {
+        message: message.into(),
+    })
 }
 
 /// Lifts a decoded image to an IR module.
@@ -165,7 +167,10 @@ impl<'a> Lifter<'a> {
         for (i, inst) in code.iter().enumerate() {
             for t in inst.targets() {
                 if t as usize >= n {
-                    return err(format!("branch target {t} out of range in {}", self.src.name));
+                    return err(format!(
+                        "branch target {t} out of range in {}",
+                        self.src.name
+                    ));
                 }
                 is_leader[t as usize] = true;
             }
@@ -177,8 +182,8 @@ impl<'a> Lifter<'a> {
         self.block_of = vec![BlockId(0); n];
         let mut current = self.func.entry();
         self.leader_of.insert(current, 0);
-        for i in 0..n {
-            if is_leader[i] && i != 0 {
+        for (i, &leader) in is_leader.iter().enumerate() {
+            if leader && i != 0 {
                 current = self.func.add_block();
                 self.leader_of.insert(current, i);
             }
@@ -217,8 +222,9 @@ impl<'a> Lifter<'a> {
         // every block's end state is sealed (two-phase Braun-style SSA —
         // needed because loop back edges flow from not-yet-translated
         // blocks).
-        let blocks: Vec<BlockId> =
-            (0..self.func.block_count()).map(|i| BlockId(i as u32)).collect();
+        let blocks: Vec<BlockId> = (0..self.func.block_count())
+            .map(|i| BlockId(i as u32))
+            .collect();
         for &b in &blocks {
             self.cur.clear();
             if b == self.func.entry() {
@@ -237,7 +243,8 @@ impl<'a> Lifter<'a> {
             if !terminated {
                 // Fallthrough into the next block.
                 if i < n {
-                    self.func.replace_terminator(b, Terminator::Br(self.block_of[i]));
+                    self.func
+                        .replace_terminator(b, Terminator::Br(self.block_of[i]));
                 } else {
                     self.func.replace_terminator(b, Terminator::Unreachable);
                 }
@@ -251,7 +258,13 @@ impl<'a> Lifter<'a> {
             if preds.is_empty() {
                 // Unreachable or entry: the register was never defined.
                 let undef = self.undef_value();
-                let inst = self.func.prepend_inst(b, InstKind::Copy { dst: phi_val, src: undef });
+                let inst = self.func.prepend_inst(
+                    b,
+                    InstKind::Copy {
+                        dst: phi_val,
+                        src: undef,
+                    },
+                );
                 self.func.fix_value_def(phi_val, inst);
                 continue;
             }
@@ -260,7 +273,13 @@ impl<'a> Lifter<'a> {
                 let v = self.end_value(p, r);
                 incomings.push((p, v));
             }
-            let inst = self.func.prepend_inst(b, InstKind::Phi { dst: phi_val, incomings });
+            let inst = self.func.prepend_inst(
+                b,
+                InstKind::Phi {
+                    dst: phi_val,
+                    incomings,
+                },
+            );
             self.func.fix_value_def(phi_val, inst);
         }
         Ok(self.func)
@@ -281,11 +300,13 @@ impl<'a> Lifter<'a> {
         if let Some(&v) = self.start_defs.get(&(b, r)) {
             return v;
         }
-        let v = if self.preds.get(&b).map_or(true, Vec::is_empty) {
+        let v = if self.preds.get(&b).is_none_or(Vec::is_empty) {
             self.undef_value()
         } else {
             let phi_val = self.func.add_value(Value {
-                kind: ValueKind::Inst { def: manta_ir::InstId(0) }, // fixed at resolution
+                kind: ValueKind::Inst {
+                    def: manta_ir::InstId(0),
+                }, // fixed at resolution
                 width: Width::W64,
             });
             self.pending.push((b, r, phi_val));
@@ -299,9 +320,10 @@ impl<'a> Lifter<'a> {
         if let Some(v) = self.undef {
             return v;
         }
-        let v = self
-            .func
-            .add_value(Value { kind: ValueKind::Const(ConstKind::Undef), width: Width::W64 });
+        let v = self.func.add_value(Value {
+            kind: ValueKind::Const(ConstKind::Undef),
+            width: Width::W64,
+        });
         self.undef = Some(v);
         v
     }
@@ -321,15 +343,18 @@ impl<'a> Lifter<'a> {
     }
 
     fn const_int(&mut self, v: i64, width: Width) -> ValueId {
-        self.func
-            .add_value(Value { kind: ValueKind::Const(ConstKind::Int(v)), width })
+        self.func.add_value(Value {
+            kind: ValueKind::Const(ConstKind::Int(v)),
+            width,
+        })
     }
 
     fn def_value(&mut self, width: Width) -> (ValueId, manta_ir::InstId) {
         let next = manta_ir::InstId::from_index(self.func.inst_count());
-        let v = self
-            .func
-            .add_value(Value { kind: ValueKind::Inst { def: next }, width });
+        let v = self.func.add_value(Value {
+            kind: ValueKind::Inst { def: next },
+            width,
+        });
         (v, next)
     }
 
@@ -378,7 +403,12 @@ impl<'a> Lifter<'a> {
             MachInst::Cmp { pred, rd, rs, rt } => {
                 let lhs = self.read(b, rs);
                 let rhs = self.read(b, rt);
-                let v = self.emit(b, Width::W1, |dst| InstKind::Cmp { dst, pred, lhs, rhs });
+                let v = self.emit(b, Width::W1, |dst| InstKind::Cmp {
+                    dst,
+                    pred,
+                    lhs,
+                    rhs,
+                });
                 self.write(b, rd, v);
             }
             MachInst::Load { width, rd, rs, off } => {
@@ -441,8 +471,9 @@ impl<'a> Lifter<'a> {
                         target.name, target.nparams
                     ));
                 }
-                let args: Vec<ValueId> =
-                    (0..nargs as usize).map(|i| self.read(b, Reg::arg(i))).collect();
+                let args: Vec<ValueId> = (0..nargs as usize)
+                    .map(|i| self.read(b, Reg::arg(i)))
+                    .collect();
                 if target.has_ret {
                     let v = self.emit(b, Width::W64, |dst| InstKind::Call {
                         dst: Some(dst),
@@ -453,7 +484,11 @@ impl<'a> Lifter<'a> {
                 } else {
                     self.func.append_inst(
                         b,
-                        InstKind::Call { dst: None, callee: Callee::Direct(FuncId(index)), args },
+                        InstKind::Call {
+                            dst: None,
+                            callee: Callee::Direct(FuncId(index)),
+                            args,
+                        },
                     );
                 }
             }
@@ -462,8 +497,9 @@ impl<'a> Lifter<'a> {
                     return err(format!("ecall index {index} out of range"));
                 }
                 let decl = self.module.extern_decl(manta_ir::ExternId(index));
-                let args: Vec<ValueId> =
-                    (0..nargs as usize).map(|i| self.read(b, Reg::arg(i))).collect();
+                let args: Vec<ValueId> = (0..nargs as usize)
+                    .map(|i| self.read(b, Reg::arg(i)))
+                    .collect();
                 if let Some(w) = decl.ret_width {
                     let v = self.emit(b, w, |dst| InstKind::Call {
                         dst: Some(dst),
@@ -484,8 +520,9 @@ impl<'a> Lifter<'a> {
             }
             MachInst::ICall { rs, nargs, ret } => {
                 let fp = self.read(b, rs);
-                let args: Vec<ValueId> =
-                    (0..nargs as usize).map(|i| self.read(b, Reg::arg(i))).collect();
+                let args: Vec<ValueId> = (0..nargs as usize)
+                    .map(|i| self.read(b, Reg::arg(i)))
+                    .collect();
                 if ret {
                     let v = self.emit(b, Width::W64, |dst| InstKind::Call {
                         dst: Some(dst),
@@ -496,7 +533,11 @@ impl<'a> Lifter<'a> {
                 } else {
                     self.func.append_inst(
                         b,
-                        InstKind::Call { dst: None, callee: Callee::Indirect(fp), args },
+                        InstKind::Call {
+                            dst: None,
+                            callee: Callee::Indirect(fp),
+                            args,
+                        },
                     );
                 }
             }
@@ -528,8 +569,14 @@ impl<'a> Lifter<'a> {
                     // exist; both arms go to the target.
                     else_bb
                 };
-                self.func
-                    .replace_terminator(b, Terminator::CondBr { cond, then_bb, else_bb });
+                self.func.replace_terminator(
+                    b,
+                    Terminator::CondBr {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    },
+                );
                 *terminated = true;
             }
             MachInst::Ret => {
@@ -632,8 +679,12 @@ mod tests {
             .count();
         assert_eq!(geps, 2);
         // The load destination carries the access width.
-        assert!(f.insts().any(
-            |i| matches!(i.kind, InstKind::Load { width: Width::W32, .. })
-        ));
+        assert!(f.insts().any(|i| matches!(
+            i.kind,
+            InstKind::Load {
+                width: Width::W32,
+                ..
+            }
+        )));
     }
 }

@@ -1,100 +1,151 @@
 //! Property tests: arbitrary instruction streams survive the SBF
 //! encode/decode roundtrip, and structurally valid programs always lift to
 //! verifier-clean IR.
-
-use proptest::prelude::*;
+//!
+//! `proptest` is unavailable offline, so these run the same properties
+//! over a deterministic seeded stream: every case is reproducible from its
+//! printed seed.
 
 use manta_ir::{BinOp, CmpPred, Width};
 use manta_isa::{decode, encode, Image, ImageExtern, ImageFunction, ImageGlobal, MachInst, Reg};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..16).prop_map(Reg)
+/// SplitMix64: tiny, deterministic, and statistically fine for test-case
+/// generation.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn reg(&mut self) -> Reg {
+        Reg(self.below(16) as u8)
+    }
+
+    fn width(&mut self) -> Width {
+        [Width::W8, Width::W16, Width::W32, Width::W64][self.below(4) as usize]
+    }
+
+    fn binop(&mut self) -> BinOp {
+        [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::And,
+            BinOp::Xor,
+            BinOp::Shl,
+        ][self.below(7) as usize]
+    }
+
+    fn pred(&mut self) -> CmpPred {
+        [CmpPred::Eq, CmpPred::Ne, CmpPred::Lt, CmpPred::Ge][self.below(4) as usize]
+    }
+
+    /// Any instruction, with targets/indexes bounded so programs can be
+    /// made structurally valid.
+    fn inst(&mut self, code_len: u32) -> MachInst {
+        match self.below(11) {
+            0 => MachInst::Mov {
+                rd: self.reg(),
+                rs: self.reg(),
+            },
+            1 => MachInst::MovImm {
+                rd: self.reg(),
+                imm: self.next() as i64,
+            },
+            2 => MachInst::MovFloat {
+                rd: self.reg(),
+                imm: (self.below(2_000_000_000) as f64) - 1e9,
+            },
+            3 => MachInst::Bin {
+                op: self.binop(),
+                rd: self.reg(),
+                rs: self.reg(),
+                rt: self.reg(),
+            },
+            4 => MachInst::Cmp {
+                pred: self.pred(),
+                rd: self.reg(),
+                rs: self.reg(),
+                rt: self.reg(),
+            },
+            5 => MachInst::Load {
+                width: self.width(),
+                rd: self.reg(),
+                rs: self.reg(),
+                off: self.below(64) as u32,
+            },
+            6 => MachInst::Store {
+                width: self.width(),
+                rd: self.reg(),
+                off: self.below(64) as u32,
+                rs: self.reg(),
+            },
+            7 => MachInst::Salloc {
+                rd: self.reg(),
+                size: 1 + self.below(127) as u32,
+            },
+            8 => MachInst::Brz {
+                rs: self.reg(),
+                target: self.below(code_len as u64) as u32,
+            },
+            9 => MachInst::Jmp {
+                target: self.below(code_len as u64) as u32,
+            },
+            _ => MachInst::Ret,
+        }
+    }
 }
 
-fn arb_width() -> impl Strategy<Value = Width> {
-    prop_oneof![
-        Just(Width::W8),
-        Just(Width::W16),
-        Just(Width::W32),
-        Just(Width::W64),
-    ]
-}
-
-fn arb_binop() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::Div),
-        Just(BinOp::And),
-        Just(BinOp::Xor),
-        Just(BinOp::Shl),
-    ]
-}
-
-fn arb_pred() -> impl Strategy<Value = CmpPred> {
-    prop_oneof![
-        Just(CmpPred::Eq),
-        Just(CmpPred::Ne),
-        Just(CmpPred::Lt),
-        Just(CmpPred::Ge),
-    ]
-}
-
-/// Any instruction, with targets/indexes bounded so programs can be made
-/// structurally valid.
-fn arb_inst(code_len: u32) -> impl Strategy<Value = MachInst> {
-    prop_oneof![
-        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| MachInst::Mov { rd, rs }),
-        (arb_reg(), any::<i64>()).prop_map(|(rd, imm)| MachInst::MovImm { rd, imm }),
-        (arb_reg(), -1e9f64..1e9).prop_map(|(rd, imm)| MachInst::MovFloat { rd, imm }),
-        (arb_binop(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs, rt)| MachInst::Bin { op, rd, rs, rt }),
-        (arb_pred(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(pred, rd, rs, rt)| MachInst::Cmp { pred, rd, rs, rt }),
-        (arb_width(), arb_reg(), arb_reg(), 0u32..64)
-            .prop_map(|(width, rd, rs, off)| MachInst::Load { width, rd, rs, off }),
-        (arb_width(), arb_reg(), 0u32..64, arb_reg())
-            .prop_map(|(width, rd, off, rs)| MachInst::Store { width, rd, off, rs }),
-        (arb_reg(), 1u32..128).prop_map(|(rd, size)| MachInst::Salloc { rd, size }),
-        (arb_reg(), 0..code_len).prop_map(|(rs, target)| MachInst::Brz { rs, target }),
-        (0..code_len).prop_map(|target| MachInst::Jmp { target }),
-        Just(MachInst::Ret),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Encode → decode is the identity on arbitrary images.
-    #[test]
-    fn sbf_roundtrip_arbitrary_images(
-        insts in prop::collection::vec(arb_inst(8), 1..24),
-        nparams in 0u8..6,
-        has_ret in any::<bool>(),
-        gsize in 1u64..512,
-    ) {
-        let mut code = insts;
+/// Encode → decode is the identity on arbitrary images.
+#[test]
+fn sbf_roundtrip_arbitrary_images() {
+    for seed in 0..128u64 {
+        let mut g = Gen(seed);
+        let n = 1 + g.below(23) as usize;
+        let mut code: Vec<MachInst> = (0..n).map(|_| g.inst(8)).collect();
         code.push(MachInst::Ret); // ensure at least one terminator
         let image = Image {
             name: "prop".into(),
-            externs: vec![ImageExtern { name: "malloc".into(), nparams: 1, has_ret: true }],
-            globals: vec![ImageGlobal { name: "g".into(), size: gsize }],
-            functions: vec![ImageFunction { name: "f".into(), nparams, has_ret, code }],
+            externs: vec![ImageExtern {
+                name: "malloc".into(),
+                nparams: 1,
+                has_ret: true,
+            }],
+            globals: vec![ImageGlobal {
+                name: "g".into(),
+                size: 1 + g.below(511),
+            }],
+            functions: vec![ImageFunction {
+                name: "f".into(),
+                nparams: g.below(6) as u8,
+                has_ret: g.below(2) == 1,
+                code,
+            }],
         };
         let bytes = encode(&image);
         let back = decode(&bytes).expect("well-formed image decodes");
-        prop_assert_eq!(image, back);
+        assert_eq!(image, back, "seed {seed}");
     }
+}
 
-    /// Valid branch targets always lift to verifier-clean SSA, loops and
-    /// all (the lifter is total on structurally valid code).
-    #[test]
-    fn valid_programs_always_lift(
-        body in prop::collection::vec(arb_inst(6), 4..12),
-        nparams in 0u8..4,
-    ) {
-        let mut code = body;
+/// Valid branch targets always lift to verifier-clean SSA, loops and all
+/// (the lifter is total on structurally valid code).
+#[test]
+fn valid_programs_always_lift() {
+    for seed in 0..128u64 {
+        let mut g = Gen(seed ^ 0xbeef);
+        let n = 4 + g.below(8) as usize;
+        let mut code: Vec<MachInst> = (0..n).map(|_| g.inst(6)).collect();
         code.push(MachInst::Ret);
         let len = code.len() as u32;
         // Clamp targets into range.
@@ -109,10 +160,19 @@ proptest! {
         let image = Image {
             name: "prop".into(),
             externs: vec![],
-            globals: vec![ImageGlobal { name: "g".into(), size: 8 }],
-            functions: vec![ImageFunction { name: "f".into(), nparams, has_ret: true, code }],
+            globals: vec![ImageGlobal {
+                name: "g".into(),
+                size: 8,
+            }],
+            functions: vec![ImageFunction {
+                name: "f".into(),
+                nparams: g.below(4) as u8,
+                has_ret: true,
+                code,
+            }],
         };
         let module = manta_isa::lift::lift(&image).expect("valid code lifts");
-        manta_ir::verify::verify_module(&module).expect("lifted module verifies");
+        manta_ir::verify::verify_module(&module)
+            .unwrap_or_else(|e| panic!("seed {seed}: lifted module fails verify: {e:?}"));
     }
 }

@@ -1,0 +1,83 @@
+//! Pluggable report destinations.
+
+use std::io;
+
+use crate::report::Report;
+
+/// Where a finished [`Report`] goes. The pipeline is instrumented
+/// unconditionally; choosing [`NullSink`] (and leaving collection
+/// disabled) makes the whole layer free.
+pub trait TelemetrySink {
+    /// Emits one report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures of the underlying destination.
+    fn emit(&mut self, report: &Report) -> io::Result<()>;
+}
+
+/// Discards reports. With collection disabled this is the zero-overhead
+/// configuration (verified by `manta-bench`'s `telemetry` bench).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn emit(&mut self, _report: &Report) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Renders the human-readable span tree + counters to a writer.
+#[derive(Debug)]
+pub struct TextSink<W: io::Write>(pub W);
+
+impl<W: io::Write> TelemetrySink for TextSink<W> {
+    fn emit(&mut self, report: &Report) -> io::Result<()> {
+        self.0.write_all(report.render_text().as_bytes())
+    }
+}
+
+/// Writes the JSON form (one document per emit) to a writer.
+#[derive(Debug)]
+pub struct JsonSink<W: io::Write>(pub W);
+
+impl<W: io::Write> TelemetrySink for JsonSink<W> {
+    fn emit(&mut self, report: &Report) -> io::Result<()> {
+        self.0.write_all(report.to_json().as_bytes())?;
+        self.0.write_all(b"\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sinks_write_where_told() {
+        let report = Report {
+            spans: vec![crate::SpanReport {
+                name: "stage".into(),
+                count: 2,
+                total_ns: 1_500_000,
+                children: vec![],
+            }],
+            counters: [("k".to_string(), 7u64)].into_iter().collect(),
+            histograms: Default::default(),
+        };
+        let mut text = Vec::new();
+        TextSink(&mut text).emit(&report).unwrap();
+        let text = String::from_utf8(text).unwrap();
+        assert!(text.contains("stage"), "{text}");
+        assert!(text.contains("×2"), "{text}");
+
+        let mut json = Vec::new();
+        JsonSink(&mut json).emit(&report).unwrap();
+        let v = crate::json::parse(std::str::from_utf8(&json).unwrap().trim()).unwrap();
+        assert_eq!(
+            v.get("counters").unwrap().get("k").unwrap().as_f64(),
+            Some(7.0)
+        );
+
+        NullSink.emit(&report).unwrap();
+    }
+}

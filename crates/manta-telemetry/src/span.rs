@@ -1,0 +1,279 @@
+//! Hierarchical wall-time spans with a thread-safe global collector.
+//!
+//! Each thread owns one span tree (registered globally on first use) plus
+//! a stack of open spans. Identical name paths aggregate. [`scoped`]
+//! temporarily swaps in a private tree to capture one closure's spans —
+//! that is how the evaluation runner gets per-project breakdowns while
+//! building projects in parallel.
+
+use std::cell::{Cell, RefCell};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::report::SpanReport;
+
+/// One aggregated node: a unique name path from the root.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SpanNode {
+    pub name: &'static str,
+    pub count: u64,
+    pub total_ns: u64,
+    pub children: Vec<usize>,
+}
+
+/// An arena-allocated aggregation tree.
+#[derive(Debug, Default)]
+pub(crate) struct SpanTree {
+    pub nodes: Vec<SpanNode>,
+    pub roots: Vec<usize>,
+    /// Bumped by [`crate::reset`] so stale guards from before the reset
+    /// cannot touch recycled node slots.
+    pub epoch: u64,
+}
+
+impl SpanTree {
+    /// Finds or creates the child of `parent` (`None` = a root) named
+    /// `name`.
+    fn child_of(&mut self, parent: Option<usize>, name: &'static str) -> usize {
+        let siblings = match parent {
+            Some(p) => &self.nodes[p].children,
+            None => &self.roots,
+        };
+        if let Some(&idx) = siblings.iter().find(|&&i| self.nodes[i].name == name) {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(SpanNode {
+            name,
+            ..Default::default()
+        });
+        match parent {
+            Some(p) => self.nodes[p].children.push(idx),
+            None => self.roots.push(idx),
+        }
+        idx
+    }
+
+    /// Adds every span of `other` into `self`, grafting `other`'s roots
+    /// under `under` (or as roots).
+    pub(crate) fn merge_from(&mut self, other: &SpanTree, under: Option<usize>) {
+        for &r in &other.roots {
+            self.merge_node(other, r, under);
+        }
+    }
+
+    fn merge_node(&mut self, other: &SpanTree, src: usize, parent: Option<usize>) {
+        let node = &other.nodes[src];
+        let dst = self.child_of(parent, node.name);
+        self.nodes[dst].count += node.count;
+        self.nodes[dst].total_ns += node.total_ns;
+        let children = other.nodes[src].children.clone();
+        for c in children {
+            self.merge_node(other, c, Some(dst));
+        }
+    }
+
+    pub(crate) fn to_reports(&self) -> Vec<SpanReport> {
+        self.roots.iter().map(|&r| self.report_node(r)).collect()
+    }
+
+    fn report_node(&self, idx: usize) -> SpanReport {
+        let n = &self.nodes[idx];
+        SpanReport {
+            name: n.name.to_string(),
+            count: n.count,
+            total_ns: n.total_ns,
+            children: n.children.iter().map(|&c| self.report_node(c)).collect(),
+        }
+    }
+}
+
+/// Poison-tolerant lock: a panic inside an instrumented scope must not
+/// disable telemetry for everyone else.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// All trees ever registered (one per thread, plus one per scope that
+/// outlived its thread). Snapshotting merges them by name path.
+static TREES: Mutex<Vec<Arc<Mutex<SpanTree>>>> = Mutex::new(Vec::new());
+
+/// Spans record when globally enabled, or while a [`scoped`] capture is
+/// active **on this thread** (so captures work with collection off
+/// without perturbing other threads). The flag is a plain `Cell` kept in
+/// sync by [`ScopeGuard`], so the disabled fast path is one atomic load
+/// plus one thread-local byte read.
+#[inline]
+fn recording() -> bool {
+    crate::is_enabled() || SCOPE_ACTIVE.with(|c| c.get())
+}
+
+thread_local! {
+    /// Whether a [`scoped`] capture is open on this thread (mirrors
+    /// `LocalState::saved.is_empty()`).
+    static SCOPE_ACTIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+struct LocalState {
+    tree: Arc<Mutex<SpanTree>>,
+    /// Open-span node indices into `tree`, innermost last.
+    stack: Vec<usize>,
+    /// Epoch of `tree` the stack indices belong to.
+    epoch: u64,
+    /// Saved outer states while scopes are active.
+    saved: Vec<(Arc<Mutex<SpanTree>>, Vec<usize>, u64)>,
+}
+
+impl LocalState {
+    fn new() -> LocalState {
+        let tree = Arc::new(Mutex::new(SpanTree::default()));
+        lock(&TREES).push(tree.clone());
+        LocalState {
+            tree,
+            stack: Vec::new(),
+            epoch: 0,
+            saved: Vec::new(),
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<LocalState>> = const { RefCell::new(None) };
+}
+
+fn with_local<T>(f: impl FnOnce(&mut LocalState) -> T) -> T {
+    LOCAL.with(|l| f(l.borrow_mut().get_or_insert_with(LocalState::new)))
+}
+
+/// An open span; dropping it records the elapsed wall time. Returned by
+/// [`span`]. Dropping is panic-safe: an unwinding scope still closes its
+/// span and leaves the tree consistent.
+#[must_use = "a span records when this guard drops"]
+pub struct SpanGuard {
+    inner: Option<GuardInner>,
+}
+
+struct GuardInner {
+    tree: Arc<Mutex<SpanTree>>,
+    node: usize,
+    epoch: u64,
+    start: Instant,
+}
+
+/// Opens a span named `name` under the current thread's innermost open
+/// span. No-op (and near-free) while collection is disabled.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !recording() {
+        return SpanGuard { inner: None };
+    }
+    let inner = with_local(|local| {
+        let mut tree = lock(&local.tree);
+        if local.epoch != tree.epoch {
+            // A reset happened since this thread last recorded.
+            local.stack.clear();
+            local.epoch = tree.epoch;
+        }
+        let node = tree.child_of(local.stack.last().copied(), name);
+        local.stack.push(node);
+        GuardInner {
+            tree: local.tree.clone(),
+            node,
+            epoch: tree.epoch,
+            start: Instant::now(),
+        }
+    });
+    SpanGuard { inner: Some(inner) }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(g) = self.inner.take() else { return };
+        let ns = g.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        {
+            let mut tree = lock(&g.tree);
+            if tree.epoch == g.epoch {
+                let node = &mut tree.nodes[g.node];
+                node.count += 1;
+                node.total_ns += ns;
+            }
+        }
+        with_local(|local| {
+            if Arc::ptr_eq(&local.tree, &g.tree)
+                && local.epoch == g.epoch
+                && local.stack.last() == Some(&g.node)
+            {
+                local.stack.pop();
+            }
+        });
+    }
+}
+
+/// Restores the enclosing collector even if the closure panics.
+struct ScopeGuard {
+    scope_tree: Arc<Mutex<SpanTree>>,
+}
+
+impl ScopeGuard {
+    fn enter() -> ScopeGuard {
+        let scope_tree = Arc::new(Mutex::new(SpanTree::default()));
+        with_local(|local| {
+            let outer_tree = std::mem::replace(&mut local.tree, scope_tree.clone());
+            let outer_stack = std::mem::take(&mut local.stack);
+            let outer_epoch = std::mem::replace(&mut local.epoch, 0);
+            local.saved.push((outer_tree, outer_stack, outer_epoch));
+        });
+        SCOPE_ACTIVE.with(|c| c.set(true));
+        ScopeGuard { scope_tree }
+    }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        with_local(|local| {
+            let (outer_tree, outer_stack, outer_epoch) =
+                local.saved.pop().expect("scope guard nests");
+            SCOPE_ACTIVE.with(|c| c.set(!local.saved.is_empty()));
+            local.tree = outer_tree;
+            local.stack = outer_stack;
+            local.epoch = outer_epoch;
+            // Fold the captured spans into the enclosing tree under the
+            // span that was open when the scope began, so global totals
+            // still include scoped work.
+            let scope = lock(&self.scope_tree);
+            let mut outer = lock(&local.tree);
+            if local.epoch == outer.epoch {
+                let under = local.stack.last().copied();
+                outer.merge_from(&scope, under);
+            }
+        });
+    }
+}
+
+/// Runs `f` capturing the spans it records **on this thread**, returning
+/// the closure's result and the captured span forest. The captured spans
+/// are also folded into the global collector, so [`crate::report`] still
+/// sees them. Capture works even while global collection is disabled.
+pub fn scoped<T>(f: impl FnOnce() -> T) -> (T, Vec<SpanReport>) {
+    let guard = ScopeGuard::enter();
+    let out = f();
+    let reports = lock(&guard.scope_tree).to_reports();
+    drop(guard);
+    (out, reports)
+}
+
+pub(crate) fn snapshot_spans() -> Vec<SpanReport> {
+    let mut merged = SpanTree::default();
+    for tree in lock(&TREES).iter() {
+        merged.merge_from(&lock(tree), None);
+    }
+    merged.to_reports()
+}
+
+pub(crate) fn reset_spans() {
+    for tree in lock(&TREES).iter() {
+        let mut t = lock(tree);
+        t.nodes.clear();
+        t.roots.clear();
+        t.epoch += 1;
+    }
+}

@@ -9,8 +9,7 @@
 //! address). The decoys are exactly the false-positive populations the
 //! paper attributes to SaTC, cwe_checker and Manta-NoType (§6.3).
 
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
+use crate::rng::ChaCha8Rng;
 
 use manta_ir::{BinOp, CmpPred, ModuleBuilder, Width};
 
@@ -47,12 +46,22 @@ pub fn generate_firmware(spec: &FirmwareSpec) -> GeneratedProgram {
     let vendor = mb.extern_fn("vendor_ioctl", &[Width::W64], Some(Width::W64));
     let mut truth = GroundTruth::default();
     let record = |truth: &mut GroundTruth, class: BugClass, func: &str, real: bool| {
-        let bug = InjectedBug { class, func: func.to_string(), real };
+        let bug = InjectedBug {
+            class,
+            func: func.to_string(),
+            real,
+        };
         truth.bugs.push(bug.clone());
         truth.source_sink_pairs.push(bug);
     };
 
-    let classes = [BugClass::Cmi, BugClass::Bof, BugClass::Npd, BugClass::Rsa, BugClass::Uaf];
+    let classes = [
+        BugClass::Cmi,
+        BugClass::Bof,
+        BugClass::Npd,
+        BugClass::Rsa,
+        BugClass::Uaf,
+    ];
     for class in classes {
         for k in 0..spec.real_bugs_per_class {
             let name = format!("{}_real{}", label(class), k);

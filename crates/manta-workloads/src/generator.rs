@@ -9,12 +9,10 @@
 //! sensitivity will fare on it. The intended source type of every
 //! parameter is recorded in the [`GroundTruth`].
 
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
+use crate::rng::ChaCha8Rng;
 
 use manta_ir::{
-    BinOp, CmpPred, ExternId, FuncId, FunctionBuilder, Module, ModuleBuilder, Type, ValueId,
-    Width,
+    BinOp, CmpPred, ExternId, FuncId, FunctionBuilder, Module, ModuleBuilder, Type, ValueId, Width,
 };
 
 use crate::mix::{Archetype, PhenomenonMix};
@@ -133,8 +131,12 @@ pub fn generate(spec: &GenSpec) -> GeneratedProgram {
     };
     // The B helpers' own parameters are scored too; record their truth.
     let mut truth = GroundTruth::default();
-    truth.param_types.insert(ParamKey::new("lib_strsink", 0), GtTy::StrPtr.to_type());
-    truth.param_types.insert(ParamKey::new("lib_intsink", 0), GtTy::Int64.to_type());
+    truth
+        .param_types
+        .insert(ParamKey::new("lib_strsink", 0), GtTy::StrPtr.to_type());
+    truth
+        .param_types
+        .insert(ParamKey::new("lib_intsink", 0), GtTy::Int64.to_type());
 
     let mut ctx = Ctx {
         mb,
@@ -162,7 +164,10 @@ pub fn generate(spec: &GenSpec) -> GeneratedProgram {
 
     let module = ctx.mb.finish();
     manta_ir::verify::assert_valid(&module);
-    GeneratedProgram { module, truth: ctx.truth }
+    GeneratedProgram {
+        module,
+        truth: ctx.truth,
+    }
 }
 
 /// Source-level parameter kinds of indirect-call candidates (the oracle
@@ -218,7 +223,9 @@ fn build_icall_poly_route(ctx: &mut Ctx, spec: &GenSpec) {
     ib.ret(Some(k));
     ctx.mb.finish_function(ib);
     // Polymorphic forwarder.
-    let (fwd, mut sb) = ctx.mb.function("ipoly_fwd", &[Width::W64], Some(Width::W64));
+    let (fwd, mut sb) = ctx
+        .mb
+        .function("ipoly_fwd", &[Width::W64], Some(Width::W64));
     let x = sb.param(0);
     let slot = sb.alloca(8);
     sb.store(slot, x);
@@ -375,7 +382,9 @@ fn build_regular_function(ctx: &mut Ctx, index: usize) {
         })
         .collect();
     for (i, (gt, arch)) in gts.iter().zip(&archetypes).enumerate() {
-        ctx.truth.param_types.insert(ParamKey::new(&name, i), gt.to_type());
+        ctx.truth
+            .param_types
+            .insert(ParamKey::new(&name, i), gt.to_type());
         ctx.truth
             .param_archetypes
             .insert(ParamKey::new(&name, i), format!("{arch:?}"));
@@ -388,7 +397,11 @@ fn build_regular_function(ctx: &mut Ctx, index: usize) {
         match arch {
             Archetype::LocalReveal => emit_local_reveal(ctx, &mut fb, p, gt),
             Archetype::InterprocReveal => {
-                let helper = if gt.is_ptr() { ctx.bderef_str } else { ctx.bint };
+                let helper = if gt.is_ptr() {
+                    ctx.bderef_str
+                } else {
+                    ctx.bint
+                };
                 fb.call(helper, &[p], Some(Width::W64));
             }
             Archetype::PolyShared => {
@@ -492,7 +505,9 @@ fn emit_poly_shared(ctx: &mut Ctx, param_index: usize) -> (FuncId, FuncId) {
 
     // Private revealing callee: dereferences its parameter.
     let deref_name = ctx.fresh_name("pderef");
-    let (deref, mut db) = ctx.mb.function(&deref_name, &[Width::W64], Some(Width::W64));
+    let (deref, mut db) = ctx
+        .mb
+        .function(&deref_name, &[Width::W64], Some(Width::W64));
     let q = db.param(0);
     let w = db.load(q, Width::W64);
     db.ret(Some(w));
@@ -513,7 +528,9 @@ fn emit_poly_shared(ctx: &mut Ctx, param_index: usize) -> (FuncId, FuncId) {
 
 /// Archetype D: conflicting uses on opposite branches.
 fn emit_branch_cast(ctx: &mut Ctx, fb: &mut FunctionBuilder, p: ValueId) {
-    let probe = fb.call_extern(ctx.vendors[0], &[p], Some(Width::W64)).unwrap();
+    let probe = fb
+        .call_extern(ctx.vendors[0], &[p], Some(Width::W64))
+        .unwrap();
     let zero = fb.const_int(0, Width::W64);
     let c = fb.cmp(CmpPred::Ne, probe, zero);
     let bb_ptr = fb.new_block();
@@ -547,7 +564,9 @@ fn emit_wrong_int(ctx: &mut Ctx, fb: &mut FunctionBuilder, p: ValueId) {
 /// The Figure-3 union gadget: one slot, two branch-local types.
 fn emit_union_gadget(ctx: &mut Ctx, fb: &mut FunctionBuilder) {
     let slot = fb.alloca(8);
-    let sel = fb.call_extern(ctx.vendors[2], &[slot], Some(Width::W64)).unwrap();
+    let sel = fb
+        .call_extern(ctx.vendors[2], &[slot], Some(Width::W64))
+        .unwrap();
     let zero = fb.const_int(0, Width::W64);
     let c = fb.cmp(CmpPred::Eq, sel, zero);
     let bb_i = fb.new_block();
@@ -590,7 +609,7 @@ fn emit_stack_recycle(ctx: &mut Ctx, fb: &mut FunctionBuilder) {
 
 /// A bounded counting loop (preprocessing unrolls it).
 fn emit_loop(ctx: &mut Ctx, fb: &mut FunctionBuilder) {
-    let n = fb.const_int(4 + ctx.rng.gen_range(0..4), Width::W64);
+    let n = fb.const_int(4 + ctx.rng.gen_range(0..4i64), Width::W64);
     let entry = fb.current_block();
     let head = fb.new_block();
     let body = fb.new_block();
@@ -643,7 +662,9 @@ fn emit_icall(ctx: &mut Ctx, fb: &mut FunctionBuilder, host: &str) {
                     // library sink): the flow-insensitive stage types it,
                     // intraprocedural flow-sensitive analysis cannot.
                     let probe = fb.alloca(8);
-                    let raw = fb.call_extern(ctx.vendors[1], &[probe], Some(Width::W64)).unwrap();
+                    let raw = fb
+                        .call_extern(ctx.vendors[1], &[probe], Some(Width::W64))
+                        .unwrap();
                     fb.call(ctx.bint, &[raw], Some(Width::W64)).unwrap()
                 }
                 ArgKind::Ptr => {
@@ -658,7 +679,9 @@ fn emit_icall(ctx: &mut Ctx, fb: &mut FunctionBuilder, host: &str) {
             let slot = fb.alloca(8);
             let sz = fb.const_int(16, Width::W64);
             let buf = fb.call_extern(ctx.malloc, &[sz], Some(Width::W64)).unwrap();
-            let n = fb.call_extern(ctx.strlen, &[buf], Some(Width::W64)).unwrap();
+            let n = fb
+                .call_extern(ctx.strlen, &[buf], Some(Width::W64))
+                .unwrap();
             match intended {
                 ArgKind::Int => {
                     fb.store(slot, buf);
@@ -677,7 +700,9 @@ fn emit_icall(ctx: &mut Ctx, fb: &mut FunctionBuilder, host: &str) {
             let slot = fb.alloca(8);
             let sz = fb.const_int(16, Width::W64);
             let buf = fb.call_extern(ctx.malloc, &[sz], Some(Width::W64)).unwrap();
-            let n = fb.call_extern(ctx.strlen, &[buf], Some(Width::W64)).unwrap();
+            let n = fb
+                .call_extern(ctx.strlen, &[buf], Some(Width::W64))
+                .unwrap();
             let zero = fb.const_int(0, Width::W64);
             let c = fb.cmp(CmpPred::Gt, n, zero);
             let bi = fb.new_block();
@@ -700,7 +725,8 @@ fn emit_icall(ctx: &mut Ctx, fb: &mut FunctionBuilder, host: &str) {
                 fb.call(fwd, &[x], Some(Width::W64)).unwrap()
             } else {
                 let probe = fb.alloca(8);
-                fb.call_extern(ctx.vendors[0], &[probe], Some(Width::W64)).unwrap()
+                fb.call_extern(ctx.vendors[0], &[probe], Some(Width::W64))
+                    .unwrap()
             }
         } else {
             let probe = fb.alloca(8);
@@ -744,7 +770,9 @@ fn emit_icall(ctx: &mut Ctx, fb: &mut FunctionBuilder, host: &str) {
         })
         .map(|(_, n, _)| n.clone())
         .collect();
-    ctx.truth.icall_targets.insert((host.to_string(), ordinal), targets);
+    ctx.truth
+        .icall_targets
+        .insert((host.to_string(), ordinal), targets);
 }
 
 /// Archetype X / driver for archetype D: a root function that builds the
@@ -766,7 +794,8 @@ fn emit_driver(ctx: &mut Ctx, host: FuncId, nparams: usize, specials: &[(usize, 
                 // pointer is declared (the flow-sensitive trap).
                 let sz = fb.const_int(8, Width::W64);
                 let tmp = fb.call_extern(ctx.malloc, &[sz], Some(Width::W64)).unwrap();
-                fb.call_extern(ctx.strlen, &[tmp], Some(Width::W64)).unwrap()
+                fb.call_extern(ctx.strlen, &[tmp], Some(Width::W64))
+                    .unwrap()
             }
             _ => fb.const_int(100 + i as i64, Width::W64),
         };
@@ -830,7 +859,10 @@ mod tests {
     #[test]
     fn icall_truth_targets_exist() {
         let g = generate(&spec(40, 9));
-        assert!(!g.truth.icall_targets.is_empty(), "icall sites should be generated");
+        assert!(
+            !g.truth.icall_targets.is_empty(),
+            "icall sites should be generated"
+        );
         for ((host, _), targets) in &g.truth.icall_targets {
             assert!(g.module.function_by_name(host).is_some());
             for t in targets {

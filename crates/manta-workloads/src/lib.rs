@@ -29,7 +29,8 @@
 //! this — it exists purely for scoring, like the `.debug_line` sections the
 //! paper keeps for evaluation.
 //!
-//! All generation is seeded ([`rand_chacha`]); the same spec always
+//! All generation is seeded (a vendored ChaCha8 stream, [`rng`]); the
+//! same spec always
 //! produces byte-identical programs.
 
 #![warn(missing_docs)]
@@ -38,6 +39,7 @@ pub mod firmware;
 pub mod generator;
 pub mod mix;
 pub mod projects;
+pub mod rng;
 pub mod truth;
 
 pub use firmware::{generate_firmware, FirmwareSpec};

@@ -117,7 +117,10 @@ mod tests {
     fn balanced_weights_are_positive_and_normalizable() {
         let m = PhenomenonMix::balanced();
         let total: f64 = m.archetype_weights().iter().map(|(_, w)| w).sum();
-        assert!(total > 0.8 && total < 1.2, "weights should roughly sum to 1, got {total}");
+        assert!(
+            total > 0.8 && total < 1.2,
+            "weights should roughly sum to 1, got {total}"
+        );
         for (a, w) in m.archetype_weights() {
             assert!(w >= 0.0, "{a:?} weight negative");
         }

@@ -7,11 +7,10 @@
 //! still sweeps over an order of magnitude of program size.
 
 use crate::firmware::FirmwareSpec;
-use crate::generator::{generate, GeneratedProgram, GenSpec};
+use crate::generator::{generate, GenSpec, GeneratedProgram};
 use crate::mix::PhenomenonMix;
 
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
+use crate::rng::ChaCha8Rng;
 
 /// A named project workload.
 #[derive(Clone, Debug)]
@@ -146,7 +145,10 @@ mod tests {
         assert_eq!(p.len(), 14);
         assert_eq!(p[0].name, "vsftpd");
         assert_eq!(p[13].name, "php");
-        assert!(p[13].functions > p[0].functions, "php must be larger than vsftpd");
+        assert!(
+            p[13].functions > p[0].functions,
+            "php must be larger than vsftpd"
+        );
         assert_eq!(coreutils_suite().len(), 104);
         assert_eq!(firmware_suite().len(), 9);
     }

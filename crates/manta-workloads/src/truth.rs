@@ -20,7 +20,10 @@ pub struct ParamKey {
 impl ParamKey {
     /// Shorthand constructor.
     pub fn new(func: impl Into<String>, index: usize) -> ParamKey {
-        ParamKey { func: func.into(), index }
+        ParamKey {
+            func: func.into(),
+            index,
+        }
     }
 }
 
@@ -85,7 +88,9 @@ impl GroundTruth {
 
     /// The decoy injected bugs of a class.
     pub fn decoys(&self, class: BugClass) -> impl Iterator<Item = &InjectedBug> {
-        self.bugs.iter().filter(move |b| b.class == class && !b.real)
+        self.bugs
+            .iter()
+            .filter(move |b| b.class == class && !b.real)
     }
 }
 
@@ -97,10 +102,23 @@ mod tests {
     #[test]
     fn truth_accessors() {
         let mut t = GroundTruth::default();
-        t.param_types.insert(ParamKey::new("f", 0), Type::Int(Width::W64));
-        t.bugs.push(InjectedBug { class: BugClass::Cmi, func: "f".into(), real: true });
-        t.bugs.push(InjectedBug { class: BugClass::Cmi, func: "g".into(), real: false });
-        t.bugs.push(InjectedBug { class: BugClass::Npd, func: "h".into(), real: true });
+        t.param_types
+            .insert(ParamKey::new("f", 0), Type::Int(Width::W64));
+        t.bugs.push(InjectedBug {
+            class: BugClass::Cmi,
+            func: "f".into(),
+            real: true,
+        });
+        t.bugs.push(InjectedBug {
+            class: BugClass::Cmi,
+            func: "g".into(),
+            real: false,
+        });
+        t.bugs.push(InjectedBug {
+            class: BugClass::Npd,
+            func: "h".into(),
+            real: true,
+        });
         assert_eq!(t.param_count(), 1);
         assert_eq!(t.real_bugs(BugClass::Cmi).count(), 1);
         assert_eq!(t.decoys(BugClass::Cmi).count(), 1);

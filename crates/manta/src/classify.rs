@@ -28,6 +28,7 @@ pub enum VarClass {
 /// Constants are excluded: their types are trivially known and the paper's
 /// metrics count program variables.
 pub fn classify(analysis: &ModuleAnalysis, result: &mut InferenceResult) -> ClassCounts {
+    manta_telemetry::span!("classify");
     let mut counts = ClassCounts::default();
     for func in analysis.module().functions() {
         for (value, data) in func.values() {
@@ -56,6 +57,11 @@ pub fn classify(analysis: &ModuleAnalysis, result: &mut InferenceResult) -> Clas
             result.class.insert(v, class);
         }
     }
+    // The latest classification wins: counter_set so a report shows the
+    // final |V_P| / |V_O| / |V_U| split, not a sum over stages.
+    manta_telemetry::counter_set("classify.v_p", counts.precise as u64);
+    manta_telemetry::counter_set("classify.v_o", counts.over as u64);
+    manta_telemetry::counter_set("classify.v_u", counts.unknown as u64);
     counts
 }
 

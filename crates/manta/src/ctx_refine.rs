@@ -40,6 +40,7 @@ pub fn refine(
     result: &mut InferenceResult,
 ) {
     let over = classify::over_approximated(analysis, result);
+    manta_telemetry::counter("cs.candidates", over.len() as u64);
     let mut roots_cache: HashMap<VarRef, BTreeSet<NodeId>> = HashMap::new();
     let mut updates: Vec<(VarRef, TypeInterval)> = Vec::new();
 
@@ -67,6 +68,7 @@ pub fn refine(
             updates.push((v, interval));
         }
     }
+    manta_telemetry::counter("cs.refined", updates.len() as u64);
     for (v, interval) in updates {
         result.var_types.insert(v, interval);
     }
@@ -172,7 +174,9 @@ fn collect_types(
         }
         let op = ctx_op(kind, Direction::Forward);
         if ctx.enter(op) {
-            collect_types(analysis, reveals, result, config, child, ctx, visited, types);
+            collect_types(
+                analysis, reveals, result, config, child, ctx, visited, types,
+            );
             ctx.leave(op);
         }
     }
@@ -272,7 +276,11 @@ mod tests {
         let r1 = c1
             .insts()
             .find_map(|i| match &i.kind {
-                manta_ir::InstKind::Call { dst, callee: manta_ir::Callee::Direct(_), .. } => *dst,
+                manta_ir::InstKind::Call {
+                    dst,
+                    callee: manta_ir::Callee::Direct(_),
+                    ..
+                } => *dst,
                 _ => None,
             })
             .unwrap();
@@ -308,10 +316,20 @@ mod tests {
         // precisely typed per their own contexts.
         let t1 = result.var_types[&r1].resolution();
         let t2 = result.var_types[&r2].resolution();
-        assert!(t1.is_precise(), "use_int result should be precise, got {t1:?}");
-        assert!(t2.is_precise(), "use_ptr result should be precise, got {t2:?}");
-        let Resolution::Precise(t1) = t1 else { unreachable!() };
-        let Resolution::Precise(t2) = t2 else { unreachable!() };
+        assert!(
+            t1.is_precise(),
+            "use_int result should be precise, got {t1:?}"
+        );
+        assert!(
+            t2.is_precise(),
+            "use_ptr result should be precise, got {t2:?}"
+        );
+        let Resolution::Precise(t1) = t1 else {
+            unreachable!()
+        };
+        let Resolution::Precise(t2) = t2 else {
+            unreachable!()
+        };
         assert!(t1.is_numeric(), "int context inferred {t1}");
         assert!(t2.is_pointer(), "ptr context inferred {t2}");
     }
@@ -339,8 +357,17 @@ mod tests {
         let mut cache = HashMap::new();
         let roots = find_roots(&analysis, &result, &config, VarRef::new(fid, r), &mut cache);
         let off_node = analysis.ddg.node(VarRef::new(fid, off));
-        assert!(!roots.contains(&off_node), "numeric offset must not be an alias root");
-        let base_roots = find_roots(&analysis, &result, &config, VarRef::new(fid, base), &mut cache);
+        assert!(
+            !roots.contains(&off_node),
+            "numeric offset must not be an alias root"
+        );
+        let base_roots = find_roots(
+            &analysis,
+            &result,
+            &config,
+            VarRef::new(fid, base),
+            &mut cache,
+        );
         assert!(
             roots.iter().any(|r| base_roots.contains(r)),
             "pointer base must stay on the root path"

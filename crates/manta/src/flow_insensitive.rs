@@ -33,7 +33,10 @@ struct Keys<'a> {
 
 impl<'a> Keys<'a> {
     fn new(analysis: &'a ModuleAnalysis) -> Keys<'a> {
-        Keys { analysis, var_count: analysis.ddg.node_count() }
+        Keys {
+            analysis,
+            var_count: analysis.ddg.node_count(),
+        }
     }
 
     fn total(&self) -> usize {
@@ -51,11 +54,7 @@ impl<'a> Keys<'a> {
 
 /// Runs the global flow-insensitive inference and classifies every
 /// variable.
-pub fn run(
-    analysis: &ModuleAnalysis,
-    reveals: &RevealMap,
-    config: MantaConfig,
-) -> InferenceResult {
+pub fn run(analysis: &ModuleAnalysis, reveals: &RevealMap, config: MantaConfig) -> InferenceResult {
     let keys = Keys::new(analysis);
     let mut uf = UnionFind::new(keys.total());
     let module = analysis.module();
@@ -99,33 +98,32 @@ pub fn run(
                 }
                 // Rule ① for calls: argument/parameter and return bindings
                 // (context-insensitive).
-                InstKind::Call { dst, callee, args } => {
-                    if let Callee::Direct(target) = callee {
-                        if analysis.pre.is_broken_call(fid, inst.id) {
-                            continue;
+                InstKind::Call {
+                    dst,
+                    callee: Callee::Direct(target),
+                    args,
+                } => {
+                    if analysis.pre.is_broken_call(fid, inst.id) {
+                        continue;
+                    }
+                    let tf = module.function(*target);
+                    for (i, &a) in args.iter().enumerate() {
+                        if let Some(&p) = tf.params().get(i) {
+                            uf.union(keys.var(var(a)), keys.var(VarRef::new(*target, p)));
+                            unify_pointees(
+                                &mut uf,
+                                &keys,
+                                pts,
+                                var(a),
+                                VarRef::new(*target, p),
+                                &mut unify_objs,
+                            );
                         }
-                        let tf = module.function(*target);
-                        for (i, &a) in args.iter().enumerate() {
-                            if let Some(&p) = tf.params().get(i) {
-                                uf.union(keys.var(var(a)), keys.var(VarRef::new(*target, p)));
-                                unify_pointees(
-                                    &mut uf,
-                                    &keys,
-                                    pts,
-                                    var(a),
-                                    VarRef::new(*target, p),
-                                    &mut unify_objs,
-                                );
-                            }
-                        }
-                        if let Some(d) = dst {
-                            for b in tf.blocks() {
-                                if let Terminator::Ret(Some(r)) = b.term {
-                                    uf.union(
-                                        keys.var(var(*d)),
-                                        keys.var(VarRef::new(*target, r)),
-                                    );
-                                }
+                    }
+                    if let Some(d) = dst {
+                        for b in tf.blocks() {
+                            if let Terminator::Ret(Some(r)) = b.term {
+                                uf.union(keys.var(var(*d)), keys.var(VarRef::new(*target, r)));
                             }
                         }
                     }
@@ -174,8 +172,12 @@ fn unify_pointees(
     q: VarRef,
     unify_objs: &mut impl FnMut(&mut UnionFind, ObjectId, ObjectId),
 ) {
-    let all: Vec<ObjectId> =
-        pts.pts_var(p).iter().chain(pts.pts_var(q).iter()).copied().collect();
+    let all: Vec<ObjectId> = pts
+        .pts_var(p)
+        .iter()
+        .chain(pts.pts_var(q).iter())
+        .copied()
+        .collect();
     if all.len() < 2 {
         return;
     }

@@ -35,6 +35,7 @@ pub fn refine(
 ) {
     let cfgs = Cfgs::new(analysis);
     let over = classify::over_approximated(analysis, result);
+    manta_telemetry::counter("fs.candidates", over.len() as u64);
     let mut roots_cache: HashMap<VarRef, BTreeSet<NodeId>> = HashMap::new();
     let mut var_updates: Vec<(VarRef, TypeInterval)> = Vec::new();
     let mut site_updates: Vec<((VarRef, InstId), TypeInterval)> = Vec::new();
@@ -93,6 +94,7 @@ pub fn refine(
         // behavior §6.4 attributes to flow-sensitive refinement).
         var_updates.push((v, var_interval));
     }
+    manta_telemetry::counter("fs.site_types", site_updates.len() as u64);
     for (v, i) in var_updates {
         result.var_types.insert(v, i);
     }
@@ -176,7 +178,10 @@ pub fn standalone_fs(
                 if let Some(s) = site {
                     result.site_types.insert((v, s), interval.clone());
                 }
-                match (&mut var_interval, site == def_site.map(Some).unwrap_or(None)) {
+                match (
+                    &mut var_interval,
+                    site == def_site.map(Some).unwrap_or(None),
+                ) {
                     (_, true) => var_interval = Some(interval),
                     (Some(existing), false) => existing.merge(&interval),
                     (None, false) => var_interval = Some(interval),
@@ -246,9 +251,7 @@ fn reachable_types(
         budget: config.max_visits,
         cross_callers,
     };
-    let mut is_alias = |u: VarRef,
-                        roots_cache: &mut HashMap<VarRef, BTreeSet<NodeId>>|
-     -> bool {
+    let mut is_alias = |u: VarRef, roots_cache: &mut HashMap<VarRef, BTreeSet<NodeId>>| -> bool {
         if let Some(&b) = alias_memo.get(&u) {
             return b;
         }
@@ -438,7 +441,10 @@ impl<'a> Walker<'a> {
         let callers = self.analysis.callgraph.callers(func).to_vec();
         let mut out = Vec::new();
         for edge in callers {
-            let cs = manta_analysis::CallSite { caller: edge.caller, site: edge.site };
+            let cs = manta_analysis::CallSite {
+                caller: edge.caller,
+                site: edge.site,
+            };
             let op = CtxOp::Pop(cs);
             if ctx.enter(op) {
                 let (block, idx) = self.cfgs.positions[edge.caller.index()][&edge.site];
@@ -495,15 +501,11 @@ mod tests {
         mb.finish()
     }
 
-    fn loaded_values(
-        analysis: &manta_analysis::ModuleAnalysis,
-    ) -> Vec<(VarRef, InstId)> {
+    fn loaded_values(analysis: &manta_analysis::ModuleAnalysis) -> Vec<(VarRef, InstId)> {
         let f = analysis.module().function_by_name("f").unwrap();
         f.insts()
             .filter_map(|i| match i.kind {
-                manta_ir::InstKind::Load { dst, .. } => {
-                    Some((VarRef::new(f.id(), dst), i.id))
-                }
+                manta_ir::InstKind::Load { dst, .. } => Some((VarRef::new(f.id(), dst), i.id)),
                 _ => None,
             })
             .collect()

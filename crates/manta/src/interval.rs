@@ -103,19 +103,28 @@ impl Default for TypeInterval {
 impl TypeInterval {
     /// The no-information sentinel `(⊥, ⊤)`.
     pub fn unknown() -> TypeInterval {
-        TypeInterval { upper: Type::Bottom, lower: Type::Top }
+        TypeInterval {
+            upper: Type::Bottom,
+            lower: Type::Top,
+        }
     }
 
     /// An interval resolved exactly to `t`.
     pub fn exact(t: Type) -> TypeInterval {
-        TypeInterval { upper: t.clone(), lower: t }
+        TypeInterval {
+            upper: t.clone(),
+            lower: t,
+        }
     }
 
     /// The conservative *any-type* interval `(⊤, ⊥)` that unknown
     /// variables are widened to once the flow-insensitive stage finishes
     /// (§4.1).
     pub fn any() -> TypeInterval {
-        TypeInterval { upper: Type::Top, lower: Type::Bottom }
+        TypeInterval {
+            upper: Type::Top,
+            lower: Type::Bottom,
+        }
     }
 
     /// Whether no hint has been absorbed yet.

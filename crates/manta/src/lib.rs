@@ -92,8 +92,12 @@ pub enum Sensitivity {
 
 impl Sensitivity {
     /// All ablation configurations, in the paper's column order.
-    pub const ALL: [Sensitivity; 4] =
-        [Sensitivity::Fi, Sensitivity::Fs, Sensitivity::FiFs, Sensitivity::FiCsFs];
+    pub const ALL: [Sensitivity; 4] = [
+        Sensitivity::Fi,
+        Sensitivity::Fs,
+        Sensitivity::FiFs,
+        Sensitivity::FiCsFs,
+    ];
 
     /// The ablation columns plus the reversed-order configuration of §6.4.
     pub const WITH_REVERSED: [Sensitivity; 5] = [
@@ -139,7 +143,12 @@ impl MantaConfig {
 
     /// Defaults with an explicit sensitivity.
     pub fn with_sensitivity(sensitivity: Sensitivity) -> MantaConfig {
-        MantaConfig { sensitivity, max_ctx_depth: 32, max_visits: 4096, strong_updates: true }
+        MantaConfig {
+            sensitivity,
+            max_ctx_depth: 32,
+            max_visits: 4096,
+            strong_updates: true,
+        }
     }
 }
 
@@ -220,7 +229,9 @@ impl InferenceResult {
     /// variable-level interval: per §4.2.2, `F(v@s) = F(v)` for variables
     /// that needed no flow-sensitive refinement.
     pub fn interval_at(&self, v: VarRef, s: InstId) -> Option<&TypeInterval> {
-        self.site_types.get(&(v, s)).or_else(|| self.var_types.get(&v))
+        self.site_types
+            .get(&(v, s))
+            .or_else(|| self.var_types.get(&v))
     }
 
     /// Upper-bound type `F↑(v)`. Unknown variables read as `⊤` — the
@@ -248,7 +259,10 @@ impl InferenceResult {
 
     /// Classification counts after the final stage.
     pub fn final_counts(&self) -> ClassCounts {
-        self.stage_counts.last().map(|&(_, c)| c).unwrap_or_default()
+        self.stage_counts
+            .last()
+            .map(|&(_, c)| c)
+            .unwrap_or_default()
     }
 
     /// The resolved singleton type of `v`, if precise.
@@ -359,29 +373,45 @@ impl Manta {
 
     /// Runs the configured stage cascade over a prepared [`ModuleAnalysis`].
     pub fn infer(&self, analysis: &ModuleAnalysis) -> InferenceResult {
-        let reveals = reveal::RevealMap::collect(analysis);
+        manta_telemetry::span!("infer");
+        let reveals = {
+            manta_telemetry::span!("reveal");
+            reveal::RevealMap::collect(analysis)
+        };
         let mut result = match self.config.sensitivity {
             Sensitivity::Fs => {
                 // Standalone flow-sensitive: no global unification at all.
+                manta_telemetry::span!("fs");
                 flow_refine::standalone_fs(analysis, &reveals, &self.config)
             }
-            _ => flow_insensitive::run(analysis, &reveals, self.config),
+            _ => {
+                manta_telemetry::span!("fi");
+                flow_insensitive::run(analysis, &reveals, self.config)
+            }
         };
         result.config = self.config;
 
+        let cs = |result: &mut InferenceResult| {
+            manta_telemetry::span!("cs");
+            ctx_refine::refine(analysis, &reveals, &self.config, result);
+        };
+        let fs = |result: &mut InferenceResult| {
+            manta_telemetry::span!("fs");
+            flow_refine::refine(analysis, &reveals, &self.config, result);
+        };
         match self.config.sensitivity {
             Sensitivity::Fi | Sensitivity::Fs => {}
             Sensitivity::FiFs => {
-                flow_refine::refine(analysis, &reveals, &self.config, &mut result);
+                fs(&mut result);
             }
             Sensitivity::FiCsFs => {
-                ctx_refine::refine(analysis, &reveals, &self.config, &mut result);
-                flow_refine::refine(analysis, &reveals, &self.config, &mut result);
+                cs(&mut result);
+                fs(&mut result);
             }
             Sensitivity::FiFsCs => {
                 // §6.4 reversed order: the aggressive stage first.
-                flow_refine::refine(analysis, &reveals, &self.config, &mut result);
-                ctx_refine::refine(analysis, &reveals, &self.config, &mut result);
+                fs(&mut result);
+                cs(&mut result);
             }
         }
         result

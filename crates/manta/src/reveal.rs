@@ -215,7 +215,10 @@ mod tests {
         fb.ret(Some(m));
         mb.finish_function(fb);
         let (_, r) = collect(mb.finish());
-        assert!(r.of_var(VarRef::new(fid, a)).is_empty(), "add must not reveal");
+        assert!(
+            r.of_var(VarRef::new(fid, a)).is_empty(),
+            "add must not reveal"
+        );
         // `s` is revealed numeric by its use in mul, not by add itself.
         assert!(r
             .of_var(VarRef::new(fid, s))
@@ -240,7 +243,10 @@ mod tests {
         fb.ret(Some(c2));
         mb.finish_function(fb);
         let (_, r) = collect(mb.finish());
-        assert!(r.of_var(VarRef::new(fid, z)).is_empty(), "zero is ambiguous");
+        assert!(
+            r.of_var(VarRef::new(fid, z)).is_empty(),
+            "zero is ambiguous"
+        );
         assert!(
             r.of_var(VarRef::new(fid, neg))
                 .iter()

@@ -51,16 +51,22 @@ impl UnionFind {
     /// Unions the classes of `a` and `b`, merging their intervals
     /// (`UnifyVarType`). Returns `true` if the classes were distinct.
     pub fn union(&mut self, a: usize, b: usize) -> bool {
+        static OPS: manta_telemetry::Counter = manta_telemetry::Counter::new("unify.ops");
+        OPS.incr();
         let (ra, rb) = (self.find(a), self.find(b));
         if ra == rb {
             return false;
         }
-        let (keep, drop) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        let (keep, drop) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         if self.rank[keep] == self.rank[drop] {
             self.rank[keep] += 1;
         }
         self.parent[drop] = keep as u32;
-        let dropped = std::mem::replace(&mut self.interval[drop], TypeInterval::unknown());
+        let dropped = std::mem::take(&mut self.interval[drop]);
         self.interval[keep].merge(&dropped);
         true
     }
@@ -107,7 +113,10 @@ mod tests {
         let mut uf = UnionFind::new(3);
         uf.union(0, 2);
         uf.absorb(2, &Type::Float);
-        assert_eq!(uf.interval(0).resolution(), Resolution::Precise(Type::Float));
+        assert_eq!(
+            uf.interval(0).resolution(),
+            Resolution::Precise(Type::Float)
+        );
         assert_eq!(uf.interval(1).resolution(), Resolution::Unknown);
     }
 
@@ -128,6 +137,9 @@ mod tests {
         let mut uf = UnionFind::new(2);
         uf.absorb(0, &Type::Int(Width::W32));
         uf.union(0, 1); // 1 is unknown: must not widen 0
-        assert_eq!(uf.interval(0).resolution(), Resolution::Precise(Type::Int(Width::W32)));
+        assert_eq!(
+            uf.interval(0).resolution(),
+            Resolution::Precise(Type::Int(Width::W32))
+        );
     }
 }

@@ -18,7 +18,10 @@ fn main() {
     let fmt_checker = CustomChecker {
         name: "FMT-STRING".into(),
         sources: SourceSpec::Effect(ExternEffect::TaintSource),
-        sinks: SinkSpec::ExternArg { name: "printf_s".into(), index: 0 },
+        sinks: SinkSpec::ExternArg {
+            name: "printf_s".into(),
+            index: 0,
+        },
         numeric_guard: true,
     };
 
@@ -33,7 +36,9 @@ fn main() {
     let (_, mut fb) = mb.function("log_banner", &[], Some(Width::W32));
     let key = fb.alloca(8);
     let banner = fb.call_extern(nvram, &[key], Some(Width::W64)).unwrap();
-    let r = fb.call_extern(printf_s, &[banner, banner], Some(Width::W32)).unwrap();
+    let r = fb
+        .call_extern(printf_s, &[banner, banner], Some(Width::W32))
+        .unwrap();
     fb.ret(Some(r));
     mb.finish_function(fb);
 
@@ -44,7 +49,9 @@ fn main() {
     let shown = fb.copy(level);
     let fmt = fb.alloca(8);
     fb.call_extern(printf_d, &[fmt, shown], Some(Width::W32));
-    let r = fb.call_extern(printf_s, &[shown, shown], Some(Width::W32)).unwrap();
+    let r = fb
+        .call_extern(printf_s, &[shown, shown], Some(Width::W32))
+        .unwrap();
     fb.ret(Some(r));
     mb.finish_function(fb);
 

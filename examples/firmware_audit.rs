@@ -28,8 +28,13 @@ fn main() {
         ("Manta (type-assisted)", Some(&inference as &dyn TypeQuery)),
         ("Manta-NoType", None),
     ] {
-        let (reports, visits) = detect_bugs(&analysis, types, &BugKind::ALL, CheckerConfig::default());
-        println!("=== {label}: {} reports ({} slice visits) ===", reports.len(), visits);
+        let (reports, visits) =
+            detect_bugs(&analysis, types, &BugKind::ALL, CheckerConfig::default());
+        println!(
+            "=== {label}: {} reports ({} slice visits) ===",
+            reports.len(),
+            visits
+        );
         let mut seen = std::collections::BTreeSet::new();
         for r in &reports {
             let func = analysis.module().function(r.func).name().to_string();

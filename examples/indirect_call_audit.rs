@@ -37,8 +37,7 @@ fn main() {
             site.args.len(),
             manta.len()
         );
-        let names: Vec<&str> =
-            manta.iter().map(|&f| module.function(f).name()).collect();
+        let names: Vec<&str> = manta.iter().map(|&f| module.function(f).name()).collect();
         println!("    Manta targets: {names:?}");
     }
 }

@@ -46,15 +46,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Assemble to machine code and serialize to raw bytes — the "binary".
     let image = manta_isa::assemble(PROGRAM)?;
     let bytes = manta_isa::encode(&image);
-    println!("encoded SBF image: {} bytes, {} instructions", bytes.len(), image.total_insts());
+    println!(
+        "encoded SBF image: {} bytes, {} instructions",
+        bytes.len(),
+        image.total_insts()
+    );
 
     // A consumer sees only the bytes.
     let decoded = manta_isa::decode(&bytes)?;
-    println!("--- disassembly ---\n{}", manta_isa::asm::disassemble(&decoded));
+    println!(
+        "--- disassembly ---\n{}",
+        manta_isa::asm::disassemble(&decoded)
+    );
 
     // Lift to SSA (registers -> values, no types survive).
     let module = manta_isa::lift::lift(&decoded)?;
-    println!("--- lifted IR ---\n{}", manta_ir::printer::print_module(&module));
+    println!(
+        "--- lifted IR ---\n{}",
+        manta_ir::printer::print_module(&module)
+    );
 
     // Infer types.
     let analysis = ModuleAnalysis::build(module);

@@ -44,7 +44,10 @@ fn main() {
     mb.finish_function(fb);
 
     let module = mb.finish();
-    println!("--- stripped module ---\n{}", manta_ir::printer::print_module(&module));
+    println!(
+        "--- stripped module ---\n{}",
+        manta_ir::printer::print_module(&module)
+    );
 
     // Substrate pipeline: preprocessing, points-to, DDG.
     let analysis = ModuleAnalysis::build(module);
@@ -68,6 +71,9 @@ fn main() {
             }
         }
         let c = result.final_counts();
-        println!("  counts: {} precise / {} over / {} unknown", c.precise, c.over, c.unknown);
+        println!(
+            "  counts: {} precise / {} over / {} unknown",
+            c.precise, c.over, c.unknown
+        );
     }
 }

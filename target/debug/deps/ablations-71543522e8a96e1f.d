@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-71543522e8a96e1f.d: crates/manta-bench/benches/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-71543522e8a96e1f.rmeta: crates/manta-bench/benches/ablations.rs Cargo.toml
+
+crates/manta-bench/benches/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

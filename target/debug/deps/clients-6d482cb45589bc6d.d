@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clients-6d482cb45589bc6d.d: crates/manta-bench/benches/clients.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclients-6d482cb45589bc6d.rmeta: crates/manta-bench/benches/clients.rs Cargo.toml
+
+crates/manta-bench/benches/clients.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clients_behavior-0f6c02d3355c8d5c.d: crates/manta-tests/../../tests/clients_behavior.rs
+
+/root/repo/target/debug/deps/clients_behavior-0f6c02d3355c8d5c: crates/manta-tests/../../tests/clients_behavior.rs
+
+crates/manta-tests/../../tests/clients_behavior.rs:

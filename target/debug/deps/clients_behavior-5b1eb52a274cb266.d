@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clients_behavior-5b1eb52a274cb266.d: crates/manta-tests/../../tests/clients_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclients_behavior-5b1eb52a274cb266.rmeta: crates/manta-tests/../../tests/clients_behavior.rs Cargo.toml
+
+crates/manta-tests/../../tests/clients_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_crate_properties-22e1fdb72a8d3a39.d: crates/manta-tests/../../tests/cross_crate_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_crate_properties-22e1fdb72a8d3a39.rmeta: crates/manta-tests/../../tests/cross_crate_properties.rs Cargo.toml
+
+crates/manta-tests/../../tests/cross_crate_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

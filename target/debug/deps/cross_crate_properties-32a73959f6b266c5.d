@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate_properties-32a73959f6b266c5.d: crates/manta-tests/../../tests/cross_crate_properties.rs
+
+/root/repo/target/debug/deps/cross_crate_properties-32a73959f6b266c5: crates/manta-tests/../../tests/cross_crate_properties.rs
+
+crates/manta-tests/../../tests/cross_crate_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation_order-176499903bac23c6.d: crates/manta-bench/src/bin/exp_ablation_order.rs
+
+/root/repo/target/debug/deps/exp_ablation_order-176499903bac23c6: crates/manta-bench/src/bin/exp_ablation_order.rs
+
+crates/manta-bench/src/bin/exp_ablation_order.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_ablation_order-ac758492079bf884.d: crates/manta-bench/src/bin/exp_ablation_order.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_ablation_order-ac758492079bf884.rmeta: crates/manta-bench/src/bin/exp_ablation_order.rs Cargo.toml
+
+crates/manta-bench/src/bin/exp_ablation_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_all-56c288dea3412d60.d: crates/manta-bench/src/bin/exp_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_all-56c288dea3412d60.rmeta: crates/manta-bench/src/bin/exp_all.rs Cargo.toml
+
+crates/manta-bench/src/bin/exp_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

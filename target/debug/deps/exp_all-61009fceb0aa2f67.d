@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_all-61009fceb0aa2f67.d: crates/manta-bench/src/bin/exp_all.rs
+
+/root/repo/target/debug/deps/exp_all-61009fceb0aa2f67: crates/manta-bench/src/bin/exp_all.rs
+
+crates/manta-bench/src/bin/exp_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_all-c4aa92ca0d604c5b.d: crates/manta-bench/src/bin/exp_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_all-c4aa92ca0d604c5b.rmeta: crates/manta-bench/src/bin/exp_all.rs Cargo.toml
+
+crates/manta-bench/src/bin/exp_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

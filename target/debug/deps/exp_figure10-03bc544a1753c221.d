@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_figure10-03bc544a1753c221.d: crates/manta-bench/src/bin/exp_figure10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_figure10-03bc544a1753c221.rmeta: crates/manta-bench/src/bin/exp_figure10.rs Cargo.toml
+
+crates/manta-bench/src/bin/exp_figure10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_figure10-dc16d7f07c330a8d.d: crates/manta-bench/src/bin/exp_figure10.rs
+
+/root/repo/target/debug/deps/exp_figure10-dc16d7f07c330a8d: crates/manta-bench/src/bin/exp_figure10.rs
+
+crates/manta-bench/src/bin/exp_figure10.rs:

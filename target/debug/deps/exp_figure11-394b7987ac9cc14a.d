@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_figure11-394b7987ac9cc14a.d: crates/manta-bench/src/bin/exp_figure11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_figure11-394b7987ac9cc14a.rmeta: crates/manta-bench/src/bin/exp_figure11.rs Cargo.toml
+
+crates/manta-bench/src/bin/exp_figure11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_figure11-3e225cb1ec71c8dc.d: crates/manta-bench/src/bin/exp_figure11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_figure11-3e225cb1ec71c8dc.rmeta: crates/manta-bench/src/bin/exp_figure11.rs Cargo.toml
+
+crates/manta-bench/src/bin/exp_figure11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

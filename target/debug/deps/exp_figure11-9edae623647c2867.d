@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_figure11-9edae623647c2867.d: crates/manta-bench/src/bin/exp_figure11.rs
+
+/root/repo/target/debug/deps/exp_figure11-9edae623647c2867: crates/manta-bench/src/bin/exp_figure11.rs
+
+crates/manta-bench/src/bin/exp_figure11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_figure12-bc60727d6ba5eeb5.d: crates/manta-bench/src/bin/exp_figure12.rs
+
+/root/repo/target/debug/deps/exp_figure12-bc60727d6ba5eeb5: crates/manta-bench/src/bin/exp_figure12.rs
+
+crates/manta-bench/src/bin/exp_figure12.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_figure12-e2f0378444a21d06.d: crates/manta-bench/src/bin/exp_figure12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_figure12-e2f0378444a21d06.rmeta: crates/manta-bench/src/bin/exp_figure12.rs Cargo.toml
+
+crates/manta-bench/src/bin/exp_figure12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

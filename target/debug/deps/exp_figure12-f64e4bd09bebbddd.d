@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_figure12-f64e4bd09bebbddd.d: crates/manta-bench/src/bin/exp_figure12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_figure12-f64e4bd09bebbddd.rmeta: crates/manta-bench/src/bin/exp_figure12.rs Cargo.toml
+
+crates/manta-bench/src/bin/exp_figure12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_figure2-7a3fc3d8ffd5afaf.d: crates/manta-bench/src/bin/exp_figure2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_figure2-7a3fc3d8ffd5afaf.rmeta: crates/manta-bench/src/bin/exp_figure2.rs Cargo.toml
+
+crates/manta-bench/src/bin/exp_figure2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

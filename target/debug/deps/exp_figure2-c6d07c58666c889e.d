@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_figure2-c6d07c58666c889e.d: crates/manta-bench/src/bin/exp_figure2.rs
+
+/root/repo/target/debug/deps/exp_figure2-c6d07c58666c889e: crates/manta-bench/src/bin/exp_figure2.rs
+
+crates/manta-bench/src/bin/exp_figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_figure9-52326224d9886946.d: crates/manta-bench/src/bin/exp_figure9.rs
+
+/root/repo/target/debug/deps/exp_figure9-52326224d9886946: crates/manta-bench/src/bin/exp_figure9.rs
+
+crates/manta-bench/src/bin/exp_figure9.rs:

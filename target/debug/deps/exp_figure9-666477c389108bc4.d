@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_figure9-666477c389108bc4.d: crates/manta-bench/src/bin/exp_figure9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_figure9-666477c389108bc4.rmeta: crates/manta-bench/src/bin/exp_figure9.rs Cargo.toml
+
+crates/manta-bench/src/bin/exp_figure9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

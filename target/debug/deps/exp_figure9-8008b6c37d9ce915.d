@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_figure9-8008b6c37d9ce915.d: crates/manta-bench/src/bin/exp_figure9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_figure9-8008b6c37d9ce915.rmeta: crates/manta-bench/src/bin/exp_figure9.rs Cargo.toml
+
+crates/manta-bench/src/bin/exp_figure9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

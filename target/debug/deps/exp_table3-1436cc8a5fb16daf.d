@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_table3-1436cc8a5fb16daf.d: crates/manta-bench/src/bin/exp_table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_table3-1436cc8a5fb16daf.rmeta: crates/manta-bench/src/bin/exp_table3.rs Cargo.toml
+
+crates/manta-bench/src/bin/exp_table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_table3-6b0adad1b70c38a3.d: crates/manta-bench/src/bin/exp_table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_table3-6b0adad1b70c38a3.rmeta: crates/manta-bench/src/bin/exp_table3.rs Cargo.toml
+
+crates/manta-bench/src/bin/exp_table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

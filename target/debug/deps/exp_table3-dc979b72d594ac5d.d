@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table3-dc979b72d594ac5d.d: crates/manta-bench/src/bin/exp_table3.rs
+
+/root/repo/target/debug/deps/exp_table3-dc979b72d594ac5d: crates/manta-bench/src/bin/exp_table3.rs
+
+crates/manta-bench/src/bin/exp_table3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_table4-43af94d27e4180c7.d: crates/manta-bench/src/bin/exp_table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_table4-43af94d27e4180c7.rmeta: crates/manta-bench/src/bin/exp_table4.rs Cargo.toml
+
+crates/manta-bench/src/bin/exp_table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

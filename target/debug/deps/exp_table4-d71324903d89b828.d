@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table4-d71324903d89b828.d: crates/manta-bench/src/bin/exp_table4.rs
+
+/root/repo/target/debug/deps/exp_table4-d71324903d89b828: crates/manta-bench/src/bin/exp_table4.rs
+
+crates/manta-bench/src/bin/exp_table4.rs:

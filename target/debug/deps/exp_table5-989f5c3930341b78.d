@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table5-989f5c3930341b78.d: crates/manta-bench/src/bin/exp_table5.rs
+
+/root/repo/target/debug/deps/exp_table5-989f5c3930341b78: crates/manta-bench/src/bin/exp_table5.rs
+
+crates/manta-bench/src/bin/exp_table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiment_shapes-5138b1a8b0b63f11.d: crates/manta-tests/../../tests/experiment_shapes.rs
+
+/root/repo/target/debug/deps/experiment_shapes-5138b1a8b0b63f11: crates/manta-tests/../../tests/experiment_shapes.rs
+
+crates/manta-tests/../../tests/experiment_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiment_shapes-f9c3b0ec25f5a6d9.d: crates/manta-tests/../../tests/experiment_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiment_shapes-f9c3b0ec25f5a6d9.rmeta: crates/manta-tests/../../tests/experiment_shapes.rs Cargo.toml
+
+crates/manta-tests/../../tests/experiment_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

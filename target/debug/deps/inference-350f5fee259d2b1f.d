@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/inference-350f5fee259d2b1f.d: crates/manta-bench/benches/inference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinference-350f5fee259d2b1f.rmeta: crates/manta-bench/benches/inference.rs Cargo.toml
+
+crates/manta-bench/benches/inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

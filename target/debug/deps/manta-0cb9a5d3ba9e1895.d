@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/manta-0cb9a5d3ba9e1895.d: crates/manta-cli/src/main.rs
+
+/root/repo/target/debug/deps/manta-0cb9a5d3ba9e1895: crates/manta-cli/src/main.rs
+
+crates/manta-cli/src/main.rs:

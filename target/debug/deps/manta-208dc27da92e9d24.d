@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/manta-208dc27da92e9d24.d: crates/manta-cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanta-208dc27da92e9d24.rmeta: crates/manta-cli/src/main.rs Cargo.toml
+
+crates/manta-cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

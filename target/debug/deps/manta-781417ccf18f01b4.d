@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/manta-781417ccf18f01b4.d: crates/manta/src/lib.rs crates/manta/src/classify.rs crates/manta/src/ctx_refine.rs crates/manta/src/flow_insensitive.rs crates/manta/src/flow_refine.rs crates/manta/src/interval.rs crates/manta/src/reveal.rs crates/manta/src/unify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanta-781417ccf18f01b4.rmeta: crates/manta/src/lib.rs crates/manta/src/classify.rs crates/manta/src/ctx_refine.rs crates/manta/src/flow_insensitive.rs crates/manta/src/flow_refine.rs crates/manta/src/interval.rs crates/manta/src/reveal.rs crates/manta/src/unify.rs Cargo.toml
+
+crates/manta/src/lib.rs:
+crates/manta/src/classify.rs:
+crates/manta/src/ctx_refine.rs:
+crates/manta/src/flow_insensitive.rs:
+crates/manta/src/flow_refine.rs:
+crates/manta/src/interval.rs:
+crates/manta/src/reveal.rs:
+crates/manta/src/unify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

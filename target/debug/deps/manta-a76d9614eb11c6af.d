@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/manta-a76d9614eb11c6af.d: crates/manta/src/lib.rs crates/manta/src/classify.rs crates/manta/src/ctx_refine.rs crates/manta/src/flow_insensitive.rs crates/manta/src/flow_refine.rs crates/manta/src/interval.rs crates/manta/src/reveal.rs crates/manta/src/unify.rs
+
+/root/repo/target/debug/deps/libmanta-a76d9614eb11c6af.rlib: crates/manta/src/lib.rs crates/manta/src/classify.rs crates/manta/src/ctx_refine.rs crates/manta/src/flow_insensitive.rs crates/manta/src/flow_refine.rs crates/manta/src/interval.rs crates/manta/src/reveal.rs crates/manta/src/unify.rs
+
+/root/repo/target/debug/deps/libmanta-a76d9614eb11c6af.rmeta: crates/manta/src/lib.rs crates/manta/src/classify.rs crates/manta/src/ctx_refine.rs crates/manta/src/flow_insensitive.rs crates/manta/src/flow_refine.rs crates/manta/src/interval.rs crates/manta/src/reveal.rs crates/manta/src/unify.rs
+
+crates/manta/src/lib.rs:
+crates/manta/src/classify.rs:
+crates/manta/src/ctx_refine.rs:
+crates/manta/src/flow_insensitive.rs:
+crates/manta/src/flow_refine.rs:
+crates/manta/src/interval.rs:
+crates/manta/src/reveal.rs:
+crates/manta/src/unify.rs:

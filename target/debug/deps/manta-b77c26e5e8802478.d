@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/manta-b77c26e5e8802478.d: crates/manta-cli/src/main.rs
+
+/root/repo/target/debug/deps/manta-b77c26e5e8802478: crates/manta-cli/src/main.rs
+
+crates/manta-cli/src/main.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/manta-d726f51cc6733e9b.d: crates/manta/src/lib.rs crates/manta/src/classify.rs crates/manta/src/ctx_refine.rs crates/manta/src/flow_insensitive.rs crates/manta/src/flow_refine.rs crates/manta/src/interval.rs crates/manta/src/reveal.rs crates/manta/src/unify.rs
+
+/root/repo/target/debug/deps/manta-d726f51cc6733e9b: crates/manta/src/lib.rs crates/manta/src/classify.rs crates/manta/src/ctx_refine.rs crates/manta/src/flow_insensitive.rs crates/manta/src/flow_refine.rs crates/manta/src/interval.rs crates/manta/src/reveal.rs crates/manta/src/unify.rs
+
+crates/manta/src/lib.rs:
+crates/manta/src/classify.rs:
+crates/manta/src/ctx_refine.rs:
+crates/manta/src/flow_insensitive.rs:
+crates/manta/src/flow_refine.rs:
+crates/manta/src/interval.rs:
+crates/manta/src/reveal.rs:
+crates/manta/src/unify.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/manta-daf9b20ca64898e1.d: crates/manta-cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanta-daf9b20ca64898e1.rmeta: crates/manta-cli/src/main.rs Cargo.toml
+
+crates/manta-cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/manta_analysis-4321d6db4c134dde.d: crates/manta-analysis/src/lib.rs crates/manta-analysis/src/callgraph.rs crates/manta-analysis/src/cfl.rs crates/manta-analysis/src/ddg.rs crates/manta-analysis/src/pointsto.rs crates/manta-analysis/src/preprocess.rs
+
+/root/repo/target/debug/deps/manta_analysis-4321d6db4c134dde: crates/manta-analysis/src/lib.rs crates/manta-analysis/src/callgraph.rs crates/manta-analysis/src/cfl.rs crates/manta-analysis/src/ddg.rs crates/manta-analysis/src/pointsto.rs crates/manta-analysis/src/preprocess.rs
+
+crates/manta-analysis/src/lib.rs:
+crates/manta-analysis/src/callgraph.rs:
+crates/manta-analysis/src/cfl.rs:
+crates/manta-analysis/src/ddg.rs:
+crates/manta-analysis/src/pointsto.rs:
+crates/manta-analysis/src/preprocess.rs:

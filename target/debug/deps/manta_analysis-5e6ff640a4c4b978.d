@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/manta_analysis-5e6ff640a4c4b978.d: crates/manta-analysis/src/lib.rs crates/manta-analysis/src/callgraph.rs crates/manta-analysis/src/cfl.rs crates/manta-analysis/src/ddg.rs crates/manta-analysis/src/pointsto.rs crates/manta-analysis/src/preprocess.rs
+
+/root/repo/target/debug/deps/libmanta_analysis-5e6ff640a4c4b978.rlib: crates/manta-analysis/src/lib.rs crates/manta-analysis/src/callgraph.rs crates/manta-analysis/src/cfl.rs crates/manta-analysis/src/ddg.rs crates/manta-analysis/src/pointsto.rs crates/manta-analysis/src/preprocess.rs
+
+/root/repo/target/debug/deps/libmanta_analysis-5e6ff640a4c4b978.rmeta: crates/manta-analysis/src/lib.rs crates/manta-analysis/src/callgraph.rs crates/manta-analysis/src/cfl.rs crates/manta-analysis/src/ddg.rs crates/manta-analysis/src/pointsto.rs crates/manta-analysis/src/preprocess.rs
+
+crates/manta-analysis/src/lib.rs:
+crates/manta-analysis/src/callgraph.rs:
+crates/manta-analysis/src/cfl.rs:
+crates/manta-analysis/src/ddg.rs:
+crates/manta-analysis/src/pointsto.rs:
+crates/manta-analysis/src/preprocess.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/manta_analysis-d15fbe0f7d270d2f.d: crates/manta-analysis/src/lib.rs crates/manta-analysis/src/callgraph.rs crates/manta-analysis/src/cfl.rs crates/manta-analysis/src/ddg.rs crates/manta-analysis/src/pointsto.rs crates/manta-analysis/src/preprocess.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanta_analysis-d15fbe0f7d270d2f.rmeta: crates/manta-analysis/src/lib.rs crates/manta-analysis/src/callgraph.rs crates/manta-analysis/src/cfl.rs crates/manta-analysis/src/ddg.rs crates/manta-analysis/src/pointsto.rs crates/manta-analysis/src/preprocess.rs Cargo.toml
+
+crates/manta-analysis/src/lib.rs:
+crates/manta-analysis/src/callgraph.rs:
+crates/manta-analysis/src/cfl.rs:
+crates/manta-analysis/src/ddg.rs:
+crates/manta-analysis/src/pointsto.rs:
+crates/manta-analysis/src/preprocess.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

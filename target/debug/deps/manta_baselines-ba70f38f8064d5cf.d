@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/manta_baselines-ba70f38f8064d5cf.d: crates/manta-baselines/src/lib.rs crates/manta-baselines/src/bugtools.rs crates/manta-baselines/src/dirty.rs crates/manta-baselines/src/ghidra.rs crates/manta-baselines/src/retdec.rs crates/manta-baselines/src/retypd.rs crates/manta-baselines/src/tool.rs
+
+/root/repo/target/debug/deps/libmanta_baselines-ba70f38f8064d5cf.rlib: crates/manta-baselines/src/lib.rs crates/manta-baselines/src/bugtools.rs crates/manta-baselines/src/dirty.rs crates/manta-baselines/src/ghidra.rs crates/manta-baselines/src/retdec.rs crates/manta-baselines/src/retypd.rs crates/manta-baselines/src/tool.rs
+
+/root/repo/target/debug/deps/libmanta_baselines-ba70f38f8064d5cf.rmeta: crates/manta-baselines/src/lib.rs crates/manta-baselines/src/bugtools.rs crates/manta-baselines/src/dirty.rs crates/manta-baselines/src/ghidra.rs crates/manta-baselines/src/retdec.rs crates/manta-baselines/src/retypd.rs crates/manta-baselines/src/tool.rs
+
+crates/manta-baselines/src/lib.rs:
+crates/manta-baselines/src/bugtools.rs:
+crates/manta-baselines/src/dirty.rs:
+crates/manta-baselines/src/ghidra.rs:
+crates/manta-baselines/src/retdec.rs:
+crates/manta-baselines/src/retypd.rs:
+crates/manta-baselines/src/tool.rs:

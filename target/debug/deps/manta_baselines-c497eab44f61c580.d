@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/manta_baselines-c497eab44f61c580.d: crates/manta-baselines/src/lib.rs crates/manta-baselines/src/bugtools.rs crates/manta-baselines/src/dirty.rs crates/manta-baselines/src/ghidra.rs crates/manta-baselines/src/retdec.rs crates/manta-baselines/src/retypd.rs crates/manta-baselines/src/tool.rs
+
+/root/repo/target/debug/deps/manta_baselines-c497eab44f61c580: crates/manta-baselines/src/lib.rs crates/manta-baselines/src/bugtools.rs crates/manta-baselines/src/dirty.rs crates/manta-baselines/src/ghidra.rs crates/manta-baselines/src/retdec.rs crates/manta-baselines/src/retypd.rs crates/manta-baselines/src/tool.rs
+
+crates/manta-baselines/src/lib.rs:
+crates/manta-baselines/src/bugtools.rs:
+crates/manta-baselines/src/dirty.rs:
+crates/manta-baselines/src/ghidra.rs:
+crates/manta-baselines/src/retdec.rs:
+crates/manta-baselines/src/retypd.rs:
+crates/manta-baselines/src/tool.rs:

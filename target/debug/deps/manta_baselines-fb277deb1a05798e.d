@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/manta_baselines-fb277deb1a05798e.d: crates/manta-baselines/src/lib.rs crates/manta-baselines/src/bugtools.rs crates/manta-baselines/src/dirty.rs crates/manta-baselines/src/ghidra.rs crates/manta-baselines/src/retdec.rs crates/manta-baselines/src/retypd.rs crates/manta-baselines/src/tool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanta_baselines-fb277deb1a05798e.rmeta: crates/manta-baselines/src/lib.rs crates/manta-baselines/src/bugtools.rs crates/manta-baselines/src/dirty.rs crates/manta-baselines/src/ghidra.rs crates/manta-baselines/src/retdec.rs crates/manta-baselines/src/retypd.rs crates/manta-baselines/src/tool.rs Cargo.toml
+
+crates/manta-baselines/src/lib.rs:
+crates/manta-baselines/src/bugtools.rs:
+crates/manta-baselines/src/dirty.rs:
+crates/manta-baselines/src/ghidra.rs:
+crates/manta-baselines/src/retdec.rs:
+crates/manta-baselines/src/retypd.rs:
+crates/manta-baselines/src/tool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/manta_bench-79dbd5b0f9d84e06.d: crates/manta-bench/src/lib.rs crates/manta-bench/src/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanta_bench-79dbd5b0f9d84e06.rmeta: crates/manta-bench/src/lib.rs crates/manta-bench/src/harness.rs Cargo.toml
+
+crates/manta-bench/src/lib.rs:
+crates/manta-bench/src/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

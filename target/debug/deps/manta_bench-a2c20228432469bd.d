@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/manta_bench-a2c20228432469bd.d: crates/manta-bench/src/lib.rs crates/manta-bench/src/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanta_bench-a2c20228432469bd.rmeta: crates/manta-bench/src/lib.rs crates/manta-bench/src/harness.rs Cargo.toml
+
+crates/manta-bench/src/lib.rs:
+crates/manta-bench/src/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/manta_bench-ac3b6034c01cef11.d: crates/manta-bench/src/lib.rs crates/manta-bench/src/harness.rs
+
+/root/repo/target/debug/deps/manta_bench-ac3b6034c01cef11: crates/manta-bench/src/lib.rs crates/manta-bench/src/harness.rs
+
+crates/manta-bench/src/lib.rs:
+crates/manta-bench/src/harness.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/manta_bench-e1a70bdbbd198ed5.d: crates/manta-bench/src/lib.rs crates/manta-bench/src/harness.rs
+
+/root/repo/target/debug/deps/libmanta_bench-e1a70bdbbd198ed5.rlib: crates/manta-bench/src/lib.rs crates/manta-bench/src/harness.rs
+
+/root/repo/target/debug/deps/libmanta_bench-e1a70bdbbd198ed5.rmeta: crates/manta-bench/src/lib.rs crates/manta-bench/src/harness.rs
+
+crates/manta-bench/src/lib.rs:
+crates/manta-bench/src/harness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/manta_cli-0245349ea1ae73c2.d: crates/manta-cli/src/lib.rs
+
+/root/repo/target/debug/deps/manta_cli-0245349ea1ae73c2: crates/manta-cli/src/lib.rs
+
+crates/manta-cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/manta_cli-0422cb5da0f5f2b8.d: crates/manta-cli/src/lib.rs
+
+/root/repo/target/debug/deps/libmanta_cli-0422cb5da0f5f2b8.rlib: crates/manta-cli/src/lib.rs
+
+/root/repo/target/debug/deps/libmanta_cli-0422cb5da0f5f2b8.rmeta: crates/manta-cli/src/lib.rs
+
+crates/manta-cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/manta_cli-294db65128da630b.d: crates/manta-cli/src/lib.rs
+
+/root/repo/target/debug/deps/libmanta_cli-294db65128da630b.rlib: crates/manta-cli/src/lib.rs
+
+/root/repo/target/debug/deps/libmanta_cli-294db65128da630b.rmeta: crates/manta-cli/src/lib.rs
+
+crates/manta-cli/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/manta_cli-493d09daa9adebb9.d: crates/manta-cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanta_cli-493d09daa9adebb9.rmeta: crates/manta-cli/src/lib.rs Cargo.toml
+
+crates/manta-cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

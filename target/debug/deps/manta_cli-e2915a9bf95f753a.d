@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/manta_cli-e2915a9bf95f753a.d: crates/manta-cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanta_cli-e2915a9bf95f753a.rmeta: crates/manta-cli/src/lib.rs Cargo.toml
+
+crates/manta-cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

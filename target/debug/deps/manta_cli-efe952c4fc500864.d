@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/manta_cli-efe952c4fc500864.d: crates/manta-cli/src/lib.rs
+
+/root/repo/target/debug/deps/manta_cli-efe952c4fc500864: crates/manta-cli/src/lib.rs
+
+crates/manta-cli/src/lib.rs:

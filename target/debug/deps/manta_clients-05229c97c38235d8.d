@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/manta_clients-05229c97c38235d8.d: crates/manta-clients/src/lib.rs crates/manta-clients/src/checkers.rs crates/manta-clients/src/custom.rs crates/manta-clients/src/ddg_prune.rs crates/manta-clients/src/icall.rs crates/manta-clients/src/slicing.rs
+
+/root/repo/target/debug/deps/manta_clients-05229c97c38235d8: crates/manta-clients/src/lib.rs crates/manta-clients/src/checkers.rs crates/manta-clients/src/custom.rs crates/manta-clients/src/ddg_prune.rs crates/manta-clients/src/icall.rs crates/manta-clients/src/slicing.rs
+
+crates/manta-clients/src/lib.rs:
+crates/manta-clients/src/checkers.rs:
+crates/manta-clients/src/custom.rs:
+crates/manta-clients/src/ddg_prune.rs:
+crates/manta-clients/src/icall.rs:
+crates/manta-clients/src/slicing.rs:

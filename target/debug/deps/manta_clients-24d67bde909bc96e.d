@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/manta_clients-24d67bde909bc96e.d: crates/manta-clients/src/lib.rs crates/manta-clients/src/checkers.rs crates/manta-clients/src/custom.rs crates/manta-clients/src/ddg_prune.rs crates/manta-clients/src/icall.rs crates/manta-clients/src/slicing.rs
+
+/root/repo/target/debug/deps/libmanta_clients-24d67bde909bc96e.rlib: crates/manta-clients/src/lib.rs crates/manta-clients/src/checkers.rs crates/manta-clients/src/custom.rs crates/manta-clients/src/ddg_prune.rs crates/manta-clients/src/icall.rs crates/manta-clients/src/slicing.rs
+
+/root/repo/target/debug/deps/libmanta_clients-24d67bde909bc96e.rmeta: crates/manta-clients/src/lib.rs crates/manta-clients/src/checkers.rs crates/manta-clients/src/custom.rs crates/manta-clients/src/ddg_prune.rs crates/manta-clients/src/icall.rs crates/manta-clients/src/slicing.rs
+
+crates/manta-clients/src/lib.rs:
+crates/manta-clients/src/checkers.rs:
+crates/manta-clients/src/custom.rs:
+crates/manta-clients/src/ddg_prune.rs:
+crates/manta-clients/src/icall.rs:
+crates/manta-clients/src/slicing.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/manta_clients-c31be615a99dc733.d: crates/manta-clients/src/lib.rs crates/manta-clients/src/checkers.rs crates/manta-clients/src/custom.rs crates/manta-clients/src/ddg_prune.rs crates/manta-clients/src/icall.rs crates/manta-clients/src/slicing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanta_clients-c31be615a99dc733.rmeta: crates/manta-clients/src/lib.rs crates/manta-clients/src/checkers.rs crates/manta-clients/src/custom.rs crates/manta-clients/src/ddg_prune.rs crates/manta-clients/src/icall.rs crates/manta-clients/src/slicing.rs Cargo.toml
+
+crates/manta-clients/src/lib.rs:
+crates/manta-clients/src/checkers.rs:
+crates/manta-clients/src/custom.rs:
+crates/manta-clients/src/ddg_prune.rs:
+crates/manta-clients/src/icall.rs:
+crates/manta-clients/src/slicing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/manta_eval-81f0583fef140870.d: crates/manta-eval/src/lib.rs crates/manta-eval/src/adapters.rs crates/manta-eval/src/experiments/mod.rs crates/manta-eval/src/experiments/ablation_order.rs crates/manta-eval/src/experiments/figure10.rs crates/manta-eval/src/experiments/figure11.rs crates/manta-eval/src/experiments/figure12.rs crates/manta-eval/src/experiments/figure2.rs crates/manta-eval/src/experiments/figure9.rs crates/manta-eval/src/experiments/table3.rs crates/manta-eval/src/experiments/table4.rs crates/manta-eval/src/experiments/table5.rs crates/manta-eval/src/metrics.rs crates/manta-eval/src/runner.rs crates/manta-eval/src/table.rs
+
+/root/repo/target/debug/deps/manta_eval-81f0583fef140870: crates/manta-eval/src/lib.rs crates/manta-eval/src/adapters.rs crates/manta-eval/src/experiments/mod.rs crates/manta-eval/src/experiments/ablation_order.rs crates/manta-eval/src/experiments/figure10.rs crates/manta-eval/src/experiments/figure11.rs crates/manta-eval/src/experiments/figure12.rs crates/manta-eval/src/experiments/figure2.rs crates/manta-eval/src/experiments/figure9.rs crates/manta-eval/src/experiments/table3.rs crates/manta-eval/src/experiments/table4.rs crates/manta-eval/src/experiments/table5.rs crates/manta-eval/src/metrics.rs crates/manta-eval/src/runner.rs crates/manta-eval/src/table.rs
+
+crates/manta-eval/src/lib.rs:
+crates/manta-eval/src/adapters.rs:
+crates/manta-eval/src/experiments/mod.rs:
+crates/manta-eval/src/experiments/ablation_order.rs:
+crates/manta-eval/src/experiments/figure10.rs:
+crates/manta-eval/src/experiments/figure11.rs:
+crates/manta-eval/src/experiments/figure12.rs:
+crates/manta-eval/src/experiments/figure2.rs:
+crates/manta-eval/src/experiments/figure9.rs:
+crates/manta-eval/src/experiments/table3.rs:
+crates/manta-eval/src/experiments/table4.rs:
+crates/manta-eval/src/experiments/table5.rs:
+crates/manta-eval/src/metrics.rs:
+crates/manta-eval/src/runner.rs:
+crates/manta-eval/src/table.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/manta_ir-2dbff4c20119bc92.d: crates/manta-ir/src/lib.rs crates/manta-ir/src/builder.rs crates/manta-ir/src/cfg.rs crates/manta-ir/src/dom.rs crates/manta-ir/src/externs.rs crates/manta-ir/src/function.rs crates/manta-ir/src/ids.rs crates/manta-ir/src/inst.rs crates/manta-ir/src/module.rs crates/manta-ir/src/parser.rs crates/manta-ir/src/printer.rs crates/manta-ir/src/types.rs crates/manta-ir/src/value.rs crates/manta-ir/src/verify.rs
+
+/root/repo/target/debug/deps/manta_ir-2dbff4c20119bc92: crates/manta-ir/src/lib.rs crates/manta-ir/src/builder.rs crates/manta-ir/src/cfg.rs crates/manta-ir/src/dom.rs crates/manta-ir/src/externs.rs crates/manta-ir/src/function.rs crates/manta-ir/src/ids.rs crates/manta-ir/src/inst.rs crates/manta-ir/src/module.rs crates/manta-ir/src/parser.rs crates/manta-ir/src/printer.rs crates/manta-ir/src/types.rs crates/manta-ir/src/value.rs crates/manta-ir/src/verify.rs
+
+crates/manta-ir/src/lib.rs:
+crates/manta-ir/src/builder.rs:
+crates/manta-ir/src/cfg.rs:
+crates/manta-ir/src/dom.rs:
+crates/manta-ir/src/externs.rs:
+crates/manta-ir/src/function.rs:
+crates/manta-ir/src/ids.rs:
+crates/manta-ir/src/inst.rs:
+crates/manta-ir/src/module.rs:
+crates/manta-ir/src/parser.rs:
+crates/manta-ir/src/printer.rs:
+crates/manta-ir/src/types.rs:
+crates/manta-ir/src/value.rs:
+crates/manta-ir/src/verify.rs:

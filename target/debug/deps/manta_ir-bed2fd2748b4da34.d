@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/manta_ir-bed2fd2748b4da34.d: crates/manta-ir/src/lib.rs crates/manta-ir/src/builder.rs crates/manta-ir/src/cfg.rs crates/manta-ir/src/dom.rs crates/manta-ir/src/externs.rs crates/manta-ir/src/function.rs crates/manta-ir/src/ids.rs crates/manta-ir/src/inst.rs crates/manta-ir/src/module.rs crates/manta-ir/src/parser.rs crates/manta-ir/src/printer.rs crates/manta-ir/src/types.rs crates/manta-ir/src/value.rs crates/manta-ir/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanta_ir-bed2fd2748b4da34.rmeta: crates/manta-ir/src/lib.rs crates/manta-ir/src/builder.rs crates/manta-ir/src/cfg.rs crates/manta-ir/src/dom.rs crates/manta-ir/src/externs.rs crates/manta-ir/src/function.rs crates/manta-ir/src/ids.rs crates/manta-ir/src/inst.rs crates/manta-ir/src/module.rs crates/manta-ir/src/parser.rs crates/manta-ir/src/printer.rs crates/manta-ir/src/types.rs crates/manta-ir/src/value.rs crates/manta-ir/src/verify.rs Cargo.toml
+
+crates/manta-ir/src/lib.rs:
+crates/manta-ir/src/builder.rs:
+crates/manta-ir/src/cfg.rs:
+crates/manta-ir/src/dom.rs:
+crates/manta-ir/src/externs.rs:
+crates/manta-ir/src/function.rs:
+crates/manta-ir/src/ids.rs:
+crates/manta-ir/src/inst.rs:
+crates/manta-ir/src/module.rs:
+crates/manta-ir/src/parser.rs:
+crates/manta-ir/src/printer.rs:
+crates/manta-ir/src/types.rs:
+crates/manta-ir/src/value.rs:
+crates/manta-ir/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

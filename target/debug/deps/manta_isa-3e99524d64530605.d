@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/manta_isa-3e99524d64530605.d: crates/manta-isa/src/lib.rs crates/manta-isa/src/asm.rs crates/manta-isa/src/image.rs crates/manta-isa/src/inst.rs crates/manta-isa/src/lift.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanta_isa-3e99524d64530605.rmeta: crates/manta-isa/src/lib.rs crates/manta-isa/src/asm.rs crates/manta-isa/src/image.rs crates/manta-isa/src/inst.rs crates/manta-isa/src/lift.rs Cargo.toml
+
+crates/manta-isa/src/lib.rs:
+crates/manta-isa/src/asm.rs:
+crates/manta-isa/src/image.rs:
+crates/manta-isa/src/inst.rs:
+crates/manta-isa/src/lift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/manta_isa-72844b4e80425d8b.d: crates/manta-isa/src/lib.rs crates/manta-isa/src/asm.rs crates/manta-isa/src/image.rs crates/manta-isa/src/inst.rs crates/manta-isa/src/lift.rs
+
+/root/repo/target/debug/deps/libmanta_isa-72844b4e80425d8b.rlib: crates/manta-isa/src/lib.rs crates/manta-isa/src/asm.rs crates/manta-isa/src/image.rs crates/manta-isa/src/inst.rs crates/manta-isa/src/lift.rs
+
+/root/repo/target/debug/deps/libmanta_isa-72844b4e80425d8b.rmeta: crates/manta-isa/src/lib.rs crates/manta-isa/src/asm.rs crates/manta-isa/src/image.rs crates/manta-isa/src/inst.rs crates/manta-isa/src/lift.rs
+
+crates/manta-isa/src/lib.rs:
+crates/manta-isa/src/asm.rs:
+crates/manta-isa/src/image.rs:
+crates/manta-isa/src/inst.rs:
+crates/manta-isa/src/lift.rs:

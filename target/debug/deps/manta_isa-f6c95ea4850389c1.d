@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/manta_isa-f6c95ea4850389c1.d: crates/manta-isa/src/lib.rs crates/manta-isa/src/asm.rs crates/manta-isa/src/image.rs crates/manta-isa/src/inst.rs crates/manta-isa/src/lift.rs
+
+/root/repo/target/debug/deps/manta_isa-f6c95ea4850389c1: crates/manta-isa/src/lib.rs crates/manta-isa/src/asm.rs crates/manta-isa/src/image.rs crates/manta-isa/src/inst.rs crates/manta-isa/src/lift.rs
+
+crates/manta-isa/src/lib.rs:
+crates/manta-isa/src/asm.rs:
+crates/manta-isa/src/image.rs:
+crates/manta-isa/src/inst.rs:
+crates/manta-isa/src/lift.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/manta_telemetry-469238d249e22bed.d: crates/manta-telemetry/src/lib.rs crates/manta-telemetry/src/json.rs crates/manta-telemetry/src/metrics.rs crates/manta-telemetry/src/report.rs crates/manta-telemetry/src/sink.rs crates/manta-telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libmanta_telemetry-469238d249e22bed.rlib: crates/manta-telemetry/src/lib.rs crates/manta-telemetry/src/json.rs crates/manta-telemetry/src/metrics.rs crates/manta-telemetry/src/report.rs crates/manta-telemetry/src/sink.rs crates/manta-telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libmanta_telemetry-469238d249e22bed.rmeta: crates/manta-telemetry/src/lib.rs crates/manta-telemetry/src/json.rs crates/manta-telemetry/src/metrics.rs crates/manta-telemetry/src/report.rs crates/manta-telemetry/src/sink.rs crates/manta-telemetry/src/span.rs
+
+crates/manta-telemetry/src/lib.rs:
+crates/manta-telemetry/src/json.rs:
+crates/manta-telemetry/src/metrics.rs:
+crates/manta-telemetry/src/report.rs:
+crates/manta-telemetry/src/sink.rs:
+crates/manta-telemetry/src/span.rs:

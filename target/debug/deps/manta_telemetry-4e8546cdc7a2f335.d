@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/manta_telemetry-4e8546cdc7a2f335.d: crates/manta-telemetry/src/lib.rs crates/manta-telemetry/src/json.rs crates/manta-telemetry/src/metrics.rs crates/manta-telemetry/src/report.rs crates/manta-telemetry/src/sink.rs crates/manta-telemetry/src/span.rs
+
+/root/repo/target/debug/deps/manta_telemetry-4e8546cdc7a2f335: crates/manta-telemetry/src/lib.rs crates/manta-telemetry/src/json.rs crates/manta-telemetry/src/metrics.rs crates/manta-telemetry/src/report.rs crates/manta-telemetry/src/sink.rs crates/manta-telemetry/src/span.rs
+
+crates/manta-telemetry/src/lib.rs:
+crates/manta-telemetry/src/json.rs:
+crates/manta-telemetry/src/metrics.rs:
+crates/manta-telemetry/src/report.rs:
+crates/manta-telemetry/src/sink.rs:
+crates/manta-telemetry/src/span.rs:

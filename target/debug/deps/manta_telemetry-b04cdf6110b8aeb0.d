@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/manta_telemetry-b04cdf6110b8aeb0.d: crates/manta-telemetry/src/lib.rs crates/manta-telemetry/src/json.rs crates/manta-telemetry/src/metrics.rs crates/manta-telemetry/src/report.rs crates/manta-telemetry/src/sink.rs crates/manta-telemetry/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanta_telemetry-b04cdf6110b8aeb0.rmeta: crates/manta-telemetry/src/lib.rs crates/manta-telemetry/src/json.rs crates/manta-telemetry/src/metrics.rs crates/manta-telemetry/src/report.rs crates/manta-telemetry/src/sink.rs crates/manta-telemetry/src/span.rs Cargo.toml
+
+crates/manta-telemetry/src/lib.rs:
+crates/manta-telemetry/src/json.rs:
+crates/manta-telemetry/src/metrics.rs:
+crates/manta-telemetry/src/report.rs:
+crates/manta-telemetry/src/sink.rs:
+crates/manta-telemetry/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/manta_tests-00fe9744d5a8a44e.d: crates/manta-tests/src/lib.rs
+
+/root/repo/target/debug/deps/libmanta_tests-00fe9744d5a8a44e.rlib: crates/manta-tests/src/lib.rs
+
+/root/repo/target/debug/deps/libmanta_tests-00fe9744d5a8a44e.rmeta: crates/manta-tests/src/lib.rs
+
+crates/manta-tests/src/lib.rs:

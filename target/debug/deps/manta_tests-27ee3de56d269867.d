@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/manta_tests-27ee3de56d269867.d: crates/manta-tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanta_tests-27ee3de56d269867.rmeta: crates/manta-tests/src/lib.rs Cargo.toml
+
+crates/manta-tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/manta_tests-788fac7ae57e39e0.d: crates/manta-tests/src/lib.rs
+
+/root/repo/target/debug/deps/manta_tests-788fac7ae57e39e0: crates/manta-tests/src/lib.rs
+
+crates/manta-tests/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/manta_tests-dc4964929992c903.d: crates/manta-tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanta_tests-dc4964929992c903.rmeta: crates/manta-tests/src/lib.rs Cargo.toml
+
+crates/manta-tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

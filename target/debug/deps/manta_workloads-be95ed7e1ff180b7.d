@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/manta_workloads-be95ed7e1ff180b7.d: crates/manta-workloads/src/lib.rs crates/manta-workloads/src/firmware.rs crates/manta-workloads/src/generator.rs crates/manta-workloads/src/mix.rs crates/manta-workloads/src/projects.rs crates/manta-workloads/src/rng.rs crates/manta-workloads/src/truth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanta_workloads-be95ed7e1ff180b7.rmeta: crates/manta-workloads/src/lib.rs crates/manta-workloads/src/firmware.rs crates/manta-workloads/src/generator.rs crates/manta-workloads/src/mix.rs crates/manta-workloads/src/projects.rs crates/manta-workloads/src/rng.rs crates/manta-workloads/src/truth.rs Cargo.toml
+
+crates/manta-workloads/src/lib.rs:
+crates/manta-workloads/src/firmware.rs:
+crates/manta-workloads/src/generator.rs:
+crates/manta-workloads/src/mix.rs:
+crates/manta-workloads/src/projects.rs:
+crates/manta-workloads/src/rng.rs:
+crates/manta-workloads/src/truth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/manta_workloads-d500ac8f0a179951.d: crates/manta-workloads/src/lib.rs crates/manta-workloads/src/firmware.rs crates/manta-workloads/src/generator.rs crates/manta-workloads/src/mix.rs crates/manta-workloads/src/projects.rs crates/manta-workloads/src/rng.rs crates/manta-workloads/src/truth.rs
+
+/root/repo/target/debug/deps/libmanta_workloads-d500ac8f0a179951.rlib: crates/manta-workloads/src/lib.rs crates/manta-workloads/src/firmware.rs crates/manta-workloads/src/generator.rs crates/manta-workloads/src/mix.rs crates/manta-workloads/src/projects.rs crates/manta-workloads/src/rng.rs crates/manta-workloads/src/truth.rs
+
+/root/repo/target/debug/deps/libmanta_workloads-d500ac8f0a179951.rmeta: crates/manta-workloads/src/lib.rs crates/manta-workloads/src/firmware.rs crates/manta-workloads/src/generator.rs crates/manta-workloads/src/mix.rs crates/manta-workloads/src/projects.rs crates/manta-workloads/src/rng.rs crates/manta-workloads/src/truth.rs
+
+crates/manta-workloads/src/lib.rs:
+crates/manta-workloads/src/firmware.rs:
+crates/manta-workloads/src/generator.rs:
+crates/manta-workloads/src/mix.rs:
+crates/manta-workloads/src/projects.rs:
+crates/manta-workloads/src/rng.rs:
+crates/manta-workloads/src/truth.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/manta_workloads-f964b048db63a9c3.d: crates/manta-workloads/src/lib.rs crates/manta-workloads/src/firmware.rs crates/manta-workloads/src/generator.rs crates/manta-workloads/src/mix.rs crates/manta-workloads/src/projects.rs crates/manta-workloads/src/rng.rs crates/manta-workloads/src/truth.rs
+
+/root/repo/target/debug/deps/manta_workloads-f964b048db63a9c3: crates/manta-workloads/src/lib.rs crates/manta-workloads/src/firmware.rs crates/manta-workloads/src/generator.rs crates/manta-workloads/src/mix.rs crates/manta-workloads/src/projects.rs crates/manta-workloads/src/rng.rs crates/manta-workloads/src/truth.rs
+
+crates/manta-workloads/src/lib.rs:
+crates/manta-workloads/src/firmware.rs:
+crates/manta-workloads/src/generator.rs:
+crates/manta-workloads/src/mix.rs:
+crates/manta-workloads/src/projects.rs:
+crates/manta-workloads/src/rng.rs:
+crates/manta-workloads/src/truth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/motivating_examples-212a1fb1fe3d6f4a.d: crates/manta-tests/../../tests/motivating_examples.rs
+
+/root/repo/target/debug/deps/motivating_examples-212a1fb1fe3d6f4a: crates/manta-tests/../../tests/motivating_examples.rs
+
+crates/manta-tests/../../tests/motivating_examples.rs:

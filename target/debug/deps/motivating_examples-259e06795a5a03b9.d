@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/motivating_examples-259e06795a5a03b9.d: crates/manta-tests/../../tests/motivating_examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmotivating_examples-259e06795a5a03b9.rmeta: crates/manta-tests/../../tests/motivating_examples.rs Cargo.toml
+
+crates/manta-tests/../../tests/motivating_examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-976d27e23b720d0b.d: crates/manta-tests/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-976d27e23b720d0b: crates/manta-tests/../../tests/pipeline.rs
+
+crates/manta-tests/../../tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-c38b1b05c2d8de94.d: crates/manta-tests/../../tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-c38b1b05c2d8de94.rmeta: crates/manta-tests/../../tests/pipeline.rs Cargo.toml
+
+crates/manta-tests/../../tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

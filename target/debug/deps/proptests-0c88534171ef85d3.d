@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-0c88534171ef85d3.d: crates/manta-isa/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-0c88534171ef85d3: crates/manta-isa/tests/proptests.rs
+
+crates/manta-isa/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-6340cec3cac677a0.d: crates/manta-isa/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-6340cec3cac677a0.rmeta: crates/manta-isa/tests/proptests.rs Cargo.toml
+
+crates/manta-isa/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrates-435ce777899dff27.d: crates/manta-bench/benches/substrates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrates-435ce777899dff27.rmeta: crates/manta-bench/benches/substrates.rs Cargo.toml
+
+crates/manta-bench/benches/substrates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

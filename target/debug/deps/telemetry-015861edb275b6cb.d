@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry-015861edb275b6cb.d: crates/manta-bench/benches/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry-015861edb275b6cb.rmeta: crates/manta-bench/benches/telemetry.rs Cargo.toml
+
+crates/manta-bench/benches/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-3b6e644b93fbe298.d: crates/manta-telemetry/tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-3b6e644b93fbe298: crates/manta-telemetry/tests/telemetry.rs
+
+crates/manta-telemetry/tests/telemetry.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry-46518a577e56d0e8.d: crates/manta-telemetry/tests/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry-46518a577e56d0e8.rmeta: crates/manta-telemetry/tests/telemetry.rs Cargo.toml
+
+crates/manta-telemetry/tests/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_checker-25473a0e2e8cd0b0.d: crates/manta-bench/../../examples/custom_checker.rs
+
+/root/repo/target/debug/examples/custom_checker-25473a0e2e8cd0b0: crates/manta-bench/../../examples/custom_checker.rs
+
+crates/manta-bench/../../examples/custom_checker.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_checker-b4a4fdd3471544fa.d: crates/manta-bench/../../examples/custom_checker.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_checker-b4a4fdd3471544fa.rmeta: crates/manta-bench/../../examples/custom_checker.rs Cargo.toml
+
+crates/manta-bench/../../examples/custom_checker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/firmware_audit-609ede8243305d86.d: crates/manta-bench/../../examples/firmware_audit.rs
+
+/root/repo/target/debug/examples/firmware_audit-609ede8243305d86: crates/manta-bench/../../examples/firmware_audit.rs
+
+crates/manta-bench/../../examples/firmware_audit.rs:

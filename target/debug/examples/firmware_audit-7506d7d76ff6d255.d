@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/firmware_audit-7506d7d76ff6d255.d: crates/manta-bench/../../examples/firmware_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfirmware_audit-7506d7d76ff6d255.rmeta: crates/manta-bench/../../examples/firmware_audit.rs Cargo.toml
+
+crates/manta-bench/../../examples/firmware_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/indirect_call_audit-104600bfec1a9eb4.d: crates/manta-bench/../../examples/indirect_call_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libindirect_call_audit-104600bfec1a9eb4.rmeta: crates/manta-bench/../../examples/indirect_call_audit.rs Cargo.toml
+
+crates/manta-bench/../../examples/indirect_call_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/indirect_call_audit-8649fd28e34b857f.d: crates/manta-bench/../../examples/indirect_call_audit.rs
+
+/root/repo/target/debug/examples/indirect_call_audit-8649fd28e34b857f: crates/manta-bench/../../examples/indirect_call_audit.rs
+
+crates/manta-bench/../../examples/indirect_call_audit.rs:

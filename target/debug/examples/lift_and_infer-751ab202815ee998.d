@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lift_and_infer-751ab202815ee998.d: crates/manta-bench/../../examples/lift_and_infer.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblift_and_infer-751ab202815ee998.rmeta: crates/manta-bench/../../examples/lift_and_infer.rs Cargo.toml
+
+crates/manta-bench/../../examples/lift_and_infer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lift_and_infer-d9b863f7c0644489.d: crates/manta-bench/../../examples/lift_and_infer.rs
+
+/root/repo/target/debug/examples/lift_and_infer-d9b863f7c0644489: crates/manta-bench/../../examples/lift_and_infer.rs
+
+crates/manta-bench/../../examples/lift_and_infer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-142bd252bd1ec19f.d: crates/manta-bench/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-142bd252bd1ec19f.rmeta: crates/manta-bench/../../examples/quickstart.rs Cargo.toml
+
+crates/manta-bench/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d42403cf288a714f.d: crates/manta-bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d42403cf288a714f: crates/manta-bench/../../examples/quickstart.rs
+
+crates/manta-bench/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-be95b4c406e3aff6.d: crates/manta-bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-be95b4c406e3aff6: crates/manta-bench/benches/ablations.rs
+
+crates/manta-bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/clients-e43c838c67a6b0e5.d: crates/manta-bench/benches/clients.rs
+
+/root/repo/target/release/deps/clients-e43c838c67a6b0e5: crates/manta-bench/benches/clients.rs
+
+crates/manta-bench/benches/clients.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation_order-6e09c999190f428c.d: crates/manta-bench/src/bin/exp_ablation_order.rs
+
+/root/repo/target/release/deps/exp_ablation_order-6e09c999190f428c: crates/manta-bench/src/bin/exp_ablation_order.rs
+
+crates/manta-bench/src/bin/exp_ablation_order.rs:

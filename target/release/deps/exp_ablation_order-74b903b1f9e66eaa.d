@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation_order-74b903b1f9e66eaa.d: crates/manta-bench/src/bin/exp_ablation_order.rs
+
+/root/repo/target/release/deps/exp_ablation_order-74b903b1f9e66eaa: crates/manta-bench/src/bin/exp_ablation_order.rs
+
+crates/manta-bench/src/bin/exp_ablation_order.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation_order-f54278bdb2e59b82.d: crates/manta-bench/src/bin/exp_ablation_order.rs
+
+/root/repo/target/release/deps/exp_ablation_order-f54278bdb2e59b82: crates/manta-bench/src/bin/exp_ablation_order.rs
+
+crates/manta-bench/src/bin/exp_ablation_order.rs:

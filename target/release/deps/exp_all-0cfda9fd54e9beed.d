@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_all-0cfda9fd54e9beed.d: crates/manta-bench/src/bin/exp_all.rs
+
+/root/repo/target/release/deps/exp_all-0cfda9fd54e9beed: crates/manta-bench/src/bin/exp_all.rs
+
+crates/manta-bench/src/bin/exp_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_all-28834d485f1a57e5.d: crates/manta-bench/src/bin/exp_all.rs
+
+/root/repo/target/release/deps/exp_all-28834d485f1a57e5: crates/manta-bench/src/bin/exp_all.rs
+
+crates/manta-bench/src/bin/exp_all.rs:

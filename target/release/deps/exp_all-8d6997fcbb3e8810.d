@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_all-8d6997fcbb3e8810.d: crates/manta-bench/src/bin/exp_all.rs
+
+/root/repo/target/release/deps/exp_all-8d6997fcbb3e8810: crates/manta-bench/src/bin/exp_all.rs
+
+crates/manta-bench/src/bin/exp_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_figure10-02eb4e1d35f07bbd.d: crates/manta-bench/src/bin/exp_figure10.rs
+
+/root/repo/target/release/deps/exp_figure10-02eb4e1d35f07bbd: crates/manta-bench/src/bin/exp_figure10.rs
+
+crates/manta-bench/src/bin/exp_figure10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_figure10-0da24033448a8380.d: crates/manta-bench/src/bin/exp_figure10.rs
+
+/root/repo/target/release/deps/exp_figure10-0da24033448a8380: crates/manta-bench/src/bin/exp_figure10.rs
+
+crates/manta-bench/src/bin/exp_figure10.rs:

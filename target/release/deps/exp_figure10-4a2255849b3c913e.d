@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_figure10-4a2255849b3c913e.d: crates/manta-bench/src/bin/exp_figure10.rs
+
+/root/repo/target/release/deps/exp_figure10-4a2255849b3c913e: crates/manta-bench/src/bin/exp_figure10.rs
+
+crates/manta-bench/src/bin/exp_figure10.rs:

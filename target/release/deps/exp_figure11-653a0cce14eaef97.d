@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_figure11-653a0cce14eaef97.d: crates/manta-bench/src/bin/exp_figure11.rs
+
+/root/repo/target/release/deps/exp_figure11-653a0cce14eaef97: crates/manta-bench/src/bin/exp_figure11.rs
+
+crates/manta-bench/src/bin/exp_figure11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_figure11-7f33bfa78527d40a.d: crates/manta-bench/src/bin/exp_figure11.rs
+
+/root/repo/target/release/deps/exp_figure11-7f33bfa78527d40a: crates/manta-bench/src/bin/exp_figure11.rs
+
+crates/manta-bench/src/bin/exp_figure11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_figure11-f5417c4cc0764a64.d: crates/manta-bench/src/bin/exp_figure11.rs
+
+/root/repo/target/release/deps/exp_figure11-f5417c4cc0764a64: crates/manta-bench/src/bin/exp_figure11.rs
+
+crates/manta-bench/src/bin/exp_figure11.rs:

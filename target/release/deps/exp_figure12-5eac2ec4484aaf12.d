@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_figure12-5eac2ec4484aaf12.d: crates/manta-bench/src/bin/exp_figure12.rs
+
+/root/repo/target/release/deps/exp_figure12-5eac2ec4484aaf12: crates/manta-bench/src/bin/exp_figure12.rs
+
+crates/manta-bench/src/bin/exp_figure12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_figure12-5eb76f7c1a01c79b.d: crates/manta-bench/src/bin/exp_figure12.rs
+
+/root/repo/target/release/deps/exp_figure12-5eb76f7c1a01c79b: crates/manta-bench/src/bin/exp_figure12.rs
+
+crates/manta-bench/src/bin/exp_figure12.rs:

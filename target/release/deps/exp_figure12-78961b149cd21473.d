@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_figure12-78961b149cd21473.d: crates/manta-bench/src/bin/exp_figure12.rs
+
+/root/repo/target/release/deps/exp_figure12-78961b149cd21473: crates/manta-bench/src/bin/exp_figure12.rs
+
+crates/manta-bench/src/bin/exp_figure12.rs:

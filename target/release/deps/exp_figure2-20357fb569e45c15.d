@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_figure2-20357fb569e45c15.d: crates/manta-bench/src/bin/exp_figure2.rs
+
+/root/repo/target/release/deps/exp_figure2-20357fb569e45c15: crates/manta-bench/src/bin/exp_figure2.rs
+
+crates/manta-bench/src/bin/exp_figure2.rs:

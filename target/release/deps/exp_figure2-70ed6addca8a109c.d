@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_figure2-70ed6addca8a109c.d: crates/manta-bench/src/bin/exp_figure2.rs
+
+/root/repo/target/release/deps/exp_figure2-70ed6addca8a109c: crates/manta-bench/src/bin/exp_figure2.rs
+
+crates/manta-bench/src/bin/exp_figure2.rs:

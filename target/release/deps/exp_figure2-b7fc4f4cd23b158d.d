@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_figure2-b7fc4f4cd23b158d.d: crates/manta-bench/src/bin/exp_figure2.rs
+
+/root/repo/target/release/deps/exp_figure2-b7fc4f4cd23b158d: crates/manta-bench/src/bin/exp_figure2.rs
+
+crates/manta-bench/src/bin/exp_figure2.rs:

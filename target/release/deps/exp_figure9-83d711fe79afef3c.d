@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_figure9-83d711fe79afef3c.d: crates/manta-bench/src/bin/exp_figure9.rs
+
+/root/repo/target/release/deps/exp_figure9-83d711fe79afef3c: crates/manta-bench/src/bin/exp_figure9.rs
+
+crates/manta-bench/src/bin/exp_figure9.rs:

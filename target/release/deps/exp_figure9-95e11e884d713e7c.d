@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_figure9-95e11e884d713e7c.d: crates/manta-bench/src/bin/exp_figure9.rs
+
+/root/repo/target/release/deps/exp_figure9-95e11e884d713e7c: crates/manta-bench/src/bin/exp_figure9.rs
+
+crates/manta-bench/src/bin/exp_figure9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_figure9-db12224a8bde51ec.d: crates/manta-bench/src/bin/exp_figure9.rs
+
+/root/repo/target/release/deps/exp_figure9-db12224a8bde51ec: crates/manta-bench/src/bin/exp_figure9.rs
+
+crates/manta-bench/src/bin/exp_figure9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table3-2905efab3f5c5351.d: crates/manta-bench/src/bin/exp_table3.rs
+
+/root/repo/target/release/deps/exp_table3-2905efab3f5c5351: crates/manta-bench/src/bin/exp_table3.rs
+
+crates/manta-bench/src/bin/exp_table3.rs:

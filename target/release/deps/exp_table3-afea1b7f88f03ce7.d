@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table3-afea1b7f88f03ce7.d: crates/manta-bench/src/bin/exp_table3.rs
+
+/root/repo/target/release/deps/exp_table3-afea1b7f88f03ce7: crates/manta-bench/src/bin/exp_table3.rs
+
+crates/manta-bench/src/bin/exp_table3.rs:

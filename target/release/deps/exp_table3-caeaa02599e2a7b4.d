@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table3-caeaa02599e2a7b4.d: crates/manta-bench/src/bin/exp_table3.rs
+
+/root/repo/target/release/deps/exp_table3-caeaa02599e2a7b4: crates/manta-bench/src/bin/exp_table3.rs
+
+crates/manta-bench/src/bin/exp_table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table4-8f2bbc1c7b0bc21c.d: crates/manta-bench/src/bin/exp_table4.rs
+
+/root/repo/target/release/deps/exp_table4-8f2bbc1c7b0bc21c: crates/manta-bench/src/bin/exp_table4.rs
+
+crates/manta-bench/src/bin/exp_table4.rs:

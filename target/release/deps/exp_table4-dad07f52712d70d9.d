@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table4-dad07f52712d70d9.d: crates/manta-bench/src/bin/exp_table4.rs
+
+/root/repo/target/release/deps/exp_table4-dad07f52712d70d9: crates/manta-bench/src/bin/exp_table4.rs
+
+crates/manta-bench/src/bin/exp_table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table4-e85416853589f720.d: crates/manta-bench/src/bin/exp_table4.rs
+
+/root/repo/target/release/deps/exp_table4-e85416853589f720: crates/manta-bench/src/bin/exp_table4.rs
+
+crates/manta-bench/src/bin/exp_table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table5-2d975f30f8e24fe4.d: crates/manta-bench/src/bin/exp_table5.rs
+
+/root/repo/target/release/deps/exp_table5-2d975f30f8e24fe4: crates/manta-bench/src/bin/exp_table5.rs
+
+crates/manta-bench/src/bin/exp_table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table5-802f71584ec6546c.d: crates/manta-bench/src/bin/exp_table5.rs
+
+/root/repo/target/release/deps/exp_table5-802f71584ec6546c: crates/manta-bench/src/bin/exp_table5.rs
+
+crates/manta-bench/src/bin/exp_table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table5-d86824639dafca54.d: crates/manta-bench/src/bin/exp_table5.rs
+
+/root/repo/target/release/deps/exp_table5-d86824639dafca54: crates/manta-bench/src/bin/exp_table5.rs
+
+crates/manta-bench/src/bin/exp_table5.rs:

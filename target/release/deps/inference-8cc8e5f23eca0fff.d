@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/inference-8cc8e5f23eca0fff.d: crates/manta-bench/benches/inference.rs
+
+/root/repo/target/release/deps/inference-8cc8e5f23eca0fff: crates/manta-bench/benches/inference.rs
+
+crates/manta-bench/benches/inference.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/manta-0359e6861aaabd51.d: crates/manta/src/lib.rs crates/manta/src/classify.rs crates/manta/src/ctx_refine.rs crates/manta/src/flow_insensitive.rs crates/manta/src/flow_refine.rs crates/manta/src/interval.rs crates/manta/src/reveal.rs crates/manta/src/unify.rs
+
+/root/repo/target/release/deps/libmanta-0359e6861aaabd51.rlib: crates/manta/src/lib.rs crates/manta/src/classify.rs crates/manta/src/ctx_refine.rs crates/manta/src/flow_insensitive.rs crates/manta/src/flow_refine.rs crates/manta/src/interval.rs crates/manta/src/reveal.rs crates/manta/src/unify.rs
+
+/root/repo/target/release/deps/libmanta-0359e6861aaabd51.rmeta: crates/manta/src/lib.rs crates/manta/src/classify.rs crates/manta/src/ctx_refine.rs crates/manta/src/flow_insensitive.rs crates/manta/src/flow_refine.rs crates/manta/src/interval.rs crates/manta/src/reveal.rs crates/manta/src/unify.rs
+
+crates/manta/src/lib.rs:
+crates/manta/src/classify.rs:
+crates/manta/src/ctx_refine.rs:
+crates/manta/src/flow_insensitive.rs:
+crates/manta/src/flow_refine.rs:
+crates/manta/src/interval.rs:
+crates/manta/src/reveal.rs:
+crates/manta/src/unify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/manta-104e5444f8c068ad.d: crates/manta-cli/src/main.rs
+
+/root/repo/target/release/deps/manta-104e5444f8c068ad: crates/manta-cli/src/main.rs
+
+crates/manta-cli/src/main.rs:

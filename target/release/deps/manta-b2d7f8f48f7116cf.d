@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/manta-b2d7f8f48f7116cf.d: crates/manta-cli/src/main.rs
+
+/root/repo/target/release/deps/manta-b2d7f8f48f7116cf: crates/manta-cli/src/main.rs
+
+crates/manta-cli/src/main.rs:

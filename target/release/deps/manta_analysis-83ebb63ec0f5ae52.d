@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/manta_analysis-83ebb63ec0f5ae52.d: crates/manta-analysis/src/lib.rs crates/manta-analysis/src/callgraph.rs crates/manta-analysis/src/cfl.rs crates/manta-analysis/src/ddg.rs crates/manta-analysis/src/pointsto.rs crates/manta-analysis/src/preprocess.rs
+
+/root/repo/target/release/deps/libmanta_analysis-83ebb63ec0f5ae52.rlib: crates/manta-analysis/src/lib.rs crates/manta-analysis/src/callgraph.rs crates/manta-analysis/src/cfl.rs crates/manta-analysis/src/ddg.rs crates/manta-analysis/src/pointsto.rs crates/manta-analysis/src/preprocess.rs
+
+/root/repo/target/release/deps/libmanta_analysis-83ebb63ec0f5ae52.rmeta: crates/manta-analysis/src/lib.rs crates/manta-analysis/src/callgraph.rs crates/manta-analysis/src/cfl.rs crates/manta-analysis/src/ddg.rs crates/manta-analysis/src/pointsto.rs crates/manta-analysis/src/preprocess.rs
+
+crates/manta-analysis/src/lib.rs:
+crates/manta-analysis/src/callgraph.rs:
+crates/manta-analysis/src/cfl.rs:
+crates/manta-analysis/src/ddg.rs:
+crates/manta-analysis/src/pointsto.rs:
+crates/manta-analysis/src/preprocess.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/manta_baselines-5d9f7ed3c56cbcb8.d: crates/manta-baselines/src/lib.rs crates/manta-baselines/src/bugtools.rs crates/manta-baselines/src/dirty.rs crates/manta-baselines/src/ghidra.rs crates/manta-baselines/src/retdec.rs crates/manta-baselines/src/retypd.rs crates/manta-baselines/src/tool.rs
+
+/root/repo/target/release/deps/libmanta_baselines-5d9f7ed3c56cbcb8.rlib: crates/manta-baselines/src/lib.rs crates/manta-baselines/src/bugtools.rs crates/manta-baselines/src/dirty.rs crates/manta-baselines/src/ghidra.rs crates/manta-baselines/src/retdec.rs crates/manta-baselines/src/retypd.rs crates/manta-baselines/src/tool.rs
+
+/root/repo/target/release/deps/libmanta_baselines-5d9f7ed3c56cbcb8.rmeta: crates/manta-baselines/src/lib.rs crates/manta-baselines/src/bugtools.rs crates/manta-baselines/src/dirty.rs crates/manta-baselines/src/ghidra.rs crates/manta-baselines/src/retdec.rs crates/manta-baselines/src/retypd.rs crates/manta-baselines/src/tool.rs
+
+crates/manta-baselines/src/lib.rs:
+crates/manta-baselines/src/bugtools.rs:
+crates/manta-baselines/src/dirty.rs:
+crates/manta-baselines/src/ghidra.rs:
+crates/manta-baselines/src/retdec.rs:
+crates/manta-baselines/src/retypd.rs:
+crates/manta-baselines/src/tool.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/manta_baselines-e1453c3055a51d34.d: crates/manta-baselines/src/lib.rs crates/manta-baselines/src/bugtools.rs crates/manta-baselines/src/dirty.rs crates/manta-baselines/src/ghidra.rs crates/manta-baselines/src/retdec.rs crates/manta-baselines/src/retypd.rs crates/manta-baselines/src/tool.rs
+
+/root/repo/target/release/deps/libmanta_baselines-e1453c3055a51d34.rlib: crates/manta-baselines/src/lib.rs crates/manta-baselines/src/bugtools.rs crates/manta-baselines/src/dirty.rs crates/manta-baselines/src/ghidra.rs crates/manta-baselines/src/retdec.rs crates/manta-baselines/src/retypd.rs crates/manta-baselines/src/tool.rs
+
+/root/repo/target/release/deps/libmanta_baselines-e1453c3055a51d34.rmeta: crates/manta-baselines/src/lib.rs crates/manta-baselines/src/bugtools.rs crates/manta-baselines/src/dirty.rs crates/manta-baselines/src/ghidra.rs crates/manta-baselines/src/retdec.rs crates/manta-baselines/src/retypd.rs crates/manta-baselines/src/tool.rs
+
+crates/manta-baselines/src/lib.rs:
+crates/manta-baselines/src/bugtools.rs:
+crates/manta-baselines/src/dirty.rs:
+crates/manta-baselines/src/ghidra.rs:
+crates/manta-baselines/src/retdec.rs:
+crates/manta-baselines/src/retypd.rs:
+crates/manta-baselines/src/tool.rs:

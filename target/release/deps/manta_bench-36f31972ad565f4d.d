@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/manta_bench-36f31972ad565f4d.d: crates/manta-bench/src/lib.rs crates/manta-bench/src/harness.rs
+
+/root/repo/target/release/deps/manta_bench-36f31972ad565f4d: crates/manta-bench/src/lib.rs crates/manta-bench/src/harness.rs
+
+crates/manta-bench/src/lib.rs:
+crates/manta-bench/src/harness.rs:

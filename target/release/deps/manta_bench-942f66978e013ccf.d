@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/manta_bench-942f66978e013ccf.d: crates/manta-bench/src/lib.rs crates/manta-bench/src/harness.rs
+
+/root/repo/target/release/deps/libmanta_bench-942f66978e013ccf.rlib: crates/manta-bench/src/lib.rs crates/manta-bench/src/harness.rs
+
+/root/repo/target/release/deps/libmanta_bench-942f66978e013ccf.rmeta: crates/manta-bench/src/lib.rs crates/manta-bench/src/harness.rs
+
+crates/manta-bench/src/lib.rs:
+crates/manta-bench/src/harness.rs:

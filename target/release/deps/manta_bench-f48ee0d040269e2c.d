@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/manta_bench-f48ee0d040269e2c.d: crates/manta-bench/src/lib.rs crates/manta-bench/src/harness.rs
+
+/root/repo/target/release/deps/libmanta_bench-f48ee0d040269e2c.rlib: crates/manta-bench/src/lib.rs crates/manta-bench/src/harness.rs
+
+/root/repo/target/release/deps/libmanta_bench-f48ee0d040269e2c.rmeta: crates/manta-bench/src/lib.rs crates/manta-bench/src/harness.rs
+
+crates/manta-bench/src/lib.rs:
+crates/manta-bench/src/harness.rs:

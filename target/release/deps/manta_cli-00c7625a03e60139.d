@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/manta_cli-00c7625a03e60139.d: crates/manta-cli/src/lib.rs
+
+/root/repo/target/release/deps/libmanta_cli-00c7625a03e60139.rlib: crates/manta-cli/src/lib.rs
+
+/root/repo/target/release/deps/libmanta_cli-00c7625a03e60139.rmeta: crates/manta-cli/src/lib.rs
+
+crates/manta-cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/manta_cli-c3ecaec6c41e4b6e.d: crates/manta-cli/src/lib.rs
+
+/root/repo/target/release/deps/libmanta_cli-c3ecaec6c41e4b6e.rlib: crates/manta-cli/src/lib.rs
+
+/root/repo/target/release/deps/libmanta_cli-c3ecaec6c41e4b6e.rmeta: crates/manta-cli/src/lib.rs
+
+crates/manta-cli/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/manta_clients-55201dbb51c89abf.d: crates/manta-clients/src/lib.rs crates/manta-clients/src/checkers.rs crates/manta-clients/src/custom.rs crates/manta-clients/src/ddg_prune.rs crates/manta-clients/src/icall.rs crates/manta-clients/src/slicing.rs
+
+/root/repo/target/release/deps/libmanta_clients-55201dbb51c89abf.rlib: crates/manta-clients/src/lib.rs crates/manta-clients/src/checkers.rs crates/manta-clients/src/custom.rs crates/manta-clients/src/ddg_prune.rs crates/manta-clients/src/icall.rs crates/manta-clients/src/slicing.rs
+
+/root/repo/target/release/deps/libmanta_clients-55201dbb51c89abf.rmeta: crates/manta-clients/src/lib.rs crates/manta-clients/src/checkers.rs crates/manta-clients/src/custom.rs crates/manta-clients/src/ddg_prune.rs crates/manta-clients/src/icall.rs crates/manta-clients/src/slicing.rs
+
+crates/manta-clients/src/lib.rs:
+crates/manta-clients/src/checkers.rs:
+crates/manta-clients/src/custom.rs:
+crates/manta-clients/src/ddg_prune.rs:
+crates/manta-clients/src/icall.rs:
+crates/manta-clients/src/slicing.rs:

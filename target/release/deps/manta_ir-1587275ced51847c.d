@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/manta_ir-1587275ced51847c.d: crates/manta-ir/src/lib.rs crates/manta-ir/src/builder.rs crates/manta-ir/src/cfg.rs crates/manta-ir/src/dom.rs crates/manta-ir/src/externs.rs crates/manta-ir/src/function.rs crates/manta-ir/src/ids.rs crates/manta-ir/src/inst.rs crates/manta-ir/src/module.rs crates/manta-ir/src/parser.rs crates/manta-ir/src/printer.rs crates/manta-ir/src/types.rs crates/manta-ir/src/value.rs crates/manta-ir/src/verify.rs
+
+/root/repo/target/release/deps/libmanta_ir-1587275ced51847c.rlib: crates/manta-ir/src/lib.rs crates/manta-ir/src/builder.rs crates/manta-ir/src/cfg.rs crates/manta-ir/src/dom.rs crates/manta-ir/src/externs.rs crates/manta-ir/src/function.rs crates/manta-ir/src/ids.rs crates/manta-ir/src/inst.rs crates/manta-ir/src/module.rs crates/manta-ir/src/parser.rs crates/manta-ir/src/printer.rs crates/manta-ir/src/types.rs crates/manta-ir/src/value.rs crates/manta-ir/src/verify.rs
+
+/root/repo/target/release/deps/libmanta_ir-1587275ced51847c.rmeta: crates/manta-ir/src/lib.rs crates/manta-ir/src/builder.rs crates/manta-ir/src/cfg.rs crates/manta-ir/src/dom.rs crates/manta-ir/src/externs.rs crates/manta-ir/src/function.rs crates/manta-ir/src/ids.rs crates/manta-ir/src/inst.rs crates/manta-ir/src/module.rs crates/manta-ir/src/parser.rs crates/manta-ir/src/printer.rs crates/manta-ir/src/types.rs crates/manta-ir/src/value.rs crates/manta-ir/src/verify.rs
+
+crates/manta-ir/src/lib.rs:
+crates/manta-ir/src/builder.rs:
+crates/manta-ir/src/cfg.rs:
+crates/manta-ir/src/dom.rs:
+crates/manta-ir/src/externs.rs:
+crates/manta-ir/src/function.rs:
+crates/manta-ir/src/ids.rs:
+crates/manta-ir/src/inst.rs:
+crates/manta-ir/src/module.rs:
+crates/manta-ir/src/parser.rs:
+crates/manta-ir/src/printer.rs:
+crates/manta-ir/src/types.rs:
+crates/manta-ir/src/value.rs:
+crates/manta-ir/src/verify.rs:

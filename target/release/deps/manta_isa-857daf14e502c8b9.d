@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/manta_isa-857daf14e502c8b9.d: crates/manta-isa/src/lib.rs crates/manta-isa/src/asm.rs crates/manta-isa/src/image.rs crates/manta-isa/src/inst.rs crates/manta-isa/src/lift.rs
+
+/root/repo/target/release/deps/libmanta_isa-857daf14e502c8b9.rlib: crates/manta-isa/src/lib.rs crates/manta-isa/src/asm.rs crates/manta-isa/src/image.rs crates/manta-isa/src/inst.rs crates/manta-isa/src/lift.rs
+
+/root/repo/target/release/deps/libmanta_isa-857daf14e502c8b9.rmeta: crates/manta-isa/src/lib.rs crates/manta-isa/src/asm.rs crates/manta-isa/src/image.rs crates/manta-isa/src/inst.rs crates/manta-isa/src/lift.rs
+
+crates/manta-isa/src/lib.rs:
+crates/manta-isa/src/asm.rs:
+crates/manta-isa/src/image.rs:
+crates/manta-isa/src/inst.rs:
+crates/manta-isa/src/lift.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/manta_isa-a5e07b4d568b2359.d: crates/manta-isa/src/lib.rs crates/manta-isa/src/asm.rs crates/manta-isa/src/image.rs crates/manta-isa/src/inst.rs crates/manta-isa/src/lift.rs
+
+/root/repo/target/release/deps/libmanta_isa-a5e07b4d568b2359.rlib: crates/manta-isa/src/lib.rs crates/manta-isa/src/asm.rs crates/manta-isa/src/image.rs crates/manta-isa/src/inst.rs crates/manta-isa/src/lift.rs
+
+/root/repo/target/release/deps/libmanta_isa-a5e07b4d568b2359.rmeta: crates/manta-isa/src/lib.rs crates/manta-isa/src/asm.rs crates/manta-isa/src/image.rs crates/manta-isa/src/inst.rs crates/manta-isa/src/lift.rs
+
+crates/manta-isa/src/lib.rs:
+crates/manta-isa/src/asm.rs:
+crates/manta-isa/src/image.rs:
+crates/manta-isa/src/inst.rs:
+crates/manta-isa/src/lift.rs:

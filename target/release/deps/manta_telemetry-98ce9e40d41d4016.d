@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/manta_telemetry-98ce9e40d41d4016.d: crates/manta-telemetry/src/lib.rs crates/manta-telemetry/src/json.rs crates/manta-telemetry/src/metrics.rs crates/manta-telemetry/src/report.rs crates/manta-telemetry/src/sink.rs crates/manta-telemetry/src/span.rs
+
+/root/repo/target/release/deps/libmanta_telemetry-98ce9e40d41d4016.rlib: crates/manta-telemetry/src/lib.rs crates/manta-telemetry/src/json.rs crates/manta-telemetry/src/metrics.rs crates/manta-telemetry/src/report.rs crates/manta-telemetry/src/sink.rs crates/manta-telemetry/src/span.rs
+
+/root/repo/target/release/deps/libmanta_telemetry-98ce9e40d41d4016.rmeta: crates/manta-telemetry/src/lib.rs crates/manta-telemetry/src/json.rs crates/manta-telemetry/src/metrics.rs crates/manta-telemetry/src/report.rs crates/manta-telemetry/src/sink.rs crates/manta-telemetry/src/span.rs
+
+crates/manta-telemetry/src/lib.rs:
+crates/manta-telemetry/src/json.rs:
+crates/manta-telemetry/src/metrics.rs:
+crates/manta-telemetry/src/report.rs:
+crates/manta-telemetry/src/sink.rs:
+crates/manta-telemetry/src/span.rs:

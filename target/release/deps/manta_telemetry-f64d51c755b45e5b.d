@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/manta_telemetry-f64d51c755b45e5b.d: crates/manta-telemetry/src/lib.rs crates/manta-telemetry/src/json.rs crates/manta-telemetry/src/metrics.rs crates/manta-telemetry/src/report.rs crates/manta-telemetry/src/sink.rs crates/manta-telemetry/src/span.rs
+
+/root/repo/target/release/deps/libmanta_telemetry-f64d51c755b45e5b.rlib: crates/manta-telemetry/src/lib.rs crates/manta-telemetry/src/json.rs crates/manta-telemetry/src/metrics.rs crates/manta-telemetry/src/report.rs crates/manta-telemetry/src/sink.rs crates/manta-telemetry/src/span.rs
+
+/root/repo/target/release/deps/libmanta_telemetry-f64d51c755b45e5b.rmeta: crates/manta-telemetry/src/lib.rs crates/manta-telemetry/src/json.rs crates/manta-telemetry/src/metrics.rs crates/manta-telemetry/src/report.rs crates/manta-telemetry/src/sink.rs crates/manta-telemetry/src/span.rs
+
+crates/manta-telemetry/src/lib.rs:
+crates/manta-telemetry/src/json.rs:
+crates/manta-telemetry/src/metrics.rs:
+crates/manta-telemetry/src/report.rs:
+crates/manta-telemetry/src/sink.rs:
+crates/manta-telemetry/src/span.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/manta_tests-70b76c12f0376417.d: crates/manta-tests/src/lib.rs
+
+/root/repo/target/release/deps/libmanta_tests-70b76c12f0376417.rlib: crates/manta-tests/src/lib.rs
+
+/root/repo/target/release/deps/libmanta_tests-70b76c12f0376417.rmeta: crates/manta-tests/src/lib.rs
+
+crates/manta-tests/src/lib.rs:

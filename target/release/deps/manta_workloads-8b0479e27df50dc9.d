@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/manta_workloads-8b0479e27df50dc9.d: crates/manta-workloads/src/lib.rs crates/manta-workloads/src/firmware.rs crates/manta-workloads/src/generator.rs crates/manta-workloads/src/mix.rs crates/manta-workloads/src/projects.rs crates/manta-workloads/src/rng.rs crates/manta-workloads/src/truth.rs
+
+/root/repo/target/release/deps/libmanta_workloads-8b0479e27df50dc9.rlib: crates/manta-workloads/src/lib.rs crates/manta-workloads/src/firmware.rs crates/manta-workloads/src/generator.rs crates/manta-workloads/src/mix.rs crates/manta-workloads/src/projects.rs crates/manta-workloads/src/rng.rs crates/manta-workloads/src/truth.rs
+
+/root/repo/target/release/deps/libmanta_workloads-8b0479e27df50dc9.rmeta: crates/manta-workloads/src/lib.rs crates/manta-workloads/src/firmware.rs crates/manta-workloads/src/generator.rs crates/manta-workloads/src/mix.rs crates/manta-workloads/src/projects.rs crates/manta-workloads/src/rng.rs crates/manta-workloads/src/truth.rs
+
+crates/manta-workloads/src/lib.rs:
+crates/manta-workloads/src/firmware.rs:
+crates/manta-workloads/src/generator.rs:
+crates/manta-workloads/src/mix.rs:
+crates/manta-workloads/src/projects.rs:
+crates/manta-workloads/src/rng.rs:
+crates/manta-workloads/src/truth.rs:

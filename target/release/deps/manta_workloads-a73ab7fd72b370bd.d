@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/manta_workloads-a73ab7fd72b370bd.d: crates/manta-workloads/src/lib.rs crates/manta-workloads/src/firmware.rs crates/manta-workloads/src/generator.rs crates/manta-workloads/src/mix.rs crates/manta-workloads/src/projects.rs crates/manta-workloads/src/rng.rs crates/manta-workloads/src/truth.rs
+
+/root/repo/target/release/deps/libmanta_workloads-a73ab7fd72b370bd.rlib: crates/manta-workloads/src/lib.rs crates/manta-workloads/src/firmware.rs crates/manta-workloads/src/generator.rs crates/manta-workloads/src/mix.rs crates/manta-workloads/src/projects.rs crates/manta-workloads/src/rng.rs crates/manta-workloads/src/truth.rs
+
+/root/repo/target/release/deps/libmanta_workloads-a73ab7fd72b370bd.rmeta: crates/manta-workloads/src/lib.rs crates/manta-workloads/src/firmware.rs crates/manta-workloads/src/generator.rs crates/manta-workloads/src/mix.rs crates/manta-workloads/src/projects.rs crates/manta-workloads/src/rng.rs crates/manta-workloads/src/truth.rs
+
+crates/manta-workloads/src/lib.rs:
+crates/manta-workloads/src/firmware.rs:
+crates/manta-workloads/src/generator.rs:
+crates/manta-workloads/src/mix.rs:
+crates/manta-workloads/src/projects.rs:
+crates/manta-workloads/src/rng.rs:
+crates/manta-workloads/src/truth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrates-4933439aca1e8dc8.d: crates/manta-bench/benches/substrates.rs
+
+/root/repo/target/release/deps/substrates-4933439aca1e8dc8: crates/manta-bench/benches/substrates.rs
+
+crates/manta-bench/benches/substrates.rs:

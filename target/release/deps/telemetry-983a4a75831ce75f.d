@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry-983a4a75831ce75f.d: crates/manta-bench/benches/telemetry.rs
+
+/root/repo/target/release/deps/telemetry-983a4a75831ce75f: crates/manta-bench/benches/telemetry.rs
+
+crates/manta-bench/benches/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry-c0c6a159fd92ee43.d: crates/manta-bench/benches/telemetry.rs
+
+/root/repo/target/release/deps/telemetry-c0c6a159fd92ee43: crates/manta-bench/benches/telemetry.rs
+
+crates/manta-bench/benches/telemetry.rs:

@@ -68,7 +68,10 @@ fn typed_detection_reports_a_subset_of_untyped_reports() {
             r.func
         );
     }
-    assert!(typed.len() < untyped.len(), "types must remove some reports");
+    assert!(
+        typed.len() < untyped.len(),
+        "types must remove some reports"
+    );
 }
 
 #[test]
@@ -90,8 +93,7 @@ fn typed_slicing_visits_fewer_ddg_nodes() {
         &BugKind::ALL,
         CheckerConfig::default(),
     );
-    let (_, untyped_visits) =
-        detect_bugs(&analysis, None, &BugKind::ALL, CheckerConfig::default());
+    let (_, untyped_visits) = detect_bugs(&analysis, None, &BugKind::ALL, CheckerConfig::default());
     assert!(
         typed_visits < untyped_visits,
         "typed {typed_visits} vs untyped {untyped_visits}"
@@ -114,7 +116,10 @@ fn custom_checker_composes_with_generated_firmware() {
     let checker = CustomChecker {
         name: "TAINT->STRCPY".into(),
         sources: SourceSpec::ExternReturn("nvram_get".into()),
-        sinks: SinkSpec::ExternArg { name: "strcpy".into(), index: 1 },
+        sinks: SinkSpec::ExternArg {
+            name: "strcpy".into(),
+            index: 1,
+        },
         numeric_guard: true,
     };
     let reports = checker.detect(
@@ -154,7 +159,10 @@ fn detection_is_deterministic() {
         reports
             .into_iter()
             .map(|r| {
-                (r.kind, analysis.module().function(r.func).name().to_string())
+                (
+                    r.kind,
+                    analysis.module().function(r.func).name().to_string(),
+                )
             })
             .collect::<Vec<_>>()
     };

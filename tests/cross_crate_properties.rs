@@ -1,90 +1,119 @@
 //! Property-based tests spanning crates: text/bytes roundtrips on
 //! generated programs, lattice laws exercised through the inference, and
 //! metric identities.
-
-use proptest::prelude::*;
+//!
+//! `proptest` is unavailable offline; the same properties run over a
+//! deterministic seeded type/program stream instead (the workload RNG,
+//! so every failure reproduces from its printed seed).
 
 use manta::{Manta, MantaConfig, Sensitivity};
 use manta_analysis::ModuleAnalysis;
 use manta_ir::{parser::parse_module, printer::print_module, Type, Width};
+use manta_workloads::rng::ChaCha8Rng;
 use manta_workloads::{generator, PhenomenonMix};
 
-fn arb_type() -> impl Strategy<Value = Type> {
-    let leaf = prop_oneof![
-        Just(Type::Top),
-        Just(Type::Bottom),
-        Just(Type::Int(Width::W8)),
-        Just(Type::Int(Width::W32)),
-        Just(Type::Int(Width::W64)),
-        Just(Type::Float),
-        Just(Type::Double),
-        Just(Type::Num(Width::W32)),
-        Just(Type::Num(Width::W64)),
-        Just(Type::Reg(Width::W64)),
+/// An arbitrary type of bounded depth, mirroring the old proptest
+/// strategy: leaves plus recursive pointer/array/object constructors.
+fn arb_type(rng: &mut ChaCha8Rng, depth: usize) -> Type {
+    let leaves = [
+        Type::Top,
+        Type::Bottom,
+        Type::Int(Width::W8),
+        Type::Int(Width::W32),
+        Type::Int(Width::W64),
+        Type::Float,
+        Type::Double,
+        Type::Num(Width::W32),
+        Type::Num(Width::W64),
+        Type::Reg(Width::W64),
     ];
-    leaf.prop_recursive(3, 16, 4, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(Type::ptr),
-            (inner.clone(), 1u64..8).prop_map(|(t, n)| Type::array(t, n)),
-            prop::collection::vec((0u64..4, inner), 0..3)
-                .prop_map(|fields| Type::object(fields.into_iter().map(|(o, t)| (o * 8, t)).collect())),
-        ]
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Lattice laws: join/meet are commutative, idempotent, bounded, and
-    /// consistent with subtyping.
-    #[test]
-    fn lattice_laws(a in arb_type(), b in arb_type()) {
-        prop_assert_eq!(a.join(&b), b.join(&a));
-        prop_assert_eq!(a.meet(&b), b.meet(&a));
-        prop_assert_eq!(a.join(&a), a.clone());
-        prop_assert_eq!(a.meet(&a), a.clone());
-        prop_assert_eq!(a.join(&Type::Bottom), a.clone());
-        prop_assert_eq!(a.meet(&Type::Top), a.clone());
-        prop_assert_eq!(a.join(&Type::Top), Type::Top);
-        prop_assert_eq!(a.meet(&Type::Bottom), Type::Bottom);
-        // join is an upper bound, meet a lower bound.
-        let j = a.join(&b);
-        prop_assert!(a.is_subtype_of(&j), "a {} !<: join {}", a, j);
-        prop_assert!(b.is_subtype_of(&j), "b {} !<: join {}", b, j);
-        let m = a.meet(&b);
-        prop_assert!(m.is_subtype_of(&a), "meet {} !<: a {}", m, a);
-        prop_assert!(m.is_subtype_of(&b), "meet {} !<: b {}", m, b);
+    if depth == 0 || rng.gen_bool(0.4) {
+        return leaves[rng.gen_range(0..leaves.len())].clone();
     }
-
-    /// Subtyping is reflexive and transitive through join.
-    #[test]
-    fn subtyping_partial_order(a in arb_type(), b in arb_type(), c in arb_type()) {
-        prop_assert!(a.is_subtype_of(&a));
-        if a.is_subtype_of(&b) && b.is_subtype_of(&c) {
-            prop_assert!(a.is_subtype_of(&c), "transitivity: {} <: {} <: {}", a, b, c);
+    match rng.gen_range(0..3) {
+        0 => Type::ptr(arb_type(rng, depth - 1)),
+        1 => Type::array(arb_type(rng, depth - 1), rng.gen_range(1..8u64)),
+        _ => {
+            let n = rng.gen_range(0..3usize);
+            Type::object(
+                (0..n)
+                    .map(|_| (rng.gen_range(0..4u64) * 8, arb_type(rng, depth - 1)))
+                    .collect(),
+            )
         }
     }
+}
 
-    /// Generated programs survive a textual print → parse → print fixpoint
-    /// and stay verifier-clean.
-    #[test]
-    fn generated_ir_text_roundtrip(seed in 0u64..64, functions in 2usize..10) {
+/// Lattice laws: join/meet are commutative, idempotent, bounded, and
+/// consistent with subtyping.
+#[test]
+fn lattice_laws() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x1a77);
+    for case in 0..256 {
+        let a = arb_type(&mut rng, 3);
+        let b = arb_type(&mut rng, 3);
+        assert_eq!(a.join(&b), b.join(&a), "case {case}");
+        assert_eq!(a.meet(&b), b.meet(&a), "case {case}");
+        assert_eq!(a.join(&a), a.clone(), "case {case}");
+        assert_eq!(a.meet(&a), a.clone(), "case {case}");
+        assert_eq!(a.join(&Type::Bottom), a.clone(), "case {case}");
+        assert_eq!(a.meet(&Type::Top), a.clone(), "case {case}");
+        assert_eq!(a.join(&Type::Top), Type::Top, "case {case}");
+        assert_eq!(a.meet(&Type::Bottom), Type::Bottom, "case {case}");
+        // join is an upper bound, meet a lower bound.
+        let j = a.join(&b);
+        assert!(a.is_subtype_of(&j), "case {case}: a {} !<: join {}", a, j);
+        assert!(b.is_subtype_of(&j), "case {case}: b {} !<: join {}", b, j);
+        let m = a.meet(&b);
+        assert!(m.is_subtype_of(&a), "case {case}: meet {} !<: a {}", m, a);
+        assert!(m.is_subtype_of(&b), "case {case}: meet {} !<: b {}", m, b);
+    }
+}
+
+/// Subtyping is reflexive and transitive through join.
+#[test]
+fn subtyping_partial_order() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x2b88);
+    for case in 0..256 {
+        let a = arb_type(&mut rng, 3);
+        let b = arb_type(&mut rng, 3);
+        let c = arb_type(&mut rng, 3);
+        assert!(a.is_subtype_of(&a), "case {case}");
+        if a.is_subtype_of(&b) && b.is_subtype_of(&c) {
+            assert!(
+                a.is_subtype_of(&c),
+                "case {case}: transitivity: {} <: {} <: {}",
+                a,
+                b,
+                c
+            );
+        }
+    }
+}
+
+/// Generated programs survive a textual print → parse → print fixpoint
+/// and stay verifier-clean.
+#[test]
+fn generated_ir_text_roundtrip() {
+    for seed in 0..32u64 {
         let g = generator::generate(&generator::GenSpec {
             name: "prop".into(),
-            functions,
+            functions: 2 + (seed as usize % 8),
             mix: PhenomenonMix::balanced(),
             seed,
         });
         let p1 = print_module(&g.module);
         let parsed = parse_module(&p1).expect("printer output parses");
         manta_ir::verify::verify_module(&parsed).expect("parsed module verifies");
-        prop_assert_eq!(p1, print_module(&parsed));
+        assert_eq!(p1, print_module(&parsed), "seed {seed}");
     }
+}
 
-    /// Inference is deterministic and classification counts are consistent
-    /// with the variable population for every sensitivity.
-    #[test]
-    fn inference_deterministic_and_counts_consistent(seed in 0u64..32) {
+/// Inference is deterministic and classification counts are consistent
+/// with the variable population for every sensitivity.
+#[test]
+fn inference_deterministic_and_counts_consistent() {
+    for seed in 0..16u64 {
         let build = || {
             let g = generator::generate(&generator::GenSpec {
                 name: "prop".into(),
@@ -98,7 +127,7 @@ proptest! {
         for s in Sensitivity::ALL {
             let r1 = Manta::new(MantaConfig::with_sensitivity(s)).infer(&a1);
             let r2 = Manta::new(MantaConfig::with_sensitivity(s)).infer(&a2);
-            prop_assert_eq!(r1.final_counts(), r2.final_counts());
+            assert_eq!(r1.final_counts(), r2.final_counts(), "seed {seed} {s:?}");
             let non_const: usize = a1
                 .module()
                 .functions()
@@ -108,14 +137,16 @@ proptest! {
                         .count()
                 })
                 .sum();
-            prop_assert_eq!(r1.final_counts().total(), non_const);
+            assert_eq!(r1.final_counts().total(), non_const, "seed {seed} {s:?}");
         }
     }
+}
 
-    /// The hybrid cascade never classifies fewer variables precisely than
-    /// plain flow-insensitive inference on the same program.
-    #[test]
-    fn cascade_never_loses_precise_count_overall(seed in 0u64..16) {
+/// The hybrid cascade never classifies fewer variables precisely than
+/// plain flow-insensitive inference on the same program.
+#[test]
+fn cascade_never_loses_precise_count_overall() {
+    for seed in 0..16u64 {
         let g = generator::generate(&generator::GenSpec {
             name: "prop".into(),
             functions: 8,
@@ -125,13 +156,23 @@ proptest! {
         let analysis = ModuleAnalysis::build(g.module);
         let fi = Manta::new(MantaConfig::with_sensitivity(Sensitivity::Fi)).infer(&analysis);
         let full = Manta::new(MantaConfig::full()).infer(&analysis);
-        prop_assert!(full.final_counts().precise >= fi.final_counts().precise);
+        assert!(
+            full.final_counts().precise >= fi.final_counts().precise,
+            "seed {seed}: {:?} < {:?}",
+            full.final_counts(),
+            fi.final_counts()
+        );
     }
+}
 
-    /// SBF images roundtrip through bytes for arbitrary generated programs
-    /// expressed in SB-ISA (via the assembler sample corpus).
-    #[test]
-    fn sbf_bytes_roundtrip(nfn in 1usize..4, imm in -1000i64..1000) {
+/// SBF images roundtrip through bytes for arbitrary generated programs
+/// expressed in SB-ISA (via the assembler sample corpus).
+#[test]
+fn sbf_bytes_roundtrip() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5eed);
+    for case in 0..24 {
+        let nfn = rng.gen_range(1..4usize);
+        let imm = rng.gen_range(-1000..1000i64);
         let mut text = String::from("module prop\nextern malloc, 1, ret\n");
         for i in 0..nfn {
             text.push_str(&format!(
@@ -141,7 +182,7 @@ proptest! {
         let img = manta_isa::assemble(&text).expect("assembles");
         let bytes = manta_isa::encode(&img);
         let back = manta_isa::decode(&bytes).expect("decodes");
-        prop_assert_eq!(&img, &back);
+        assert_eq!(&img, &back, "case {case}");
         let lifted = manta_isa::lift::lift(&back).expect("lifts");
         manta_ir::verify::verify_module(&lifted).expect("verifies");
     }

@@ -4,9 +4,11 @@
 //!
 //! Runs on a reduced suite to stay fast under the debug test profile.
 
-use manta_eval::experiments::{ablation_order, figure11, figure12, figure9, table3, table4, table5};
-use manta_eval::runner::ProjectData;
 use manta_analysis::ModuleAnalysis;
+use manta_eval::experiments::{
+    ablation_order, figure11, figure12, figure9, table3, table4, table5,
+};
+use manta_eval::runner::ProjectData;
 use manta_workloads::{coreutils_suite, firmware_suite, generate_firmware, project_suite};
 
 fn small_projects() -> Vec<ProjectData> {
@@ -21,6 +23,7 @@ fn small_projects() -> Vec<ProjectData> {
                 analysis: ModuleAnalysis::build(g.module),
                 truth: g.truth,
                 build_ms: 0.0,
+                stage_ms: Vec::new(),
             }
         })
         .collect()
@@ -38,6 +41,7 @@ fn small_coreutils() -> Vec<ProjectData> {
                 analysis: ModuleAnalysis::build(g.module),
                 truth: g.truth,
                 build_ms: 0.0,
+                stage_ms: Vec::new(),
             }
         })
         .collect()
@@ -55,6 +59,7 @@ fn small_firmware() -> Vec<ProjectData> {
                 analysis: ModuleAnalysis::build(g.module),
                 truth: g.truth,
                 build_ms: 0.0,
+                stage_ms: Vec::new(),
             }
         })
         .collect()
@@ -80,7 +85,10 @@ fn table3_orderings_hold() {
     // The staging order: each added stage increases precision.
     assert!(p("FI+CS+FS") > p("FI+FS"));
     assert!(p("FI+FS") > p("FI"));
-    assert!(p("FI") > p("FS"), "standalone FS is the least precise ablation");
+    assert!(
+        p("FI") > p("FS"),
+        "standalone FS is the least precise ablation"
+    );
     // Recall: all Manta ablations stay high; the hybrid pays only a small
     // recall cost relative to FI (the §6.4 discussion).
     assert!(r("FI") > 95.0 && r("FS") > 95.0 && r("FI+CS+FS") > 93.0);
@@ -146,7 +154,10 @@ fn refinement_order_ablation_holds() {
         paper_order.precision(),
         reversed.precision()
     );
-    assert!(reversed.precision() >= no_cs.precision(), "a late CS pass never hurts");
+    assert!(
+        reversed.precision() >= no_cs.precision(),
+        "a late CS pass never hurts"
+    );
 }
 
 #[test]

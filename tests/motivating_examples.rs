@@ -80,7 +80,10 @@ fn figure3_flow_insensitive_over_approximates_the_union() {
             }
         }
     }
-    assert!(loads_over >= 2, "union loads must be over-approximated under FI");
+    assert!(
+        loads_over >= 2,
+        "union loads must be over-approximated under FI"
+    );
 }
 
 #[test]
@@ -91,8 +94,11 @@ fn figure3_full_cascade_types_each_branch() {
     // Each icall's argument resolves per its own branch at the call site.
     let mut precise = Vec::new();
     for inst in f.insts() {
-        if let manta_ir::InstKind::Call { callee: manta_ir::Callee::Indirect(_), args, .. } =
-            &inst.kind
+        if let manta_ir::InstKind::Call {
+            callee: manta_ir::Callee::Indirect(_),
+            args,
+            ..
+        } = &inst.kind
         {
             let v = VarRef::new(f.id(), args[0]);
             if let Some(t) = full.precise_at(v, inst.id) {
@@ -100,9 +106,19 @@ fn figure3_full_cascade_types_each_branch() {
             }
         }
     }
-    assert_eq!(precise.len(), 2, "both icall args should be precise at their sites");
-    assert!(precise.iter().any(|t| t.is_numeric()), "int branch: {precise:?}");
-    assert!(precise.iter().any(|t| t.is_pointer()), "ptr branch: {precise:?}");
+    assert_eq!(
+        precise.len(),
+        2,
+        "both icall args should be precise at their sites"
+    );
+    assert!(
+        precise.iter().any(|t| t.is_numeric()),
+        "int branch: {precise:?}"
+    );
+    assert!(
+        precise.iter().any(|t| t.is_pointer()),
+        "ptr branch: {precise:?}"
+    );
 }
 
 /// Figure 4: `parsestr(s, ...)`: s printed in a guard branch, and
@@ -138,7 +154,10 @@ bb2:
 fn fig4_module() -> manta_ir::Module {
     let mut text = String::from(FIGURE4);
     // Register the extern used above.
-    text = text.replace("module figure4", "module figure4\nextern printf_s(w64, w64) -> w32");
+    text = text.replace(
+        "module figure4",
+        "module figure4\nextern printf_s(w64, w64) -> w32",
+    );
     parse_module(&text).expect("parses")
 }
 
@@ -176,5 +195,8 @@ fn figure4_type_pruning_removes_the_false_npd() {
         &[BugKind::Npd],
         CheckerConfig::default(),
     );
-    assert!(typed.is_empty(), "Table 2 pruning removes the offset edge: {typed:?}");
+    assert!(
+        typed.is_empty(),
+        "Table 2 pruning removes the offset edge: {typed:?}"
+    );
 }

@@ -3,7 +3,9 @@
 
 use manta::{Manta, MantaConfig, Sensitivity, TypeQuery};
 use manta_analysis::{ModuleAnalysis, VarRef};
-use manta_clients::{detect_bugs, indirect_call_sites, resolve_targets_manta, BugKind, CheckerConfig};
+use manta_clients::{
+    detect_bugs, indirect_call_sites, resolve_targets_manta, BugKind, CheckerConfig,
+};
 
 const PROGRAM: &str = r#"
 module pipeline_it
@@ -115,5 +117,8 @@ fn preprocessing_makes_everything_acyclic() {
             f.name()
         );
     }
-    assert!(analysis.pre.stats.cyclic_functions > 0, "loops were generated");
+    assert!(
+        analysis.pre.stats.cyclic_functions > 0,
+        "loops were generated"
+    );
 }
