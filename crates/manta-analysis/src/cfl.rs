@@ -107,10 +107,10 @@ impl CtxStack {
     pub fn leave(&mut self, op: CtxOp) {
         match op {
             CtxOp::None => {}
-            CtxOp::Push(cs) => {
-                let top = self.stack.pop().expect("leave(Push) on empty stack");
-                assert_eq!(top, cs, "unbalanced CtxStack::leave");
-            }
+            CtxOp::Push(cs) => match self.stack.pop() {
+                Some(top) => assert_eq!(top, cs, "unbalanced CtxStack::leave"),
+                None => panic!("leave(Push) on empty stack"),
+            },
             CtxOp::Pop(cs) => {
                 if let Some(&last_free) = self.free_pops.last() {
                     if last_free == cs && self.stack.is_empty() {

@@ -92,6 +92,26 @@ pub struct Ddg {
 impl Ddg {
     /// Builds the DDG of a preprocessed module given points-to results.
     pub fn build(pre: &Preprocessed, pts: &PointsTo) -> Ddg {
+        let unlimited = manta_resilience::Budget::unlimited();
+        match Self::build_budgeted(pre, pts, &unlimited) {
+            Ok(d) => d,
+            // A fresh unlimited budget never trips.
+            Err(_) => unreachable!("unlimited budget tripped"),
+        }
+    }
+
+    /// Builds the DDG under a cooperative budget; fuel is charged per
+    /// instruction scanned and per memory-dependency pairing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`manta_resilience::BudgetExceeded`] when `budget` trips;
+    /// the partially built graph is discarded.
+    pub fn build_budgeted(
+        pre: &Preprocessed,
+        pts: &PointsTo,
+        budget: &manta_resilience::Budget,
+    ) -> Result<Ddg, manta_resilience::BudgetExceeded> {
         let module = &pre.module;
         // Dense node numbering: per-function bases.
         let mut node_base = Vec::with_capacity(module.function_count());
@@ -120,7 +140,9 @@ impl Ddg {
 
         for func in module.functions() {
             let fid = func.id();
+            budget.tick()?;
             for inst in func.insts() {
+                budget.tick()?;
                 match &inst.kind {
                     InstKind::Copy { dst, src } => {
                         ddg.add_edge(fid, *src, fid, *dst, DepKind::Direct);
@@ -239,6 +261,7 @@ impl Ddg {
             }
         }
         for (dst, objs) in &reads {
+            budget.tick()?;
             for &o in objs {
                 if let Some(ws) = writes_by_obj.get(&o) {
                     for &w in ws {
@@ -249,7 +272,7 @@ impl Ddg {
         }
         manta_telemetry::counter("ddg.nodes", ddg.node_count() as u64);
         manta_telemetry::counter("ddg.edges", ddg.edge_count() as u64);
-        ddg
+        Ok(ddg)
     }
 
     /// The node for variable `v`.

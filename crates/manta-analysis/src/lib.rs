@@ -18,6 +18,7 @@
 //! * [`cfl`] — the calling-context stack used by Algorithms 1 and 2.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod callgraph;
 pub mod cfl;
@@ -102,6 +103,79 @@ impl ModuleAnalysis {
             pointsto,
             ddg,
         }
+    }
+
+    /// Runs the whole substrate pipeline under a cooperative budget, with
+    /// each stage behind a panic-isolation boundary.
+    ///
+    /// Unlike the inference cascade there is no weaker tier to fall back
+    /// to here — inference cannot run without the substrate — so a blown
+    /// budget or a caught panic surfaces as a structured error rather
+    /// than a degradation. Callers (the eval runner, the CLI) decide
+    /// whether to skip the module or abort the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MantaError::Budget`] when `budget` trips and
+    /// [`MantaError::Panic`] when a stage panics.
+    pub fn build_budgeted(
+        module: manta_ir::Module,
+        config: PreprocessConfig,
+        budget: &manta_resilience::Budget,
+    ) -> Result<ModuleAnalysis, manta_resilience::MantaError> {
+        use manta_resilience::{fault_point_budgeted, isolate, MantaError};
+        manta_telemetry::span!("analysis.build");
+        let budget_err = |stage: &str, e: manta_resilience::BudgetExceeded| {
+            manta_resilience::budget_exhausted(stage);
+            MantaError::Budget {
+                stage: stage.to_string(),
+                kind: e.kind,
+            }
+        };
+        // Each stage runs fully inside its isolation boundary — including
+        // the fault-injection point, so an injected panic is caught and
+        // attributed to the stage it was armed on.
+        let pre = {
+            manta_telemetry::span!("preprocess");
+            let fc = module.function_count() as u64;
+            isolate("analysis.preprocess", || {
+                fault_point_budgeted("analysis.preprocess", budget);
+                budget.consume(fc)?;
+                Ok(preprocess(module, config))
+            })?
+            .map_err(|e| budget_err("analysis.preprocess", e))?
+        };
+        let callgraph = {
+            manta_telemetry::span!("callgraph");
+            isolate("analysis.callgraph", || {
+                fault_point_budgeted("analysis.callgraph", budget);
+                budget.tick()?;
+                Ok(CallGraph::build(&pre))
+            })?
+            .map_err(|e| budget_err("analysis.callgraph", e))?
+        };
+        let pointsto = {
+            manta_telemetry::span!("pointsto");
+            isolate("analysis.pointsto", || {
+                fault_point_budgeted("analysis.pointsto", budget);
+                PointsTo::solve_budgeted(&pre, &callgraph, budget)
+            })?
+            .map_err(|e| budget_err("analysis.pointsto", e))?
+        };
+        let ddg = {
+            manta_telemetry::span!("ddg");
+            isolate("analysis.ddg", || {
+                fault_point_budgeted("analysis.ddg", budget);
+                Ddg::build_budgeted(&pre, &pointsto, budget)
+            })?
+            .map_err(|e| budget_err("analysis.ddg", e))?
+        };
+        Ok(ModuleAnalysis {
+            pre,
+            callgraph,
+            pointsto,
+            ddg,
+        })
     }
 
     /// The analyzed (acyclic) module.

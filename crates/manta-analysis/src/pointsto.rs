@@ -102,7 +102,29 @@ static EMPTY: BTreeSet<ObjectId> = BTreeSet::new();
 impl PointsTo {
     /// Solves points-to constraints for the preprocessed module.
     pub fn solve(pre: &Preprocessed, _cg: &CallGraph) -> PointsTo {
-        Solver::new(pre).run()
+        let unlimited = manta_resilience::Budget::unlimited();
+        match Solver::new(pre).run(&unlimited) {
+            Ok(p) => p,
+            // A fresh unlimited budget never trips.
+            Err(_) => unreachable!("unlimited budget tripped"),
+        }
+    }
+
+    /// Solves points-to constraints under a cooperative budget. Fuel is
+    /// charged per propagation-graph node visited and per solver round,
+    /// so runaway fixpoints are cut off mid-flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`manta_resilience::BudgetExceeded`] when `budget` trips;
+    /// partial solver state is discarded (points-to results are only
+    /// meaningful at fixpoint).
+    pub fn solve_budgeted(
+        pre: &Preprocessed,
+        _cg: &CallGraph,
+        budget: &manta_resilience::Budget,
+    ) -> Result<PointsTo, manta_resilience::BudgetExceeded> {
+        Solver::new(pre).run(budget)
     }
 
     /// Points-to set of variable `v`.
@@ -205,19 +227,25 @@ impl<'a> Solver<'a> {
         self.copy_edges.entry(src).or_default().push(dst);
     }
 
-    fn run(mut self) -> PointsTo {
+    fn run(
+        mut self,
+        budget: &manta_resilience::Budget,
+    ) -> Result<PointsTo, manta_resilience::BudgetExceeded> {
         self.collect_constraints();
         // Fixpoint: propagate along copy edges, then re-derive complex
         // constraints; repeat until stable.
         let mut iterations = 0;
         loop {
             iterations += 1;
+            budget.tick()?;
             let mut changed = false;
             // Copy propagation to a local fixpoint.
             loop {
+                budget.tick()?;
                 let mut inner_changed = false;
                 let srcs: Vec<Node> = self.copy_edges.keys().copied().collect();
                 for src in srcs {
+                    budget.tick()?;
                     let set = match self.pts.get(&src) {
                         Some(s) if !s.is_empty() => s.clone(),
                         _ => continue,
@@ -237,6 +265,10 @@ impl<'a> Solver<'a> {
                 changed = true;
             }
             // Complex constraints.
+            budget.consume(
+                (self.geps.len() + self.collapses.len() + self.loads.len() + self.stores.len())
+                    as u64,
+            )?;
             for (base, dst, offset) in self.geps.clone() {
                 let bases = self.pts.get(&Node::Var(base)).cloned().unwrap_or_default();
                 for b in bases {
@@ -288,12 +320,12 @@ impl<'a> Solver<'a> {
         }
         manta_telemetry::counter("pointsto.worklist_iters", iterations as u64);
         manta_telemetry::counter("pointsto.objects", self.objects.len() as u64);
-        PointsTo {
+        Ok(PointsTo {
             objects: self.objects,
             field_intern: self.field_intern,
             pts: self.pts,
             iterations,
-        }
+        })
     }
 
     fn collect_constraints(&mut self) {

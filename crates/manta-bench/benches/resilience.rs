@@ -1,0 +1,99 @@
+//! Overhead of the resilience layer on the unconstrained pipeline.
+//!
+//! Two views, printed side by side:
+//!
+//! * **measured** — wall time of generate → build → infer through the
+//!   plain entry points vs the budgeted/resilient ones with an unlimited
+//!   budget;
+//! * **estimated unlimited overhead** — the fuel units one run would
+//!   charge (an upper bound on the budget-check call sites hit), times
+//!   the measured cost of a single unlimited-budget `tick`, plus the
+//!   per-stage costs (one disarmed fault point and one `isolate`
+//!   boundary each). This isolates the fast-path branches from
+//!   run-to-run pipeline noise.
+//!
+//! The estimated overhead must stay under 2% of the pipeline.
+
+use manta::{Manta, MantaConfig};
+use manta_analysis::{ModuleAnalysis, PreprocessConfig};
+use manta_bench::harness;
+use manta_resilience::Budget;
+use manta_workloads::{generator, PhenomenonMix};
+
+/// Stage boundaries crossed by one run: four substrate stages, the
+/// reveal collection, the base tier and two refinement tiers.
+const STAGES: f64 = 8.0;
+
+fn pipeline_plain(spec: &generator::GenSpec) -> usize {
+    let g = generator::generate(spec);
+    let analysis = ModuleAnalysis::build(g.module);
+    let result = Manta::new(MantaConfig::full()).infer(&analysis);
+    result.final_counts().total()
+}
+
+fn pipeline_resilient(spec: &generator::GenSpec, budget: &Budget) -> usize {
+    let g = generator::generate(spec);
+    let analysis = ModuleAnalysis::build_budgeted(g.module, PreprocessConfig::default(), budget)
+        .expect("unlimited budget never trips");
+    let result = Manta::new(MantaConfig::full()).infer_resilient(&analysis, budget);
+    assert!(!result.is_degraded(), "unlimited budget never degrades");
+    result.final_counts().total()
+}
+
+fn main() {
+    let spec = generator::GenSpec {
+        name: "resilience-bench".into(),
+        functions: 40,
+        mix: PhenomenonMix::balanced(),
+        seed: 7,
+    };
+    manta_telemetry::set_enabled(false);
+
+    let plain_ns = harness::time(|| pipeline_plain(&spec));
+    let resilient_ns = harness::time(|| pipeline_resilient(&spec, &Budget::unlimited()));
+    let meas_pct = 100.0 * (resilient_ns - plain_ns) / plain_ns;
+
+    // One metered run: the fuel spent bounds the number of budget-check
+    // call sites hit (bulk `consume(n)` charges count as n sites, which
+    // only makes the estimate more conservative).
+    let start_fuel = u64::MAX / 2;
+    let meter = Budget::with_fuel(start_fuel);
+    pipeline_resilient(&spec, &meter);
+    let fuel_spent = start_fuel - meter.fuel_left();
+
+    // Micro-cost of each fast-path primitive, net of the loop itself.
+    let baseline_ns = harness::time(|| std::hint::black_box(1u64));
+    let unlimited = Budget::unlimited();
+    let tick_ns = (harness::time(|| unlimited.tick().is_ok()) - baseline_ns).max(0.0);
+    let fault_ns = (harness::time(|| {
+        manta_resilience::fault_point("bench.resilience.probe");
+    }) - baseline_ns)
+        .max(0.0);
+    let isolate_ns =
+        (harness::time(|| manta_resilience::isolate("bench.resilience.probe", || 1u64).is_ok())
+            - baseline_ns)
+            .max(0.0);
+
+    let est_overhead_ns = fuel_spent as f64 * tick_ns + STAGES * (fault_ns + isolate_ns);
+    let est_pct = 100.0 * est_overhead_ns / plain_ns;
+
+    println!(
+        "bench resilience/pipeline-plain            {:>12.3} ms",
+        plain_ns / 1e6
+    );
+    println!(
+        "bench resilience/pipeline-unlimited        {:>12.3} ms",
+        resilient_ns / 1e6
+    );
+    println!("bench resilience/measured-delta            {meas_pct:>11.2} %");
+    println!("bench resilience/unlimited-tick            {tick_ns:>12.3} ns");
+    println!("bench resilience/disarmed-fault-point      {fault_ns:>12.3} ns");
+    println!("bench resilience/isolate-boundary          {isolate_ns:>12.3} ns");
+    println!("bench resilience/fuel-units                {fuel_spent:>12}");
+    println!("bench resilience/est-unlimited-overhead    {est_pct:>11.3} %");
+    assert!(
+        est_pct < 2.0,
+        "unlimited-budget checks must cost <2% of the pipeline, estimated {est_pct:.3}%"
+    );
+    println!("resilience overhead OK (<2% unconstrained)");
+}

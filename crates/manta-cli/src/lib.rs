@@ -14,7 +14,10 @@
 //!
 //! `infer`, `bugs` and `icall` additionally take `--trace` (print the span
 //! tree to stderr) and `--stats <out.json>` (write the full telemetry
-//! report as JSON).
+//! report as JSON), plus the resilience flags `--fuel <N>`,
+//! `--budget-ms <N>` (cooperative budgets; a blown budget degrades the
+//! run to the last completed sensitivity tier) and `--strict` (propagate
+//! budget/panic errors instead of degrading).
 //!
 //! Inputs may be SBF images (binary, `SBF1` magic), SB-ISA assembly text,
 //! or textual IR (`module …` followed by `func name(wN,…)` headers); the
@@ -26,12 +29,13 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
-use manta::{Manta, MantaConfig, Sensitivity, TypeQuery, VarClass};
-use manta_analysis::{ModuleAnalysis, VarRef};
+use manta::{InferenceResult, Manta, MantaConfig, Sensitivity, TypeQuery, VarClass};
+use manta_analysis::{ModuleAnalysis, PreprocessConfig, VarRef};
 use manta_clients::{
     detect_bugs, indirect_call_sites, resolve_targets_manta, BugKind, CheckerConfig,
 };
 use manta_ir::Module;
+use manta_resilience::{Budget, BudgetSpec};
 use manta_telemetry::{JsonSink, TelemetrySink, TextSink};
 
 /// A CLI failure, printed to stderr with exit code 1.
@@ -70,6 +74,12 @@ OBSERVABILITY:
     --stats <file>    write spans, counters and histograms as JSON
     manta stats       run the whole pipeline (substrate, full cascade,
                       checkers, icall) and print the cost breakdown
+
+RESILIENCE (infer, bugs, icall, stats):
+    --fuel <N>        abstract work budget; the pipeline degrades to the
+                      last completed sensitivity tier when it runs out
+    --budget-ms <N>   wall-clock budget with the same degradation behavior
+    --strict          propagate budget/panic errors instead of degrading
 ";
 
 /// Loads any supported input file into an IR module.
@@ -133,6 +143,104 @@ fn extract_telemetry_flags(args: &[String]) -> Result<(Vec<String>, TelemetryOpt
     Ok((rest, opts))
 }
 
+/// Resilience-related flags shared by `infer`, `bugs`, `icall` and
+/// `stats`: budget limits plus the strict/degrade switch.
+#[derive(Debug, Default, Clone, Copy)]
+struct ResilienceOpts {
+    fuel: Option<u64>,
+    budget_ms: Option<u64>,
+    strict: bool,
+}
+
+impl ResilienceOpts {
+    fn spec(&self) -> BudgetSpec {
+        BudgetSpec {
+            fuel: self.fuel,
+            deadline_ms: self.budget_ms,
+        }
+    }
+
+    /// Whether the resilient pipeline variants are needed at all.
+    fn active(&self) -> bool {
+        self.fuel.is_some() || self.budget_ms.is_some() || self.strict
+    }
+}
+
+/// Strips `--fuel <N>` / `--budget-ms <N>` / `--strict` from anywhere in
+/// the argument list.
+fn extract_resilience_flags(args: &[String]) -> Result<(Vec<String>, ResilienceOpts), CliError> {
+    let mut opts = ResilienceOpts::default();
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    fn number(flag: &str, v: Option<&String>) -> Result<u64, CliError> {
+        match v {
+            Some(n) => n
+                .parse::<u64>()
+                .map_err(|_| CliError(format!("{flag} requires a number, got `{n}`"))),
+            None => Err(CliError(format!("{flag} requires a number"))),
+        }
+    }
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--strict" => opts.strict = true,
+            "--fuel" => opts.fuel = Some(number("--fuel", it.next())?),
+            "--budget-ms" => opts.budget_ms = Some(number("--budget-ms", it.next())?),
+            _ => rest.push(a.clone()),
+        }
+    }
+    Ok((rest, opts))
+}
+
+/// Builds the analysis substrate, budgeted when resilience flags are
+/// active. Returns `Ok(None)` when the substrate degraded in non-strict
+/// mode — the message is appended to `out` and the command finishes with
+/// whatever partial output it has.
+fn build_analysis(
+    module: Module,
+    opts: &ResilienceOpts,
+    budget: &Budget,
+    out: &mut String,
+) -> Result<Option<ModuleAnalysis>, CliError> {
+    if !opts.active() {
+        return Ok(Some(ModuleAnalysis::build(module)));
+    }
+    match ModuleAnalysis::build_budgeted(module, PreprocessConfig::default(), budget) {
+        Ok(a) => Ok(Some(a)),
+        Err(e) if opts.strict => Err(CliError(format!("analysis failed: {e}"))),
+        Err(e) => {
+            // The substrate has no weaker tier to fall back to; report
+            // the degradation and end the command without results.
+            let _ = writeln!(out, "degraded: {e}; no analysis results");
+            Ok(None)
+        }
+    }
+}
+
+/// Runs the inference cascade, resilient or strict per the flags. Any
+/// degradation records are surfaced on `out`.
+fn run_inference(
+    analysis: &ModuleAnalysis,
+    config: MantaConfig,
+    opts: &ResilienceOpts,
+    budget: &Budget,
+    out: &mut String,
+) -> Result<InferenceResult, CliError> {
+    let m = Manta::new(config);
+    if !opts.active() {
+        return Ok(m.infer(analysis));
+    }
+    if opts.strict {
+        return m
+            .infer_strict(analysis, budget)
+            .map_err(|e| CliError(format!("inference failed: {e}")));
+    }
+    let result = m.infer_resilient(analysis, budget);
+    for d in &result.degradations {
+        let _ = writeln!(out, "degraded: {d}");
+    }
+    Ok(result)
+}
+
 /// Executes a command line (without the program name); returns the text to
 /// print on success.
 ///
@@ -145,6 +253,7 @@ fn extract_telemetry_flags(args: &[String]) -> Result<(Vec<String>, TelemetryOpt
 /// Returns [`CliError`] on bad arguments or failing pipelines.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let (args, telemetry) = extract_telemetry_flags(args)?;
+    let (args, resilience) = extract_resilience_flags(&args)?;
     let collecting = telemetry.trace
         || telemetry.stats.is_some()
         || args.first().map(String::as_str) == Some("stats");
@@ -152,7 +261,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         manta_telemetry::set_enabled(true);
         manta_telemetry::reset();
     }
-    let result = run_command(&args);
+    let result = run_command(&args, &resilience);
     if collecting {
         let report = manta_telemetry::report();
         manta_telemetry::set_enabled(false);
@@ -174,8 +283,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     result
 }
 
-fn run_command(args: &[String]) -> Result<String, CliError> {
+fn run_command(args: &[String], resilience: &ResilienceOpts) -> Result<String, CliError> {
     let mut out = String::new();
+    // One budget covers the whole command (substrate + inference); with
+    // no limits set this is the zero-overhead unlimited budget.
+    let budget = resilience.spec().start();
     match args.first().map(String::as_str) {
         Some("asm") => {
             let (input, output) = match args {
@@ -216,8 +328,16 @@ fn run_command(args: &[String]) -> Result<String, CliError> {
                 _ => return err(USAGE),
             };
             let module = load_module(Path::new(input))?;
-            let analysis = ModuleAnalysis::build(module);
-            let result = Manta::new(MantaConfig::with_sensitivity(sens)).infer(&analysis);
+            let Some(analysis) = build_analysis(module, resilience, &budget, &mut out)? else {
+                return Ok(out);
+            };
+            let result = run_inference(
+                &analysis,
+                MantaConfig::with_sensitivity(sens),
+                resilience,
+                &budget,
+                &mut out,
+            )?;
             let _ = writeln!(out, "types ({}):", sens.label());
             for func in analysis.module().functions() {
                 for (i, &p) in func.params().iter().enumerate() {
@@ -246,8 +366,20 @@ fn run_command(args: &[String]) -> Result<String, CliError> {
                 _ => return err(USAGE),
             };
             let module = load_module(Path::new(input))?;
-            let analysis = ModuleAnalysis::build(module);
-            let inference = typed.then(|| Manta::new(MantaConfig::full()).infer(&analysis));
+            let Some(analysis) = build_analysis(module, resilience, &budget, &mut out)? else {
+                return Ok(out);
+            };
+            let inference = if typed {
+                Some(run_inference(
+                    &analysis,
+                    MantaConfig::full(),
+                    resilience,
+                    &budget,
+                    &mut out,
+                )?)
+            } else {
+                None
+            };
             let q: Option<&dyn TypeQuery> = inference.as_ref().map(|i| i as &dyn TypeQuery);
             let (reports, _) = detect_bugs(&analysis, q, &BugKind::ALL, CheckerConfig::default());
             let mut seen = std::collections::BTreeSet::new();
@@ -267,9 +399,21 @@ fn run_command(args: &[String]) -> Result<String, CliError> {
         Some("icall") => {
             let [_, input] = args else { return err(USAGE) };
             let module = load_module(Path::new(input))?;
-            let analysis = ModuleAnalysis::build(module);
-            let inference = Manta::new(MantaConfig::full()).infer(&analysis);
-            for site in indirect_call_sites(&analysis) {
+            let Some(analysis) = build_analysis(module, resilience, &budget, &mut out)? else {
+                return Ok(out);
+            };
+            let inference = run_inference(
+                &analysis,
+                MantaConfig::full(),
+                resilience,
+                &budget,
+                &mut out,
+            )?;
+            let sites = indirect_call_sites(&analysis);
+            if sites.is_empty() {
+                out.push_str("no indirect calls\n");
+            }
+            for site in sites {
                 let host = analysis.module().function(site.func).name();
                 let targets: Vec<&str> =
                     resolve_targets_manta(&analysis, &inference as &dyn TypeQuery, &site)
@@ -283,9 +427,6 @@ fn run_command(args: &[String]) -> Result<String, CliError> {
                     targets.len()
                 );
             }
-            if out.is_empty() {
-                out.push_str("no indirect calls\n");
-            }
         }
         Some("stats") => {
             let [_, input] = args else { return err(USAGE) };
@@ -293,8 +434,16 @@ fn run_command(args: &[String]) -> Result<String, CliError> {
             // Drive the whole cascade: substrate build, full-sensitivity
             // inference, every checker, and indirect-call resolution, then
             // print the per-stage cost breakdown they recorded.
-            let analysis = ModuleAnalysis::build(module);
-            let inference = Manta::new(MantaConfig::full()).infer(&analysis);
+            let Some(analysis) = build_analysis(module, resilience, &budget, &mut out)? else {
+                return Ok(out);
+            };
+            let inference = run_inference(
+                &analysis,
+                MantaConfig::full(),
+                resilience,
+                &budget,
+                &mut out,
+            )?;
             let q: &dyn TypeQuery = &inference;
             let (reports, _) =
                 detect_bugs(&analysis, Some(q), &BugKind::ALL, CheckerConfig::default());
@@ -308,7 +457,16 @@ fn run_command(args: &[String]) -> Result<String, CliError> {
                 reports.len(),
                 sites.len()
             );
-            out.push_str(&manta_telemetry::report().render_text());
+            let report = manta_telemetry::report();
+            let counter = |name: &str| report.counters.get(name).copied().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "resilience: {} degradations, {} panics caught, {} budget exhaustions",
+                counter("resilience.degradations"),
+                counter("resilience.panics_caught"),
+                counter("resilience.budget_exhausted"),
+            );
+            out.push_str(&report.render_text());
         }
         _ => return err(USAGE),
     }
@@ -416,6 +574,53 @@ func main(0) -> ret {
             run(&s(&["infer", "x.s", "--stats"])).is_err(),
             "--stats needs a path"
         );
+        assert!(
+            run(&s(&["infer", "x.s", "--fuel"])).is_err(),
+            "--fuel needs a number"
+        );
+        assert!(
+            run(&s(&["infer", "x.s", "--budget-ms", "soon"])).is_err(),
+            "--budget-ms needs a number"
+        );
+    }
+
+    #[test]
+    fn zero_fuel_degrades_unless_strict() {
+        with_files(|dir| {
+            let src = dir.join("p.s");
+            fs::write(&src, ASM).unwrap();
+            // Non-strict: the command succeeds and reports the degradation.
+            let out = run(&s(&["infer", src.to_str().unwrap(), "--fuel", "0"])).unwrap();
+            assert!(out.contains("degraded"), "{out}");
+            // Strict: the same budget is a hard error.
+            let e = run(&s(&[
+                "infer",
+                src.to_str().unwrap(),
+                "--fuel",
+                "0",
+                "--strict",
+            ]))
+            .unwrap_err();
+            assert!(e.to_string().contains("budget"), "{e}");
+        });
+    }
+
+    #[test]
+    fn generous_fuel_matches_the_unbudgeted_run() {
+        with_files(|dir| {
+            let src = dir.join("p.s");
+            fs::write(&src, ASM).unwrap();
+            let plain = run(&s(&["infer", src.to_str().unwrap()])).unwrap();
+            let budgeted = run(&s(&[
+                "infer",
+                src.to_str().unwrap(),
+                "--fuel",
+                "100000000",
+                "--strict",
+            ]))
+            .unwrap();
+            assert_eq!(plain, budgeted);
+        });
     }
 
     /// An input with an indirect call so `stats` exercises icall spans too.
@@ -466,6 +671,8 @@ func main(0) -> ret {
             assert!(out.contains("ms"), "spans carry wall time: {out}");
             assert!(out.contains("counters:"), "{out}");
             assert!(out.contains("unify.ops"), "{out}");
+            // A clean run reports zeroed resilience counters.
+            assert!(out.contains("resilience: 0 degradations"), "{out}");
 
             // `--stats` writes a JSON report the hand parser accepts.
             let json_path = dir.join("stats.json");

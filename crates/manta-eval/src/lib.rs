@@ -22,4 +22,7 @@ pub mod runner;
 pub mod table;
 
 pub use adapters::MantaTool;
-pub use runner::{load_coreutils, load_firmware, load_projects, ProjectData};
+pub use runner::{
+    load_coreutils, load_coreutils_checked, load_firmware, load_projects, load_projects_checked,
+    load_specs_checked, ProjectData, ProjectFailure, SuiteLoad,
+};

@@ -1,10 +1,19 @@
 //! Suite loading: generate workloads and build their module analyses,
 //! in parallel across projects, with a per-stage telemetry breakdown.
+//!
+//! Every project build runs behind a panic-isolation boundary
+//! (`eval.project`): a crash or blown budget in one project is converted
+//! into a [`ProjectFailure`] and the remaining projects still load. The
+//! `*_checked` loaders expose both halves as a [`SuiteLoad`]; the plain
+//! loaders keep their historical all-or-nothing contract.
 
 use std::sync::Mutex;
 use std::time::Instant;
 
-use manta_analysis::ModuleAnalysis;
+use manta_analysis::{ModuleAnalysis, PreprocessConfig};
+use manta_resilience::{
+    fault_point_keyed, isolate, BudgetSpec, Degradation, DegradationKind, MantaError,
+};
 use manta_telemetry::Counter;
 use manta_workloads::{
     coreutils_suite, firmware_suite, generate_firmware, project_suite, GroundTruth, ProjectSpec,
@@ -43,6 +52,36 @@ impl ProjectData {
     }
 }
 
+/// One project that could not be built: the isolation boundary caught a
+/// panic, or the per-project budget tripped.
+#[derive(Debug)]
+pub struct ProjectFailure {
+    /// The failed project's name.
+    pub name: String,
+    /// What went wrong.
+    pub error: MantaError,
+    /// The degradation record emitted for the failure (also bumps the
+    /// `resilience.degradations` counter).
+    pub degradation: Degradation,
+}
+
+/// The outcome of a fault-tolerant suite load: the projects that built
+/// plus a record per project that did not.
+#[derive(Debug, Default)]
+pub struct SuiteLoad {
+    /// Successfully built projects, in suite order.
+    pub projects: Vec<ProjectData>,
+    /// Projects that failed, in suite order.
+    pub failures: Vec<ProjectFailure>,
+}
+
+impl SuiteLoad {
+    /// Whether every project built.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
 fn build_one(name: String, kloc: f64, module: manta_ir::Module, truth: GroundTruth) -> ProjectData {
     let start = Instant::now();
     let (analysis, spans) = manta_telemetry::scoped(|| ModuleAnalysis::build(module));
@@ -64,8 +103,43 @@ fn build_one(name: String, kloc: f64, module: manta_ir::Module, truth: GroundTru
     }
 }
 
-fn build_many(specs: Vec<ProjectSpec>) -> Vec<ProjectData> {
-    let mut out: Vec<Option<ProjectData>> = Vec::with_capacity(specs.len());
+/// Generates and analyzes one project behind the `eval.project` isolation
+/// boundary, under a fresh budget minted from `budget`.
+fn build_one_checked(spec: ProjectSpec, budget: BudgetSpec) -> Result<ProjectData, MantaError> {
+    let name = spec.name.clone();
+    let kloc = spec.kloc;
+    let start = Instant::now();
+    let budget = budget.start();
+    let (outcome, spans) = manta_telemetry::scoped(|| {
+        isolate("eval.project", || {
+            fault_point_keyed("eval.project", &name);
+            let generated = spec.generate();
+            ModuleAnalysis::build_budgeted(generated.module, PreprocessConfig::default(), &budget)
+                .map(|analysis| (analysis, generated.truth))
+        })
+    });
+    let (analysis, truth) = outcome.and_then(|r| r)?;
+    let build_ms = start.elapsed().as_secs_f64() * 1e3;
+    let stage_ms = spans
+        .iter()
+        .flat_map(|root| &root.children)
+        .map(|s| (s.name.clone(), s.total_ms()))
+        .collect();
+    Ok(ProjectData {
+        name,
+        kloc,
+        analysis,
+        truth,
+        build_ms,
+        stage_ms,
+    })
+}
+
+/// Builds `specs` in parallel, isolating each project: one project's
+/// panic or blown budget becomes a [`ProjectFailure`] while the rest of
+/// the suite still loads.
+pub fn load_specs_checked(specs: Vec<ProjectSpec>, budget: BudgetSpec) -> SuiteLoad {
+    let mut out: Vec<Option<Result<ProjectData, ProjectFailure>>> = Vec::with_capacity(specs.len());
     out.resize_with(specs.len(), || None);
     let slots = Mutex::new(&mut out);
     let threads = std::thread::available_parallelism()
@@ -78,20 +152,40 @@ fn build_many(specs: Vec<ProjectSpec>) -> Vec<ProjectData> {
             scope.spawn(|| loop {
                 let job = work.lock().expect("work queue").pop();
                 let Some((idx, spec)) = job else { break };
-                let generated = spec.generate();
-                let data = build_one(
-                    spec.name.clone(),
-                    spec.kloc,
-                    generated.module,
-                    generated.truth,
-                );
-                slots.lock().expect("result slots")[idx] = Some(data);
+                let name = spec.name.clone();
+                let slot = build_one_checked(spec, budget).map_err(|error| {
+                    let degradation = Degradation::record(
+                        "eval.project",
+                        "remaining projects",
+                        DegradationKind::from_error(&error),
+                        format!("{name}: {error}"),
+                    );
+                    ProjectFailure {
+                        name,
+                        error,
+                        degradation,
+                    }
+                });
+                slots.lock().expect("result slots")[idx] = Some(slot);
             });
         }
     });
-    out.into_iter()
-        .map(|d| d.expect("all projects built"))
-        .collect()
+    let mut load = SuiteLoad::default();
+    for slot in out.into_iter().flatten() {
+        match slot {
+            Ok(p) => load.projects.push(p),
+            Err(f) => load.failures.push(f),
+        }
+    }
+    load
+}
+
+fn build_many(specs: Vec<ProjectSpec>) -> Vec<ProjectData> {
+    let load = load_specs_checked(specs, BudgetSpec::default());
+    if let Some(f) = load.failures.first() {
+        panic!("project {} failed to build: {}", f.name, f.error);
+    }
+    load.projects
 }
 
 /// Generates and analyzes the 14-project suite.
@@ -99,9 +193,19 @@ pub fn load_projects() -> Vec<ProjectData> {
     build_many(project_suite())
 }
 
+/// Fault-tolerant variant of [`load_projects`].
+pub fn load_projects_checked(budget: BudgetSpec) -> SuiteLoad {
+    load_specs_checked(project_suite(), budget)
+}
+
 /// Generates and analyzes the 104-binary coreutils-like suite.
 pub fn load_coreutils() -> Vec<ProjectData> {
     build_many(coreutils_suite())
+}
+
+/// Fault-tolerant variant of [`load_coreutils`].
+pub fn load_coreutils_checked(budget: BudgetSpec) -> SuiteLoad {
+    load_specs_checked(coreutils_suite(), budget)
 }
 
 /// Generates and analyzes the nine firmware images.
@@ -142,6 +246,74 @@ pub fn stage_breakdown_table(projects: &[ProjectData]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use manta_workloads::PhenomenonMix;
+
+    /// Serializes the tests sharing the process-global fault plan (and
+    /// the "beta" project name one of them arms a fault on).
+    fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn tiny_specs() -> Vec<ProjectSpec> {
+        ["alpha", "beta", "gamma"]
+            .iter()
+            .enumerate()
+            .map(|(i, name)| ProjectSpec {
+                name: (*name).to_string(),
+                kloc: 1.0,
+                functions: 4,
+                mix: PhenomenonMix::balanced(),
+                seed: 11 + i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn checked_load_builds_everything_unconstrained() {
+        let _l = fault_lock();
+        let load = load_specs_checked(tiny_specs(), BudgetSpec::default());
+        assert!(load.is_clean(), "{:?}", load.failures);
+        assert_eq!(load.projects.len(), 3);
+        assert_eq!(load.projects[0].name, "alpha");
+    }
+
+    #[test]
+    fn injected_panic_in_one_project_spares_the_rest() {
+        let _l = fault_lock();
+        use manta_resilience::{Fault, FaultArming, FaultPlan};
+        let _guard = FaultPlan::new()
+            .arm("eval.project:beta", Fault::Panic, FaultArming::Always)
+            .install();
+        let load = load_specs_checked(tiny_specs(), BudgetSpec::default());
+        assert_eq!(load.projects.len(), 2, "alpha and gamma must survive");
+        assert_eq!(load.failures.len(), 1);
+        let f = &load.failures[0];
+        assert_eq!(f.name, "beta");
+        assert_eq!(f.degradation.kind, DegradationKind::InjectedFault);
+        assert!(matches!(f.error, MantaError::Panic { .. }), "{:?}", f.error);
+    }
+
+    #[test]
+    fn zero_fuel_budget_fails_every_project_gracefully() {
+        let _l = fault_lock();
+        let budget = BudgetSpec {
+            fuel: Some(0),
+            deadline_ms: None,
+        };
+        let load = load_specs_checked(tiny_specs(), budget);
+        assert!(load.projects.is_empty());
+        assert_eq!(load.failures.len(), 3);
+        for f in &load.failures {
+            assert!(
+                matches!(f.error, MantaError::Budget { .. }),
+                "{:?}",
+                f.error
+            );
+            assert_eq!(f.degradation.kind, DegradationKind::BudgetFuel);
+        }
+    }
 
     #[test]
     fn loads_firmware_suite() {

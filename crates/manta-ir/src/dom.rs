@@ -80,6 +80,10 @@ impl Dominators {
     }
 }
 
+// Cooper–Harvey–Kennedy invariant: both walks only visit blocks whose
+// idom is already set (processing is in RPO), so the `expect`s cannot
+// fire on any input that reached this point.
+#[cfg_attr(not(test), allow(clippy::expect_used))]
 fn intersect(
     idom: &[Option<BlockId>],
     rpo_index: &[usize],

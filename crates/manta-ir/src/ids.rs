@@ -25,6 +25,7 @@ macro_rules! define_id {
             ///
             /// Panics if `index` does not fit in `u32`.
             #[inline]
+            #[cfg_attr(not(test), allow(clippy::expect_used))] // documented panic
             pub fn from_index(index: usize) -> Self {
                 Self(u32::try_from(index).expect("id index overflow"))
             }

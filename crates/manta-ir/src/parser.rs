@@ -36,18 +36,60 @@ use crate::module::Module;
 use crate::types::Width;
 use crate::value::{ConstKind, Value, ValueKind};
 
-/// A parse failure with its 1-based source line.
+/// A parse failure with its 1-based source position.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ParseError {
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column of the offending token, or 0 when unknown.
+    pub col: usize,
     /// Description of the problem.
     pub message: String,
 }
 
+impl ParseError {
+    /// An error at `line` with no column information.
+    pub fn new(line: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            col: 0,
+            message: message.into(),
+        }
+    }
+
+    /// Fills in `col` by locating the first backtick-quoted token of the
+    /// message inside the source line it points at. Central position
+    /// recovery keeps token-level plumbing out of the grammar productions.
+    fn locate(mut self, text: &str) -> ParseError {
+        if self.col != 0 || self.line == 0 {
+            return self;
+        }
+        let Some(src_line) = text.lines().nth(self.line - 1) else {
+            return self;
+        };
+        let mut quoted = self.message.split('`');
+        if let Some(tok) = quoted.nth(1) {
+            if !tok.is_empty() {
+                if let Some(byte) = src_line.find(tok) {
+                    self.col = src_line[..byte].chars().count() + 1;
+                }
+            }
+        }
+        self
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.message)
+        if self.col > 0 {
+            write!(
+                f,
+                "parse error at line {}, col {}: {}",
+                self.line, self.col, self.message
+            )
+        } else {
+            write!(f, "parse error at line {}: {}", self.line, self.message)
+        }
     }
 }
 
@@ -56,24 +98,15 @@ impl std::error::Error for ParseError {}
 type Result<T> = std::result::Result<T, ParseError>;
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T> {
-    Err(ParseError {
-        line,
-        message: message.into(),
-    })
+    Err(ParseError::new(line, message))
 }
 
 fn parse_width(line: usize, tok: &str) -> Result<Width> {
     let bits: u32 = tok
         .strip_prefix('w')
         .and_then(|s| s.parse().ok())
-        .ok_or(ParseError {
-            line,
-            message: format!("bad width `{tok}`"),
-        })?;
-    Width::from_bits(bits).ok_or(ParseError {
-        line,
-        message: format!("bad width `{tok}`"),
-    })
+        .ok_or_else(|| ParseError::new(line, format!("bad width `{tok}`")))?;
+    Width::from_bits(bits).ok_or_else(|| ParseError::new(line, format!("bad width `{tok}`")))
 }
 
 fn parse_ret(line: usize, tok: &str) -> Result<Option<Width>> {
@@ -96,23 +129,59 @@ struct FuncHeader {
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] pointing at the offending line.
+/// Returns a [`ParseError`] pointing at the offending line (and column,
+/// when the offending token could be located).
 pub fn parse_module(text: &str) -> Result<Module> {
+    let mut errors = Vec::new();
+    let module = parse_module_impl(text, false, &mut errors);
+    match errors.into_iter().next() {
+        None => Ok(module),
+        Some(e) => Err(e),
+    }
+}
+
+/// Parses with per-function error recovery: a function whose body fails
+/// to parse is replaced by a *stub* — its declared signature with a
+/// single `unreachable` entry block — and the diagnostic is recorded.
+/// Malformed top-level lines are skipped the same way. Function ids and
+/// call-site arities therefore stay consistent with the declared
+/// headers, so the partial module still verifies and analyzes.
+///
+/// Returns the (possibly partial) module together with every diagnostic,
+/// in source order. An empty diagnostics vector means the parse was
+/// clean.
+pub fn parse_module_recovering(text: &str) -> (Module, Vec<ParseError>) {
+    let mut errors = Vec::new();
+    let module = parse_module_impl(text, true, &mut errors);
+    (module, errors)
+}
+
+fn parse_module_impl(text: &str, recover: bool, errors: &mut Vec<ParseError>) -> Module {
+    let mut last_ln = 0usize;
     let mut lines = text
         .lines()
         .enumerate()
         .map(|(i, l)| (i + 1, l.trim()))
+        .inspect(|&(i, _)| last_ln = i)
         .filter(|(_, l)| !l.is_empty() && !l.starts_with(';'));
 
-    let (ln, first) = lines.next().ok_or(ParseError {
-        line: 0,
-        message: "empty input".into(),
-    })?;
-    let name = first.strip_prefix("module ").ok_or(ParseError {
-        line: ln,
-        message: "expected `module <name>`".into(),
-    })?;
-    let mut module = Module::new(name.trim());
+    let module_name = match lines.next() {
+        None => {
+            errors.push(ParseError::new(0, "empty input"));
+            return Module::new("invalid");
+        }
+        Some((ln, first)) => match first.strip_prefix("module ") {
+            Some(name) => name.trim().to_string(),
+            None => {
+                errors.push(ParseError::new(ln, "expected `module <name>`").locate(text));
+                if !recover {
+                    return Module::new("invalid");
+                }
+                "invalid".to_string()
+            }
+        },
+    };
+    let mut module = Module::new(&module_name);
 
     let mut headers: Vec<FuncHeader> = Vec::new();
     let mut in_func = false;
@@ -120,57 +189,27 @@ pub fn parse_module(text: &str) -> Result<Module> {
         if in_func {
             if line == "}" {
                 in_func = false;
-            } else {
-                headers
-                    .last_mut()
-                    .expect("in_func implies a header")
-                    .body
-                    .push((ln, line.to_string()));
+            } else if let Some(h) = headers.last_mut() {
+                h.body.push((ln, line.to_string()));
             }
             continue;
         }
-        if let Some(rest) = line.strip_prefix("extern ") {
-            let (name, params, ret) = parse_sig(ln, rest.trim_end())?;
-            let id = module.next_extern_id();
-            module.push_extern(ExternRegistry::declare(id, &name, &params, ret));
-        } else if let Some(rest) = line.strip_prefix("global ") {
-            let mut it = rest.split_whitespace();
-            let gname = it.next().ok_or(ParseError {
-                line: ln,
-                message: "global name".into(),
-            })?;
-            let size: u64 = it.next().and_then(|s| s.parse().ok()).ok_or(ParseError {
-                line: ln,
-                message: "global size".into(),
-            })?;
-            module.push_global(gname.to_string(), size);
-        } else if let Some(rest) = line.strip_prefix("func ") {
-            let rest = rest
-                .strip_suffix('{')
-                .ok_or(ParseError {
-                    line: ln,
-                    message: "expected `{` ending func header".into(),
-                })?
-                .trim_end();
-            let (rest, addrtaken) = match rest.strip_suffix("addrtaken") {
-                Some(r) => (r.trim_end(), true),
-                None => (rest, false),
-            };
-            let (name, params, ret) = parse_sig(ln, rest)?;
-            headers.push(FuncHeader {
-                name,
-                params,
-                ret,
-                addrtaken,
-                body: Vec::new(),
-            });
-            in_func = true;
-        } else {
-            return err(ln, format!("unexpected top-level line `{line}`"));
+        let top = parse_top_level(&mut module, &mut headers, ln, line);
+        match top {
+            Ok(entered) => in_func = entered,
+            Err(e) => {
+                errors.push(e.locate(text));
+                if !recover {
+                    return module;
+                }
+            }
         }
     }
     if in_func {
-        return err(usize::MAX, "unterminated function body");
+        errors.push(ParseError::new(last_ln, "unterminated function body"));
+        if !recover {
+            return module;
+        }
     }
 
     let func_ids: HashMap<String, FuncId> = headers
@@ -187,22 +226,80 @@ pub fn parse_module(text: &str) -> Result<Module> {
             header.ret,
         );
         func.set_address_taken(header.addrtaken);
-        parse_body(&mut func, header, &module, &func_ids)?;
+        if let Err(e) = parse_body(&mut func, header, &module, &func_ids) {
+            errors.push(e.locate(text));
+            if !recover {
+                return module;
+            }
+            // Recovery: keep the declared signature, drop the body. A
+            // fresh function is one `unreachable` entry block, which is
+            // exactly the stub we want.
+            func = Function::new(
+                FuncId::from_index(i),
+                header.name.clone(),
+                &header.params,
+                header.ret,
+            );
+            func.set_address_taken(header.addrtaken);
+        }
         module.push_function(func);
     }
-    Ok(module)
+    module
+}
+
+/// Handles one top-level line; returns whether it opened a function body.
+fn parse_top_level(
+    module: &mut Module,
+    headers: &mut Vec<FuncHeader>,
+    ln: usize,
+    line: &str,
+) -> Result<bool> {
+    if let Some(rest) = line.strip_prefix("extern ") {
+        let (name, params, ret) = parse_sig(ln, rest.trim_end())?;
+        let id = module.next_extern_id();
+        module.push_extern(ExternRegistry::declare(id, &name, &params, ret));
+    } else if let Some(rest) = line.strip_prefix("global ") {
+        let mut it = rest.split_whitespace();
+        let gname = it
+            .next()
+            .ok_or_else(|| ParseError::new(ln, "global name"))?;
+        let size: u64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ParseError::new(ln, "global size"))?;
+        module.push_global(gname.to_string(), size);
+    } else if let Some(rest) = line.strip_prefix("func ") {
+        let rest = rest
+            .strip_suffix('{')
+            .ok_or_else(|| ParseError::new(ln, "expected `{` ending func header"))?
+            .trim_end();
+        let (rest, addrtaken) = match rest.strip_suffix("addrtaken") {
+            Some(r) => (r.trim_end(), true),
+            None => (rest, false),
+        };
+        let (name, params, ret) = parse_sig(ln, rest)?;
+        headers.push(FuncHeader {
+            name,
+            params,
+            ret,
+            addrtaken,
+            body: Vec::new(),
+        });
+        return Ok(true);
+    } else {
+        return err(ln, format!("unexpected top-level line `{line}`"));
+    }
+    Ok(false)
 }
 
 /// Parses `name(w64, w32) -> w64`.
 fn parse_sig(ln: usize, s: &str) -> Result<(String, Vec<Width>, Option<Width>)> {
-    let open = s.find('(').ok_or(ParseError {
-        line: ln,
-        message: "expected `(`".into(),
-    })?;
-    let close = s.rfind(')').ok_or(ParseError {
-        line: ln,
-        message: "expected `)`".into(),
-    })?;
+    let open = s
+        .find('(')
+        .ok_or_else(|| ParseError::new(ln, "expected `(`"))?;
+    let close = s
+        .rfind(')')
+        .ok_or_else(|| ParseError::new(ln, "expected `)`"))?;
     let name = s[..open].trim().to_string();
     let params_s = &s[open + 1..close];
     let params = if params_s.trim().is_empty() {
@@ -213,10 +310,9 @@ fn parse_sig(ln: usize, s: &str) -> Result<(String, Vec<Width>, Option<Width>)> 
             .map(|t| parse_width(ln, t.trim()))
             .collect::<Result<Vec<_>>>()?
     };
-    let arrow = s[close..].find("->").ok_or(ParseError {
-        line: ln,
-        message: "expected `->`".into(),
-    })?;
+    let arrow = s[close..]
+        .find("->")
+        .ok_or_else(|| ParseError::new(ln, "expected `->`"))?;
     let ret = parse_ret(ln, s[close + arrow + 2..].trim())?;
     Ok((name, params, ret))
 }
@@ -241,13 +337,10 @@ fn parse_body(
     let mut inst_counter = 0usize;
     for (ln, line) in &header.body {
         if let Some(bb) = line.strip_suffix(':') {
-            let n: usize =
-                bb.strip_prefix("bb")
-                    .and_then(|s| s.parse().ok())
-                    .ok_or(ParseError {
-                        line: *ln,
-                        message: format!("bad block label `{line}`"),
-                    })?;
+            let n: usize = bb
+                .strip_prefix("bb")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| ParseError::new(*ln, format!("bad block label `{line}`")))?;
             max_block = max_block.max(n);
             continue;
         }
@@ -264,13 +357,10 @@ fn parse_body(
         // Instruction line.
         if let Some((def, rhs)) = line.split_once('=') {
             let def = def.trim();
-            let k: usize =
-                def.strip_prefix('v')
-                    .and_then(|s| s.parse().ok())
-                    .ok_or(ParseError {
-                        line: *ln,
-                        message: format!("bad def `{def}`"),
-                    })?;
+            let k: usize = def
+                .strip_prefix('v')
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| ParseError::new(*ln, format!("bad def `{def}`")))?;
             if k >= def_specs.len() {
                 def_specs.resize(k + 1, None);
             }
@@ -307,10 +397,8 @@ fn parse_body(
     // Pre-create def values so forward references (loops/phis) resolve.
     let mut defs = Vec::with_capacity(def_specs.len());
     for (k, spec) in def_specs.iter().enumerate() {
-        let (_, width, inst_index) = spec.ok_or(ParseError {
-            line: 0,
-            message: format!("v{k} referenced but never defined"),
-        })?;
+        let (_, width, inst_index) =
+            spec.ok_or_else(|| ParseError::new(0, format!("v{k} referenced but never defined")))?;
         let inst = crate::ids::InstId::from_index(inst_index);
         defs.push(func.add_value(Value {
             kind: ValueKind::Inst { def: inst },
@@ -329,7 +417,11 @@ fn parse_body(
     let mut current = func.entry();
     for (ln, line) in &header.body {
         if let Some(bb) = line.strip_suffix(':') {
-            let n: usize = bb.strip_prefix("bb").unwrap().parse().unwrap();
+            // Validated in pass 1, but stay panic-free on principle.
+            let n: usize = bb
+                .strip_prefix("bb")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| ParseError::new(*ln, format!("bad block label `{line}`")))?;
             current = BlockId::from_index(n);
             continue;
         }
@@ -389,10 +481,8 @@ fn def_width(ln: usize, rhs: &str) -> Result<Width> {
         "alloca" | "gep" => Ok(Width::W64),
         "cmp" => Ok(Width::W1),
         _ => {
-            let s = suffix.ok_or(ParseError {
-                line: ln,
-                message: format!("`{op}` needs a width suffix"),
-            })?;
+            let s = suffix
+                .ok_or_else(|| ParseError::new(ln, format!("`{op}` needs a width suffix")))?;
             parse_width(ln, s)
         }
     }
@@ -402,10 +492,7 @@ fn parse_block_ref(ln: usize, tok: &str) -> Result<BlockId> {
     tok.strip_prefix("bb")
         .and_then(|s| s.parse::<usize>().ok())
         .map(BlockId::from_index)
-        .ok_or(ParseError {
-            line: ln,
-            message: format!("bad block ref `{tok}`"),
-        })
+        .ok_or_else(|| ParseError::new(ln, format!("bad block ref `{tok}`")))
 }
 
 fn parse_operand(
@@ -416,16 +503,18 @@ fn parse_operand(
 ) -> Result<ValueId> {
     let tok = tok.trim();
     if let Some(n) = tok.strip_prefix('p').and_then(|s| s.parse::<usize>().ok()) {
-        return func.params().get(n).copied().ok_or(ParseError {
-            line: ln,
-            message: format!("no parameter p{n}"),
-        });
+        return func
+            .params()
+            .get(n)
+            .copied()
+            .ok_or_else(|| ParseError::new(ln, format!("no parameter p{n}")));
     }
     if let Some(k) = tok.strip_prefix('v').and_then(|s| s.parse::<usize>().ok()) {
-        return ctx.defs.get(k).copied().ok_or(ParseError {
-            line: ln,
-            message: format!("undefined value v{k}"),
-        });
+        return ctx
+            .defs
+            .get(k)
+            .copied()
+            .ok_or_else(|| ParseError::new(ln, format!("undefined value v{k}")));
     }
     if let Some(v) = ctx.consts.get(tok) {
         return Ok(*v);
@@ -445,54 +534,43 @@ fn parse_operand(
             .module
             .globals()
             .find(|g| g.name == gname)
-            .ok_or(ParseError {
-                line: ln,
-                message: format!("unknown global `{gname}`"),
-            })?;
+            .ok_or_else(|| ParseError::new(ln, format!("unknown global `{gname}`")))?;
         Value {
             kind: ValueKind::GlobalAddr(g.id),
             width: Width::W64,
         }
     } else if let Some(fname) = tok.strip_prefix("fn.") {
-        let f = ctx.func_ids.get(fname).ok_or(ParseError {
-            line: ln,
-            message: format!("unknown function `{fname}`"),
-        })?;
+        let f = ctx
+            .func_ids
+            .get(fname)
+            .ok_or_else(|| ParseError::new(ln, format!("unknown function `{fname}`")))?;
         Value {
             kind: ValueKind::FuncAddr(*f),
             width: Width::W64,
         }
     } else if let Some((lit, ty)) = tok.rsplit_once(':') {
         if let Some(bits) = ty.strip_prefix('i') {
-            let w = Width::from_bits(bits.parse().map_err(|_| ParseError {
-                line: ln,
-                message: format!("bad const type `{ty}`"),
-            })?)
-            .ok_or(ParseError {
-                line: ln,
-                message: format!("bad const width `{ty}`"),
-            })?;
-            let v: i64 = lit.parse().map_err(|_| ParseError {
-                line: ln,
-                message: format!("bad int `{lit}`"),
-            })?;
+            let w = Width::from_bits(
+                bits.parse()
+                    .map_err(|_| ParseError::new(ln, format!("bad const type `{ty}`")))?,
+            )
+            .ok_or_else(|| ParseError::new(ln, format!("bad const width `{ty}`")))?;
+            let v: i64 = lit
+                .parse()
+                .map_err(|_| ParseError::new(ln, format!("bad int `{lit}`")))?;
             Value {
                 kind: ValueKind::Const(ConstKind::Int(v)),
                 width: w,
             }
         } else if let Some(bits) = ty.strip_prefix('f') {
-            let w = Width::from_bits(bits.parse().map_err(|_| ParseError {
-                line: ln,
-                message: format!("bad const type `{ty}`"),
-            })?)
-            .ok_or(ParseError {
-                line: ln,
-                message: format!("bad const width `{ty}`"),
-            })?;
-            let v: f64 = lit.parse().map_err(|_| ParseError {
-                line: ln,
-                message: format!("bad float `{lit}`"),
-            })?;
+            let w = Width::from_bits(
+                bits.parse()
+                    .map_err(|_| ParseError::new(ln, format!("bad const type `{ty}`")))?,
+            )
+            .ok_or_else(|| ParseError::new(ln, format!("bad const width `{ty}`")))?;
+            let v: f64 = lit
+                .parse()
+                .map_err(|_| ParseError::new(ln, format!("bad float `{lit}`")))?;
             Value {
                 kind: ValueKind::Const(ConstKind::Float(v)),
                 width: w,
@@ -513,11 +591,11 @@ fn next_def(ctx: &mut BodyCtx<'_>, ln: usize, lhs: &str) -> Result<ValueId> {
         .trim()
         .strip_prefix('v')
         .and_then(|s| s.parse().ok())
-        .ok_or(ParseError {
-            line: ln,
-            message: format!("bad def `{lhs}`"),
-        })?;
-    Ok(ctx.defs[k])
+        .ok_or_else(|| ParseError::new(ln, format!("bad def `{lhs}`")))?;
+    ctx.defs
+        .get(k)
+        .copied()
+        .ok_or_else(|| ParseError::new(ln, format!("undefined def v{k}")))
 }
 
 fn parse_inst(
@@ -537,199 +615,162 @@ fn parse_inst(
     };
     let rest = rhs[mnemonic.len()..].trim();
 
-    let kind = match op {
-        "copy" => {
-            let dst = next_def(
-                ctx,
-                ln,
-                lhs.ok_or(ParseError {
-                    line: ln,
-                    message: "copy needs a def".into(),
-                })?,
-            )?;
-            let src = parse_operand(func, ctx, ln, rest)?;
-            InstKind::Copy { dst, src }
-        }
-        "phi" => {
-            let dst = next_def(
-                ctx,
-                ln,
-                lhs.ok_or(ParseError {
-                    line: ln,
-                    message: "phi needs a def".into(),
-                })?,
-            )?;
-            let inner = rest
-                .strip_prefix('[')
-                .and_then(|s| s.strip_suffix(']'))
-                .ok_or(ParseError {
-                    line: ln,
-                    message: "phi expects `[...]`".into(),
-                })?;
-            let mut incomings = Vec::new();
-            for pair in inner.split(',') {
-                let (bb, val) = pair.split_once(':').ok_or(ParseError {
-                    line: ln,
-                    message: "phi incoming `bb: v`".into(),
-                })?;
-                let b = parse_block_ref(ln, bb.trim())?;
-                let v = parse_operand(func, ctx, ln, val)?;
-                incomings.push((b, v));
+    let kind =
+        match op {
+            "copy" => {
+                let dst = next_def(
+                    ctx,
+                    ln,
+                    lhs.ok_or_else(|| ParseError::new(ln, "copy needs a def"))?,
+                )?;
+                let src = parse_operand(func, ctx, ln, rest)?;
+                InstKind::Copy { dst, src }
             }
-            InstKind::Phi { dst, incomings }
-        }
-        "load" => {
-            let dst = next_def(
-                ctx,
-                ln,
-                lhs.ok_or(ParseError {
-                    line: ln,
-                    message: "load needs a def".into(),
-                })?,
-            )?;
-            let width = func.value(dst).width;
-            let addr = parse_operand(func, ctx, ln, rest)?;
-            InstKind::Load { dst, addr, width }
-        }
-        "store" => {
-            let (a, v) = rest.split_once(',').ok_or(ParseError {
-                line: ln,
-                message: "store expects 2 operands".into(),
-            })?;
-            let addr = parse_operand(func, ctx, ln, a)?;
-            let val = parse_operand(func, ctx, ln, v)?;
-            InstKind::Store { addr, val }
-        }
-        "alloca" => {
-            let dst = next_def(
-                ctx,
-                ln,
-                lhs.ok_or(ParseError {
-                    line: ln,
-                    message: "alloca needs a def".into(),
-                })?,
-            )?;
-            let size: u64 = rest.parse().map_err(|_| ParseError {
-                line: ln,
-                message: format!("bad alloca size `{rest}`"),
-            })?;
-            InstKind::Alloca { dst, size }
-        }
-        "gep" => {
-            let dst = next_def(
-                ctx,
-                ln,
-                lhs.ok_or(ParseError {
-                    line: ln,
-                    message: "gep needs a def".into(),
-                })?,
-            )?;
-            let (b, o) = rest.split_once(',').ok_or(ParseError {
-                line: ln,
-                message: "gep expects 2 operands".into(),
-            })?;
-            let base = parse_operand(func, ctx, ln, b)?;
-            let offset: u64 = o.trim().parse().map_err(|_| ParseError {
-                line: ln,
-                message: format!("bad gep offset `{o}`"),
-            })?;
-            InstKind::Gep { dst, base, offset }
-        }
-        "cmp" => {
-            let dst = next_def(
-                ctx,
-                ln,
-                lhs.ok_or(ParseError {
-                    line: ln,
-                    message: "cmp needs a def".into(),
-                })?,
-            )?;
-            let pred = mnemonic
-                .split_once('.')
-                .and_then(|(_, p)| CmpPred::from_mnemonic(p))
-                .ok_or(ParseError {
-                    line: ln,
-                    message: format!("bad cmp `{mnemonic}`"),
-                })?;
-            let (l, r) = rest.split_once(',').ok_or(ParseError {
-                line: ln,
-                message: "cmp expects 2 operands".into(),
-            })?;
-            let lhs_v = parse_operand(func, ctx, ln, l)?;
-            let rhs_v = parse_operand(func, ctx, ln, r)?;
-            InstKind::Cmp {
-                dst,
-                pred,
-                lhs: lhs_v,
-                rhs: rhs_v,
+            "phi" => {
+                let dst = next_def(
+                    ctx,
+                    ln,
+                    lhs.ok_or_else(|| ParseError::new(ln, "phi needs a def"))?,
+                )?;
+                let inner = rest
+                    .strip_prefix('[')
+                    .and_then(|s| s.strip_suffix(']'))
+                    .ok_or_else(|| ParseError::new(ln, "phi expects `[...]`"))?;
+                let mut incomings = Vec::new();
+                for pair in inner.split(',') {
+                    let (bb, val) = pair
+                        .split_once(':')
+                        .ok_or_else(|| ParseError::new(ln, "phi incoming `bb: v`"))?;
+                    let b = parse_block_ref(ln, bb.trim())?;
+                    let v = parse_operand(func, ctx, ln, val)?;
+                    incomings.push((b, v));
+                }
+                InstKind::Phi { dst, incomings }
             }
-        }
-        "call" | "icall" => {
-            let dst = match lhs {
-                Some(l) => Some(next_def(ctx, ln, l)?),
-                None => None,
-            };
-            let open = rest.find('(').ok_or(ParseError {
-                line: ln,
-                message: "call expects `(`".into(),
-            })?;
-            let close = rest.rfind(')').ok_or(ParseError {
-                line: ln,
-                message: "call expects `)`".into(),
-            })?;
-            let target = rest[..open].trim();
-            let args_s = &rest[open + 1..close];
-            let mut args = Vec::new();
-            if !args_s.trim().is_empty() {
-                for a in args_s.split(',') {
-                    args.push(parse_operand(func, ctx, ln, a)?);
+            "load" => {
+                let dst = next_def(
+                    ctx,
+                    ln,
+                    lhs.ok_or_else(|| ParseError::new(ln, "load needs a def"))?,
+                )?;
+                let width = func.value(dst).width;
+                let addr = parse_operand(func, ctx, ln, rest)?;
+                InstKind::Load { dst, addr, width }
+            }
+            "store" => {
+                let (a, v) = rest
+                    .split_once(',')
+                    .ok_or_else(|| ParseError::new(ln, "store expects 2 operands"))?;
+                let addr = parse_operand(func, ctx, ln, a)?;
+                let val = parse_operand(func, ctx, ln, v)?;
+                InstKind::Store { addr, val }
+            }
+            "alloca" => {
+                let dst = next_def(
+                    ctx,
+                    ln,
+                    lhs.ok_or_else(|| ParseError::new(ln, "alloca needs a def"))?,
+                )?;
+                let size: u64 = rest
+                    .parse()
+                    .map_err(|_| ParseError::new(ln, format!("bad alloca size `{rest}`")))?;
+                InstKind::Alloca { dst, size }
+            }
+            "gep" => {
+                let dst = next_def(
+                    ctx,
+                    ln,
+                    lhs.ok_or_else(|| ParseError::new(ln, "gep needs a def"))?,
+                )?;
+                let (b, o) = rest
+                    .split_once(',')
+                    .ok_or_else(|| ParseError::new(ln, "gep expects 2 operands"))?;
+                let base = parse_operand(func, ctx, ln, b)?;
+                let offset: u64 = o
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError::new(ln, format!("bad gep offset `{o}`")))?;
+                InstKind::Gep { dst, base, offset }
+            }
+            "cmp" => {
+                let dst = next_def(
+                    ctx,
+                    ln,
+                    lhs.ok_or_else(|| ParseError::new(ln, "cmp needs a def"))?,
+                )?;
+                let pred = mnemonic
+                    .split_once('.')
+                    .and_then(|(_, p)| CmpPred::from_mnemonic(p))
+                    .ok_or_else(|| ParseError::new(ln, format!("bad cmp `{mnemonic}`")))?;
+                let (l, r) = rest
+                    .split_once(',')
+                    .ok_or_else(|| ParseError::new(ln, "cmp expects 2 operands"))?;
+                let lhs_v = parse_operand(func, ctx, ln, l)?;
+                let rhs_v = parse_operand(func, ctx, ln, r)?;
+                InstKind::Cmp {
+                    dst,
+                    pred,
+                    lhs: lhs_v,
+                    rhs: rhs_v,
                 }
             }
-            let callee = if op == "icall" {
-                Callee::Indirect(parse_operand(func, ctx, ln, target)?)
-            } else if let Some(fname) = target.strip_prefix('@') {
-                Callee::Direct(*ctx.func_ids.get(fname).ok_or(ParseError {
-                    line: ln,
-                    message: format!("unknown function `{fname}`"),
-                })?)
-            } else if let Some(ename) = target.strip_prefix('!') {
-                Callee::Extern(ctx.module.extern_by_name(ename).ok_or(ParseError {
-                    line: ln,
-                    message: format!("unknown extern `{ename}`"),
-                })?)
-            } else {
-                return err(ln, format!("bad call target `{target}`"));
-            };
-            InstKind::Call { dst, callee, args }
-        }
-        other => {
-            // Binary operators.
-            let binop = BinOp::from_mnemonic(other).ok_or(ParseError {
-                line: ln,
-                message: format!("unknown instruction `{other}`"),
-            })?;
-            let dst = next_def(
-                ctx,
-                ln,
-                lhs.ok_or(ParseError {
-                    line: ln,
-                    message: "binop needs a def".into(),
-                })?,
-            )?;
-            let (l, r) = rest.split_once(',').ok_or(ParseError {
-                line: ln,
-                message: "binop expects 2 operands".into(),
-            })?;
-            let lhs_v = parse_operand(func, ctx, ln, l)?;
-            let rhs_v = parse_operand(func, ctx, ln, r)?;
-            InstKind::BinOp {
-                op: binop,
-                dst,
-                lhs: lhs_v,
-                rhs: rhs_v,
+            "call" | "icall" => {
+                let dst = match lhs {
+                    Some(l) => Some(next_def(ctx, ln, l)?),
+                    None => None,
+                };
+                let open = rest
+                    .find('(')
+                    .ok_or_else(|| ParseError::new(ln, "call expects `(`"))?;
+                let close = rest
+                    .rfind(')')
+                    .ok_or_else(|| ParseError::new(ln, "call expects `)`"))?;
+                let target = rest[..open].trim();
+                let args_s = &rest[open + 1..close];
+                let mut args = Vec::new();
+                if !args_s.trim().is_empty() {
+                    for a in args_s.split(',') {
+                        args.push(parse_operand(func, ctx, ln, a)?);
+                    }
+                }
+                let callee =
+                    if op == "icall" {
+                        Callee::Indirect(parse_operand(func, ctx, ln, target)?)
+                    } else if let Some(fname) = target.strip_prefix('@') {
+                        Callee::Direct(*ctx.func_ids.get(fname).ok_or_else(|| {
+                            ParseError::new(ln, format!("unknown function `{fname}`"))
+                        })?)
+                    } else if let Some(ename) = target.strip_prefix('!') {
+                        Callee::Extern(ctx.module.extern_by_name(ename).ok_or_else(|| {
+                            ParseError::new(ln, format!("unknown extern `{ename}`"))
+                        })?)
+                    } else {
+                        return err(ln, format!("bad call target `{target}`"));
+                    };
+                InstKind::Call { dst, callee, args }
             }
-        }
-    };
+            other => {
+                // Binary operators.
+                let binop = BinOp::from_mnemonic(other)
+                    .ok_or_else(|| ParseError::new(ln, format!("unknown instruction `{other}`")))?;
+                let dst = next_def(
+                    ctx,
+                    ln,
+                    lhs.ok_or_else(|| ParseError::new(ln, "binop needs a def"))?,
+                )?;
+                let (l, r) = rest
+                    .split_once(',')
+                    .ok_or_else(|| ParseError::new(ln, "binop expects 2 operands"))?;
+                let lhs_v = parse_operand(func, ctx, ln, l)?;
+                let rhs_v = parse_operand(func, ctx, ln, r)?;
+                InstKind::BinOp {
+                    op: binop,
+                    dst,
+                    lhs: lhs_v,
+                    rhs: rhs_v,
+                }
+            }
+        };
     Ok(kind)
 }
 
@@ -824,6 +865,74 @@ bb3:
         let text = "module m\nfunc f() -> void {\nbb0:\n  v5 = alloca 8\n  ret\n}\n";
         let e = parse_module(text).unwrap_err();
         assert!(e.message.contains("never defined"), "{e}");
+    }
+
+    #[test]
+    fn reports_columns_for_located_tokens() {
+        let text = "module m\nfunc f() -> void {\nbb0:\n  v0 = frobnicate.w64 p0\n  ret\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert_eq!(e.line, 4);
+        // `frobnicate` starts at column 8 of "  v0 = frobnicate.w64 p0".
+        assert_eq!(e.col, 8);
+        assert!(e.to_string().contains("col 8"), "{e}");
+    }
+
+    #[test]
+    fn truncated_input_reports_last_line() {
+        let text = "module m\nfunc f() -> void {\nbb0:\n  v0 = alloca 8";
+        let e = parse_module(text).unwrap_err();
+        assert_eq!(e.line, 4, "{e}");
+        assert!(e.message.contains("unterminated"), "{e}");
+    }
+
+    #[test]
+    fn recovery_stubs_broken_function_and_keeps_the_rest() {
+        let text = "module m\n\
+            func broken(w64) -> w64 {\n\
+            bb0:\n\
+            \x20 v0 = frobnicate.w64 p0\n\
+            \x20 ret v0\n\
+            }\n\
+            func fine(w64) -> w64 {\n\
+            bb0:\n\
+            \x20 v0 = add.w64 p0, 1:i64\n\
+            \x20 ret v0\n\
+            }\n\
+            func caller(w64) -> w64 {\n\
+            bb0:\n\
+            \x20 v0 = call.w64 @broken(p0)\n\
+            \x20 v1 = call.w64 @fine(v0)\n\
+            \x20 ret v1\n\
+            }\n";
+        let (m, errs) = parse_module_recovering(text);
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].line, 4);
+        // All three functions survive with their declared signatures, so
+        // the caller's arity checks still pass.
+        assert_eq!(m.function_count(), 3);
+        verify_module(&m).unwrap();
+        let broken = m.function_by_name("broken").unwrap();
+        assert_eq!(broken.params().len(), 1);
+        assert_eq!(broken.inst_count(), 0, "stub body");
+        let fine = m.function_by_name("fine").unwrap();
+        assert!(fine.inst_count() > 0, "healthy body kept");
+    }
+
+    #[test]
+    fn recovery_on_clean_input_matches_strict_parse() {
+        let (m, errs) = parse_module_recovering(SAMPLE);
+        assert!(errs.is_empty());
+        let strict = parse_module(SAMPLE).unwrap();
+        assert_eq!(print_module(&m), print_module(&strict));
+    }
+
+    #[test]
+    fn recovery_never_returns_errors_silently() {
+        let (_, errs) = parse_module_recovering("garbage");
+        assert!(!errs.is_empty());
+        let (m, errs) = parse_module_recovering("");
+        assert!(!errs.is_empty());
+        assert_eq!(m.function_count(), 0);
     }
 
     #[test]

@@ -109,6 +109,16 @@ pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyErr
         }
     }
 
+    // Terminator targets must be validated before building the CFG:
+    // Cfg::new indexes successor blocks and would panic on an
+    // out-of-range target (reachable through hand-built or lifted
+    // modules that bypass the parser's pass-1 checks).
+    for block in func.blocks() {
+        for s in block.term.successors() {
+            check_block(s)?;
+        }
+    }
+
     // Blocks own their instructions; terminator targets exist.
     let cfg = crate::cfg::Cfg::new(func);
     for block in func.blocks() {
@@ -126,9 +136,6 @@ pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyErr
                     block.id, inst.block
                 )));
             }
-        }
-        for s in block.term.successors() {
-            check_block(s)?;
         }
         for u in block.term.uses() {
             check_value(u)?;
@@ -246,6 +253,16 @@ mod tests {
         fb.ret(Some(p));
         mb.finish_function(fb);
         assert!(verify_module(&mb.finish()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_successor_without_panicking() {
+        let mut mb = ModuleBuilder::new("m");
+        let (_, mut fb) = mb.function("f", &[], None);
+        fb.br(crate::ids::BlockId(99));
+        mb.finish_function(fb);
+        let e = verify_module(&mb.finish()).unwrap_err();
+        assert!(e.message.contains("out of range"), "{e}");
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Cooperative execution budgets: fuel plus an optional wall-clock
+//! deadline, checked from inside the pipeline's fixpoint loops.
+//!
+//! The design goal is that the *unconstrained* path stays essentially
+//! free: [`Budget::unlimited`] short-circuits before touching any
+//! counter, so sprinkling `budget.tick()?` through hot loops costs a
+//! single branch on a non-atomic bool. Constrained budgets decrement a
+//! `Cell<u64>` per tick and only consult the (comparatively expensive)
+//! monotonic clock once every [`DEADLINE_PERIOD`] ticks.
+
+use std::cell::Cell;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How many fuel ticks elapse between wall-clock deadline checks.
+pub const DEADLINE_PERIOD: u64 = 1024;
+
+/// Why a budget stopped an analysis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BudgetKind {
+    /// The fuel allotment (number of cooperative ticks) ran out.
+    Fuel,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The budget was exhausted on purpose (fault injection).
+    Injected,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetKind::Fuel => write!(f, "fuel"),
+            BudgetKind::Deadline => write!(f, "deadline"),
+            BudgetKind::Injected => write!(f, "injected"),
+        }
+    }
+}
+
+/// Error returned from [`Budget::tick`] when the budget is spent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BudgetExceeded {
+    /// Which limit tripped.
+    pub kind: BudgetKind,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "budget exceeded ({})", self.kind)
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// Serializable description of a budget, used to carry limits across API
+/// boundaries (CLI flags, configs) and mint a fresh [`Budget`] per run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BudgetSpec {
+    /// Maximum number of cooperative ticks, or `None` for unlimited.
+    pub fuel: Option<u64>,
+    /// Wall-clock limit in milliseconds, or `None` for unlimited.
+    pub deadline_ms: Option<u64>,
+}
+
+impl BudgetSpec {
+    /// True when neither limit is set.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.fuel.is_none() && self.deadline_ms.is_none()
+    }
+
+    /// Starts the clock: builds a [`Budget`] whose deadline (if any) is
+    /// `deadline_ms` from now.
+    #[must_use]
+    pub fn start(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(fuel) = self.fuel {
+            b = Budget::with_fuel(fuel);
+        }
+        if let Some(ms) = self.deadline_ms {
+            let deadline = Instant::now() + Duration::from_millis(ms);
+            b.deadline = Some(deadline);
+            b.limitless = false;
+        }
+        b
+    }
+}
+
+/// A cooperative execution budget.
+///
+/// Not `Sync`: each worker thread gets its own `Budget` (mint one per
+/// run from a [`BudgetSpec`]). Interior mutability keeps `tick` callable
+/// through shared references, which is what deeply-threaded analysis
+/// code wants.
+#[derive(Debug)]
+pub struct Budget {
+    fuel: Cell<u64>,
+    deadline: Option<Instant>,
+    /// Countdown to the next deadline check.
+    until_clock: Cell<u64>,
+    /// Fast path: true iff no limit of any kind is set.
+    limitless: bool,
+    /// Set by [`Budget::exhaust`]; checked before fuel.
+    poisoned: Cell<bool>,
+}
+
+impl Budget {
+    /// A budget that never trips. `tick` on this is a single branch.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Budget {
+            fuel: Cell::new(u64::MAX),
+            deadline: None,
+            until_clock: Cell::new(DEADLINE_PERIOD),
+            limitless: true,
+            poisoned: Cell::new(false),
+        }
+    }
+
+    /// A budget limited to `fuel` cooperative ticks.
+    #[must_use]
+    pub fn with_fuel(fuel: u64) -> Self {
+        Budget {
+            fuel: Cell::new(fuel),
+            deadline: None,
+            until_clock: Cell::new(DEADLINE_PERIOD),
+            limitless: false,
+            poisoned: Cell::new(false),
+        }
+    }
+
+    /// A budget limited to `d` of wall-clock time from now.
+    #[must_use]
+    pub fn with_deadline(d: Duration) -> Self {
+        Budget {
+            fuel: Cell::new(u64::MAX),
+            deadline: Some(Instant::now() + d),
+            until_clock: Cell::new(DEADLINE_PERIOD),
+            limitless: false,
+            poisoned: Cell::new(false),
+        }
+    }
+
+    /// True when no limit is configured.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.limitless
+    }
+
+    /// Remaining fuel (meaningless for unlimited budgets).
+    #[must_use]
+    pub fn fuel_left(&self) -> u64 {
+        self.fuel.get()
+    }
+
+    /// Forcibly exhausts the budget so the next `tick` fails with
+    /// [`BudgetKind::Injected`]. Used by the fault-injection harness.
+    pub fn exhaust(&self) {
+        self.poisoned.set(true);
+    }
+
+    /// Spends one unit of fuel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] when any configured limit has tripped.
+    #[inline]
+    pub fn tick(&self) -> Result<(), BudgetExceeded> {
+        if self.limitless && !self.poisoned.get() {
+            return Ok(());
+        }
+        self.consume(1)
+    }
+
+    /// Spends `n` units of fuel at once (bulk work, e.g. a whole
+    /// worklist round). Deadline accounting treats this as `n` ticks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] when any configured limit has tripped.
+    pub fn consume(&self, n: u64) -> Result<(), BudgetExceeded> {
+        if self.poisoned.get() {
+            return Err(BudgetExceeded {
+                kind: BudgetKind::Injected,
+            });
+        }
+        if self.limitless {
+            return Ok(());
+        }
+        let fuel = self.fuel.get();
+        if fuel < n {
+            self.fuel.set(0);
+            return Err(BudgetExceeded {
+                kind: BudgetKind::Fuel,
+            });
+        }
+        self.fuel.set(fuel - n);
+        if let Some(deadline) = self.deadline {
+            let left = self.until_clock.get();
+            if left <= n {
+                self.until_clock.set(DEADLINE_PERIOD);
+                if Instant::now() >= deadline {
+                    return Err(BudgetExceeded {
+                        kind: BudgetKind::Deadline,
+                    });
+                }
+            } else {
+                self.until_clock.set(left - n);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = Budget::unlimited();
+        for _ in 0..1_000_000 {
+            b.tick().unwrap();
+        }
+        assert!(b.is_unlimited());
+    }
+
+    #[test]
+    fn fuel_runs_out() {
+        let b = Budget::with_fuel(3);
+        assert!(b.tick().is_ok());
+        assert!(b.tick().is_ok());
+        assert!(b.tick().is_ok());
+        let e = b.tick().unwrap_err();
+        assert_eq!(e.kind, BudgetKind::Fuel);
+        // Stays tripped.
+        assert!(b.tick().is_err());
+    }
+
+    #[test]
+    fn bulk_consume_matches_ticks() {
+        let b = Budget::with_fuel(10);
+        b.consume(7).unwrap();
+        assert_eq!(b.fuel_left(), 3);
+        assert_eq!(b.consume(4).unwrap_err().kind, BudgetKind::Fuel);
+    }
+
+    #[test]
+    fn elapsed_deadline_trips_within_one_period() {
+        let b = Budget::with_deadline(Duration::from_millis(0));
+        let mut tripped = None;
+        for i in 0..=DEADLINE_PERIOD {
+            if let Err(e) = b.tick() {
+                tripped = Some((i, e.kind));
+                break;
+            }
+        }
+        let (i, kind) = tripped.expect("deadline must trip within one period");
+        assert_eq!(kind, BudgetKind::Deadline);
+        assert!(i <= DEADLINE_PERIOD);
+    }
+
+    #[test]
+    fn exhaust_poisons_even_unlimited() {
+        let b = Budget::unlimited();
+        b.tick().unwrap();
+        b.exhaust();
+        assert_eq!(b.tick().unwrap_err().kind, BudgetKind::Injected);
+    }
+
+    #[test]
+    fn spec_round_trip() {
+        let spec = BudgetSpec {
+            fuel: Some(5),
+            deadline_ms: None,
+        };
+        assert!(!spec.is_unlimited());
+        let b = spec.start();
+        for _ in 0..5 {
+            b.tick().unwrap();
+        }
+        assert!(b.tick().is_err());
+
+        let unlimited = BudgetSpec::default();
+        assert!(unlimited.is_unlimited());
+        assert!(unlimited.start().is_unlimited());
+    }
+
+    #[test]
+    fn spec_with_deadline_sets_clock() {
+        let spec = BudgetSpec {
+            fuel: None,
+            deadline_ms: Some(0),
+        };
+        let b = spec.start();
+        assert!(!b.is_unlimited());
+        let mut ok = true;
+        for _ in 0..=DEADLINE_PERIOD {
+            if b.tick().is_err() {
+                ok = false;
+                break;
+            }
+        }
+        assert!(!ok, "0ms deadline must trip");
+    }
+}

@@ -1,0 +1,236 @@
+//! Structured pipeline errors and degradation records.
+
+use std::fmt;
+
+use crate::budget::BudgetKind;
+
+/// Names the pipeline stage an error or degradation is attributed to.
+///
+/// Stored as a plain string so downstream crates can mint stage names
+/// without this crate depending on them ("analysis.pointsto",
+/// "infer.cs", "eval.project:redis", ...).
+pub type StageName = &'static str;
+
+/// A structured error from any pipeline stage: the crash-free
+/// replacement for `unwrap`/`expect`/propagated panics.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MantaError {
+    /// IR text failed to parse.
+    Parse {
+        /// 1-based line of the error.
+        line: usize,
+        /// 1-based column, or 0 when unknown.
+        col: usize,
+        /// Parser diagnostic.
+        message: String,
+    },
+    /// A module failed structural verification.
+    Verify {
+        /// Verifier diagnostic.
+        message: String,
+    },
+    /// A stage panicked and the panic was caught at an isolation
+    /// boundary.
+    Panic {
+        /// The isolation boundary that caught the panic.
+        stage: String,
+        /// Payload of the panic, when it was a string.
+        message: String,
+    },
+    /// A stage ran out of budget and the caller asked for strict
+    /// (non-degrading) behavior.
+    Budget {
+        /// The stage that exhausted its budget.
+        stage: String,
+        /// Which limit tripped.
+        kind: BudgetKind,
+    },
+}
+
+impl fmt::Display for MantaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MantaError::Parse { line, col, message } => {
+                if *col > 0 {
+                    write!(f, "parse error at line {line}, col {col}: {message}")
+                } else {
+                    write!(f, "parse error at line {line}: {message}")
+                }
+            }
+            MantaError::Verify { message } => write!(f, "verify error: {message}"),
+            MantaError::Panic { stage, message } => {
+                write!(f, "panic in {stage}: {message}")
+            }
+            MantaError::Budget { stage, kind } => {
+                write!(f, "budget exceeded in {stage} ({kind})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MantaError {}
+
+/// Why a run degraded instead of completing at full sensitivity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DegradationKind {
+    /// Fuel ran out.
+    BudgetFuel,
+    /// Wall-clock deadline passed.
+    BudgetDeadline,
+    /// A panic was caught and the affected unit skipped.
+    Panic,
+    /// A fault-injection site fired.
+    InjectedFault,
+}
+
+impl DegradationKind {
+    /// Maps a tripped budget limit to the matching degradation kind.
+    #[must_use]
+    pub fn from_budget(kind: BudgetKind) -> Self {
+        match kind {
+            BudgetKind::Fuel => DegradationKind::BudgetFuel,
+            BudgetKind::Deadline => DegradationKind::BudgetDeadline,
+            BudgetKind::Injected => DegradationKind::InjectedFault,
+        }
+    }
+
+    /// Classifies a stage failure: budget errors map through
+    /// [`DegradationKind::from_budget`], caught panics carrying the
+    /// fault-injection marker are attributed to the injection, and
+    /// everything else counts as a plain panic.
+    #[must_use]
+    pub fn from_error(e: &MantaError) -> Self {
+        match e {
+            MantaError::Budget { kind, .. } => DegradationKind::from_budget(*kind),
+            MantaError::Panic { message, .. } if message.contains(crate::fault::INJECTED_PANIC) => {
+                DegradationKind::InjectedFault
+            }
+            _ => DegradationKind::Panic,
+        }
+    }
+}
+
+impl fmt::Display for DegradationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradationKind::BudgetFuel => write!(f, "budget-fuel"),
+            DegradationKind::BudgetDeadline => write!(f, "budget-deadline"),
+            DegradationKind::Panic => write!(f, "panic"),
+            DegradationKind::InjectedFault => write!(f, "injected-fault"),
+        }
+    }
+}
+
+/// Record of one graceful-degradation event: a stage that could not run
+/// to completion, and what the pipeline fell back to.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Degradation {
+    /// The stage that was cut short (e.g. "infer.cs").
+    pub stage: String,
+    /// What the results actually reflect after the fallback (e.g.
+    /// "flow-insensitive" when the context-sensitive pass degraded).
+    pub completed: String,
+    /// Why the stage degraded.
+    pub kind: DegradationKind,
+    /// Free-form detail (panic payload, affected function, ...).
+    pub detail: String,
+}
+
+impl Degradation {
+    /// Builds a record and bumps the `resilience.degradations` counter.
+    #[must_use]
+    pub fn record(
+        stage: impl Into<String>,
+        completed: impl Into<String>,
+        kind: DegradationKind,
+        detail: impl Into<String>,
+    ) -> Self {
+        crate::counters::DEGRADATIONS.add(1);
+        Degradation {
+            stage: stage.into(),
+            completed: completed.into(),
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "degraded at {} ({}): kept {}",
+            self.stage, self.kind, self.completed
+        )?;
+        if !self.detail.is_empty() {
+            write!(f, " [{}]", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_formats() {
+        let e = MantaError::Parse {
+            line: 3,
+            col: 7,
+            message: "bad token".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3, col 7: bad token");
+        let e = MantaError::Parse {
+            line: 3,
+            col: 0,
+            message: "bad token".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3: bad token");
+        let e = MantaError::Budget {
+            stage: "infer.fs".into(),
+            kind: BudgetKind::Deadline,
+        };
+        assert_eq!(e.to_string(), "budget exceeded in infer.fs (deadline)");
+    }
+
+    #[test]
+    fn degradation_counts_and_formats() {
+        let _l = crate::test_lock();
+        manta_telemetry::set_enabled(true);
+        manta_telemetry::reset();
+        let d = Degradation::record(
+            "infer.cs",
+            "flow-insensitive",
+            DegradationKind::BudgetFuel,
+            "fuel=0",
+        );
+        assert_eq!(
+            d.to_string(),
+            "degraded at infer.cs (budget-fuel): kept flow-insensitive [fuel=0]"
+        );
+        let report = manta_telemetry::report();
+        manta_telemetry::set_enabled(false);
+        assert!(
+            report.counters.get("resilience.degradations").copied() == Some(1),
+            "degradations counter must be bumped: {:?}",
+            report.counters
+        );
+    }
+
+    #[test]
+    fn budget_kind_mapping() {
+        assert_eq!(
+            DegradationKind::from_budget(BudgetKind::Fuel),
+            DegradationKind::BudgetFuel
+        );
+        assert_eq!(
+            DegradationKind::from_budget(BudgetKind::Deadline),
+            DegradationKind::BudgetDeadline
+        );
+        assert_eq!(
+            DegradationKind::from_budget(BudgetKind::Injected),
+            DegradationKind::InjectedFault
+        );
+    }
+}

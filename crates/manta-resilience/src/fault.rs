@@ -1,0 +1,276 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] maps *site names* — stable strings compiled into the
+//! pipeline next to each isolation boundary or budget loop — to faults.
+//! Production code calls [`fault_point`] (or [`fault_point_keyed`] for
+//! per-item sites like `"eval.project:redis"`); when no plan is armed
+//! this is one relaxed atomic load. Tests arm a plan with
+//! [`FaultPlan::install`], which returns a guard that disarms on drop.
+//!
+//! Faults are deliberately simple: [`Fault::Panic`] panics at the site
+//! (exercising every `catch_unwind` boundary above it) and
+//! [`Fault::ExhaustBudget`] poisons the active budget via a thread-local
+//! hook so the next cooperative tick fails (exercising the degradation
+//! paths). Malformed-IR mutation is handled by the property tests in
+//! `manta-tests`, which corrupt printed IR directly — the plan only
+//! needs to cover the in-process sites.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// What to do when an armed site is hit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// Panic at the site with a recognizable payload.
+    Panic,
+    /// Exhaust the thread's active [`crate::Budget`] so its next tick
+    /// fails with [`crate::BudgetKind::Injected`].
+    ExhaustBudget,
+}
+
+/// How often an armed site fires.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultArming {
+    /// Fire on every hit.
+    Always,
+    /// Fire on the `n`-th hit only (0-based), pass through otherwise.
+    OnHit(u64),
+}
+
+#[derive(Debug)]
+struct ArmedSite {
+    fault: Fault,
+    arming: FaultArming,
+    hits: u64,
+    fired: u64,
+}
+
+/// A deterministic plan mapping site names to faults.
+///
+/// Build one with [`FaultPlan::new`] + [`FaultPlan::arm`], then
+/// [`install`](FaultPlan::install) it. Determinism comes from the caller:
+/// tests derive site choices and hit indices from the in-tree seeded RNG,
+/// so a failing seed replays exactly.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    sites: HashMap<String, ArmedSite>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no sites armed).
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Arms `site` with `fault`, firing per `arming`.
+    #[must_use]
+    pub fn arm(mut self, site: impl Into<String>, fault: Fault, arming: FaultArming) -> Self {
+        self.sites.insert(
+            site.into(),
+            ArmedSite {
+                fault,
+                arming,
+                hits: 0,
+                fired: 0,
+            },
+        );
+        self
+    }
+
+    /// Installs the plan globally. The returned guard disarms the plan
+    /// when dropped. Only one plan can be active at a time; installing a
+    /// second replaces the first.
+    #[must_use]
+    pub fn install(self) -> FaultGuard {
+        let mut slot = lock_plan();
+        *slot = Some(self);
+        ACTIVE.store(true, Ordering::SeqCst);
+        FaultGuard { _priv: () }
+    }
+}
+
+/// RAII guard from [`FaultPlan::install`]; disarms on drop.
+#[derive(Debug)]
+pub struct FaultGuard {
+    _priv: (),
+}
+
+impl FaultGuard {
+    /// How many times `site` actually fired under this plan.
+    #[must_use]
+    pub fn fired(&self, site: &str) -> u64 {
+        lock_plan()
+            .as_ref()
+            .and_then(|p| p.sites.get(site))
+            .map_or(0, |s| s.fired)
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        ACTIVE.store(false, Ordering::SeqCst);
+        *lock_plan() = None;
+    }
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+fn lock_plan() -> std::sync::MutexGuard<'static, Option<FaultPlan>> {
+    PLAN.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Payload marker for injected panics, so isolation boundaries can label
+/// them distinctly from organic crashes.
+pub const INJECTED_PANIC: &str = "manta-resilience: injected panic";
+
+thread_local! {
+    /// Set by [`fault_point`] when an `ExhaustBudget` fault fires with no
+    /// budget registered on this thread; drained by
+    /// [`take_pending_exhaustion`].
+    static PENDING_EXHAUST: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Checks (and clears) whether an `ExhaustBudget` fault fired on this
+/// thread since the last call. Budget-owning loops call this right after
+/// minting a budget so an injected exhaustion lands on the budget about
+/// to be used.
+pub fn take_pending_exhaustion() -> bool {
+    PENDING_EXHAUST.with(|c| c.replace(false))
+}
+
+/// A fault-injection site. Returns normally (the common case: no plan
+/// armed, or this site not armed / not yet at its firing hit).
+///
+/// # Panics
+///
+/// Panics with [`INJECTED_PANIC`] when the armed fault is
+/// [`Fault::Panic`].
+#[inline]
+pub fn fault_point(site: &str) {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return;
+    }
+    fault_point_slow(site);
+}
+
+/// [`fault_point`] for per-item sites: checks `"{prefix}:{key}"` without
+/// allocating when no plan is armed.
+#[inline]
+pub fn fault_point_keyed(prefix: &str, key: &str) {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return;
+    }
+    fault_point_slow(&format!("{prefix}:{key}"));
+}
+
+#[cold]
+fn fault_point_slow(site: &str) {
+    let fault = {
+        let mut slot = lock_plan();
+        let Some(plan) = slot.as_mut() else { return };
+        let Some(armed) = plan.sites.get_mut(site) else {
+            return;
+        };
+        let hit = armed.hits;
+        armed.hits += 1;
+        let fire = match armed.arming {
+            FaultArming::Always => true,
+            FaultArming::OnHit(n) => hit == n,
+        };
+        if !fire {
+            return;
+        }
+        armed.fired += 1;
+        armed.fault
+    };
+    match fault {
+        Fault::Panic => {
+            crate::counters::FAULTS_FIRED.incr();
+            panic!("{INJECTED_PANIC} at {site}");
+        }
+        Fault::ExhaustBudget => {
+            crate::counters::FAULTS_FIRED.incr();
+            PENDING_EXHAUST.with(|c| c.set(true));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_site_is_a_no_op() {
+        let _l = crate::test_lock();
+        fault_point("nothing.armed");
+        let _guard = FaultPlan::new()
+            .arm("other.site", Fault::Panic, FaultArming::Always)
+            .install();
+        fault_point("nothing.armed");
+    }
+
+    #[test]
+    fn panic_fault_fires_with_marker() {
+        let _l = crate::test_lock();
+        let guard = FaultPlan::new()
+            .arm("t.site", Fault::Panic, FaultArming::Always)
+            .install();
+        let r = std::panic::catch_unwind(|| fault_point("t.site"));
+        let payload = r.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains(INJECTED_PANIC), "payload: {msg}");
+        assert_eq!(guard.fired("t.site"), 1);
+    }
+
+    #[test]
+    fn on_hit_fires_once_at_the_chosen_hit() {
+        let _l = crate::test_lock();
+        let guard = FaultPlan::new()
+            .arm("t.nth", Fault::ExhaustBudget, FaultArming::OnHit(2))
+            .install();
+        for _ in 0..5 {
+            fault_point("t.nth");
+        }
+        assert_eq!(guard.fired("t.nth"), 1);
+        assert!(take_pending_exhaustion());
+        assert!(!take_pending_exhaustion(), "flag must clear");
+    }
+
+    #[test]
+    fn keyed_sites_select_one_item() {
+        let _l = crate::test_lock();
+        let guard = FaultPlan::new()
+            .arm(
+                "eval.project:redis",
+                Fault::ExhaustBudget,
+                FaultArming::Always,
+            )
+            .install();
+        fault_point_keyed("eval.project", "vsftpd");
+        assert!(!take_pending_exhaustion());
+        fault_point_keyed("eval.project", "redis");
+        assert!(take_pending_exhaustion());
+        assert_eq!(guard.fired("eval.project:redis"), 1);
+    }
+
+    #[test]
+    fn guard_drop_disarms() {
+        let _l = crate::test_lock();
+        {
+            let _guard = FaultPlan::new()
+                .arm("t.drop", Fault::ExhaustBudget, FaultArming::Always)
+                .install();
+            fault_point("t.drop");
+            assert!(take_pending_exhaustion());
+        }
+        fault_point("t.drop");
+        assert!(!take_pending_exhaustion());
+    }
+}

@@ -1,0 +1,129 @@
+//! Panic isolation boundaries.
+//!
+//! [`isolate`] runs a closure under `catch_unwind`, converting a panic
+//! into a structured [`MantaError::Panic`] and bumping the
+//! `resilience.panics_caught` counter. While any isolated closure is on
+//! the stack, the default panic hook is suppressed (panics are expected
+//! and handled — they should not spew backtraces into eval output); a
+//! re-entrancy counter keeps nested boundaries and parallel worker
+//! threads correct.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::error::MantaError;
+
+/// Number of isolated closures currently on some thread's stack.
+static SUPPRESSED: AtomicUsize = AtomicUsize::new(0);
+static HOOK_INSTALLED: OnceLock<()> = OnceLock::new();
+
+fn install_hook() {
+    HOOK_INSTALLED.get_or_init(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if SUPPRESSED.load(Ordering::SeqCst) == 0 {
+                previous(info);
+            }
+        }));
+    });
+}
+
+struct SuppressGuard;
+
+impl SuppressGuard {
+    fn new() -> SuppressGuard {
+        install_hook();
+        SUPPRESSED.fetch_add(1, Ordering::SeqCst);
+        SuppressGuard
+    }
+}
+
+impl Drop for SuppressGuard {
+    fn drop(&mut self) {
+        SUPPRESSED.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f`, converting a panic into [`MantaError::Panic`] attributed to
+/// `stage`.
+///
+/// The closure is wrapped in `AssertUnwindSafe`: Manta's stage
+/// boundaries either hand the closure exclusive data (per-project
+/// builds) or discard partially-updated state on error (per-tier
+/// refinement applies updates only after a full pass), so observing
+/// broken invariants after a caught panic is not possible by
+/// construction at these call sites.
+///
+/// # Errors
+///
+/// Returns [`MantaError::Panic`] when `f` panicked.
+pub fn isolate<T>(stage: &str, f: impl FnOnce() -> T) -> Result<T, MantaError> {
+    let _suppress = SuppressGuard::new();
+    match panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            crate::counters::PANICS_CAUGHT.incr();
+            Err(MantaError::Panic {
+                stage: stage.to_string(),
+                message: panic_message(payload.as_ref()),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_path_passes_value_through() {
+        assert_eq!(isolate("t", || 41 + 1).unwrap(), 42);
+    }
+
+    #[test]
+    fn panic_becomes_structured_error() {
+        let err = isolate("infer.cs", || -> u32 { panic!("boom {}", 7) }).unwrap_err();
+        match err {
+            MantaError::Panic { stage, message } => {
+                assert_eq!(stage, "infer.cs");
+                assert!(message.contains("boom 7"), "{message}");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_isolation_unwinds_to_the_inner_boundary() {
+        let outer = isolate("outer", || {
+            let inner = isolate("inner", || -> u32 { panic!("deep") });
+            assert!(inner.is_err());
+            7u32
+        });
+        assert_eq!(outer.unwrap(), 7);
+    }
+
+    #[test]
+    fn str_and_string_payloads_are_extracted() {
+        let e1 = isolate("t", || panic!("literal")).unwrap_err();
+        let e2 = isolate("t", || panic!("formatted {}", 1)).unwrap_err();
+        let m = |e: MantaError| match e {
+            MantaError::Panic { message, .. } => message,
+            _ => unreachable!(),
+        };
+        assert_eq!(m(e1), "literal");
+        assert_eq!(m(e2), "formatted 1");
+    }
+}

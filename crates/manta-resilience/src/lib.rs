@@ -1,0 +1,116 @@
+//! # manta-resilience
+//!
+//! Robustness primitives for the Manta pipeline: cooperative execution
+//! budgets, panic isolation, graceful sensitivity degradation, and a
+//! deterministic fault-injection harness.
+//!
+//! The pipeline's failure policy is *partial results over no results*:
+//!
+//! * **Budgets** ([`Budget`], [`BudgetSpec`]) bound the fixpoint loops
+//!   in `manta-analysis` and the sensitivity cascade in `manta`. A blown
+//!   budget does not abort the run — the engine keeps the last completed
+//!   sensitivity tier and tags the result with a [`Degradation`].
+//! * **Isolation** ([`isolate`]) catches panics at the per-project
+//!   boundary (`manta-eval`) and the per-function boundary (refinement
+//!   passes), converting crashes into structured [`MantaError`]s so one
+//!   bad input cannot take down a suite.
+//! * **Fault injection** ([`FaultPlan`], [`fault_point`]) deterministically
+//!   fires panics or budget exhaustion at named pipeline sites, letting
+//!   tests prove every degradation path yields usable output.
+//!
+//! Every event reports through `manta-telemetry`:
+//! `resilience.degradations`, `resilience.panics_caught`,
+//! `resilience.budget_exhausted`, `resilience.faults_fired`.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod budget;
+mod error;
+mod fault;
+mod isolate;
+
+pub use budget::{Budget, BudgetExceeded, BudgetKind, BudgetSpec, DEADLINE_PERIOD};
+pub use error::{Degradation, DegradationKind, MantaError, StageName};
+pub use fault::{
+    fault_point, fault_point_keyed, take_pending_exhaustion, Fault, FaultArming, FaultGuard,
+    FaultPlan, INJECTED_PANIC,
+};
+pub use isolate::{isolate, panic_message};
+
+/// The telemetry counters this crate maintains.
+pub(crate) mod counters {
+    use manta_telemetry::Counter;
+
+    /// Bumped by [`crate::Degradation::record`].
+    pub static DEGRADATIONS: Counter = Counter::new("resilience.degradations");
+    /// Bumped by [`crate::isolate`] when it catches a panic.
+    pub static PANICS_CAUGHT: Counter = Counter::new("resilience.panics_caught");
+    /// Bumped by [`crate::budget_exhausted`] when a budget trips a stage.
+    pub static BUDGET_EXHAUSTED: Counter = Counter::new("resilience.budget_exhausted");
+    /// Bumped each time an armed fault-injection site fires.
+    pub static FAULTS_FIRED: Counter = Counter::new("resilience.faults_fired");
+}
+
+/// Reports one budget-exhaustion event on `stage` to telemetry. Stage
+/// code calls this exactly once per tripped budget, at the point where
+/// it decides to degrade or propagate.
+pub fn budget_exhausted(stage: &str) {
+    counters::BUDGET_EXHAUSTED.incr();
+    manta_telemetry::counter(&format!("resilience.budget_exhausted.{stage}"), 1);
+}
+
+/// A fault-injection site that owns a budget: fires `site` and, if an
+/// [`Fault::ExhaustBudget`] fault landed, poisons `budget` so its next
+/// tick fails with [`BudgetKind::Injected`].
+///
+/// # Panics
+///
+/// Panics when `site` is armed with [`Fault::Panic`] (by design — the
+/// enclosing isolation boundary catches it).
+pub fn fault_point_budgeted(site: &str, budget: &Budget) {
+    fault_point(site);
+    if take_pending_exhaustion() {
+        budget.exhaust();
+    }
+}
+
+/// Serializes tests that touch the process-global fault plan or
+/// telemetry collector.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_point_budgeted_poisons_the_budget() {
+        let _l = crate::test_lock();
+        let _guard = FaultPlan::new()
+            .arm("lib.site", Fault::ExhaustBudget, FaultArming::Always)
+            .install();
+        let b = Budget::unlimited();
+        b.tick().unwrap();
+        fault_point_budgeted("lib.site", &b);
+        assert_eq!(b.tick().unwrap_err().kind, BudgetKind::Injected);
+    }
+
+    #[test]
+    fn budget_exhausted_bumps_both_counters() {
+        let _l = crate::test_lock();
+        manta_telemetry::set_enabled(true);
+        manta_telemetry::reset();
+        budget_exhausted("infer.fs");
+        let report = manta_telemetry::report();
+        manta_telemetry::set_enabled(false);
+        assert!(report.counters.get("resilience.budget_exhausted").copied() >= Some(1));
+        assert!(report
+            .counters
+            .contains_key("resilience.budget_exhausted.infer.fs"));
+    }
+}

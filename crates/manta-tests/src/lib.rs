@@ -1,1 +1,9 @@
-pub(crate) fn _anchor() {}
+//! Workspace-level integration tests for the Manta reproduction.
+//!
+//! The crate itself is empty: every suite lives in the repository-level
+//! `tests/` directory and is wired in through the `[[test]]` entries in
+//! this crate's `Cargo.toml` (`pipeline`, `motivating_examples`,
+//! `experiment_shapes`, `clients_behavior`, `cross_crate_properties`,
+//! `resilience`).
+
+#![warn(missing_docs)]

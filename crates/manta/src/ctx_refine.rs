@@ -25,6 +25,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use manta_analysis::cfl::{ctx_op, CtxStack, Direction};
 use manta_analysis::{DepKind, ModuleAnalysis, NodeId, VarRef};
 use manta_ir::Type;
+use manta_resilience::{Budget, BudgetExceeded};
 
 use crate::classify;
 use crate::interval::{FirstLayer, Resolution, TypeInterval};
@@ -39,12 +40,33 @@ pub fn refine(
     config: &MantaConfig,
     result: &mut InferenceResult,
 ) {
+    match refine_budgeted(analysis, reveals, config, result, &Budget::unlimited()) {
+        Ok(()) => {}
+        Err(_) => unreachable!("unlimited budget tripped"),
+    }
+}
+
+/// [`refine`] under a cooperative budget: one fuel unit per candidate
+/// variable plus one per DDG node visited by its forward walk.
+///
+/// # Errors
+///
+/// Returns the tripped limit *before* committing any interval update, so
+/// `result` still reflects the previous tier exactly.
+pub fn refine_budgeted(
+    analysis: &ModuleAnalysis,
+    reveals: &RevealMap,
+    config: &MantaConfig,
+    result: &mut InferenceResult,
+    budget: &Budget,
+) -> Result<(), BudgetExceeded> {
     let over = classify::over_approximated(analysis, result);
     manta_telemetry::counter("cs.candidates", over.len() as u64);
     let mut roots_cache: HashMap<VarRef, BTreeSet<NodeId>> = HashMap::new();
     let mut updates: Vec<(VarRef, TypeInterval)> = Vec::new();
 
     for v in over {
+        budget.tick()?;
         let roots = find_roots(analysis, result, config, v, &mut roots_cache);
         let mut types: Vec<Type> = Vec::new();
         let mut visited: HashSet<NodeId> = HashSet::new();
@@ -60,6 +82,9 @@ pub fn refine(
                 &mut types,
             );
         }
+        // Charge the actual walk size so fuel reflects work done, not
+        // just candidate count.
+        budget.consume(visited.len() as u64)?;
         if !types.is_empty() {
             let mut interval = TypeInterval::unknown();
             for t in &types {
@@ -74,6 +99,7 @@ pub fn refine(
     }
     let counts = classify::classify(analysis, result);
     result.stage_counts.push((Stage::ContextRefine, counts));
+    Ok(())
 }
 
 /// `FIND_ROOTS(v)`: backward CFL-valid traversal to the origins of `v`

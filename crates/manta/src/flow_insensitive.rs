@@ -16,6 +16,7 @@ use std::collections::HashSet;
 
 use manta_analysis::{ModuleAnalysis, ObjectId, VarRef};
 use manta_ir::{Callee, InstKind, Terminator, ValueId};
+use manta_resilience::{Budget, BudgetExceeded};
 
 use crate::classify;
 use crate::reveal::RevealMap;
@@ -55,6 +56,26 @@ impl<'a> Keys<'a> {
 /// Runs the global flow-insensitive inference and classifies every
 /// variable.
 pub fn run(analysis: &ModuleAnalysis, reveals: &RevealMap, config: MantaConfig) -> InferenceResult {
+    match run_budgeted(analysis, reveals, config, &Budget::unlimited()) {
+        Ok(r) => r,
+        Err(_) => unreachable!("unlimited budget tripped"),
+    }
+}
+
+/// [`run`] under a cooperative budget: one fuel unit per visited
+/// instruction, reveal, and materialized variable, so a blown budget
+/// surfaces within one statement's worth of work.
+///
+/// # Errors
+///
+/// Returns the tripped limit; no partial result is produced (the caller
+/// falls back to the previous tier — for this base stage, to nothing).
+pub fn run_budgeted(
+    analysis: &ModuleAnalysis,
+    reveals: &RevealMap,
+    config: MantaConfig,
+    budget: &Budget,
+) -> Result<InferenceResult, BudgetExceeded> {
     let keys = Keys::new(analysis);
     let mut uf = UnionFind::new(keys.total());
     let module = analysis.module();
@@ -68,6 +89,7 @@ pub fn run(analysis: &ModuleAnalysis, reveals: &RevealMap, config: MantaConfig) 
         let fid = func.id();
         let var = |v: ValueId| VarRef::new(fid, v);
         for inst in func.insts() {
+            budget.tick()?;
             match &inst.kind {
                 // Rule ①: value copies.
                 InstKind::Copy { dst, src } => {
@@ -136,6 +158,7 @@ pub fn run(analysis: &ModuleAnalysis, reveals: &RevealMap, config: MantaConfig) 
     // Rule ④: absorb reveals.
     for func in module.functions() {
         for r in reveals.in_func(func.id()) {
+            budget.tick()?;
             uf.absorb(keys.var(VarRef::new(func.id(), r.value)), &r.ty);
         }
     }
@@ -144,6 +167,7 @@ pub fn run(analysis: &ModuleAnalysis, reveals: &RevealMap, config: MantaConfig) 
     let mut result = InferenceResult::empty(config);
     for func in module.functions() {
         for (value, _) in func.values() {
+            budget.tick()?;
             let v = VarRef::new(func.id(), value);
             let interval = uf.interval(keys.var(v)).clone();
             if !interval.is_unknown() {
@@ -160,7 +184,7 @@ pub fn run(analysis: &ModuleAnalysis, reveals: &RevealMap, config: MantaConfig) 
 
     let counts = classify::classify(analysis, &mut result);
     result.stage_counts.push((Stage::FlowInsensitive, counts));
-    result
+    Ok(result)
 }
 
 /// Rule ①'s `UnifyObjType` over the pointees of two unified pointers.

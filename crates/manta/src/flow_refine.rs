@@ -18,6 +18,7 @@ use manta_analysis::cfl::{CtxOp, CtxStack};
 use manta_analysis::{DepKind, ModuleAnalysis, NodeId, VarRef};
 use manta_ir::cfg::Cfg;
 use manta_ir::{BlockId, FuncId, InstId, Type, ValueKind};
+use manta_resilience::{Budget, BudgetExceeded};
 
 use crate::classify;
 use crate::ctx_refine::find_roots;
@@ -33,6 +34,26 @@ pub fn refine(
     config: &MantaConfig,
     result: &mut InferenceResult,
 ) {
+    match refine_budgeted(analysis, reveals, config, result, &Budget::unlimited()) {
+        Ok(()) => {}
+        Err(_) => unreachable!("unlimited budget tripped"),
+    }
+}
+
+/// [`refine`] under a cooperative budget: one fuel unit per candidate
+/// variable and one per inspected def/use site.
+///
+/// # Errors
+///
+/// Returns the tripped limit *before* committing any interval update, so
+/// `result` still reflects the previous tier exactly.
+pub fn refine_budgeted(
+    analysis: &ModuleAnalysis,
+    reveals: &RevealMap,
+    config: &MantaConfig,
+    result: &mut InferenceResult,
+    budget: &Budget,
+) -> Result<(), BudgetExceeded> {
     let cfgs = Cfgs::new(analysis);
     let over = classify::over_approximated(analysis, result);
     manta_telemetry::counter("fs.candidates", over.len() as u64);
@@ -41,6 +62,7 @@ pub fn refine(
     let mut site_updates: Vec<((VarRef, InstId), TypeInterval)> = Vec::new();
 
     for v in over {
+        budget.tick()?;
         let roots = find_roots(analysis, result, config, v, &mut roots_cache);
         let func = analysis.module().function(v.func);
         // Def site plus each use site (Algorithm 2 line 7).
@@ -52,6 +74,7 @@ pub fn refine(
         }
         sites.dedup();
         for site in sites {
+            budget.tick()?;
             let types = reachable_types(
                 analysis,
                 reveals,
@@ -103,6 +126,7 @@ pub fn refine(
     }
     let counts = classify::classify(analysis, result);
     result.stage_counts.push((Stage::FlowRefine, counts));
+    Ok(())
 }
 
 /// The standalone Manta-FS ablation: flow-sensitive hint collection with
@@ -115,6 +139,25 @@ pub fn standalone_fs(
     reveals: &RevealMap,
     config: &MantaConfig,
 ) -> InferenceResult {
+    match standalone_fs_budgeted(analysis, reveals, config, &Budget::unlimited()) {
+        Ok(r) => r,
+        Err(_) => unreachable!("unlimited budget tripped"),
+    }
+}
+
+/// [`standalone_fs`] under a cooperative budget: one fuel unit per DDG
+/// node during alias-class construction and one per inspected variable
+/// site.
+///
+/// # Errors
+///
+/// Returns the tripped limit; no partial result is produced.
+pub fn standalone_fs_budgeted(
+    analysis: &ModuleAnalysis,
+    reveals: &RevealMap,
+    config: &MantaConfig,
+    budget: &Budget,
+) -> Result<InferenceResult, BudgetExceeded> {
     let cfgs = Cfgs::new(analysis);
     let mut result = InferenceResult::empty(*config);
     // Intraprocedural alias classes: values connected by copy/phi or by
@@ -125,6 +168,7 @@ pub fn standalone_fs(
         let n = ddg.node_count();
         let mut uf = crate::unify::UnionFind::new(n);
         for idx in 0..n {
+            budget.tick()?;
             let node = NodeId(idx as u32);
             let from = ddg.var(node);
             for &(to, kind) in ddg.children(node) {
@@ -158,6 +202,7 @@ pub fn standalone_fs(
             sites.dedup();
             let mut var_interval: Option<TypeInterval> = None;
             for site in sites {
+                budget.tick()?;
                 let types = reachable_types_with_alias(
                     analysis,
                     reveals,
@@ -194,7 +239,7 @@ pub fn standalone_fs(
     }
     let counts = classify::classify(analysis, &mut result);
     result.stage_counts.push((Stage::StandaloneFs, counts));
-    result
+    Ok(result)
 }
 
 /// Per-function CFGs plus block/instruction position indexes.

@@ -201,6 +201,10 @@ pub struct InferenceResult {
     pub stage_counts: Vec<(Stage, ClassCounts)>,
     /// The configuration that produced this result.
     pub config: MantaConfig,
+    /// Stages that were cut short (budget, panic, injected fault) and the
+    /// sensitivity tier the maps actually reflect. Empty for a run that
+    /// completed at full configured sensitivity.
+    pub degradations: Vec<manta_resilience::Degradation>,
 }
 
 impl InferenceResult {
@@ -212,7 +216,13 @@ impl InferenceResult {
             class: HashMap::new(),
             stage_counts: Vec::new(),
             config,
+            degradations: Vec::new(),
         }
+    }
+
+    /// Whether the run completed at its full configured sensitivity.
+    pub fn is_degraded(&self) -> bool {
+        !self.degradations.is_empty()
     }
 
     /// The inferred interval for variable `v`, if any hint reached it.
@@ -415,5 +425,302 @@ impl Manta {
             }
         }
         result
+    }
+
+    /// Runs the cascade under a cooperative budget with per-stage panic
+    /// isolation, degrading gracefully.
+    ///
+    /// When a refinement stage blows its budget, panics, or hits an armed
+    /// fault-injection site, the maps of the last *completed* sensitivity
+    /// tier are kept, a [`manta_resilience::Degradation`] record is
+    /// appended to [`InferenceResult::degradations`], and the cascade
+    /// stops there. When the base stage itself fails, an empty result
+    /// carrying the degradation record is returned. This method never
+    /// panics on stage failure and never returns an error.
+    pub fn infer_resilient(
+        &self,
+        analysis: &ModuleAnalysis,
+        budget: &manta_resilience::Budget,
+    ) -> InferenceResult {
+        match self.infer_inner(analysis, budget, false) {
+            Ok(r) => r,
+            Err(_) => unreachable!("non-strict inference converts failures to degradations"),
+        }
+    }
+
+    /// Like [`Manta::infer_resilient`] but propagating the first stage
+    /// failure instead of degrading — the CLI's `--strict` behavior.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`manta_resilience::MantaError::Budget`] when `budget`
+    /// trips and [`manta_resilience::MantaError::Panic`] when a stage
+    /// panics.
+    pub fn infer_strict(
+        &self,
+        analysis: &ModuleAnalysis,
+        budget: &manta_resilience::Budget,
+    ) -> Result<InferenceResult, manta_resilience::MantaError> {
+        self.infer_inner(analysis, budget, true)
+    }
+
+    fn infer_inner(
+        &self,
+        analysis: &ModuleAnalysis,
+        budget: &manta_resilience::Budget,
+        strict: bool,
+    ) -> Result<InferenceResult, manta_resilience::MantaError> {
+        use manta_resilience::{
+            fault_point_budgeted, isolate, BudgetExceeded, Degradation, DegradationKind, MantaError,
+        };
+
+        /// Collapses the two failure layers (caught panic, blown budget)
+        /// of one isolated stage into a single error.
+        fn flatten<T>(
+            site: &'static str,
+            r: Result<Result<T, BudgetExceeded>, MantaError>,
+        ) -> Result<T, MantaError> {
+            match r {
+                Ok(Ok(t)) => Ok(t),
+                Ok(Err(e)) => {
+                    manta_resilience::budget_exhausted(site);
+                    Err(MantaError::Budget {
+                        stage: site.to_string(),
+                        kind: e.kind,
+                    })
+                }
+                Err(e) => Err(e),
+            }
+        }
+
+        let kind_of = DegradationKind::from_error;
+
+        manta_telemetry::span!("infer");
+        let reveals = {
+            manta_telemetry::span!("reveal");
+            match isolate("infer.reveal", || reveal::RevealMap::collect(analysis)) {
+                Ok(r) => r,
+                Err(e) => {
+                    if strict {
+                        return Err(e);
+                    }
+                    let mut r = InferenceResult::empty(self.config);
+                    r.degradations.push(Degradation::record(
+                        "infer.reveal",
+                        "none",
+                        kind_of(&e),
+                        e.to_string(),
+                    ));
+                    return Ok(r);
+                }
+            }
+        };
+
+        let base_site: &'static str = match self.config.sensitivity {
+            Sensitivity::Fs => "infer.fs",
+            _ => "infer.fi",
+        };
+        let base = isolate(base_site, || {
+            fault_point_budgeted(base_site, budget);
+            match self.config.sensitivity {
+                Sensitivity::Fs => {
+                    manta_telemetry::span!("fs");
+                    flow_refine::standalone_fs_budgeted(analysis, &reveals, &self.config, budget)
+                }
+                _ => {
+                    manta_telemetry::span!("fi");
+                    flow_insensitive::run_budgeted(analysis, &reveals, self.config, budget)
+                }
+            }
+        });
+        let mut result = match flatten(base_site, base) {
+            Ok(r) => r,
+            Err(e) => {
+                if strict {
+                    return Err(e);
+                }
+                let mut r = InferenceResult::empty(self.config);
+                r.degradations.push(Degradation::record(
+                    base_site,
+                    "none",
+                    kind_of(&e),
+                    e.to_string(),
+                ));
+                return Ok(r);
+            }
+        };
+        result.config = self.config;
+
+        enum Refine {
+            Cs,
+            Fs,
+        }
+        let order: &[Refine] = match self.config.sensitivity {
+            Sensitivity::Fi | Sensitivity::Fs => &[],
+            Sensitivity::FiFs => &[Refine::Fs],
+            Sensitivity::FiCsFs => &[Refine::Cs, Refine::Fs],
+            // §6.4 reversed order: the aggressive stage first.
+            Sensitivity::FiFsCs => &[Refine::Fs, Refine::Cs],
+        };
+        let mut completed = String::from(match self.config.sensitivity {
+            Sensitivity::Fs => "FS",
+            _ => "FI",
+        });
+        for stage in order {
+            let site: &'static str = match stage {
+                Refine::Cs => "infer.cs",
+                Refine::Fs => "infer.fs",
+            };
+            // Refinements mutate `result` in place but only commit their
+            // updates after a full pass; the snapshot restores the last
+            // completed tier if the stage is cut short or panics midway.
+            let snapshot = result.clone();
+            let outcome = isolate(site, || {
+                fault_point_budgeted(site, budget);
+                match stage {
+                    Refine::Cs => {
+                        manta_telemetry::span!("cs");
+                        ctx_refine::refine_budgeted(
+                            analysis,
+                            &reveals,
+                            &self.config,
+                            &mut result,
+                            budget,
+                        )
+                    }
+                    Refine::Fs => {
+                        manta_telemetry::span!("fs");
+                        flow_refine::refine_budgeted(
+                            analysis,
+                            &reveals,
+                            &self.config,
+                            &mut result,
+                            budget,
+                        )
+                    }
+                }
+            });
+            match flatten(site, outcome) {
+                Ok(()) => {
+                    completed.push_str(match stage {
+                        Refine::Cs => "+CS",
+                        Refine::Fs => "+FS",
+                    });
+                }
+                Err(e) => {
+                    if strict {
+                        return Err(e);
+                    }
+                    let kind = kind_of(&e);
+                    let detail = e.to_string();
+                    result = snapshot;
+                    result
+                        .degradations
+                        .push(Degradation::record(site, completed, kind, detail));
+                    break;
+                }
+            }
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod resilience_tests {
+    use super::*;
+    use manta_ir::{BinOp, ModuleBuilder, Width};
+    use manta_resilience::Budget;
+
+    /// A module where FI over-approximates and CS genuinely refines: the
+    /// polymorphic identity called from an int and a ptr context.
+    fn polymorphic_module() -> manta_ir::Module {
+        let mut mb = ModuleBuilder::new("m");
+        let malloc = mb.extern_fn("malloc", &[], None);
+        let pd = mb.extern_fn("printf_d", &[], None);
+        let ps = mb.extern_fn("printf_s", &[], None);
+        let (id_f, mut ib) = mb.function("id", &[Width::W64], Some(Width::W64));
+        let x = ib.param(0);
+        ib.ret(Some(x));
+        mb.finish_function(ib);
+        let (_c1, mut cb1) = mb.function("use_int", &[Width::W64], None);
+        let n = cb1.param(0);
+        let n2 = cb1.binop(BinOp::Mul, n, n, Width::W64);
+        let r1 = cb1.call(id_f, &[n2], Some(Width::W64)).unwrap();
+        let fmt = cb1.alloca(8);
+        cb1.call_extern(pd, &[fmt, r1], Some(Width::W32));
+        cb1.ret(None);
+        mb.finish_function(cb1);
+        let (_c2, mut cb2) = mb.function("use_ptr", &[], None);
+        let k = cb2.const_int(16, Width::W64);
+        let buf = cb2.call_extern(malloc, &[k], Some(Width::W64)).unwrap();
+        let r2 = cb2.call(id_f, &[buf], Some(Width::W64)).unwrap();
+        let fmt = cb2.alloca(8);
+        cb2.call_extern(ps, &[fmt, r2], Some(Width::W32));
+        cb2.ret(None);
+        mb.finish_function(cb2);
+        mb.finish()
+    }
+
+    #[test]
+    fn resilient_with_unlimited_budget_matches_plain_infer() {
+        let analysis = ModuleAnalysis::build(polymorphic_module());
+        for s in Sensitivity::WITH_REVERSED {
+            let m = Manta::new(MantaConfig::with_sensitivity(s));
+            let plain = m.infer(&analysis);
+            let resilient = m.infer_resilient(&analysis, &Budget::unlimited());
+            assert!(resilient.degradations.is_empty(), "{s:?} degraded");
+            assert_eq!(plain.final_counts(), resilient.final_counts(), "{s:?}");
+            assert_eq!(plain.stage_counts, resilient.stage_counts, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn zero_fuel_degrades_base_stage_to_empty() {
+        let analysis = ModuleAnalysis::build(polymorphic_module());
+        let m = Manta::new(MantaConfig::full());
+        let r = m.infer_resilient(&analysis, &Budget::with_fuel(0));
+        assert!(r.is_degraded());
+        assert_eq!(r.degradations.len(), 1);
+        assert_eq!(r.degradations[0].stage, "infer.fi");
+        assert_eq!(r.degradations[0].completed, "none");
+        assert_eq!(r.final_counts().total(), 0);
+    }
+
+    #[test]
+    fn fuel_cut_after_base_keeps_the_fi_tier() {
+        let analysis = ModuleAnalysis::build(polymorphic_module());
+        // Measure the base stage's exact fuel use, then allow one unit
+        // more: FI completes, CS trips on its first real work.
+        let probe = Budget::with_fuel(1_000_000);
+        let fi = Manta::new(MantaConfig::with_sensitivity(Sensitivity::Fi));
+        let fi_result = fi.infer_resilient(&analysis, &probe);
+        assert!(fi_result.degradations.is_empty());
+        let fi_cost = 1_000_000 - probe.fuel_left();
+        let m = Manta::new(MantaConfig::full());
+        let r = m.infer_resilient(&analysis, &Budget::with_fuel(fi_cost + 1));
+        assert_eq!(r.degradations.len(), 1, "{:?}", r.degradations);
+        assert_eq!(r.degradations[0].stage, "infer.cs");
+        assert_eq!(r.degradations[0].completed, "FI");
+        // The kept maps are the flow-insensitive tier, bit for bit.
+        assert_eq!(r.stage_counts, fi_result.stage_counts);
+        assert_eq!(r.final_counts(), fi_result.final_counts());
+    }
+
+    #[test]
+    fn strict_mode_propagates_the_budget_error() {
+        let analysis = ModuleAnalysis::build(polymorphic_module());
+        let m = Manta::new(MantaConfig::full());
+        let e = m
+            .infer_strict(&analysis, &Budget::with_fuel(0))
+            .unwrap_err();
+        match e {
+            manta_resilience::MantaError::Budget { stage, .. } => {
+                assert_eq!(stage, "infer.fi");
+            }
+            other => panic!("expected budget error, got {other}"),
+        }
+        // And succeeds outright when unconstrained.
+        let r = m.infer_strict(&analysis, &Budget::unlimited()).unwrap();
+        assert!(r.degradations.is_empty());
     }
 }
