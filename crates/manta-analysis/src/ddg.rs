@@ -133,136 +133,40 @@ impl Ddg {
             edge_count: 0,
         };
 
+        // Per-function scans are independent: every edge an instruction
+        // emits is discovered while scanning exactly one function, so the
+        // scans fan out across the pool and the collected lists are applied
+        // in function order — the same insertion order a serial pass
+        // produces. Write/read records borrow the points-to sets instead of
+        // cloning them (they are only consulted during pairing below).
+        let func_ids: Vec<FuncId> = module.functions().map(|f| f.id()).collect();
+        let scans: Vec<Result<FuncScan<'_>, manta_resilience::BudgetExceeded>> =
+            manta_parallel::par_map(func_ids, |fid| scan_function(pre, pts, fid, budget));
+
         // Memory writes: (written value, objects it reaches, via) — stores
         // plus extern copy effects; paired against loads below.
-        let mut writes: Vec<(VarRef, BTreeSet<ObjectId>)> = Vec::new();
-        let mut reads: Vec<(VarRef, BTreeSet<ObjectId>)> = Vec::new();
-
-        for func in module.functions() {
-            let fid = func.id();
-            budget.tick()?;
-            for inst in func.insts() {
-                budget.tick()?;
-                match &inst.kind {
-                    InstKind::Copy { dst, src } => {
-                        ddg.add_edge(fid, *src, fid, *dst, DepKind::Direct);
-                    }
-                    InstKind::Phi { dst, incomings } => {
-                        for (_, v) in incomings {
-                            ddg.add_edge(fid, *v, fid, *dst, DepKind::Direct);
-                        }
-                    }
-                    InstKind::BinOp { op, dst, lhs, rhs } => {
-                        ddg.add_edge(
-                            fid,
-                            *lhs,
-                            fid,
-                            *dst,
-                            DepKind::Arith {
-                                op: *op,
-                                operand: 0,
-                            },
-                        );
-                        ddg.add_edge(
-                            fid,
-                            *rhs,
-                            fid,
-                            *dst,
-                            DepKind::Arith {
-                                op: *op,
-                                operand: 1,
-                            },
-                        );
-                    }
-                    InstKind::Cmp { dst, lhs, rhs, .. } => {
-                        ddg.add_edge(fid, *lhs, fid, *dst, DepKind::Cmp);
-                        ddg.add_edge(fid, *rhs, fid, *dst, DepKind::Cmp);
-                    }
-                    InstKind::Gep { dst, base, .. } => {
-                        ddg.add_edge(fid, *base, fid, *dst, DepKind::Field);
-                    }
-                    InstKind::Alloca { .. } => {}
-                    InstKind::Store { addr, val } => {
-                        let objs = pts.pts_var(VarRef::new(fid, *addr)).clone();
-                        if !objs.is_empty() {
-                            writes.push((VarRef::new(fid, *val), objs));
-                        }
-                    }
-                    InstKind::Load { dst, addr, .. } => {
-                        let objs = pts.pts_var(VarRef::new(fid, *addr)).clone();
-                        if !objs.is_empty() {
-                            reads.push((VarRef::new(fid, *dst), objs));
-                        }
-                    }
-                    InstKind::Call { dst, callee, args } => match callee {
-                        Callee::Direct(target) => {
-                            if pre.is_broken_call(fid, inst.id) {
-                                continue;
-                            }
-                            let cs = CallSite {
-                                caller: fid,
-                                site: inst.id,
-                            };
-                            let tf = module.function(*target);
-                            for (i, &a) in args.iter().enumerate() {
-                                if let Some(&p) = tf.params().get(i) {
-                                    ddg.add_edge(fid, a, *target, p, DepKind::CallParam(cs));
-                                }
-                            }
-                            if let Some(d) = dst {
-                                for b in tf.blocks() {
-                                    if let Terminator::Ret(Some(r)) = b.term {
-                                        ddg.add_edge(*target, r, fid, *d, DepKind::CallReturn(cs));
-                                    }
-                                }
-                            }
-                        }
-                        Callee::Extern(e) => {
-                            let decl = module.extern_decl(*e);
-                            match decl.effect {
-                                ExternEffect::StrCopy => {
-                                    // dst buffer contents and return value
-                                    // both carry the source string.
-                                    if let Some(&src) = args.get(1) {
-                                        if let Some(d) = dst {
-                                            ddg.add_edge(fid, src, fid, *d, DepKind::ExternFlow);
-                                        }
-                                        if let Some(&dbuf) = args.first() {
-                                            let objs = pts.pts_var(VarRef::new(fid, dbuf)).clone();
-                                            if !objs.is_empty() {
-                                                writes.push((VarRef::new(fid, src), objs));
-                                            }
-                                        }
-                                    }
-                                }
-                                ExternEffect::IntParse | ExternEffect::Pure => {
-                                    if let (Some(d), Some(&a0)) = (dst, args.first()) {
-                                        ddg.add_edge(fid, a0, fid, *d, DepKind::ExternFlow);
-                                    }
-                                }
-                                _ => {}
-                            }
-                        }
-                        Callee::Indirect(_) => {
-                            // Unresolved before the §5.1 client runs; no
-                            // edges (function pointers unmodeled).
-                        }
-                    },
-                }
+        let mut writes: Vec<(VarRef, &BTreeSet<ObjectId>)> = Vec::new();
+        let mut reads: Vec<(VarRef, &BTreeSet<ObjectId>)> = Vec::new();
+        for scan in scans {
+            let scan = scan?;
+            for (from, to, kind) in scan.edges {
+                ddg.add_edge(from.func, from.value, to.func, to.value, kind);
             }
+            writes.extend(scan.writes);
+            reads.extend(scan.reads);
         }
 
         // Memory dependencies: a write reaches a read iff they share an
         // object.
         let mut writes_by_obj: HashMap<ObjectId, Vec<VarRef>> = HashMap::new();
         for (val, objs) in &writes {
-            for &o in objs {
+            for &o in objs.iter() {
                 writes_by_obj.entry(o).or_default().push(*val);
             }
         }
         for (dst, objs) in &reads {
             budget.tick()?;
-            for &o in objs {
+            for &o in objs.iter() {
                 if let Some(ws) = writes_by_obj.get(&o) {
                     for &w in ws {
                         ddg.add_edge(w.func, w.value, dst.func, dst.value, DepKind::Memory(o));
@@ -337,6 +241,149 @@ impl Ddg {
         self.bwd[to.index()].push((from, kind));
         self.edge_count += 1;
     }
+}
+
+/// Everything one function's instruction scan contributes to the graph.
+/// Write/read records keep borrows into the points-to relation; only the
+/// pairing pass below consumes them.
+struct FuncScan<'a> {
+    edges: Vec<(VarRef, VarRef, DepKind)>,
+    writes: Vec<(VarRef, &'a BTreeSet<ObjectId>)>,
+    reads: Vec<(VarRef, &'a BTreeSet<ObjectId>)>,
+}
+
+/// Scans one function for DDG edges and memory write/read records. Fuel is
+/// charged exactly as the historical serial pass: one unit per function
+/// plus one per instruction.
+fn scan_function<'a>(
+    pre: &Preprocessed,
+    pts: &'a PointsTo,
+    fid: FuncId,
+    budget: &manta_resilience::Budget,
+) -> Result<FuncScan<'a>, manta_resilience::BudgetExceeded> {
+    let module = &pre.module;
+    let func = module.function(fid);
+    let mut scan = FuncScan {
+        edges: Vec::new(),
+        writes: Vec::new(),
+        reads: Vec::new(),
+    };
+    let var = |v: ValueId| VarRef::new(fid, v);
+    budget.tick()?;
+    for inst in func.insts() {
+        budget.tick()?;
+        match &inst.kind {
+            InstKind::Copy { dst, src } => {
+                scan.edges.push((var(*src), var(*dst), DepKind::Direct));
+            }
+            InstKind::Phi { dst, incomings } => {
+                for (_, v) in incomings {
+                    scan.edges.push((var(*v), var(*dst), DepKind::Direct));
+                }
+            }
+            InstKind::BinOp { op, dst, lhs, rhs } => {
+                scan.edges.push((
+                    var(*lhs),
+                    var(*dst),
+                    DepKind::Arith {
+                        op: *op,
+                        operand: 0,
+                    },
+                ));
+                scan.edges.push((
+                    var(*rhs),
+                    var(*dst),
+                    DepKind::Arith {
+                        op: *op,
+                        operand: 1,
+                    },
+                ));
+            }
+            InstKind::Cmp { dst, lhs, rhs, .. } => {
+                scan.edges.push((var(*lhs), var(*dst), DepKind::Cmp));
+                scan.edges.push((var(*rhs), var(*dst), DepKind::Cmp));
+            }
+            InstKind::Gep { dst, base, .. } => {
+                scan.edges.push((var(*base), var(*dst), DepKind::Field));
+            }
+            InstKind::Alloca { .. } => {}
+            InstKind::Store { addr, val } => {
+                let objs = pts.pts_var(var(*addr));
+                if !objs.is_empty() {
+                    scan.writes.push((var(*val), objs));
+                }
+            }
+            InstKind::Load { dst, addr, .. } => {
+                let objs = pts.pts_var(var(*addr));
+                if !objs.is_empty() {
+                    scan.reads.push((var(*dst), objs));
+                }
+            }
+            InstKind::Call { dst, callee, args } => match callee {
+                Callee::Direct(target) => {
+                    if pre.is_broken_call(fid, inst.id) {
+                        continue;
+                    }
+                    let cs = CallSite {
+                        caller: fid,
+                        site: inst.id,
+                    };
+                    let tf = module.function(*target);
+                    for (i, &a) in args.iter().enumerate() {
+                        if let Some(&p) = tf.params().get(i) {
+                            scan.edges.push((
+                                var(a),
+                                VarRef::new(*target, p),
+                                DepKind::CallParam(cs),
+                            ));
+                        }
+                    }
+                    if let Some(d) = dst {
+                        for b in tf.blocks() {
+                            if let Terminator::Ret(Some(r)) = b.term {
+                                scan.edges.push((
+                                    VarRef::new(*target, r),
+                                    var(*d),
+                                    DepKind::CallReturn(cs),
+                                ));
+                            }
+                        }
+                    }
+                }
+                Callee::Extern(e) => {
+                    let decl = module.extern_decl(*e);
+                    match decl.effect {
+                        ExternEffect::StrCopy => {
+                            // dst buffer contents and return value both
+                            // carry the source string.
+                            if let Some(&src) = args.get(1) {
+                                if let Some(d) = dst {
+                                    scan.edges.push((var(src), var(*d), DepKind::ExternFlow));
+                                }
+                                if let Some(&dbuf) = args.first() {
+                                    let objs = pts.pts_var(var(dbuf));
+                                    if !objs.is_empty() {
+                                        scan.writes.push((var(src), objs));
+                                    }
+                                }
+                            }
+                        }
+                        ExternEffect::IntParse | ExternEffect::Pure => {
+                            if let (Some(d), Some(&a0)) = (dst, args.first()) {
+                                scan.edges.push((var(a0), var(*d), DepKind::ExternFlow));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                Callee::Indirect(_) => {
+                    // Unresolved before the §5.1 client runs; no edges
+                    // (function pointers unmodeled).
+                }
+            },
+        }
+    }
+    Ok(scan)
 }
 
 #[cfg(test)]

@@ -19,6 +19,10 @@
 
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+// Fixpoint loops in this crate must not clone per-iteration state; prefer
+// index/borrow patterns. Promote to `#![deny(clippy::redundant_clone)]` in CI
+// if a regression slips through review.
+#![warn(clippy::redundant_clone)]
 
 pub mod callgraph;
 pub mod cfl;

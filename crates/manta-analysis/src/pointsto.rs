@@ -13,8 +13,28 @@
 //! * calls whose call-graph edge was broken (recursion) are opaque;
 //! * unmodeled externals have no effect;
 //! * parameters of a function are assumed not to alias each other.
+//!
+//! ## Solving
+//!
+//! The production solver ([`DeltaSolver`]) is a delta-propagation worklist
+//! solver in the difference-propagation tradition: nodes live in a dense
+//! `u32` arena (per-function variable bases, then object nodes), points-to
+//! sets are hybrid sorted-vec/bitset [`ObjSet`]s with a `diff`/`union`
+//! API, and each node carries a *delta* — the objects added since the node
+//! was last visited — so the copy/load/store/gep rules only ever process
+//! new objects. Copy edges are deduplicated at insertion, and copy-SCCs
+//! are collapsed online into a union-find representative so cyclic copy
+//! chains cannot ping-pong.
+//!
+//! The historical whole-set fixpoint solver is kept behind
+//! `#[cfg(any(test, feature = "reference-solver"))]` as
+//! [`PointsTo::solve_reference`] for differential testing: both solvers
+//! consume the same [`Constraints`] and must agree on every points-to
+//! relation (object *numbering* of field objects may differ — fields
+//! materialize in solver-visit order — so comparisons go through
+//! [`ObjectKind`] chains, not raw ids).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 
 use manta_ir::{
@@ -93,17 +113,18 @@ pub struct PointsTo {
     objects: Vec<ObjectKind>,
     field_intern: HashMap<(ObjectId, u64), ObjectId>,
     pts: HashMap<Node, BTreeSet<ObjectId>>,
-    /// Number of solver iterations used (reported by scalability figures).
+    /// Number of solver worklist visits (reported by scalability figures).
     pub iterations: usize,
 }
 
 static EMPTY: BTreeSet<ObjectId> = BTreeSet::new();
 
 impl PointsTo {
-    /// Solves points-to constraints for the preprocessed module.
+    /// Solves points-to constraints for the preprocessed module with the
+    /// delta-propagation solver.
     pub fn solve(pre: &Preprocessed, _cg: &CallGraph) -> PointsTo {
         let unlimited = manta_resilience::Budget::unlimited();
-        match Solver::new(pre).run(&unlimited) {
+        match DeltaSolver::new(pre).run(&unlimited) {
             Ok(p) => p,
             // A fresh unlimited budget never trips.
             Err(_) => unreachable!("unlimited budget tripped"),
@@ -111,8 +132,8 @@ impl PointsTo {
     }
 
     /// Solves points-to constraints under a cooperative budget. Fuel is
-    /// charged per propagation-graph node visited and per solver round,
-    /// so runaway fixpoints are cut off mid-flight.
+    /// charged per worklist visit and per delta element propagated, so
+    /// runaway fixpoints are cut off mid-flight.
     ///
     /// # Errors
     ///
@@ -124,7 +145,19 @@ impl PointsTo {
         _cg: &CallGraph,
         budget: &manta_resilience::Budget,
     ) -> Result<PointsTo, manta_resilience::BudgetExceeded> {
-        Solver::new(pre).run(budget)
+        DeltaSolver::new(pre).run(budget)
+    }
+
+    /// Solves with the historical whole-set fixpoint solver. Kept only as
+    /// the differential-testing oracle for the delta solver.
+    #[cfg(any(test, feature = "reference-solver"))]
+    pub fn solve_reference(pre: &Preprocessed, _cg: &CallGraph) -> PointsTo {
+        let unlimited = manta_resilience::Budget::unlimited();
+        match reference::Solver::new(pre).run(&unlimited) {
+            Ok(p) => p,
+            // A fresh unlimited budget never trips.
+            Err(_) => unreachable!("unlimited budget tripped"),
+        }
     }
 
     /// Points-to set of variable `v`.
@@ -159,6 +192,12 @@ impl PointsTo {
         self.objects.len()
     }
 
+    /// The largest points-to set cardinality over all variables and
+    /// objects (the "peak" reported by the benchmark harness).
+    pub fn max_pts_len(&self) -> usize {
+        self.pts.values().map(BTreeSet::len).max().unwrap_or(0)
+    }
+
     /// The field object `(parent, offset)` if it was materialized.
     pub fn field_of(&self, parent: ObjectId, offset: u64) -> Option<ObjectId> {
         self.field_intern.get(&(parent, offset)).copied()
@@ -175,165 +214,45 @@ impl PointsTo {
     }
 }
 
-struct Solver<'a> {
-    pre: &'a Preprocessed,
+// ---------------------------------------------------------------------------
+// Constraint collection (shared by the delta and reference solvers)
+// ---------------------------------------------------------------------------
+
+/// The inclusion constraints of one module, in deterministic module order.
+/// `objects` holds the pre-solve objects (globals, allocas, heap and extern
+/// sites); field objects materialize during solving.
+struct Constraints {
     objects: Vec<ObjectKind>,
-    field_intern: HashMap<(ObjectId, u64), ObjectId>,
-    pts: HashMap<Node, BTreeSet<ObjectId>>,
-    /// Simple inclusion edges `src ⊆ dst`.
-    copy_edges: HashMap<Node, Vec<Node>>,
-    /// Complex constraints re-evaluated each round.
-    loads: Vec<(VarRef, VarRef)>, // (addr, dst)
+    /// Address-of seeds `o ∈ pts(n)`.
+    seeds: Vec<(Node, ObjectId)>,
+    /// Simple inclusion edges `pts(src) ⊆ pts(dst)`. Includes the
+    /// symbolic-indexing collapses, whose transfer function is identical.
+    copies: Vec<(Node, Node)>,
+    loads: Vec<(VarRef, VarRef)>,     // (addr, dst)
     stores: Vec<(VarRef, VarRef)>,    // (addr, val)
     geps: Vec<(VarRef, VarRef, u64)>, // (base, dst, offset)
-    collapses: Vec<(VarRef, VarRef)>, // (operand, dst) — symbolic indexing
 }
 
-impl<'a> Solver<'a> {
-    fn new(pre: &'a Preprocessed) -> Self {
-        Solver {
-            pre,
+impl Constraints {
+    fn collect(pre: &Preprocessed) -> Constraints {
+        let module = &pre.module;
+        let mut c = Constraints {
             objects: Vec::new(),
-            field_intern: HashMap::new(),
-            pts: HashMap::new(),
-            copy_edges: HashMap::new(),
+            seeds: Vec::new(),
+            copies: Vec::new(),
             loads: Vec::new(),
             stores: Vec::new(),
             geps: Vec::new(),
-            collapses: Vec::new(),
-        }
-    }
-
-    fn new_object(&mut self, kind: ObjectKind) -> ObjectId {
-        let id = ObjectId(self.objects.len() as u32);
-        self.objects.push(kind);
-        id
-    }
-
-    fn field(&mut self, parent: ObjectId, offset: u64) -> ObjectId {
-        if let Some(&f) = self.field_intern.get(&(parent, offset)) {
-            return f;
-        }
-        let f = self.new_object(ObjectKind::Field { parent, offset });
-        self.field_intern.insert((parent, offset), f);
-        f
-    }
-
-    fn add_obj(&mut self, n: Node, o: ObjectId) -> bool {
-        self.pts.entry(n).or_default().insert(o)
-    }
-
-    fn add_copy(&mut self, src: Node, dst: Node) {
-        self.copy_edges.entry(src).or_default().push(dst);
-    }
-
-    fn run(
-        mut self,
-        budget: &manta_resilience::Budget,
-    ) -> Result<PointsTo, manta_resilience::BudgetExceeded> {
-        self.collect_constraints();
-        // Fixpoint: propagate along copy edges, then re-derive complex
-        // constraints; repeat until stable.
-        let mut iterations = 0;
-        loop {
-            iterations += 1;
-            budget.tick()?;
-            let mut changed = false;
-            // Copy propagation to a local fixpoint.
-            loop {
-                budget.tick()?;
-                let mut inner_changed = false;
-                let srcs: Vec<Node> = self.copy_edges.keys().copied().collect();
-                for src in srcs {
-                    budget.tick()?;
-                    let set = match self.pts.get(&src) {
-                        Some(s) if !s.is_empty() => s.clone(),
-                        _ => continue,
-                    };
-                    let dsts = self.copy_edges[&src].clone();
-                    for dst in dsts {
-                        for &o in &set {
-                            if self.add_obj(dst, o) {
-                                inner_changed = true;
-                            }
-                        }
-                    }
-                }
-                if !inner_changed {
-                    break;
-                }
-                changed = true;
-            }
-            // Complex constraints.
-            budget.consume(
-                (self.geps.len() + self.collapses.len() + self.loads.len() + self.stores.len())
-                    as u64,
-            )?;
-            for (base, dst, offset) in self.geps.clone() {
-                let bases = self.pts.get(&Node::Var(base)).cloned().unwrap_or_default();
-                for b in bases {
-                    let f = self.field(b, offset);
-                    if self.add_obj(Node::Var(dst), f) {
-                        changed = true;
-                    }
-                }
-            }
-            for (operand, dst) in self.collapses.clone() {
-                // Symbolic indexing: the result aliases the base object
-                // monolithically.
-                let set = self
-                    .pts
-                    .get(&Node::Var(operand))
-                    .cloned()
-                    .unwrap_or_default();
-                for o in set {
-                    if self.add_obj(Node::Var(dst), o) {
-                        changed = true;
-                    }
-                }
-            }
-            for (addr, dst) in self.loads.clone() {
-                let addrs = self.pts.get(&Node::Var(addr)).cloned().unwrap_or_default();
-                for o in addrs {
-                    let contents = self.pts.get(&Node::Obj(o)).cloned().unwrap_or_default();
-                    for c in contents {
-                        if self.add_obj(Node::Var(dst), c) {
-                            changed = true;
-                        }
-                    }
-                }
-            }
-            for (addr, val) in self.stores.clone() {
-                let addrs = self.pts.get(&Node::Var(addr)).cloned().unwrap_or_default();
-                let vals = self.pts.get(&Node::Var(val)).cloned().unwrap_or_default();
-                for o in addrs {
-                    for &v in &vals {
-                        if self.add_obj(Node::Obj(o), v) {
-                            changed = true;
-                        }
-                    }
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-        manta_telemetry::counter("pointsto.worklist_iters", iterations as u64);
-        manta_telemetry::counter("pointsto.objects", self.objects.len() as u64);
-        Ok(PointsTo {
-            objects: self.objects,
-            field_intern: self.field_intern,
-            pts: self.pts,
-            iterations,
-        })
-    }
-
-    fn collect_constraints(&mut self) {
-        let module = &self.pre.module;
+        };
+        let new_object = |objects: &mut Vec<ObjectKind>, kind: ObjectKind| {
+            let id = ObjectId(objects.len() as u32);
+            objects.push(kind);
+            id
+        };
         // Global objects exist once per global.
         let mut global_objs: HashMap<GlobalId, ObjectId> = HashMap::new();
         for g in module.globals() {
-            let o = self.new_object(ObjectKind::Global(g.id));
+            let o = new_object(&mut c.objects, ObjectKind::Global(g.id));
             global_objs.insert(g.id, o);
         }
 
@@ -343,43 +262,38 @@ impl<'a> Solver<'a> {
             // Address-of constraints for global-address constants.
             for (v, data) in func.values() {
                 if let manta_ir::ValueKind::GlobalAddr(g) = data.kind {
-                    let o = global_objs[&g];
-                    self.add_obj(var(v), o);
-                }
-            }
-            // Return values of this function, used for call-return binding.
-            let mut rets: Vec<ValueId> = Vec::new();
-            for b in func.blocks() {
-                if let Terminator::Ret(Some(v)) = b.term {
-                    rets.push(v);
+                    c.seeds.push((var(v), global_objs[&g]));
                 }
             }
             for inst in func.insts() {
                 match &inst.kind {
-                    InstKind::Copy { dst, src } => self.add_copy(var(*src), var(*dst)),
+                    InstKind::Copy { dst, src } => c.copies.push((var(*src), var(*dst))),
                     InstKind::Phi { dst, incomings } => {
                         for (_, v) in incomings {
-                            self.add_copy(var(*v), var(*dst));
+                            c.copies.push((var(*v), var(*dst)));
                         }
                     }
                     InstKind::Alloca { dst, size } => {
-                        let o = self.new_object(ObjectKind::Stack {
-                            func: fid,
-                            site: inst.id,
-                            size: *size,
-                        });
-                        self.add_obj(var(*dst), o);
+                        let o = new_object(
+                            &mut c.objects,
+                            ObjectKind::Stack {
+                                func: fid,
+                                site: inst.id,
+                                size: *size,
+                            },
+                        );
+                        c.seeds.push((var(*dst), o));
                     }
                     InstKind::Gep { dst, base, offset } => {
-                        self.geps
+                        c.geps
                             .push((VarRef::new(fid, *base), VarRef::new(fid, *dst), *offset));
                     }
                     InstKind::Load { dst, addr, .. } => {
-                        self.loads
+                        c.loads
                             .push((VarRef::new(fid, *addr), VarRef::new(fid, *dst)));
                     }
                     InstKind::Store { addr, val } => {
-                        self.stores
+                        c.stores
                             .push((VarRef::new(fid, *addr), VarRef::new(fid, *val)));
                     }
                     InstKind::BinOp {
@@ -391,33 +305,29 @@ impl<'a> Solver<'a> {
                         // Pointer arithmetic with a non-constant offset:
                         // collapse to the base objects (both operands are
                         // candidates; non-pointers contribute nothing).
-                        self.collapses
-                            .push((VarRef::new(fid, *lhs), VarRef::new(fid, *dst)));
-                        self.collapses
-                            .push((VarRef::new(fid, *rhs), VarRef::new(fid, *dst)));
+                        // `pts(operand) ⊆ pts(dst)` is exactly a copy edge.
+                        c.copies.push((var(*lhs), var(*dst)));
+                        c.copies.push((var(*rhs), var(*dst)));
                     }
                     InstKind::BinOp { .. } | InstKind::Cmp { .. } => {}
                     InstKind::Call { dst, callee, args } => match callee {
                         Callee::Direct(target) => {
-                            if self.pre.is_broken_call(fid, inst.id) {
+                            if pre.is_broken_call(fid, inst.id) {
                                 continue;
                             }
                             let tf = module.function(*target);
                             for (i, &a) in args.iter().enumerate() {
                                 if let Some(&p) = tf.params().get(i) {
-                                    self.add_copy(var(a), Node::Var(VarRef::new(*target, p)));
+                                    c.copies.push((var(a), Node::Var(VarRef::new(*target, p))));
                                 }
                             }
                             if let Some(d) = dst {
                                 // Bind all return values of the callee.
-                                let mut trets: Vec<ValueId> = Vec::new();
                                 for b in tf.blocks() {
-                                    if let Terminator::Ret(Some(v)) = b.term {
-                                        trets.push(v);
+                                    if let Terminator::Ret(Some(r)) = b.term {
+                                        c.copies
+                                            .push((Node::Var(VarRef::new(*target, r)), var(*d)));
                                     }
-                                }
-                                for r in trets {
-                                    self.add_copy(Node::Var(VarRef::new(*target, r)), var(*d));
                                 }
                             }
                         }
@@ -426,26 +336,32 @@ impl<'a> Solver<'a> {
                             match decl.effect {
                                 ExternEffect::AllocHeap => {
                                     if let Some(d) = dst {
-                                        let o = self.new_object(ObjectKind::Heap {
-                                            func: fid,
-                                            site: inst.id,
-                                        });
-                                        self.add_obj(var(*d), o);
+                                        let o = new_object(
+                                            &mut c.objects,
+                                            ObjectKind::Heap {
+                                                func: fid,
+                                                site: inst.id,
+                                            },
+                                        );
+                                        c.seeds.push((var(*d), o));
                                     }
                                 }
                                 ExternEffect::TaintSource => {
                                     if let Some(d) = dst {
-                                        let o = self.new_object(ObjectKind::ExternBuf {
-                                            func: fid,
-                                            site: inst.id,
-                                        });
-                                        self.add_obj(var(*d), o);
+                                        let o = new_object(
+                                            &mut c.objects,
+                                            ObjectKind::ExternBuf {
+                                                func: fid,
+                                                site: inst.id,
+                                            },
+                                        );
+                                        c.seeds.push((var(*d), o));
                                     }
                                 }
                                 ExternEffect::StrCopy => {
                                     // strcpy returns its destination.
                                     if let (Some(d), Some(&a0)) = (dst, args.first()) {
-                                        self.add_copy(var(a0), var(*d));
+                                        c.copies.push((var(a0), var(*d)));
                                     }
                                 }
                                 _ => {}
@@ -456,7 +372,733 @@ impl<'a> Solver<'a> {
                     },
                 }
             }
-            let _ = rets;
+        }
+        c
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ObjSet: hybrid sorted-vec / bitset object sets
+// ---------------------------------------------------------------------------
+
+/// An object set: a sorted `Vec<u32>` while small, switching to a bitset
+/// once it crosses [`ObjSet::SPILL`] elements. Iteration is ascending in
+/// both representations, so exporting to `BTreeSet` is order-stable.
+#[derive(Debug, Default)]
+struct ObjSet {
+    repr: Repr,
+}
+
+#[derive(Debug)]
+enum Repr {
+    Sorted(Vec<u32>),
+    Bits { words: Vec<u64>, len: usize },
+}
+
+impl Default for Repr {
+    fn default() -> Repr {
+        Repr::Sorted(Vec::new())
+    }
+}
+
+impl ObjSet {
+    /// Elements at which a sorted vec spills into a bitset.
+    const SPILL: usize = 128;
+
+    fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Sorted(v) => v.len(),
+            Repr::Bits { len, .. } => *len,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn contains(&self, x: u32) -> bool {
+        match &self.repr {
+            Repr::Sorted(v) => v.binary_search(&x).is_ok(),
+            Repr::Bits { words, .. } => {
+                let (w, b) = ((x / 64) as usize, x % 64);
+                words.get(w).is_some_and(|word| word & (1 << b) != 0)
+            }
+        }
+    }
+
+    /// Inserts `x`; true when newly added. Spills to bitset when large.
+    fn insert(&mut self, x: u32) -> bool {
+        match &mut self.repr {
+            Repr::Sorted(v) => match v.binary_search(&x) {
+                Ok(_) => false,
+                Err(at) => {
+                    v.insert(at, x);
+                    if v.len() > Self::SPILL {
+                        self.spill();
+                    }
+                    true
+                }
+            },
+            Repr::Bits { words, len } => {
+                let (w, b) = ((x / 64) as usize, x % 64);
+                if words.len() <= w {
+                    words.resize(w + 1, 0);
+                }
+                let newly = words[w] & (1 << b) == 0;
+                if newly {
+                    words[w] |= 1 << b;
+                    *len += 1;
+                }
+                newly
+            }
+        }
+    }
+
+    fn spill(&mut self) {
+        if let Repr::Sorted(v) = &self.repr {
+            let max = v.last().copied().unwrap_or(0);
+            let mut words = vec![0u64; max as usize / 64 + 1];
+            for &x in v {
+                words[(x / 64) as usize] |= 1 << (x % 64);
+            }
+            self.repr = Repr::Bits {
+                words,
+                len: v.len(),
+            };
+        }
+    }
+
+    /// Ascending iteration over elements.
+    fn iter(&self) -> ObjSetIter<'_> {
+        match &self.repr {
+            Repr::Sorted(v) => ObjSetIter::Sorted(v.iter()),
+            Repr::Bits { words, .. } => ObjSetIter::Bits {
+                words,
+                word: 0,
+                cur: words.first().copied().unwrap_or(0),
+            },
+        }
+    }
+
+    /// Appends `self \ other` to `out` (ascending).
+    fn diff_into(&self, other: &ObjSet, out: &mut Vec<u32>) {
+        out.extend(self.iter().filter(|&x| !other.contains(x)));
+    }
+}
+
+enum ObjSetIter<'a> {
+    Sorted(std::slice::Iter<'a, u32>),
+    Bits {
+        words: &'a [u64],
+        word: usize,
+        cur: u64,
+    },
+}
+
+impl Iterator for ObjSetIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            ObjSetIter::Sorted(it) => it.next().copied(),
+            ObjSetIter::Bits { words, word, cur } => loop {
+                if *cur != 0 {
+                    let bit = cur.trailing_zeros();
+                    *cur &= *cur - 1;
+                    return Some(*word as u32 * 64 + bit);
+                }
+                *word += 1;
+                if *word >= words.len() {
+                    return None;
+                }
+                *cur = words[*word];
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Delta-propagation solver
+// ---------------------------------------------------------------------------
+
+/// Delta-propagation worklist solver over a dense node arena.
+///
+/// Node numbering: per-function variable bases first (the same scheme the
+/// DDG uses), then one node per abstract object (`nv + object index`,
+/// growing as field objects materialize). Copy-SCCs are collapsed into a
+/// union-find representative; per-node arrays always hold the live state
+/// at the representative.
+struct DeltaSolver<'a> {
+    pre: &'a Preprocessed,
+    vars: Vec<VarRef>,
+    var_base: Vec<u32>,
+    nv: usize,
+    objects: Vec<ObjectKind>,
+    field_intern: HashMap<(ObjectId, u64), ObjectId>,
+    // Per dense node:
+    parent: Vec<u32>,
+    pts: Vec<ObjSet>,
+    delta: Vec<Vec<u32>>,
+    /// Copy successors, sorted and deduplicated at insertion.
+    succ: Vec<Vec<u32>>,
+    load_dsts: Vec<Vec<u32>>,
+    store_vals: Vec<Vec<u32>>,
+    geps: Vec<Vec<(u32, u64)>>,
+    on_list: Vec<bool>,
+    list: VecDeque<u32>,
+    iterations: usize,
+    edges_since_scc: usize,
+    scc_merges: u64,
+}
+
+impl<'a> DeltaSolver<'a> {
+    fn new(pre: &'a Preprocessed) -> Self {
+        let module = &pre.module;
+        let mut var_base = Vec::with_capacity(module.function_count());
+        let mut vars = Vec::new();
+        let mut next = 0u32;
+        for f in module.functions() {
+            var_base.push(next);
+            for (v, _) in f.values() {
+                vars.push(VarRef::new(f.id(), v));
+            }
+            next += f.value_count() as u32;
+        }
+        DeltaSolver {
+            pre,
+            vars,
+            var_base,
+            nv: next as usize,
+            objects: Vec::new(),
+            field_intern: HashMap::new(),
+            parent: Vec::new(),
+            pts: Vec::new(),
+            delta: Vec::new(),
+            succ: Vec::new(),
+            load_dsts: Vec::new(),
+            store_vals: Vec::new(),
+            geps: Vec::new(),
+            on_list: Vec::new(),
+            list: VecDeque::new(),
+            iterations: 0,
+            edges_since_scc: 0,
+            scc_merges: 0,
+        }
+    }
+
+    fn var_node(&self, v: VarRef) -> u32 {
+        self.var_base[v.func.index()] + v.value.0
+    }
+
+    fn obj_node(&self, o: ObjectId) -> u32 {
+        (self.nv + o.index()) as u32
+    }
+
+    fn grow_to(&mut self, n: usize) {
+        self.parent.extend(self.parent.len() as u32..n as u32);
+        self.pts.resize_with(n, ObjSet::default);
+        self.delta.resize_with(n, Vec::new);
+        self.succ.resize_with(n, Vec::new);
+        self.load_dsts.resize_with(n, Vec::new);
+        self.store_vals.resize_with(n, Vec::new);
+        self.geps.resize_with(n, Vec::new);
+        self.on_list.resize(n, false);
+    }
+
+    fn new_object(&mut self, kind: ObjectKind) -> ObjectId {
+        let id = ObjectId(self.objects.len() as u32);
+        self.objects.push(kind);
+        self.grow_to(self.nv + self.objects.len());
+        id
+    }
+
+    /// Union-find lookup with path halving.
+    fn find(&mut self, mut n: u32) -> u32 {
+        while self.parent[n as usize] != n {
+            let gp = self.parent[self.parent[n as usize] as usize];
+            self.parent[n as usize] = gp;
+            n = gp;
+        }
+        n
+    }
+
+    fn enqueue(&mut self, n: u32) {
+        if !self.on_list[n as usize] {
+            self.on_list[n as usize] = true;
+            self.list.push_back(n);
+        }
+    }
+
+    /// Adds `objs` (deduplicated, any order) to `pts(n)`, extending the
+    /// delta with the newly present ones.
+    fn add_objs(&mut self, n: u32, objs: &[u32]) {
+        let n = self.find(n);
+        let mut any = false;
+        for &o in objs {
+            if self.pts[n as usize].insert(o) {
+                self.delta[n as usize].push(o);
+                any = true;
+            }
+        }
+        if any {
+            self.enqueue(n);
+        }
+    }
+
+    /// Adds the copy edge `a → b`, deduplicating at insertion; a new edge
+    /// immediately propagates `pts(a) \ pts(b)`.
+    fn add_edge(&mut self, a: u32, b: u32) {
+        let (a, b) = (self.find(a), self.find(b));
+        if a == b {
+            return;
+        }
+        match self.succ[a as usize].binary_search(&b) {
+            Ok(_) => return, // duplicate copy constraint
+            Err(at) => self.succ[a as usize].insert(at, b),
+        }
+        self.edges_since_scc += 1;
+        let mut diff = Vec::new();
+        self.pts[a as usize].diff_into(&self.pts[b as usize], &mut diff);
+        if !diff.is_empty() {
+            self.add_objs(b, &diff);
+        }
+    }
+
+    /// Merges node `b` into representative `a` (cycle collapse): points-to
+    /// sets union, constraint lists concatenate, and the combined delta
+    /// covers the symmetric difference plus both pending deltas so every
+    /// inherited edge and constraint sees what its side was missing.
+    fn merge(&mut self, a: u32, b: u32) {
+        debug_assert_ne!(a, b);
+        self.scc_merges += 1;
+        self.parent[b as usize] = a;
+        let b_pts = std::mem::take(&mut self.pts[b as usize]);
+        let mut b_only = Vec::new();
+        b_pts.diff_into(&self.pts[a as usize], &mut b_only);
+        let mut a_only = Vec::new();
+        self.pts[a as usize].diff_into(&b_pts, &mut a_only);
+        for &o in &b_only {
+            self.pts[a as usize].insert(o);
+        }
+        let mut b_delta = std::mem::take(&mut self.delta[b as usize]);
+        self.delta[a as usize].append(&mut b_delta);
+        self.delta[a as usize].extend(b_only);
+        self.delta[a as usize].extend(a_only);
+        let b_succ = std::mem::take(&mut self.succ[b as usize]);
+        for s in b_succ {
+            match self.succ[a as usize].binary_search(&s) {
+                Ok(_) => {}
+                Err(at) => self.succ[a as usize].insert(at, s),
+            }
+        }
+        let mut moved = std::mem::take(&mut self.load_dsts[b as usize]);
+        self.load_dsts[a as usize].append(&mut moved);
+        let mut moved = std::mem::take(&mut self.store_vals[b as usize]);
+        self.store_vals[a as usize].append(&mut moved);
+        let mut moved = std::mem::take(&mut self.geps[b as usize]);
+        self.geps[a as usize].append(&mut moved);
+        if !self.delta[a as usize].is_empty() {
+            self.enqueue(a);
+        }
+    }
+
+    /// Collapses every copy-SCC of the current (representative) copy graph
+    /// into its minimum member — iterative Tarjan, merges applied after
+    /// the pass so the traversal sees a consistent graph.
+    fn collapse_sccs(&mut self) {
+        let n = self.parent.len();
+        let mut index = vec![0u32; n]; // 0 = unvisited
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 1u32;
+        let mut components: Vec<Vec<u32>> = Vec::new();
+        // Explicit DFS frames: (node, next successor position).
+        let mut frames: Vec<(u32, usize)> = Vec::new();
+        for root in 0..n as u32 {
+            if self.find(root) != root || index[root as usize] != 0 {
+                continue;
+            }
+            frames.push((root, 0));
+            while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+                if *pos == 0 {
+                    index[v as usize] = next_index;
+                    low[v as usize] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v as usize] = true;
+                }
+                // Resolve the successor through the union-find at visit
+                // time; merges are deferred, so reps are stable here.
+                let succ_at = self.succ[v as usize].get(*pos).copied();
+                match succ_at {
+                    Some(raw) => {
+                        *pos += 1;
+                        let w = self.find(raw);
+                        if w == v {
+                            continue;
+                        }
+                        if index[w as usize] == 0 {
+                            frames.push((w, 0));
+                        } else if on_stack[w as usize] {
+                            low[v as usize] = low[v as usize].min(index[w as usize]);
+                        }
+                    }
+                    None => {
+                        if low[v as usize] == index[v as usize] {
+                            let mut comp = Vec::new();
+                            while let Some(w) = stack.pop() {
+                                on_stack[w as usize] = false;
+                                comp.push(w);
+                                if w == v {
+                                    break;
+                                }
+                            }
+                            if comp.len() > 1 {
+                                components.push(comp);
+                            }
+                        }
+                        frames.pop();
+                        if let Some(&mut (p, _)) = frames.last_mut() {
+                            low[p as usize] = low[p as usize].min(low[v as usize]);
+                        }
+                    }
+                }
+            }
+        }
+        for mut comp in components {
+            comp.sort_unstable();
+            let rep = comp[0];
+            for &m in &comp[1..] {
+                self.merge(rep, m);
+            }
+        }
+        self.edges_since_scc = 0;
+    }
+
+    fn field(&mut self, parent: ObjectId, offset: u64) -> ObjectId {
+        if let Some(&f) = self.field_intern.get(&(parent, offset)) {
+            return f;
+        }
+        let f = self.new_object(ObjectKind::Field { parent, offset });
+        self.field_intern.insert((parent, offset), f);
+        f
+    }
+
+    fn run(
+        mut self,
+        budget: &manta_resilience::Budget,
+    ) -> Result<PointsTo, manta_resilience::BudgetExceeded> {
+        budget.tick()?;
+        let constraints = Constraints::collect(self.pre);
+        for kind in &constraints.objects {
+            let id = ObjectId(self.objects.len() as u32);
+            self.objects.push(*kind);
+            if let ObjectKind::Field { parent, offset } = *kind {
+                self.field_intern.insert((parent, offset), id);
+            }
+        }
+        self.grow_to(self.nv + self.objects.len());
+        // Index complex constraints by their trigger node.
+        for &(addr, dst) in &constraints.loads {
+            let (a, d) = (self.var_node(addr), self.var_node(dst));
+            self.load_dsts[a as usize].push(d);
+        }
+        for &(addr, val) in &constraints.stores {
+            let (a, v) = (self.var_node(addr), self.var_node(val));
+            self.store_vals[a as usize].push(v);
+        }
+        for &(base, dst, offset) in &constraints.geps {
+            let (b, d) = (self.var_node(base), self.var_node(dst));
+            self.geps[b as usize].push((d, offset));
+        }
+        for &(src, dst) in &constraints.copies {
+            let (s, d) = (self.node_of(src), self.node_of(dst));
+            self.add_edge(s, d);
+        }
+        for &(n, o) in &constraints.seeds {
+            let n = self.node_of(n);
+            self.add_objs(n, &[o.0]);
+        }
+        // Collapse the static copy-SCCs up front; further collapses run
+        // online as load/store rules add enough new edges.
+        self.collapse_sccs();
+
+        let scc_period = (self.parent.len() / 4).max(256);
+        while let Some(n0) = self.list.pop_front() {
+            self.iterations += 1;
+            budget.tick()?;
+            self.on_list[n0 as usize] = false;
+            if self.edges_since_scc >= scc_period {
+                self.collapse_sccs();
+            }
+            let n = self.find(n0);
+            if n != n0 {
+                continue; // merged away; the representative is enqueued
+            }
+            let mut d = std::mem::take(&mut self.delta[n as usize]);
+            if d.is_empty() {
+                continue;
+            }
+            d.sort_unstable();
+            d.dedup();
+            budget.consume(d.len() as u64)?;
+            // Field derivation: materialize fields under each new object.
+            let gep_list = std::mem::take(&mut self.geps[n as usize]);
+            for &(dst, offset) in &gep_list {
+                for &o in &d {
+                    let f = self.field(ObjectId(o), offset);
+                    self.add_objs(dst, &[f.0]);
+                }
+            }
+            // Processing a node never merges it, so putting the (possibly
+            // still-growing at the rep) list back is safe.
+            let slot = self.find(n);
+            self.geps[slot as usize].extend(gep_list);
+            // Load rule: `dst ⊇ *addr` becomes edges obj → dst.
+            let load_list = std::mem::take(&mut self.load_dsts[n as usize]);
+            for &dst in &load_list {
+                for &o in &d {
+                    let on = self.obj_node(ObjectId(o));
+                    self.add_edge(on, dst);
+                }
+            }
+            let slot = self.find(n);
+            self.load_dsts[slot as usize].extend(load_list);
+            // Store rule: `*addr ⊇ val` becomes edges val → obj.
+            let store_list = std::mem::take(&mut self.store_vals[n as usize]);
+            for &val in &store_list {
+                for &o in &d {
+                    let on = self.obj_node(ObjectId(o));
+                    self.add_edge(val, on);
+                }
+            }
+            let slot = self.find(n);
+            self.store_vals[slot as usize].extend(store_list);
+            // Copy rule: push only the delta to each successor.
+            let succ_list = std::mem::take(&mut self.succ[n as usize]);
+            for &s in &succ_list {
+                let s = self.find(s);
+                if s != n {
+                    self.add_objs(s, &d);
+                }
+            }
+            let slot = self.find(n);
+            debug_assert_eq!(slot, n, "processing must not merge the node");
+            if self.succ[slot as usize].is_empty() {
+                self.succ[slot as usize] = succ_list;
+            } else {
+                // Edges added while processing (via add_edge re-entry on
+                // the same rep cannot happen, but merges into `n` can't
+                // either; keep the union just in case).
+                for s in succ_list {
+                    match self.succ[slot as usize].binary_search(&s) {
+                        Ok(_) => {}
+                        Err(at) => self.succ[slot as usize].insert(at, s),
+                    }
+                }
+            }
+        }
+
+        manta_telemetry::counter("pointsto.worklist_iters", self.iterations as u64);
+        manta_telemetry::counter("pointsto.objects", self.objects.len() as u64);
+        manta_telemetry::counter("pointsto.scc_merges", self.scc_merges);
+        Ok(self.export())
+    }
+
+    fn node_of(&self, n: Node) -> u32 {
+        match n {
+            Node::Var(v) => self.var_node(v),
+            Node::Obj(o) => self.obj_node(o),
+        }
+    }
+
+    /// Materializes the dense solution back into the map-keyed form the
+    /// public API serves; every member of a collapsed cycle gets the
+    /// representative's (shared) final set.
+    fn export(mut self) -> PointsTo {
+        let total = self.parent.len();
+        let mut pts: HashMap<Node, BTreeSet<ObjectId>> = HashMap::new();
+        for n in 0..total as u32 {
+            let rep = self.find(n);
+            if self.pts[rep as usize].is_empty() {
+                continue;
+            }
+            let set: BTreeSet<ObjectId> = self.pts[rep as usize].iter().map(ObjectId).collect();
+            let key = if (n as usize) < self.nv {
+                Node::Var(self.vars[n as usize])
+            } else {
+                Node::Obj(ObjectId(n - self.nv as u32))
+            };
+            pts.insert(key, set);
+        }
+        PointsTo {
+            objects: self.objects,
+            field_intern: self.field_intern,
+            pts,
+            iterations: self.iterations,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference solver (differential-testing oracle)
+// ---------------------------------------------------------------------------
+
+/// The historical whole-set fixpoint solver: re-propagates full points-to
+/// sets every round. Quadratic on copy chains; kept only as the oracle the
+/// delta solver is differentially tested against.
+#[cfg(any(test, feature = "reference-solver"))]
+mod reference {
+    use super::*;
+
+    pub(super) struct Solver<'a> {
+        pre: &'a Preprocessed,
+        objects: Vec<ObjectKind>,
+        field_intern: HashMap<(ObjectId, u64), ObjectId>,
+        pts: HashMap<Node, BTreeSet<ObjectId>>,
+        /// Simple inclusion edges `src ⊆ dst`, deduplicated at insertion.
+        copy_edges: HashMap<Node, Vec<Node>>,
+        /// Complex constraints re-evaluated each round.
+        loads: Vec<(VarRef, VarRef)>,
+        stores: Vec<(VarRef, VarRef)>,
+        geps: Vec<(VarRef, VarRef, u64)>,
+    }
+
+    impl<'a> Solver<'a> {
+        pub(super) fn new(pre: &'a Preprocessed) -> Self {
+            Solver {
+                pre,
+                objects: Vec::new(),
+                field_intern: HashMap::new(),
+                pts: HashMap::new(),
+                copy_edges: HashMap::new(),
+                loads: Vec::new(),
+                stores: Vec::new(),
+                geps: Vec::new(),
+            }
+        }
+
+        fn field(&mut self, parent: ObjectId, offset: u64) -> ObjectId {
+            if let Some(&f) = self.field_intern.get(&(parent, offset)) {
+                return f;
+            }
+            let f = ObjectId(self.objects.len() as u32);
+            self.objects.push(ObjectKind::Field { parent, offset });
+            self.field_intern.insert((parent, offset), f);
+            f
+        }
+
+        fn add_obj(&mut self, n: Node, o: ObjectId) -> bool {
+            self.pts.entry(n).or_default().insert(o)
+        }
+
+        fn add_copy(&mut self, src: Node, dst: Node) {
+            // Deduplicate at insertion: repeated copy constraints used to
+            // multiply propagation work for no precision.
+            let edges = self.copy_edges.entry(src).or_default();
+            if !edges.contains(&dst) {
+                edges.push(dst);
+            }
+        }
+
+        pub(super) fn run(
+            mut self,
+            budget: &manta_resilience::Budget,
+        ) -> Result<PointsTo, manta_resilience::BudgetExceeded> {
+            let constraints = Constraints::collect(self.pre);
+            self.objects = constraints.objects;
+            for (i, kind) in self.objects.iter().enumerate() {
+                if let ObjectKind::Field { parent, offset } = *kind {
+                    self.field_intern
+                        .insert((parent, offset), ObjectId(i as u32));
+                }
+            }
+            for &(n, o) in &constraints.seeds {
+                self.add_obj(n, o);
+            }
+            for &(s, d) in &constraints.copies {
+                self.add_copy(s, d);
+            }
+            self.loads = constraints.loads;
+            self.stores = constraints.stores;
+            self.geps = constraints.geps;
+
+            // Fixpoint: propagate along copy edges, then re-derive complex
+            // constraints; repeat until stable.
+            let mut iterations = 0;
+            loop {
+                iterations += 1;
+                budget.tick()?;
+                let mut changed = false;
+                // Copy propagation to a local fixpoint.
+                loop {
+                    budget.tick()?;
+                    let mut inner_changed = false;
+                    let srcs: Vec<Node> = self.copy_edges.keys().copied().collect();
+                    for src in srcs {
+                        budget.tick()?;
+                        let set = match self.pts.get(&src) {
+                            Some(s) if !s.is_empty() => s.clone(),
+                            _ => continue,
+                        };
+                        let dsts = self.copy_edges[&src].clone();
+                        for dst in dsts {
+                            for &o in &set {
+                                if self.add_obj(dst, o) {
+                                    inner_changed = true;
+                                }
+                            }
+                        }
+                    }
+                    if !inner_changed {
+                        break;
+                    }
+                    changed = true;
+                }
+                // Complex constraints.
+                budget.consume((self.geps.len() + self.loads.len() + self.stores.len()) as u64)?;
+                for (base, dst, offset) in self.geps.clone() {
+                    let bases = self.pts.get(&Node::Var(base)).cloned().unwrap_or_default();
+                    for b in bases {
+                        let f = self.field(b, offset);
+                        if self.add_obj(Node::Var(dst), f) {
+                            changed = true;
+                        }
+                    }
+                }
+                for (addr, dst) in self.loads.clone() {
+                    let addrs = self.pts.get(&Node::Var(addr)).cloned().unwrap_or_default();
+                    for o in addrs {
+                        let contents = self.pts.get(&Node::Obj(o)).cloned().unwrap_or_default();
+                        for c in contents {
+                            if self.add_obj(Node::Var(dst), c) {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                for (addr, val) in self.stores.clone() {
+                    let addrs = self.pts.get(&Node::Var(addr)).cloned().unwrap_or_default();
+                    let vals = self.pts.get(&Node::Var(val)).cloned().unwrap_or_default();
+                    for o in addrs {
+                        for &v in &vals {
+                            if self.add_obj(Node::Obj(o), v) {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            Ok(PointsTo {
+                objects: self.objects,
+                field_intern: self.field_intern,
+                pts: self.pts,
+                iterations,
+            })
         }
     }
 }
@@ -607,5 +1249,85 @@ mod tests {
         // Function pointers unmodeled ⇒ nothing flows into the target param.
         assert!(pts.pts_var(VarRef::new(target, p)).is_empty());
         let _ = fid;
+    }
+
+    #[test]
+    fn copy_cycles_equalize_and_collapse() {
+        // a → b → c → a plus a seed in a: everyone sees the seed, and
+        // fields derived from any member match.
+        let mut mb = ModuleBuilder::new("m");
+        let (fid, mut fb) = mb.function("f", &[], None);
+        let s = fb.alloca(8);
+        let a = fb.copy(s);
+        let b = fb.copy(a);
+        let c = fb.copy(b);
+        // Close the cycle with a phi so `a` also depends on `c`.
+        // (copy-only cycles need a phi or call to appear in SSA.)
+        let bb = fb.current_block();
+        let p = fb.phi(&[(bb, a), (bb, c)], Width::W64);
+        fb.ret(None);
+        mb.finish_function(fb);
+        let (_, pts) = analyze(mb.finish());
+        for v in [a, b, c, p] {
+            assert_eq!(
+                pts.pts_var(VarRef::new(fid, v)),
+                pts.pts_var(VarRef::new(fid, s)),
+                "cycle member must carry the seed"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_copy_constraints_are_deduplicated() {
+        // Two identical copy chains must not duplicate propagation: the
+        // phi re-states `s → d` twice.
+        let mut mb = ModuleBuilder::new("m");
+        let (fid, mut fb) = mb.function("f", &[], None);
+        let s = fb.alloca(8);
+        let bb = fb.current_block();
+        let d = fb.phi(&[(bb, s), (bb, s)], Width::W64);
+        fb.ret(None);
+        mb.finish_function(fb);
+        let (_, pts) = analyze(mb.finish());
+        assert_eq!(
+            pts.pts_var(VarRef::new(fid, d)),
+            pts.pts_var(VarRef::new(fid, s))
+        );
+    }
+
+    #[test]
+    fn objset_hybrid_representation_round_trips() {
+        let mut set = ObjSet::default();
+        // Insert enough to force the bitset spill, out of order.
+        let items: Vec<u32> = (0..400).map(|i| (i * 37) % 1009).collect();
+        let mut expect = BTreeSet::new();
+        for &x in &items {
+            assert_eq!(set.insert(x), expect.insert(x), "insert {x}");
+        }
+        assert_eq!(set.len(), expect.len());
+        assert!(matches!(set.repr, Repr::Bits { .. }), "must have spilled");
+        let got: Vec<u32> = set.iter().collect();
+        let want: Vec<u32> = expect.iter().copied().collect();
+        assert_eq!(got, want, "ascending iteration across the spill");
+        for x in 0..1100 {
+            assert_eq!(set.contains(x), expect.contains(&x));
+        }
+        let mut other = ObjSet::default();
+        other.insert(items[0]);
+        let mut diff = Vec::new();
+        set.diff_into(&other, &mut diff);
+        assert_eq!(diff.len(), set.len() - 1);
+    }
+
+    #[test]
+    fn zero_fuel_budget_trips_solver() {
+        let mut mb = ModuleBuilder::new("m");
+        let (_, mut fb) = mb.function("f", &[], None);
+        fb.ret(None);
+        mb.finish_function(fb);
+        let pre = preprocess(mb.finish(), PreprocessConfig::default());
+        let cg = CallGraph::build(&pre);
+        let b = manta_resilience::Budget::with_fuel(0);
+        assert!(PointsTo::solve_budgeted(&pre, &cg, &b).is_err());
     }
 }

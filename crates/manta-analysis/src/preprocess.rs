@@ -73,18 +73,30 @@ impl Preprocessed {
 pub fn preprocess(mut module: Module, config: PreprocessConfig) -> Preprocessed {
     let mut stats = PreprocessStats::default();
 
-    // 1. Unroll cyclic CFGs.
+    // 1. Unroll cyclic CFGs. Each function unrolls independently of every
+    // other, so the rewriting fans out across the pool; the results are
+    // grafted back in function order, which keeps stats and module layout
+    // identical to a serial pass.
     let func_ids: Vec<FuncId> = module.functions().map(Function::id).collect();
-    for f in func_ids {
-        let cfg = Cfg::new(module.function(f));
+    let module_ref = &module;
+    let unrolled: Vec<Option<(FuncId, usize, Function)>> = manta_parallel::par_map(func_ids, |f| {
+        let func = module_ref.function(f);
+        let cfg = Cfg::new(func);
         let back_edges = cfg.back_edges();
         if back_edges.is_empty() {
-            continue;
+            return None;
         }
+        let cut = back_edges.len();
+        Some((
+            f,
+            cut,
+            unroll_function(func, &cfg, config.unroll_factor.max(1)),
+        ))
+    });
+    for (f, cut, rewritten) in unrolled.into_iter().flatten() {
         stats.cyclic_functions += 1;
-        stats.back_edges_cut += back_edges.len();
-        let unrolled = unroll_function(module.function(f), &cfg, config.unroll_factor.max(1));
-        *module.function_mut(f) = unrolled;
+        stats.back_edges_cut += cut;
+        *module.function_mut(f) = rewritten;
         debug_assert!(
             !Cfg::new(module.function(f)).has_cycle(),
             "unrolling must produce an acyclic CFG"

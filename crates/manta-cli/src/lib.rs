@@ -19,6 +19,10 @@
 //! run to the last completed sensitivity tier) and `--strict` (propagate
 //! budget/panic errors instead of degrading).
 //!
+//! Every command accepts `--threads <N>` to size the intra-module
+//! work-stealing pool (default: `available_parallelism`; `1` forces a
+//! fully serial run). Results are bit-identical at every thread count.
+//!
 //! Inputs may be SBF images (binary, `SBF1` magic), SB-ISA assembly text,
 //! or textual IR (`module …` followed by `func name(wN,…)` headers); the
 //! format is sniffed automatically.
@@ -80,6 +84,11 @@ RESILIENCE (infer, bugs, icall, stats):
                       last completed sensitivity tier when it runs out
     --budget-ms <N>   wall-clock budget with the same degradation behavior
     --strict          propagate budget/panic errors instead of degrading
+
+PARALLELISM (all commands):
+    --threads <N>     worker threads for the intra-module work-stealing
+                      pool (0 or omitted = available_parallelism, 1 =
+                      serial); output is bit-identical at any thread count
 ";
 
 /// Loads any supported input file into an IR module.
@@ -191,6 +200,28 @@ fn extract_resilience_flags(args: &[String]) -> Result<(Vec<String>, ResilienceO
     Ok((rest, opts))
 }
 
+/// Strips `--threads <N>` from anywhere in the argument list and applies
+/// it to the process-global pool configuration (0 = `available_parallelism`).
+fn extract_thread_flag(args: &[String]) -> Result<Vec<String>, CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => match it.next() {
+                Some(n) => {
+                    let n = n
+                        .parse::<usize>()
+                        .map_err(|_| CliError(format!("--threads requires a number, got `{n}`")))?;
+                    manta_parallel::set_threads(n);
+                }
+                None => return err("--threads requires a number"),
+            },
+            _ => rest.push(a.clone()),
+        }
+    }
+    Ok(rest)
+}
+
 /// Builds the analysis substrate, budgeted when resilience flags are
 /// active. Returns `Ok(None)` when the substrate degraded in non-strict
 /// mode — the message is appended to `out` and the command finishes with
@@ -254,6 +285,7 @@ fn run_inference(
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let (args, telemetry) = extract_telemetry_flags(args)?;
     let (args, resilience) = extract_resilience_flags(&args)?;
+    let args = extract_thread_flag(&args)?;
     let collecting = telemetry.trace
         || telemetry.stats.is_some()
         || args.first().map(String::as_str) == Some("stats");
@@ -602,6 +634,23 @@ func main(0) -> ret {
             ]))
             .unwrap_err();
             assert!(e.to_string().contains("budget"), "{e}");
+        });
+    }
+
+    #[test]
+    fn thread_count_does_not_change_infer_output() {
+        with_files(|dir| {
+            let src = dir.join("p.s");
+            fs::write(&src, ASM).unwrap();
+            let serial = run(&s(&["infer", src.to_str().unwrap(), "--threads", "1"])).unwrap();
+            let pooled = run(&s(&["infer", src.to_str().unwrap(), "--threads", "8"])).unwrap();
+            assert_eq!(serial, pooled);
+            // Restore the auto default for the rest of the process.
+            manta_parallel::set_threads(0);
+            assert!(
+                run(&s(&["infer", src.to_str().unwrap(), "--threads", "many"])).is_err(),
+                "--threads needs a number"
+            );
         });
     }
 

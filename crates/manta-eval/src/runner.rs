@@ -7,7 +7,6 @@
 //! `*_checked` loaders expose both halves as a [`SuiteLoad`]; the plain
 //! loaders keep their historical all-or-nothing contract.
 
-use std::sync::Mutex;
 use std::time::Instant;
 
 use manta_analysis::{ModuleAnalysis, PreprocessConfig};
@@ -139,42 +138,29 @@ fn build_one_checked(spec: ProjectSpec, budget: BudgetSpec) -> Result<ProjectDat
 /// panic or blown budget becomes a [`ProjectFailure`] while the rest of
 /// the suite still loads.
 pub fn load_specs_checked(specs: Vec<ProjectSpec>, budget: BudgetSpec) -> SuiteLoad {
-    let mut out: Vec<Option<Result<ProjectData, ProjectFailure>>> = Vec::with_capacity(specs.len());
-    out.resize_with(specs.len(), || None);
-    let slots = Mutex::new(&mut out);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    PARALLELISM.set(threads as u64);
-    let work = Mutex::new(specs.into_iter().enumerate().collect::<Vec<_>>());
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let job = work.lock().expect("work queue").pop();
-                let Some((idx, spec)) = job else { break };
-                let name = spec.name.clone();
-                let slot = build_one_checked(spec, budget).map_err(|error| {
-                    let degradation = Degradation::record(
-                        "eval.project",
-                        "remaining projects",
-                        DegradationKind::from_error(&error),
-                        format!("{name}: {error}"),
-                    );
-                    ProjectFailure {
-                        name,
-                        error,
-                        degradation,
-                    }
-                });
-                slots.lock().expect("result slots")[idx] = Some(slot);
-            });
-        }
+    PARALLELISM.set(manta_parallel::threads() as u64);
+    let slots = manta_parallel::par_map(specs, |spec| {
+        let name = spec.name.clone();
+        build_one_checked(spec, budget).map_err(|error| {
+            let degradation = Degradation::record(
+                "eval.project",
+                "remaining projects",
+                DegradationKind::from_error(&error),
+                format!("{name}: {error}"),
+            );
+            // Boxed so the worker closure's Err variant stays small.
+            Box::new(ProjectFailure {
+                name,
+                error,
+                degradation,
+            })
+        })
     });
     let mut load = SuiteLoad::default();
-    for slot in out.into_iter().flatten() {
+    for slot in slots {
         match slot {
             Ok(p) => load.projects.push(p),
-            Err(f) => load.failures.push(f),
+            Err(f) => load.failures.push(*f),
         }
     }
     load
@@ -247,6 +233,7 @@ pub fn stage_breakdown_table(projects: &[ProjectData]) -> String {
 mod tests {
     use super::*;
     use manta_workloads::PhenomenonMix;
+    use std::sync::Mutex;
 
     /// Serializes the tests sharing the process-global fault plan (and
     /// the "beta" project name one of them arms a fault on).

@@ -1,0 +1,535 @@
+//! # manta-parallel
+//!
+//! A zero-dependency scoped work-stealing thread pool for intra-module
+//! parallelism, following the repo's in-tree-substitutes convention (no
+//! external crates; `std` only).
+//!
+//! Two entry points:
+//!
+//! * [`par_map`] — the workhorse: maps a function over a `Vec` of items
+//!   on a transient work-stealing pool and returns the results **in
+//!   input order** (deterministic reduce). The pipeline uses this for
+//!   its per-function stages; because every merge happens in input
+//!   (function-id) order, parallel output is bit-identical to serial.
+//! * [`scope`] — a scoped pool with [`Scope::spawn`] /
+//!   [`JoinHandle::join`] for irregular task graphs.
+//!
+//! ## Determinism contract
+//!
+//! `par_map(items, f)` returns exactly `items.into_iter().map(f)
+//! .collect()` as long as `f` is a pure function of its item (plus
+//! shared read-only state). Scheduling decides only *when* each item
+//! runs, never how results are ordered. Callers that mutate shared
+//! state must confine themselves to commutative sinks (atomic counters,
+//! a shared [`Budget`](../manta_resilience/struct.Budget.html)).
+//!
+//! ## Panic and budget semantics
+//!
+//! A panicking item does not tear down the pool: every worker runs items
+//! under `catch_unwind`, the first panic **by item index** (not by wall
+//! clock) is re-raised on the calling thread after all workers have
+//! joined, and later panics are dropped. An enclosing
+//! `manta_resilience::isolate` boundary therefore observes exactly the
+//! panic a serial run would have surfaced first. Budgets are shared
+//! (`Budget` is `Sync`): workers tick one budget cooperatively, and a
+//! tripped budget fails every in-flight item at its next tick.
+//!
+//! ## Thread-count policy
+//!
+//! The pool size is a process-wide setting ([`set_threads`]): `0` means
+//! "auto" (`std::thread::available_parallelism`). With an effective
+//! count of 1 every entry point degenerates to a plain inline loop — no
+//! threads, no `catch_unwind` — so `--threads 1` *is* the serial
+//! engine, not an emulation of it. Nested calls from inside a worker
+//! also run inline, so recursive parallelism cannot oversubscribe.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use manta_telemetry::Counter;
+
+/// Items executed across all `par_map` calls.
+static TASKS: Counter = Counter::new("parallel.tasks");
+/// Successful steals (an idle worker took an item from a peer's deque).
+static STEALS: Counter = Counter::new("parallel.steals");
+/// Number of `par_map` invocations that actually went parallel.
+static MAPS: Counter = Counter::new("parallel.par_maps");
+/// Cumulative worker busy time across parallel `par_map` calls, µs.
+static BUSY_US: Counter = Counter::new("parallel.busy_us");
+/// Cumulative pool capacity (wall µs × workers) across those calls; the
+/// ratio `busy_us / capacity_us` is the pool utilization.
+static CAPACITY_US: Counter = Counter::new("parallel.capacity_us");
+
+/// Configured pool size; 0 = auto (`available_parallelism`).
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True on pool worker threads; makes nested calls run inline.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Sets the process-wide worker count used by [`par_map`] and [`scope`].
+/// `0` restores the default (one worker per available core).
+pub fn set_threads(n: usize) {
+    CONFIGURED.store(n, Ordering::SeqCst);
+}
+
+/// The `MANTA_THREADS` environment override, read once per process;
+/// unset, `0` or unparsable all mean auto. Lets a test run force a pool
+/// size without touching every call site (CI runs the suite at 1 and 4).
+fn env_threads() -> usize {
+    static ENV: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("MANTA_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// The effective worker count: the value from [`set_threads`], else the
+/// `MANTA_THREADS` environment variable, else `available_parallelism()`.
+/// Always ≥ 1.
+#[must_use]
+pub fn threads() -> usize {
+    match CONFIGURED.load(Ordering::SeqCst) {
+        0 => match env_threads() {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+            n => n,
+        },
+        n => n,
+    }
+    .max(1)
+}
+
+/// Whether the current thread is a pool worker (nested parallel calls
+/// from here run inline).
+#[must_use]
+pub fn in_pool() -> bool {
+    IN_POOL.with(std::cell::Cell::get)
+}
+
+/// Maps `f` over `items` on a work-stealing pool, returning results in
+/// input order.
+///
+/// Runs inline (plain `map`) when the effective thread count is 1, when
+/// called from inside a pool worker, or when there are fewer than two
+/// items. See the crate docs for the determinism and panic contract.
+///
+/// # Panics
+///
+/// Re-raises the panic of the lowest-indexed panicking item, after all
+/// workers have drained.
+pub fn par_map<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let workers = threads().min(items.len());
+    if workers <= 1 || in_pool() {
+        return items.into_iter().map(f).collect();
+    }
+    MAPS.incr();
+    manta_telemetry::counter_set("parallel.threads", workers as u64);
+    let total = items.len();
+
+    // Round-robin initial distribution: item `i` seeds deque `i % w`, so
+    // every worker starts with a spread of early and late items.
+    let deques: Vec<Mutex<VecDeque<(usize, I)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        lock(&deques[i % workers]).push_back((i, item));
+    }
+
+    let start = Instant::now();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(total);
+    slots.resize_with(total, || None);
+    let mut panics: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let deques = &deques;
+                let f = &f;
+                s.spawn(move || {
+                    IN_POOL.with(|c| c.set(true));
+                    let busy = Instant::now();
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    let mut caught: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
+                    let mut steals = 0u64;
+                    loop {
+                        // Own deque first (front = oldest seeded item),
+                        // then sweep peers' backs. The own-deque guard must
+                        // drop before the sweep: holding it while probing
+                        // peers lets N drained workers form a circular wait
+                        // (each holding deque[w], requesting deque[w+1]).
+                        let own = lock(&deques[w]).pop_front();
+                        let next = match own {
+                            Some(x) => Some(x),
+                            None => (1..workers).find_map(|off| {
+                                let got = lock(&deques[(w + off) % workers]).pop_back();
+                                if got.is_some() {
+                                    steals += 1;
+                                }
+                                got
+                            }),
+                        };
+                        let Some((idx, item)) = next else { break };
+                        match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                            Ok(r) => done.push((idx, r)),
+                            Err(p) => caught.push((idx, p)),
+                        }
+                    }
+                    IN_POOL.with(|c| c.set(false));
+                    TASKS.add(done.len() as u64 + caught.len() as u64);
+                    STEALS.add(steals);
+                    BUSY_US.add(busy.elapsed().as_micros() as u64);
+                    (done, caught)
+                })
+            })
+            .collect();
+        for h in handles {
+            // Workers never panic themselves (items run under
+            // catch_unwind), so join only fails on external SIGKILL-ish
+            // conditions we cannot recover from anyway.
+            #[allow(clippy::unwrap_used)]
+            let (done, caught) = h.join().unwrap();
+            for (idx, r) in done {
+                slots[idx] = Some(r);
+            }
+            panics.extend(caught);
+        }
+    });
+    CAPACITY_US.add(start.elapsed().as_micros() as u64 * workers as u64);
+
+    if let Some((_, payload)) = panics.into_iter().min_by_key(|&(idx, _)| idx) {
+        resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|r| {
+            // Every index was pushed exactly once and no panic survived.
+            #[allow(clippy::unwrap_used)]
+            r.unwrap()
+        })
+        .collect()
+}
+
+type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+struct PoolState<'env> {
+    queue: Mutex<(VecDeque<Task<'env>>, bool)>,
+    cv: Condvar,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A handle to a task spawned on a [`Scope`]; resolves to the task's
+/// return value.
+pub struct JoinHandle<R> {
+    slot: Arc<Slot<R>>,
+}
+
+struct Slot<R> {
+    result: Mutex<Option<std::thread::Result<R>>>,
+    cv: Condvar,
+}
+
+impl<R> JoinHandle<R> {
+    /// Blocks until the task finishes and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the task's panic on the joining thread (mirroring
+    /// `std::thread::JoinHandle`, but without wrapping in `Result`).
+    pub fn join(self) -> R {
+        let mut guard = lock(&self.slot.result);
+        while guard.is_none() {
+            guard = self
+                .slot
+                .cv
+                .wait(guard)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        // The loop above only exits when the worker stored a result.
+        #[allow(clippy::unwrap_used)]
+        match guard.take().unwrap() {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+/// A scoped task spawner backed by the pool; see [`scope`].
+pub struct Scope<'pool, 'env> {
+    state: &'pool PoolState<'env>,
+}
+
+impl<'pool, 'env> Scope<'pool, 'env> {
+    /// Queues `f` on the pool and returns a [`JoinHandle`] for its
+    /// result. Tasks may borrow from the environment enclosing
+    /// [`scope`] (`'env`).
+    pub fn spawn<R, F>(&self, f: F) -> JoinHandle<R>
+    where
+        R: Send + 'env,
+        F: FnOnce() -> R + Send + 'env,
+    {
+        let slot = Arc::new(Slot {
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        let out = Arc::clone(&slot);
+        let task: Task<'env> = Box::new(move || {
+            let r = catch_unwind(AssertUnwindSafe(f));
+            *lock(&out.result) = Some(r);
+            out.cv.notify_all();
+        });
+        {
+            let mut q = lock(&self.state.queue);
+            q.0.push_back(task);
+        }
+        self.state.cv.notify_one();
+        JoinHandle { slot }
+    }
+}
+
+/// Closes the queue even when the scope body panics, so workers always
+/// terminate and `std::thread::scope` can join them.
+struct CloseGuard<'pool, 'env>(&'pool PoolState<'env>);
+
+impl Drop for CloseGuard<'_, '_> {
+    fn drop(&mut self) {
+        lock(&self.0.queue).1 = true;
+        self.0.cv.notify_all();
+    }
+}
+
+/// Runs `body` with a [`Scope`] whose spawned tasks execute on a
+/// transient pool of [`threads`] workers. All tasks complete (or their
+/// panics are parked in their [`JoinHandle`]s) before `scope` returns.
+///
+/// With an effective thread count of 1 the pool still exists (one
+/// worker), so `spawn` + `join` is always safe — `join` never deadlocks
+/// waiting for the spawning thread to run the task.
+pub fn scope<'env, T, F>(body: F) -> T
+where
+    F: FnOnce(&Scope<'_, 'env>) -> T,
+{
+    let workers = threads();
+    let state = PoolState {
+        queue: Mutex::new((VecDeque::new(), false)),
+        cv: Condvar::new(),
+    };
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let state = &state;
+            s.spawn(move || {
+                IN_POOL.with(|c| c.set(true));
+                loop {
+                    let task = {
+                        let mut q = lock(&state.queue);
+                        loop {
+                            if let Some(t) = q.0.pop_front() {
+                                break Some(t);
+                            }
+                            if q.1 {
+                                break None;
+                            }
+                            q = state
+                                .cv
+                                .wait(q)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        }
+                    };
+                    match task {
+                        Some(t) => t(),
+                        None => break,
+                    }
+                }
+                IN_POOL.with(|c| c.set(false));
+            });
+        }
+        let _close = CloseGuard(&state);
+        body(&Scope { state: &state })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that flip the global thread count.
+    fn config_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let _l = config_lock();
+        set_threads(4);
+        let out = par_map((0..1000).collect::<Vec<u64>>(), |x| x * 2);
+        set_threads(0);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_map_matches_serial_map_exactly() {
+        let _l = config_lock();
+        let items: Vec<String> = (0..64).map(|i| format!("item-{i}")).collect();
+        set_threads(1);
+        let serial = par_map(items.clone(), |s| s.len() + s.ends_with('3') as usize);
+        set_threads(8);
+        let parallel = par_map(items, |s| s.len() + s.ends_with('3') as usize);
+        set_threads(0);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_map_borrows_environment() {
+        let _l = config_lock();
+        set_threads(2);
+        let base = [10u64, 20, 30];
+        let out = par_map(vec![0usize, 1, 2], |i| base[i] + 1);
+        set_threads(0);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    /// Regression test: workers whose deques drain simultaneously all
+    /// enter the steal sweep at once. Holding the own-deque guard across
+    /// that sweep used to form a circular wait (each worker holding
+    /// `deque[w]`, requesting `deque[w+1]`) and hang the pool. Tiny
+    /// batches at high worker counts maximize the drained-sweep overlap.
+    #[test]
+    fn drained_workers_never_deadlock_while_stealing() {
+        let _l = config_lock();
+        set_threads(8);
+        for round in 0..200usize {
+            let out = par_map((0..8usize).collect::<Vec<_>>(), |i| i + round);
+            assert_eq!(out.len(), 8);
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn lowest_index_panic_wins() {
+        let _l = config_lock();
+        set_threads(4);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            par_map((0..32).collect::<Vec<u32>>(), |x| {
+                if x % 7 == 3 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }));
+        set_threads(0);
+        let payload = r.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(msg, "boom at 3", "first panic by item index must win");
+    }
+
+    #[test]
+    fn nested_par_map_runs_inline() {
+        let _l = config_lock();
+        set_threads(4);
+        let out = par_map(vec![1u64, 2, 3, 4], |x| {
+            assert!(in_pool());
+            // Nested call must not deadlock or oversubscribe.
+            par_map(vec![x, x + 10], |y| y * 2).iter().sum::<u64>()
+        });
+        set_threads(0);
+        assert_eq!(out, vec![24, 28, 32, 36]);
+    }
+
+    #[test]
+    fn scope_spawn_join_returns_values() {
+        let _l = config_lock();
+        set_threads(3);
+        let data = [1u64, 2, 3];
+        let total = scope(|s| {
+            let a = s.spawn(|| data.iter().sum::<u64>());
+            let b = s.spawn(|| data.len() as u64);
+            a.join() + b.join()
+        });
+        set_threads(0);
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn scope_join_reraises_task_panic() {
+        let _l = config_lock();
+        set_threads(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                let h = s.spawn(|| -> u32 { panic!("task died") });
+                h.join()
+            })
+        }));
+        set_threads(0);
+        let msg = r
+            .unwrap_err()
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or_default();
+        assert_eq!(msg, "task died");
+    }
+
+    #[test]
+    fn shared_budget_is_spent_cooperatively() {
+        let _l = config_lock();
+        set_threads(4);
+        let budget = manta_resilience_stub::SharedCounter::default();
+        let out = par_map((0..100).collect::<Vec<u32>>(), |x| {
+            budget.spend(1);
+            x
+        });
+        set_threads(0);
+        assert_eq!(out.len(), 100);
+        assert_eq!(budget.total(), 100);
+    }
+
+    /// Minimal stand-in so this crate does not depend on
+    /// `manta-resilience` (which depends on nothing but telemetry, but
+    /// keeping the pool dependency-light keeps layering acyclic).
+    mod manta_resilience_stub {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[derive(Default)]
+        pub struct SharedCounter(AtomicU64);
+
+        impl SharedCounter {
+            pub fn spend(&self, n: u64) {
+                self.0.fetch_add(n, Ordering::Relaxed);
+            }
+            pub fn total(&self) -> u64 {
+                self.0.load(Ordering::Relaxed)
+            }
+        }
+    }
+
+    #[test]
+    fn threads_zero_means_auto() {
+        let _l = config_lock();
+        set_threads(0);
+        assert!(threads() >= 1);
+        set_threads(7);
+        assert_eq!(threads(), 7);
+        set_threads(0);
+    }
+}

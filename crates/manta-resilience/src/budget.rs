@@ -5,11 +5,11 @@
 //! free: [`Budget::unlimited`] short-circuits before touching any
 //! counter, so sprinkling `budget.tick()?` through hot loops costs a
 //! single branch on a non-atomic bool. Constrained budgets decrement a
-//! `Cell<u64>` per tick and only consult the (comparatively expensive)
-//! monotonic clock once every [`DEADLINE_PERIOD`] ticks.
+//! relaxed `AtomicU64` per tick and only consult the (comparatively
+//! expensive) monotonic clock once every [`DEADLINE_PERIOD`] ticks.
 
-use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// How many fuel ticks elapse between wall-clock deadline checks.
@@ -87,20 +87,24 @@ impl BudgetSpec {
 
 /// A cooperative execution budget.
 ///
-/// Not `Sync`: each worker thread gets its own `Budget` (mint one per
-/// run from a [`BudgetSpec`]). Interior mutability keeps `tick` callable
-/// through shared references, which is what deeply-threaded analysis
-/// code wants.
+/// `Sync`: one `Budget` can be shared by every worker in a
+/// `manta-parallel` scope, so a module-wide fuel allotment is spent
+/// cooperatively no matter how the work is partitioned. All counters are
+/// relaxed atomics — the total amount of fuel spent is exact, only the
+/// interleaving of which worker spends which tick is scheduling-
+/// dependent (and a tripped budget trips every worker). Interior
+/// mutability keeps `tick` callable through shared references, which is
+/// what deeply-threaded analysis code wants.
 #[derive(Debug)]
 pub struct Budget {
-    fuel: Cell<u64>,
+    fuel: AtomicU64,
     deadline: Option<Instant>,
     /// Countdown to the next deadline check.
-    until_clock: Cell<u64>,
+    until_clock: AtomicU64,
     /// Fast path: true iff no limit of any kind is set.
     limitless: bool,
     /// Set by [`Budget::exhaust`]; checked before fuel.
-    poisoned: Cell<bool>,
+    poisoned: AtomicBool,
 }
 
 impl Budget {
@@ -108,11 +112,11 @@ impl Budget {
     #[must_use]
     pub fn unlimited() -> Self {
         Budget {
-            fuel: Cell::new(u64::MAX),
+            fuel: AtomicU64::new(u64::MAX),
             deadline: None,
-            until_clock: Cell::new(DEADLINE_PERIOD),
+            until_clock: AtomicU64::new(DEADLINE_PERIOD),
             limitless: true,
-            poisoned: Cell::new(false),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -120,11 +124,11 @@ impl Budget {
     #[must_use]
     pub fn with_fuel(fuel: u64) -> Self {
         Budget {
-            fuel: Cell::new(fuel),
+            fuel: AtomicU64::new(fuel),
             deadline: None,
-            until_clock: Cell::new(DEADLINE_PERIOD),
+            until_clock: AtomicU64::new(DEADLINE_PERIOD),
             limitless: false,
-            poisoned: Cell::new(false),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -132,11 +136,11 @@ impl Budget {
     #[must_use]
     pub fn with_deadline(d: Duration) -> Self {
         Budget {
-            fuel: Cell::new(u64::MAX),
+            fuel: AtomicU64::new(u64::MAX),
             deadline: Some(Instant::now() + d),
-            until_clock: Cell::new(DEADLINE_PERIOD),
+            until_clock: AtomicU64::new(DEADLINE_PERIOD),
             limitless: false,
-            poisoned: Cell::new(false),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -149,13 +153,13 @@ impl Budget {
     /// Remaining fuel (meaningless for unlimited budgets).
     #[must_use]
     pub fn fuel_left(&self) -> u64 {
-        self.fuel.get()
+        self.fuel.load(Ordering::Relaxed)
     }
 
     /// Forcibly exhausts the budget so the next `tick` fails with
     /// [`BudgetKind::Injected`]. Used by the fault-injection harness.
     pub fn exhaust(&self) {
-        self.poisoned.set(true);
+        self.poisoned.store(true, Ordering::Relaxed);
     }
 
     /// Spends one unit of fuel.
@@ -165,7 +169,7 @@ impl Budget {
     /// Returns [`BudgetExceeded`] when any configured limit has tripped.
     #[inline]
     pub fn tick(&self) -> Result<(), BudgetExceeded> {
-        if self.limitless && !self.poisoned.get() {
+        if self.limitless && !self.poisoned.load(Ordering::Relaxed) {
             return Ok(());
         }
         self.consume(1)
@@ -178,7 +182,7 @@ impl Budget {
     ///
     /// Returns [`BudgetExceeded`] when any configured limit has tripped.
     pub fn consume(&self, n: u64) -> Result<(), BudgetExceeded> {
-        if self.poisoned.get() {
+        if self.poisoned.load(Ordering::Relaxed) {
             return Err(BudgetExceeded {
                 kind: BudgetKind::Injected,
             });
@@ -186,25 +190,31 @@ impl Budget {
         if self.limitless {
             return Ok(());
         }
-        let fuel = self.fuel.get();
-        if fuel < n {
-            self.fuel.set(0);
+        // Saturating fetch-sub: concurrent workers each claim their `n`
+        // exactly once, and whoever crosses zero trips (fuel pins at 0
+        // so every later caller trips too).
+        let claim = self
+            .fuel
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |fuel| {
+                Some(fuel.saturating_sub(n))
+            })
+            .unwrap_or(0);
+        if claim < n {
             return Err(BudgetExceeded {
                 kind: BudgetKind::Fuel,
             });
         }
-        self.fuel.set(fuel - n);
         if let Some(deadline) = self.deadline {
-            let left = self.until_clock.get();
+            let left = self.until_clock.load(Ordering::Relaxed);
             if left <= n {
-                self.until_clock.set(DEADLINE_PERIOD);
+                self.until_clock.store(DEADLINE_PERIOD, Ordering::Relaxed);
                 if Instant::now() >= deadline {
                     return Err(BudgetExceeded {
                         kind: BudgetKind::Deadline,
                     });
                 }
             } else {
-                self.until_clock.set(left - n);
+                self.until_clock.store(left - n, Ordering::Relaxed);
             }
         }
         Ok(())

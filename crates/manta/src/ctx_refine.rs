@@ -62,10 +62,58 @@ pub fn refine_budgeted(
 ) -> Result<(), BudgetExceeded> {
     let over = classify::over_approximated(analysis, result);
     manta_telemetry::counter("cs.candidates", over.len() as u64);
+
+    // Candidates only read the pre-refinement `result` (updates are applied
+    // after the loop), so each per-function partition refines independently
+    // on the pool; partitions are merged back in candidate order, which is
+    // function order. The roots memo becomes partition-local — it is a pure
+    // cache, so recomputation across partitions cannot change any answer.
+    let chunks = partition_by_func(over);
+    let shared: &InferenceResult = result;
+    let per_chunk: Vec<Result<Vec<(VarRef, TypeInterval)>, BudgetExceeded>> =
+        manta_parallel::par_map(chunks, |chunk| {
+            refine_chunk(analysis, reveals, config, shared, budget, chunk)
+        });
+    let mut updates: Vec<(VarRef, TypeInterval)> = Vec::new();
+    for chunk in per_chunk {
+        updates.extend(chunk?);
+    }
+    manta_telemetry::counter("cs.refined", updates.len() as u64);
+    for (v, interval) in updates {
+        result.var_types.insert(v, interval);
+    }
+    let counts = classify::classify(analysis, result);
+    result.stage_counts.push((Stage::ContextRefine, counts));
+    Ok(())
+}
+
+/// Splits an already function-ordered candidate list into runs sharing a
+/// function — the unit of work the refinement stages hand to the pool.
+pub(crate) fn partition_by_func(over: Vec<VarRef>) -> Vec<Vec<VarRef>> {
+    let mut chunks: Vec<Vec<VarRef>> = Vec::new();
+    for v in over {
+        match chunks.last_mut() {
+            Some(chunk) if chunk[0].func == v.func => chunk.push(v),
+            _ => chunks.push(vec![v]),
+        }
+    }
+    chunks
+}
+
+/// Refines one per-function candidate partition. Fuel is charged exactly
+/// as the historical serial loop: one unit per candidate plus the size of
+/// its forward walk.
+fn refine_chunk(
+    analysis: &ModuleAnalysis,
+    reveals: &RevealMap,
+    config: &MantaConfig,
+    result: &InferenceResult,
+    budget: &Budget,
+    chunk: Vec<VarRef>,
+) -> Result<Vec<(VarRef, TypeInterval)>, BudgetExceeded> {
     let mut roots_cache: HashMap<VarRef, BTreeSet<NodeId>> = HashMap::new();
     let mut updates: Vec<(VarRef, TypeInterval)> = Vec::new();
-
-    for v in over {
+    for v in chunk {
         budget.tick()?;
         let roots = find_roots(analysis, result, config, v, &mut roots_cache);
         let mut types: Vec<Type> = Vec::new();
@@ -93,13 +141,7 @@ pub fn refine_budgeted(
             updates.push((v, interval));
         }
     }
-    manta_telemetry::counter("cs.refined", updates.len() as u64);
-    for (v, interval) in updates {
-        result.var_types.insert(v, interval);
-    }
-    let counts = classify::classify(analysis, result);
-    result.stage_counts.push((Stage::ContextRefine, counts));
-    Ok(())
+    Ok(updates)
 }
 
 /// `FIND_ROOTS(v)`: backward CFL-valid traversal to the origins of `v`

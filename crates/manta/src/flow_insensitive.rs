@@ -77,81 +77,21 @@ pub fn run_budgeted(
     budget: &Budget,
 ) -> Result<InferenceResult, BudgetExceeded> {
     let keys = Keys::new(analysis);
-    let mut uf = UnionFind::new(keys.total());
     let module = analysis.module();
     let pts = &analysis.pointsto;
 
-    let mut unify_objs = |uf: &mut UnionFind, a: ObjectId, b: ObjectId| {
-        unify_obj_types(uf, &keys, a, b, MAX_OBJ_UNIFY_DEPTH, &mut HashSet::new());
-    };
+    // The unification ops an instruction emits depend only on the
+    // (immutable) points-to relation, never on union-find state, so the
+    // per-function op lists are collected across the pool and replayed in
+    // function order — exactly the serial op sequence.
+    let func_ids: Vec<manta_ir::FuncId> = module.functions().map(|f| f.id()).collect();
+    let per_func: Vec<Result<Vec<(usize, usize)>, BudgetExceeded>> =
+        manta_parallel::par_map(func_ids, |fid| collect_fi_ops(analysis, &keys, fid, budget));
 
-    for func in module.functions() {
-        let fid = func.id();
-        let var = |v: ValueId| VarRef::new(fid, v);
-        for inst in func.insts() {
-            budget.tick()?;
-            match &inst.kind {
-                // Rule ①: value copies.
-                InstKind::Copy { dst, src } => {
-                    uf.union(keys.var(var(*dst)), keys.var(var(*src)));
-                    unify_pointees(&mut uf, &keys, pts, var(*dst), var(*src), &mut unify_objs);
-                }
-                InstKind::Phi { dst, incomings } => {
-                    for (_, v) in incomings {
-                        uf.union(keys.var(var(*dst)), keys.var(var(*v)));
-                        unify_pointees(&mut uf, &keys, pts, var(*dst), var(*v), &mut unify_objs);
-                    }
-                }
-                // Rule ② LOAD.
-                InstKind::Load { dst, addr, .. } => {
-                    for &o in pts.pts_var(var(*addr)) {
-                        uf.union(keys.var(var(*dst)), keys.obj(o));
-                    }
-                }
-                // Rule ③ STORE.
-                InstKind::Store { addr, val } => {
-                    for &o in pts.pts_var(var(*addr)) {
-                        uf.union(keys.obj(o), keys.var(var(*val)));
-                    }
-                }
-                // Indirect hint: compared values share a type.
-                InstKind::Cmp { lhs, rhs, .. } => {
-                    uf.union(keys.var(var(*lhs)), keys.var(var(*rhs)));
-                }
-                // Rule ① for calls: argument/parameter and return bindings
-                // (context-insensitive).
-                InstKind::Call {
-                    dst,
-                    callee: Callee::Direct(target),
-                    args,
-                } => {
-                    if analysis.pre.is_broken_call(fid, inst.id) {
-                        continue;
-                    }
-                    let tf = module.function(*target);
-                    for (i, &a) in args.iter().enumerate() {
-                        if let Some(&p) = tf.params().get(i) {
-                            uf.union(keys.var(var(a)), keys.var(VarRef::new(*target, p)));
-                            unify_pointees(
-                                &mut uf,
-                                &keys,
-                                pts,
-                                var(a),
-                                VarRef::new(*target, p),
-                                &mut unify_objs,
-                            );
-                        }
-                    }
-                    if let Some(d) = dst {
-                        for b in tf.blocks() {
-                            if let Terminator::Ret(Some(r)) = b.term {
-                                uf.union(keys.var(var(*d)), keys.var(VarRef::new(*target, r)));
-                            }
-                        }
-                    }
-                }
-                _ => {}
-            }
+    let mut uf = UnionFind::new(keys.total());
+    for ops in per_func {
+        for (a, b) in ops? {
+            uf.union(a, b);
         }
     }
 
@@ -187,14 +127,88 @@ pub fn run_budgeted(
     Ok(result)
 }
 
+/// Collects the union ops of one function's instructions (Table 1 rules
+/// ①–③ plus the `cmp` hint). Fuel is charged per instruction exactly as
+/// the historical serial pass.
+fn collect_fi_ops(
+    analysis: &ModuleAnalysis,
+    keys: &Keys<'_>,
+    fid: manta_ir::FuncId,
+    budget: &Budget,
+) -> Result<Vec<(usize, usize)>, BudgetExceeded> {
+    let module = analysis.module();
+    let pts = &analysis.pointsto;
+    let func = module.function(fid);
+    let var = |v: ValueId| VarRef::new(fid, v);
+    let mut ops: Vec<(usize, usize)> = Vec::new();
+    for inst in func.insts() {
+        budget.tick()?;
+        match &inst.kind {
+            // Rule ①: value copies.
+            InstKind::Copy { dst, src } => {
+                ops.push((keys.var(var(*dst)), keys.var(var(*src))));
+                unify_pointees(&mut ops, keys, pts, var(*dst), var(*src));
+            }
+            InstKind::Phi { dst, incomings } => {
+                for (_, v) in incomings {
+                    ops.push((keys.var(var(*dst)), keys.var(var(*v))));
+                    unify_pointees(&mut ops, keys, pts, var(*dst), var(*v));
+                }
+            }
+            // Rule ② LOAD.
+            InstKind::Load { dst, addr, .. } => {
+                for &o in pts.pts_var(var(*addr)) {
+                    ops.push((keys.var(var(*dst)), keys.obj(o)));
+                }
+            }
+            // Rule ③ STORE.
+            InstKind::Store { addr, val } => {
+                for &o in pts.pts_var(var(*addr)) {
+                    ops.push((keys.obj(o), keys.var(var(*val))));
+                }
+            }
+            // Indirect hint: compared values share a type.
+            InstKind::Cmp { lhs, rhs, .. } => {
+                ops.push((keys.var(var(*lhs)), keys.var(var(*rhs))));
+            }
+            // Rule ① for calls: argument/parameter and return bindings
+            // (context-insensitive).
+            InstKind::Call {
+                dst,
+                callee: Callee::Direct(target),
+                args,
+            } => {
+                if analysis.pre.is_broken_call(fid, inst.id) {
+                    continue;
+                }
+                let tf = module.function(*target);
+                for (i, &a) in args.iter().enumerate() {
+                    if let Some(&p) = tf.params().get(i) {
+                        ops.push((keys.var(var(a)), keys.var(VarRef::new(*target, p))));
+                        unify_pointees(&mut ops, keys, pts, var(a), VarRef::new(*target, p));
+                    }
+                }
+                if let Some(d) = dst {
+                    for b in tf.blocks() {
+                        if let Terminator::Ret(Some(r)) = b.term {
+                            ops.push((keys.var(var(*d)), keys.var(VarRef::new(*target, r))));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(ops)
+}
+
 /// Rule ①'s `UnifyObjType` over the pointees of two unified pointers.
 fn unify_pointees(
-    uf: &mut UnionFind,
+    ops: &mut Vec<(usize, usize)>,
     keys: &Keys<'_>,
     pts: &manta_analysis::PointsTo,
     p: VarRef,
     q: VarRef,
-    unify_objs: &mut impl FnMut(&mut UnionFind, ObjectId, ObjectId),
 ) {
     let all: Vec<ObjectId> = pts
         .pts_var(p)
@@ -207,15 +221,21 @@ fn unify_pointees(
     }
     let first = all[0];
     for &o in &all[1..] {
-        unify_objs(uf, first, o);
+        unify_obj_types(
+            ops,
+            keys,
+            first,
+            o,
+            MAX_OBJ_UNIFY_DEPTH,
+            &mut HashSet::new(),
+        );
     }
-    let _ = keys;
 }
 
 /// `UnifyObjType(o1, o2)`: unify the contents of two objects and,
 /// recursively, fields sharing an offset.
 fn unify_obj_types(
-    uf: &mut UnionFind,
+    ops: &mut Vec<(usize, usize)>,
     keys: &Keys<'_>,
     a: ObjectId,
     b: ObjectId,
@@ -225,7 +245,7 @@ fn unify_obj_types(
     if a == b || depth == 0 || !seen.insert((a.min(b), a.max(b))) {
         return;
     }
-    uf.union(keys.obj(a), keys.obj(b));
+    ops.push((keys.obj(a), keys.obj(b)));
     // Unify fields at matching offsets.
     let pts = &keys.analysis.pointsto;
     let offsets: Vec<u64> = pts
@@ -239,7 +259,7 @@ fn unify_obj_types(
         .collect();
     for off in offsets {
         if let (Some(fa), Some(fb)) = (pts.field_of(a, off), pts.field_of(b, off)) {
-            unify_obj_types(uf, keys, fa, fb, depth - 1, seen);
+            unify_obj_types(ops, keys, fa, fb, depth - 1, seen);
         }
     }
 }

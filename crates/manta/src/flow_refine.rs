@@ -57,11 +57,60 @@ pub fn refine_budgeted(
     let cfgs = Cfgs::new(analysis);
     let over = classify::over_approximated(analysis, result);
     manta_telemetry::counter("fs.candidates", over.len() as u64);
+
+    // As in the context-sensitive stage, candidates only read the
+    // pre-refinement `result`; per-function partitions run on the pool and
+    // merge back in candidate (= function) order. The roots memo and the
+    // walker memos are pure caches, so making them partition-local cannot
+    // change any answer.
+    let chunks = crate::ctx_refine::partition_by_func(over);
+    let shared: &InferenceResult = result;
+    let per_chunk: Vec<Result<FsChunkOut, BudgetExceeded>> =
+        manta_parallel::par_map(chunks, |chunk| {
+            refine_chunk(analysis, reveals, config, shared, &cfgs, budget, chunk)
+        });
+    let mut var_updates: Vec<(VarRef, TypeInterval)> = Vec::new();
+    let mut site_updates: Vec<((VarRef, InstId), TypeInterval)> = Vec::new();
+    for chunk in per_chunk {
+        let (vars, sites) = chunk?;
+        var_updates.extend(vars);
+        site_updates.extend(sites);
+    }
+    manta_telemetry::counter("fs.site_types", site_updates.len() as u64);
+    for (v, i) in var_updates {
+        result.var_types.insert(v, i);
+    }
+    for (k, i) in site_updates {
+        result.site_types.insert(k, i);
+    }
+    let counts = classify::classify(analysis, result);
+    result.stage_counts.push((Stage::FlowRefine, counts));
+    Ok(())
+}
+
+/// Variable- and site-level interval updates produced by one partition.
+type FsChunkOut = (
+    Vec<(VarRef, TypeInterval)>,
+    Vec<((VarRef, InstId), TypeInterval)>,
+);
+
+/// Runs Algorithm 2 over one per-function candidate partition. Fuel is
+/// charged exactly as the historical serial loop: one unit per candidate
+/// plus one per inspected def/use site.
+#[allow(clippy::too_many_arguments)]
+fn refine_chunk(
+    analysis: &ModuleAnalysis,
+    reveals: &RevealMap,
+    config: &MantaConfig,
+    result: &InferenceResult,
+    cfgs: &Cfgs,
+    budget: &Budget,
+    chunk: Vec<VarRef>,
+) -> Result<FsChunkOut, BudgetExceeded> {
     let mut roots_cache: HashMap<VarRef, BTreeSet<NodeId>> = HashMap::new();
     let mut var_updates: Vec<(VarRef, TypeInterval)> = Vec::new();
     let mut site_updates: Vec<((VarRef, InstId), TypeInterval)> = Vec::new();
-
-    for v in over {
+    for v in chunk {
         budget.tick()?;
         let roots = find_roots(analysis, result, config, v, &mut roots_cache);
         let func = analysis.module().function(v.func);
@@ -80,7 +129,7 @@ pub fn refine_budgeted(
                 reveals,
                 result,
                 config,
-                &cfgs,
+                cfgs,
                 v.func,
                 site,
                 &roots,
@@ -117,16 +166,7 @@ pub fn refine_budgeted(
         // behavior §6.4 attributes to flow-sensitive refinement).
         var_updates.push((v, var_interval));
     }
-    manta_telemetry::counter("fs.site_types", site_updates.len() as u64);
-    for (v, i) in var_updates {
-        result.var_types.insert(v, i);
-    }
-    for (k, i) in site_updates {
-        result.site_types.insert(k, i);
-    }
-    let counts = classify::classify(analysis, result);
-    result.stage_counts.push((Stage::FlowRefine, counts));
-    Ok(())
+    Ok((var_updates, site_updates))
 }
 
 /// The standalone Manta-FS ablation: flow-sensitive hint collection with
@@ -187,54 +227,74 @@ pub fn standalone_fs_budgeted(
         }
     }
 
-    for func in analysis.module().functions() {
-        for (value, data) in func.values() {
-            if matches!(data.kind, ValueKind::Const(_)) {
-                continue;
-            }
-            let v = VarRef::new(func.id(), value);
-            let class = alias_class[&v];
-            let def_site = func.def_inst(value);
-            let mut sites: Vec<Option<InstId>> = vec![def_site.map(Some).unwrap_or(None)];
-            for u in func.users(value) {
-                sites.push(Some(u));
-            }
-            sites.dedup();
-            let mut var_interval: Option<TypeInterval> = None;
-            for site in sites {
-                budget.tick()?;
-                let types = reachable_types_with_alias(
-                    analysis,
-                    reveals,
-                    config,
-                    &cfgs,
-                    v.func,
-                    site,
-                    &|u| alias_class.get(&u) == Some(&class),
-                    false,
-                );
-                if types.is_empty() {
+    // Each function's variables consult only the (frozen) alias classes and
+    // the reveal map, so the per-function site walks fan out across the
+    // pool; updates merge back in function order.
+    let func_ids: Vec<FuncId> = analysis.module().functions().map(|f| f.id()).collect();
+    let alias_ref = &alias_class;
+    let cfgs_ref = &cfgs;
+    let per_func: Vec<Result<FsChunkOut, BudgetExceeded>> =
+        manta_parallel::par_map(func_ids, |fid| {
+            let func = analysis.module().function(fid);
+            let mut var_updates: Vec<(VarRef, TypeInterval)> = Vec::new();
+            let mut site_updates: Vec<((VarRef, InstId), TypeInterval)> = Vec::new();
+            for (value, data) in func.values() {
+                if matches!(data.kind, ValueKind::Const(_)) {
                     continue;
                 }
-                let mut interval = TypeInterval::unknown();
-                for t in &types {
-                    interval.absorb(t);
+                let v = VarRef::new(fid, value);
+                let class = alias_ref[&v];
+                let def_site = func.def_inst(value);
+                let mut sites: Vec<Option<InstId>> = vec![def_site.map(Some).unwrap_or(None)];
+                for u in func.users(value) {
+                    sites.push(Some(u));
                 }
-                if let Some(s) = site {
-                    result.site_types.insert((v, s), interval.clone());
+                sites.dedup();
+                let mut var_interval: Option<TypeInterval> = None;
+                for site in sites {
+                    budget.tick()?;
+                    let types = reachable_types_with_alias(
+                        analysis,
+                        reveals,
+                        config,
+                        cfgs_ref,
+                        v.func,
+                        site,
+                        &|u| alias_ref.get(&u) == Some(&class),
+                        false,
+                    );
+                    if types.is_empty() {
+                        continue;
+                    }
+                    let mut interval = TypeInterval::unknown();
+                    for t in &types {
+                        interval.absorb(t);
+                    }
+                    if let Some(s) = site {
+                        site_updates.push(((v, s), interval.clone()));
+                    }
+                    match (
+                        &mut var_interval,
+                        site == def_site.map(Some).unwrap_or(None),
+                    ) {
+                        (_, true) => var_interval = Some(interval),
+                        (Some(existing), false) => existing.merge(&interval),
+                        (None, false) => var_interval = Some(interval),
+                    }
                 }
-                match (
-                    &mut var_interval,
-                    site == def_site.map(Some).unwrap_or(None),
-                ) {
-                    (_, true) => var_interval = Some(interval),
-                    (Some(existing), false) => existing.merge(&interval),
-                    (None, false) => var_interval = Some(interval),
+                if let Some(i) = var_interval {
+                    var_updates.push((v, i));
                 }
             }
-            if let Some(i) = var_interval {
-                result.var_types.insert(v, i);
-            }
+            Ok((var_updates, site_updates))
+        });
+    for chunk in per_func {
+        let (vars, sites) = chunk?;
+        for (v, i) in vars {
+            result.var_types.insert(v, i);
+        }
+        for (k, i) in sites {
+            result.site_types.insert(k, i);
         }
     }
     let counts = classify::classify(analysis, &mut result);

@@ -1,0 +1,195 @@
+//! Determinism and resilience contracts of intra-module parallelism.
+//!
+//! The `manta-parallel` pool must be invisible in every output: `infer`
+//! at any thread count is bit-identical to the serial run (including
+//! `stage_counts`), budget exhaustion degrades to exactly the same tier,
+//! and injected worker panics surface as the same structured failures.
+//!
+//! The pool thread count and the fault plan are process-global, so all
+//! tests in this file serialize on one lock.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use manta::{InferenceResult, Manta, MantaConfig};
+use manta_analysis::{ModuleAnalysis, VarRef};
+use manta_resilience::{Budget, BudgetSpec, DegradationKind, Fault, FaultArming, FaultPlan};
+use manta_workloads::generator::{generate, GenSpec};
+use manta_workloads::{PhenomenonMix, ProjectSpec};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Restores the auto thread count even when a test panics mid-way.
+struct ThreadGuard;
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        manta_parallel::set_threads(0);
+    }
+}
+
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = ThreadGuard;
+    manta_parallel::set_threads(n);
+    f()
+}
+
+fn program(functions: usize, seed: u64) -> ModuleAnalysis {
+    ModuleAnalysis::build(
+        generate(&GenSpec {
+            name: format!("par_{seed}"),
+            functions,
+            mix: PhenomenonMix::balanced(),
+            seed,
+        })
+        .module,
+    )
+}
+
+/// A canonical, exhaustive rendering of an inference result: every
+/// variable, site and object interval in a fixed order, plus the
+/// per-stage classification counts. Two results with equal dumps are
+/// bit-identical for every observable query.
+fn dump(analysis: &ModuleAnalysis, r: &InferenceResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("stage_counts: {:?}\n", r.stage_counts));
+    out.push_str(&format!("final: {:?}\n", r.final_counts()));
+    for d in &r.degradations {
+        out.push_str(&format!(
+            "degraded: {} kept {} ({:?})\n",
+            d.stage, d.completed, d.kind
+        ));
+    }
+    for func in analysis.pre.module.functions() {
+        for (value, _) in func.values() {
+            let v = VarRef::new(func.id(), value);
+            out.push_str(&format!(
+                "{:?}:{value:?} = {:?} / {:?}\n",
+                func.id(),
+                r.interval(v),
+                r.class_of(v),
+            ));
+            for inst in func.insts() {
+                if let Some(iv) = r.interval_at(v, inst.id) {
+                    out.push_str(&format!("  @{:?}: {iv:?}\n", inst.id));
+                }
+            }
+        }
+    }
+    for (o, kind) in analysis.pointsto.objects() {
+        if let Some(iv) = r.obj_interval(o) {
+            out.push_str(&format!("{kind:?} = {iv:?}\n"));
+        }
+    }
+    out
+}
+
+#[test]
+fn infer_is_bit_identical_across_thread_counts() {
+    let _l = lock();
+    let analysis = program(40, 0x0DD5);
+    let manta = Manta::new(MantaConfig::full());
+    let serial = with_threads(1, || manta.infer(&analysis));
+    for threads in [2, 8] {
+        let parallel = with_threads(threads, || manta.infer(&analysis));
+        assert_eq!(
+            serial.stage_counts, parallel.stage_counts,
+            "stage_counts diverge at {threads} threads"
+        );
+        assert_eq!(
+            dump(&analysis, &serial),
+            dump(&analysis, &parallel),
+            "inference output diverges at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn budget_exhaustion_degrades_identically_under_the_pool() {
+    let _l = lock();
+    let analysis = program(12, 0xB0D6);
+    let manta = Manta::new(MantaConfig::full());
+    // Sweep fuel levels so exhaustion lands in different stages; each
+    // level must cut the cascade at the same tier regardless of the
+    // thread count, with the surviving maps bit-identical.
+    for fuel in [0, 60, 600, 6_000, 60_000] {
+        let serial = with_threads(1, || {
+            manta.infer_resilient(&analysis, &Budget::with_fuel(fuel))
+        });
+        let pooled = with_threads(4, || {
+            manta.infer_resilient(&analysis, &Budget::with_fuel(fuel))
+        });
+        let tiers = |r: &InferenceResult| {
+            r.degradations
+                .iter()
+                .map(|d| (d.stage.clone(), d.completed.clone(), d.kind))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(tiers(&serial), tiers(&pooled), "fuel {fuel}");
+        assert_eq!(
+            dump(&analysis, &serial),
+            dump(&analysis, &pooled),
+            "degraded output diverges at fuel {fuel}"
+        );
+    }
+}
+
+#[test]
+fn injected_worker_panic_is_isolated_with_four_pool_threads() {
+    let _l = lock();
+    // Project builds run on pool workers; the armed panic fires inside
+    // one worker and must surface as that project's structured failure
+    // (with its degradation record) while its siblings complete.
+    let specs: Vec<ProjectSpec> = ["north", "east", "south", "west"]
+        .iter()
+        .enumerate()
+        .map(|(i, name)| ProjectSpec {
+            name: (*name).to_string(),
+            kloc: 1.0,
+            functions: 4,
+            mix: PhenomenonMix::balanced(),
+            seed: 77 + i as u64,
+        })
+        .collect();
+    let _guard = FaultPlan::new()
+        .arm("eval.project:east", Fault::Panic, FaultArming::Always)
+        .install();
+    let load = with_threads(4, || {
+        manta_eval::load_specs_checked(specs, BudgetSpec::default())
+    });
+    assert_eq!(load.projects.len(), 3, "north, south and west must survive");
+    assert_eq!(load.failures.len(), 1, "the panic must not be lost");
+    assert_eq!(load.failures[0].name, "east");
+    assert_eq!(
+        load.failures[0].degradation.kind,
+        DegradationKind::InjectedFault
+    );
+    // Survivors come back in spec order despite out-of-order completion.
+    let names: Vec<&str> = load.projects.iter().map(|p| p.name.as_str()).collect();
+    assert_eq!(names, ["north", "south", "west"]);
+}
+
+#[test]
+fn eval_budget_exhaustion_under_the_pool_loses_no_records() {
+    let _l = lock();
+    let specs: Vec<ProjectSpec> = (0..6)
+        .map(|i| ProjectSpec {
+            name: format!("p{i}"),
+            kloc: 1.0,
+            functions: 3,
+            mix: PhenomenonMix::balanced(),
+            seed: 900 + i as u64,
+        })
+        .collect();
+    let zero_fuel = BudgetSpec {
+        fuel: Some(0),
+        deadline_ms: None,
+    };
+    let load = with_threads(4, || manta_eval::load_specs_checked(specs, zero_fuel));
+    assert!(load.projects.is_empty(), "zero fuel fails every project");
+    assert_eq!(load.failures.len(), 6, "every failure keeps its record");
+    let names: Vec<&str> = load.failures.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(names, ["p0", "p1", "p2", "p3", "p4", "p5"]);
+}
