@@ -26,8 +26,9 @@ use std::time::Instant;
 
 use manta::{Manta, MantaConfig};
 use manta_analysis::{CallGraph, PointsTo, PreprocessConfig};
+use manta_bench::harness::median;
 use manta_ir::{ModuleBuilder, Width};
-use manta_telemetry::json::{parse, JsonValue, JsonWriter};
+use manta_store::json::{parse, JsonValue, JsonWriter};
 use manta_workloads::project_suite;
 
 /// Pool sizes the pipeline leg sweeps.
@@ -115,11 +116,6 @@ struct PipelineBench {
 /// medians is what `--check` guards, so stability across runs matters
 /// more than the fastest single sample.
 const REPS: usize = 5;
-
-fn median(samples: &mut [f64]) -> f64 {
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
-    samples[samples.len() / 2]
-}
 
 fn counter(name: &str) -> u64 {
     manta_telemetry::report()

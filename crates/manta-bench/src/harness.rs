@@ -123,8 +123,7 @@ impl Bencher {
                 t.elapsed().as_nanos() as f64 / per_batch as f64
             })
             .collect();
-        samples.sort_by(f64::total_cmp);
-        self.median_ns = samples[samples.len() / 2];
+        self.median_ns = median(&mut samples);
         self.iters = per_batch * BATCHES as u64;
     }
 
@@ -140,6 +139,13 @@ impl Bencher {
     pub fn median_ns(&self) -> f64 {
         self.median_ns
     }
+}
+
+/// Median of a sample set (sorts in place). The one shared copy used by
+/// [`Bencher::iter`] and the standalone bench binaries.
+pub fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
 }
 
 fn fmt_ns(ns: f64) -> String {

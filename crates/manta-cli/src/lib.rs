@@ -23,6 +23,13 @@
 //! work-stealing pool (default: `available_parallelism`; `1` forces a
 //! fully serial run). Results are bit-identical at every thread count.
 //!
+//! `infer`, `bugs`, `icall` and `stats` accept `--cache-dir <dir>` to
+//! persist analysis results across invocations (and `--no-cache` to
+//! force a cold run): inference results are keyed by content and config
+//! hashes, unchanged input files are served from a stat-fingerprinted
+//! module cache, and a corrupt store is silently discarded and
+//! recomputed. Warm output is bit-identical to cold output.
+//!
 //! Inputs may be SBF images (binary, `SBF1` magic), SB-ISA assembly text,
 //! or textual IR (`module …` followed by `func name(wN,…)` headers); the
 //! format is sniffed automatically.
@@ -33,7 +40,7 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
-use manta::{InferenceResult, Manta, MantaConfig, Sensitivity, TypeQuery, VarClass};
+use manta::{AnalysisCache, InferenceResult, Manta, MantaConfig, Sensitivity, TypeQuery, VarClass};
 use manta_analysis::{ModuleAnalysis, PreprocessConfig, VarRef};
 use manta_clients::{
     detect_bugs, indirect_call_sites, resolve_targets_manta, BugKind, CheckerConfig,
@@ -89,6 +96,15 @@ PARALLELISM (all commands):
     --threads <N>     worker threads for the intra-module work-stealing
                       pool (0 or omitted = available_parallelism, 1 =
                       serial); output is bit-identical at any thread count
+
+CACHING (infer, bugs, icall, stats):
+    --cache-dir <dir> persistent analysis cache: inference results are
+                      keyed by (content hash, config hash) and served on
+                      warm runs; unchanged input files are not re-lifted.
+                      A corrupt or version-mismatched cache is discarded
+                      and recomputed, never trusted. Warm output is
+                      bit-identical to cold output at any thread count
+    --no-cache        ignore --cache-dir (force a cold run)
 ";
 
 /// Loads any supported input file into an IR module.
@@ -114,6 +130,52 @@ pub fn load_module(path: &Path) -> Result<Module, CliError> {
     }
     let image = manta_isa::assemble(&text).map_err(|e| CliError(e.to_string()))?;
     manta_isa::lift::lift(&image).map_err(|e| CliError(e.to_string()))
+}
+
+/// Like [`load_module`], but serves unchanged files from the cache:
+/// the entry is keyed by a stat fingerprint (absolute path, mtime,
+/// size) and holds the module's canonical IR text, so a warm run skips
+/// SBF decoding, assembling, and lifting entirely. A stale or
+/// undecodable entry is discarded and the file is re-read.
+pub fn load_module_cached(path: &Path, cache: Option<&AnalysisCache>) -> Result<Module, CliError> {
+    let Some(cache) = cache else {
+        return load_module(path);
+    };
+    let Some(key) = stat_key(path) else {
+        return load_module(path);
+    };
+    if let Some(payload) = cache.store().get(&key) {
+        if let Some(module) = std::str::from_utf8(&payload)
+            .ok()
+            .and_then(|text| manta_ir::parser::parse_module(text).ok())
+        {
+            return Ok(module);
+        }
+        cache.store().invalidate(&key);
+    }
+    let module = load_module(path)?;
+    let text = manta_ir::printer::print_module(&module);
+    let _ = cache.store().put(&key, text.as_bytes());
+    Ok(module)
+}
+
+/// Stat fingerprint of `path`: the cache key for its lifted module.
+/// `None` (unreadable metadata) simply bypasses the file cache.
+fn stat_key(path: &Path) -> Option<manta_store::Key> {
+    let meta = fs::metadata(path).ok()?;
+    let nanos = meta
+        .modified()
+        .ok()?
+        .duration_since(std::time::UNIX_EPOCH)
+        .ok()?
+        .as_nanos();
+    let mut fp = manta_store::Fingerprint::new();
+    fp.write_str("manta-cli.module");
+    fp.write_str(&path.to_string_lossy());
+    fp.write_u64(nanos as u64);
+    fp.write_u64((nanos >> 64) as u64);
+    fp.write_u64(meta.len());
+    Some(manta_store::Key::new("module", fp.finish(), 0))
 }
 
 fn parse_sensitivity(s: &str) -> Result<Sensitivity, CliError> {
@@ -200,6 +262,46 @@ fn extract_resilience_flags(args: &[String]) -> Result<(Vec<String>, ResilienceO
     Ok((rest, opts))
 }
 
+/// Cache flags shared by `infer`, `bugs`, `icall` and `stats`.
+#[derive(Debug, Default)]
+struct CacheOpts {
+    dir: Option<String>,
+    disabled: bool,
+}
+
+impl CacheOpts {
+    /// Opens the analysis cache when one is configured and not disabled.
+    /// A corrupt store is wiped and reopened inside
+    /// [`AnalysisCache::open`]; only hard filesystem errors surface.
+    fn open(&self) -> Result<Option<AnalysisCache>, CliError> {
+        match &self.dir {
+            Some(dir) if !self.disabled => AnalysisCache::open(dir)
+                .map(Some)
+                .map_err(|e| CliError(format!("cannot open cache {dir}: {e}"))),
+            _ => Ok(None),
+        }
+    }
+}
+
+/// Strips `--cache-dir <dir>` / `--no-cache` from anywhere in the
+/// argument list.
+fn extract_cache_flags(args: &[String]) -> Result<(Vec<String>, CacheOpts), CliError> {
+    let mut opts = CacheOpts::default();
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--no-cache" => opts.disabled = true,
+            "--cache-dir" => match it.next() {
+                Some(dir) => opts.dir = Some(dir.clone()),
+                None => return err("--cache-dir requires a directory path"),
+            },
+            _ => rest.push(a.clone()),
+        }
+    }
+    Ok((rest, opts))
+}
+
 /// Strips `--threads <N>` from anywhere in the argument list and applies
 /// it to the process-global pool configuration (0 = `available_parallelism`).
 fn extract_thread_flag(args: &[String]) -> Result<Vec<String>, CliError> {
@@ -249,21 +351,41 @@ fn build_analysis(
 
 /// Runs the inference cascade, resilient or strict per the flags. Any
 /// degradation records are surfaced on `out`.
+///
+/// With a cache, non-strict runs go through the cache-aware wrappers
+/// (`--fuel` is part of the key; `--budget-ms` bypasses the cache since
+/// wall-clock cutoffs are not deterministic). `--strict` always
+/// computes fresh.
 fn run_inference(
     analysis: &ModuleAnalysis,
     config: MantaConfig,
     opts: &ResilienceOpts,
     budget: &Budget,
+    cache: Option<&AnalysisCache>,
     out: &mut String,
 ) -> Result<InferenceResult, CliError> {
     let m = Manta::new(config);
-    if !opts.active() {
-        return Ok(m.infer(analysis));
-    }
     if opts.strict {
         return m
             .infer_strict(analysis, budget)
             .map_err(|e| CliError(format!("inference failed: {e}")));
+    }
+    if let Some(c) = cache {
+        // Dependency-aware invalidation of entries made stale by
+        // whatever changed in this module since the last run.
+        c.sync_module(analysis);
+        let result = if opts.active() {
+            m.infer_resilient_cached(analysis, &opts.spec(), c)
+        } else {
+            m.infer_cached(analysis, c)
+        };
+        for d in &result.degradations {
+            let _ = writeln!(out, "degraded: {d}");
+        }
+        return Ok(result);
+    }
+    if !opts.active() {
+        return Ok(m.infer(analysis));
     }
     let result = m.infer_resilient(analysis, budget);
     for d in &result.degradations {
@@ -285,6 +407,7 @@ fn run_inference(
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let (args, telemetry) = extract_telemetry_flags(args)?;
     let (args, resilience) = extract_resilience_flags(&args)?;
+    let (args, cache_opts) = extract_cache_flags(&args)?;
     let args = extract_thread_flag(&args)?;
     let collecting = telemetry.trace
         || telemetry.stats.is_some()
@@ -293,7 +416,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         manta_telemetry::set_enabled(true);
         manta_telemetry::reset();
     }
-    let result = run_command(&args, &resilience);
+    let result = run_command(&args, &resilience, &cache_opts);
     if collecting {
         let report = manta_telemetry::report();
         manta_telemetry::set_enabled(false);
@@ -315,11 +438,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     result
 }
 
-fn run_command(args: &[String], resilience: &ResilienceOpts) -> Result<String, CliError> {
+fn run_command(
+    args: &[String],
+    resilience: &ResilienceOpts,
+    cache_opts: &CacheOpts,
+) -> Result<String, CliError> {
     let mut out = String::new();
     // One budget covers the whole command (substrate + inference); with
     // no limits set this is the zero-overhead unlimited budget.
     let budget = resilience.spec().start();
+    let cache = cache_opts.open()?;
     match args.first().map(String::as_str) {
         Some("asm") => {
             let (input, output) = match args {
@@ -359,7 +487,7 @@ fn run_command(args: &[String], resilience: &ResilienceOpts) -> Result<String, C
                 [_, i, flag, s] if flag == "-s" => (i, parse_sensitivity(s)?),
                 _ => return err(USAGE),
             };
-            let module = load_module(Path::new(input))?;
+            let module = load_module_cached(Path::new(input), cache.as_ref())?;
             let Some(analysis) = build_analysis(module, resilience, &budget, &mut out)? else {
                 return Ok(out);
             };
@@ -368,6 +496,7 @@ fn run_command(args: &[String], resilience: &ResilienceOpts) -> Result<String, C
                 MantaConfig::with_sensitivity(sens),
                 resilience,
                 &budget,
+                cache.as_ref(),
                 &mut out,
             )?;
             let _ = writeln!(out, "types ({}):", sens.label());
@@ -397,7 +526,7 @@ fn run_command(args: &[String], resilience: &ResilienceOpts) -> Result<String, C
                 [_, i, flag] if flag == "--no-types" => (i, false),
                 _ => return err(USAGE),
             };
-            let module = load_module(Path::new(input))?;
+            let module = load_module_cached(Path::new(input), cache.as_ref())?;
             let Some(analysis) = build_analysis(module, resilience, &budget, &mut out)? else {
                 return Ok(out);
             };
@@ -407,6 +536,7 @@ fn run_command(args: &[String], resilience: &ResilienceOpts) -> Result<String, C
                     MantaConfig::full(),
                     resilience,
                     &budget,
+                    cache.as_ref(),
                     &mut out,
                 )?)
             } else {
@@ -430,7 +560,7 @@ fn run_command(args: &[String], resilience: &ResilienceOpts) -> Result<String, C
         }
         Some("icall") => {
             let [_, input] = args else { return err(USAGE) };
-            let module = load_module(Path::new(input))?;
+            let module = load_module_cached(Path::new(input), cache.as_ref())?;
             let Some(analysis) = build_analysis(module, resilience, &budget, &mut out)? else {
                 return Ok(out);
             };
@@ -439,6 +569,7 @@ fn run_command(args: &[String], resilience: &ResilienceOpts) -> Result<String, C
                 MantaConfig::full(),
                 resilience,
                 &budget,
+                cache.as_ref(),
                 &mut out,
             )?;
             let sites = indirect_call_sites(&analysis);
@@ -462,7 +593,7 @@ fn run_command(args: &[String], resilience: &ResilienceOpts) -> Result<String, C
         }
         Some("stats") => {
             let [_, input] = args else { return err(USAGE) };
-            let module = load_module(Path::new(input))?;
+            let module = load_module_cached(Path::new(input), cache.as_ref())?;
             // Drive the whole cascade: substrate build, full-sensitivity
             // inference, every checker, and indirect-call resolution, then
             // print the per-stage cost breakdown they recorded.
@@ -474,6 +605,7 @@ fn run_command(args: &[String], resilience: &ResilienceOpts) -> Result<String, C
                 MantaConfig::full(),
                 resilience,
                 &budget,
+                cache.as_ref(),
                 &mut out,
             )?;
             let q: &dyn TypeQuery = &inference;
@@ -489,6 +621,9 @@ fn run_command(args: &[String], resilience: &ResilienceOpts) -> Result<String, C
                 reports.len(),
                 sites.len()
             );
+            if let Some(c) = &cache {
+                c.publish_telemetry();
+            }
             let report = manta_telemetry::report();
             let counter = |name: &str| report.counters.get(name).copied().unwrap_or(0);
             let _ = writeln!(
@@ -498,9 +633,30 @@ fn run_command(args: &[String], resilience: &ResilienceOpts) -> Result<String, C
                 counter("resilience.panics_caught"),
                 counter("resilience.budget_exhausted"),
             );
+            let _ = writeln!(
+                out,
+                "cache: {} hits, {} misses, {} invalidations, {} corrupt entries, \
+                 {} bytes read, {} bytes written",
+                counter("store.hits"),
+                counter("store.misses"),
+                counter("store.invalidations"),
+                counter("store.corrupt"),
+                counter("store.bytes_read"),
+                counter("store.bytes_written"),
+            );
             out.push_str(&report.render_text());
         }
         _ => return err(USAGE),
+    }
+    if let Some(c) = &cache {
+        // Surface cache degradations (recovered-on-open, corrupt entries
+        // discarded) the same way inference degradations are reported,
+        // and mirror the traffic counters into telemetry for
+        // `--trace`/`--stats` consumers.
+        for d in c.take_degradations() {
+            let _ = writeln!(out, "degraded: {d}");
+        }
+        c.publish_telemetry();
     }
     Ok(out)
 }
@@ -637,16 +793,27 @@ func main(0) -> ret {
         });
     }
 
+    /// Restores the auto thread count even when an assertion panics, so
+    /// a failure here cannot leak `--threads` into the other tests in
+    /// this process (their outputs — and cache keys — must not depend
+    /// on test ordering).
+    struct ThreadGuard;
+
+    impl Drop for ThreadGuard {
+        fn drop(&mut self) {
+            manta_parallel::set_threads(0);
+        }
+    }
+
     #[test]
     fn thread_count_does_not_change_infer_output() {
         with_files(|dir| {
+            let _restore = ThreadGuard;
             let src = dir.join("p.s");
             fs::write(&src, ASM).unwrap();
             let serial = run(&s(&["infer", src.to_str().unwrap(), "--threads", "1"])).unwrap();
             let pooled = run(&s(&["infer", src.to_str().unwrap(), "--threads", "8"])).unwrap();
             assert_eq!(serial, pooled);
-            // Restore the auto default for the rest of the process.
-            manta_parallel::set_threads(0);
             assert!(
                 run(&s(&["infer", src.to_str().unwrap(), "--threads", "many"])).is_err(),
                 "--threads needs a number"
@@ -669,6 +836,46 @@ func main(0) -> ret {
             ]))
             .unwrap();
             assert_eq!(plain, budgeted);
+        });
+    }
+
+    #[test]
+    fn cached_infer_is_bit_identical_and_survives_corruption() {
+        with_files(|dir| {
+            let src = dir.join("p.s");
+            fs::write(&src, ASM).unwrap();
+            let cache_dir = dir.join("cache");
+            let cached = |extra: &[&str]| {
+                let mut args = vec!["infer", src.to_str().unwrap()];
+                args.extend(["--cache-dir", cache_dir.to_str().unwrap()]);
+                args.extend(extra);
+                run(&s(&args)).unwrap()
+            };
+
+            let cold = cached(&[]);
+            assert!(
+                fs::read_dir(&cache_dir).unwrap().count() > 0,
+                "cold run must populate the cache"
+            );
+            let warm = cached(&[]);
+            assert_eq!(warm, cold, "warm output must be bit-identical");
+            // `--no-cache` forces the cold path and also matches.
+            assert_eq!(cached(&["--no-cache"]), cold);
+
+            // Corrupt every entry file; the run degrades gracefully and
+            // still produces the same answer.
+            for e in fs::read_dir(&cache_dir).unwrap() {
+                let p = e.unwrap().path();
+                if p.extension().is_some_and(|x| x == "entry") {
+                    fs::write(&p, b"garbage").unwrap();
+                }
+            }
+            assert_eq!(cached(&[]), cold, "corrupt cache must recompute");
+
+            assert!(
+                run(&s(&["infer", src.to_str().unwrap(), "--cache-dir"])).is_err(),
+                "--cache-dir needs a path"
+            );
         });
     }
 
@@ -720,8 +927,10 @@ func main(0) -> ret {
             assert!(out.contains("ms"), "spans carry wall time: {out}");
             assert!(out.contains("counters:"), "{out}");
             assert!(out.contains("unify.ops"), "{out}");
-            // A clean run reports zeroed resilience counters.
+            // A clean run reports zeroed resilience counters, and with
+            // no --cache-dir the cache line reports zero traffic.
             assert!(out.contains("resilience: 0 degradations"), "{out}");
+            assert!(out.contains("cache: 0 hits, 0 misses"), "{out}");
 
             // `--stats` writes a JSON report the hand parser accepts.
             let json_path = dir.join("stats.json");

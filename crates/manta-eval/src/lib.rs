@@ -16,12 +16,14 @@
 #![warn(missing_docs)]
 
 pub mod adapters;
+pub mod cached;
 pub mod experiments;
 pub mod metrics;
 pub mod runner;
 pub mod table;
 
 pub use adapters::MantaTool;
+pub use cached::{run_suite_cached, spec_fingerprint, CachedSuite, EvalRow};
 pub use runner::{
     load_coreutils, load_coreutils_checked, load_firmware, load_projects, load_projects_checked,
     load_specs_checked, ProjectData, ProjectFailure, SuiteLoad,

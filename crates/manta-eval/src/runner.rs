@@ -72,6 +72,11 @@ pub struct SuiteLoad {
     pub projects: Vec<ProjectData>,
     /// Projects that failed, in suite order.
     pub failures: Vec<ProjectFailure>,
+    /// Projects whose generation and parsing was skipped entirely
+    /// because an analysis cache already held their result (see
+    /// `crate::cached::run_suite_cached`). Always 0 for the plain
+    /// uncached loaders.
+    pub skipped_parses: usize,
 }
 
 impl SuiteLoad {

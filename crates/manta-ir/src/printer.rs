@@ -44,6 +44,17 @@ pub fn print_module(module: &Module) -> String {
     out
 }
 
+/// Renders one function in the canonical textual format — the same text
+/// [`print_module`] emits for it. Callers (e.g. the analysis cache) use
+/// this as a per-function content fingerprint source: two functions with
+/// identical canonical text are behaviorally identical to every
+/// analysis.
+pub fn print_function_canonical(module: &Module, func: &Function) -> String {
+    let mut out = String::new();
+    print_function(module, func, &mut out);
+    out
+}
+
 fn print_function(module: &Module, func: &Function, out: &mut String) {
     let params: Vec<&str> = func
         .params()

@@ -9,17 +9,17 @@
 use manta_ir::{BinOp, CmpPred, Width};
 use manta_isa::{decode, encode, Image, ImageExtern, ImageFunction, ImageGlobal, MachInst, Reg};
 
-/// SplitMix64: tiny, deterministic, and statistically fine for test-case
-/// generation.
-struct Gen(u64);
+/// SplitMix64 (the shared copy in `manta-store`): tiny, deterministic,
+/// and statistically fine for test-case generation.
+struct Gen(manta_store::hash::SplitMix64);
 
 impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen(manta_store::hash::SplitMix64(seed))
+    }
+
     fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+        self.0.next()
     }
 
     fn below(&mut self, n: u64) -> u64 {
@@ -110,7 +110,7 @@ impl Gen {
 #[test]
 fn sbf_roundtrip_arbitrary_images() {
     for seed in 0..128u64 {
-        let mut g = Gen(seed);
+        let mut g = Gen::new(seed);
         let n = 1 + g.below(23) as usize;
         let mut code: Vec<MachInst> = (0..n).map(|_| g.inst(8)).collect();
         code.push(MachInst::Ret); // ensure at least one terminator
@@ -143,7 +143,7 @@ fn sbf_roundtrip_arbitrary_images() {
 #[test]
 fn valid_programs_always_lift() {
     for seed in 0..128u64 {
-        let mut g = Gen(seed ^ 0xbeef);
+        let mut g = Gen::new(seed ^ 0xbeef);
         let n = 4 + g.below(8) as usize;
         let mut code: Vec<MachInst> = (0..n).map(|_| g.inst(6)).collect();
         code.push(MachInst::Ret);

@@ -81,6 +81,9 @@ pub enum DegradationKind {
     Panic,
     /// A fault-injection site fired.
     InjectedFault,
+    /// A persistent-store file was corrupt or version-mismatched; the
+    /// entry was discarded and the result recomputed from scratch.
+    StoreCorruption,
 }
 
 impl DegradationKind {
@@ -117,6 +120,7 @@ impl fmt::Display for DegradationKind {
             DegradationKind::BudgetDeadline => write!(f, "budget-deadline"),
             DegradationKind::Panic => write!(f, "panic"),
             DegradationKind::InjectedFault => write!(f, "injected-fault"),
+            DegradationKind::StoreCorruption => write!(f, "store-corruption"),
         }
     }
 }

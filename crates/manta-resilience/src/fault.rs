@@ -142,6 +142,17 @@ pub fn take_pending_exhaustion() -> bool {
     PENDING_EXHAUST.with(|c| c.replace(false))
 }
 
+/// Whether a fault-injection plan is currently installed. Cache layers
+/// consult this to bypass persistent stores during fault-injection
+/// tests: results computed under injected faults must never be
+/// persisted (they would poison later clean runs), nor should a clean
+/// cached result mask the fault being exercised.
+#[inline]
+#[must_use]
+pub fn plan_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
 /// A fault-injection site. Returns normally (the common case: no plan
 /// armed, or this site not armed / not yet at its firing hit).
 ///

@@ -33,8 +33,8 @@ mod isolate;
 pub use budget::{Budget, BudgetExceeded, BudgetKind, BudgetSpec, DEADLINE_PERIOD};
 pub use error::{Degradation, DegradationKind, MantaError, StageName};
 pub use fault::{
-    fault_point, fault_point_keyed, take_pending_exhaustion, Fault, FaultArming, FaultGuard,
-    FaultPlan, INJECTED_PANIC,
+    fault_point, fault_point_keyed, plan_active, take_pending_exhaustion, Fault, FaultArming,
+    FaultGuard, FaultPlan, INJECTED_PANIC,
 };
 pub use isolate::{isolate, panic_message};
 

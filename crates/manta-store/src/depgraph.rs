@@ -1,0 +1,179 @@
+//! Dependency-aware invalidation over an analysis dependency graph.
+//!
+//! Nodes are dense `u32` indices (the caller maps function ids or names
+//! onto them); edges point from a unit to the units it *depends on*
+//! (caller → callee for call-graph dependencies, pointer-user → pointee
+//! allocator for points-to dependencies). Given the set of changed
+//! units, [`DepGraph::dependents`] computes the reverse closure — every
+//! unit whose cached results may be stale — and
+//! [`DepGraph::affected`] the bidirectional closure, the sound dirty
+//! set for whole-module analyses (unification propagates both from
+//! callees to callers and from callers into callees).
+//!
+//! [`DepGraph::closure_hash`] turns per-unit content hashes into
+//! dependency-closure hashes: a unit's key hash covers its own content
+//! plus everything it can reach, so entries keyed this way are
+//! invalidated *by construction* when any dependency changes — the
+//! content-addressed half of the invalidation story.
+
+use crate::hash::Fingerprint;
+
+/// A directed dependency graph over dense `u32` node indices.
+#[derive(Clone, Debug, Default)]
+pub struct DepGraph {
+    /// Forward edges: `deps[n]` = nodes `n` depends on.
+    deps: Vec<Vec<u32>>,
+    /// Reverse edges: `rdeps[n]` = nodes depending on `n`.
+    rdeps: Vec<Vec<u32>>,
+}
+
+impl DepGraph {
+    /// An empty graph over `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> DepGraph {
+        DepGraph {
+            deps: vec![Vec::new(); n],
+            rdeps: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Whether the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// Records that `from` depends on `to` (e.g. caller → callee).
+    /// Out-of-range indices are ignored; duplicate edges are fine.
+    pub fn add_dep(&mut self, from: u32, to: u32) {
+        if (from as usize) < self.deps.len() && (to as usize) < self.deps.len() {
+            self.deps[from as usize].push(to);
+            self.rdeps[to as usize].push(from);
+        }
+    }
+
+    fn closure(&self, seeds: &[u32], edges: impl Fn(u32) -> Vec<u32>) -> Vec<u32> {
+        let mut seen = vec![false; self.deps.len()];
+        let mut work: Vec<u32> = Vec::new();
+        for &s in seeds {
+            if (s as usize) < seen.len() && !seen[s as usize] {
+                seen[s as usize] = true;
+                work.push(s);
+            }
+        }
+        let mut out = Vec::new();
+        while let Some(n) = work.pop() {
+            out.push(n);
+            for m in edges(n) {
+                if !seen[m as usize] {
+                    seen[m as usize] = true;
+                    work.push(m);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The reverse closure of `changed` (the changed units plus every
+    /// transitive dependent), sorted. This is the set whose per-unit
+    /// cache entries must be invalidated when `changed` changed.
+    #[must_use]
+    pub fn dependents(&self, changed: &[u32]) -> Vec<u32> {
+        self.closure(changed, |n| self.rdeps[n as usize].clone())
+    }
+
+    /// The bidirectional closure of `changed`, sorted — the sound dirty
+    /// set for analyses that propagate information both ways along
+    /// dependency edges (global unification).
+    #[must_use]
+    pub fn affected(&self, changed: &[u32]) -> Vec<u32> {
+        self.closure(changed, |n| {
+            let mut v = self.rdeps[n as usize].clone();
+            v.extend_from_slice(&self.deps[n as usize]);
+            v
+        })
+    }
+
+    /// Dependency-closure hashes: `out[n]` covers `content[n]` plus the
+    /// contents of every unit reachable from `n` along dependency
+    /// edges. Deterministic (reachable sets are hashed in index order)
+    /// and cycle-safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `content.len()` differs from the node count.
+    #[must_use]
+    pub fn closure_hash(&self, content: &[u64]) -> Vec<u64> {
+        assert_eq!(content.len(), self.deps.len(), "one hash per node");
+        (0..self.deps.len() as u32)
+            .map(|n| {
+                let reach = self.closure(&[n], |m| self.deps[m as usize].clone());
+                let mut h = Fingerprint::new();
+                h.write_u64(u64::from(n));
+                for r in reach {
+                    h.write_u64(u64::from(r)).write_u64(content[r as usize]);
+                }
+                h.finish()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a → b → c, d isolated (a depends on b, b on c).
+    fn chain() -> DepGraph {
+        let mut g = DepGraph::new(4);
+        g.add_dep(0, 1);
+        g.add_dep(1, 2);
+        g
+    }
+
+    #[test]
+    fn dependents_is_reverse_reachability() {
+        let g = chain();
+        // c changed: b and a are stale, d untouched.
+        assert_eq!(g.dependents(&[2]), vec![0, 1, 2]);
+        // a changed: nothing depends on a.
+        assert_eq!(g.dependents(&[0]), vec![0]);
+        assert_eq!(g.dependents(&[3]), vec![3]);
+    }
+
+    #[test]
+    fn affected_is_bidirectional() {
+        let g = chain();
+        assert_eq!(g.affected(&[1]), vec![0, 1, 2]);
+        assert_eq!(g.affected(&[3]), vec![3]);
+    }
+
+    #[test]
+    fn closure_hash_changes_exactly_for_dependents() {
+        let g = chain();
+        let before = g.closure_hash(&[10, 20, 30, 40]);
+        // Change c's content: a, b, c hashes move; d's must not.
+        let after = g.closure_hash(&[10, 20, 31, 40]);
+        assert_ne!(before[0], after[0]);
+        assert_ne!(before[1], after[1]);
+        assert_ne!(before[2], after[2]);
+        assert_eq!(before[3], after[3]);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut g = DepGraph::new(2);
+        g.add_dep(0, 1);
+        g.add_dep(1, 0);
+        assert_eq!(g.dependents(&[0]), vec![0, 1]);
+        let h = g.closure_hash(&[1, 2]);
+        assert_eq!(h.len(), 2);
+    }
+}

@@ -1,0 +1,523 @@
+//! The persistent, content-addressed entry store.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <dir>/MANIFEST              store-level header (magic + format version)
+//! <dir>/<stage>-<content>-<config>.entry    one file per cached entry
+//! ```
+//!
+//! Every entry file is self-verifying:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     entry magic  "MANTAENT"
+//! 8       4     format version (little-endian u32)
+//! 12      8     payload length (little-endian u64)
+//! 20      8     payload checksum (fnv64 of the payload bytes)
+//! 28      n     payload
+//! ```
+//!
+//! ## Corruption and version skew
+//!
+//! Reads validate magic, version, length and checksum; any mismatch
+//! deletes the offending file, bumps [`StoreStats::corrupt`] and reads
+//! as a miss — the caller recomputes. A missing, foreign or
+//! version-mismatched `MANIFEST` wipes all entries and starts fresh
+//! ([`Store::open`] reports this so callers can log a degradation).
+//! The store therefore never panics on, and never returns, bytes that
+//! were not written by this exact format version with an intact
+//! checksum. Stale data is prevented by content-addressing: keys include
+//! the content and configuration hashes, so changed inputs simply look
+//! up a different key.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::hash::hash_bytes;
+
+/// Store-level magic, first bytes of `MANIFEST`.
+pub const MANIFEST_MAGIC: &[u8; 8] = b"MSTORE1\n";
+/// Per-entry magic.
+pub const ENTRY_MAGIC: &[u8; 8] = b"MANTAENT";
+/// On-disk format version. Bump on any layout or payload-codec change:
+/// old stores are then discarded wholesale on open.
+pub const FORMAT_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 8 + 4 + 8 + 8;
+
+/// The key of one cached entry: `(stage, content-hash, config-hash)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Key {
+    /// Pipeline stage tag (e.g. `infer`, `row`, `modidx`). Must be
+    /// non-empty ASCII alphanumerics (plus `_`); enforced on use.
+    pub stage: &'static str,
+    /// Content hash of the analyzed input.
+    pub content: u64,
+    /// Hash of every configuration bit that affects the result.
+    pub config: u64,
+}
+
+impl Key {
+    /// Shorthand constructor.
+    #[must_use]
+    pub fn new(stage: &'static str, content: u64, config: u64) -> Key {
+        Key {
+            stage,
+            content,
+            config,
+        }
+    }
+
+    fn file_name(&self) -> String {
+        format!(
+            "{}-{:016x}-{:016x}.entry",
+            self.stage, self.content, self.config
+        )
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{:016x}:{:016x}",
+            self.stage, self.content, self.config
+        )
+    }
+}
+
+/// A failure opening or writing the store. Reads never fail — they miss.
+#[derive(Debug)]
+pub struct StoreError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "store error: {}", self.message)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+fn store_err<T>(msg: impl Into<String>) -> Result<T, StoreError> {
+    Err(StoreError {
+        message: msg.into(),
+    })
+}
+
+/// Monotonic counters describing one store's traffic. All methods take
+/// `&self`; the store is usable behind a shared reference.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// Successful `get`s.
+    pub hits: AtomicU64,
+    /// `get`s that found nothing (or found corruption).
+    pub misses: AtomicU64,
+    /// Entries removed by dependency-aware invalidation.
+    pub invalidations: AtomicU64,
+    /// Corrupt or version-mismatched files discarded.
+    pub corrupt: AtomicU64,
+    /// Payload bytes served from the store.
+    pub bytes_read: AtomicU64,
+    /// Payload bytes written into the store.
+    pub bytes_written: AtomicU64,
+}
+
+/// A plain-value snapshot of [`StoreStats`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StatsSnapshot {
+    /// Successful `get`s.
+    pub hits: u64,
+    /// Failed `get`s (includes discarded corrupt entries).
+    pub misses: u64,
+    /// Entries removed by invalidation.
+    pub invalidations: u64,
+    /// Corrupt files discarded.
+    pub corrupt: u64,
+    /// Payload bytes served.
+    pub bytes_read: u64,
+    /// Payload bytes written.
+    pub bytes_written: u64,
+}
+
+impl StoreStats {
+    /// Reads every counter at once.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What [`Store::open`] had to do to produce a usable store.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpenOutcome {
+    /// The directory held a healthy store of the current format.
+    Existing,
+    /// The directory was empty or new; a fresh manifest was written.
+    Fresh,
+    /// The manifest was missing/corrupt/another version: all entries
+    /// were discarded and the store reinitialized. Callers should log a
+    /// degradation — cached work was lost, but correctness is intact.
+    Recovered,
+}
+
+/// A directory-backed content-addressed store. Cheap to open, safe to
+/// share behind a reference (all mutation is file-system level and
+/// atomic-rename based).
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    stats: StoreStats,
+    /// How open found the directory.
+    outcome: OpenOutcome,
+}
+
+impl Store {
+    /// Opens (or initializes) the store in `dir`, creating the directory
+    /// if needed. See [`OpenOutcome`] for the recovery semantics.
+    ///
+    /// # Errors
+    ///
+    /// Only on unrecoverable filesystem failures (cannot create the
+    /// directory or write the manifest) — never on corrupt content.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        let dir = dir.into();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            return store_err(format!("cannot create {}: {e}", dir.display()));
+        }
+        let manifest = dir.join("MANIFEST");
+        let outcome = match std::fs::read(&manifest) {
+            Ok(bytes) if manifest_is_current(&bytes) => OpenOutcome::Existing,
+            Ok(_) => {
+                // Foreign or old-format store: discard every entry.
+                remove_entries(&dir);
+                write_manifest(&dir)?;
+                OpenOutcome::Recovered
+            }
+            Err(_) => {
+                let had_entries = dir_has_entries(&dir);
+                remove_entries(&dir);
+                write_manifest(&dir)?;
+                if had_entries {
+                    OpenOutcome::Recovered
+                } else {
+                    OpenOutcome::Fresh
+                }
+            }
+        };
+        Ok(Store {
+            dir,
+            stats: StoreStats::default(),
+            outcome,
+        })
+    }
+
+    /// How [`Store::open`] found the directory.
+    #[must_use]
+    pub fn open_outcome(&self) -> OpenOutcome {
+        self.outcome
+    }
+
+    /// The backing directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    fn path_of(&self, key: &Key) -> PathBuf {
+        self.dir.join(key.file_name())
+    }
+
+    /// Fetches a payload. Corrupt, truncated or version-mismatched
+    /// entries are deleted and read as a miss; this method never panics
+    /// and never returns bytes whose checksum does not match.
+    pub fn get(&self, key: &Key) -> Option<Vec<u8>> {
+        let path = self.path_of(key);
+        let raw = match std::fs::read(&path) {
+            Ok(r) => r,
+            Err(_) => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match decode_entry(&raw) {
+            Some(payload) => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes_read
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                Some(payload)
+            }
+            None => {
+                // Corruption: discard so the next run does not re-read it.
+                let _ = std::fs::remove_file(&path);
+                self.stats.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a payload under `key` (write-to-temp + rename, so readers
+    /// never observe a half-written entry).
+    ///
+    /// # Errors
+    ///
+    /// On filesystem failures. Callers may ignore the error — a failed
+    /// put only costs a future recomputation.
+    pub fn put(&self, key: &Key, payload: &[u8]) -> Result<(), StoreError> {
+        debug_assert!(
+            !key.stage.is_empty()
+                && key
+                    .stage
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'_'),
+            "stage tags must be [A-Za-z0-9_]+: {:?}",
+            key.stage
+        );
+        let mut file = Vec::with_capacity(HEADER_LEN + payload.len());
+        file.extend_from_slice(ENTRY_MAGIC);
+        file.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        file.extend_from_slice(&hash_bytes(payload).to_le_bytes());
+        file.extend_from_slice(payload);
+        let path = self.path_of(key);
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{:x}",
+            std::process::id(),
+            hash_bytes(path.as_os_str().as_encoded_bytes())
+        ));
+        if let Err(e) = std::fs::write(&tmp, &file) {
+            return store_err(format!("cannot write {}: {e}", tmp.display()));
+        }
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            let _ = std::fs::remove_file(&tmp);
+            return store_err(format!("cannot commit {}: {e}", path.display()));
+        }
+        self.stats
+            .bytes_written
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Removes one entry (idempotent). Returns whether a file existed.
+    pub fn invalidate(&self, key: &Key) -> bool {
+        let existed = std::fs::remove_file(self.path_of(key)).is_ok();
+        if existed {
+            self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        existed
+    }
+
+    /// Removes every entry whose `(stage, content)` pair matches,
+    /// across all config hashes. Returns the number removed.
+    pub fn invalidate_content(&self, stage: &str, content: u64) -> usize {
+        let prefix = format!("{stage}-{content:016x}-");
+        let mut removed = 0;
+        for name in self.entry_names() {
+            if name.starts_with(&prefix) && std::fs::remove_file(self.dir.join(&name)).is_ok() {
+                removed += 1;
+            }
+        }
+        self.stats
+            .invalidations
+            .fetch_add(removed as u64, Ordering::Relaxed);
+        removed
+    }
+
+    /// Number of entry files currently on disk.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entry_names().len()
+    }
+
+    /// Whether the store holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every entry, keeping the manifest.
+    pub fn clear(&self) {
+        remove_entries(&self.dir);
+    }
+
+    fn entry_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        if let Ok(rd) = std::fs::read_dir(&self.dir) {
+            for e in rd.flatten() {
+                if let Some(name) = e.file_name().to_str() {
+                    if name.ends_with(".entry") {
+                        names.push(name.to_string());
+                    }
+                }
+            }
+        }
+        names.sort();
+        names
+    }
+}
+
+fn manifest_is_current(bytes: &[u8]) -> bool {
+    bytes.len() >= 12
+        && &bytes[..8] == MANIFEST_MAGIC
+        && bytes[8..12] == FORMAT_VERSION.to_le_bytes()
+}
+
+fn write_manifest(dir: &Path) -> Result<(), StoreError> {
+    let mut bytes = Vec::with_capacity(12);
+    bytes.extend_from_slice(MANIFEST_MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    match std::fs::write(dir.join("MANIFEST"), bytes) {
+        Ok(()) => Ok(()),
+        Err(e) => store_err(format!("cannot write manifest in {}: {e}", dir.display())),
+    }
+}
+
+fn dir_has_entries(dir: &Path) -> bool {
+    std::fs::read_dir(dir).is_ok_and(|rd| {
+        rd.flatten().any(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|n| n.ends_with(".entry"))
+        })
+    })
+}
+
+fn remove_entries(dir: &Path) {
+    if let Ok(rd) = std::fs::read_dir(dir) {
+        for e in rd.flatten() {
+            let keep = e
+                .file_name()
+                .to_str()
+                .is_some_and(|n| !n.ends_with(".entry") && !n.starts_with(".tmp-"));
+            if !keep {
+                let _ = std::fs::remove_file(e.path());
+            }
+        }
+    }
+}
+
+/// Validates and strips an entry header, returning the payload.
+fn decode_entry(raw: &[u8]) -> Option<Vec<u8>> {
+    if raw.len() < HEADER_LEN || &raw[..8] != ENTRY_MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(raw[8..12].try_into().ok()?);
+    if version != FORMAT_VERSION {
+        return None;
+    }
+    let len = u64::from_le_bytes(raw[12..20].try_into().ok()?);
+    let checksum = u64::from_le_bytes(raw[20..28].try_into().ok()?);
+    let payload = &raw[HEADER_LEN..];
+    if payload.len() as u64 != len || hash_bytes(payload) != checksum {
+        return None;
+    }
+    Some(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("manta-store-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_stats() {
+        let dir = temp_dir("roundtrip");
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.open_outcome(), OpenOutcome::Fresh);
+        let key = Key::new("infer", 0xabc, 0xdef);
+        assert!(store.get(&key).is_none());
+        store.put(&key, b"payload").unwrap();
+        assert_eq!(store.get(&key).unwrap(), b"payload");
+        let s = store.stats().snapshot();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.bytes_written, 7);
+        assert_eq!(s.bytes_read, 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_preserves_entries() {
+        let dir = temp_dir("reopen");
+        let key = Key::new("row", 1, 2);
+        {
+            let store = Store::open(&dir).unwrap();
+            store.put(&key, b"persisted").unwrap();
+        }
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.open_outcome(), OpenOutcome::Existing);
+        assert_eq!(store.get(&key).unwrap(), b"persisted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_discarded_not_served() {
+        let dir = temp_dir("corrupt");
+        let store = Store::open(&dir).unwrap();
+        let key = Key::new("infer", 3, 4);
+        store.put(&key, b"good data here").unwrap();
+        // Flip a payload byte on disk.
+        let path = dir.join(key.file_name());
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xff;
+        std::fs::write(&path, raw).unwrap();
+        assert!(store.get(&key).is_none(), "corrupt entry must miss");
+        assert!(!path.exists(), "corrupt entry must be deleted");
+        assert_eq!(store.stats().snapshot().corrupt, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_wipes_on_open() {
+        let dir = temp_dir("version");
+        {
+            let store = Store::open(&dir).unwrap();
+            store.put(&Key::new("infer", 1, 1), b"old").unwrap();
+        }
+        // Rewrite the manifest with a future version.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MANIFEST_MAGIC);
+        bytes.extend_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        std::fs::write(dir.join("MANIFEST"), bytes).unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.open_outcome(), OpenOutcome::Recovered);
+        assert!(store.is_empty(), "old-format entries must be discarded");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalidate_content_removes_all_configs() {
+        let dir = temp_dir("inval");
+        let store = Store::open(&dir).unwrap();
+        store.put(&Key::new("infer", 9, 1), b"a").unwrap();
+        store.put(&Key::new("infer", 9, 2), b"b").unwrap();
+        store.put(&Key::new("infer", 8, 1), b"keep").unwrap();
+        assert_eq!(store.invalidate_content("infer", 9), 2);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats().snapshot().invalidations, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

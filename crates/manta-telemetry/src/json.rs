@@ -1,395 +1,8 @@
 //! Minimal JSON writing and parsing — enough for telemetry reports and
 //! their tests, with no external crates.
+//!
+//! The implementation lives in [`manta_store::json`] (the store is the
+//! bottom-most crate, so both this crate and `manta-bench` share one
+//! copy); this module re-exports it under the historical path.
 
-use std::collections::BTreeMap;
-use std::fmt::Write as _;
-
-/// An incremental JSON writer producing compact, valid output. Commas are
-/// inserted automatically between elements.
-#[derive(Debug, Default)]
-pub struct JsonWriter {
-    out: String,
-    /// Whether the current nesting level already holds an element.
-    has_elem: Vec<bool>,
-}
-
-impl JsonWriter {
-    /// Starts with empty output.
-    pub fn new() -> JsonWriter {
-        JsonWriter::default()
-    }
-
-    fn pre_value(&mut self) {
-        if let Some(has) = self.has_elem.last_mut() {
-            if *has {
-                self.out.push(',');
-            }
-            *has = true;
-        }
-    }
-
-    /// Opens `{`.
-    pub fn begin_object(&mut self) {
-        self.pre_value();
-        self.out.push('{');
-        self.has_elem.push(false);
-    }
-
-    /// Closes `}`.
-    pub fn end_object(&mut self) {
-        self.has_elem.pop();
-        self.out.push('}');
-    }
-
-    /// Opens `[`.
-    pub fn begin_array(&mut self) {
-        self.pre_value();
-        self.out.push('[');
-        self.has_elem.push(false);
-    }
-
-    /// Closes `]`.
-    pub fn end_array(&mut self) {
-        self.has_elem.pop();
-        self.out.push(']');
-    }
-
-    /// Writes an object key (including the `:`).
-    pub fn key(&mut self, k: &str) {
-        self.pre_value();
-        escape_into(k, &mut self.out);
-        self.out.push(':');
-        // The key consumed the comma slot; its value must not add another.
-        if let Some(has) = self.has_elem.last_mut() {
-            *has = false;
-        }
-    }
-
-    /// Writes a string value.
-    pub fn string(&mut self, s: &str) {
-        self.pre_value();
-        escape_into(s, &mut self.out);
-    }
-
-    /// Writes an unsigned integer value.
-    pub fn uint(&mut self, v: u64) {
-        self.pre_value();
-        let _ = write!(self.out, "{v}");
-    }
-
-    /// Writes a float value (finite; NaN/inf serialize as 0).
-    pub fn float(&mut self, v: f64) {
-        self.pre_value();
-        if v.is_finite() {
-            let _ = write!(self.out, "{v}");
-        } else {
-            self.out.push('0');
-        }
-    }
-
-    /// Returns the finished document.
-    pub fn finish(self) -> String {
-        self.out
-    }
-}
-
-fn escape_into(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// A parsed JSON value.
-#[derive(Clone, Debug, PartialEq)]
-pub enum JsonValue {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Any number (parsed as `f64`).
-    Number(f64),
-    /// A string.
-    String(String),
-    /// An array.
-    Array(Vec<JsonValue>),
-    /// An object (key order normalized).
-    Object(BTreeMap<String, JsonValue>),
-}
-
-impl JsonValue {
-    /// Member lookup on objects.
-    pub fn get(&self, key: &str) -> Option<&JsonValue> {
-        match self {
-            JsonValue::Object(m) => m.get(key),
-            _ => None,
-        }
-    }
-
-    /// The elements, if this is an array.
-    pub fn as_array(&self) -> Option<&[JsonValue]> {
-        match self {
-            JsonValue::Array(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    /// The number, if this is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            JsonValue::Number(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The string, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            JsonValue::String(s) => Some(s),
-            _ => None,
-        }
-    }
-}
-
-/// Parses one JSON document (trailing whitespace allowed, nothing else).
-///
-/// # Errors
-///
-/// Returns a human-readable description of the first syntax error.
-pub fn parse(text: &str) -> Result<JsonValue, String> {
-    let mut p = Parser {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
-    p.skip_ws();
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing garbage at byte {}", p.pos));
-    }
-    Ok(v)
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn skip_ws(&mut self) {
-        while let Some(b) = self.bytes.get(self.pos) {
-            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected `{}` at byte {}", b as char, self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<JsonValue, String> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(JsonValue::String(self.string()?)),
-            Some(b't') => self.literal("true", JsonValue::Bool(true)),
-            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
-            Some(b'n') => self.literal("null", JsonValue::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(format!("unexpected input at byte {}", self.pos)),
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at byte {}", self.pos))
-        }
-    }
-
-    fn number(&mut self) -> Result<JsonValue, String> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while self
-            .peek()
-            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(JsonValue::Number)
-            .ok_or_else(|| format!("bad number at byte {start}"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = std::str::from_utf8(hex)
-                                .ok()
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or("bad \\u escape")?;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
-                        }
-                        _ => return Err(format!("bad escape at byte {}", self.pos)),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "invalid utf-8".to_string())?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<JsonValue, String> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(JsonValue::Object(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let value = self.value()?;
-            map.insert(key, value);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Object(map));
-                }
-                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<JsonValue, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(JsonValue::Array(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Array(items));
-                }
-                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn writer_parser_roundtrip() {
-        let mut w = JsonWriter::new();
-        w.begin_object();
-        w.key("name");
-        w.string("a \"quoted\"\nvalue");
-        w.key("n");
-        w.uint(42);
-        w.key("xs");
-        w.begin_array();
-        w.uint(1);
-        w.float(2.5);
-        w.begin_object();
-        w.key("deep");
-        w.string("yes");
-        w.end_object();
-        w.end_array();
-        w.end_object();
-        let text = w.finish();
-        let v = parse(&text).unwrap();
-        assert_eq!(
-            v.get("name").unwrap().as_str().unwrap(),
-            "a \"quoted\"\nvalue"
-        );
-        assert_eq!(v.get("n").unwrap().as_f64().unwrap(), 42.0);
-        let xs = v.get("xs").unwrap().as_array().unwrap();
-        assert_eq!(xs[1].as_f64().unwrap(), 2.5);
-        assert_eq!(xs[2].get("deep").unwrap().as_str().unwrap(), "yes");
-    }
-
-    #[test]
-    fn rejects_garbage() {
-        assert!(parse("{").is_err());
-        assert!(parse("[1,]").is_err());
-        assert!(parse("{}x").is_err());
-        assert!(parse("\"unterminated").is_err());
-    }
-}
+pub use manta_store::json::{parse, JsonValue, JsonWriter};

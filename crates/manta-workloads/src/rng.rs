@@ -16,23 +16,14 @@ pub struct ChaCha8Rng {
     cursor: usize,
 }
 
-#[inline]
-fn splitmix64(x: &mut u64) -> u64 {
-    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = *x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
 impl ChaCha8Rng {
     /// Builds the generator from a 64-bit seed (the key is expanded with
     /// SplitMix64, as `rand`'s `SeedableRng::seed_from_u64` does).
     pub fn seed_from_u64(seed: u64) -> ChaCha8Rng {
-        let mut sm = seed;
+        let mut sm = manta_store::hash::SplitMix64(seed);
         let mut key = [0u32; 8];
         for pair in key.chunks_mut(2) {
-            let w = splitmix64(&mut sm);
+            let w = sm.next();
             pair[0] = w as u32;
             pair[1] = (w >> 32) as u32;
         }

@@ -1,0 +1,938 @@
+//! Cache-aware inference: content fingerprints, result (de)serialization
+//! and the [`AnalysisCache`] wrapper over [`manta_store::Store`].
+//!
+//! ## Keying
+//!
+//! Cached inference results are keyed `(stage, content, config)`:
+//!
+//! * **content** — [`module_fingerprint`], a deterministic hash of the
+//!   module's *canonical printed text* (`print(parse(print(m))) ==
+//!   print(m)`, so two behaviorally identical modules always share a
+//!   fingerprint regardless of how they were built).
+//! * **config** — [`config_hash`], covering every [`MantaConfig`] field,
+//!   the fuel limit when one applies, and [`CODEC_VERSION`]. Thread
+//!   count is deliberately *excluded*: inference results are
+//!   bit-identical at any pool size, so a warm cache populated at one
+//!   thread count serves every other. Wall-clock deadlines are handled
+//!   by *bypassing* the cache entirely (deadline-degraded results are
+//!   nondeterministic and must never be persisted).
+//!
+//! Stale data is impossible by construction — changed inputs hash to
+//! different keys — and the per-function index maintained by
+//! [`AnalysisCache::sync_module`] adds *physical* invalidation on top:
+//! when a function's canonical text changes, the entries of every
+//! function in its bidirectional call-graph closure (the sound dirty set
+//! under global unification) are deleted, along with the stale
+//! module-level entries.
+//!
+//! ## Degradation, not failure
+//!
+//! Corrupt or version-mismatched store state never fails an inference:
+//! the entry (or the whole store, on a manifest mismatch) is discarded,
+//! a [`Degradation`] with [`DegradationKind::StoreCorruption`] is
+//! recorded, and the result is recomputed. Results computed while a
+//! fault-injection plan is active are neither served from nor written to
+//! the cache.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use manta_analysis::{ModuleAnalysis, ObjectId, VarRef};
+use manta_ir::{printer, FuncId, InstId, Type, ValueId, Width};
+use manta_resilience::{BudgetSpec, Degradation, DegradationKind};
+use manta_store::{
+    hash_str, ByteReader, ByteWriter, DecodeError, DepGraph, Fingerprint, Key, OpenOutcome, Store,
+    StoreError,
+};
+
+use crate::interval::TypeInterval;
+use crate::{ClassCounts, InferenceResult, Manta, MantaConfig, Sensitivity, Stage, VarClass};
+
+/// Version of the payload encoding in this module. Folded into every
+/// config hash, so bumping it orphans (rather than misreads) entries
+/// written by older codecs.
+pub const CODEC_VERSION: u32 = 1;
+
+/// Maximum [`Type`] nesting depth accepted by the decoder — a corrupt
+/// payload must not be able to recurse the stack away. Generous: the
+/// type lattice itself widens beyond `manta_ir::types::MAX_TYPE_DEPTH`.
+const MAX_DECODE_DEPTH: usize = 64;
+
+// ---------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------
+
+/// Deterministic content hash of a module: the hash of its canonical
+/// printed text.
+#[must_use]
+pub fn module_fingerprint(module: &manta_ir::Module) -> u64 {
+    hash_str(&printer::print_module(module))
+}
+
+/// Per-function content hashes `(name, fingerprint)`, in id order. Two
+/// functions with identical canonical text hash identically — the input
+/// to dependency-aware invalidation.
+#[must_use]
+pub fn function_fingerprints(module: &manta_ir::Module) -> Vec<(String, u64)> {
+    module
+        .functions()
+        .map(|f| {
+            (
+                f.name().to_string(),
+                hash_str(&printer::print_function_canonical(module, f)),
+            )
+        })
+        .collect()
+}
+
+/// Hash of every configuration bit that can change an inference result:
+/// the [`MantaConfig`] fields, the fuel limit (when budgeted), and
+/// [`CODEC_VERSION`]. Thread count is excluded by design (results are
+/// thread-invariant); deadline budgets bypass the cache instead of
+/// being hashed (wall-clock cutoffs are nondeterministic).
+#[must_use]
+pub fn config_hash(config: &MantaConfig, fuel: Option<u64>) -> u64 {
+    let mut h = Fingerprint::new();
+    h.write_u64(u64::from(CODEC_VERSION));
+    h.write_u64(u64::from(sensitivity_tag(config.sensitivity)));
+    h.write_usize(config.max_ctx_depth);
+    h.write_usize(config.max_visits);
+    h.write_u64(u64::from(config.strong_updates));
+    match fuel {
+        Some(f) => h.write_u64(1).write_u64(f),
+        None => h.write_u64(0),
+    };
+    h.finish()
+}
+
+fn sensitivity_tag(s: Sensitivity) -> u8 {
+    match s {
+        Sensitivity::Fi => 0,
+        Sensitivity::Fs => 1,
+        Sensitivity::FiFs => 2,
+        Sensitivity::FiCsFs => 3,
+        Sensitivity::FiFsCs => 4,
+    }
+}
+
+fn sensitivity_from_tag(tag: u8) -> Option<Sensitivity> {
+    Some(match tag {
+        0 => Sensitivity::Fi,
+        1 => Sensitivity::Fs,
+        2 => Sensitivity::FiFs,
+        3 => Sensitivity::FiCsFs,
+        4 => Sensitivity::FiFsCs,
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Payload codec
+// ---------------------------------------------------------------------
+
+fn enc_width(w: &mut ByteWriter, width: Width) {
+    w.u8(width.bits() as u8);
+}
+
+fn dec_width(r: &mut ByteReader<'_>) -> Result<Width, DecodeError> {
+    let bits = r.u8("width")?;
+    Width::from_bits(u32::from(bits)).ok_or(DecodeError {
+        context: "width",
+        offset: 0,
+    })
+}
+
+fn enc_type(w: &mut ByteWriter, t: &Type) {
+    match t {
+        Type::Top => {
+            w.u8(0);
+        }
+        Type::Bottom => {
+            w.u8(1);
+        }
+        Type::Reg(width) => {
+            w.u8(2);
+            enc_width(w, *width);
+        }
+        Type::Num(width) => {
+            w.u8(3);
+            enc_width(w, *width);
+        }
+        Type::Int(width) => {
+            w.u8(4);
+            enc_width(w, *width);
+        }
+        Type::Float => {
+            w.u8(5);
+        }
+        Type::Double => {
+            w.u8(6);
+        }
+        Type::Ptr(inner) => {
+            w.u8(7);
+            enc_type(w, inner);
+        }
+        Type::Array(elem, len) => {
+            w.u8(8);
+            enc_type(w, elem);
+            w.u64(*len);
+        }
+        Type::Object(fields) => {
+            w.u8(9);
+            w.usize(fields.len());
+            for (off, ft) in fields {
+                w.u64(*off);
+                enc_type(w, ft);
+            }
+        }
+        Type::Func(sig) => {
+            w.u8(10);
+            w.usize(sig.params.len());
+            for p in &sig.params {
+                enc_type(w, p);
+            }
+            enc_type(w, &sig.ret);
+        }
+    }
+}
+
+fn dec_type(r: &mut ByteReader<'_>, depth: usize) -> Result<Type, DecodeError> {
+    if depth > MAX_DECODE_DEPTH {
+        return Err(DecodeError {
+            context: "type depth",
+            offset: 0,
+        });
+    }
+    Ok(match r.u8("type tag")? {
+        0 => Type::Top,
+        1 => Type::Bottom,
+        2 => Type::Reg(dec_width(r)?),
+        3 => Type::Num(dec_width(r)?),
+        4 => Type::Int(dec_width(r)?),
+        5 => Type::Float,
+        6 => Type::Double,
+        7 => Type::ptr(dec_type(r, depth + 1)?),
+        8 => {
+            let elem = dec_type(r, depth + 1)?;
+            let len = r.u64("array len")?;
+            Type::Array(std::sync::Arc::new(elem), len)
+        }
+        9 => {
+            let n = r.len("object fields")?;
+            let mut fields = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let off = r.u64("field offset")?;
+                fields.push((off, dec_type(r, depth + 1)?));
+            }
+            Type::Object(fields)
+        }
+        10 => {
+            let n = r.len("func params")?;
+            let mut params = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                params.push(dec_type(r, depth + 1)?);
+            }
+            let ret = dec_type(r, depth + 1)?;
+            Type::Func(manta_ir::FuncSig::new(params, ret))
+        }
+        _ => {
+            return Err(DecodeError {
+                context: "type tag",
+                offset: 0,
+            })
+        }
+    })
+}
+
+fn enc_interval(w: &mut ByteWriter, i: &TypeInterval) {
+    enc_type(w, &i.upper);
+    enc_type(w, &i.lower);
+}
+
+fn dec_interval(r: &mut ByteReader<'_>) -> Result<TypeInterval, DecodeError> {
+    Ok(TypeInterval {
+        upper: dec_type(r, 0)?,
+        lower: dec_type(r, 0)?,
+    })
+}
+
+fn enc_varref(w: &mut ByteWriter, v: VarRef) {
+    w.u32(v.func.0).u32(v.value.0);
+}
+
+fn dec_varref(r: &mut ByteReader<'_>) -> Result<VarRef, DecodeError> {
+    Ok(VarRef {
+        func: FuncId(r.u32("varref func")?),
+        value: ValueId(r.u32("varref value")?),
+    })
+}
+
+fn class_tag(c: VarClass) -> u8 {
+    match c {
+        VarClass::Precise => 0,
+        VarClass::Over => 1,
+        VarClass::Unknown => 2,
+    }
+}
+
+fn class_from_tag(tag: u8) -> Option<VarClass> {
+    Some(match tag {
+        0 => VarClass::Precise,
+        1 => VarClass::Over,
+        2 => VarClass::Unknown,
+        _ => return None,
+    })
+}
+
+fn stage_tag(s: Stage) -> u8 {
+    match s {
+        Stage::FlowInsensitive => 0,
+        Stage::ContextRefine => 1,
+        Stage::FlowRefine => 2,
+        Stage::StandaloneFs => 3,
+    }
+}
+
+fn stage_from_tag(tag: u8) -> Option<Stage> {
+    Some(match tag {
+        0 => Stage::FlowInsensitive,
+        1 => Stage::ContextRefine,
+        2 => Stage::FlowRefine,
+        3 => Stage::StandaloneFs,
+        _ => return None,
+    })
+}
+
+fn kind_tag(k: DegradationKind) -> u8 {
+    match k {
+        DegradationKind::BudgetFuel => 0,
+        DegradationKind::BudgetDeadline => 1,
+        DegradationKind::Panic => 2,
+        DegradationKind::InjectedFault => 3,
+        DegradationKind::StoreCorruption => 4,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Option<DegradationKind> {
+    Some(match tag {
+        0 => DegradationKind::BudgetFuel,
+        1 => DegradationKind::BudgetDeadline,
+        2 => DegradationKind::Panic,
+        3 => DegradationKind::InjectedFault,
+        4 => DegradationKind::StoreCorruption,
+        _ => return None,
+    })
+}
+
+fn bad(context: &'static str) -> DecodeError {
+    DecodeError { context, offset: 0 }
+}
+
+/// Reads a `usize` that is a plain count, not a buffer-bounded length
+/// prefix (`ByteReader::len` rejects values exceeding the buffer, which
+/// is wrong for e.g. `max_visits`).
+fn dec_usize(r: &mut ByteReader<'_>, context: &'static str) -> Result<usize, DecodeError> {
+    usize::try_from(r.u64(context)?).map_err(|_| bad(context))
+}
+
+/// Serializes a full [`InferenceResult`] to bytes. Deterministic: map
+/// entries are emitted in sorted key order, so the same result always
+/// produces the same bytes (the differential tests compare payloads
+/// byte for byte across thread counts).
+#[must_use]
+pub fn encode_result(result: &InferenceResult) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(CODEC_VERSION);
+
+    let mut vars: Vec<(&VarRef, &TypeInterval)> = result.var_types.iter().collect();
+    vars.sort_by_key(|(v, _)| **v);
+    w.usize(vars.len());
+    for (v, i) in vars {
+        enc_varref(&mut w, *v);
+        enc_interval(&mut w, i);
+    }
+
+    let mut objs: Vec<(&ObjectId, &TypeInterval)> = result.obj_types.iter().collect();
+    objs.sort_by_key(|(o, _)| **o);
+    w.usize(objs.len());
+    for (o, i) in objs {
+        w.u32(o.0);
+        enc_interval(&mut w, i);
+    }
+
+    let mut sites: Vec<(&(VarRef, InstId), &TypeInterval)> = result.site_types.iter().collect();
+    sites.sort_by_key(|(k, _)| **k);
+    w.usize(sites.len());
+    for ((v, s), i) in sites {
+        enc_varref(&mut w, *v);
+        w.u32(s.0);
+        enc_interval(&mut w, i);
+    }
+
+    let mut classes: Vec<(&VarRef, &VarClass)> = result.class.iter().collect();
+    classes.sort_by_key(|(v, _)| **v);
+    w.usize(classes.len());
+    for (v, c) in classes {
+        enc_varref(&mut w, *v);
+        w.u8(class_tag(*c));
+    }
+
+    w.usize(result.stage_counts.len());
+    for (stage, counts) in &result.stage_counts {
+        w.u8(stage_tag(*stage));
+        w.usize(counts.precise)
+            .usize(counts.over)
+            .usize(counts.unknown);
+    }
+
+    w.u8(sensitivity_tag(result.config.sensitivity));
+    w.usize(result.config.max_ctx_depth);
+    w.usize(result.config.max_visits);
+    w.bool(result.config.strong_updates);
+
+    w.usize(result.degradations.len());
+    for d in &result.degradations {
+        w.str(&d.stage).str(&d.completed);
+        w.u8(kind_tag(d.kind));
+        w.str(&d.detail);
+    }
+    w.finish()
+}
+
+/// Decodes a payload written by [`encode_result`].
+///
+/// # Errors
+///
+/// Any malformed byte yields a [`DecodeError`]; the function never
+/// panics (payloads come from disk).
+pub fn decode_result(payload: &[u8]) -> Result<InferenceResult, DecodeError> {
+    let mut r = ByteReader::new(payload);
+    if r.u32("codec version")? != CODEC_VERSION {
+        return Err(bad("codec version"));
+    }
+
+    let n = r.len("var count")?;
+    let mut var_types = HashMap::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let v = dec_varref(&mut r)?;
+        var_types.insert(v, dec_interval(&mut r)?);
+    }
+
+    let n = r.len("obj count")?;
+    let mut obj_types = HashMap::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let o = ObjectId(r.u32("object id")?);
+        obj_types.insert(o, dec_interval(&mut r)?);
+    }
+
+    let n = r.len("site count")?;
+    let mut site_types = HashMap::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let v = dec_varref(&mut r)?;
+        let s = InstId(r.u32("site inst")?);
+        site_types.insert((v, s), dec_interval(&mut r)?);
+    }
+
+    let n = r.len("class count")?;
+    let mut class = HashMap::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let v = dec_varref(&mut r)?;
+        let c = class_from_tag(r.u8("class tag")?).ok_or(bad("class tag"))?;
+        class.insert(v, c);
+    }
+
+    let n = r.len("stage count")?;
+    let mut stage_counts = Vec::with_capacity(n.min(16));
+    for _ in 0..n {
+        let stage = stage_from_tag(r.u8("stage tag")?).ok_or(bad("stage tag"))?;
+        let counts = ClassCounts {
+            precise: dec_usize(&mut r, "precise")?,
+            over: dec_usize(&mut r, "over")?,
+            unknown: dec_usize(&mut r, "unknown")?,
+        };
+        stage_counts.push((stage, counts));
+    }
+
+    let config = MantaConfig {
+        sensitivity: sensitivity_from_tag(r.u8("sensitivity")?).ok_or(bad("sensitivity"))?,
+        max_ctx_depth: dec_usize(&mut r, "max_ctx_depth")?,
+        max_visits: dec_usize(&mut r, "max_visits")?,
+        strong_updates: r.bool("strong_updates")?,
+    };
+
+    let n = r.len("degradation count")?;
+    let mut degradations = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        // Constructed literally, NOT via `Degradation::record`: decoding
+        // a historical record must not bump the live degradation
+        // counter.
+        degradations.push(Degradation {
+            stage: r.str("degradation stage")?.to_string(),
+            completed: r.str("degradation completed")?.to_string(),
+            kind: kind_from_tag(r.u8("degradation kind")?).ok_or(bad("degradation kind"))?,
+            detail: r.str("degradation detail")?.to_string(),
+        });
+    }
+    r.expect_end("inference result")?;
+
+    Ok(InferenceResult {
+        var_types,
+        obj_types,
+        site_types,
+        class,
+        stage_counts,
+        config,
+        degradations,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The cache
+// ---------------------------------------------------------------------
+
+/// What [`AnalysisCache::sync_module`] found and did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ModuleSync {
+    /// Functions whose canonical text changed (or are new) since the
+    /// last sync, by name.
+    pub changed: Vec<String>,
+    /// The bidirectional call-graph closure of `changed` — every
+    /// function whose cached per-function results may be stale under
+    /// global unification.
+    pub affected: Vec<String>,
+    /// Entry files physically removed.
+    pub invalidated: usize,
+}
+
+/// A persistent analysis cache: a [`Store`] plus the Manta-side
+/// policies (keying, codec, fault-injection bypass, degradation
+/// logging, per-function dependency index).
+#[derive(Debug)]
+pub struct AnalysisCache {
+    store: Store,
+    degradations: Mutex<Vec<Degradation>>,
+}
+
+impl AnalysisCache {
+    /// Opens (or initializes) the cache in `dir`. A corrupt or
+    /// version-mismatched store is wiped and reinitialized, recording a
+    /// [`DegradationKind::StoreCorruption`] degradation instead of
+    /// failing.
+    ///
+    /// # Errors
+    ///
+    /// Only on unrecoverable filesystem failures.
+    pub fn open(dir: impl Into<std::path::PathBuf>) -> Result<AnalysisCache, StoreError> {
+        let store = Store::open(dir)?;
+        let mut degradations = Vec::new();
+        if store.open_outcome() == OpenOutcome::Recovered {
+            degradations.push(Degradation::record(
+                "store.open",
+                "recomputing",
+                DegradationKind::StoreCorruption,
+                format!(
+                    "store at {} was corrupt or another version; discarded",
+                    store.dir().display()
+                ),
+            ));
+        }
+        Ok(AnalysisCache {
+            store,
+            degradations: Mutex::new(degradations),
+        })
+    }
+
+    /// The underlying store (stats, direct entry access).
+    #[must_use]
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Drains the degradations recorded against this cache so far
+    /// (recovered-on-open, corrupt entries discarded mid-run).
+    pub fn take_degradations(&self) -> Vec<Degradation> {
+        match self.degradations.lock() {
+            Ok(mut g) => std::mem::take(&mut *g),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    fn note_degradation(&self, d: Degradation) {
+        if let Ok(mut g) = self.degradations.lock() {
+            g.push(d);
+        }
+    }
+
+    /// Copies this store's traffic counters into the telemetry registry
+    /// (under `store.*`) so `manta stats` and telemetry reports can
+    /// render them.
+    pub fn publish_telemetry(&self) {
+        let s = self.store.stats().snapshot();
+        manta_telemetry::counter_set("store.hits", s.hits);
+        manta_telemetry::counter_set("store.misses", s.misses);
+        manta_telemetry::counter_set("store.invalidations", s.invalidations);
+        manta_telemetry::counter_set("store.corrupt", s.corrupt);
+        manta_telemetry::counter_set("store.bytes_read", s.bytes_read);
+        manta_telemetry::counter_set("store.bytes_written", s.bytes_written);
+    }
+
+    /// Fetches and decodes a cached inference result. Checksum-valid but
+    /// undecodable payloads (hash collision, codec bug) are discarded
+    /// with a degradation record — never served, never panicked on.
+    fn get_result(&self, key: &Key) -> Option<InferenceResult> {
+        let payload = self.store.get(key)?;
+        match decode_result(&payload) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                self.store.invalidate(key);
+                self.note_degradation(Degradation::record(
+                    "store.decode",
+                    "recomputing",
+                    DegradationKind::StoreCorruption,
+                    format!("entry {key}: {e}"),
+                ));
+                None
+            }
+        }
+    }
+
+    /// Syncs the per-function fingerprint index against `analysis` and
+    /// performs dependency-aware invalidation: the entries of every
+    /// function in the bidirectional call-graph closure of the changed
+    /// set are removed, and module-level entries for the superseded
+    /// module fingerprint are dropped.
+    pub fn sync_module(&self, analysis: &ModuleAnalysis) -> ModuleSync {
+        let module = analysis.module();
+        let index_key = Key::new("modidx", hash_str(module.name()), 0);
+        let previous = self
+            .store
+            .get(&index_key)
+            .and_then(|p| decode_index(&p).ok());
+
+        let fingerprints = function_fingerprints(module);
+        let module_fp = module_fingerprint(module);
+
+        let mut sync = ModuleSync::default();
+        if let Some(prev) = &previous {
+            let prev_map: HashMap<&str, u64> = prev
+                .functions
+                .iter()
+                .map(|(n, f)| (n.as_str(), *f))
+                .collect();
+            let cur_map: HashMap<&str, u64> =
+                fingerprints.iter().map(|(n, f)| (n.as_str(), *f)).collect();
+
+            for (name, fp) in &fingerprints {
+                if prev_map.get(name.as_str()) != Some(fp) {
+                    sync.changed.push(name.clone());
+                }
+            }
+            // Removed functions count as changes too: their callers'
+            // summaries are stale.
+            let mut removed: Vec<&String> = prev
+                .functions
+                .iter()
+                .map(|(n, _)| n)
+                .filter(|n| !cur_map.contains_key(n.as_str()))
+                .collect();
+            removed.sort();
+
+            if !sync.changed.is_empty() || !removed.is_empty() {
+                // Bidirectional closure over the *current* call graph.
+                let ids: HashMap<&str, u32> = fingerprints
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (n, _))| (n.as_str(), i as u32))
+                    .collect();
+                let mut graph = DepGraph::new(fingerprints.len());
+                for e in analysis.callgraph.edges() {
+                    let caller = module.function(e.caller).name();
+                    let callee = module.function(e.callee).name();
+                    if let (Some(&a), Some(&b)) = (ids.get(caller), ids.get(callee)) {
+                        graph.add_dep(a, b);
+                    }
+                }
+                let mut seeds: Vec<u32> = sync
+                    .changed
+                    .iter()
+                    .filter_map(|n| ids.get(n.as_str()).copied())
+                    .collect();
+                // Callers of removed functions seed through the previous
+                // index: they are current functions whose callee set
+                // shrank, so their own text changed too in any
+                // well-formed edit; seeding `changed` already covers
+                // them, but keep removed names visible in the report.
+                seeds.sort_unstable();
+                for idx in graph.affected(&seeds) {
+                    sync.affected.push(fingerprints[idx as usize].0.clone());
+                }
+
+                // Physical invalidation: per-function entries of every
+                // affected function (old and new fingerprints), plus
+                // superseded module-level entries.
+                for name in &sync.affected {
+                    for fp in [
+                        prev_map.get(name.as_str()).copied(),
+                        cur_map.get(name.as_str()).copied(),
+                    ]
+                    .into_iter()
+                    .flatten()
+                    {
+                        sync.invalidated += self.store.invalidate_content("func", fp);
+                    }
+                }
+                for (_, fp) in removed
+                    .iter()
+                    .filter_map(|n| prev.functions.iter().find(|(pn, _)| pn == n.as_str()))
+                {
+                    sync.invalidated += self.store.invalidate_content("func", *fp);
+                }
+                if prev.module != module_fp {
+                    sync.invalidated += self.store.invalidate_content("infer", prev.module);
+                    sync.invalidated += self.store.invalidate_content("row", prev.module);
+                }
+            }
+        } else {
+            sync.changed = fingerprints.iter().map(|(n, _)| n.clone()).collect();
+            sync.affected.clone_from(&sync.changed);
+        }
+
+        let _ = self.store.put(
+            &index_key,
+            &encode_index(&FunctionIndex {
+                module: module_fp,
+                functions: fingerprints,
+            }),
+        );
+        sync
+    }
+}
+
+/// The persisted per-module function index.
+struct FunctionIndex {
+    module: u64,
+    functions: Vec<(String, u64)>,
+}
+
+fn encode_index(index: &FunctionIndex) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(CODEC_VERSION);
+    w.u64(index.module);
+    w.usize(index.functions.len());
+    for (name, fp) in &index.functions {
+        w.str(name).u64(*fp);
+    }
+    w.finish()
+}
+
+fn decode_index(payload: &[u8]) -> Result<FunctionIndex, DecodeError> {
+    let mut r = ByteReader::new(payload);
+    if r.u32("index version")? != CODEC_VERSION {
+        return Err(bad("index version"));
+    }
+    let module = r.u64("module fp")?;
+    let n = r.len("function count")?;
+    let mut functions = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let name = r.str("function name")?.to_string();
+        functions.push((name, r.u64("function fp")?));
+    }
+    r.expect_end("function index")?;
+    Ok(FunctionIndex { module, functions })
+}
+
+impl Manta {
+    /// Cache-aware [`Manta::infer`]: serves a stored result when the
+    /// `(module fingerprint, config hash)` key hits, computes and
+    /// persists otherwise. Bypasses the cache entirely while a
+    /// fault-injection plan is active.
+    pub fn infer_cached(
+        &self,
+        analysis: &ModuleAnalysis,
+        cache: &AnalysisCache,
+    ) -> InferenceResult {
+        if manta_resilience::plan_active() {
+            return self.infer(analysis);
+        }
+        let key = Key::new(
+            "infer",
+            module_fingerprint(analysis.module()),
+            config_hash(self.config(), None),
+        );
+        if let Some(hit) = cache.get_result(&key) {
+            return hit;
+        }
+        let result = self.infer(analysis);
+        let _ = cache.store.put(&key, &encode_result(&result));
+        result
+    }
+
+    /// Cache-aware [`Manta::infer_resilient`]. The fuel limit is part of
+    /// the key (fuel-degraded results are deterministic); deadline
+    /// budgets bypass the cache (wall-clock cutoffs are not), as do
+    /// active fault-injection plans. Degraded results are recomputed
+    /// rather than persisted, so a later run with the same key but a
+    /// healthier environment is never served a stale degradation.
+    pub fn infer_resilient_cached(
+        &self,
+        analysis: &ModuleAnalysis,
+        spec: &BudgetSpec,
+        cache: &AnalysisCache,
+    ) -> InferenceResult {
+        if manta_resilience::plan_active() || spec.deadline_ms.is_some() {
+            return self.infer_resilient(analysis, &spec.start());
+        }
+        let key = Key::new(
+            "infer",
+            module_fingerprint(analysis.module()),
+            config_hash(self.config(), spec.fuel),
+        );
+        if let Some(hit) = cache.get_result(&key) {
+            return hit;
+        }
+        let result = self.infer_resilient(analysis, &spec.start());
+        if !result.is_degraded() {
+            let _ = cache.store.put(&key, &encode_result(&result));
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manta_ir::{BinOp, ModuleBuilder, Width};
+
+    fn sample_module(mul: bool) -> manta_ir::Module {
+        let mut mb = ModuleBuilder::new("cached");
+        let malloc = mb.extern_fn("malloc", &[], None);
+        let (_f, mut fb) = mb.function("grab", &[Width::W64], Some(Width::W64));
+        let n = fb.param(0);
+        let n2 = if mul {
+            fb.binop(BinOp::Mul, n, n, Width::W64)
+        } else {
+            fb.binop(BinOp::Add, n, n, Width::W64)
+        };
+        let buf = fb.call_extern(malloc, &[n2], Some(Width::W64)).unwrap();
+        fb.ret(Some(buf));
+        mb.finish_function(fb);
+        let (_g, mut gb) = mb.function("leaf", &[Width::W64], None);
+        let _ = gb.param(0);
+        gb.ret(None);
+        mb.finish_function(gb);
+        mb.finish()
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("manta-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn results_identical(a: &InferenceResult, b: &InferenceResult) -> bool {
+        encode_result(a) == encode_result(b)
+    }
+
+    #[test]
+    fn result_codec_roundtrips_bit_identically() {
+        let analysis = ModuleAnalysis::build(sample_module(true));
+        for s in Sensitivity::WITH_REVERSED {
+            let r = Manta::new(MantaConfig::with_sensitivity(s)).infer(&analysis);
+            let bytes = encode_result(&r);
+            let back = decode_result(&bytes).unwrap();
+            assert!(results_identical(&r, &back), "{s:?}");
+            assert_eq!(bytes, encode_result(&back), "{s:?} re-encode");
+        }
+    }
+
+    #[test]
+    fn warm_hit_matches_cold_computation() {
+        let dir = temp_dir("warmhit");
+        let cache = AnalysisCache::open(&dir).unwrap();
+        let analysis = ModuleAnalysis::build(sample_module(true));
+        let m = Manta::new(MantaConfig::full());
+        let cold = m.infer_cached(&analysis, &cache);
+        let warm = m.infer_cached(&analysis, &cache);
+        assert!(results_identical(&cold, &warm));
+        let s = cache.store().stats().snapshot();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_changes_key_separately() {
+        let a = config_hash(&MantaConfig::full(), None);
+        let b = config_hash(&MantaConfig::with_sensitivity(Sensitivity::Fi), None);
+        let c = config_hash(&MantaConfig::full(), Some(1000));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Same inputs, same hash: keys are stable across processes.
+        assert_eq!(a, config_hash(&MantaConfig::full(), None));
+    }
+
+    #[test]
+    fn sync_module_reports_dependency_closure() {
+        let dir = temp_dir("sync");
+        let cache = AnalysisCache::open(&dir).unwrap();
+        let before = ModuleAnalysis::build(sample_module(true));
+        let first = cache.sync_module(&before);
+        assert_eq!(first.changed.len(), 2, "everything new on first sync");
+
+        // No edit: nothing changes.
+        let clean = cache.sync_module(&before);
+        assert!(clean.changed.is_empty(), "{clean:?}");
+        assert!(clean.affected.is_empty());
+
+        // Edit `grab` only: `leaf` has no call edge to it, so the
+        // affected set is exactly `grab`.
+        let after = ModuleAnalysis::build(sample_module(false));
+        let edit = cache.sync_module(&after);
+        assert_eq!(edit.changed, vec!["grab".to_string()]);
+        assert_eq!(edit.affected, vec!["grab".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn module_edit_invalidates_stale_infer_entries() {
+        let dir = temp_dir("inval");
+        let cache = AnalysisCache::open(&dir).unwrap();
+        let before = ModuleAnalysis::build(sample_module(true));
+        let m = Manta::new(MantaConfig::full());
+        cache.sync_module(&before);
+        let _ = m.infer_cached(&before, &cache);
+        assert_eq!(cache.store().len(), 2, "index + infer entry");
+
+        let after = ModuleAnalysis::build(sample_module(false));
+        let sync = cache.sync_module(&after);
+        assert!(sync.invalidated >= 1, "{sync:?}");
+        // The old infer entry is gone; a fresh one lands under a new key.
+        let warm = m.infer_cached(&after, &cache);
+        let direct = m.infer(&after);
+        assert!(results_identical(&warm, &direct));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_payload_degrades_and_recomputes() {
+        let dir = temp_dir("corrupt");
+        let cache = AnalysisCache::open(&dir).unwrap();
+        let analysis = ModuleAnalysis::build(sample_module(true));
+        let m = Manta::new(MantaConfig::full());
+        let cold = m.infer_cached(&analysis, &cache);
+
+        // Rewrite the entry with a checksum-valid but undecodable
+        // payload: the store serves it, the codec must reject it.
+        let key = Key::new(
+            "infer",
+            module_fingerprint(analysis.module()),
+            config_hash(m.config(), None),
+        );
+        cache.store().put(&key, b"not an inference result").unwrap();
+        let warm = m.infer_cached(&analysis, &cache);
+        assert!(results_identical(&cold, &warm), "recomputed, not stale");
+        let degs = cache.take_degradations();
+        assert_eq!(degs.len(), 1);
+        assert_eq!(degs[0].kind, DegradationKind::StoreCorruption);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

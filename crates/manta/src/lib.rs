@@ -50,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod classify;
 pub mod ctx_refine;
 pub mod flow_insensitive;
@@ -63,6 +64,7 @@ use std::collections::HashMap;
 use manta_analysis::{ModuleAnalysis, ObjectId, VarRef};
 use manta_ir::{InstId, Type};
 
+pub use cache::AnalysisCache;
 pub use classify::VarClass;
 pub use interval::{FirstLayer, Resolution, TypeInterval};
 pub use reveal::{Reveal, RevealMap};

@@ -1,0 +1,285 @@
+//! Robustness contracts of the persistent analysis cache.
+//!
+//! The store may *never* change an answer or take down a run: any
+//! corruption — truncation, bit flips, wrong magic, future versions,
+//! a vandalized manifest — must degrade to a recompute that yields the
+//! exact result an uncached run produces. These tests drive a 500-seed
+//! corruption fuzz over real entry files, round-trip the inference
+//! codec across every sensitivity, and pin warm-equals-cold equality
+//! across thread counts and fuel budgets.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use manta::cache::{config_hash, decode_result, encode_result};
+use manta::{AnalysisCache, Manta, MantaConfig, Sensitivity};
+use manta_analysis::ModuleAnalysis;
+use manta_eval::cached::run_suite_cached;
+use manta_resilience::BudgetSpec;
+use manta_store::hash::SplitMix64;
+use manta_workloads::generator::{generate, GenSpec};
+use manta_workloads::{PhenomenonMix, ProjectSpec};
+
+/// Serializes tests that flip the process-global pool size.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Restores the auto thread count even when an assertion panics.
+struct ThreadGuard;
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        manta_parallel::set_threads(0);
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("manta-store-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn analysis(seed: u64, functions: usize) -> ModuleAnalysis {
+    ModuleAnalysis::build(
+        generate(&GenSpec {
+            name: format!("store_it_{seed}"),
+            functions,
+            mix: PhenomenonMix::balanced(),
+            seed,
+        })
+        .module,
+    )
+}
+
+fn tiny_specs() -> Vec<ProjectSpec> {
+    ["ash", "birch", "cedar"]
+        .iter()
+        .enumerate()
+        .map(|(i, name)| ProjectSpec {
+            name: (*name).to_string(),
+            kloc: 1.0,
+            functions: 4,
+            mix: PhenomenonMix::balanced(),
+            seed: 400 + i as u64,
+        })
+        .collect()
+}
+
+/// 500 seeds of file-level vandalism: truncation, single-bit flips,
+/// wrong magic, future format versions, and manifest corruption — in
+/// every case the cache must silently recompute the exact uncached
+/// answer and never panic or serve stale bytes.
+#[test]
+fn corrupt_file_fuzz_always_recomputes_the_clean_answer() {
+    let a = analysis(0xF422, 6);
+    let manta = Manta::new(MantaConfig::full());
+    let clean = encode_result(&manta.infer(&a));
+
+    let dir = temp_dir("fuzz");
+    let mut rng = SplitMix64(0x5EED_F00D);
+    for round in 0..500 {
+        // (Re)populate: open fresh, compute once so the entry exists.
+        {
+            let cache = AnalysisCache::open(&dir).expect("open cache");
+            let r = manta.infer_cached(&a, &cache);
+            assert_eq!(encode_result(&r), clean, "round {round}: populate");
+        }
+
+        // Pick any file in the store — entries or the manifest alike.
+        let files: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .expect("store dir exists")
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_file())
+            .collect();
+        assert!(!files.is_empty(), "round {round}: store must have files");
+        let target = &files[(rng.next() % files.len() as u64) as usize];
+        let mut bytes = std::fs::read(target).expect("read target");
+
+        match rng.next() % 4 {
+            // Truncate at a random offset (possibly to zero).
+            0 => bytes.truncate((rng.next() as usize) % (bytes.len() + 1)),
+            // Flip one random bit.
+            1 => {
+                if !bytes.is_empty() {
+                    let i = (rng.next() as usize) % bytes.len();
+                    bytes[i] ^= 1 << (rng.next() % 8);
+                }
+            }
+            // Stomp the magic.
+            2 => {
+                for (i, b) in b"BADMAGIC".iter().enumerate() {
+                    if i < bytes.len() {
+                        bytes[i] = *b;
+                    }
+                }
+            }
+            // Claim a future format/codec version.
+            _ => {
+                if bytes.len() >= 12 {
+                    bytes[8] = 0xFF;
+                    bytes[11] = 0x7F;
+                }
+            }
+        }
+        std::fs::write(target, &bytes).expect("write corruption");
+
+        // Reopen and query: the only acceptable outcome is the clean
+        // answer (served from an intact entry or recomputed).
+        let cache = AnalysisCache::open(&dir).expect("open survives corruption");
+        let r = manta.infer_cached(&a, &cache);
+        assert_eq!(
+            encode_result(&r),
+            clean,
+            "round {round}: corrupting {} must not change the answer",
+            target.display()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The inference-result codec round-trips bit-identically for every
+/// sensitivity over a spread of generated programs.
+#[test]
+fn inference_payload_roundtrips_for_every_sensitivity() {
+    for seed in [1u64, 77, 4242] {
+        let a = analysis(seed, 5);
+        for sens in [
+            Sensitivity::Fi,
+            Sensitivity::Fs,
+            Sensitivity::FiFs,
+            Sensitivity::FiCsFs,
+            Sensitivity::FiFsCs,
+        ] {
+            let r = Manta::new(MantaConfig::with_sensitivity(sens)).infer(&a);
+            let bytes = encode_result(&r);
+            let back = decode_result(&bytes)
+                .unwrap_or_else(|e| panic!("seed {seed} {sens:?}: decode failed: {e}"));
+            assert_eq!(
+                encode_result(&back),
+                bytes,
+                "seed {seed} {sens:?}: re-encode must be bit-identical"
+            );
+        }
+    }
+}
+
+/// A warm suite evaluation is bit-identical to the cold run that
+/// populated the cache, at 1, 2 and 8 pool threads.
+#[test]
+fn warm_eval_is_bit_identical_to_cold_at_every_thread_count() {
+    let _l = lock();
+    let _restore = ThreadGuard;
+    let dir = temp_dir("threads");
+    let cache = AnalysisCache::open(&dir).expect("open cache");
+    let cold = run_suite_cached(
+        tiny_specs(),
+        MantaConfig::full(),
+        BudgetSpec::default(),
+        &cache,
+    );
+    assert!(cold.failures.is_empty());
+    for threads in [1usize, 2, 8] {
+        manta_parallel::set_threads(threads);
+        let warm = run_suite_cached(
+            tiny_specs(),
+            MantaConfig::full(),
+            BudgetSpec::default(),
+            &cache,
+        );
+        assert_eq!(
+            warm.skipped_builds,
+            cold.rows.len(),
+            "threads={threads}: every project must be served warm"
+        );
+        assert_eq!(
+            warm.render_rows(),
+            cold.render_rows(),
+            "threads={threads}: warm rows must match cold bit for bit"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Fuel budgets key separately from unbudgeted runs (a fuel-limited
+/// result may legitimately differ), and a generous fuel budget warms to
+/// exactly its own cold result.
+#[test]
+fn fuel_budgets_key_separately_and_warm_to_their_own_cold_result() {
+    let dir = temp_dir("fuel");
+    let cache = AnalysisCache::open(&dir).expect("open cache");
+    let plenty = BudgetSpec {
+        fuel: Some(100_000_000),
+        deadline_ms: None,
+    };
+
+    let cold_unbudgeted = run_suite_cached(
+        tiny_specs(),
+        MantaConfig::full(),
+        BudgetSpec::default(),
+        &cache,
+    );
+    // A different fuel budget is a different key: nothing is served warm.
+    let cold_fueled = run_suite_cached(tiny_specs(), MantaConfig::full(), plenty, &cache);
+    assert_eq!(
+        cold_fueled.skipped_builds, 0,
+        "a fuel budget must not reuse unbudgeted entries"
+    );
+    // But each key warms to its own cold rows.
+    let warm_fueled = run_suite_cached(tiny_specs(), MantaConfig::full(), plenty, &cache);
+    assert_eq!(warm_fueled.skipped_builds, cold_fueled.rows.len());
+    assert_eq!(warm_fueled.render_rows(), cold_fueled.render_rows());
+    // Generous fuel completes the full cascade, so the rows agree with
+    // the unbudgeted ones even though they were computed separately.
+    assert_eq!(warm_fueled.render_rows(), cold_unbudgeted.render_rows());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The config hash must not see the pool size: results are
+/// thread-invariant, so cache keys have to be too — otherwise test or
+/// CI ordering (MANTA_THREADS, a leaked `--threads`) would silently
+/// fork the cache into per-thread-count universes.
+#[test]
+fn config_hash_is_invariant_under_thread_count() {
+    let _l = lock();
+    let _restore = ThreadGuard;
+    let config = MantaConfig::full();
+    manta_parallel::set_threads(1);
+    let at_1 = config_hash(&config, None);
+    manta_parallel::set_threads(8);
+    assert_eq!(config_hash(&config, None), at_1);
+    // Fuel, by contrast, is part of the key.
+    assert_ne!(config_hash(&config, Some(7)), at_1);
+}
+
+/// Editing one function invalidates its dependents' cached entries and
+/// the next cached inference matches a from-scratch computation.
+#[test]
+fn module_edit_recomputes_exactly_the_fresh_answer() {
+    let dir = temp_dir("edit");
+    let cache = AnalysisCache::open(&dir).expect("open cache");
+    let manta = Manta::new(MantaConfig::full());
+
+    let before = analysis(0xED17, 6);
+    cache.sync_module(&before);
+    let _ = manta.infer_cached(&before, &cache);
+
+    // A different seed regenerates every function body: the sync must
+    // notice the changes and the cached path must agree with a fresh,
+    // cache-free inference of the edited module.
+    let after = analysis(0xED18, 6);
+    let sync = cache.sync_module(&after);
+    assert!(
+        !sync.changed.is_empty(),
+        "regenerated functions must be detected as changed"
+    );
+    let via_cache = manta.infer_cached(&after, &cache);
+    let fresh = manta.infer(&after);
+    assert_eq!(
+        encode_result(&via_cache),
+        encode_result(&fresh),
+        "cached inference after an edit must equal the uncached result"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
