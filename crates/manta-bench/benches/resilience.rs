@@ -14,8 +14,8 @@
 //!
 //! The estimated overhead must stay under 2% of the pipeline.
 
-use manta::{Manta, MantaConfig};
-use manta_analysis::{ModuleAnalysis, PreprocessConfig};
+use manta::{Engine, Manta, MantaConfig};
+use manta_analysis::ModuleAnalysis;
 use manta_bench::harness;
 use manta_resilience::Budget;
 use manta_workloads::{generator, PhenomenonMix};
@@ -33,9 +33,13 @@ fn pipeline_plain(spec: &generator::GenSpec) -> usize {
 
 fn pipeline_resilient(spec: &generator::GenSpec, budget: &Budget) -> usize {
     let g = generator::generate(spec);
-    let analysis = ModuleAnalysis::build_budgeted(g.module, PreprocessConfig::default(), budget)
+    let engine = Engine::new(MantaConfig::full());
+    let analysis = engine
+        .build_substrate(g.module, budget)
         .expect("unlimited budget never trips");
-    let result = Manta::new(MantaConfig::full()).infer_resilient(&analysis, budget);
+    let result = engine
+        .analyze_with_budget(&analysis, budget)
+        .expect("non-strict analyze cannot fail");
     assert!(!result.is_degraded(), "unlimited budget never degrades");
     result.final_counts().total()
 }

@@ -19,12 +19,12 @@
 //! rebuild exactly itself while the rest stay cached. A run that is fast
 //! but wrong aborts here rather than producing a green number.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use manta::{AnalysisCache, MantaConfig};
+use manta::{AnalysisCache, Engine, MantaConfig};
 use manta_bench::harness::median;
-use manta_eval::cached::run_suite_cached;
-use manta_resilience::BudgetSpec;
+use manta_eval::run_suite;
 use manta_store::json::{parse, JsonValue, JsonWriter};
 use manta_workloads::project_suite;
 
@@ -100,15 +100,18 @@ fn suite(limit: Option<usize>) -> Vec<manta_workloads::ProjectSpec> {
 fn bench_incremental(limit: Option<usize>) -> IncrementalBench {
     let dir = std::env::temp_dir().join(format!("manta-bench-incr-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let cache = AnalysisCache::open(&dir).expect("open cache");
+    let cache = Arc::new(AnalysisCache::open(&dir).expect("open cache"));
+    let engine = Engine::builder()
+        .config(MantaConfig::full())
+        .cache(cache)
+        .build()
+        .expect("prebuilt cache cannot fail to attach");
     let specs = suite(limit);
     let n = specs.len();
-    let config = MantaConfig::full();
-    let budget = BudgetSpec::default();
 
     // Cold: empty cache, every project generates, analyzes, infers.
     let start = Instant::now();
-    let cold = run_suite_cached(specs.clone(), config, budget, &cache);
+    let cold = run_suite(specs.clone(), &engine);
     let cold_ms = start.elapsed().as_secs_f64() * 1e3;
     assert!(cold.failures.is_empty(), "suite must build");
     assert_eq!(cold.skipped_builds, 0, "cold run must not hit the cache");
@@ -121,7 +124,7 @@ fn bench_incremental(limit: Option<usize>) -> IncrementalBench {
     for &threads in &WARM_THREADS {
         manta_parallel::set_threads(threads);
         let start = Instant::now();
-        let warm = run_suite_cached(specs.clone(), config, budget, &cache);
+        let warm = run_suite(specs.clone(), &engine);
         warms.push(start.elapsed().as_secs_f64() * 1e3);
         assert_eq!(warm.skipped_builds, n, "warm run must skip every build");
         assert_eq!(
@@ -137,7 +140,7 @@ fn bench_incremental(limit: Option<usize>) -> IncrementalBench {
     let mut edited = specs.clone();
     edited[0].seed ^= 0x5eed;
     let start = Instant::now();
-    let edit = run_suite_cached(edited, config, budget, &cache);
+    let edit = run_suite(edited, &engine);
     let edit_ms = start.elapsed().as_secs_f64() * 1e3;
     assert_eq!(
         edit.skipped_builds,

@@ -39,9 +39,12 @@
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
+use std::sync::Arc;
 
-use manta::{AnalysisCache, InferenceResult, Manta, MantaConfig, Sensitivity, TypeQuery, VarClass};
-use manta_analysis::{ModuleAnalysis, PreprocessConfig, VarRef};
+use manta::{
+    AnalysisCache, Engine, InferenceResult, MantaConfig, Sensitivity, TypeQuery, VarClass,
+};
+use manta_analysis::{ModuleAnalysis, VarRef};
 use manta_clients::{
     detect_bugs, indirect_call_sites, resolve_targets_manta, BugKind, CheckerConfig,
 };
@@ -230,11 +233,6 @@ impl ResilienceOpts {
             deadline_ms: self.budget_ms,
         }
     }
-
-    /// Whether the resilient pipeline variants are needed at all.
-    fn active(&self) -> bool {
-        self.fuel.is_some() || self.budget_ms.is_some() || self.strict
-    }
 }
 
 /// Strips `--fuel <N>` / `--budget-ms <N>` / `--strict` from anywhere in
@@ -273,10 +271,12 @@ impl CacheOpts {
     /// Opens the analysis cache when one is configured and not disabled.
     /// A corrupt store is wiped and reopened inside
     /// [`AnalysisCache::open`]; only hard filesystem errors surface.
-    fn open(&self) -> Result<Option<AnalysisCache>, CliError> {
+    /// The cache is shared between the module loader and the engine,
+    /// hence the [`Arc`].
+    fn open(&self) -> Result<Option<Arc<AnalysisCache>>, CliError> {
         match &self.dir {
             Some(dir) if !self.disabled => AnalysisCache::open(dir)
-                .map(Some)
+                .map(|c| Some(Arc::new(c)))
                 .map_err(|e| CliError(format!("cannot open cache {dir}: {e}"))),
             _ => Ok(None),
         }
@@ -324,22 +324,41 @@ fn extract_thread_flag(args: &[String]) -> Result<Vec<String>, CliError> {
     Ok(rest)
 }
 
-/// Builds the analysis substrate, budgeted when resilience flags are
-/// active. Returns `Ok(None)` when the substrate degraded in non-strict
-/// mode — the message is appended to `out` and the command finishes with
+/// Composes the command's engine from the parsed flags: config,
+/// budget/strict policy, and the shared cache (when one is open). The
+/// engine applies the cache policy itself — `--fuel` is part of the
+/// result key, `--budget-ms` and `--strict` bypass the cache — so the
+/// command arms stay policy-free.
+fn make_engine(
+    config: MantaConfig,
+    opts: &ResilienceOpts,
+    cache: Option<Arc<AnalysisCache>>,
+) -> Engine {
+    let mut builder = Engine::builder()
+        .config(config)
+        .budget(opts.spec())
+        .strict(opts.strict);
+    if let Some(c) = cache {
+        builder = builder.cache(c);
+    }
+    builder
+        .build()
+        .expect("engine build cannot fail without a cache directory")
+}
+
+/// Builds the analysis substrate through the engine's substrate stage.
+/// Returns `Ok(None)` when the substrate degraded in non-strict mode —
+/// the message is appended to `out` and the command finishes with
 /// whatever partial output it has.
 fn build_analysis(
+    engine: &Engine,
     module: Module,
-    opts: &ResilienceOpts,
     budget: &Budget,
     out: &mut String,
 ) -> Result<Option<ModuleAnalysis>, CliError> {
-    if !opts.active() {
-        return Ok(Some(ModuleAnalysis::build(module)));
-    }
-    match ModuleAnalysis::build_budgeted(module, PreprocessConfig::default(), budget) {
+    match engine.build_substrate(module, budget) {
         Ok(a) => Ok(Some(a)),
-        Err(e) if opts.strict => Err(CliError(format!("analysis failed: {e}"))),
+        Err(e) if engine.strict() => Err(CliError(format!("analysis failed: {e}"))),
         Err(e) => {
             // The substrate has no weaker tier to fall back to; report
             // the degradation and end the command without results.
@@ -349,45 +368,18 @@ fn build_analysis(
     }
 }
 
-/// Runs the inference cascade, resilient or strict per the flags. Any
-/// degradation records are surfaced on `out`.
-///
-/// With a cache, non-strict runs go through the cache-aware wrappers
-/// (`--fuel` is part of the key; `--budget-ms` bypasses the cache since
-/// wall-clock cutoffs are not deterministic). `--strict` always
-/// computes fresh.
+/// Runs the inference cascade through the engine, charging work to the
+/// command-wide budget. Any degradation records are surfaced on `out`;
+/// a strict engine propagates the failure as a [`CliError`] instead.
 fn run_inference(
+    engine: &Engine,
     analysis: &ModuleAnalysis,
-    config: MantaConfig,
-    opts: &ResilienceOpts,
     budget: &Budget,
-    cache: Option<&AnalysisCache>,
     out: &mut String,
 ) -> Result<InferenceResult, CliError> {
-    let m = Manta::new(config);
-    if opts.strict {
-        return m
-            .infer_strict(analysis, budget)
-            .map_err(|e| CliError(format!("inference failed: {e}")));
-    }
-    if let Some(c) = cache {
-        // Dependency-aware invalidation of entries made stale by
-        // whatever changed in this module since the last run.
-        c.sync_module(analysis);
-        let result = if opts.active() {
-            m.infer_resilient_cached(analysis, &opts.spec(), c)
-        } else {
-            m.infer_cached(analysis, c)
-        };
-        for d in &result.degradations {
-            let _ = writeln!(out, "degraded: {d}");
-        }
-        return Ok(result);
-    }
-    if !opts.active() {
-        return Ok(m.infer(analysis));
-    }
-    let result = m.infer_resilient(analysis, budget);
+    let result = engine
+        .analyze_with_budget(analysis, budget)
+        .map_err(|e| CliError(format!("inference failed: {e}")))?;
     for d in &result.degradations {
         let _ = writeln!(out, "degraded: {d}");
     }
@@ -487,18 +479,16 @@ fn run_command(
                 [_, i, flag, s] if flag == "-s" => (i, parse_sensitivity(s)?),
                 _ => return err(USAGE),
             };
-            let module = load_module_cached(Path::new(input), cache.as_ref())?;
-            let Some(analysis) = build_analysis(module, resilience, &budget, &mut out)? else {
-                return Ok(out);
-            };
-            let result = run_inference(
-                &analysis,
+            let module = load_module_cached(Path::new(input), cache.as_deref())?;
+            let engine = make_engine(
                 MantaConfig::with_sensitivity(sens),
                 resilience,
-                &budget,
-                cache.as_ref(),
-                &mut out,
-            )?;
+                cache.clone(),
+            );
+            let Some(analysis) = build_analysis(&engine, module, &budget, &mut out)? else {
+                return Ok(out);
+            };
+            let result = run_inference(&engine, &analysis, &budget, &mut out)?;
             let _ = writeln!(out, "types ({}):", sens.label());
             for func in analysis.module().functions() {
                 for (i, &p) in func.params().iter().enumerate() {
@@ -526,19 +516,13 @@ fn run_command(
                 [_, i, flag] if flag == "--no-types" => (i, false),
                 _ => return err(USAGE),
             };
-            let module = load_module_cached(Path::new(input), cache.as_ref())?;
-            let Some(analysis) = build_analysis(module, resilience, &budget, &mut out)? else {
+            let module = load_module_cached(Path::new(input), cache.as_deref())?;
+            let engine = make_engine(MantaConfig::full(), resilience, cache.clone());
+            let Some(analysis) = build_analysis(&engine, module, &budget, &mut out)? else {
                 return Ok(out);
             };
             let inference = if typed {
-                Some(run_inference(
-                    &analysis,
-                    MantaConfig::full(),
-                    resilience,
-                    &budget,
-                    cache.as_ref(),
-                    &mut out,
-                )?)
+                Some(run_inference(&engine, &analysis, &budget, &mut out)?)
             } else {
                 None
             };
@@ -560,18 +544,12 @@ fn run_command(
         }
         Some("icall") => {
             let [_, input] = args else { return err(USAGE) };
-            let module = load_module_cached(Path::new(input), cache.as_ref())?;
-            let Some(analysis) = build_analysis(module, resilience, &budget, &mut out)? else {
+            let module = load_module_cached(Path::new(input), cache.as_deref())?;
+            let engine = make_engine(MantaConfig::full(), resilience, cache.clone());
+            let Some(analysis) = build_analysis(&engine, module, &budget, &mut out)? else {
                 return Ok(out);
             };
-            let inference = run_inference(
-                &analysis,
-                MantaConfig::full(),
-                resilience,
-                &budget,
-                cache.as_ref(),
-                &mut out,
-            )?;
+            let inference = run_inference(&engine, &analysis, &budget, &mut out)?;
             let sites = indirect_call_sites(&analysis);
             if sites.is_empty() {
                 out.push_str("no indirect calls\n");
@@ -593,21 +571,15 @@ fn run_command(
         }
         Some("stats") => {
             let [_, input] = args else { return err(USAGE) };
-            let module = load_module_cached(Path::new(input), cache.as_ref())?;
+            let module = load_module_cached(Path::new(input), cache.as_deref())?;
             // Drive the whole cascade: substrate build, full-sensitivity
             // inference, every checker, and indirect-call resolution, then
             // print the per-stage cost breakdown they recorded.
-            let Some(analysis) = build_analysis(module, resilience, &budget, &mut out)? else {
+            let engine = make_engine(MantaConfig::full(), resilience, cache.clone());
+            let Some(analysis) = build_analysis(&engine, module, &budget, &mut out)? else {
                 return Ok(out);
             };
-            let inference = run_inference(
-                &analysis,
-                MantaConfig::full(),
-                resilience,
-                &budget,
-                cache.as_ref(),
-                &mut out,
-            )?;
+            let inference = run_inference(&engine, &analysis, &budget, &mut out)?;
             let q: &dyn TypeQuery = &inference;
             let (reports, _) =
                 detect_bugs(&analysis, Some(q), &BugKind::ALL, CheckerConfig::default());
@@ -942,7 +914,7 @@ func main(0) -> ret {
             ]))
             .unwrap();
             let text = fs::read_to_string(&json_path).unwrap();
-            let v = manta_telemetry::json::parse(&text).expect("valid JSON");
+            let v = manta_store::json::parse(&text).expect("valid JSON");
             assert!(!v.get("spans").unwrap().as_array().unwrap().is_empty());
             let counters = v.get("counters").unwrap();
             assert!(counters.get("unify.ops").unwrap().as_f64().unwrap() > 0.0);

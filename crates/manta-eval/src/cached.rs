@@ -9,6 +9,10 @@
 //! a miss the project runs through the normal fault-isolated loader and
 //! the freshly computed row is written back.
 //!
+//! [`run_suite`] is the one entrypoint: it takes an [`Engine`] and uses
+//! its config, budget, strictness, and attached cache (an engine
+//! without a cache evaluates everything fresh).
+//!
 //! Rows contain only deterministic quantities (scored counts, class
 //! counts, fingerprints) — never wall times — so a warm run is
 //! bit-identical to the cold run that populated it, at any thread
@@ -16,7 +20,7 @@
 //! any corrupt row entry is discarded with a
 //! [`DegradationKind::StoreCorruption`] record and recomputed.
 
-use manta::{AnalysisCache, ClassCounts, Manta, MantaConfig};
+use manta::{AnalysisCache, ClassCounts, Engine, MantaConfig};
 use manta_resilience::{BudgetSpec, Degradation, DegradationKind};
 use manta_store::{ByteReader, ByteWriter, DecodeError, Fingerprint, Key};
 use manta_workloads::ProjectSpec;
@@ -211,41 +215,89 @@ fn row_key(spec: &ProjectSpec, config: &MantaConfig, budget: BudgetSpec) -> Key 
     )
 }
 
+/// Evaluates `specs` through `engine`: unchanged projects are served
+/// from the engine's cache (when one is attached) and only the misses
+/// are generated, analyzed, and inferred.
+///
+/// Cache policy is the engine's: an active fault-injection plan, a
+/// wall-clock deadline, or a strict engine bypasses the cache entirely
+/// (results would not be deterministic), and degraded results are
+/// recomputed rather than persisted. A strict engine's inference
+/// failures land in [`CachedSuite::failures`] instead of aborting the
+/// suite.
+pub fn run_suite(specs: Vec<ProjectSpec>, engine: &Engine) -> CachedSuite {
+    run_suite_impl(specs, engine, engine.cache())
+}
+
 /// Evaluates `specs` under `config`, serving unchanged projects from
 /// `cache` and building only the misses.
-///
-/// Cache policy mirrors `Manta::infer_resilient_cached`: an active
-/// fault-injection plan or a wall-clock deadline bypasses the cache
-/// entirely (results would not be deterministic), and degraded results
-/// are recomputed rather than persisted. The number of skipped builds
-/// is also recorded on the internal [`SuiteLoad`]'s `skipped_parses`
-/// field via [`load_specs_cached`].
+#[deprecated(
+    note = "build an `Engine` with `EngineBuilder::budget` + `EngineBuilder::cache`/`cache_dir` \
+            and call `run_suite`"
+)]
 pub fn run_suite_cached(
     specs: Vec<ProjectSpec>,
     config: MantaConfig,
     budget: BudgetSpec,
     cache: &AnalysisCache,
 ) -> CachedSuite {
-    let (load, hits) = load_specs_cached(specs, budget, cache, &config);
+    let engine = Engine::builder()
+        .config(config)
+        .budget(budget)
+        .build()
+        .expect("cacheless engine build is infallible");
+    run_suite_impl(specs, &engine, Some(cache))
+}
+
+fn run_suite_impl(
+    specs: Vec<ProjectSpec>,
+    engine: &Engine,
+    cache: Option<&AnalysisCache>,
+) -> CachedSuite {
+    let config = *engine.config();
+    let budget = *engine.budget();
+    let (load, hits) = load_specs_cached(specs, budget, cache, &config, engine.strict());
     let mut suite = CachedSuite {
         skipped_builds: load.skipped_parses,
         degradations: load.degradations,
         ..CachedSuite::default()
     };
+    suite.failures = load.failures;
 
     // Score the projects that actually built, persisting their rows.
-    let manta = Manta::new(config);
-    let bypass = manta_resilience::plan_active() || budget.deadline_ms.is_some();
+    // Module sync (dependency-aware invalidation) happens inside the
+    // engine's cached path.
+    let bypass = manta_resilience::plan_active() || budget.deadline_ms.is_some() || engine.strict();
     let mut fresh: Vec<(usize, EvalRow)> = Vec::new();
     for (order, project) in &load.projects {
-        // Dependency-aware sync: drops per-function and module-level
-        // entries made stale by whatever changed in this module.
-        cache.sync_module(&project.analysis);
-        let result = manta.infer_resilient_cached(&project.analysis, &budget, cache);
+        let outcome = match cache {
+            Some(c) => engine.analyze_with_cache(&project.analysis, c),
+            None => engine.analyze(&project.analysis),
+        };
+        let result = match outcome {
+            Ok(r) => r,
+            Err(error) => {
+                // Only strict engines error; record the project and move on.
+                let degradation = Degradation::record(
+                    "eval.project",
+                    "remaining projects",
+                    DegradationKind::from_error(&error),
+                    format!("{}: {error}", project.name),
+                );
+                suite.failures.push(ProjectFailure {
+                    name: project.name.clone(),
+                    error,
+                    degradation,
+                });
+                continue;
+            }
+        };
         let row = row_for(project, &result);
         if !bypass && !result.is_degraded() {
-            if let Some((_, key)) = load.spec_keys.iter().find(|(i, _)| i == order) {
-                let _ = cache.store().put(key, &encode_row(&row));
+            if let (Some(c), Some((_, key))) =
+                (cache, load.spec_keys.iter().find(|(i, _)| i == order))
+            {
+                let _ = c.store().put(key, &encode_row(&row));
             }
         }
         fresh.push((*order, row));
@@ -256,9 +308,10 @@ pub fn run_suite_cached(
     all.extend(fresh);
     all.sort_by_key(|(i, _)| *i);
     suite.rows = all.into_iter().map(|(_, r)| r).collect();
-    suite.failures = load.failures;
-    suite.degradations.extend(cache.take_degradations());
-    cache.publish_telemetry();
+    if let Some(c) = cache {
+        suite.degradations.extend(c.take_degradations());
+        c.publish_telemetry();
+    }
     suite
 }
 
@@ -279,19 +332,23 @@ struct IndexedLoad {
 fn load_specs_cached(
     specs: Vec<ProjectSpec>,
     budget: BudgetSpec,
-    cache: &AnalysisCache,
+    cache: Option<&AnalysisCache>,
     config: &MantaConfig,
+    strict: bool,
 ) -> (IndexedLoad, Vec<(usize, EvalRow)>) {
-    let bypass = manta_resilience::plan_active() || budget.deadline_ms.is_some();
+    let bypass = manta_resilience::plan_active() || budget.deadline_ms.is_some() || strict;
     let mut hits: Vec<(usize, EvalRow)> = Vec::new();
     let mut misses: Vec<(usize, ProjectSpec)> = Vec::new();
     let mut spec_keys: Vec<(usize, Key)> = Vec::new();
     let mut degradations: Vec<Degradation> = Vec::new();
     for (i, spec) in specs.into_iter().enumerate() {
-        if bypass {
-            misses.push((i, spec));
-            continue;
-        }
+        let cache = match cache {
+            Some(c) if !bypass => c,
+            _ => {
+                misses.push((i, spec));
+                continue;
+            }
+        };
         let key = row_key(&spec, config, budget);
         match cache.store().get(&key).map(|p| decode_row(&p)) {
             Some(Ok(row)) => hits.push((i, row)),
@@ -347,6 +404,15 @@ fn load_specs_cached(
 mod tests {
     use super::*;
     use manta_workloads::PhenomenonMix;
+    use std::sync::Arc;
+
+    fn engine_for(cache: &Arc<AnalysisCache>) -> Engine {
+        Engine::builder()
+            .config(MantaConfig::full())
+            .cache(cache.clone())
+            .build()
+            .expect("prebuilt cache: build cannot fail")
+    }
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
         let d = std::env::temp_dir().join(format!("manta-evalcache-{}-{tag}", std::process::id()));
@@ -371,22 +437,13 @@ mod tests {
     #[test]
     fn warm_run_skips_builds_and_matches_cold_bit_for_bit() {
         let dir = temp_dir("warm");
-        let cache = AnalysisCache::open(&dir).unwrap();
-        let cold = run_suite_cached(
-            tiny_specs(),
-            MantaConfig::full(),
-            BudgetSpec::default(),
-            &cache,
-        );
+        let cache = Arc::new(AnalysisCache::open(&dir).unwrap());
+        let engine = engine_for(&cache);
+        let cold = run_suite(tiny_specs(), &engine);
         assert_eq!(cold.skipped_builds, 0);
         assert_eq!(cold.rows.len(), 3);
 
-        let warm = run_suite_cached(
-            tiny_specs(),
-            MantaConfig::full(),
-            BudgetSpec::default(),
-            &cache,
-        );
+        let warm = run_suite(tiny_specs(), &engine);
         assert_eq!(warm.skipped_builds, 3, "all projects must be served warm");
         assert_eq!(warm.rows, cold.rows);
         assert_eq!(warm.render_rows(), cold.render_rows());
@@ -396,17 +453,13 @@ mod tests {
     #[test]
     fn seed_edit_rebuilds_only_the_edited_project() {
         let dir = temp_dir("edit");
-        let cache = AnalysisCache::open(&dir).unwrap();
-        let cold = run_suite_cached(
-            tiny_specs(),
-            MantaConfig::full(),
-            BudgetSpec::default(),
-            &cache,
-        );
+        let cache = Arc::new(AnalysisCache::open(&dir).unwrap());
+        let engine = engine_for(&cache);
+        let cold = run_suite(tiny_specs(), &engine);
 
         let mut edited = tiny_specs();
         edited[1].seed ^= 0xffff;
-        let warm = run_suite_cached(edited, MantaConfig::full(), BudgetSpec::default(), &cache);
+        let warm = run_suite(edited, &engine);
         assert_eq!(warm.skipped_builds, 2, "only the edited spec rebuilds");
         assert_eq!(warm.rows.len(), 3);
         assert_eq!(warm.rows[0], cold.rows[0]);
@@ -418,13 +471,9 @@ mod tests {
     #[test]
     fn corrupt_row_entry_degrades_and_recomputes() {
         let dir = temp_dir("corrupt");
-        let cache = AnalysisCache::open(&dir).unwrap();
-        let cold = run_suite_cached(
-            tiny_specs(),
-            MantaConfig::full(),
-            BudgetSpec::default(),
-            &cache,
-        );
+        let cache = Arc::new(AnalysisCache::open(&dir).unwrap());
+        let engine = engine_for(&cache);
+        let cold = run_suite(tiny_specs(), &engine);
 
         // Replace one row entry with a checksum-valid but undecodable
         // payload (wrong codec bytes).
@@ -435,12 +484,7 @@ mod tests {
         );
         cache.store().put(&key, b"not a row").unwrap();
 
-        let warm = run_suite_cached(
-            tiny_specs(),
-            MantaConfig::full(),
-            BudgetSpec::default(),
-            &cache,
-        );
+        let warm = run_suite(tiny_specs(), &engine);
         assert_eq!(warm.rows, cold.rows, "recomputed row matches");
         assert!(
             warm.degradations

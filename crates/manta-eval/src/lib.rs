@@ -23,8 +23,9 @@ pub mod runner;
 pub mod table;
 
 pub use adapters::MantaTool;
-pub use cached::{run_suite_cached, spec_fingerprint, CachedSuite, EvalRow};
+pub use cached::{run_suite, spec_fingerprint, CachedSuite, EvalRow};
 pub use runner::{
-    load_coreutils, load_coreutils_checked, load_firmware, load_projects, load_projects_checked,
-    load_specs_checked, ProjectData, ProjectFailure, SuiteLoad,
+    load_coreutils, load_coreutils_checked, load_firmware, load_firmware_checked, load_projects,
+    load_projects_checked, load_specs_checked, load_suite, load_suite_checked, ProjectData,
+    ProjectFailure, Suite, SuiteLoad,
 };

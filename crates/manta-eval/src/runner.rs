@@ -15,7 +15,8 @@ use manta_resilience::{
 };
 use manta_telemetry::Counter;
 use manta_workloads::{
-    coreutils_suite, firmware_suite, generate_firmware, project_suite, GroundTruth, ProjectSpec,
+    coreutils_suite, firmware_suite, generate_firmware, project_suite, FirmwareSpec, GroundTruth,
+    ProjectSpec,
 };
 
 /// Worker threads chosen by the most recent [`build_many`]-based load.
@@ -86,44 +87,88 @@ impl SuiteLoad {
     }
 }
 
-fn build_one(name: String, kloc: f64, module: manta_ir::Module, truth: GroundTruth) -> ProjectData {
-    let start = Instant::now();
-    let (analysis, spans) = manta_telemetry::scoped(|| ModuleAnalysis::build(module));
-    let build_ms = start.elapsed().as_secs_f64() * 1e3;
-    // `scoped` yields the span forest recorded on this thread; the build
-    // wraps itself in one `analysis.build` root with a child per stage.
-    let stage_ms = spans
-        .iter()
-        .flat_map(|root| &root.children)
-        .map(|s| (s.name.clone(), s.total_ms()))
-        .collect();
-    ProjectData {
-        name,
-        kloc,
-        analysis,
-        truth,
-        build_ms,
-        stage_ms,
+/// The three generated workload suites of the evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Suite {
+    /// The 14-project suite (paper Table 3).
+    Projects,
+    /// The 104-binary coreutils-like suite.
+    Coreutils,
+    /// The nine firmware images (paper Table 5).
+    Firmware,
+}
+
+impl Suite {
+    fn units(self) -> Vec<SuiteUnit> {
+        match self {
+            Suite::Projects => project_suite()
+                .into_iter()
+                .map(SuiteUnit::Project)
+                .collect(),
+            Suite::Coreutils => coreutils_suite()
+                .into_iter()
+                .map(SuiteUnit::Project)
+                .collect(),
+            Suite::Firmware => firmware_suite()
+                .into_iter()
+                .map(SuiteUnit::Firmware)
+                .collect(),
+        }
     }
 }
 
-/// Generates and analyzes one project behind the `eval.project` isolation
+/// One buildable unit of any suite, erasing the spec type behind a
+/// uniform name / KLoC / generate surface so a single loader serves
+/// every suite.
+enum SuiteUnit {
+    Project(ProjectSpec),
+    Firmware(FirmwareSpec),
+}
+
+impl SuiteUnit {
+    fn name(&self) -> &str {
+        match self {
+            SuiteUnit::Project(s) => &s.name,
+            SuiteUnit::Firmware(s) => &s.name,
+        }
+    }
+
+    /// Firmware images carry no KLoC label (Table 5 reports image sizes
+    /// instead); they keep the historical 0.0 placeholder.
+    fn kloc(&self) -> f64 {
+        match self {
+            SuiteUnit::Project(s) => s.kloc,
+            SuiteUnit::Firmware(_) => 0.0,
+        }
+    }
+
+    fn generate(&self) -> manta_workloads::GeneratedProgram {
+        match self {
+            SuiteUnit::Project(s) => s.generate(),
+            SuiteUnit::Firmware(s) => generate_firmware(s),
+        }
+    }
+}
+
+/// Generates and analyzes one unit behind the `eval.project` isolation
 /// boundary, under a fresh budget minted from `budget`.
-fn build_one_checked(spec: ProjectSpec, budget: BudgetSpec) -> Result<ProjectData, MantaError> {
-    let name = spec.name.clone();
-    let kloc = spec.kloc;
+fn build_unit_checked(unit: &SuiteUnit, budget: BudgetSpec) -> Result<ProjectData, MantaError> {
+    let name = unit.name().to_string();
+    let kloc = unit.kloc();
     let start = Instant::now();
     let budget = budget.start();
     let (outcome, spans) = manta_telemetry::scoped(|| {
         isolate("eval.project", || {
             fault_point_keyed("eval.project", &name);
-            let generated = spec.generate();
+            let generated = unit.generate();
             ModuleAnalysis::build_budgeted(generated.module, PreprocessConfig::default(), &budget)
                 .map(|analysis| (analysis, generated.truth))
         })
     });
     let (analysis, truth) = outcome.and_then(|r| r)?;
     let build_ms = start.elapsed().as_secs_f64() * 1e3;
+    // `scoped` yields the span forest recorded on this thread; the build
+    // wraps itself in one `analysis.build` root with a child per stage.
     let stage_ms = spans
         .iter()
         .flat_map(|root| &root.children)
@@ -139,14 +184,14 @@ fn build_one_checked(spec: ProjectSpec, budget: BudgetSpec) -> Result<ProjectDat
     })
 }
 
-/// Builds `specs` in parallel, isolating each project: one project's
-/// panic or blown budget becomes a [`ProjectFailure`] while the rest of
-/// the suite still loads.
-pub fn load_specs_checked(specs: Vec<ProjectSpec>, budget: BudgetSpec) -> SuiteLoad {
+/// Builds `units` in parallel, isolating each one: a single unit's panic
+/// or blown budget becomes a [`ProjectFailure`] while the rest of the
+/// suite still loads.
+fn load_units_checked(units: Vec<SuiteUnit>, budget: BudgetSpec) -> SuiteLoad {
     PARALLELISM.set(manta_parallel::threads() as u64);
-    let slots = manta_parallel::par_map(specs, |spec| {
-        let name = spec.name.clone();
-        build_one_checked(spec, budget).map_err(|error| {
+    let slots = manta_parallel::par_map(units, |unit| {
+        build_unit_checked(&unit, budget).map_err(|error| {
+            let name = unit.name().to_string();
             let degradation = Degradation::record(
                 "eval.project",
                 "remaining projects",
@@ -171,43 +216,60 @@ pub fn load_specs_checked(specs: Vec<ProjectSpec>, budget: BudgetSpec) -> SuiteL
     load
 }
 
-fn build_many(specs: Vec<ProjectSpec>) -> Vec<ProjectData> {
-    let load = load_specs_checked(specs, BudgetSpec::default());
+/// Builds `specs` in parallel, isolating each project: one project's
+/// panic or blown budget becomes a [`ProjectFailure`] while the rest of
+/// the suite still loads.
+pub fn load_specs_checked(specs: Vec<ProjectSpec>, budget: BudgetSpec) -> SuiteLoad {
+    load_units_checked(specs.into_iter().map(SuiteUnit::Project).collect(), budget)
+}
+
+fn build_many(units: Vec<SuiteUnit>) -> Vec<ProjectData> {
+    let load = load_units_checked(units, BudgetSpec::default());
     if let Some(f) = load.failures.first() {
         panic!("project {} failed to build: {}", f.name, f.error);
     }
     load.projects
 }
 
+/// Generates and analyzes a whole suite, panicking on the first build
+/// failure (the historical all-or-nothing contract).
+pub fn load_suite(suite: Suite) -> Vec<ProjectData> {
+    build_many(suite.units())
+}
+
+/// Fault-tolerant variant of [`load_suite`].
+pub fn load_suite_checked(suite: Suite, budget: BudgetSpec) -> SuiteLoad {
+    load_units_checked(suite.units(), budget)
+}
+
 /// Generates and analyzes the 14-project suite.
 pub fn load_projects() -> Vec<ProjectData> {
-    build_many(project_suite())
+    load_suite(Suite::Projects)
 }
 
 /// Fault-tolerant variant of [`load_projects`].
 pub fn load_projects_checked(budget: BudgetSpec) -> SuiteLoad {
-    load_specs_checked(project_suite(), budget)
+    load_suite_checked(Suite::Projects, budget)
 }
 
 /// Generates and analyzes the 104-binary coreutils-like suite.
 pub fn load_coreutils() -> Vec<ProjectData> {
-    build_many(coreutils_suite())
+    load_suite(Suite::Coreutils)
 }
 
 /// Fault-tolerant variant of [`load_coreutils`].
 pub fn load_coreutils_checked(budget: BudgetSpec) -> SuiteLoad {
-    load_specs_checked(coreutils_suite(), budget)
+    load_suite_checked(Suite::Coreutils, budget)
 }
 
 /// Generates and analyzes the nine firmware images.
 pub fn load_firmware() -> Vec<ProjectData> {
-    firmware_suite()
-        .into_iter()
-        .map(|spec| {
-            let g = generate_firmware(&spec);
-            build_one(spec.name.clone(), 0.0, g.module, g.truth)
-        })
-        .collect()
+    load_suite(Suite::Firmware)
+}
+
+/// Fault-tolerant variant of [`load_firmware`].
+pub fn load_firmware_checked(budget: BudgetSpec) -> SuiteLoad {
+    load_suite_checked(Suite::Firmware, budget)
 }
 
 /// Renders the per-project, per-stage substrate cost table that replaces

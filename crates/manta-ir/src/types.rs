@@ -151,11 +151,20 @@ impl Type {
         Type::Array(Arc::new(elem), len)
     }
 
-    /// Convenience constructor for an object; sorts and deduplicates fields.
+    /// Convenience constructor for an object; sorts fields by offset and
+    /// merges duplicate offsets by meeting their types (both claims must
+    /// hold of the same field, so the result is the greatest lower
+    /// bound; contradictory claims meet to `bottom`).
     pub fn object(mut fields: Vec<(u64, Type)>) -> Type {
         fields.sort_by_key(|(off, _)| *off);
-        fields.dedup_by(|a, b| a.0 == b.0);
-        Type::Object(fields)
+        let mut merged: Vec<(u64, Type)> = Vec::with_capacity(fields.len());
+        for (off, t) in fields {
+            match merged.last_mut() {
+                Some((prev, pt)) if *prev == off => *pt = pt.meet(&t),
+                _ => merged.push((off, t)),
+            }
+        }
+        Type::Object(merged)
     }
 
     /// A pointer to `int<8>` — the conventional C string / byte pointer.
@@ -540,5 +549,36 @@ mod tests {
         assert_eq!(i64t().depth(), 0);
         assert_eq!(Type::ptr(Type::ptr(i64t())).depth(), 2);
         assert_eq!(Type::object(vec![(0, Type::ptr(i64t()))]).depth(), 2);
+    }
+
+    #[test]
+    fn object_meets_duplicate_offsets_instead_of_dropping_one() {
+        // Compatible duplicates: num64 ∧ i64 = i64, the more precise claim.
+        let t = Type::object(vec![
+            (0, Type::Num(Width::W64)),
+            (8, Type::byte_ptr()),
+            (0, i64t()),
+        ]);
+        assert_eq!(
+            t,
+            Type::Object(vec![(0, i64t()), (8, Type::byte_ptr())]),
+            "compatible duplicate offsets must meet, not keep one arbitrarily"
+        );
+
+        // Contradictory duplicates: i64 ∧ ptr(i8) = bottom — the conflict
+        // must stay visible, not silently resolve to whichever field
+        // happened to sort first.
+        let t = Type::object(vec![(0, i64t()), (0, Type::byte_ptr())]);
+        assert_eq!(t, Type::Object(vec![(0, Type::Bottom)]));
+        let t = Type::object(vec![(0, Type::byte_ptr()), (0, i64t())]);
+        assert_eq!(t, Type::Object(vec![(0, Type::Bottom)]));
+
+        // Three claims at one offset fold left through the meet.
+        let t = Type::object(vec![
+            (0, Type::Num(Width::W64)),
+            (0, Type::Reg(Width::W64)),
+            (0, i64t()),
+        ]);
+        assert_eq!(t, Type::Object(vec![(0, i64t())]));
     }
 }

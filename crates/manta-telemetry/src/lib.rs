@@ -51,7 +51,6 @@
 
 #![warn(missing_docs)]
 
-pub mod json;
 mod metrics;
 mod report;
 mod sink;

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::json::JsonWriter;
+use manta_store::json::JsonWriter;
 
 /// One aggregated span: a unique name path, its hit count and total wall
 /// time, and its child spans.

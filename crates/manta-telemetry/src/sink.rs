@@ -72,7 +72,7 @@ mod tests {
 
         let mut json = Vec::new();
         JsonSink(&mut json).emit(&report).unwrap();
-        let v = crate::json::parse(std::str::from_utf8(&json).unwrap().trim()).unwrap();
+        let v = manta_store::json::parse(std::str::from_utf8(&json).unwrap().trim()).unwrap();
         assert_eq!(
             v.get("counters").unwrap().get("k").unwrap().as_f64(),
             Some(7.0)

@@ -7,7 +7,8 @@
 
 use std::sync::Mutex;
 
-use manta_telemetry::{json, Counter, Histogram, NullSink, Report, TelemetrySink};
+use manta_store::json;
+use manta_telemetry::{Counter, Histogram, NullSink, Report, TelemetrySink};
 
 static GATE: Mutex<()> = Mutex::new(());
 

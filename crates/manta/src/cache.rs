@@ -579,7 +579,7 @@ impl AnalysisCache {
     /// Fetches and decodes a cached inference result. Checksum-valid but
     /// undecodable payloads (hash collision, codec bug) are discarded
     /// with a degradation record — never served, never panicked on.
-    fn get_result(&self, key: &Key) -> Option<InferenceResult> {
+    pub(crate) fn get_result(&self, key: &Key) -> Option<InferenceResult> {
         let payload = self.store.get(key)?;
         match decode_result(&payload) {
             Ok(r) => Some(r),
@@ -708,6 +708,14 @@ impl AnalysisCache {
     }
 }
 
+/// Whether two inference results are bit-identical under the canonical
+/// codec — the equality notion the cache (and the engine parity tests)
+/// are held to.
+#[must_use]
+pub fn results_identical(a: &InferenceResult, b: &InferenceResult) -> bool {
+    encode_result(a) == encode_result(b)
+}
+
 /// The persisted per-module function index.
 struct FunctionIndex {
     module: u64,
@@ -746,25 +754,19 @@ impl Manta {
     /// `(module fingerprint, config hash)` key hits, computes and
     /// persists otherwise. Bypasses the cache entirely while a
     /// fault-injection plan is active.
+    #[deprecated(
+        note = "build an `Engine` with a cache (`EngineBuilder::cache_dir` or \
+                `EngineBuilder::cache`) and call `Engine::analyze`"
+    )]
     pub fn infer_cached(
         &self,
         analysis: &ModuleAnalysis,
         cache: &AnalysisCache,
     ) -> InferenceResult {
-        if manta_resilience::plan_active() {
-            return self.infer(analysis);
+        match crate::Engine::new(*self.config()).analyze_with_cache(analysis, cache) {
+            Ok(r) => r,
+            Err(_) => unreachable!("non-strict engines convert failures to degradations"),
         }
-        let key = Key::new(
-            "infer",
-            module_fingerprint(analysis.module()),
-            config_hash(self.config(), None),
-        );
-        if let Some(hit) = cache.get_result(&key) {
-            return hit;
-        }
-        let result = self.infer(analysis);
-        let _ = cache.store.put(&key, &encode_result(&result));
-        result
     }
 
     /// Cache-aware [`Manta::infer_resilient`]. The fuel limit is part of
@@ -773,32 +775,31 @@ impl Manta {
     /// active fault-injection plans. Degraded results are recomputed
     /// rather than persisted, so a later run with the same key but a
     /// healthier environment is never served a stale degradation.
+    #[deprecated(
+        note = "build an `Engine` with a budget and a cache (`EngineBuilder::budget` + \
+                `EngineBuilder::cache_dir`/`cache`) and call `Engine::analyze`"
+    )]
     pub fn infer_resilient_cached(
         &self,
         analysis: &ModuleAnalysis,
         spec: &BudgetSpec,
         cache: &AnalysisCache,
     ) -> InferenceResult {
-        if manta_resilience::plan_active() || spec.deadline_ms.is_some() {
-            return self.infer_resilient(analysis, &spec.start());
+        let engine = crate::Engine {
+            config: *self.config(),
+            budget: *spec,
+            strict: false,
+            cache: None,
+        };
+        match engine.analyze_with_cache(analysis, cache) {
+            Ok(r) => r,
+            Err(_) => unreachable!("non-strict engines convert failures to degradations"),
         }
-        let key = Key::new(
-            "infer",
-            module_fingerprint(analysis.module()),
-            config_hash(self.config(), spec.fuel),
-        );
-        if let Some(hit) = cache.get_result(&key) {
-            return hit;
-        }
-        let result = self.infer_resilient(analysis, &spec.start());
-        if !result.is_degraded() {
-            let _ = cache.store.put(&key, &encode_result(&result));
-        }
-        result
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use manta_ir::{BinOp, ModuleBuilder, Width};
@@ -829,10 +830,6 @@ mod tests {
         d
     }
 
-    fn results_identical(a: &InferenceResult, b: &InferenceResult) -> bool {
-        encode_result(a) == encode_result(b)
-    }
-
     #[test]
     fn result_codec_roundtrips_bit_identically() {
         let analysis = ModuleAnalysis::build(sample_module(true));
@@ -854,8 +851,10 @@ mod tests {
         let cold = m.infer_cached(&analysis, &cache);
         let warm = m.infer_cached(&analysis, &cache);
         assert!(results_identical(&cold, &warm));
+        // Two gets per analyze: the per-module function index (synced by
+        // the engine driver) and the inference entry itself.
         let s = cache.store().stats().snapshot();
-        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!((s.hits, s.misses), (2, 2));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

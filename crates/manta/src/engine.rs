@@ -1,0 +1,875 @@
+//! The staged inference engine: one orchestration path for every way of
+//! running Manta.
+//!
+//! Four cross-cutting features (telemetry, resilience, parallelism,
+//! caching) each used to add its own `infer_*` entrypoint, leaving the
+//! driver logic — spans, budgets, panic isolation, cache keying,
+//! degradation records — re-implemented per variant. This module folds
+//! the matrix back into two pieces:
+//!
+//! * [`Stage`] — one pipeline pass (reveal, FI, CS, FS, or the whole
+//!   analysis substrate) with a name, a fault/isolation site, and a
+//!   completed-tier label. Stages know *what* to compute, nothing about
+//!   budgets, spans, faults, or caching.
+//! * [`Engine`] — the driver. Built once via [`EngineBuilder`] from a
+//!   [`MantaConfig`], a [`BudgetSpec`], a strictness flag, a thread
+//!   count, and an optional [`AnalysisCache`], it applies every
+//!   cross-cutting concern exactly once, in one loop, for every stage.
+//!
+//! [`Engine::analyze`] replaces `infer` / `infer_resilient` /
+//! `infer_strict` / `infer_cached` / `infer_resilient_cached`;
+//! [`Engine::analyze_batch`] adds whole-module scheduling across the
+//! work-stealing pool on top. The legacy entrypoints survive as thin
+//! deprecated shims over this module and are bit-identical to it (see
+//! `tests/engine_parity.rs`).
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use manta_analysis::ModuleAnalysis;
+use manta_ir::Module;
+use manta_resilience::{
+    fault_point_budgeted, isolate, plan_active, Budget, BudgetExceeded, BudgetSpec, Degradation,
+    DegradationKind, MantaError,
+};
+use manta_store::{Key, StoreError};
+
+use crate::cache::{config_hash, encode_result, module_fingerprint, AnalysisCache};
+use crate::{
+    ctx_refine, flow_insensitive, flow_refine, reveal, InferenceResult, MantaConfig, Sensitivity,
+};
+
+// ---------------------------------------------------------------------
+// Stage context
+// ---------------------------------------------------------------------
+
+/// Everything a [`Stage`] may read or write while it runs.
+///
+/// The context owns the evolving [`InferenceResult`] and the reveal map;
+/// the substrate slot lets the preprocessing stage run under the same
+/// driver even though it *produces* the [`ModuleAnalysis`] the later
+/// stages consume.
+pub struct StageCtx<'a> {
+    config: MantaConfig,
+    budget: &'a Budget,
+    substrate: SubstrateSlot<'a>,
+    reveals: Option<reveal::RevealMap>,
+    result: InferenceResult,
+}
+
+enum SubstrateSlot<'a> {
+    /// The substrate stage has not run yet; holds the raw module.
+    Pending(Option<Module>),
+    /// The caller supplied a prebuilt analysis.
+    Ready(&'a ModuleAnalysis),
+    /// The substrate stage ran and built the analysis in place.
+    Built(Box<ModuleAnalysis>),
+}
+
+impl<'a> StageCtx<'a> {
+    fn over(analysis: &'a ModuleAnalysis, config: MantaConfig, budget: &'a Budget) -> StageCtx<'a> {
+        StageCtx {
+            config,
+            budget,
+            substrate: SubstrateSlot::Ready(analysis),
+            reveals: None,
+            result: InferenceResult::empty(config),
+        }
+    }
+
+    fn pending(module: Module, config: MantaConfig, budget: &'a Budget) -> StageCtx<'a> {
+        StageCtx {
+            config,
+            budget,
+            substrate: SubstrateSlot::Pending(Some(module)),
+            reveals: None,
+            result: InferenceResult::empty(config),
+        }
+    }
+
+    /// The inference configuration in effect.
+    pub fn config(&self) -> &MantaConfig {
+        &self.config
+    }
+
+    /// The cooperative budget every stage ticks against.
+    pub fn budget(&self) -> &Budget {
+        self.budget
+    }
+
+    /// The analysis substrate (panics if the substrate stage has not
+    /// run and no prebuilt analysis was supplied).
+    pub fn analysis(&self) -> &ModuleAnalysis {
+        match &self.substrate {
+            SubstrateSlot::Ready(a) => a,
+            SubstrateSlot::Built(a) => a,
+            SubstrateSlot::Pending(_) => panic!("substrate stage has not run yet"),
+        }
+    }
+
+    /// The reveal map (panics if the reveal stage has not run).
+    pub fn reveals(&self) -> &reveal::RevealMap {
+        self.reveals.as_ref().expect("reveal stage has not run yet")
+    }
+
+    /// The evolving inference result.
+    pub fn result(&self) -> &InferenceResult {
+        &self.result
+    }
+
+    /// Mutable access for refinement stages.
+    pub fn result_mut(&mut self) -> &mut InferenceResult {
+        &mut self.result
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stages
+// ---------------------------------------------------------------------
+
+/// One pass of the pipeline, registered with the [`Engine`] driver.
+///
+/// Implementations carry no resilience or telemetry logic of their own:
+/// the driver opens the span, arms the fault point, isolates panics,
+/// snapshots the result for rollback, and records degradations — once,
+/// identically, for every stage.
+pub trait Stage: Sync {
+    /// Span name under the `infer` root (e.g. `"fi"`).
+    fn name(&self) -> &'static str;
+
+    /// Fault-injection / panic-isolation site and the `stage` label on
+    /// any [`Degradation`] this stage causes (e.g. `"infer.fi"`).
+    fn site(&self) -> &'static str;
+
+    /// The completed-tier label this stage contributes on success:
+    /// base tiers return `"FI"` / `"FS"`, refinements `"+CS"` / `"+FS"`,
+    /// stages outside the precision cascade (reveal, substrate) `None`.
+    fn tier(&self) -> Option<&'static str> {
+        None
+    }
+
+    /// Whether the driver wraps this stage in `isolate` + a budgeted
+    /// fault point. The substrate stage opts out: it guards its four
+    /// sub-passes (preprocess, callgraph, points-to, DDG) at its own
+    /// finer-grained `analysis.*` sites.
+    fn guarded(&self) -> bool {
+        true
+    }
+
+    /// Whether the driver opens a span named [`Stage::name`] around the
+    /// stage. The substrate stage opts out because it instruments
+    /// itself (`analysis.build` and children).
+    fn spanned(&self) -> bool {
+        true
+    }
+
+    /// Runs the pass, reading and writing through `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Budget exhaustion and (for the substrate) inner-stage failures
+    /// surface as [`MantaError`]; panics are caught by the driver.
+    fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), MantaError>;
+}
+
+/// Converts a blown per-stage budget into a [`MantaError`], bumping the
+/// `resilience.budget_exhausted` counter exactly once.
+fn budget_error(site: &'static str, e: BudgetExceeded) -> MantaError {
+    manta_resilience::budget_exhausted(site);
+    MantaError::Budget {
+        stage: site.to_string(),
+        kind: e.kind,
+    }
+}
+
+/// Builds the analysis substrate (preprocess → call graph → points-to →
+/// DDG) from a raw module.
+struct SubstrateStage;
+
+impl Stage for SubstrateStage {
+    fn name(&self) -> &'static str {
+        "analysis.build"
+    }
+
+    fn site(&self) -> &'static str {
+        "analysis.build"
+    }
+
+    fn guarded(&self) -> bool {
+        false
+    }
+
+    fn spanned(&self) -> bool {
+        false
+    }
+
+    fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), MantaError> {
+        let module = match &mut ctx.substrate {
+            SubstrateSlot::Pending(m) => m.take().expect("substrate stage ran twice"),
+            _ => return Ok(()),
+        };
+        let analysis = ModuleAnalysis::build_budgeted(
+            module,
+            manta_analysis::PreprocessConfig::default(),
+            ctx.budget,
+        )?;
+        ctx.substrate = SubstrateSlot::Built(Box::new(analysis));
+        Ok(())
+    }
+}
+
+/// Collects type-revealing instructions (paper §4.1, Table 1 sources).
+struct RevealStage;
+
+impl Stage for RevealStage {
+    fn name(&self) -> &'static str {
+        "reveal"
+    }
+
+    fn site(&self) -> &'static str {
+        "infer.reveal"
+    }
+
+    fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), MantaError> {
+        ctx.reveals = Some(reveal::RevealMap::collect(ctx.analysis()));
+        Ok(())
+    }
+}
+
+/// Global flow-insensitive unification — the FI base tier.
+struct FiStage;
+
+impl Stage for FiStage {
+    fn name(&self) -> &'static str {
+        "fi"
+    }
+
+    fn site(&self) -> &'static str {
+        "infer.fi"
+    }
+
+    fn tier(&self) -> Option<&'static str> {
+        Some("FI")
+    }
+
+    fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), MantaError> {
+        let mut r =
+            flow_insensitive::run_budgeted(ctx.analysis(), ctx.reveals(), ctx.config, ctx.budget)
+                .map_err(|e| budget_error(self.site(), e))?;
+        r.config = ctx.config;
+        ctx.result = r;
+        Ok(())
+    }
+}
+
+/// Standalone flow-sensitive inference — the FS base tier
+/// ([`Sensitivity::Fs`]), no global unification at all.
+struct StandaloneFsStage;
+
+impl Stage for StandaloneFsStage {
+    fn name(&self) -> &'static str {
+        "fs"
+    }
+
+    fn site(&self) -> &'static str {
+        "infer.fs"
+    }
+
+    fn tier(&self) -> Option<&'static str> {
+        Some("FS")
+    }
+
+    fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), MantaError> {
+        let mut r = flow_refine::standalone_fs_budgeted(
+            ctx.analysis(),
+            ctx.reveals(),
+            &ctx.config,
+            ctx.budget,
+        )
+        .map_err(|e| budget_error(self.site(), e))?;
+        r.config = ctx.config;
+        ctx.result = r;
+        Ok(())
+    }
+}
+
+/// Context-sensitive CFL refinement (Algorithm 1).
+struct CsStage;
+
+impl Stage for CsStage {
+    fn name(&self) -> &'static str {
+        "cs"
+    }
+
+    fn site(&self) -> &'static str {
+        "infer.cs"
+    }
+
+    fn tier(&self) -> Option<&'static str> {
+        Some("+CS")
+    }
+
+    fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), MantaError> {
+        let StageCtx {
+            config,
+            budget,
+            substrate,
+            reveals,
+            result,
+        } = ctx;
+        let analysis: &ModuleAnalysis = match &*substrate {
+            SubstrateSlot::Ready(a) => a,
+            SubstrateSlot::Built(a) => a,
+            SubstrateSlot::Pending(_) => panic!("substrate stage has not run yet"),
+        };
+        let reveals = reveals.as_ref().expect("reveal stage has not run yet");
+        ctx_refine::refine_budgeted(analysis, reveals, config, result, budget)
+            .map_err(|e| budget_error(self.site(), e))
+    }
+}
+
+/// Flow-sensitive refinement of the remaining over-approximated
+/// variables (Algorithm 2).
+struct FsRefineStage;
+
+impl Stage for FsRefineStage {
+    fn name(&self) -> &'static str {
+        "fs"
+    }
+
+    fn site(&self) -> &'static str {
+        "infer.fs"
+    }
+
+    fn tier(&self) -> Option<&'static str> {
+        Some("+FS")
+    }
+
+    fn run(&self, ctx: &mut StageCtx<'_>) -> Result<(), MantaError> {
+        let StageCtx {
+            config,
+            budget,
+            substrate,
+            reveals,
+            result,
+        } = ctx;
+        let analysis: &ModuleAnalysis = match &*substrate {
+            SubstrateSlot::Ready(a) => a,
+            SubstrateSlot::Built(a) => a,
+            SubstrateSlot::Pending(_) => panic!("substrate stage has not run yet"),
+        };
+        let reveals = reveals.as_ref().expect("reveal stage has not run yet");
+        flow_refine::refine_budgeted(analysis, reveals, config, result, budget)
+            .map_err(|e| budget_error(self.site(), e))
+    }
+}
+
+/// The inference cascade for one sensitivity, in execution order.
+///
+/// [`Sensitivity::FiFsCs`] lists FS before CS — §6.4's reversed-order
+/// ablation, the aggressive stage first.
+pub fn stages(sensitivity: Sensitivity) -> &'static [&'static dyn Stage] {
+    match sensitivity {
+        Sensitivity::Fi => &[&RevealStage, &FiStage],
+        Sensitivity::Fs => &[&RevealStage, &StandaloneFsStage],
+        Sensitivity::FiFs => &[&RevealStage, &FiStage, &FsRefineStage],
+        Sensitivity::FiCsFs => &[&RevealStage, &FiStage, &CsStage, &FsRefineStage],
+        Sensitivity::FiFsCs => &[&RevealStage, &FiStage, &FsRefineStage, &CsStage],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------
+
+/// Composes sensitivity config, budget, strictness, thread pool, cache,
+/// and telemetry into an [`Engine`].
+///
+/// ```
+/// use manta::engine::EngineBuilder;
+/// use manta::Sensitivity;
+///
+/// let engine = EngineBuilder::new()
+///     .sensitivity(Sensitivity::FiCsFs)
+///     .fuel(1_000_000)
+///     .build()
+///     .unwrap();
+/// # let _ = engine;
+/// ```
+#[derive(Default)]
+pub struct EngineBuilder {
+    config: MantaConfig,
+    budget: BudgetSpec,
+    strict: bool,
+    threads: Option<usize>,
+    telemetry: Option<bool>,
+    cache_dir: Option<PathBuf>,
+    cache: Option<Arc<AnalysisCache>>,
+}
+
+impl EngineBuilder {
+    /// Starts from the default configuration (full sensitivity is
+    /// [`MantaConfig::full`], the default config is FI-only).
+    pub fn new() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Sets the whole inference configuration.
+    #[must_use]
+    pub fn config(mut self, config: MantaConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets only the sensitivity, keeping the other config knobs.
+    #[must_use]
+    pub fn sensitivity(mut self, sensitivity: Sensitivity) -> Self {
+        self.config.sensitivity = sensitivity;
+        self
+    }
+
+    /// Sets the budget specification (fuel and/or deadline).
+    #[must_use]
+    pub fn budget(mut self, spec: BudgetSpec) -> Self {
+        self.budget = spec;
+        self
+    }
+
+    /// Caps cooperative fuel (abstract work units) per analysis.
+    #[must_use]
+    pub fn fuel(mut self, fuel: u64) -> Self {
+        self.budget.fuel = Some(fuel);
+        self
+    }
+
+    /// Caps wall-clock time per analysis, in milliseconds.
+    #[must_use]
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.budget.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Propagate the first stage failure as an error instead of
+    /// degrading gracefully (the CLI's `--strict`).
+    #[must_use]
+    pub fn strict(mut self, strict: bool) -> Self {
+        self.strict = strict;
+        self
+    }
+
+    /// Sizes the process-global work-stealing pool (0 = one worker per
+    /// core). Applied at [`EngineBuilder::build`] time.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Enables or disables telemetry collection process-wide. When not
+    /// called, the current telemetry state is left untouched.
+    #[must_use]
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = Some(enabled);
+        self
+    }
+
+    /// Opens (or initializes) a persistent [`AnalysisCache`] in `dir`
+    /// at build time.
+    #[must_use]
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Attaches an already-open cache (shared via [`Arc`]). Takes
+    /// precedence over [`EngineBuilder::cache_dir`].
+    #[must_use]
+    pub fn cache(mut self, cache: Arc<AnalysisCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Builds the engine, applying the thread-pool size and telemetry
+    /// switch and opening the cache directory if one was given.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] only when a cache directory was
+    /// requested and cannot be opened; cacheless builds are infallible.
+    pub fn build(self) -> Result<Engine, StoreError> {
+        if let Some(threads) = self.threads {
+            manta_parallel::set_threads(threads);
+        }
+        if let Some(enabled) = self.telemetry {
+            manta_telemetry::set_enabled(enabled);
+        }
+        let cache = match (self.cache, self.cache_dir) {
+            (Some(cache), _) => Some(cache),
+            (None, Some(dir)) => Some(Arc::new(AnalysisCache::open(dir)?)),
+            (None, None) => None,
+        };
+        Ok(Engine {
+            config: self.config,
+            budget: self.budget,
+            strict: self.strict,
+            cache,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+/// The single orchestration path: every analysis — plain, budgeted,
+/// strict, cached, batched, CLI- or eval-driven — runs through
+/// [`Engine::analyze`]'s driver loop.
+#[derive(Clone)]
+pub struct Engine {
+    pub(crate) config: MantaConfig,
+    pub(crate) budget: BudgetSpec,
+    pub(crate) strict: bool,
+    pub(crate) cache: Option<Arc<AnalysisCache>>,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("budget", &self.budget)
+            .field("strict", &self.strict)
+            .field("cache", &self.cache.is_some())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// An engine with the given config and everything else default:
+    /// unlimited budget, graceful degradation, no cache.
+    pub fn new(config: MantaConfig) -> Engine {
+        Engine {
+            config,
+            budget: BudgetSpec::default(),
+            strict: false,
+            cache: None,
+        }
+    }
+
+    /// Starts a builder.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The inference configuration.
+    pub fn config(&self) -> &MantaConfig {
+        &self.config
+    }
+
+    /// The budget specification new analyses start from.
+    pub fn budget(&self) -> &BudgetSpec {
+        &self.budget
+    }
+
+    /// Whether stage failures propagate as errors.
+    pub fn strict(&self) -> bool {
+        self.strict
+    }
+
+    /// The attached persistent cache, if any.
+    pub fn cache(&self) -> Option<&AnalysisCache> {
+        self.cache.as_deref()
+    }
+
+    /// Analyzes one prepared module: cache lookup (when attached and
+    /// eligible), then the staged cascade under a fresh budget.
+    ///
+    /// # Errors
+    ///
+    /// Non-strict engines never error — failures degrade and are
+    /// recorded on [`InferenceResult::degradations`]. Strict engines
+    /// propagate the first stage failure.
+    pub fn analyze(&self, analysis: &ModuleAnalysis) -> Result<InferenceResult, MantaError> {
+        self.analyze_inner(analysis, None)
+    }
+
+    /// Like [`Engine::analyze`] but charging work to an external,
+    /// possibly shared, running budget (the CLI shares one budget
+    /// across a whole command). A cache-served result consumes no
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::analyze`].
+    pub fn analyze_with_budget(
+        &self,
+        analysis: &ModuleAnalysis,
+        budget: &Budget,
+    ) -> Result<InferenceResult, MantaError> {
+        self.analyze_inner(analysis, Some(budget))
+    }
+
+    /// Like [`Engine::analyze`] but reading and writing through an
+    /// explicitly provided cache instead of the engine's own — for
+    /// callers that manage cache lifetime themselves (the eval runner's
+    /// legacy entrypoints).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::analyze`].
+    pub fn analyze_with_cache(
+        &self,
+        analysis: &ModuleAnalysis,
+        cache: &AnalysisCache,
+    ) -> Result<InferenceResult, MantaError> {
+        self.analyze_cached(analysis, cache, None)
+    }
+
+    /// Builds the analysis substrate and runs the cascade, sharing one
+    /// budget across both.
+    ///
+    /// # Errors
+    ///
+    /// Substrate failures always propagate (there is nothing to degrade
+    /// to without points-to and DDG); inference failures follow
+    /// [`Engine::analyze`] semantics.
+    pub fn analyze_module(
+        &self,
+        module: Module,
+    ) -> Result<(ModuleAnalysis, InferenceResult), MantaError> {
+        let budget = self.budget.start();
+        let analysis = self.build_substrate(module, &budget)?;
+        let result = self.analyze_with_budget(&analysis, &budget)?;
+        Ok((analysis, result))
+    }
+
+    /// Runs the substrate stage (preprocess → call graph → points-to →
+    /// DDG) under the same driver the inference stages use.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first sub-stage failure: budget exhaustion at an
+    /// `analysis.*` site or a caught panic.
+    pub fn build_substrate(
+        &self,
+        module: Module,
+        budget: &Budget,
+    ) -> Result<ModuleAnalysis, MantaError> {
+        let mut ctx = StageCtx::pending(module, self.config, budget);
+        Self::run_stage(&SubstrateStage, &mut ctx)?;
+        match ctx.substrate {
+            SubstrateSlot::Built(analysis) => Ok(*analysis),
+            _ => unreachable!("substrate stage builds the analysis or errors"),
+        }
+    }
+
+    /// Schedules whole-module analyses across the work-stealing pool,
+    /// one job per module; within a job the nested stage-level
+    /// parallelism runs inline on the worker.
+    ///
+    /// Results come back in input order, each exactly what
+    /// [`Engine::analyze`] returns for that module.
+    pub fn analyze_batch(
+        &self,
+        analyses: &[ModuleAnalysis],
+    ) -> Vec<Result<InferenceResult, MantaError>> {
+        let jobs: Vec<&ModuleAnalysis> = analyses.iter().collect();
+        manta_parallel::par_map(jobs, |analysis| self.analyze(analysis))
+    }
+
+    fn analyze_inner(
+        &self,
+        analysis: &ModuleAnalysis,
+        external: Option<&Budget>,
+    ) -> Result<InferenceResult, MantaError> {
+        match &self.cache {
+            Some(cache) => self.analyze_cached(analysis, cache, external),
+            None => self.run_uncached(analysis, external),
+        }
+    }
+
+    fn run_uncached(
+        &self,
+        analysis: &ModuleAnalysis,
+        external: Option<&Budget>,
+    ) -> Result<InferenceResult, MantaError> {
+        match external {
+            Some(budget) => self.run_pipeline(analysis, budget),
+            None => self.run_pipeline(analysis, &self.budget.start()),
+        }
+    }
+
+    /// The cache policy, applied in one place: bypass entirely under a
+    /// strict engine, an armed fault plan, or a wall-clock deadline
+    /// (faults and deadlines make results nondeterministic); otherwise
+    /// sync the per-function index, look up, and persist only
+    /// non-degraded results.
+    fn analyze_cached(
+        &self,
+        analysis: &ModuleAnalysis,
+        cache: &AnalysisCache,
+        external: Option<&Budget>,
+    ) -> Result<InferenceResult, MantaError> {
+        if self.strict || plan_active() || self.budget.deadline_ms.is_some() {
+            return self.run_uncached(analysis, external);
+        }
+        cache.sync_module(analysis);
+        let key = Key::new(
+            "infer",
+            module_fingerprint(analysis.module()),
+            config_hash(&self.config, self.budget.fuel),
+        );
+        if let Some(hit) = cache.get_result(&key) {
+            return Ok(hit);
+        }
+        let result = self.run_pipeline(analysis, &self.budget.start())?;
+        if !result.is_degraded() {
+            let _ = cache.store().put(&key, &encode_result(&result));
+        }
+        Ok(result)
+    }
+
+    /// The driver loop: every cross-cutting concern — span, fault
+    /// point, budget attribution, panic isolation, tier snapshot /
+    /// rollback, degradation record — applied once per stage.
+    fn run_pipeline(
+        &self,
+        analysis: &ModuleAnalysis,
+        budget: &Budget,
+    ) -> Result<InferenceResult, MantaError> {
+        manta_telemetry::span!("infer");
+        let mut ctx = StageCtx::over(analysis, self.config, budget);
+        let mut completed = String::from("none");
+        for stage in stages(self.config.sensitivity) {
+            // Stages mutate `ctx.result` in place but only commit after
+            // a full pass; the snapshot restores the last completed
+            // tier if the stage is cut short or panics midway.
+            let snapshot = (!self.strict).then(|| ctx.result.clone());
+            match Self::run_stage(*stage, &mut ctx) {
+                Ok(()) => {
+                    if let Some(tier) = stage.tier() {
+                        if completed == "none" {
+                            completed = tier.trim_start_matches('+').to_string();
+                        } else {
+                            completed.push_str(tier);
+                        }
+                    }
+                }
+                Err(e) => {
+                    if self.strict {
+                        return Err(e);
+                    }
+                    let kind = DegradationKind::from_error(&e);
+                    let detail = e.to_string();
+                    ctx.result = snapshot.expect("non-strict stages snapshot before running");
+                    ctx.result.degradations.push(Degradation::record(
+                        stage.site(),
+                        completed,
+                        kind,
+                        detail,
+                    ));
+                    break;
+                }
+            }
+        }
+        ctx.result.config = self.config;
+        Ok(ctx.result)
+    }
+
+    /// Runs one stage under the uniform guards.
+    fn run_stage(stage: &dyn Stage, ctx: &mut StageCtx<'_>) -> Result<(), MantaError> {
+        let _span = stage.spanned().then(|| manta_telemetry::span(stage.name()));
+        if !stage.guarded() {
+            return stage.run(ctx);
+        }
+        let site = stage.site();
+        let budget = ctx.budget;
+        isolate(site, || {
+            fault_point_budgeted(site, budget);
+            stage.run(ctx)
+        })?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::results_identical;
+    use manta_ir::{ModuleBuilder, Width};
+
+    fn module(tag: &str) -> Module {
+        let mut mb = ModuleBuilder::new(tag);
+        let malloc = mb.extern_fn("malloc", &[], None);
+        let (_f, mut fb) = mb.function("grab", &[Width::W64], Some(Width::W64));
+        let n = fb.param(0);
+        let buf = fb.call_extern(malloc, &[n], Some(Width::W64));
+        fb.ret(buf);
+        mb.finish_function(fb);
+        mb.finish()
+    }
+
+    #[test]
+    fn builder_defaults_are_unlimited_and_graceful() {
+        let engine = Engine::builder().build().expect("cacheless build");
+        assert!(engine.budget().is_unlimited());
+        assert!(!engine.strict());
+        assert!(engine.cache().is_none());
+    }
+
+    #[test]
+    fn analyze_module_builds_and_infers() {
+        let engine = Engine::new(MantaConfig::full());
+        let (analysis, result) = engine.analyze_module(module("m")).expect("analyze");
+        assert_eq!(analysis.module().name(), "m");
+        assert!(!result.is_degraded());
+        assert!(!result.var_types.is_empty());
+    }
+
+    #[test]
+    fn batch_results_match_individual_analyzes_in_order() {
+        let engine = Engine::new(MantaConfig::full());
+        let analyses: Vec<ModuleAnalysis> = ["a", "b", "c"]
+            .iter()
+            .map(|tag| ModuleAnalysis::build(module(tag)))
+            .collect();
+        let batch = engine.analyze_batch(&analyses);
+        assert_eq!(batch.len(), analyses.len());
+        for (a, b) in analyses.iter().zip(&batch) {
+            let solo = engine.analyze(a).expect("non-strict never errors");
+            let b = b.as_ref().expect("non-strict never errors");
+            assert!(results_identical(&solo, b));
+        }
+    }
+
+    #[test]
+    fn every_sensitivity_has_a_base_tier_first() {
+        for s in [
+            Sensitivity::Fi,
+            Sensitivity::Fs,
+            Sensitivity::FiFs,
+            Sensitivity::FiCsFs,
+            Sensitivity::FiFsCs,
+        ] {
+            let cascade = stages(s);
+            assert_eq!(cascade[0].site(), "infer.reveal");
+            let first_tier = cascade[1].tier().expect("base tier after reveal");
+            assert!(!first_tier.starts_with('+'), "base tier must not append");
+            for stage in &cascade[2..] {
+                assert!(stage.tier().expect("refinement tier").starts_with('+'));
+            }
+        }
+    }
+
+    #[test]
+    fn strict_zero_fuel_propagates_a_budget_error() {
+        let analysis = ModuleAnalysis::build(module("strict"));
+        let engine = Engine::builder()
+            .config(MantaConfig::full())
+            .fuel(0)
+            .strict(true)
+            .build()
+            .expect("cacheless build");
+        let err = engine.analyze(&analysis).expect_err("zero fuel must trip");
+        assert!(matches!(err, MantaError::Budget { .. }), "got {err:?}");
+    }
+}

@@ -53,6 +53,7 @@
 pub mod cache;
 pub mod classify;
 pub mod ctx_refine;
+pub mod engine;
 pub mod flow_insensitive;
 pub mod flow_refine;
 pub mod interval;
@@ -66,6 +67,7 @@ use manta_ir::{InstId, Type};
 
 pub use cache::AnalysisCache;
 pub use classify::VarClass;
+pub use engine::{Engine, EngineBuilder};
 pub use interval::{FirstLayer, Resolution, TypeInterval};
 pub use reveal::{Reveal, RevealMap};
 pub use unify::UnionFind;
@@ -383,50 +385,14 @@ impl Manta {
         &self.config
     }
 
-    /// Runs the configured stage cascade over a prepared [`ModuleAnalysis`].
+    /// Runs the configured stage cascade over a prepared [`ModuleAnalysis`]
+    /// — one-shot sugar over [`Engine::analyze`] with an unlimited budget
+    /// and no cache.
     pub fn infer(&self, analysis: &ModuleAnalysis) -> InferenceResult {
-        manta_telemetry::span!("infer");
-        let reveals = {
-            manta_telemetry::span!("reveal");
-            reveal::RevealMap::collect(analysis)
-        };
-        let mut result = match self.config.sensitivity {
-            Sensitivity::Fs => {
-                // Standalone flow-sensitive: no global unification at all.
-                manta_telemetry::span!("fs");
-                flow_refine::standalone_fs(analysis, &reveals, &self.config)
-            }
-            _ => {
-                manta_telemetry::span!("fi");
-                flow_insensitive::run(analysis, &reveals, self.config)
-            }
-        };
-        result.config = self.config;
-
-        let cs = |result: &mut InferenceResult| {
-            manta_telemetry::span!("cs");
-            ctx_refine::refine(analysis, &reveals, &self.config, result);
-        };
-        let fs = |result: &mut InferenceResult| {
-            manta_telemetry::span!("fs");
-            flow_refine::refine(analysis, &reveals, &self.config, result);
-        };
-        match self.config.sensitivity {
-            Sensitivity::Fi | Sensitivity::Fs => {}
-            Sensitivity::FiFs => {
-                fs(&mut result);
-            }
-            Sensitivity::FiCsFs => {
-                cs(&mut result);
-                fs(&mut result);
-            }
-            Sensitivity::FiFsCs => {
-                // §6.4 reversed order: the aggressive stage first.
-                fs(&mut result);
-                cs(&mut result);
-            }
+        match Engine::new(self.config).analyze(analysis) {
+            Ok(r) => r,
+            Err(_) => unreachable!("non-strict engines convert failures to degradations"),
         }
-        result
     }
 
     /// Runs the cascade under a cooperative budget with per-stage panic
@@ -439,14 +405,18 @@ impl Manta {
     /// stops there. When the base stage itself fails, an empty result
     /// carrying the degradation record is returned. This method never
     /// panics on stage failure and never returns an error.
+    #[deprecated(
+        note = "build an `Engine` (`EngineBuilder::budget`) and call `Engine::analyze`, or \
+                `Engine::analyze_with_budget` to share a running budget"
+    )]
     pub fn infer_resilient(
         &self,
         analysis: &ModuleAnalysis,
         budget: &manta_resilience::Budget,
     ) -> InferenceResult {
-        match self.infer_inner(analysis, budget, false) {
+        match Engine::new(self.config).analyze_with_budget(analysis, budget) {
             Ok(r) => r,
-            Err(_) => unreachable!("non-strict inference converts failures to degradations"),
+            Err(_) => unreachable!("non-strict engines convert failures to degradations"),
         }
     }
 
@@ -458,176 +428,27 @@ impl Manta {
     /// Returns [`manta_resilience::MantaError::Budget`] when `budget`
     /// trips and [`manta_resilience::MantaError::Panic`] when a stage
     /// panics.
+    #[deprecated(
+        note = "build an `Engine` with `EngineBuilder::strict(true)` and call \
+                `Engine::analyze` or `Engine::analyze_with_budget`"
+    )]
     pub fn infer_strict(
         &self,
         analysis: &ModuleAnalysis,
         budget: &manta_resilience::Budget,
     ) -> Result<InferenceResult, manta_resilience::MantaError> {
-        self.infer_inner(analysis, budget, true)
-    }
-
-    fn infer_inner(
-        &self,
-        analysis: &ModuleAnalysis,
-        budget: &manta_resilience::Budget,
-        strict: bool,
-    ) -> Result<InferenceResult, manta_resilience::MantaError> {
-        use manta_resilience::{
-            fault_point_budgeted, isolate, BudgetExceeded, Degradation, DegradationKind, MantaError,
+        let engine = Engine {
+            config: self.config,
+            budget: manta_resilience::BudgetSpec::default(),
+            strict: true,
+            cache: None,
         };
-
-        /// Collapses the two failure layers (caught panic, blown budget)
-        /// of one isolated stage into a single error.
-        fn flatten<T>(
-            site: &'static str,
-            r: Result<Result<T, BudgetExceeded>, MantaError>,
-        ) -> Result<T, MantaError> {
-            match r {
-                Ok(Ok(t)) => Ok(t),
-                Ok(Err(e)) => {
-                    manta_resilience::budget_exhausted(site);
-                    Err(MantaError::Budget {
-                        stage: site.to_string(),
-                        kind: e.kind,
-                    })
-                }
-                Err(e) => Err(e),
-            }
-        }
-
-        let kind_of = DegradationKind::from_error;
-
-        manta_telemetry::span!("infer");
-        let reveals = {
-            manta_telemetry::span!("reveal");
-            match isolate("infer.reveal", || reveal::RevealMap::collect(analysis)) {
-                Ok(r) => r,
-                Err(e) => {
-                    if strict {
-                        return Err(e);
-                    }
-                    let mut r = InferenceResult::empty(self.config);
-                    r.degradations.push(Degradation::record(
-                        "infer.reveal",
-                        "none",
-                        kind_of(&e),
-                        e.to_string(),
-                    ));
-                    return Ok(r);
-                }
-            }
-        };
-
-        let base_site: &'static str = match self.config.sensitivity {
-            Sensitivity::Fs => "infer.fs",
-            _ => "infer.fi",
-        };
-        let base = isolate(base_site, || {
-            fault_point_budgeted(base_site, budget);
-            match self.config.sensitivity {
-                Sensitivity::Fs => {
-                    manta_telemetry::span!("fs");
-                    flow_refine::standalone_fs_budgeted(analysis, &reveals, &self.config, budget)
-                }
-                _ => {
-                    manta_telemetry::span!("fi");
-                    flow_insensitive::run_budgeted(analysis, &reveals, self.config, budget)
-                }
-            }
-        });
-        let mut result = match flatten(base_site, base) {
-            Ok(r) => r,
-            Err(e) => {
-                if strict {
-                    return Err(e);
-                }
-                let mut r = InferenceResult::empty(self.config);
-                r.degradations.push(Degradation::record(
-                    base_site,
-                    "none",
-                    kind_of(&e),
-                    e.to_string(),
-                ));
-                return Ok(r);
-            }
-        };
-        result.config = self.config;
-
-        enum Refine {
-            Cs,
-            Fs,
-        }
-        let order: &[Refine] = match self.config.sensitivity {
-            Sensitivity::Fi | Sensitivity::Fs => &[],
-            Sensitivity::FiFs => &[Refine::Fs],
-            Sensitivity::FiCsFs => &[Refine::Cs, Refine::Fs],
-            // §6.4 reversed order: the aggressive stage first.
-            Sensitivity::FiFsCs => &[Refine::Fs, Refine::Cs],
-        };
-        let mut completed = String::from(match self.config.sensitivity {
-            Sensitivity::Fs => "FS",
-            _ => "FI",
-        });
-        for stage in order {
-            let site: &'static str = match stage {
-                Refine::Cs => "infer.cs",
-                Refine::Fs => "infer.fs",
-            };
-            // Refinements mutate `result` in place but only commit their
-            // updates after a full pass; the snapshot restores the last
-            // completed tier if the stage is cut short or panics midway.
-            let snapshot = result.clone();
-            let outcome = isolate(site, || {
-                fault_point_budgeted(site, budget);
-                match stage {
-                    Refine::Cs => {
-                        manta_telemetry::span!("cs");
-                        ctx_refine::refine_budgeted(
-                            analysis,
-                            &reveals,
-                            &self.config,
-                            &mut result,
-                            budget,
-                        )
-                    }
-                    Refine::Fs => {
-                        manta_telemetry::span!("fs");
-                        flow_refine::refine_budgeted(
-                            analysis,
-                            &reveals,
-                            &self.config,
-                            &mut result,
-                            budget,
-                        )
-                    }
-                }
-            });
-            match flatten(site, outcome) {
-                Ok(()) => {
-                    completed.push_str(match stage {
-                        Refine::Cs => "+CS",
-                        Refine::Fs => "+FS",
-                    });
-                }
-                Err(e) => {
-                    if strict {
-                        return Err(e);
-                    }
-                    let kind = kind_of(&e);
-                    let detail = e.to_string();
-                    result = snapshot;
-                    result
-                        .degradations
-                        .push(Degradation::record(site, completed, kind, detail));
-                    break;
-                }
-            }
-        }
-        Ok(result)
+        engine.analyze_with_budget(analysis, budget)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod resilience_tests {
     use super::*;
     use manta_ir::{BinOp, ModuleBuilder, Width};

@@ -5,9 +5,10 @@
 //! cargo run --example quickstart
 //! ```
 
-use manta::{Manta, MantaConfig, Sensitivity, VarClass};
-use manta_analysis::{ModuleAnalysis, VarRef};
+use manta::{Engine, Sensitivity, VarClass};
+use manta_analysis::VarRef;
 use manta_ir::{ModuleBuilder, Width};
+use manta_resilience::Budget;
 
 fn main() {
     // A stripped module: `grab(n)` allocates, `banner(s)` prints, and a
@@ -49,12 +50,24 @@ fn main() {
         manta_ir::printer::print_module(&module)
     );
 
-    // Substrate pipeline: preprocessing, points-to, DDG.
-    let analysis = ModuleAnalysis::build(module);
+    // Substrate pipeline: preprocessing, points-to, DDG — the engine's
+    // first stage, reusable across sensitivities.
+    let analysis = Engine::builder()
+        .sensitivity(Sensitivity::FiCsFs)
+        .build()
+        .expect("a cacheless engine cannot fail to build")
+        .build_substrate(module, &Budget::unlimited())
+        .expect("an unlimited substrate build cannot fail");
 
     // Compare flow-insensitive inference against the full hybrid cascade.
     for s in [Sensitivity::Fi, Sensitivity::FiCsFs] {
-        let result = Manta::new(MantaConfig::with_sensitivity(s)).infer(&analysis);
+        let engine = Engine::builder()
+            .sensitivity(s)
+            .build()
+            .expect("a cacheless engine cannot fail to build");
+        let result = engine
+            .analyze(&analysis)
+            .expect("a non-strict engine cannot fail");
         println!("--- {} ---", s.label());
         for func in analysis.module().functions() {
             for (i, &p) in func.params().iter().enumerate() {

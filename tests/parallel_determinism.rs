@@ -110,16 +110,20 @@ fn infer_is_bit_identical_across_thread_counts() {
 fn budget_exhaustion_degrades_identically_under_the_pool() {
     let _l = lock();
     let analysis = program(12, 0xB0D6);
-    let manta = Manta::new(MantaConfig::full());
+    let engine = manta::Engine::new(MantaConfig::full());
     // Sweep fuel levels so exhaustion lands in different stages; each
     // level must cut the cascade at the same tier regardless of the
     // thread count, with the surviving maps bit-identical.
     for fuel in [0, 60, 600, 6_000, 60_000] {
         let serial = with_threads(1, || {
-            manta.infer_resilient(&analysis, &Budget::with_fuel(fuel))
+            engine
+                .analyze_with_budget(&analysis, &Budget::with_fuel(fuel))
+                .expect("non-strict analyze cannot fail")
         });
         let pooled = with_threads(4, || {
-            manta.infer_resilient(&analysis, &Budget::with_fuel(fuel))
+            engine
+                .analyze_with_budget(&analysis, &Budget::with_fuel(fuel))
+                .expect("non-strict analyze cannot fail")
         });
         let tiers = |r: &InferenceResult| {
             r.degradations

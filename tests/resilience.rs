@@ -18,7 +18,7 @@
 
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-use manta::{Manta, MantaConfig, Sensitivity};
+use manta::{Engine, Manta, MantaConfig, Sensitivity};
 use manta_analysis::{ModuleAnalysis, PreprocessConfig};
 use manta_ir::parser::{parse_module, parse_module_recovering};
 use manta_ir::printer::print_module;
@@ -162,7 +162,9 @@ fn drive(rng: &mut ChaCha8Rng, text: &str) -> &'static str {
             Ok(a) => a,
             Err(_) => return "analysis-degraded",
         };
-    let result = Manta::new(MantaConfig::full()).infer_resilient(&analysis, &budget);
+    let result = Engine::new(MantaConfig::full())
+        .analyze_with_budget(&analysis, &budget)
+        .expect("non-strict analyze cannot fail");
     if result.is_degraded() {
         "inference-degraded"
     } else {
@@ -235,14 +237,16 @@ fn injected_faults_in_every_analysis_stage_surface_as_structured_errors() {
 fn injected_faults_in_refinement_keep_the_last_completed_tier() {
     let _l = lock();
     let analysis = ModuleAnalysis::build(fuzz_program().module);
-    let manta = Manta::new(MantaConfig::full());
+    let engine = Engine::new(MantaConfig::full());
     let fi_baseline = Manta::new(MantaConfig::with_sensitivity(Sensitivity::Fi)).infer(&analysis);
     for (site, completed) in [("infer.cs", "FI"), ("infer.fs", "FI+CS")] {
         for fault in [Fault::Panic, Fault::ExhaustBudget] {
             let _guard = FaultPlan::new()
                 .arm(site, fault, FaultArming::Always)
                 .install();
-            let result = manta.infer_resilient(&analysis, &Budget::unlimited());
+            let result = engine
+                .analyze_with_budget(&analysis, &Budget::unlimited())
+                .expect("non-strict analyze cannot fail");
             assert_eq!(result.degradations.len(), 1, "{site}/{fault:?}");
             let d = &result.degradations[0];
             assert_eq!(d.stage, site);
@@ -268,12 +272,14 @@ fn injected_faults_in_refinement_keep_the_last_completed_tier() {
 fn injected_fault_in_the_base_stage_yields_an_empty_degraded_result() {
     let _l = lock();
     let analysis = ModuleAnalysis::build(fuzz_program().module);
-    let manta = Manta::new(MantaConfig::full());
+    let engine = Engine::new(MantaConfig::full());
     for fault in [Fault::Panic, Fault::ExhaustBudget] {
         let _guard = FaultPlan::new()
             .arm("infer.fi", fault, FaultArming::Always)
             .install();
-        let result = manta.infer_resilient(&analysis, &Budget::unlimited());
+        let result = engine
+            .analyze_with_budget(&analysis, &Budget::unlimited())
+            .expect("non-strict analyze cannot fail");
         assert_eq!(result.degradations.len(), 1, "{fault:?}");
         assert_eq!(result.degradations[0].stage, "infer.fi");
         assert_eq!(result.degradations[0].completed, "none");
@@ -286,12 +292,16 @@ fn injected_fault_in_the_base_stage_yields_an_empty_degraded_result() {
 fn strict_mode_propagates_an_injected_fault_as_an_error() {
     let _l = lock();
     let analysis = ModuleAnalysis::build(fuzz_program().module);
-    let manta = Manta::new(MantaConfig::full());
+    let engine = Engine::builder()
+        .config(MantaConfig::full())
+        .strict(true)
+        .build()
+        .expect("cacheless engine cannot fail to build");
     let _guard = FaultPlan::new()
         .arm("infer.cs", Fault::Panic, FaultArming::Always)
         .install();
-    let err = manta
-        .infer_strict(&analysis, &Budget::unlimited())
+    let err = engine
+        .analyze_with_budget(&analysis, &Budget::unlimited())
         .expect_err("strict mode must not degrade");
     match err {
         MantaError::Panic { stage, .. } => assert_eq!(stage, "infer.cs"),
@@ -340,15 +350,19 @@ fn degradations_and_caught_panics_reach_the_telemetry_counters() {
     manta_telemetry::set_enabled(true);
     manta_telemetry::reset();
     let analysis = ModuleAnalysis::build(fuzz_program().module);
-    let manta = Manta::new(MantaConfig::full());
+    let engine = Engine::new(MantaConfig::full());
     {
         let _guard = FaultPlan::new()
             .arm("infer.cs", Fault::Panic, FaultArming::Always)
             .install();
-        let r = manta.infer_resilient(&analysis, &Budget::unlimited());
+        let r = engine
+            .analyze_with_budget(&analysis, &Budget::unlimited())
+            .expect("non-strict analyze cannot fail");
         assert!(r.is_degraded());
     }
-    let r = manta.infer_resilient(&analysis, &Budget::with_fuel(0));
+    let r = engine
+        .analyze_with_budget(&analysis, &Budget::with_fuel(0))
+        .expect("non-strict analyze cannot fail");
     assert!(r.is_degraded());
     let report = manta_telemetry::report();
     let count = |name: &str| report.counters.get(name).copied().unwrap_or(0);

@@ -9,12 +9,12 @@
 //! across thread counts and fuel budgets.
 
 use std::path::PathBuf;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use manta::cache::{config_hash, decode_result, encode_result};
-use manta::{AnalysisCache, Manta, MantaConfig, Sensitivity};
+use manta::{AnalysisCache, Engine, Manta, MantaConfig, Sensitivity};
 use manta_analysis::ModuleAnalysis;
-use manta_eval::cached::run_suite_cached;
+use manta_eval::run_suite;
 use manta_resilience::BudgetSpec;
 use manta_store::hash::SplitMix64;
 use manta_workloads::generator::{generate, GenSpec};
@@ -74,8 +74,8 @@ fn tiny_specs() -> Vec<ProjectSpec> {
 #[test]
 fn corrupt_file_fuzz_always_recomputes_the_clean_answer() {
     let a = analysis(0xF422, 6);
-    let manta = Manta::new(MantaConfig::full());
-    let clean = encode_result(&manta.infer(&a));
+    let engine = Engine::new(MantaConfig::full());
+    let clean = encode_result(&engine.analyze(&a).expect("non-strict analyze cannot fail"));
 
     let dir = temp_dir("fuzz");
     let mut rng = SplitMix64(0x5EED_F00D);
@@ -83,7 +83,9 @@ fn corrupt_file_fuzz_always_recomputes_the_clean_answer() {
         // (Re)populate: open fresh, compute once so the entry exists.
         {
             let cache = AnalysisCache::open(&dir).expect("open cache");
-            let r = manta.infer_cached(&a, &cache);
+            let r = engine
+                .analyze_with_cache(&a, &cache)
+                .expect("non-strict analyze cannot fail");
             assert_eq!(encode_result(&r), clean, "round {round}: populate");
         }
 
@@ -128,7 +130,9 @@ fn corrupt_file_fuzz_always_recomputes_the_clean_answer() {
         // Reopen and query: the only acceptable outcome is the clean
         // answer (served from an intact entry or recomputed).
         let cache = AnalysisCache::open(&dir).expect("open survives corruption");
-        let r = manta.infer_cached(&a, &cache);
+        let r = engine
+            .analyze_with_cache(&a, &cache)
+            .expect("non-strict analyze cannot fail");
         assert_eq!(
             encode_result(&r),
             clean,
@@ -172,22 +176,17 @@ fn warm_eval_is_bit_identical_to_cold_at_every_thread_count() {
     let _l = lock();
     let _restore = ThreadGuard;
     let dir = temp_dir("threads");
-    let cache = AnalysisCache::open(&dir).expect("open cache");
-    let cold = run_suite_cached(
-        tiny_specs(),
-        MantaConfig::full(),
-        BudgetSpec::default(),
-        &cache,
-    );
+    let cache = Arc::new(AnalysisCache::open(&dir).expect("open cache"));
+    let engine = Engine::builder()
+        .config(MantaConfig::full())
+        .cache(cache.clone())
+        .build()
+        .expect("prebuilt cache cannot fail to attach");
+    let cold = run_suite(tiny_specs(), &engine);
     assert!(cold.failures.is_empty());
     for threads in [1usize, 2, 8] {
         manta_parallel::set_threads(threads);
-        let warm = run_suite_cached(
-            tiny_specs(),
-            MantaConfig::full(),
-            BudgetSpec::default(),
-            &cache,
-        );
+        let warm = run_suite(tiny_specs(), &engine);
         assert_eq!(
             warm.skipped_builds,
             cold.rows.len(),
@@ -208,26 +207,29 @@ fn warm_eval_is_bit_identical_to_cold_at_every_thread_count() {
 #[test]
 fn fuel_budgets_key_separately_and_warm_to_their_own_cold_result() {
     let dir = temp_dir("fuel");
-    let cache = AnalysisCache::open(&dir).expect("open cache");
+    let cache = Arc::new(AnalysisCache::open(&dir).expect("open cache"));
     let plenty = BudgetSpec {
         fuel: Some(100_000_000),
         deadline_ms: None,
     };
+    let engine_for = |budget: BudgetSpec| {
+        Engine::builder()
+            .config(MantaConfig::full())
+            .budget(budget)
+            .cache(cache.clone())
+            .build()
+            .expect("prebuilt cache cannot fail to attach")
+    };
 
-    let cold_unbudgeted = run_suite_cached(
-        tiny_specs(),
-        MantaConfig::full(),
-        BudgetSpec::default(),
-        &cache,
-    );
+    let cold_unbudgeted = run_suite(tiny_specs(), &engine_for(BudgetSpec::default()));
     // A different fuel budget is a different key: nothing is served warm.
-    let cold_fueled = run_suite_cached(tiny_specs(), MantaConfig::full(), plenty, &cache);
+    let cold_fueled = run_suite(tiny_specs(), &engine_for(plenty));
     assert_eq!(
         cold_fueled.skipped_builds, 0,
         "a fuel budget must not reuse unbudgeted entries"
     );
     // But each key warms to its own cold rows.
-    let warm_fueled = run_suite_cached(tiny_specs(), MantaConfig::full(), plenty, &cache);
+    let warm_fueled = run_suite(tiny_specs(), &engine_for(plenty));
     assert_eq!(warm_fueled.skipped_builds, cold_fueled.rows.len());
     assert_eq!(warm_fueled.render_rows(), cold_fueled.render_rows());
     // Generous fuel completes the full cascade, so the rows agree with
@@ -259,11 +261,11 @@ fn config_hash_is_invariant_under_thread_count() {
 fn module_edit_recomputes_exactly_the_fresh_answer() {
     let dir = temp_dir("edit");
     let cache = AnalysisCache::open(&dir).expect("open cache");
-    let manta = Manta::new(MantaConfig::full());
+    let engine = Engine::new(MantaConfig::full());
 
     let before = analysis(0xED17, 6);
     cache.sync_module(&before);
-    let _ = manta.infer_cached(&before, &cache);
+    let _ = engine.analyze_with_cache(&before, &cache);
 
     // A different seed regenerates every function body: the sync must
     // notice the changes and the cached path must agree with a fresh,
@@ -274,8 +276,12 @@ fn module_edit_recomputes_exactly_the_fresh_answer() {
         !sync.changed.is_empty(),
         "regenerated functions must be detected as changed"
     );
-    let via_cache = manta.infer_cached(&after, &cache);
-    let fresh = manta.infer(&after);
+    let via_cache = engine
+        .analyze_with_cache(&after, &cache)
+        .expect("non-strict analyze cannot fail");
+    let fresh = engine
+        .analyze(&after)
+        .expect("non-strict analyze cannot fail");
     assert_eq!(
         encode_result(&via_cache),
         encode_result(&fresh),
