@@ -33,7 +33,7 @@ pub mod preprocess;
 pub use callgraph::CallGraph;
 pub use cfl::CtxStack;
 pub use ddg::{CallSite, Ddg, DepKind, NodeId};
-pub use pointsto::{ObjectId, ObjectKind, PointsTo};
+pub use pointsto::{ObjectId, ObjectKind, PointsTo, PointsToProvenance, PtsSource};
 pub use preprocess::{preprocess, PreprocessConfig, Preprocessed};
 
 /// A module-global reference to an SSA value: the pair of its function and

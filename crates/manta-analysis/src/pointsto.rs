@@ -107,6 +107,41 @@ enum Node {
     Obj(ObjectId),
 }
 
+/// Per-visit delta cardinality: the work-shape of the delta solver (a
+/// heavy tail means a few nodes re-propagate huge sets).
+static DELTA_SIZES: manta_telemetry::Histogram =
+    manta_telemetry::Histogram::new("pointsto.delta_size");
+/// Largest points-to set cardinality seen at any fixpoint this run.
+static PEAK_PTS: manta_telemetry::Counter = manta_telemetry::Counter::new("pointsto.peak_pts");
+
+/// Why a points-to fact `n ∋ o` first appeared (first derivation wins —
+/// later re-derivations of the same fact are not recorded).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PtsSource {
+    /// An address-of seed (`alloca`, heap/extern allocation site,
+    /// global address constant).
+    Seed,
+    /// Propagated along a copy edge from a variable.
+    CopiedFromVar(VarRef),
+    /// Propagated along a copy edge from an object's contents (the
+    /// load/store rules materialize these edges).
+    CopiedFromObj(ObjectId),
+    /// A field object materialized by `gep` beneath this parent.
+    FieldOf(ObjectId),
+}
+
+/// First-derivation provenance of the points-to relation, recorded only
+/// while [`manta_telemetry::provenance_enabled`]. Facts whose node was
+/// merged into a copy-SCC representative are recorded under the
+/// representative's variable/object.
+#[derive(Clone, Debug, Default)]
+pub struct PointsToProvenance {
+    /// `(v, o)` → how `v ∋ o` was first derived.
+    pub var_origins: HashMap<(VarRef, ObjectId), PtsSource>,
+    /// `(container, o)` → how `container ∋ o` was first derived.
+    pub obj_origins: HashMap<(ObjectId, ObjectId), PtsSource>,
+}
+
 /// Points-to results: the map `ℙ : 𝕍 ∪ 𝕆 → 2^𝕆` of Figure 5.
 #[derive(Debug)]
 pub struct PointsTo {
@@ -115,6 +150,20 @@ pub struct PointsTo {
     pts: HashMap<Node, BTreeSet<ObjectId>>,
     /// Number of solver worklist visits (reported by scalability figures).
     pub iterations: usize,
+    /// Dense propagation-graph node count at fixpoint (variables plus
+    /// objects, including materialized fields). 0 for the reference
+    /// solver, which has no dense arena.
+    pub constraint_nodes: usize,
+    /// Copy edges inserted over the whole solve (deduplicated at
+    /// insertion; includes edges the load/store rules added online).
+    pub constraint_edges: usize,
+    /// Copy-SCC collapse merges performed by the delta solver.
+    pub scc_merges: usize,
+    /// Largest points-to set cardinality at fixpoint.
+    pub peak_pts: usize,
+    /// Derivation provenance; `Some` only when provenance recording was
+    /// on during the solve.
+    pub provenance: Option<PointsToProvenance>,
 }
 
 static EMPTY: BTreeSet<ObjectId> = BTreeSet::new();
@@ -548,7 +597,21 @@ struct DeltaSolver<'a> {
     list: VecDeque<u32>,
     iterations: usize,
     edges_since_scc: usize,
+    total_edges: usize,
     scc_merges: u64,
+    /// `(node, obj)` → first derivation; allocated only when provenance
+    /// recording is on, so the off path costs one `Option` check per
+    /// newly inserted fact.
+    prov: Option<HashMap<(u32, u32), Origin>>,
+}
+
+/// Solver-internal derivation reason over raw dense node ids; resolved
+/// to [`PtsSource`] at export.
+#[derive(Clone, Copy, Debug)]
+enum Origin {
+    Seed,
+    Copy(u32),
+    Field(u32),
 }
 
 impl<'a> DeltaSolver<'a> {
@@ -582,7 +645,9 @@ impl<'a> DeltaSolver<'a> {
             list: VecDeque::new(),
             iterations: 0,
             edges_since_scc: 0,
+            total_edges: 0,
             scc_merges: 0,
+            prov: manta_telemetry::provenance_enabled().then(HashMap::new),
         }
     }
 
@@ -630,14 +695,18 @@ impl<'a> DeltaSolver<'a> {
     }
 
     /// Adds `objs` (deduplicated, any order) to `pts(n)`, extending the
-    /// delta with the newly present ones.
-    fn add_objs(&mut self, n: u32, objs: &[u32]) {
+    /// delta with the newly present ones. `origin` is recorded for each
+    /// newly inserted fact when provenance recording is on.
+    fn add_objs(&mut self, n: u32, objs: &[u32], origin: Origin) {
         let n = self.find(n);
         let mut any = false;
         for &o in objs {
             if self.pts[n as usize].insert(o) {
                 self.delta[n as usize].push(o);
                 any = true;
+                if let Some(prov) = &mut self.prov {
+                    prov.entry((n, o)).or_insert(origin);
+                }
             }
         }
         if any {
@@ -657,10 +726,11 @@ impl<'a> DeltaSolver<'a> {
             Err(at) => self.succ[a as usize].insert(at, b),
         }
         self.edges_since_scc += 1;
+        self.total_edges += 1;
         let mut diff = Vec::new();
         self.pts[a as usize].diff_into(&self.pts[b as usize], &mut diff);
         if !diff.is_empty() {
-            self.add_objs(b, &diff);
+            self.add_objs(b, &diff, Origin::Copy(a));
         }
     }
 
@@ -818,7 +888,7 @@ impl<'a> DeltaSolver<'a> {
         }
         for &(n, o) in &constraints.seeds {
             let n = self.node_of(n);
-            self.add_objs(n, &[o.0]);
+            self.add_objs(n, &[o.0], Origin::Seed);
         }
         // Collapse the static copy-SCCs up front; further collapses run
         // online as load/store rules add enough new edges.
@@ -843,12 +913,13 @@ impl<'a> DeltaSolver<'a> {
             d.sort_unstable();
             d.dedup();
             budget.consume(d.len() as u64)?;
+            DELTA_SIZES.record(d.len() as u64);
             // Field derivation: materialize fields under each new object.
             let gep_list = std::mem::take(&mut self.geps[n as usize]);
             for &(dst, offset) in &gep_list {
                 for &o in &d {
                     let f = self.field(ObjectId(o), offset);
-                    self.add_objs(dst, &[f.0]);
+                    self.add_objs(dst, &[f.0], Origin::Field(o));
                 }
             }
             // Processing a node never merges it, so putting the (possibly
@@ -880,7 +951,7 @@ impl<'a> DeltaSolver<'a> {
             for &s in &succ_list {
                 let s = self.find(s);
                 if s != n {
-                    self.add_objs(s, &d);
+                    self.add_objs(s, &d, Origin::Copy(n));
                 }
             }
             let slot = self.find(n);
@@ -903,7 +974,11 @@ impl<'a> DeltaSolver<'a> {
         manta_telemetry::counter("pointsto.worklist_iters", self.iterations as u64);
         manta_telemetry::counter("pointsto.objects", self.objects.len() as u64);
         manta_telemetry::counter("pointsto.scc_merges", self.scc_merges);
-        Ok(self.export())
+        let out = self.export();
+        manta_telemetry::counter("pointsto.constraint_nodes", out.constraint_nodes as u64);
+        manta_telemetry::counter("pointsto.constraint_edges", out.constraint_edges as u64);
+        PEAK_PTS.record_max(out.peak_pts as u64);
+        Ok(out)
     }
 
     fn node_of(&self, n: Node) -> u32 {
@@ -919,12 +994,14 @@ impl<'a> DeltaSolver<'a> {
     fn export(mut self) -> PointsTo {
         let total = self.parent.len();
         let mut pts: HashMap<Node, BTreeSet<ObjectId>> = HashMap::new();
+        let mut peak = 0usize;
         for n in 0..total as u32 {
             let rep = self.find(n);
             if self.pts[rep as usize].is_empty() {
                 continue;
             }
             let set: BTreeSet<ObjectId> = self.pts[rep as usize].iter().map(ObjectId).collect();
+            peak = peak.max(set.len());
             let key = if (n as usize) < self.nv {
                 Node::Var(self.vars[n as usize])
             } else {
@@ -932,11 +1009,50 @@ impl<'a> DeltaSolver<'a> {
             };
             pts.insert(key, set);
         }
+        // Resolve raw dense node ids to public references. Every dense
+        // node index names a concrete variable or object even after SCC
+        // collapse (representatives are cycle members, not synthetics).
+        let nv = self.nv;
+        let vars = std::mem::take(&mut self.vars);
+        let node_key = |raw: u32| -> Node {
+            if (raw as usize) < nv {
+                Node::Var(vars[raw as usize])
+            } else {
+                Node::Obj(ObjectId(raw - nv as u32))
+            }
+        };
+        let provenance = self.prov.take().map(|raw| {
+            let mut p = PointsToProvenance::default();
+            for ((n, o), origin) in raw {
+                let source = match origin {
+                    Origin::Seed => PtsSource::Seed,
+                    Origin::Copy(m) => match node_key(m) {
+                        Node::Var(v) => PtsSource::CopiedFromVar(v),
+                        Node::Obj(obj) => PtsSource::CopiedFromObj(obj),
+                    },
+                    Origin::Field(parent) => PtsSource::FieldOf(ObjectId(parent)),
+                };
+                match node_key(n) {
+                    Node::Var(v) => {
+                        p.var_origins.insert((v, ObjectId(o)), source);
+                    }
+                    Node::Obj(obj) => {
+                        p.obj_origins.insert((obj, ObjectId(o)), source);
+                    }
+                }
+            }
+            p
+        });
         PointsTo {
             objects: self.objects,
             field_intern: self.field_intern,
             pts,
             iterations: self.iterations,
+            constraint_nodes: total,
+            constraint_edges: self.total_edges,
+            scc_merges: self.scc_merges as usize,
+            peak_pts: peak,
+            provenance,
         }
     }
 }
@@ -1093,11 +1209,19 @@ mod reference {
                     break;
                 }
             }
+            // The oracle has no dense arena or SCC machinery; shape
+            // introspection and provenance are delta-solver features.
+            let peak = self.pts.values().map(BTreeSet::len).max().unwrap_or(0);
             Ok(PointsTo {
                 objects: self.objects,
                 field_intern: self.field_intern,
                 pts: self.pts,
                 iterations,
+                constraint_nodes: 0,
+                constraint_edges: 0,
+                scc_merges: 0,
+                peak_pts: peak,
+                provenance: None,
             })
         }
     }

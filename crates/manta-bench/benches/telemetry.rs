@@ -88,4 +88,38 @@ fn main() {
         "disabled telemetry must cost <2% of the pipeline, estimated {est_pct:.3}%"
     );
     println!("telemetry overhead OK (<2% disabled)");
+
+    // Provenance-off leg. The hybrid solver consults the process-global
+    // provenance switch once per solve (then branches on a resident
+    // `Option` per inserted pair), so the off-path cost is the switch
+    // probe itself; the same estimate discipline as above bounds it.
+    // The on/off wall delta is printed for information only — recording
+    // derivations is allowed to cost, the off path is not.
+    manta_telemetry::set_provenance_enabled(false);
+    let prov_off_ns = harness::time(|| pipeline(&spec));
+    manta_telemetry::set_provenance_enabled(true);
+    let prov_on_ns = harness::time(|| pipeline(&spec));
+    manta_telemetry::set_provenance_enabled(false);
+    let prov_check_ns =
+        (harness::time(|| std::hint::black_box(manta_telemetry::provenance_enabled()))
+            - baseline_ns)
+            .max(0.0);
+    let prov_meas_pct = 100.0 * (prov_on_ns - prov_off_ns) / prov_off_ns;
+    let prov_est_pct = 100.0 * prov_check_ns / prov_off_ns;
+    println!(
+        "bench telemetry/provenance-off             {:>12.3} ms",
+        prov_off_ns / 1e6
+    );
+    println!(
+        "bench telemetry/provenance-on              {:>12.3} ms",
+        prov_on_ns / 1e6
+    );
+    println!("bench telemetry/provenance-on-delta        {prov_meas_pct:>11.2} %");
+    println!("bench telemetry/provenance-check           {prov_check_ns:>12.3} ns");
+    println!("bench telemetry/est-provenance-off-ovh     {prov_est_pct:>11.3} %");
+    assert!(
+        prov_est_pct < 2.0,
+        "provenance-off must cost <2% of the pipeline, estimated {prov_est_pct:.3}%"
+    );
+    println!("provenance overhead OK (<2% disabled)");
 }

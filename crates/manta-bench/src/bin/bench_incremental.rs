@@ -171,6 +171,7 @@ fn render(b: &IncrementalBench) -> String {
     w.begin_object();
     w.key("schema");
     w.string("manta-bench/incremental/v1");
+    manta_bench::host::write_host(&mut w, &manta_bench::host::host_meta());
     w.key("projects");
     w.uint(b.projects as u64);
     w.key("cold_ms");

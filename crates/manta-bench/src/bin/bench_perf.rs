@@ -359,6 +359,7 @@ fn render_pointsto(b: &PointstoBench) -> String {
     w.begin_object();
     w.key("schema");
     w.string("manta-bench/pointsto/v1");
+    manta_bench::host::write_host(&mut w, &manta_bench::host::host_meta());
     w.key("projects");
     w.begin_array();
     for r in &b.rows {
@@ -396,6 +397,7 @@ fn render_pipeline(b: &PipelineBench) -> String {
     w.begin_object();
     w.key("schema");
     w.string("manta-bench/pipeline/v1");
+    manta_bench::host::write_host(&mut w, &manta_bench::host::host_meta());
     w.key("cores");
     w.uint(b.cores as u64);
     w.key("runs");

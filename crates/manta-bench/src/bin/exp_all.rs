@@ -10,6 +10,7 @@ fn main() {
     let firmware = load_firmware();
     eprintln!("[suites generated+analyzed in {:.1?}]", t0.elapsed());
     println!("{}", manta_eval::runner::stage_breakdown_table(&projects));
+    println!("{}", manta_eval::runner::solver_shape_table(&projects));
 
     println!("{}", table3::run(&projects, &coreutils).render());
     let mut corpus: Vec<_> = Vec::new();

@@ -1,3 +1,4 @@
 //! Shared helpers for the Manta benchmark harness.
 
 pub mod harness;
+pub mod host;

@@ -10,11 +10,15 @@
 //! manta bugs   prog.sbf [--no-types]  run the NPD/RSA/UAF/CMI/BOF checkers
 //! manta icall  prog.sbf               resolve indirect-call targets
 //! manta stats  prog.sbf               full-pipeline stage cost breakdown
+//! manta explain prog.sbf f v0         backward type-derivation tree of one value
+//! manta profile prog.sbf              run everything traced, print a time summary
 //! ```
 //!
 //! `infer`, `bugs` and `icall` additionally take `--trace` (print the span
-//! tree to stderr) and `--stats <out.json>` (write the full telemetry
-//! report as JSON), plus the resilience flags `--fuel <N>`,
+//! tree to stderr), `--stats <out.json>` (write the full telemetry
+//! report as JSON) and `--trace-out <trace.json>` (write a Chrome
+//! trace-event file with thread ids and monotonic timestamps, loadable
+//! in Perfetto or `chrome://tracing`), plus the resilience flags `--fuel <N>`,
 //! `--budget-ms <N>` (cooperative budgets; a blown budget degrades the
 //! run to the last completed sensitivity tier) and `--strict` (propagate
 //! budget/panic errors instead of degrading).
@@ -80,14 +84,24 @@ USAGE:
     manta bugs   <input> [--no-types] [--trace] [--stats <out.json>]
     manta icall  <input> [--trace] [--stats <out.json>]
     manta stats  <input>
+    manta explain <input> <function> <value>
+    manta profile <input> [--trace-out <trace.json>]
 
 <input> is an SBF image, SB-ISA assembly, or textual IR (auto-detected).
 
 OBSERVABILITY:
     --trace           print the hierarchical span tree to stderr afterwards
     --stats <file>    write spans, counters and histograms as JSON
+    --trace-out <file> write a Chrome trace-event JSON file (ph \"X\"
+                      complete events with thread ids and microsecond
+                      timestamps; open in Perfetto or chrome://tracing)
     manta stats       run the whole pipeline (substrate, full cascade,
                       checkers, icall) and print the cost breakdown
+    manta explain     run inference with provenance recording on and
+                      print the backward derivation tree of one value;
+                      values use the printer's names (p0, p1, v0, v1, …)
+    manta profile     run the whole pipeline with tracing on and print
+                      a per-span cumulative time summary
 
 RESILIENCE (infer, bugs, icall, stats):
     --fuel <N>        abstract work budget; the pipeline degrades to the
@@ -197,9 +211,11 @@ fn parse_sensitivity(s: &str) -> Result<Sensitivity, CliError> {
 struct TelemetryOpts {
     trace: bool,
     stats: Option<String>,
+    trace_out: Option<String>,
 }
 
-/// Strips `--trace` / `--stats <file>` from anywhere in the argument list.
+/// Strips `--trace` / `--stats <file>` / `--trace-out <file>` from
+/// anywhere in the argument list.
 fn extract_telemetry_flags(args: &[String]) -> Result<(Vec<String>, TelemetryOpts), CliError> {
     let mut opts = TelemetryOpts::default();
     let mut rest = Vec::with_capacity(args.len());
@@ -210,6 +226,10 @@ fn extract_telemetry_flags(args: &[String]) -> Result<(Vec<String>, TelemetryOpt
             "--stats" => match it.next() {
                 Some(path) => opts.stats = Some(path.clone()),
                 None => return err("--stats requires an output path"),
+            },
+            "--trace-out" => match it.next() {
+                Some(path) => opts.trace_out = Some(path.clone()),
+                None => return err("--trace-out requires an output path"),
             },
             _ => rest.push(a.clone()),
         }
@@ -401,17 +421,22 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let (args, resilience) = extract_resilience_flags(&args)?;
     let (args, cache_opts) = extract_cache_flags(&args)?;
     let args = extract_thread_flag(&args)?;
-    let collecting = telemetry.trace
-        || telemetry.stats.is_some()
-        || args.first().map(String::as_str) == Some("stats");
+    let cmd = args.first().map(String::as_str);
+    let tracing = telemetry.trace_out.is_some() || cmd == Some("profile");
+    let collecting =
+        telemetry.trace || telemetry.stats.is_some() || tracing || cmd == Some("stats");
     if collecting {
         manta_telemetry::set_enabled(true);
+        if tracing {
+            manta_telemetry::set_trace_enabled(true);
+        }
         manta_telemetry::reset();
     }
     let result = run_command(&args, &resilience, &cache_opts);
     if collecting {
         let report = manta_telemetry::report();
         manta_telemetry::set_enabled(false);
+        manta_telemetry::set_trace_enabled(false);
         if result.is_ok() {
             if telemetry.trace {
                 TextSink(std::io::stderr())
@@ -423,6 +448,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     .map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
                 JsonSink(file)
                     .emit(&report)
+                    .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+            }
+            if let Some(path) = &telemetry.trace_out {
+                fs::write(path, manta_telemetry::render_chrome_trace())
                     .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
             }
         }
@@ -605,6 +634,17 @@ fn run_command(
                 counter("resilience.panics_caught"),
                 counter("resilience.budget_exhausted"),
             );
+            // Per-stage breakdowns (only stages that actually tripped).
+            for (name, &value) in &report.counters {
+                if value == 0 {
+                    continue;
+                }
+                if let Some(stage) = name.strip_prefix("resilience.degradations.") {
+                    let _ = writeln!(out, "  degraded[{stage}]: {value}");
+                } else if let Some(stage) = name.strip_prefix("resilience.budget_exhausted.") {
+                    let _ = writeln!(out, "  budget-exhausted[{stage}]: {value}");
+                }
+            }
             let _ = writeln!(
                 out,
                 "cache: {} hits, {} misses, {} invalidations, {} corrupt entries, \
@@ -616,7 +656,115 @@ fn run_command(
                 counter("store.bytes_read"),
                 counter("store.bytes_written"),
             );
+            if let Some(c) = &cache {
+                // Per-entry-kind traffic straight off the store: `infer`
+                // (inference results), `prov` (provenance graphs),
+                // `module` (lifted-module file cache), `modidx`/`func`/
+                // `row` (incremental per-function rows).
+                for (kind, hits, misses) in c.store().kind_traffic() {
+                    let _ = writeln!(out, "  cache[{kind}]: {hits} hits, {misses} misses");
+                }
+            }
             out.push_str(&report.render_text());
+        }
+        Some("explain") => {
+            let [_, input, func, var] = args else {
+                return err(USAGE);
+            };
+            let module = load_module_cached(Path::new(input), cache.as_deref())?;
+            // Provenance must be on before the substrate builds so the
+            // points-to solver records its derivations too; the builder
+            // flips the process-global switch, restored below.
+            let mut builder = Engine::builder()
+                .config(MantaConfig::full())
+                .budget(resilience.spec())
+                .strict(resilience.strict)
+                .provenance(true);
+            if let Some(c) = cache.clone() {
+                builder = builder.cache(c);
+            }
+            let engine = builder
+                .build()
+                .expect("engine build cannot fail without a cache directory");
+            let explained = (|| {
+                let Some(analysis) = build_analysis(&engine, module, &budget, &mut out)? else {
+                    return Ok(None);
+                };
+                let (result, graph) = engine
+                    .analyze_explained(&analysis)
+                    .map_err(|e| CliError(format!("inference failed: {e}")))?;
+                for d in &result.degradations {
+                    let _ = writeln!(out, "degraded: {d}");
+                }
+                Ok(Some((analysis, graph)))
+            })();
+            manta_telemetry::set_provenance_enabled(false);
+            let Some((analysis, graph)) = explained? else {
+                return Ok(out);
+            };
+            let graph = graph
+                .ok_or_else(|| CliError("provenance-enabled engine produced no graph".into()))?;
+            let Some(v) = manta::provenance::resolve_var(analysis.module(), func, var) else {
+                return err(format!(
+                    "no value `{var}` in `{func}` \
+                     (names follow `manta lift` output: p0, p1, v0, v1, …)"
+                ));
+            };
+            match graph.render_explain(analysis.module(), v, None) {
+                Some(tree) => out.push_str(&tree),
+                None => {
+                    let _ = writeln!(out, "no derivation recorded for {func}:{var}");
+                }
+            }
+        }
+        Some("profile") => {
+            let [_, input] = args else { return err(USAGE) };
+            let module = load_module_cached(Path::new(input), cache.as_deref())?;
+            // Same full drive as `stats`, but summarized from the trace
+            // buffer: per-span cumulative wall time across all threads.
+            let engine = make_engine(MantaConfig::full(), resilience, cache.clone());
+            let Some(analysis) = build_analysis(&engine, module, &budget, &mut out)? else {
+                return Ok(out);
+            };
+            let inference = run_inference(&engine, &analysis, &budget, &mut out)?;
+            let q: &dyn TypeQuery = &inference;
+            let (reports, _) =
+                detect_bugs(&analysis, Some(q), &BugKind::ALL, CheckerConfig::default());
+            let sites = indirect_call_sites(&analysis);
+            for site in &sites {
+                let _ = resolve_targets_manta(&analysis, q, site);
+            }
+            let _ = writeln!(
+                out,
+                "pipeline: {} bug reports, {} indirect call sites",
+                reports.len(),
+                sites.len()
+            );
+            let events = manta_telemetry::trace_events();
+            let threads: std::collections::BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
+            let _ = writeln!(
+                out,
+                "trace: {} events across {} threads",
+                events.len(),
+                threads.len()
+            );
+            let mut totals: std::collections::BTreeMap<&str, (f64, usize)> =
+                std::collections::BTreeMap::new();
+            for e in &events {
+                let slot = totals.entry(e.name).or_insert((0.0, 0));
+                slot.0 += e.dur_us;
+                slot.1 += 1;
+            }
+            let mut rows: Vec<(&str, f64, usize)> =
+                totals.into_iter().map(|(n, (d, c))| (n, d, c)).collect();
+            rows.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+            for (name, dur_us, count) in rows.iter().take(16) {
+                let _ = writeln!(
+                    out,
+                    "  {name}: {:.3} ms over {count} events",
+                    dur_us / 1000.0
+                );
+            }
         }
         _ => return err(USAGE),
     }
@@ -926,6 +1074,61 @@ func main(0) -> ret {
                 !out.contains("spans:"),
                 "trace must not pollute stdout: {out}"
             );
+
+            // `profile` runs the same pipeline with tracing on and
+            // summarizes the trace buffer.
+            let out = run(&s(&["profile", src.to_str().unwrap()])).unwrap();
+            assert!(out.contains("bug reports"), "{out}");
+            assert!(out.contains("events across"), "{out}");
+            assert!(out.contains("ms over"), "{out}");
+
+            // `--trace-out` writes a Chrome trace-event document: ph "X"
+            // complete events with pid/tid and microsecond timestamps.
+            let trace_path = dir.join("trace.json");
+            run(&s(&[
+                "infer",
+                src.to_str().unwrap(),
+                "--trace-out",
+                trace_path.to_str().unwrap(),
+            ]))
+            .unwrap();
+            let doc = fs::read_to_string(&trace_path).unwrap();
+            let v = manta_store::json::parse(&doc).expect("valid JSON");
+            let events = v.get("traceEvents").unwrap().as_array().unwrap();
+            assert!(!events.is_empty(), "trace must hold events");
+            for e in events {
+                assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+                assert!(e.get("ts").unwrap().as_f64().unwrap() >= 0.0);
+                assert!(e.get("dur").unwrap().as_f64().is_some());
+                assert!(e.get("tid").unwrap().as_f64().unwrap() >= 1.0);
+            }
+            assert!(
+                run(&s(&["infer", src.to_str().unwrap(), "--trace-out"])).is_err(),
+                "--trace-out needs a path"
+            );
+        });
+    }
+
+    #[test]
+    fn explain_prints_a_derivation_tree() {
+        with_files(|dir| {
+            let src = dir.join("p.s");
+            fs::write(&src, ASM).unwrap();
+            // `take`'s pointer parameter: revealed by its own load and
+            // propagated through the cascade, so the tree bottoms out at
+            // reveal leaves under at least one inference tier.
+            let out = run(&s(&["explain", src.to_str().unwrap(), "take", "p0"])).unwrap();
+            assert!(out.contains("take:p0"), "{out}");
+            assert!(out.contains("reveal"), "{out}");
+            assert!(
+                out.contains("FI") || out.contains("+CS") || out.contains("+FS"),
+                "tree must cross an inference tier: {out}"
+            );
+            // Unknown values are a usage error, not a panic.
+            let e = run(&s(&["explain", src.to_str().unwrap(), "take", "v99"])).unwrap_err();
+            assert!(e.to_string().contains("no value"), "{e}");
+            let e = run(&s(&["explain", src.to_str().unwrap(), "nosuch", "p0"])).unwrap_err();
+            assert!(e.to_string().contains("no value"), "{e}");
         });
     }
 }

@@ -296,6 +296,49 @@ pub fn stage_breakdown_table(projects: &[ProjectData]) -> String {
     table.render()
 }
 
+/// Renders the per-project solver-shape table: the constraint-graph and
+/// worklist introspection the delta points-to solver records, plus a
+/// suite-wide total row. Complements [`stage_breakdown_table`] (wall
+/// time) with *why* — graph size, SCC collapses, iteration counts and
+/// the largest points-to set each solve reached.
+pub fn solver_shape_table(projects: &[ProjectData]) -> String {
+    let mut table = crate::table::TextTable::new(&[
+        "project",
+        "pts nodes",
+        "pts edges",
+        "scc merges",
+        "worklist iters",
+        "peak |pts|",
+    ]);
+    let mut total = [0usize; 5];
+    for p in projects {
+        let pt = &p.analysis.pointsto;
+        let cells = [
+            pt.constraint_nodes,
+            pt.constraint_edges,
+            pt.scc_merges,
+            pt.iterations,
+            pt.peak_pts,
+        ];
+        for (t, c) in total.iter_mut().zip(cells) {
+            *t += c;
+        }
+        let mut row = vec![p.name.clone()];
+        row.extend(cells.iter().map(|c| c.to_string()));
+        table.row(row);
+    }
+    let mut row = vec!["TOTAL".to_string()];
+    // Peak cardinality aggregates as a max, not a sum.
+    total[4] = projects
+        .iter()
+        .map(|p| p.analysis.pointsto.peak_pts)
+        .max()
+        .unwrap_or(0);
+    row.extend(total.iter().map(|t| t.to_string()));
+    table.row(row);
+    table.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,5 +434,24 @@ mod tests {
         }
         let table = stage_breakdown_table(&fw);
         assert!(table.contains("pointsto ms"), "{table}");
+    }
+
+    #[test]
+    fn solver_shape_table_reports_nonzero_graphs() {
+        let _l = fault_lock();
+        let load = load_specs_checked(tiny_specs(), BudgetSpec::default());
+        assert!(load.is_clean(), "{:?}", load.failures);
+        let table = solver_shape_table(&load.projects);
+        for col in ["pts nodes", "scc merges", "worklist iters", "peak |pts|"] {
+            assert!(table.contains(col), "missing `{col}`:\n{table}");
+        }
+        assert!(table.contains("TOTAL"), "{table}");
+        // Every generated project exercises the solver: the total node
+        // and iteration counts must be nonzero.
+        let total_line = table.lines().last().unwrap();
+        let cells: Vec<&str> = total_line.split_whitespace().collect();
+        assert_eq!(cells.len(), 6, "{total_line}");
+        assert!(cells[1].parse::<usize>().unwrap() > 0, "{total_line}");
+        assert!(cells[4].parse::<usize>().unwrap() > 0, "{total_line}");
     }
 }

@@ -52,12 +52,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use manta_telemetry::Counter;
+use manta_telemetry::{Counter, Histogram};
 
 /// Items executed across all `par_map` calls.
 static TASKS: Counter = Counter::new("parallel.tasks");
 /// Successful steals (an idle worker took an item from a peer's deque).
 static STEALS: Counter = Counter::new("parallel.steals");
+/// Steal *attempts*: every probe of a peer's deque, successful or not.
+/// `steals / steal_attempts` is the steal hit rate; a low ratio means
+/// workers burn time sweeping drained peers.
+static STEAL_ATTEMPTS: Counter = Counter::new("parallel.steal_attempts");
 /// Number of `par_map` invocations that actually went parallel.
 static MAPS: Counter = Counter::new("parallel.par_maps");
 /// Cumulative worker busy time across parallel `par_map` calls, µs.
@@ -65,6 +69,15 @@ static BUSY_US: Counter = Counter::new("parallel.busy_us");
 /// Cumulative pool capacity (wall µs × workers) across those calls; the
 /// ratio `busy_us / capacity_us` is the pool utilization.
 static CAPACITY_US: Counter = Counter::new("parallel.capacity_us");
+/// Cumulative worker idle time (worker wall time minus time inside
+/// items), µs. Covers steal sweeps and scheduling overhead.
+static IDLE_US: Counter = Counter::new("parallel.idle_us");
+/// Deepest single deque observed at seeding time (high-water mark —
+/// deques only shrink once workers start).
+static QUEUE_HWM: Counter = Counter::new("parallel.queue_depth_hwm");
+/// Items executed per worker per parallel call: the load-balance shape
+/// (a wide spread at equal item cost means stealing is not keeping up).
+static WORKER_TASKS: Histogram = Histogram::new("parallel.worker_tasks");
 
 /// Configured pool size; 0 = auto (`available_parallelism`).
 static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
@@ -149,6 +162,12 @@ where
     for (i, item) in items.into_iter().enumerate() {
         lock(&deques[i % workers]).push_back((i, item));
     }
+    if let Some(deepest) = deques.iter().map(|d| lock(d).len()).max() {
+        QUEUE_HWM.record_max(deepest as u64);
+    }
+    // Per-item timing costs two `Instant::now` calls per task; only pay
+    // for it while collection is on.
+    let detailed = manta_telemetry::is_enabled();
 
     let start = Instant::now();
     let mut slots: Vec<Option<R>> = Vec::with_capacity(total);
@@ -166,6 +185,8 @@ where
                     let mut done: Vec<(usize, R)> = Vec::new();
                     let mut caught: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
                     let mut steals = 0u64;
+                    let mut steal_attempts = 0u64;
+                    let mut exec_ns = 0u128;
                     loop {
                         // Own deque first (front = oldest seeded item),
                         // then sweep peers' backs. The own-deque guard must
@@ -176,6 +197,7 @@ where
                         let next = match own {
                             Some(x) => Some(x),
                             None => (1..workers).find_map(|off| {
+                                steal_attempts += 1;
                                 let got = lock(&deques[(w + off) % workers]).pop_back();
                                 if got.is_some() {
                                     steals += 1;
@@ -184,15 +206,25 @@ where
                             }),
                         };
                         let Some((idx, item)) = next else { break };
+                        let item_start = detailed.then(Instant::now);
                         match catch_unwind(AssertUnwindSafe(|| f(item))) {
                             Ok(r) => done.push((idx, r)),
                             Err(p) => caught.push((idx, p)),
                         }
+                        if let Some(t) = item_start {
+                            exec_ns += t.elapsed().as_nanos();
+                        }
                     }
                     IN_POOL.with(|c| c.set(false));
+                    let wall_us = busy.elapsed().as_micros() as u64;
                     TASKS.add(done.len() as u64 + caught.len() as u64);
+                    WORKER_TASKS.record(done.len() as u64 + caught.len() as u64);
                     STEALS.add(steals);
-                    BUSY_US.add(busy.elapsed().as_micros() as u64);
+                    STEAL_ATTEMPTS.add(steal_attempts);
+                    BUSY_US.add(wall_us);
+                    if detailed {
+                        IDLE_US.add(wall_us.saturating_sub((exec_ns / 1_000) as u64));
+                    }
                     (done, caught)
                 })
             })

@@ -141,7 +141,8 @@ pub struct Degradation {
 }
 
 impl Degradation {
-    /// Builds a record and bumps the `resilience.degradations` counter.
+    /// Builds a record and bumps the global `resilience.degradations`
+    /// counter plus the per-stage `resilience.degradations.<stage>` one.
     #[must_use]
     pub fn record(
         stage: impl Into<String>,
@@ -149,9 +150,11 @@ impl Degradation {
         kind: DegradationKind,
         detail: impl Into<String>,
     ) -> Self {
+        let stage = stage.into();
         crate::counters::DEGRADATIONS.add(1);
+        manta_telemetry::counter(&format!("resilience.degradations.{stage}"), 1);
         Degradation {
-            stage: stage.into(),
+            stage,
             completed: completed.into(),
             kind,
             detail: detail.into(),

@@ -31,9 +31,11 @@
 //! the content and configuration hashes, so changed inputs simply look
 //! up a different key.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::hash::hash_bytes;
 
@@ -178,6 +180,9 @@ pub enum OpenOutcome {
 pub struct Store {
     dir: PathBuf,
     stats: StoreStats,
+    /// Per-stage-tag `(hits, misses)`, keyed by [`Key::stage`]. Gets are
+    /// file reads, so one short mutex hold per get is noise.
+    per_kind: Mutex<BTreeMap<&'static str, (u64, u64)>>,
     /// How open found the directory.
     outcome: OpenOutcome,
 }
@@ -218,6 +223,7 @@ impl Store {
         Ok(Store {
             dir,
             stats: StoreStats::default(),
+            per_kind: Mutex::new(BTreeMap::new()),
             outcome,
         })
     }
@@ -240,6 +246,27 @@ impl Store {
         &self.stats
     }
 
+    /// Per-stage-tag traffic: `(stage, hits, misses)` sorted by stage.
+    /// Stages that saw no gets are absent.
+    #[must_use]
+    pub fn kind_traffic(&self) -> Vec<(&'static str, u64, u64)> {
+        match self.per_kind.lock() {
+            Ok(m) => m.iter().map(|(k, &(h, s))| (*k, h, s)).collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    fn bump_kind(&self, kind: &'static str, hit: bool) {
+        if let Ok(mut m) = self.per_kind.lock() {
+            let slot = m.entry(kind).or_insert((0, 0));
+            if hit {
+                slot.0 += 1;
+            } else {
+                slot.1 += 1;
+            }
+        }
+    }
+
     fn path_of(&self, key: &Key) -> PathBuf {
         self.dir.join(key.file_name())
     }
@@ -253,6 +280,7 @@ impl Store {
             Ok(r) => r,
             Err(_) => {
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                self.bump_kind(key.stage, false);
                 return None;
             }
         };
@@ -262,6 +290,7 @@ impl Store {
                 self.stats
                     .bytes_read
                     .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                self.bump_kind(key.stage, true);
                 Some(payload)
             }
             None => {
@@ -269,6 +298,7 @@ impl Store {
                 let _ = std::fs::remove_file(&path);
                 self.stats.corrupt.fetch_add(1, Ordering::Relaxed);
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                self.bump_kind(key.stage, false);
                 None
             }
         }

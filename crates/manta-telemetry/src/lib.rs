@@ -55,6 +55,7 @@ mod metrics;
 mod report;
 mod sink;
 mod span;
+mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -62,8 +63,13 @@ pub use metrics::{counter, counter_set, Counter, Histogram};
 pub use report::{HistogramReport, Report, SpanReport};
 pub use sink::{JsonSink, NullSink, TelemetrySink, TextSink};
 pub use span::{scoped, span, SpanGuard};
+pub use trace::{
+    render_chrome_trace, set_trace_enabled, trace_enabled, trace_event_count, trace_events,
+    TraceEvent,
+};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+static PROVENANCE: AtomicBool = AtomicBool::new(false);
 
 /// Turns global collection on or off. Off (the default) makes every
 /// instrument a near-free no-op.
@@ -77,12 +83,27 @@ pub fn is_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Clears all recorded spans, counters and histograms. Call between runs
-/// (ideally with no spans in flight; in-flight guards from a previous
-/// epoch are discarded safely).
+/// Turns type-provenance recording on or off (the switch lives here so
+/// the analysis crates can gate their recording without depending on
+/// the engine crate). Off — the default — keeps every provenance hook
+/// down to one relaxed load and a branch.
+pub fn set_provenance_enabled(on: bool) {
+    PROVENANCE.store(on, Ordering::Relaxed);
+}
+
+/// Whether type-provenance recording is on.
+#[inline(always)]
+pub fn provenance_enabled() -> bool {
+    PROVENANCE.load(Ordering::Relaxed)
+}
+
+/// Clears all recorded spans, counters, histograms and buffered trace
+/// events. Call between runs (ideally with no spans in flight;
+/// in-flight guards from a previous epoch are discarded safely).
 pub fn reset() {
     span::reset_spans();
     metrics::reset_metrics();
+    trace::reset_trace();
 }
 
 /// Snapshots every thread's span tree plus all counters and histograms.

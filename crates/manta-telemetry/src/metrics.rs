@@ -79,6 +79,15 @@ impl Counter {
         }
     }
 
+    /// Raises the value to `value` if it is larger (high-water marks,
+    /// e.g. peak queue depth). No-op while collection is disabled.
+    #[inline]
+    pub fn record_max(&self, value: u64) {
+        if crate::is_enabled() {
+            self.cell().fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.cell().load(Ordering::Relaxed)

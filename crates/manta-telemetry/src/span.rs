@@ -154,57 +154,82 @@ pub struct SpanGuard {
 }
 
 struct GuardInner {
+    name: &'static str,
+    start: Instant,
+    /// Aggregation-tree bookkeeping; absent when only tracing is on.
+    slot: Option<TreeSlot>,
+    /// Whether a Chrome trace event should be emitted on close.
+    traced: bool,
+}
+
+struct TreeSlot {
     tree: Arc<Mutex<SpanTree>>,
     node: usize,
     epoch: u64,
-    start: Instant,
 }
 
 /// Opens a span named `name` under the current thread's innermost open
-/// span. No-op (and near-free) while collection is disabled.
+/// span. No-op (and near-free) while both collection and trace capture
+/// are disabled. With trace capture on, the close additionally buffers
+/// a Chrome complete event carrying this thread's id and monotonic
+/// process-relative timestamps.
 pub fn span(name: &'static str) -> SpanGuard {
-    if !recording() {
+    let traced = crate::trace_enabled();
+    if !recording() && !traced {
         return SpanGuard { inner: None };
     }
-    let inner = with_local(|local| {
-        let mut tree = lock(&local.tree);
-        if local.epoch != tree.epoch {
-            // A reset happened since this thread last recorded.
-            local.stack.clear();
-            local.epoch = tree.epoch;
-        }
-        let node = tree.child_of(local.stack.last().copied(), name);
-        local.stack.push(node);
-        GuardInner {
-            tree: local.tree.clone(),
-            node,
-            epoch: tree.epoch,
-            start: Instant::now(),
-        }
+    let slot = recording().then(|| {
+        with_local(|local| {
+            let mut tree = lock(&local.tree);
+            if local.epoch != tree.epoch {
+                // A reset happened since this thread last recorded.
+                local.stack.clear();
+                local.epoch = tree.epoch;
+            }
+            let node = tree.child_of(local.stack.last().copied(), name);
+            local.stack.push(node);
+            TreeSlot {
+                tree: local.tree.clone(),
+                node,
+                epoch: tree.epoch,
+            }
+        })
     });
-    SpanGuard { inner: Some(inner) }
+    SpanGuard {
+        inner: Some(GuardInner {
+            name,
+            start: Instant::now(),
+            slot,
+            traced,
+        }),
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(g) = self.inner.take() else { return };
         let ns = g.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-        {
-            let mut tree = lock(&g.tree);
-            if tree.epoch == g.epoch {
-                let node = &mut tree.nodes[g.node];
-                node.count += 1;
-                node.total_ns += ns;
-            }
-        }
-        with_local(|local| {
-            if Arc::ptr_eq(&local.tree, &g.tree)
-                && local.epoch == g.epoch
-                && local.stack.last() == Some(&g.node)
+        if let Some(slot) = &g.slot {
             {
-                local.stack.pop();
+                let mut tree = lock(&slot.tree);
+                if tree.epoch == slot.epoch {
+                    let node = &mut tree.nodes[slot.node];
+                    node.count += 1;
+                    node.total_ns += ns;
+                }
             }
-        });
+            with_local(|local| {
+                if Arc::ptr_eq(&local.tree, &slot.tree)
+                    && local.epoch == slot.epoch
+                    && local.stack.last() == Some(&slot.node)
+                {
+                    local.stack.pop();
+                }
+            });
+        }
+        if g.traced {
+            crate::trace::record_complete(g.name, g.start, ns);
+        }
     }
 }
 

@@ -1,0 +1,204 @@
+//! Chrome trace-event collection and export.
+//!
+//! When trace collection is on ([`set_trace_enabled`]), every closed
+//! span additionally records one *complete* event (`"ph":"X"`) carrying
+//! a process-relative monotonic timestamp and the recording thread's
+//! id. [`render_chrome_trace`] serializes the buffer as a Chrome
+//! trace-event JSON document (the `traceEvents` object form), loadable
+//! in Perfetto or `chrome://tracing`.
+//!
+//! Collection is independent of the span/counter switch: tracing can be
+//! on with aggregation off and vice versa. Both share the same
+//! span-site instrumentation, so trace events carry exactly the span
+//! names the text report shows.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::span::lock;
+
+static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// One complete ("ph":"X") event: a closed span occurrence.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Span name.
+    pub name: &'static str,
+    /// Recording thread (small dense id, assigned on first event).
+    pub tid: u64,
+    /// Start, microseconds since the process-local trace epoch.
+    pub ts_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+}
+
+static EVENTS: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+
+/// The instant all trace timestamps are relative to. Pinned the first
+/// time tracing is enabled so `ts` starts near zero.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Dense per-thread ids: assigned in first-event order, starting at 1
+/// (Chrome reserves meaning for tid 0 in some renderers).
+fn thread_id() -> u64 {
+    use std::cell::Cell;
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: Cell<u64> = const { Cell::new(0) };
+    }
+    TID.with(|c| {
+        let mut id = c.get();
+        if id == 0 {
+            id = NEXT.fetch_add(1, Ordering::Relaxed);
+            c.set(id);
+        }
+        id
+    })
+}
+
+/// Turns trace-event collection on or off. Enabling pins the trace
+/// epoch; the span instrumentation starts buffering complete events.
+pub fn set_trace_enabled(on: bool) {
+    if on {
+        let _ = epoch();
+    }
+    TRACE_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether trace-event collection is on.
+#[inline(always)]
+pub fn trace_enabled() -> bool {
+    TRACE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Buffers one complete event for a span that ran `start..start+dur`.
+pub(crate) fn record_complete(name: &'static str, start: Instant, dur_ns: u64) {
+    let ts_us = start.saturating_duration_since(epoch()).as_nanos() as f64 / 1_000.0;
+    let event = TraceEvent {
+        name,
+        tid: thread_id(),
+        ts_us,
+        dur_us: dur_ns as f64 / 1_000.0,
+    };
+    lock(&EVENTS).push(event);
+}
+
+/// Number of buffered trace events.
+#[must_use]
+pub fn trace_event_count() -> usize {
+    lock(&EVENTS).len()
+}
+
+/// Drops every buffered trace event (part of [`crate::reset`]).
+pub(crate) fn reset_trace() {
+    lock(&EVENTS).clear();
+}
+
+/// Snapshots the buffered events (sorted by timestamp, then thread).
+#[must_use]
+pub fn trace_events() -> Vec<TraceEvent> {
+    let mut events = lock(&EVENTS).clone();
+    events.sort_by(|a, b| {
+        a.ts_us
+            .total_cmp(&b.ts_us)
+            .then(a.tid.cmp(&b.tid))
+            .then(a.name.cmp(b.name))
+    });
+    events
+}
+
+/// Renders the buffered events as a Chrome trace-event JSON document:
+/// `{"displayTimeUnit":"ms","traceEvents":[{"name":…,"cat":"manta",
+/// "ph":"X","ts":…,"dur":…,"pid":1,"tid":…}, …]}`. Microsecond
+/// timestamps, as the format requires; loadable in Perfetto.
+#[must_use]
+pub fn render_chrome_trace() -> String {
+    let events = trace_events();
+    let mut w = manta_store::json::JsonWriter::new();
+    w.begin_object();
+    w.key("displayTimeUnit");
+    w.string("ms");
+    w.key("traceEvents");
+    w.begin_array();
+    for e in &events {
+        w.begin_object();
+        w.key("name");
+        w.string(e.name);
+        w.key("cat");
+        w.string("manta");
+        w.key("ph");
+        w.string("X");
+        w.key("ts");
+        w.float(e.ts_us);
+        w.key("dur");
+        w.float(e.dur_us);
+        w.key("pid");
+        w.uint(1);
+        w.key("tid");
+        w.uint(e.tid);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// Serializes tests that flip the global trace switch.
+    fn guard() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn spans_emit_parseable_complete_events() {
+        let _g = guard();
+        set_trace_enabled(true);
+        reset_trace();
+        {
+            crate::span!("trace.outer");
+            crate::span!("trace.inner");
+        }
+        set_trace_enabled(false);
+        assert_eq!(trace_event_count(), 2);
+        let doc = render_chrome_trace();
+        let v = manta_store::json::parse(&doc).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+            assert!(e.get("ts").unwrap().as_f64().unwrap() >= 0.0);
+            assert!(e.get("dur").unwrap().as_f64().is_some());
+            assert!(e.get("tid").unwrap().as_f64().unwrap() >= 1.0);
+            assert_eq!(e.get("pid").unwrap().as_f64(), Some(1.0));
+        }
+        // The inner span closes first: it sorts after its parent by ts.
+        let names: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"trace.outer"));
+        assert!(names.contains(&"trace.inner"));
+        reset_trace();
+    }
+
+    #[test]
+    fn disabled_tracing_buffers_nothing() {
+        let _g = guard();
+        reset_trace();
+        set_trace_enabled(false);
+        {
+            crate::span!("trace.ignored");
+        }
+        assert_eq!(trace_event_count(), 0);
+    }
+}

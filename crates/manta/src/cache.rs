@@ -142,7 +142,7 @@ fn dec_width(r: &mut ByteReader<'_>) -> Result<Width, DecodeError> {
     })
 }
 
-fn enc_type(w: &mut ByteWriter, t: &Type) {
+pub(crate) fn enc_type(w: &mut ByteWriter, t: &Type) {
     match t {
         Type::Top => {
             w.u8(0);
@@ -196,7 +196,7 @@ fn enc_type(w: &mut ByteWriter, t: &Type) {
     }
 }
 
-fn dec_type(r: &mut ByteReader<'_>, depth: usize) -> Result<Type, DecodeError> {
+pub(crate) fn dec_type(r: &mut ByteReader<'_>, depth: usize) -> Result<Type, DecodeError> {
     if depth > MAX_DECODE_DEPTH {
         return Err(DecodeError {
             context: "type depth",
@@ -244,23 +244,23 @@ fn dec_type(r: &mut ByteReader<'_>, depth: usize) -> Result<Type, DecodeError> {
     })
 }
 
-fn enc_interval(w: &mut ByteWriter, i: &TypeInterval) {
+pub(crate) fn enc_interval(w: &mut ByteWriter, i: &TypeInterval) {
     enc_type(w, &i.upper);
     enc_type(w, &i.lower);
 }
 
-fn dec_interval(r: &mut ByteReader<'_>) -> Result<TypeInterval, DecodeError> {
+pub(crate) fn dec_interval(r: &mut ByteReader<'_>) -> Result<TypeInterval, DecodeError> {
     Ok(TypeInterval {
         upper: dec_type(r, 0)?,
         lower: dec_type(r, 0)?,
     })
 }
 
-fn enc_varref(w: &mut ByteWriter, v: VarRef) {
+pub(crate) fn enc_varref(w: &mut ByteWriter, v: VarRef) {
     w.u32(v.func.0).u32(v.value.0);
 }
 
-fn dec_varref(r: &mut ByteReader<'_>) -> Result<VarRef, DecodeError> {
+pub(crate) fn dec_varref(r: &mut ByteReader<'_>) -> Result<VarRef, DecodeError> {
     Ok(VarRef {
         func: FuncId(r.u32("varref func")?),
         value: ValueId(r.u32("varref value")?),
@@ -324,14 +324,17 @@ fn kind_from_tag(tag: u8) -> Option<DegradationKind> {
     })
 }
 
-fn bad(context: &'static str) -> DecodeError {
+pub(crate) fn bad(context: &'static str) -> DecodeError {
     DecodeError { context, offset: 0 }
 }
 
 /// Reads a `usize` that is a plain count, not a buffer-bounded length
 /// prefix (`ByteReader::len` rejects values exceeding the buffer, which
 /// is wrong for e.g. `max_visits`).
-fn dec_usize(r: &mut ByteReader<'_>, context: &'static str) -> Result<usize, DecodeError> {
+pub(crate) fn dec_usize(
+    r: &mut ByteReader<'_>,
+    context: &'static str,
+) -> Result<usize, DecodeError> {
     usize::try_from(r.u64(context)?).map_err(|_| bad(context))
 }
 
@@ -789,6 +792,7 @@ impl Manta {
             config: *self.config(),
             budget: *spec,
             strict: false,
+            provenance: false,
             cache: None,
         };
         match engine.analyze_with_cache(analysis, cache) {

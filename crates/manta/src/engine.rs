@@ -36,6 +36,7 @@ use manta_resilience::{
 use manta_store::{Key, StoreError};
 
 use crate::cache::{config_hash, encode_result, module_fingerprint, AnalysisCache};
+use crate::provenance::ProvenanceGraph;
 use crate::{
     ctx_refine, flow_insensitive, flow_refine, reveal, InferenceResult, MantaConfig, Sensitivity,
 };
@@ -404,6 +405,7 @@ pub struct EngineBuilder {
     strict: bool,
     threads: Option<usize>,
     telemetry: Option<bool>,
+    provenance: Option<bool>,
     cache_dir: Option<PathBuf>,
     cache: Option<Arc<AnalysisCache>>,
 }
@@ -474,6 +476,20 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables or disables type-provenance recording: the engine builds
+    /// a [`ProvenanceGraph`] alongside each analysis (retrieved through
+    /// [`Engine::analyze_explained`]) and the points-to solver records
+    /// first-derivation origins. Off — the default — costs one branch
+    /// per potential recording point and leaves results bit-identical
+    /// to a build without the feature. Applied process-wide at
+    /// [`EngineBuilder::build`] time, like [`EngineBuilder::telemetry`];
+    /// when not called, the current process state is left untouched.
+    #[must_use]
+    pub fn provenance(mut self, enabled: bool) -> Self {
+        self.provenance = Some(enabled);
+        self
+    }
+
     /// Opens (or initializes) a persistent [`AnalysisCache`] in `dir`
     /// at build time.
     #[must_use]
@@ -504,6 +520,9 @@ impl EngineBuilder {
         if let Some(enabled) = self.telemetry {
             manta_telemetry::set_enabled(enabled);
         }
+        if let Some(enabled) = self.provenance {
+            manta_telemetry::set_provenance_enabled(enabled);
+        }
         let cache = match (self.cache, self.cache_dir) {
             (Some(cache), _) => Some(cache),
             (None, Some(dir)) => Some(Arc::new(AnalysisCache::open(dir)?)),
@@ -513,6 +532,7 @@ impl EngineBuilder {
             config: self.config,
             budget: self.budget,
             strict: self.strict,
+            provenance: self.provenance.unwrap_or(false),
             cache,
         })
     }
@@ -530,6 +550,7 @@ pub struct Engine {
     pub(crate) config: MantaConfig,
     pub(crate) budget: BudgetSpec,
     pub(crate) strict: bool,
+    pub(crate) provenance: bool,
     pub(crate) cache: Option<Arc<AnalysisCache>>,
 }
 
@@ -539,6 +560,7 @@ impl fmt::Debug for Engine {
             .field("config", &self.config)
             .field("budget", &self.budget)
             .field("strict", &self.strict)
+            .field("provenance", &self.provenance)
             .field("cache", &self.cache.is_some())
             .finish()
     }
@@ -552,6 +574,7 @@ impl Engine {
             config,
             budget: BudgetSpec::default(),
             strict: false,
+            provenance: false,
             cache: None,
         }
     }
@@ -576,6 +599,11 @@ impl Engine {
         self.strict
     }
 
+    /// Whether this engine records a type-provenance graph per analysis.
+    pub fn provenance(&self) -> bool {
+        self.provenance
+    }
+
     /// The attached persistent cache, if any.
     pub fn cache(&self) -> Option<&AnalysisCache> {
         self.cache.as_deref()
@@ -590,6 +618,22 @@ impl Engine {
     /// recorded on [`InferenceResult::degradations`]. Strict engines
     /// propagate the first stage failure.
     pub fn analyze(&self, analysis: &ModuleAnalysis) -> Result<InferenceResult, MantaError> {
+        self.analyze_inner(analysis, None).map(|(r, _)| r)
+    }
+
+    /// Like [`Engine::analyze`] but also returning the type-provenance
+    /// graph when the engine was built with
+    /// [`EngineBuilder::provenance`]`(true)`. The graph is `Some` iff
+    /// provenance is on; a cache hit restores the persisted graph (and
+    /// recomputes when the cached entry predates provenance recording).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::analyze`].
+    pub fn analyze_explained(
+        &self,
+        analysis: &ModuleAnalysis,
+    ) -> Result<(InferenceResult, Option<ProvenanceGraph>), MantaError> {
         self.analyze_inner(analysis, None)
     }
 
@@ -606,7 +650,7 @@ impl Engine {
         analysis: &ModuleAnalysis,
         budget: &Budget,
     ) -> Result<InferenceResult, MantaError> {
-        self.analyze_inner(analysis, Some(budget))
+        self.analyze_inner(analysis, Some(budget)).map(|(r, _)| r)
     }
 
     /// Like [`Engine::analyze`] but reading and writing through an
@@ -622,7 +666,7 @@ impl Engine {
         analysis: &ModuleAnalysis,
         cache: &AnalysisCache,
     ) -> Result<InferenceResult, MantaError> {
-        self.analyze_cached(analysis, cache, None)
+        self.analyze_cached(analysis, cache, None).map(|(r, _)| r)
     }
 
     /// Builds the analysis substrate and runs the cascade, sharing one
@@ -681,7 +725,7 @@ impl Engine {
         &self,
         analysis: &ModuleAnalysis,
         external: Option<&Budget>,
-    ) -> Result<InferenceResult, MantaError> {
+    ) -> Result<(InferenceResult, Option<ProvenanceGraph>), MantaError> {
         match &self.cache {
             Some(cache) => self.analyze_cached(analysis, cache, external),
             None => self.run_uncached(analysis, external),
@@ -692,7 +736,7 @@ impl Engine {
         &self,
         analysis: &ModuleAnalysis,
         external: Option<&Budget>,
-    ) -> Result<InferenceResult, MantaError> {
+    ) -> Result<(InferenceResult, Option<ProvenanceGraph>), MantaError> {
         match external {
             Some(budget) => self.run_pipeline(analysis, budget),
             None => self.run_pipeline(analysis, &self.budget.start()),
@@ -703,30 +747,47 @@ impl Engine {
     /// strict engine, an armed fault plan, or a wall-clock deadline
     /// (faults and deadlines make results nondeterministic); otherwise
     /// sync the per-function index, look up, and persist only
-    /// non-degraded results.
+    /// non-degraded results. A provenance-recording engine persists the
+    /// graph next to the result under a `"prov"` key with the same
+    /// fingerprint and config hash — the result payload itself stays
+    /// bit-identical to a provenance-off run.
     fn analyze_cached(
         &self,
         analysis: &ModuleAnalysis,
         cache: &AnalysisCache,
         external: Option<&Budget>,
-    ) -> Result<InferenceResult, MantaError> {
+    ) -> Result<(InferenceResult, Option<ProvenanceGraph>), MantaError> {
         if self.strict || plan_active() || self.budget.deadline_ms.is_some() {
             return self.run_uncached(analysis, external);
         }
         cache.sync_module(analysis);
-        let key = Key::new(
-            "infer",
-            module_fingerprint(analysis.module()),
-            config_hash(&self.config, self.budget.fuel),
-        );
+        let fingerprint = module_fingerprint(analysis.module());
+        let cfg = config_hash(&self.config, self.budget.fuel);
+        let key = Key::new("infer", fingerprint, cfg);
+        let prov_key = Key::new("prov", fingerprint, cfg);
         if let Some(hit) = cache.get_result(&key) {
-            return Ok(hit);
+            if !self.provenance {
+                return Ok((hit, None));
+            }
+            // Serve the persisted graph with the hit; a missing or
+            // undecodable graph (entry written by a provenance-off
+            // engine) falls through to recompute both.
+            if let Some(graph) = cache
+                .store()
+                .get(&prov_key)
+                .and_then(|p| ProvenanceGraph::decode(&p).ok())
+            {
+                return Ok((hit, Some(graph)));
+            }
         }
-        let result = self.run_pipeline(analysis, &self.budget.start())?;
+        let (result, prov) = self.run_pipeline(analysis, &self.budget.start())?;
         if !result.is_degraded() {
             let _ = cache.store().put(&key, &encode_result(&result));
+            if let Some(graph) = &prov {
+                let _ = cache.store().put(&prov_key, &graph.encode());
+            }
         }
-        Ok(result)
+        Ok((result, prov))
     }
 
     /// The driver loop: every cross-cutting concern — span, fault
@@ -736,17 +797,32 @@ impl Engine {
         &self,
         analysis: &ModuleAnalysis,
         budget: &Budget,
-    ) -> Result<InferenceResult, MantaError> {
+    ) -> Result<(InferenceResult, Option<ProvenanceGraph>), MantaError> {
         manta_telemetry::span!("infer");
+        let mut prov = self.provenance.then(ProvenanceGraph::new);
+        if let (Some(graph), Some(p)) = (prov.as_mut(), analysis.pointsto.provenance.as_ref()) {
+            graph.record_pointsto(p);
+        }
         let mut ctx = StageCtx::over(analysis, self.config, budget);
         let mut completed = String::from("none");
         for stage in stages(self.config.sensitivity) {
             // Stages mutate `ctx.result` in place but only commit after
             // a full pass; the snapshot restores the last completed
-            // tier if the stage is cut short or panics midway.
-            let snapshot = (!self.strict).then(|| ctx.result.clone());
+            // tier if the stage is cut short or panics midway — and,
+            // when provenance is on, is the pre-stage state the fact
+            // diff runs against.
+            let snapshot = (!self.strict || prov.is_some()).then(|| ctx.result.clone());
             match Self::run_stage(*stage, &mut ctx) {
                 Ok(()) => {
+                    if let Some(graph) = prov.as_mut() {
+                        if stage.site() == "infer.reveal" {
+                            graph.record_reveals(ctx.reveals(), analysis.module());
+                        } else if let Some(tier) = stage.tier() {
+                            let before =
+                                snapshot.as_ref().expect("provenance snapshots every stage");
+                            graph.record_stage_diff(tier, before, &ctx.result);
+                        }
+                    }
                     if let Some(tier) = stage.tier() {
                         if completed == "none" {
                             completed = tier.trim_start_matches('+').to_string();
@@ -773,7 +849,7 @@ impl Engine {
             }
         }
         ctx.result.config = self.config;
-        Ok(ctx.result)
+        Ok((ctx.result, prov))
     }
 
     /// Runs one stage under the uniform guards.
@@ -858,6 +934,33 @@ mod tests {
                 assert!(stage.tier().expect("refinement tier").starts_with('+'));
             }
         }
+    }
+
+    #[test]
+    fn analyze_explained_builds_a_graph_only_when_enabled() {
+        let analysis = ModuleAnalysis::build(module("prov"));
+        let off = Engine::new(MantaConfig::full());
+        let (r_off, g_off) = off.analyze_explained(&analysis).expect("analyze");
+        assert!(g_off.is_none(), "provenance off yields no graph");
+
+        // Engine constructed literally so the process-global provenance
+        // switch (which other tests observe) stays untouched.
+        let on = Engine {
+            provenance: true,
+            ..Engine::new(MantaConfig::full())
+        };
+        let (r_on, g_on) = on.analyze_explained(&analysis).expect("analyze");
+        let graph = g_on.expect("provenance on yields a graph");
+        assert!(
+            results_identical(&r_off, &r_on),
+            "recording must not change results"
+        );
+        let tiers = graph.tier_counts();
+        assert!(tiers.contains_key(crate::provenance::TIER_REVEAL));
+        assert!(tiers.contains_key("FI"));
+        // Every FI fact chains back to reveal leaves or is hint-free.
+        let malloc_ret = *r_on.var_types.keys().min().expect("typed vars");
+        assert!(graph.explain(malloc_ret).is_some());
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod engine;
 pub mod flow_insensitive;
 pub mod flow_refine;
 pub mod interval;
+pub mod provenance;
 pub mod reveal;
 mod unify;
 
@@ -69,6 +70,7 @@ pub use cache::AnalysisCache;
 pub use classify::VarClass;
 pub use engine::{Engine, EngineBuilder};
 pub use interval::{FirstLayer, Resolution, TypeInterval};
+pub use provenance::{ExplainNode, Fact, ProvenanceGraph, PtsDerivation, PtsTarget};
 pub use reveal::{Reveal, RevealMap};
 pub use unify::UnionFind;
 
@@ -441,6 +443,7 @@ impl Manta {
             config: self.config,
             budget: manta_resilience::BudgetSpec::default(),
             strict: true,
+            provenance: false,
             cache: None,
         };
         engine.analyze_with_budget(analysis, budget)

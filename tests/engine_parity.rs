@@ -261,3 +261,62 @@ fn batch_and_module_entrypoints_match_their_composites() {
         "analyze_module != build_substrate + analyze"
     );
 }
+
+/// Provenance recording must be a pure observer: results from a
+/// provenance-enabled engine are bit-identical to the plain engine's,
+/// cold and warm through the cache, and the persisted graph round-trips
+/// byte-for-byte.
+#[test]
+fn provenance_recording_never_perturbs_results() {
+    let _l = lock();
+    for (i, analysis) in suite().iter().enumerate() {
+        let base = Engine::new(MantaConfig::full())
+            .analyze(analysis)
+            .expect("non-strict cannot fail");
+        let engine = Engine::builder()
+            .config(MantaConfig::full())
+            .provenance(true)
+            .build()
+            .expect("cacheless engine cannot fail to build");
+        let outcome = engine.analyze_explained(analysis);
+        manta_telemetry::set_provenance_enabled(false);
+        let (observed, graph) = outcome.expect("non-strict cannot fail");
+        assert!(
+            results_identical(&base, &observed),
+            "project {i}: provenance recording changed the result bytes"
+        );
+        let graph = graph.expect("provenance-enabled engine returns a graph");
+        assert!(!graph.is_empty(), "project {i}: graph must record facts");
+    }
+
+    // Cached: the graph persists next to the result; a warm hit serves
+    // byte-identical payloads for both.
+    let dir = temp_dir("prov");
+    let cache = std::sync::Arc::new(AnalysisCache::open(&dir).expect("open cache"));
+    let engine = Engine::builder()
+        .config(MantaConfig::full())
+        .provenance(true)
+        .cache(cache)
+        .build()
+        .expect("prebuilt cache cannot fail to attach");
+    let analysis = &suite()[0];
+    let cold = engine.analyze_explained(analysis);
+    let warm = engine.analyze_explained(analysis);
+    manta_telemetry::set_provenance_enabled(false);
+    let (cold_res, cold_graph) = cold.expect("non-strict cannot fail");
+    let (warm_res, warm_graph) = warm.expect("non-strict cannot fail");
+    assert!(results_identical(&cold_res, &warm_res));
+    assert_eq!(
+        cold_graph.expect("cold graph").encode(),
+        warm_graph.expect("warm graph").encode(),
+        "warm graph must be byte-identical to the cold one"
+    );
+    let plain = Engine::new(MantaConfig::full())
+        .analyze(analysis)
+        .expect("non-strict cannot fail");
+    assert!(
+        results_identical(&plain, &cold_res),
+        "cached provenance run must match the plain engine"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
