@@ -12,6 +12,8 @@
 //! manta stats  prog.sbf               full-pipeline stage cost breakdown
 //! manta explain prog.sbf f v0         backward type-derivation tree of one value
 //! manta profile prog.sbf              run everything traced, print a time summary
+//! manta serve  ADDR [--cache-dir D]   run the analysis daemon (see manta-serve)
+//! manta client ADDR CMD [...]         talk to a daemon: ping|analyze|stats|shutdown
 //! ```
 //!
 //! `infer`, `bugs` and `icall` additionally take `--trace` (print the span
@@ -86,6 +88,12 @@ USAGE:
     manta stats  <input>
     manta explain <input> <function> <value>
     manta profile <input> [--trace-out <trace.json>]
+    manta serve  <addr> [--workers <N>] [--queue <N>] [--gc-bytes <N>]
+                 [--gc-every <N>] [--fuel-cap <N>] [--deadline-cap-ms <N>]
+    manta client <addr> ping
+    manta client <addr> stats
+    manta client <addr> shutdown
+    manta client <addr> analyze <input> [-s SENS] [--fuel <N>] [--budget-ms <N>]
 
 <input> is an SBF image, SB-ISA assembly, or textual IR (auto-detected).
 
@@ -122,6 +130,18 @@ CACHING (infer, bugs, icall, stats):
                       and recomputed, never trusted. Warm output is
                       bit-identical to cold output at any thread count
     --no-cache        ignore --cache-dir (force a cold run)
+
+SERVING:
+    manta serve       run the analysis daemon on <addr> (e.g. 127.0.0.1:7777;
+                      port 0 picks an ephemeral port, printed on startup).
+                      --cache-dir gives every session one shared store;
+                      --workers sizes the analysis pool, --queue bounds
+                      admission (a full queue answers Overloaded),
+                      --gc-bytes/--gc-every run size-capped LRU store GC,
+                      --fuel-cap/--deadline-cap-ms clamp tenant budgets
+    manta client      talk to a daemon: ping, stats, shutdown (graceful
+                      drain), or analyze a local file remotely; --fuel and
+                      --budget-ms ride along as the request's budget
 ";
 
 /// Loads any supported input file into an IR module.
@@ -342,6 +362,56 @@ fn extract_thread_flag(args: &[String]) -> Result<Vec<String>, CliError> {
         }
     }
     Ok(rest)
+}
+
+/// Parses `manta serve` flags into a [`manta_serve::ServeConfig`].
+fn parse_serve_flags(addr: &str, flags: &[String]) -> Result<manta_serve::ServeConfig, CliError> {
+    let mut config = manta_serve::ServeConfig {
+        addr: addr.to_string(),
+        ..manta_serve::ServeConfig::default()
+    };
+    let mut it = flags.iter();
+    fn number(flag: &str, v: Option<&String>) -> Result<u64, CliError> {
+        match v {
+            Some(n) => n
+                .parse::<u64>()
+                .map_err(|_| CliError(format!("{flag} requires a number, got `{n}`"))),
+            None => Err(CliError(format!("{flag} requires a number"))),
+        }
+    }
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" => config.workers = number("--workers", it.next())?.max(1) as usize,
+            "--queue" => config.queue_cap = number("--queue", it.next())?.max(1) as usize,
+            "--gc-bytes" => config.gc_max_bytes = Some(number("--gc-bytes", it.next())?),
+            "--gc-every" => config.gc_every = number("--gc-every", it.next())?.max(1),
+            "--fuel-cap" => config.fuel_cap = Some(number("--fuel-cap", it.next())?),
+            "--deadline-cap-ms" => {
+                config.deadline_cap_ms = Some(number("--deadline-cap-ms", it.next())?);
+            }
+            other => return err(format!("unknown serve flag `{other}`")),
+        }
+    }
+    Ok(config)
+}
+
+/// Builds the `analyze` request for `manta client`: the module source
+/// rides the wire as text, and `--fuel`/`--budget-ms` become the
+/// request's (server-clamped) budget.
+fn client_analyze_request(
+    input: &str,
+    sensitivity: Sensitivity,
+    resilience: &ResilienceOpts,
+) -> Result<manta_serve::proto::Request, CliError> {
+    // Normalize any supported input format to canonical IR text so the
+    // daemon does not need the original file.
+    let module = load_module(Path::new(input))?;
+    Ok(manta_serve::proto::Request::Analyze {
+        module_text: manta_ir::printer::print_module(&module),
+        sensitivity,
+        fuel: resilience.fuel,
+        deadline_ms: resilience.budget_ms,
+    })
 }
 
 /// Composes the command's engine from the parsed flags: config,
@@ -764,6 +834,73 @@ fn run_command(
                     "  {name}: {:.3} ms over {count} events",
                     dur_us / 1000.0
                 );
+            }
+        }
+        Some("serve") => {
+            let [_, addr, flags @ ..] = args else {
+                return err(USAGE);
+            };
+            let config = parse_serve_flags(addr, flags)?;
+            let engine = make_engine(MantaConfig::full(), resilience, cache.clone());
+            let server = manta_serve::Server::spawn(engine, config)
+                .map_err(|e| CliError(format!("cannot start daemon: {e}")))?;
+            // Print the bound address eagerly: with port 0 the caller
+            // cannot know it, and `out` is only shown after the drain.
+            println!("manta-serve listening on {}", server.addr());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            server.join();
+            let _ = writeln!(out, "drained and shut down");
+        }
+        Some("client") => {
+            use manta_serve::proto::{Request, Response};
+            let [_, addr, sub @ ..] = args else {
+                return err(USAGE);
+            };
+            let request = match sub {
+                [cmd] if cmd == "ping" => Request::Ping,
+                [cmd] if cmd == "stats" => Request::Stats,
+                [cmd] if cmd == "shutdown" => Request::Shutdown,
+                [cmd, input] if cmd == "analyze" => {
+                    client_analyze_request(input, Sensitivity::FiCsFs, resilience)?
+                }
+                [cmd, input, flag, s] if cmd == "analyze" && flag == "-s" => {
+                    client_analyze_request(input, parse_sensitivity(s)?, resilience)?
+                }
+                _ => return err(USAGE),
+            };
+            let response = manta_serve::client::call_with_retry(
+                addr.as_str(),
+                &request,
+                manta_resilience::BackoffPolicy::default(),
+                0x6d_616e_7461, // "manta"
+            )
+            .map_err(|e| CliError(format!("daemon call failed: {e}")))?;
+            match response {
+                Response::Pong => {
+                    let _ = writeln!(out, "pong");
+                }
+                Response::Stats { text } => out.push_str(&text),
+                Response::ShuttingDown => {
+                    let _ = writeln!(out, "daemon draining");
+                }
+                Response::Overloaded { retry_after_ms } => {
+                    return err(format!("daemon overloaded; retry in {retry_after_ms} ms"));
+                }
+                Response::Error { error } => {
+                    return err(format!("daemon error: {error}"));
+                }
+                Response::Analyzed {
+                    result,
+                    summary,
+                    degraded,
+                } => {
+                    if degraded {
+                        let _ = writeln!(out, "degraded result");
+                    }
+                    let _ = writeln!(out, "{summary}");
+                    let _ = writeln!(out, "result: {} bytes (canonical encoding)", result.len());
+                }
             }
         }
         _ => return err(USAGE),

@@ -37,7 +37,10 @@
 //! ## Thread-count policy
 //!
 //! The pool size is a process-wide setting ([`set_threads`]): `0` means
-//! "auto" (`std::thread::available_parallelism`). With an effective
+//! "auto" (`std::thread::available_parallelism`). [`par_map`] clamps
+//! the configured count to the host's cores ([`effective_threads`]):
+//! oversubscribing a core adds scheduling overhead without speedup, so
+//! `--threads 8` on a single-core box runs inline. With an effective
 //! count of 1 every entry point degenerates to a plain inline loop — no
 //! threads, no `catch_unwind` — so `--threads 1` *is* the serial
 //! engine, not an emulation of it. Nested calls from inside a worker
@@ -123,6 +126,26 @@ pub fn threads() -> usize {
     .max(1)
 }
 
+/// The host's available parallelism, read once per process.
+fn host_cores() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+    })
+}
+
+/// The pool size [`par_map`] will actually use: [`threads`] clamped to
+/// the host's available parallelism. Requesting more workers than the
+/// host has cores cannot add speedup, only scheduling overhead, so on a
+/// single-core host every configuration degenerates to the inline
+/// fast-path (`effective_threads() == 1`).
+#[must_use]
+pub fn effective_threads() -> usize {
+    threads().min(host_cores())
+}
+
 /// Whether the current thread is a pool worker (nested parallel calls
 /// from here run inline).
 #[must_use]
@@ -133,9 +156,11 @@ pub fn in_pool() -> bool {
 /// Maps `f` over `items` on a work-stealing pool, returning results in
 /// input order.
 ///
-/// Runs inline (plain `map`) when the effective thread count is 1, when
-/// called from inside a pool worker, or when there are fewer than two
-/// items. See the crate docs for the determinism and panic contract.
+/// Runs inline (plain `map`) when the effective pool size
+/// ([`effective_threads`], i.e. the configured count clamped to the
+/// host's cores) is 1, when called from inside a pool worker, or when
+/// there are fewer than two items. See the crate docs for the
+/// determinism and panic contract.
 ///
 /// # Panics
 ///
@@ -147,7 +172,7 @@ where
     R: Send,
     F: Fn(I) -> R + Sync,
 {
-    let workers = threads().min(items.len());
+    let workers = effective_threads().min(items.len());
     if workers <= 1 || in_pool() {
         return items.into_iter().map(f).collect();
     }
@@ -480,13 +505,28 @@ mod tests {
     fn nested_par_map_runs_inline() {
         let _l = config_lock();
         set_threads(4);
+        // On a single-core host the clamp makes the outer call inline
+        // too, in which case there is no pool to observe.
+        let expect_pool = effective_threads() > 1;
         let out = par_map(vec![1u64, 2, 3, 4], |x| {
-            assert!(in_pool());
+            assert_eq!(in_pool(), expect_pool);
             // Nested call must not deadlock or oversubscribe.
             par_map(vec![x, x + 10], |y| y * 2).iter().sum::<u64>()
         });
         set_threads(0);
         assert_eq!(out, vec![24, 28, 32, 36]);
+    }
+
+    #[test]
+    fn effective_threads_is_clamped_to_host_cores() {
+        let _l = config_lock();
+        set_threads(4096);
+        // `threads()` reports the configured value verbatim; the pool
+        // size is what gets clamped.
+        assert_eq!(threads(), 4096);
+        assert!(effective_threads() <= host_cores());
+        assert!(effective_threads() >= 1);
+        set_threads(0);
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Deterministic retry backoff for transient failures.
+//!
+//! A client hitting an overloaded server must retry *eventually* but not
+//! *immediately*, and a fleet of clients must not retry in lockstep.
+//! [`Backoff`] produces a capped exponential delay sequence with
+//! multiplicative jitter drawn from a seeded splitmix64 stream, so two
+//! clients with different seeds spread out while a test with a fixed
+//! seed sees the exact same delays on every run.
+
+use std::time::Duration;
+
+/// Policy knobs for a [`Backoff`] sequence.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Ceiling applied to the exponential delay before jitter.
+    pub cap: Duration,
+    /// Maximum number of retries; [`Backoff::next_delay`] returns `None`
+    /// once they are spent.
+    pub max_retries: u32,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> BackoffPolicy {
+        BackoffPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+            max_retries: 6,
+        }
+    }
+}
+
+/// A seeded, capped exponential backoff sequence.
+///
+/// Delay for attempt `n` (0-based) is `min(base * 2^n, cap)` scaled by a
+/// jitter factor in `[0.5, 1.0]` drawn from the seeded stream — the
+/// "equal jitter" scheme: never more than the deterministic envelope,
+/// never less than half of it, and reproducible for a given seed.
+#[derive(Debug)]
+pub struct Backoff {
+    policy: BackoffPolicy,
+    rng: u64,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// Starts a sequence under `policy`, with jitter seeded by `seed`.
+    #[must_use]
+    pub fn new(policy: BackoffPolicy, seed: u64) -> Backoff {
+        Backoff {
+            policy,
+            rng: seed,
+            attempt: 0,
+        }
+    }
+
+    /// Retries consumed so far.
+    #[must_use]
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The delay to sleep before the next retry, or `None` when the
+    /// retry budget is spent.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempt >= self.policy.max_retries {
+            return None;
+        }
+        let exp = self
+            .policy
+            .base
+            .saturating_mul(1u32.checked_shl(self.attempt).unwrap_or(u32::MAX).max(1));
+        let envelope = exp.min(self.policy.cap);
+        self.attempt += 1;
+        // splitmix64 step (same generator as manta-store's hashing
+        // utilities; re-derived here to keep this crate's dependency
+        // surface unchanged).
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Jitter factor in [0.5, 1.0): keep the top half of the
+        // envelope so retries still spread without collapsing to zero.
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 0.5 + unit / 2.0;
+        Some(envelope.mul_f64(factor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_delays() {
+        let policy = BackoffPolicy::default();
+        let mut b = Backoff::new(policy, 42);
+        let first: Vec<_> = std::iter::from_fn(|| b.next_delay()).collect();
+        assert_eq!(first.len(), policy.max_retries as usize);
+        let mut c = Backoff::new(policy, 42);
+        let again: Vec<_> = std::iter::from_fn(|| c.next_delay()).collect();
+        assert_eq!(first, again, "a fixed seed reproduces the sequence");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let policy = BackoffPolicy::default();
+        let mut a = Backoff::new(policy, 1);
+        let mut b = Backoff::new(policy, 2);
+        let da: Vec<_> = std::iter::from_fn(|| a.next_delay()).collect();
+        let db: Vec<_> = std::iter::from_fn(|| b.next_delay()).collect();
+        assert_ne!(da, db, "seeds must decorrelate retry storms");
+    }
+
+    #[test]
+    fn delays_grow_exponentially_within_the_jitter_band() {
+        let policy = BackoffPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(60),
+            max_retries: 5,
+        };
+        let mut b = Backoff::new(policy, 7);
+        for n in 0..policy.max_retries {
+            let envelope = policy.base * 2u32.pow(n);
+            let d = b.next_delay().expect("within retry budget");
+            assert!(
+                d >= envelope / 2 && d <= envelope,
+                "attempt {n}: {d:?} outside [{:?}, {envelope:?}]",
+                envelope / 2
+            );
+        }
+        assert_eq!(b.next_delay(), None, "retry budget must be finite");
+    }
+
+    #[test]
+    fn cap_bounds_every_delay() {
+        let policy = BackoffPolicy {
+            base: Duration::from_millis(100),
+            cap: Duration::from_millis(250),
+            max_retries: 10,
+        };
+        let mut b = Backoff::new(policy, 99);
+        while let Some(d) = b.next_delay() {
+            assert!(d <= policy.cap);
+        }
+    }
+}

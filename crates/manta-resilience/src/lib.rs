@@ -25,11 +25,13 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod backoff;
 mod budget;
 mod error;
 mod fault;
 mod isolate;
 
+pub use backoff::{Backoff, BackoffPolicy};
 pub use budget::{Budget, BudgetExceeded, BudgetKind, BudgetSpec, DEADLINE_PERIOD};
 pub use error::{Degradation, DegradationKind, MantaError, StageName};
 pub use fault::{

@@ -1,0 +1,113 @@
+//! A blocking client for the daemon, with deterministic retry.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use manta_resilience::{Backoff, BackoffPolicy};
+use manta_store::DecodeError;
+
+use crate::proto::{read_frame, write_frame, Request, Response};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection died or could not be established.
+    Io(io::Error),
+    /// The server's reply did not decode.
+    Decode(DecodeError),
+    /// The server closed the stream without replying.
+    ClosedEarly,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Decode(e) => write!(f, "malformed server reply: {e}"),
+            ClientError::ClosedEarly => write!(f, "server closed the stream without replying"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to a daemon. Requests on a connection are pipelined
+/// strictly one-at-a-time: `call` writes a frame and blocks for the
+/// reply frame.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors resolving or connecting.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on connection failure, [`ClientError::Decode`]
+    /// on a malformed reply, [`ClientError::ClosedEarly`] if the server
+    /// hung up without answering.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream)?.ok_or(ClientError::ClosedEarly)?;
+        Response::decode(&payload).map_err(ClientError::Decode)
+    }
+
+    /// Raw stream access, for tests that need to send malformed bytes.
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}
+
+/// Calls `request` against `addr`, retrying with seeded backoff when
+/// the daemon answers `Overloaded` or the connection fails. Each retry
+/// reconnects (the daemon may have restarted). The jitter sequence is
+/// fully determined by `seed`, so tests are reproducible.
+///
+/// Returns the first non-`Overloaded` response, or the last error once
+/// the policy's retries are spent.
+///
+/// # Errors
+///
+/// The final [`ClientError`] after retries are exhausted.
+pub fn call_with_retry(
+    addr: impl ToSocketAddrs + Copy,
+    request: &Request,
+    policy: BackoffPolicy,
+    seed: u64,
+) -> Result<Response, ClientError> {
+    let mut backoff = Backoff::new(policy, seed);
+    loop {
+        let attempt: Result<Response, ClientError> =
+            Client::connect(addr).and_then(|mut c| c.call(request));
+        let delay = match attempt {
+            Ok(Response::Overloaded { retry_after_ms }) => match backoff.next_delay() {
+                Some(d) => d.max(Duration::from_millis(retry_after_ms.min(50))),
+                None => return Ok(Response::Overloaded { retry_after_ms }),
+            },
+            Ok(resp) => return Ok(resp),
+            Err(e) => match backoff.next_delay() {
+                Some(d) => d,
+                None => return Err(e),
+            },
+        };
+        std::thread::sleep(delay);
+    }
+}

@@ -1,0 +1,574 @@
+//! The `manta-serve` wire protocol.
+//!
+//! Frames are a 4-byte little-endian payload length followed by the
+//! payload, encoded with the `manta-store` byte codec. Every payload
+//! starts with the protocol version ([`PROTO_VERSION`]) and a one-byte
+//! message tag; decoders reject unknown versions and tags with a
+//! positioned [`DecodeError`] and must never panic — the bytes come
+//! from the network, and the network lies exactly like disk does.
+//!
+//! ```text
+//! frame    := len:u32le payload[len]
+//! payload  := version:u32 tag:u8 fields...
+//! ```
+//!
+//! Requests: `Ping`, `Analyze { module_text, sensitivity, fuel?,
+//! deadline_ms? }`, `Stats`, `Shutdown`. Responses: `Pong`, `Analyzed
+//! { result_bytes, summary, degraded }`, `Error { MantaError }`,
+//! `Overloaded { retry_after_ms }`, `Stats { text }`, `ShuttingDown`.
+//! `result_bytes` is the canonical `manta::cache::encode_result`
+//! payload, so clients can assert byte-identity across warm and cold
+//! runs without re-deriving a rendering.
+
+use std::io::{Read, Write};
+
+use manta::Sensitivity;
+use manta_resilience::{BudgetKind, BudgetSpec, MantaError};
+use manta_store::{ByteReader, ByteWriter, DecodeError};
+
+/// Wire protocol version; bump on any frame-layout change.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Upper bound on a frame payload (module text dominates).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// A job submitted by a client.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Analyze one module.
+    Analyze {
+        /// Module source: textual IR or assembly, as accepted by the CLI.
+        module_text: String,
+        /// Cascade sensitivity to run.
+        sensitivity: Sensitivity,
+        /// Per-request fuel budget (server may clamp it further).
+        fuel: Option<u64>,
+        /// Per-request wall-clock budget in milliseconds (server may
+        /// clamp it further).
+        deadline_ms: Option<u64>,
+    },
+    /// Fetch the daemon's counters as rendered text.
+    Stats,
+    /// Ask the daemon to drain in-flight work and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// The per-request budget carried by an `Analyze`, defaults for the
+    /// other variants.
+    #[must_use]
+    pub fn budget(&self) -> BudgetSpec {
+        match self {
+            Request::Analyze {
+                fuel, deadline_ms, ..
+            } => BudgetSpec {
+                fuel: *fuel,
+                deadline_ms: *deadline_ms,
+            },
+            _ => BudgetSpec::default(),
+        }
+    }
+
+    /// Encodes this request as one frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u32(PROTO_VERSION);
+        match self {
+            Request::Ping => {
+                w.u8(0);
+            }
+            Request::Analyze {
+                module_text,
+                sensitivity,
+                fuel,
+                deadline_ms,
+            } => {
+                w.u8(1);
+                w.str(module_text);
+                w.u8(sensitivity_to_u8(*sensitivity));
+                encode_opt_u64(&mut w, *fuel);
+                encode_opt_u64(&mut w, *deadline_ms);
+            }
+            Request::Stats => {
+                w.u8(2);
+            }
+            Request::Shutdown => {
+                w.u8(3);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes one frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on version or tag mismatch, truncation, or
+    /// trailing garbage; the offset names the failing byte.
+    pub fn decode(payload: &[u8]) -> Result<Request, DecodeError> {
+        let mut r = ByteReader::new(payload);
+        check_version(&mut r)?;
+        let req = match r.u8("request.tag")? {
+            0 => Request::Ping,
+            1 => Request::Analyze {
+                module_text: r.str("request.module_text")?.to_string(),
+                sensitivity: sensitivity_from_u8(r.u8("request.sensitivity")?).ok_or(
+                    DecodeError {
+                        context: "request.sensitivity",
+                        offset: payload.len(),
+                    },
+                )?,
+                fuel: decode_opt_u64(&mut r, "request.fuel")?,
+                deadline_ms: decode_opt_u64(&mut r, "request.deadline_ms")?,
+            },
+            2 => Request::Stats,
+            3 => Request::Shutdown,
+            _ => {
+                return Err(DecodeError {
+                    context: "request.tag",
+                    offset: 4,
+                })
+            }
+        };
+        r.expect_end("request.end")?;
+        Ok(req)
+    }
+}
+
+/// The daemon's answer to one [`Request`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum Response {
+    /// Liveness reply.
+    Pong,
+    /// A completed (possibly degraded) analysis.
+    Analyzed {
+        /// Canonical `encode_result` bytes of the inference result.
+        result: Vec<u8>,
+        /// Human-readable one-line summary.
+        summary: String,
+        /// Whether any stage degraded (budget, panic, injected fault).
+        degraded: bool,
+    },
+    /// The request failed with a structured pipeline error; the worker
+    /// that produced it is alive and serving.
+    Error {
+        /// The structured failure.
+        error: MantaError,
+    },
+    /// Admission control rejected the job: the queue is full. Retry
+    /// after a backoff (see `manta_resilience::Backoff`).
+    Overloaded {
+        /// Server's hint for the first retry delay.
+        retry_after_ms: u64,
+    },
+    /// Rendered daemon counters.
+    Stats {
+        /// Text report, one `name value` pair per line.
+        text: String,
+    },
+    /// The daemon acknowledged [`Request::Shutdown`] and is draining.
+    ShuttingDown,
+}
+
+impl Response {
+    /// Encodes this response as one frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u32(PROTO_VERSION);
+        match self {
+            Response::Pong => {
+                w.u8(0);
+            }
+            Response::Analyzed {
+                result,
+                summary,
+                degraded,
+            } => {
+                w.u8(1);
+                w.bytes(result);
+                w.str(summary);
+                w.bool(*degraded);
+            }
+            Response::Error { error } => {
+                w.u8(2);
+                encode_error(&mut w, error);
+            }
+            Response::Overloaded { retry_after_ms } => {
+                w.u8(3);
+                w.u64(*retry_after_ms);
+            }
+            Response::Stats { text } => {
+                w.u8(4);
+                w.str(text);
+            }
+            Response::ShuttingDown => {
+                w.u8(5);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes one frame payload.
+    ///
+    /// # Errors
+    ///
+    /// As [`Request::decode`].
+    pub fn decode(payload: &[u8]) -> Result<Response, DecodeError> {
+        let mut r = ByteReader::new(payload);
+        check_version(&mut r)?;
+        let resp = match r.u8("response.tag")? {
+            0 => Response::Pong,
+            1 => Response::Analyzed {
+                result: r.bytes("response.result")?.to_vec(),
+                summary: r.str("response.summary")?.to_string(),
+                degraded: r.bool("response.degraded")?,
+            },
+            2 => Response::Error {
+                error: decode_error(&mut r)?,
+            },
+            3 => Response::Overloaded {
+                retry_after_ms: r.u64("response.retry_after_ms")?,
+            },
+            4 => Response::Stats {
+                text: r.str("response.stats")?.to_string(),
+            },
+            5 => Response::ShuttingDown,
+            _ => {
+                return Err(DecodeError {
+                    context: "response.tag",
+                    offset: 4,
+                })
+            }
+        };
+        r.expect_end("response.end")?;
+        Ok(resp)
+    }
+}
+
+fn check_version(r: &mut ByteReader<'_>) -> Result<(), DecodeError> {
+    if r.u32("proto.version")? != PROTO_VERSION {
+        return Err(DecodeError {
+            context: "proto.version",
+            offset: 0,
+        });
+    }
+    Ok(())
+}
+
+fn encode_opt_u64(w: &mut ByteWriter, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            w.bool(true);
+            w.u64(x);
+        }
+        None => {
+            w.bool(false);
+        }
+    }
+}
+
+fn decode_opt_u64(
+    r: &mut ByteReader<'_>,
+    context: &'static str,
+) -> Result<Option<u64>, DecodeError> {
+    Ok(if r.bool(context)? {
+        Some(r.u64(context)?)
+    } else {
+        None
+    })
+}
+
+fn sensitivity_to_u8(s: Sensitivity) -> u8 {
+    match s {
+        Sensitivity::Fi => 0,
+        Sensitivity::Fs => 1,
+        Sensitivity::FiFs => 2,
+        Sensitivity::FiCsFs => 3,
+        Sensitivity::FiFsCs => 4,
+    }
+}
+
+fn sensitivity_from_u8(v: u8) -> Option<Sensitivity> {
+    Some(match v {
+        0 => Sensitivity::Fi,
+        1 => Sensitivity::Fs,
+        2 => Sensitivity::FiFs,
+        3 => Sensitivity::FiCsFs,
+        4 => Sensitivity::FiFsCs,
+        _ => return None,
+    })
+}
+
+fn encode_error(w: &mut ByteWriter, e: &MantaError) {
+    match e {
+        MantaError::Parse { line, col, message } => {
+            w.u8(0);
+            w.u64(*line as u64);
+            w.u64(*col as u64);
+            w.str(message);
+        }
+        MantaError::Verify { message } => {
+            w.u8(1);
+            w.str(message);
+        }
+        MantaError::Panic { stage, message } => {
+            w.u8(2);
+            w.str(stage);
+            w.str(message);
+        }
+        MantaError::Budget { stage, kind } => {
+            w.u8(3);
+            w.str(stage);
+            w.u8(match kind {
+                BudgetKind::Fuel => 0,
+                BudgetKind::Deadline => 1,
+                BudgetKind::Injected => 2,
+            });
+        }
+    }
+}
+
+fn decode_error(r: &mut ByteReader<'_>) -> Result<MantaError, DecodeError> {
+    Ok(match r.u8("error.tag")? {
+        0 => MantaError::Parse {
+            line: r.u64("error.line")? as usize,
+            col: r.u64("error.col")? as usize,
+            message: r.str("error.message")?.to_string(),
+        },
+        1 => MantaError::Verify {
+            message: r.str("error.message")?.to_string(),
+        },
+        2 => MantaError::Panic {
+            stage: r.str("error.stage")?.to_string(),
+            message: r.str("error.message")?.to_string(),
+        },
+        3 => MantaError::Budget {
+            stage: r.str("error.stage")?.to_string(),
+            kind: match r.u8("error.kind")? {
+                0 => BudgetKind::Fuel,
+                1 => BudgetKind::Deadline,
+                2 => BudgetKind::Injected,
+                _ => {
+                    return Err(DecodeError {
+                        context: "error.kind",
+                        offset: 0,
+                    })
+                }
+            },
+        },
+        _ => {
+            return Err(DecodeError {
+                context: "error.tag",
+                offset: 0,
+            })
+        }
+    })
+}
+
+/// Writes one frame: 4-byte little-endian length, then the payload.
+///
+/// # Errors
+///
+/// Propagates I/O failures; payloads over [`MAX_FRAME`] are refused
+/// with `InvalidInput` instead of being sent.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean end-of-stream (the peer
+/// closed between frames); a stream truncated *inside* a frame, or a
+/// length over [`MAX_FRAME`], is `UnexpectedEof`/`InvalidData`.
+///
+/// # Errors
+///
+/// Propagates I/O failures and malformed lengths.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream truncated inside a frame length",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "stream truncated inside a frame payload",
+        )
+    })?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Ping,
+            Request::Analyze {
+                module_text: "module m\n".to_string(),
+                sensitivity: Sensitivity::FiCsFs,
+                fuel: Some(1000),
+                deadline_ms: None,
+            },
+            Request::Analyze {
+                module_text: String::new(),
+                sensitivity: Sensitivity::Fi,
+                fuel: None,
+                deadline_ms: Some(250),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ]
+    }
+
+    fn all_responses() -> Vec<Response> {
+        vec![
+            Response::Pong,
+            Response::Analyzed {
+                result: vec![1, 2, 3],
+                summary: "precise=3 over=1 unknown=0".to_string(),
+                degraded: true,
+            },
+            Response::Error {
+                error: MantaError::Panic {
+                    stage: "serve.dispatch".to_string(),
+                    message: "injected".to_string(),
+                },
+            },
+            Response::Error {
+                error: MantaError::Budget {
+                    stage: "serve.decode".to_string(),
+                    kind: BudgetKind::Injected,
+                },
+            },
+            Response::Error {
+                error: MantaError::Parse {
+                    line: 3,
+                    col: 0,
+                    message: "bad opcode".to_string(),
+                },
+            },
+            Response::Overloaded { retry_after_ms: 15 },
+            Response::Stats {
+                text: "serve.requests 4\n".to_string(),
+            },
+            Response::ShuttingDown,
+        ]
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in all_requests() {
+            let back = Request::decode(&req.encode()).expect("roundtrip");
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in all_responses() {
+            let back = Response::decode(&resp.encode()).expect("roundtrip");
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_positioned_error_never_a_panic() {
+        for req in all_requests() {
+            let full = req.encode();
+            for cut in 0..full.len() {
+                let err = Request::decode(&full[..cut]).expect_err("truncated must fail");
+                assert!(!err.context.is_empty());
+            }
+        }
+        for resp in all_responses() {
+            let full = resp.encode();
+            for cut in 0..full.len() {
+                assert!(Response::decode(&full[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = Request::Ping.encode();
+        bytes.push(0);
+        let err = Request::decode(&bytes).expect_err("trailing byte");
+        assert_eq!(err.context, "request.end");
+    }
+
+    #[test]
+    fn version_and_tag_skew_are_rejected() {
+        let mut bytes = Request::Stats.encode();
+        bytes[0] = 0xFF;
+        assert_eq!(
+            Request::decode(&bytes).expect_err("version").context,
+            "proto.version"
+        );
+        let mut bytes = Request::Stats.encode();
+        bytes[4] = 0xEE;
+        assert_eq!(
+            Request::decode(&bytes).expect_err("tag").context,
+            "request.tag"
+        );
+    }
+
+    #[test]
+    fn frames_roundtrip_and_truncation_is_detected() {
+        let payload = Request::Ping.encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = std::io::Cursor::new(&buf);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().as_deref(),
+            Some(&payload[..])
+        );
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().as_deref(),
+            Some(&payload[..])
+        );
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+        // Truncate inside the second frame's payload.
+        let cut = buf.len() - 2;
+        let mut cursor = std::io::Cursor::new(&buf[..cut]);
+        assert!(read_frame(&mut cursor).unwrap().is_some());
+        let err = read_frame(&mut cursor).expect_err("truncated frame");
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        // An absurd length never allocates.
+        let mut huge = std::io::Cursor::new((u32::MAX).to_le_bytes().to_vec());
+        assert_eq!(
+            read_frame(&mut huge).expect_err("huge frame").kind(),
+            std::io::ErrorKind::InvalidData
+        );
+    }
+}

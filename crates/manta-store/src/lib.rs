@@ -40,4 +40,7 @@ pub mod store;
 pub use bytes::{ByteReader, ByteWriter, DecodeError};
 pub use depgraph::DepGraph;
 pub use hash::{combine, hash_bytes, hash_str, splitmix64, Fingerprint};
-pub use store::{Key, OpenOutcome, StatsSnapshot, Store, StoreError, StoreStats, FORMAT_VERSION};
+pub use store::{
+    GcReport, Key, OpenOutcome, StatsSnapshot, Store, StoreError, StoreStats, DEFAULT_LOCK_WAIT,
+    FORMAT_VERSION, LOCK_FILE,
+};

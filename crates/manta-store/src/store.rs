@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! <dir>/MANIFEST              store-level header (magic + format version)
+//! <dir>/LOCK                  advisory single-writer lock (holder pid)
 //! <dir>/<stage>-<content>-<config>.entry    one file per cached entry
 //! ```
 //!
@@ -30,12 +31,33 @@
 //! checksum. Stale data is prevented by content-addressing: keys include
 //! the content and configuration hashes, so changed inputs simply look
 //! up a different key.
+//!
+//! ## Advisory locking and unclean shutdown
+//!
+//! Opening a store takes an advisory `LOCK` file (created with
+//! `create_new`, holding the owner's pid) so two *processes* cannot race
+//! the same directory; the lock is released on [`Store`] drop. A second
+//! opener waits briefly for the holder, then fails with a diagnostic
+//! naming the holder pid. A lock left behind by a dead process (checked
+//! via `/proc/<pid>`) marks an *unclean shutdown*: the opener clears the
+//! stale lock, sweeps half-written `.tmp-*` files, keeps every committed
+//! (self-verifying) entry, and reports [`OpenOutcome::Recovered`].
+//!
+//! ## Garbage collection
+//!
+//! [`Store::gc`] evicts least-recently-used entries until the store fits
+//! a byte budget. Recency is the entry file's modification time — hits
+//! refresh it — with ties broken by file name so eviction order is
+//! deterministic. Eviction is always safe: keys are content-addressed,
+//! so an evicted entry can only cost a recomputation, never a wrong
+//! answer.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime};
 
 use crate::hash::hash_bytes;
 
@@ -46,6 +68,10 @@ pub const ENTRY_MAGIC: &[u8; 8] = b"MANTAENT";
 /// On-disk format version. Bump on any layout or payload-codec change:
 /// old stores are then discarded wholesale on open.
 pub const FORMAT_VERSION: u32 = 1;
+/// Name of the advisory lock file inside the store directory.
+pub const LOCK_FILE: &str = "LOCK";
+/// How long [`Store::open`] waits for a live lock holder before failing.
+pub const DEFAULT_LOCK_WAIT: Duration = Duration::from_secs(2);
 
 const HEADER_LEN: usize = 8 + 4 + 8 + 8;
 
@@ -123,6 +149,8 @@ pub struct StoreStats {
     pub invalidations: AtomicU64,
     /// Corrupt or version-mismatched files discarded.
     pub corrupt: AtomicU64,
+    /// Entries evicted by [`Store::gc`].
+    pub evictions: AtomicU64,
     /// Payload bytes served from the store.
     pub bytes_read: AtomicU64,
     /// Payload bytes written into the store.
@@ -140,6 +168,8 @@ pub struct StatsSnapshot {
     pub invalidations: u64,
     /// Corrupt files discarded.
     pub corrupt: u64,
+    /// Entries evicted by GC.
+    pub evictions: u64,
     /// Payload bytes served.
     pub bytes_read: u64,
     /// Payload bytes written.
@@ -154,6 +184,7 @@ impl StoreStats {
             misses: self.misses.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
             corrupt: self.corrupt.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
         }
@@ -167,9 +198,12 @@ pub enum OpenOutcome {
     Existing,
     /// The directory was empty or new; a fresh manifest was written.
     Fresh,
-    /// The manifest was missing/corrupt/another version: all entries
-    /// were discarded and the store reinitialized. Callers should log a
-    /// degradation — cached work was lost, but correctness is intact.
+    /// The store needed recovery. Either the manifest was
+    /// missing/corrupt/another version (all entries discarded and the
+    /// store reinitialized), or the previous holder died without
+    /// releasing the `LOCK` (half-written `.tmp-*` files swept;
+    /// committed entries kept — they are self-verifying). Callers should
+    /// log a degradation; correctness is intact either way.
     Recovered,
 }
 
@@ -189,20 +223,45 @@ pub struct Store {
 
 impl Store {
     /// Opens (or initializes) the store in `dir`, creating the directory
-    /// if needed. See [`OpenOutcome`] for the recovery semantics.
+    /// if needed. Waits up to [`DEFAULT_LOCK_WAIT`] for a live advisory
+    /// lock holder. See [`OpenOutcome`] for the recovery semantics.
     ///
     /// # Errors
     ///
-    /// Only on unrecoverable filesystem failures (cannot create the
-    /// directory or write the manifest) — never on corrupt content.
+    /// When another live process holds the store's `LOCK`, or on
+    /// unrecoverable filesystem failures (cannot create the directory or
+    /// write the manifest) — never on corrupt content.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        Store::open_with_lock_wait(dir, DEFAULT_LOCK_WAIT)
+    }
+
+    /// [`Store::open`] with an explicit bound on how long to wait for a
+    /// live lock holder before failing.
+    ///
+    /// # Errors
+    ///
+    /// As [`Store::open`].
+    pub fn open_with_lock_wait(
+        dir: impl Into<PathBuf>,
+        lock_wait: Duration,
+    ) -> Result<Store, StoreError> {
         let dir = dir.into();
         if let Err(e) = std::fs::create_dir_all(&dir) {
             return store_err(format!("cannot create {}: {e}", dir.display()));
         }
+        let lock = acquire_lock(&dir, lock_wait)?;
         let manifest = dir.join("MANIFEST");
         let outcome = match std::fs::read(&manifest) {
-            Ok(bytes) if manifest_is_current(&bytes) => OpenOutcome::Existing,
+            Ok(bytes) if manifest_is_current(&bytes) => {
+                if lock.unclean_shutdown {
+                    // The previous holder died mid-flight: drop its
+                    // half-written temp files, keep committed entries.
+                    remove_tmp_files(&dir);
+                    OpenOutcome::Recovered
+                } else {
+                    OpenOutcome::Existing
+                }
+            }
             Ok(_) => {
                 // Foreign or old-format store: discard every entry.
                 remove_entries(&dir);
@@ -291,6 +350,13 @@ impl Store {
                     .bytes_read
                     .fetch_add(payload.len() as u64, Ordering::Relaxed);
                 self.bump_kind(key.stage, true);
+                // Refresh the entry's LRU recency (best-effort; a failed
+                // touch only makes the entry eligible for eviction
+                // earlier than ideal).
+                let _ = std::fs::File::options()
+                    .write(true)
+                    .open(&path)
+                    .and_then(|f| f.set_modified(SystemTime::now()));
                 Some(payload)
             }
             None => {
@@ -402,6 +468,170 @@ impl Store {
         names.sort();
         names
     }
+
+    /// Total bytes currently held in entry files (headers included).
+    #[must_use]
+    pub fn disk_usage(&self) -> u64 {
+        self.entries_with_meta().iter().map(|e| e.size).sum()
+    }
+
+    /// Evicts least-recently-used entries until the bytes held in entry
+    /// files fit `max_bytes`. Recency is the file modification time
+    /// (refreshed on every hit), ties broken by file name so the
+    /// eviction order is deterministic; `MANIFEST` and `LOCK` are never
+    /// touched. Returns what the pass did.
+    ///
+    /// Always safe: keys are content-addressed, so evicting an entry can
+    /// only cost a recomputation, never change an answer.
+    pub fn gc(&self, max_bytes: u64) -> GcReport {
+        let mut entries = self.entries_with_meta();
+        entries.sort_by(|a, b| (a.mtime, &a.name).cmp(&(b.mtime, &b.name)));
+        let mut live_bytes: u64 = entries.iter().map(|e| e.size).sum();
+        let mut report = GcReport {
+            scanned: entries.len(),
+            live_bytes,
+            ..GcReport::default()
+        };
+        for e in &entries {
+            if live_bytes <= max_bytes {
+                break;
+            }
+            if std::fs::remove_file(self.dir.join(&e.name)).is_ok() {
+                live_bytes -= e.size;
+                report.evicted += 1;
+                report.evicted_bytes += e.size;
+            }
+        }
+        report.live_bytes = live_bytes;
+        self.stats
+            .evictions
+            .fetch_add(report.evicted as u64, Ordering::Relaxed);
+        report
+    }
+
+    fn entries_with_meta(&self) -> Vec<EntryMeta> {
+        let mut out = Vec::new();
+        if let Ok(rd) = std::fs::read_dir(&self.dir) {
+            for e in rd.flatten() {
+                let Some(name) = e.file_name().to_str().map(str::to_string) else {
+                    continue;
+                };
+                if !name.ends_with(".entry") {
+                    continue;
+                }
+                let Ok(meta) = e.metadata() else { continue };
+                out.push(EntryMeta {
+                    mtime: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                    size: meta.len(),
+                    name,
+                });
+            }
+        }
+        out
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        // Release the advisory lock. While this process is alive no
+        // other opener can have taken it over (liveness is checked via
+        // /proc before clearing a stale lock), so the file is ours.
+        let _ = std::fs::remove_file(self.dir.join(LOCK_FILE));
+    }
+}
+
+/// One entry file's name, size and recency, as seen by [`Store::gc`].
+struct EntryMeta {
+    mtime: SystemTime,
+    size: u64,
+    name: String,
+}
+
+/// The outcome of one [`Store::gc`] pass.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct GcReport {
+    /// Entry files examined.
+    pub scanned: usize,
+    /// Entry files removed.
+    pub evicted: usize,
+    /// Bytes freed by eviction (headers included).
+    pub evicted_bytes: u64,
+    /// Bytes remaining in entry files after the pass.
+    pub live_bytes: u64,
+}
+
+/// What [`acquire_lock`] learned while taking the lock.
+struct LockAcquired {
+    /// A stale lock from a dead process was cleared: the previous holder
+    /// exited without releasing the store.
+    unclean_shutdown: bool,
+}
+
+/// Whether `pid` is a live process. Uses `/proc` (Linux); where `/proc`
+/// is unavailable every holder is conservatively considered alive, so a
+/// genuinely stale lock must be removed by hand (the open error says
+/// which file).
+fn pid_is_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    let proc_root = Path::new("/proc");
+    if !proc_root.exists() {
+        return true;
+    }
+    proc_root.join(pid.to_string()).exists()
+}
+
+/// Takes the advisory `LOCK` file in `dir`, waiting up to `wait` for a
+/// live holder and clearing stale locks left by dead processes.
+fn acquire_lock(dir: &Path, wait: Duration) -> Result<LockAcquired, StoreError> {
+    use std::io::Write;
+    let path = dir.join(LOCK_FILE);
+    let deadline = Instant::now() + wait;
+    let mut unclean_shutdown = false;
+    loop {
+        match std::fs::File::options()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(mut f) => {
+                let _ = write!(f, "{}", std::process::id());
+                return Ok(LockAcquired { unclean_shutdown });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let holder = std::fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                match holder {
+                    Some(pid) if !pid_is_alive(pid) => {
+                        // The holder died without releasing the store:
+                        // clear the stale lock and report the unclean
+                        // shutdown so open can run its recovery sweep.
+                        let _ = std::fs::remove_file(&path);
+                        unclean_shutdown = true;
+                    }
+                    _ => {
+                        if Instant::now() >= deadline {
+                            let who = holder
+                                .map(|p| format!("live process {p}"))
+                                .unwrap_or_else(|| "an unidentified process".to_string());
+                            return store_err(format!(
+                                "store at {} is locked by {who}; close the other \
+                                 session or delete {} if it is stale",
+                                dir.display(),
+                                path.display()
+                            ));
+                        }
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                }
+            }
+            Err(e) => {
+                return store_err(format!("cannot create lock {}: {e}", path.display()));
+            }
+        }
+    }
 }
 
 fn manifest_is_current(bytes: &[u8]) -> bool {
@@ -438,6 +668,21 @@ fn remove_entries(dir: &Path) {
                 .to_str()
                 .is_some_and(|n| !n.ends_with(".entry") && !n.starts_with(".tmp-"));
             if !keep {
+                let _ = std::fs::remove_file(e.path());
+            }
+        }
+    }
+}
+
+/// Sweeps half-written `.tmp-*` files (unclean-shutdown recovery),
+/// keeping committed entries and the manifest.
+fn remove_tmp_files(dir: &Path) {
+    if let Ok(rd) = std::fs::read_dir(dir) {
+        for e in rd.flatten() {
+            if e.file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with(".tmp-"))
+            {
                 let _ = std::fs::remove_file(e.path());
             }
         }
@@ -535,6 +780,107 @@ mod tests {
         let store = Store::open(&dir).unwrap();
         assert_eq!(store.open_outcome(), OpenOutcome::Recovered);
         assert!(store.is_empty(), "old-format entries must be discarded");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_opener_fails_with_a_clear_diagnostic_while_lock_is_held() {
+        let dir = temp_dir("lock-held");
+        let store = Store::open(&dir).unwrap();
+        let err = Store::open_with_lock_wait(&dir, Duration::from_millis(50))
+            .expect_err("second open must fail while the lock is held");
+        assert!(
+            err.message.contains(&format!("{}", std::process::id())),
+            "diagnostic must name the holder pid: {}",
+            err.message
+        );
+        assert!(
+            err.message.contains("LOCK"),
+            "diagnostic must name the lock file: {}",
+            err.message
+        );
+        drop(store);
+        // Dropping the holder releases the lock; the next open succeeds
+        // cleanly (no recovery needed).
+        let reopened = Store::open(&dir).unwrap();
+        assert_eq!(reopened.open_outcome(), OpenOutcome::Existing);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lock_recovers_keeping_committed_entries() {
+        let dir = temp_dir("lock-stale");
+        let key = Key::new("infer", 7, 7);
+        {
+            let store = Store::open(&dir).unwrap();
+            store.put(&key, b"committed").unwrap();
+        }
+        // Simulate a SIGKILLed holder: a LOCK naming a dead pid plus a
+        // half-written temp file.
+        std::fs::write(dir.join(LOCK_FILE), b"999999999").unwrap();
+        std::fs::write(dir.join(".tmp-999999999-abc"), b"partial").unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(
+            store.open_outcome(),
+            OpenOutcome::Recovered,
+            "a stale lock is an unclean shutdown"
+        );
+        assert_eq!(
+            store.get(&key).unwrap(),
+            b"committed",
+            "committed entries must survive unclean shutdown"
+        );
+        assert!(
+            !dir.join(".tmp-999999999-abc").exists(),
+            "half-written temp files must be swept"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_evicts_least_recently_used_until_under_budget() {
+        let dir = temp_dir("gc");
+        let store = Store::open(&dir).unwrap();
+        let cold = Key::new("infer", 1, 1);
+        let warm = Key::new("infer", 2, 1);
+        let hot = Key::new("infer", 3, 1);
+        for key in [&cold, &warm, &hot] {
+            store.put(key, &[0u8; 100]).unwrap();
+        }
+        // Establish recency: hits refresh mtimes in this order. The
+        // sleeps keep mtimes distinct on coarse-grained filesystems.
+        for key in [&cold, &warm, &hot] {
+            std::thread::sleep(Duration::from_millis(20));
+            assert!(store.get(key).is_some());
+        }
+        let each = std::fs::metadata(dir.join(cold.file_name())).unwrap().len();
+        // Budget for two entries: the least recently used one goes.
+        let report = store.gc(2 * each);
+        assert_eq!((report.scanned, report.evicted), (3, 1));
+        assert_eq!(report.evicted_bytes, each);
+        assert_eq!(report.live_bytes, 2 * each);
+        assert!(store.get(&cold).is_none(), "LRU entry must be evicted");
+        assert!(store.get(&warm).is_some());
+        assert!(store.get(&hot).is_some());
+        assert_eq!(store.stats().snapshot().evictions, 1);
+        // A pass under budget is a no-op.
+        let idle = store.gc(u64::MAX);
+        assert_eq!(idle.evicted, 0);
+        // MANIFEST and LOCK survive even a zero-byte budget.
+        let wipe = store.gc(0);
+        assert_eq!(wipe.evicted, 2);
+        assert!(dir.join("MANIFEST").exists());
+        assert!(dir.join(LOCK_FILE).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_usage_tracks_entry_bytes() {
+        let dir = temp_dir("usage");
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.disk_usage(), 0);
+        store.put(&Key::new("infer", 1, 1), &[0u8; 64]).unwrap();
+        assert_eq!(store.disk_usage(), 64 + HEADER_LEN as u64);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

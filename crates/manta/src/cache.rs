@@ -534,7 +534,8 @@ impl AnalysisCache {
                 "recomputing",
                 DegradationKind::StoreCorruption,
                 format!(
-                    "store at {} was corrupt or another version; discarded",
+                    "store at {} recovered (unclean shutdown swept, or a \
+                     corrupt/other-version store discarded)",
                     store.dir().display()
                 ),
             ));

@@ -609,6 +609,26 @@ impl Engine {
         self.cache.as_deref()
     }
 
+    /// The attached cache as a shareable handle, for callers that hold
+    /// the cache beyond one engine's lifetime (a daemon publishing
+    /// store stats after its sessions end).
+    pub fn cache_handle(&self) -> Option<Arc<AnalysisCache>> {
+        self.cache.clone()
+    }
+
+    /// A per-session view of this engine with its own budget: shares
+    /// the configuration, strictness and the attached cache (the `Arc`
+    /// is cloned, not the store), overriding only the budget spec. A
+    /// multi-tenant server derives one per request so an abusive
+    /// client's budget cannot leak into its neighbors'.
+    #[must_use]
+    pub fn with_budget_spec(&self, budget: BudgetSpec) -> Engine {
+        Engine {
+            budget,
+            ..self.clone()
+        }
+    }
+
     /// Analyzes one prepared module: cache lookup (when attached and
     /// eligible), then the staged cascade under a fresh budget.
     ///

@@ -289,3 +289,92 @@ fn module_edit_recomputes_exactly_the_fresh_answer() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Satellite contract for the serve work: N sessions hammering one
+/// shared `Arc<AnalysisCache>` concurrently must leave the store in a
+/// state where every module's warm answer is bit-identical to a
+/// sequential warm run — no torn entries, no cross-talk between
+/// sessions, no lock-file corruption.
+#[test]
+fn concurrent_sessions_share_one_cache_without_cross_talk() {
+    let _guard = lock();
+    manta_parallel::set_threads(1);
+    let _restore = ThreadGuard;
+
+    let modules: Vec<ModuleAnalysis> = (0..6).map(|i| analysis(0xC0C0 + i, 4)).collect();
+    let config = MantaConfig::full();
+
+    // Ground truth: a sequential engine with its own store.
+    let seq_dir = temp_dir("concurrent-seq");
+    let expected: Vec<Vec<u8>> = {
+        let cache = Arc::new(AnalysisCache::open(&seq_dir).expect("open sequential cache"));
+        let engine = Engine::builder()
+            .config(config)
+            .cache(Arc::clone(&cache))
+            .build()
+            .expect("engine build with open cache");
+        modules
+            .iter()
+            .map(|m| {
+                let cold = engine.analyze(m).expect("cold analyze");
+                let warm = engine.analyze(m).expect("warm analyze");
+                assert_eq!(
+                    encode_result(&cold),
+                    encode_result(&warm),
+                    "sequential warm must equal its own cold"
+                );
+                encode_result(&warm)
+            })
+            .collect()
+    };
+
+    // Contended run: one cache, one engine, N OS threads analyzing all
+    // modules each (every entry is raced by every session).
+    let dir = temp_dir("concurrent");
+    let cache = Arc::new(AnalysisCache::open(&dir).expect("open shared cache"));
+    let engine = Arc::new(
+        Engine::builder()
+            .config(config)
+            .cache(Arc::clone(&cache))
+            .build()
+            .expect("engine build with open cache"),
+    );
+    let modules = Arc::new(modules);
+    let handles: Vec<_> = (0..4)
+        .map(|session| {
+            let engine = Arc::clone(&engine);
+            let modules = Arc::clone(&modules);
+            std::thread::spawn(move || {
+                let mut encoded = Vec::new();
+                // Stagger the per-session order so sessions race
+                // different entries, not the same one in lockstep.
+                for k in 0..modules.len() {
+                    let i = (k + session) % modules.len();
+                    let r = engine.analyze(&modules[i]).expect("contended analyze");
+                    encoded.push((i, encode_result(&r)));
+                }
+                encoded
+            })
+        })
+        .collect();
+    for handle in handles {
+        for (i, bytes) in handle.join().expect("session thread panicked") {
+            assert_eq!(
+                bytes, expected[i],
+                "session result for module {i} must match the sequential run"
+            );
+        }
+    }
+
+    // And the store the melee left behind serves the same bytes warm.
+    for (i, m) in modules.iter().enumerate() {
+        let r = engine.analyze(m).expect("post-melee warm analyze");
+        assert_eq!(
+            encode_result(&r),
+            expected[i],
+            "post-contention warm result for module {i}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&seq_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
