@@ -387,43 +387,105 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
     w.flush()
 }
 
-/// Reads one frame. `Ok(None)` is a clean end-of-stream (the peer
-/// closed between frames); a stream truncated *inside* a frame, or a
-/// length over [`MAX_FRAME`], is `UnexpectedEof`/`InvalidData`.
+/// Reads one frame from a blocking stream. `Ok(None)` is a clean
+/// end-of-stream (the peer closed between frames); a stream truncated
+/// *inside* a frame, or a length over [`MAX_FRAME`], is
+/// `UnexpectedEof`/`InvalidData`.
+///
+/// On a stream with a read timeout armed, use a persistent
+/// [`FrameReader`] instead: this helper discards partial progress on
+/// `WouldBlock`, which desynchronizes the stream.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures and malformed lengths.
 pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
-    let mut len_bytes = [0u8; 4];
-    let mut filled = 0;
-    while filled < 4 {
-        match r.read(&mut len_bytes[filled..])? {
-            0 if filled == 0 => return Ok(None),
-            0 => {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "stream truncated inside a frame length",
-                ))
+    FrameReader::new().read_frame(r)
+}
+
+/// Incremental frame reader whose progress survives read timeouts.
+///
+/// With a socket read timeout armed, a `WouldBlock`/`TimedOut` error
+/// can interrupt a frame anywhere — after 1–3 bytes of the length
+/// prefix, or mid-payload. A stateless reader would discard those bytes
+/// and parse whatever arrives next as a fresh length, permanently
+/// desynchronizing the connection. `FrameReader` buffers the partial
+/// frame across calls: after a timeout, call
+/// [`FrameReader::read_frame`] again and the read resumes exactly where
+/// the stream stopped.
+#[derive(Default)]
+pub struct FrameReader {
+    len_bytes: [u8; 4],
+    len_filled: usize,
+    payload: Vec<u8>,
+    payload_filled: usize,
+    in_payload: bool,
+}
+
+impl FrameReader {
+    /// A reader with no partial frame buffered.
+    #[must_use]
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Whether a partially-read frame is buffered (a previous call was
+    /// interrupted mid-frame).
+    #[must_use]
+    pub fn mid_frame(&self) -> bool {
+        self.len_filled > 0 || self.in_payload
+    }
+
+    /// Reads one frame, resuming any partial frame left by a previous
+    /// timed-out call. `Ok(None)` is a clean end-of-stream (the peer
+    /// closed *between* frames).
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock`/`TimedOut` pass through with the partial frame kept
+    /// buffered — call again to resume. A stream truncated inside a
+    /// frame is `UnexpectedEof`; a length over [`MAX_FRAME`] is
+    /// `InvalidData`. Other I/O failures propagate.
+    pub fn read_frame(&mut self, r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+        if !self.in_payload {
+            while self.len_filled < 4 {
+                match r.read(&mut self.len_bytes[self.len_filled..])? {
+                    0 if self.len_filled == 0 => return Ok(None),
+                    0 => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "stream truncated inside a frame length",
+                        ))
+                    }
+                    n => self.len_filled += n,
+                }
             }
-            n => filled += n,
+            let len = u32::from_le_bytes(self.len_bytes) as usize;
+            if len > MAX_FRAME {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("frame length {len} exceeds MAX_FRAME"),
+                ));
+            }
+            self.payload = vec![0u8; len];
+            self.payload_filled = 0;
+            self.in_payload = true;
         }
+        while self.payload_filled < self.payload.len() {
+            match r.read(&mut self.payload[self.payload_filled..])? {
+                0 => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "stream truncated inside a frame payload",
+                    ))
+                }
+                n => self.payload_filled += n,
+            }
+        }
+        self.in_payload = false;
+        self.len_filled = 0;
+        Ok(Some(std::mem::take(&mut self.payload)))
     }
-    let len = u32::from_le_bytes(len_bytes) as usize;
-    if len > MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds MAX_FRAME"),
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload).map_err(|_| {
-        std::io::Error::new(
-            std::io::ErrorKind::UnexpectedEof,
-            "stream truncated inside a frame payload",
-        )
-    })?;
-    Ok(Some(payload))
 }
 
 #[cfg(test)]
@@ -570,5 +632,71 @@ mod tests {
             read_frame(&mut huge).expect_err("huge frame").kind(),
             std::io::ErrorKind::InvalidData
         );
+    }
+
+    /// Yields one byte per read, returning `WouldBlock` before every
+    /// byte — so a timeout lands between every pair of bytes, including
+    /// mid-length-prefix and mid-payload.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        block_next: bool,
+    }
+
+    impl std::io::Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            if self.block_next {
+                self.block_next = false;
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            self.block_next = true;
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frame_reader_resumes_across_timeouts_at_every_byte_boundary() {
+        let first = Request::Analyze {
+            module_text: "module m\n".to_string(),
+            sensitivity: Sensitivity::FiCsFs,
+            fuel: Some(9),
+            deadline_ms: None,
+        }
+        .encode();
+        let second = Request::Ping.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &first).unwrap();
+        write_frame(&mut wire, &second).unwrap();
+
+        let mut stream = Trickle {
+            data: wire,
+            pos: 0,
+            block_next: true,
+        };
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        let mut timeouts = 0;
+        loop {
+            match reader.read_frame(&mut stream) {
+                Ok(Some(payload)) => frames.push(payload),
+                Ok(None) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    timeouts += 1;
+                    assert!(timeouts < 1_000_000, "reader must make progress");
+                }
+                Err(e) => panic!("unexpected framing error: {e}"),
+            }
+        }
+        assert_eq!(frames, vec![first, second], "no byte lost to a timeout");
+        assert!(
+            timeouts > 8,
+            "the trickle must have interrupted mid-prefix and mid-payload"
+        );
+        assert!(!reader.mid_frame(), "clean EOF leaves no partial frame");
     }
 }

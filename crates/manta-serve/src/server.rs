@@ -34,7 +34,7 @@ use manta_resilience::{
 };
 
 use crate::counters;
-use crate::proto::{read_frame, write_frame, Request, Response};
+use crate::proto::{read_frame, write_frame, FrameReader, Request, Response};
 
 /// Tuning knobs for one daemon instance.
 #[derive(Clone, Debug)]
@@ -151,7 +151,12 @@ impl ResponseSlot {
         self.cv.notify_all();
     }
 
-    fn wait(&self) -> Response {
+    /// Blocks until a worker fills the slot, up to `backstop`. The
+    /// worker's drop guard makes an unanswered slot nearly impossible;
+    /// the bound means even an unforeseen worker failure cannot leak
+    /// this connection thread forever.
+    fn wait(&self, backstop: Duration) -> Response {
+        let deadline = std::time::Instant::now() + backstop;
         let Ok(mut guard) = self.value.lock() else {
             return Response::Error {
                 error: MantaError::Panic {
@@ -164,9 +169,17 @@ impl ResponseSlot {
             if let Some(resp) = guard.take() {
                 return resp;
             }
-            guard = match self.cv.wait(guard) {
-                Ok(g) => g,
-                Err(poison) => poison.into_inner(),
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Response::Error {
+                    error: MantaError::Verify {
+                        message: "no worker response within the backstop window".to_string(),
+                    },
+                };
+            }
+            guard = match self.cv.wait_timeout(guard, deadline - now) {
+                Ok((g, _)) => g,
+                Err(poison) => poison.into_inner().0,
             };
         }
     }
@@ -401,6 +414,9 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 if shared.draining() {
                     return;
                 }
+                // Persistent accept failures (fd exhaustion: EMFILE/
+                // ENFILE) must not become a hot spin; back off briefly.
+                std::thread::sleep(Duration::from_millis(25));
                 continue;
             }
         };
@@ -483,8 +499,12 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
         let _ = read_frame(&mut stream);
         return;
     }
+    // The persistent reader keeps partial frames across read timeouts:
+    // a timeout that lands mid-length-prefix or mid-payload resumes on
+    // the next iteration instead of desynchronizing the stream.
+    let mut frames = FrameReader::new();
     loop {
-        let payload = match read_frame(&mut stream) {
+        let payload = match frames.read_frame(&mut stream) {
             Ok(Some(payload)) => payload,
             Ok(None) => return,
             Err(e)
@@ -576,9 +596,19 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                     send(&mut stream, Response::ShuttingDown, shared);
                     continue;
                 }
+                // Worst-case honest wait: every queue slot ahead of us
+                // running to its full deadline, plus slack. Undeadlined
+                // requests get a generous fixed backstop.
+                let backstop = match req.budget().deadline_ms {
+                    Some(d) => Duration::from_millis(
+                        d.saturating_mul(shared.config.queue_cap as u64 + 1)
+                            .saturating_add(60_000),
+                    ),
+                    None => Duration::from_secs(600),
+                };
                 match shared.try_submit(req) {
                     Some(slot) => {
-                        let resp = slot.wait();
+                        let resp = slot.wait(backstop);
                         send(&mut stream, resp, shared);
                     }
                     None => {
@@ -598,19 +628,49 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
+/// Guarantees every dequeued job is answered and accounted: dropped on
+/// every exit path from a worker iteration — including an unwind that
+/// somehow escapes the isolation layers — it balances the in-flight
+/// gauge and fills the job's slot, so the parked connection thread
+/// always wakes with a response and the worker pool never shrinks
+/// silently.
+struct FinishJob<'a> {
+    shared: &'a Shared,
+    slot: &'a ResponseSlot,
+    resp: Option<Response>,
+}
+
+impl Drop for FinishJob<'_> {
+    fn drop(&mut self) {
+        self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        let resp = self.resp.take().unwrap_or_else(|| Response::Error {
+            error: MantaError::Panic {
+                stage: "serve.worker".to_string(),
+                message: "worker unwound mid-request".to_string(),
+            },
+        });
+        if matches!(resp, Response::Error { .. }) {
+            self.shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.slot.fill(resp);
+    }
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.next_job() {
         shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        let resp = run_job(shared, &job.request);
-        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-        if matches!(resp, Response::Error { .. }) {
-            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-        }
-        // GC before releasing the response: a client observing its
-        // answer may rely on the post-analysis sweep having happened
-        // (and the fault-matrix suite asserts exactly that).
-        maybe_gc(shared);
-        job.slot.fill(resp);
+        let mut finish = FinishJob {
+            shared,
+            slot: &job.slot,
+            resp: None,
+        };
+        // The whole job — including parsing the untrusted module text —
+        // runs inside an isolation boundary: a panic anywhere becomes a
+        // structured error on this client's wire, never a dead worker.
+        finish.resp = Some(
+            isolate("serve.worker", || run_job(shared, &job.request))
+                .unwrap_or_else(|error| Response::Error { error }),
+        );
     }
 }
 
@@ -662,10 +722,6 @@ fn run_job(shared: &Shared, request: &Request) -> Response {
             },
         };
     };
-    let module = match parse_module_text(module_text) {
-        Ok(m) => m,
-        Err(error) => return Response::Error { error },
-    };
     let budget = clamp_budget(request.budget(), &shared.config);
     // A per-request engine: same config and shared cache, this
     // request's sensitivity and clamped budget.
@@ -696,13 +752,21 @@ fn run_job(shared: &Shared, request: &Request) -> Response {
                 kind: BudgetKind::Injected,
             });
         }
+        // Parsing untrusted network bytes happens inside the isolation
+        // boundary: a parser panic must answer this client, not unwind
+        // the worker thread.
+        let module = parse_module_text(module_text)?;
         session.analyze_module(module).map(|(_, result)| result)
     });
     match outcome {
         Ok(Ok(result)) => {
             shared.stats.analyzed.fetch_add(1, Ordering::Relaxed);
             counters::ANALYZED.incr();
-            shared.analyze_count.fetch_add(1, Ordering::Relaxed);
+            // The GC trigger decision must come from the value this
+            // increment produced: a separate load would let two
+            // concurrent successes stride past the multiple and skip
+            // the cycle.
+            let analyzed = shared.analyze_count.fetch_add(1, Ordering::Relaxed) + 1;
             let degraded = result.is_degraded();
             if degraded {
                 shared.stats.degraded.fetch_add(1, Ordering::Relaxed);
@@ -716,6 +780,11 @@ fn run_job(shared: &Shared, request: &Request) -> Response {
                 counts.unknown,
                 result.degradations.len()
             );
+            // GC before the response is released to the connection
+            // thread: a client observing its answer may rely on the
+            // post-analysis sweep having happened (the fault-matrix
+            // suite asserts exactly that).
+            maybe_gc(shared, analyzed);
             Response::Analyzed {
                 result: encode_result(&result),
                 summary,
@@ -727,9 +796,12 @@ fn run_job(shared: &Shared, request: &Request) -> Response {
 }
 
 /// Runs a GC pass every `gc_every` analyses when a byte budget is
-/// configured. The pass is fault-isolated: an injected `serve.gc`
+/// configured; `analyzed` is the 1-based success count produced by the
+/// caller's own increment, so concurrent workers each decide from a
+/// distinct value and no cycle is skipped (and failed jobs never
+/// trigger a pass). The pass is fault-isolated: an injected `serve.gc`
 /// failure is swallowed (GC is advisory) and the daemon keeps serving.
-fn maybe_gc(shared: &Shared) {
+fn maybe_gc(shared: &Shared, analyzed: u64) {
     let Some(max_bytes) = shared.config.gc_max_bytes else {
         return;
     };
@@ -737,11 +809,7 @@ fn maybe_gc(shared: &Shared) {
         return;
     };
     let every = shared.config.gc_every.max(1);
-    if !shared
-        .analyze_count
-        .load(Ordering::Relaxed)
-        .is_multiple_of(every)
-    {
+    if !analyzed.is_multiple_of(every) {
         return;
     }
     let swept = isolate("serve.gc", || {
