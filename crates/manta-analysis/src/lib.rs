@@ -29,12 +29,14 @@ pub mod cfl;
 pub mod ddg;
 pub mod pointsto;
 pub mod preprocess;
+pub mod summary;
 
 pub use callgraph::CallGraph;
 pub use cfl::CtxStack;
 pub use ddg::{CallSite, Ddg, DepKind, NodeId};
 pub use pointsto::{ObjectId, ObjectKind, PointsTo, PointsToProvenance, PtsSource};
 pub use preprocess::{preprocess, PreprocessConfig, Preprocessed};
+pub use summary::{summarize_function, summarize_module, FnSummary, ModuleSummaries};
 
 /// A module-global reference to an SSA value: the pair of its function and
 /// the function-local value id. This is the variable domain `𝕍` shared by

@@ -1,0 +1,817 @@
+//! Compositional per-function summaries (Manta §3's bottom-up unit).
+//!
+//! A [`FnSummary`] is computed from one function's body alone, solved
+//! against *symbolic placeholders* for everything that crosses the call
+//! boundary: formal parameters, module globals, callee returns and the
+//! function's own escaping allocations. It captures, per function:
+//!
+//! * **boundary flows** — which placeholder sources can reach which
+//!   boundary sinks (the return value, memory reachable from a
+//!   parameter or global, an outgoing call argument);
+//! * **escape records** — which local allocation sites leak out;
+//! * **boundary unification classes** — which boundary slots the local
+//!   flow-insensitive rules would co-unify (the type-constraint half of
+//!   the summary);
+//! * **reveal digests** — a hash of the locally revealed types flowing
+//!   into each boundary slot;
+//! * the **direct callee** and **global access** lists.
+//!
+//! Because the summary reads nothing outside the function, its
+//! serialized bytes change only when the function's *boundary-visible
+//! behaviour* changes. That is the incremental-invalidation contract:
+//! an edit whose recomputed summary is bit-identical to the cached one
+//! is *transitively cut off* — callers' deep fingerprints (local
+//! fingerprint combined with callee deep fingerprints, bottom-up over
+//! the callgraph condensation) cannot change either, so nothing else in
+//! the module is dirtied by the summary layer.
+//!
+//! The solve is a small intraprocedural abstract interpretation: each
+//! SSA value carries a set of [`Sym`]bols, memory is a map from base
+//! symbol to the symbols stored through it (one `Deref` level,
+//! `Deref(Deref(s))` collapses to `Deref(s)` so the domain is finite),
+//! and the whole thing runs to a fixpoint. Sets are `BTreeSet`s and all
+//! outputs are sorted, so summaries are deterministic bit-for-bit.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use manta_ir::{Callee, ExternEffect, Function, InstKind, Module, Terminator, ValueId, ValueKind};
+use manta_store::{ByteReader, ByteWriter, DecodeError, Fingerprint};
+
+use crate::CallGraph;
+
+/// Bump when the summary encoding changes shape.
+pub const SUMMARY_VERSION: u32 = 1;
+
+fn bad(context: &'static str) -> DecodeError {
+    DecodeError { context, offset: 0 }
+}
+
+/// An abstract boundary symbol: something a value inside the function
+/// can carry that is visible at (or originates from) the call boundary.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Sym {
+    /// The `i`-th formal parameter.
+    Param(u32),
+    /// The address of a module global.
+    Global(u32),
+    /// A local allocation site (`alloca` or a heap-allocating extern
+    /// call), identified by its instruction id.
+    Alloc(u32),
+    /// The return value of a direct call at instruction `site` — the
+    /// hook where a callee's summary plugs in.
+    CalleeRet(u32),
+    /// The return value of an external call at instruction `site`.
+    ExternRet(u32),
+    /// One load level through another symbol (`Deref(Deref(s))`
+    /// collapses to `Deref(s)` to keep the domain finite).
+    Deref(DerefBase),
+}
+
+/// The base of a [`Sym::Deref`] — the non-`Deref` symbols only.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum DerefBase {
+    /// Deref of a parameter.
+    Param(u32),
+    /// Deref of a global.
+    Global(u32),
+    /// Deref of a local allocation.
+    Alloc(u32),
+    /// Deref of a direct-call result.
+    CalleeRet(u32),
+    /// Deref of an extern-call result.
+    ExternRet(u32),
+}
+
+impl Sym {
+    /// One load level through `self`; already-dereffed symbols stay put.
+    fn deref(self) -> Sym {
+        match self {
+            Sym::Param(i) => Sym::Deref(DerefBase::Param(i)),
+            Sym::Global(g) => Sym::Deref(DerefBase::Global(g)),
+            Sym::Alloc(s) => Sym::Deref(DerefBase::Alloc(s)),
+            Sym::CalleeRet(s) => Sym::Deref(DerefBase::CalleeRet(s)),
+            Sym::ExternRet(s) => Sym::Deref(DerefBase::ExternRet(s)),
+            Sym::Deref(_) => self,
+        }
+    }
+
+    fn encode(self, w: &mut ByteWriter) {
+        match self {
+            Sym::Param(i) => w.u8(0).u32(i),
+            Sym::Global(g) => w.u8(1).u32(g),
+            Sym::Alloc(s) => w.u8(2).u32(s),
+            Sym::CalleeRet(s) => w.u8(3).u32(s),
+            Sym::ExternRet(s) => w.u8(4).u32(s),
+            Sym::Deref(b) => {
+                let (tag, payload) = match b {
+                    DerefBase::Param(i) => (5u8, i),
+                    DerefBase::Global(g) => (6, g),
+                    DerefBase::Alloc(s) => (7, s),
+                    DerefBase::CalleeRet(s) => (8, s),
+                    DerefBase::ExternRet(s) => (9, s),
+                };
+                w.u8(tag).u32(payload)
+            }
+        };
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Sym, DecodeError> {
+        let tag = r.u8("Sym tag")?;
+        let v = r.u32("Sym payload")?;
+        Ok(match tag {
+            0 => Sym::Param(v),
+            1 => Sym::Global(v),
+            2 => Sym::Alloc(v),
+            3 => Sym::CalleeRet(v),
+            4 => Sym::ExternRet(v),
+            5 => Sym::Deref(DerefBase::Param(v)),
+            6 => Sym::Deref(DerefBase::Global(v)),
+            7 => Sym::Deref(DerefBase::Alloc(v)),
+            8 => Sym::Deref(DerefBase::CalleeRet(v)),
+            9 => Sym::Deref(DerefBase::ExternRet(v)),
+            _ => return Err(bad("Sym tag")),
+        })
+    }
+}
+
+/// A boundary sink a symbol can flow into.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Slot {
+    /// The function's return value.
+    Ret,
+    /// The `i`-th formal parameter itself (for unification classes).
+    Param(u32),
+    /// Memory reachable from the `i`-th parameter (a store through it).
+    ParamMem(u32),
+    /// Memory reachable from global `g`.
+    GlobalMem(u32),
+    /// Passed as argument `arg` of the direct call at `site` (escapes
+    /// into a callee; the callee's summary decides what happens next).
+    CallArg {
+        /// Call instruction.
+        site: u32,
+        /// Zero-based argument position.
+        arg: u32,
+    },
+    /// Passed to an external or indirect callee at `site`.
+    ExternArg {
+        /// Call instruction.
+        site: u32,
+        /// Zero-based argument position.
+        arg: u32,
+    },
+}
+
+impl Slot {
+    fn encode(self, w: &mut ByteWriter) {
+        match self {
+            Slot::Ret => {
+                w.u8(0);
+            }
+            Slot::Param(i) => {
+                w.u8(1).u32(i);
+            }
+            Slot::ParamMem(i) => {
+                w.u8(2).u32(i);
+            }
+            Slot::GlobalMem(g) => {
+                w.u8(3).u32(g);
+            }
+            Slot::CallArg { site, arg } => {
+                w.u8(4).u32(site).u32(arg);
+            }
+            Slot::ExternArg { site, arg } => {
+                w.u8(5).u32(site).u32(arg);
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Slot, DecodeError> {
+        Ok(match r.u8("Slot tag")? {
+            0 => Slot::Ret,
+            1 => Slot::Param(r.u32("Slot param")?),
+            2 => Slot::ParamMem(r.u32("Slot parammem")?),
+            3 => Slot::GlobalMem(r.u32("Slot globalmem")?),
+            4 => Slot::CallArg {
+                site: r.u32("Slot callarg site")?,
+                arg: r.u32("Slot callarg idx")?,
+            },
+            5 => Slot::ExternArg {
+                site: r.u32("Slot externarg site")?,
+                arg: r.u32("Slot externarg idx")?,
+            },
+            _ => return Err(bad("Slot tag")),
+        })
+    }
+}
+
+/// The compact call-boundary summary of one function.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FnSummary {
+    /// Hash of the function's name (stable across id renumbering).
+    pub name_hash: u64,
+    /// Formal parameter count.
+    pub param_count: u32,
+    /// Whether the function returns a value.
+    pub returns: bool,
+    /// Which boundary symbols reach which boundary sinks, sorted.
+    pub flows: Vec<(Sym, Slot)>,
+    /// Local allocation sites that escape (appear in any flow), sorted.
+    pub escapes: Vec<u32>,
+    /// Boundary-slot unification classes induced by the local
+    /// flow-insensitive rules; each class sorted, classes sorted by
+    /// first member. Singleton classes are omitted.
+    pub unify_classes: Vec<Vec<Slot>>,
+    /// Per boundary slot, an order-independent digest of the local
+    /// reveal types attached to values carrying that slot's symbol.
+    pub slot_reveals: Vec<(Slot, u64)>,
+    /// Name hashes of direct callees, sorted and deduplicated.
+    pub callees: Vec<u64>,
+    /// Global accesses: `(global, mask)` with bit 0 = address taken /
+    /// read, bit 1 = written through.
+    pub globals: Vec<(u32, u8)>,
+}
+
+impl FnSummary {
+    /// Serializes via the length-prefixed store codec.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u32(SUMMARY_VERSION)
+            .u64(self.name_hash)
+            .u32(self.param_count)
+            .bool(self.returns)
+            .usize(self.flows.len());
+        for &(s, d) in &self.flows {
+            s.encode(&mut w);
+            d.encode(&mut w);
+        }
+        w.usize(self.escapes.len());
+        for &e in &self.escapes {
+            w.u32(e);
+        }
+        w.usize(self.unify_classes.len());
+        for class in &self.unify_classes {
+            w.usize(class.len());
+            for &s in class {
+                s.encode(&mut w);
+            }
+        }
+        w.usize(self.slot_reveals.len());
+        for &(s, digest) in &self.slot_reveals {
+            s.encode(&mut w);
+            w.u64(digest);
+        }
+        w.usize(self.callees.len());
+        for &c in &self.callees {
+            w.u64(c);
+        }
+        w.usize(self.globals.len());
+        for &(g, mask) in &self.globals {
+            w.u32(g).u8(mask);
+        }
+        w.finish()
+    }
+
+    /// Decodes bytes produced by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns a positioned [`DecodeError`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<FnSummary, DecodeError> {
+        let mut r = ByteReader::new(bytes);
+        let version = r.u32("summary version")?;
+        if version != SUMMARY_VERSION {
+            return Err(bad("unsupported summary version"));
+        }
+        let name_hash = r.u64("summary name")?;
+        let param_count = r.u32("summary params")?;
+        let returns = r.bool("summary returns")?;
+        let mut flows = Vec::new();
+        for _ in 0..r.len("summary flows")? {
+            let s = Sym::decode(&mut r)?;
+            let d = Slot::decode(&mut r)?;
+            flows.push((s, d));
+        }
+        let mut escapes = Vec::new();
+        for _ in 0..r.len("summary escapes")? {
+            escapes.push(r.u32("summary escape site")?);
+        }
+        let mut unify_classes = Vec::new();
+        for _ in 0..r.len("summary classes")? {
+            let mut class = Vec::new();
+            for _ in 0..r.len("summary class")? {
+                class.push(Slot::decode(&mut r)?);
+            }
+            unify_classes.push(class);
+        }
+        let mut slot_reveals = Vec::new();
+        for _ in 0..r.len("summary reveals")? {
+            let s = Slot::decode(&mut r)?;
+            slot_reveals.push((s, r.u64("summary reveal digest")?));
+        }
+        let mut callees = Vec::new();
+        for _ in 0..r.len("summary callees")? {
+            callees.push(r.u64("summary callee")?);
+        }
+        let mut globals = Vec::new();
+        for _ in 0..r.len("summary globals")? {
+            let g = r.u32("summary global")?;
+            globals.push((g, r.u8("summary global mask")?));
+        }
+        r.expect_end("summary tail")?;
+        Ok(FnSummary {
+            name_hash,
+            param_count,
+            returns,
+            flows,
+            escapes,
+            unify_classes,
+            slot_reveals,
+            callees,
+            globals,
+        })
+    }
+
+    /// The summary's content fingerprint (hash of its encoded bytes).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        manta_store::hash_bytes(&self.encode())
+    }
+}
+
+/// Cap on a single value's symbol set; beyond it the solve stops adding
+/// symbols to that value (the summary stays sound for invalidation
+/// purposes — it is a fingerprinting artifact, not a proof — while the
+/// fixpoint stays linear on pathological phi webs).
+const MAX_SYMS_PER_VALUE: usize = 32;
+
+/// Summarizes one function against symbolic boundary placeholders.
+#[must_use]
+pub fn summarize_function(module: &Module, func: &Function) -> FnSummary {
+    let value_count = func.value_count();
+    let mut syms: Vec<BTreeSet<Sym>> = vec![BTreeSet::new(); value_count];
+    // Seed: parameters, global addresses, allocation sites, call results.
+    for (v, val) in func.values() {
+        match val.kind {
+            ValueKind::Param { index } => {
+                syms[v.index()].insert(Sym::Param(index));
+            }
+            ValueKind::GlobalAddr(g) => {
+                syms[v.index()].insert(Sym::Global(g.0));
+            }
+            _ => {}
+        }
+    }
+    for inst in func.insts() {
+        let site = inst.id.0;
+        match &inst.kind {
+            InstKind::Alloca { dst, .. } => {
+                syms[dst.index()].insert(Sym::Alloc(site));
+            }
+            InstKind::Call {
+                dst: Some(d),
+                callee,
+                ..
+            } => match callee {
+                Callee::Direct(_) => {
+                    syms[d.index()].insert(Sym::CalleeRet(site));
+                }
+                Callee::Extern(e) => {
+                    let effect = module.extern_decl(*e).effect;
+                    let sym = if effect == ExternEffect::AllocHeap {
+                        Sym::Alloc(site)
+                    } else {
+                        Sym::ExternRet(site)
+                    };
+                    syms[d.index()].insert(sym);
+                }
+                Callee::Indirect(_) => {
+                    syms[d.index()].insert(Sym::ExternRet(site));
+                }
+            },
+            _ => {}
+        }
+    }
+
+    // Fixpoint: propagate symbol sets through copies/phis/geps/loads and
+    // a one-level abstract memory (base symbol -> stored symbols).
+    let mut memory: BTreeMap<Sym, BTreeSet<Sym>> = BTreeMap::new();
+    fn merge(dst: ValueId, add: BTreeSet<Sym>, syms: &mut [BTreeSet<Sym>], changed: &mut bool) {
+        let set = &mut syms[dst.index()];
+        for s in add {
+            if set.len() >= MAX_SYMS_PER_VALUE {
+                break;
+            }
+            if set.insert(s) {
+                *changed = true;
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for inst in func.insts() {
+            match &inst.kind {
+                InstKind::Copy { dst, src } => {
+                    let add = syms[src.index()].clone();
+                    merge(*dst, add, &mut syms, &mut changed);
+                }
+                InstKind::Phi { dst, incomings } => {
+                    let mut add = BTreeSet::new();
+                    for (_, v) in incomings {
+                        add.extend(syms[v.index()].iter().copied());
+                    }
+                    merge(*dst, add, &mut syms, &mut changed);
+                }
+                InstKind::Gep { dst, base, .. } => {
+                    // Field addresses carry the base's identity
+                    // (field-insensitive at the boundary).
+                    let add = syms[base.index()].clone();
+                    merge(*dst, add, &mut syms, &mut changed);
+                }
+                InstKind::Load { dst, addr, .. } => {
+                    let mut add = BTreeSet::new();
+                    for &a in &syms[addr.index()].clone() {
+                        add.insert(a.deref());
+                        if let Some(stored) = memory.get(&a) {
+                            add.extend(stored.iter().copied());
+                        }
+                    }
+                    merge(*dst, add, &mut syms, &mut changed);
+                }
+                InstKind::Store { addr, val } => {
+                    let bases = syms[addr.index()].clone();
+                    let stored = syms[val.index()].clone();
+                    for a in bases {
+                        let cell = memory.entry(a).or_default();
+                        for &s in &stored {
+                            if cell.len() >= MAX_SYMS_PER_VALUE {
+                                break;
+                            }
+                            if cell.insert(s) {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Boundary sinks.
+    let mut flows: BTreeSet<(Sym, Slot)> = BTreeSet::new();
+    let mut callees: BTreeSet<u64> = BTreeSet::new();
+    let mut globals: BTreeMap<u32, u8> = BTreeMap::new();
+    let slot_of_base = |s: Sym| -> Option<Slot> {
+        match s {
+            Sym::Param(i) | Sym::Deref(DerefBase::Param(i)) => Some(Slot::ParamMem(i)),
+            Sym::Global(g) | Sym::Deref(DerefBase::Global(g)) => Some(Slot::GlobalMem(g)),
+            _ => None,
+        }
+    };
+    for (v, val) in func.values() {
+        if let ValueKind::GlobalAddr(g) = val.kind {
+            if !func.users(v).is_empty() {
+                *globals.entry(g.0).or_default() |= 1;
+            }
+        }
+    }
+    for inst in func.insts() {
+        let site = inst.id.0;
+        match &inst.kind {
+            InstKind::Store { addr, val } => {
+                for &a in &syms[addr.index()] {
+                    if let Some(slot) = slot_of_base(a) {
+                        if let Slot::GlobalMem(g) = slot {
+                            *globals.entry(g).or_default() |= 2;
+                        }
+                        for &s in &syms[val.index()] {
+                            flows.insert((s, slot));
+                        }
+                    }
+                }
+            }
+            InstKind::Call { callee, args, .. } => {
+                let direct = matches!(callee, Callee::Direct(_));
+                if let Callee::Direct(f) = callee {
+                    callees.insert(manta_store::hash_str(module.function(*f).name()));
+                }
+                for (i, &a) in args.iter().enumerate() {
+                    let slot = if direct {
+                        Slot::CallArg {
+                            site,
+                            arg: i as u32,
+                        }
+                    } else {
+                        Slot::ExternArg {
+                            site,
+                            arg: i as u32,
+                        }
+                    };
+                    for &s in &syms[a.index()] {
+                        flows.insert((s, slot));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for block in func.blocks() {
+        if let Terminator::Ret(Some(v)) = &block.term {
+            for &s in &syms[v.index()] {
+                flows.insert((s, Slot::Ret));
+            }
+        }
+    }
+
+    // Escaping allocations: any Alloc symbol present in a flow source.
+    let escapes: BTreeSet<u32> = flows
+        .iter()
+        .filter_map(|&(s, _)| match s {
+            Sym::Alloc(a) | Sym::Deref(DerefBase::Alloc(a)) => Some(a),
+            _ => None,
+        })
+        .collect();
+
+    // Boundary unification classes: union boundary slots whose symbols
+    // co-occupy an SSA value, meet at a cmp, or co-flow into the return
+    // — the local shadow of the global FI rules.
+    let boundary_slot = |s: Sym| -> Option<Slot> {
+        match s {
+            Sym::Param(i) => Some(Slot::Param(i)),
+            Sym::Global(g) => Some(Slot::GlobalMem(g)),
+            _ => None,
+        }
+    };
+    let mut uf = SlotUf::default();
+    for set in &syms {
+        let slots: Vec<Slot> = set.iter().copied().filter_map(boundary_slot).collect();
+        for pair in slots.windows(2) {
+            uf.union(pair[0], pair[1]);
+        }
+    }
+    for inst in func.insts() {
+        if let InstKind::Cmp { lhs, rhs, .. } = &inst.kind {
+            let l = syms[lhs.index()].iter().copied().find_map(boundary_slot);
+            let r = syms[rhs.index()].iter().copied().find_map(boundary_slot);
+            if let (Some(a), Some(b)) = (l, r) {
+                uf.union(a, b);
+            }
+        }
+    }
+    for block in func.blocks() {
+        if let Terminator::Ret(Some(v)) = &block.term {
+            for s in syms[v.index()].iter().copied().filter_map(boundary_slot) {
+                uf.union(Slot::Ret, s);
+            }
+        }
+    }
+    let unify_classes = uf.classes();
+
+    // Reveal digests: local reveal rules (the same shapes
+    // `manta::reveal` recognizes) hashed per boundary slot, XORed so the
+    // digest is order-independent.
+    let mut digests: BTreeMap<Slot, u64> = BTreeMap::new();
+    let mut reveal = |v: ValueId, tag: u64, syms: &[BTreeSet<Sym>]| {
+        for &s in &syms[v.index()] {
+            if let Some(slot) = boundary_slot(s) {
+                let mut h = Fingerprint::new();
+                h.write_u64(tag);
+                *digests.entry(slot).or_default() ^= h.finish();
+            }
+        }
+    };
+    for inst in func.insts() {
+        match &inst.kind {
+            InstKind::Load { addr, .. } | InstKind::Store { addr, .. } => {
+                reveal(*addr, 1, &syms);
+            }
+            InstKind::BinOp { op, dst, lhs, rhs } if op.is_numeric_only() => {
+                reveal(*dst, 2, &syms);
+                reveal(*lhs, 2, &syms);
+                reveal(*rhs, 2, &syms);
+            }
+            InstKind::Call {
+                callee: Callee::Extern(e),
+                args,
+                ..
+            } => {
+                if let Some(sig) = &module.extern_decl(*e).sig {
+                    for (i, &a) in args.iter().enumerate() {
+                        if let Some(t) = sig.params.get(i) {
+                            let mut h = Fingerprint::new();
+                            h.write_str(&format!("{t:?}"));
+                            let tag = h.finish();
+                            reveal(a, tag, &syms);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    FnSummary {
+        name_hash: manta_store::hash_str(func.name()),
+        param_count: func.params().len() as u32,
+        returns: func.ret_width().is_some(),
+        flows: flows.into_iter().collect(),
+        escapes: escapes.into_iter().collect(),
+        unify_classes,
+        slot_reveals: digests.into_iter().collect(),
+        callees: callees.into_iter().collect(),
+        globals: globals.into_iter().collect(),
+    }
+}
+
+/// A tiny union-find over [`Slot`]s for the boundary classes.
+#[derive(Default)]
+struct SlotUf {
+    parent: BTreeMap<Slot, Slot>,
+}
+
+impl SlotUf {
+    fn find(&mut self, s: Slot) -> Slot {
+        let p = *self.parent.entry(s).or_insert(s);
+        if p == s {
+            return s;
+        }
+        let root = self.find(p);
+        self.parent.insert(s, root);
+        root
+    }
+
+    fn union(&mut self, a: Slot, b: Slot) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic root: smaller slot wins.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent.insert(hi, lo);
+        }
+    }
+
+    /// Non-singleton classes, each sorted, ordered by first member.
+    fn classes(&mut self) -> Vec<Vec<Slot>> {
+        let members: Vec<Slot> = self.parent.keys().copied().collect();
+        let mut by_root: BTreeMap<Slot, Vec<Slot>> = BTreeMap::new();
+        for s in members {
+            let r = self.find(s);
+            by_root.entry(r).or_default().push(s);
+        }
+        by_root.into_values().filter(|c| c.len() > 1).collect()
+    }
+}
+
+/// The summary table of a whole module: one [`FnSummary`] per function
+/// plus local and dependency-closed (deep) fingerprints.
+#[derive(Clone, Debug)]
+pub struct ModuleSummaries {
+    /// Per function (indexed by `FuncId` order).
+    pub summaries: Vec<FnSummary>,
+    /// `local_fp[f]` = hash of `summaries[f]`'s bytes.
+    pub local_fp: Vec<u64>,
+    /// `deep_fp[f]` = local fingerprint combined with every callee's
+    /// deep fingerprint, bottom-up over the callgraph condensation.
+    /// Functions in a cyclic SCC share the combined fingerprint of the
+    /// whole component. An unchanged local summary therefore leaves
+    /// every caller's deep fingerprint unchanged — the transitive
+    /// cutoff.
+    pub deep_fp: Vec<u64>,
+    /// Wavefront widths of the callgraph condensation (independent
+    /// SCCs per bottom-up level) — the available summary parallelism.
+    pub wavefront_widths: Vec<usize>,
+}
+
+/// Computes every function's summary (in parallel over the pool) and
+/// the bottom-up deep fingerprints over the callgraph condensation.
+#[must_use]
+pub fn summarize_module(module: &Module, callgraph: &CallGraph) -> ModuleSummaries {
+    let funcs: Vec<&Function> = module.functions().collect();
+    let summaries: Vec<FnSummary> =
+        manta_parallel::par_map(funcs, |f| summarize_function(module, f));
+    let local_fp: Vec<u64> = summaries.iter().map(FnSummary::fingerprint).collect();
+
+    // Callgraph -> DepGraph (caller depends on callee), condensed into
+    // bottom-up wavefronts. The current preprocessor breaks recursion,
+    // so SCCs are singletons today; the condensation keeps this correct
+    // if cyclic components ever survive preprocessing.
+    let n = module.function_count();
+    let mut dg = manta_store::DepGraph::new(n);
+    for e in callgraph.edges() {
+        dg.add_dep(e.caller.0, e.callee.0);
+    }
+    let cond = dg.condense();
+    let mut deep_fp = vec![0u64; n];
+    for level in &cond.levels {
+        for &scc in level {
+            let members = &cond.sccs[scc as usize];
+            // Component fingerprint: members' local fps (sorted member
+            // order) plus external callee deep fps (sorted, deduped).
+            let mut h = Fingerprint::new();
+            for &m in members {
+                h.write_u64(local_fp[m as usize]);
+            }
+            let mut ext: Vec<u64> = members
+                .iter()
+                .flat_map(|&m| callgraph.callees(manta_ir::FuncId(m)))
+                .filter(|e| cond.scc_of[e.callee.0 as usize] != scc)
+                .map(|e| deep_fp[e.callee.0 as usize])
+                .collect();
+            ext.sort_unstable();
+            ext.dedup();
+            for x in ext {
+                h.write_u64(x);
+            }
+            let fp = h.finish();
+            for &m in members {
+                deep_fp[m as usize] = fp;
+            }
+        }
+    }
+    ModuleSummaries {
+        summaries,
+        local_fp,
+        deep_fp,
+        wavefront_widths: cond.widths(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manta_ir::{ModuleBuilder, Width};
+
+    /// `ret_global() { return *g0; }` and
+    /// `wrapper(p0) { return ret_global(p0); }`.
+    fn tiny_module() -> Module {
+        let mut mb = ModuleBuilder::new("summary-test");
+        let g = mb.global("g0", 8);
+        let (leaf_id, mut f) = mb.function("ret_global", &[], Some(Width::W64));
+        let addr = f.global_addr(g);
+        let v = f.load(addr, Width::W64);
+        f.ret(Some(v));
+        mb.finish_function(f);
+        let (_, mut h) = mb.function("wrapper", &[Width::W64], Some(Width::W64));
+        let p0 = h.param(0);
+        let r = h.call(leaf_id, &[p0], Some(Width::W64));
+        h.ret(r);
+        mb.finish_function(h);
+        mb.finish()
+    }
+
+    #[test]
+    fn summary_roundtrips_and_fingerprints() {
+        let m = tiny_module();
+        for f in m.functions() {
+            let s = summarize_function(&m, f);
+            let bytes = s.encode();
+            let back = FnSummary::decode(&bytes).expect("roundtrip");
+            assert_eq!(s, back);
+            assert_eq!(s.fingerprint(), back.fingerprint());
+        }
+    }
+
+    #[test]
+    fn global_load_flows_to_ret() {
+        let m = tiny_module();
+        let f = m.function_by_name("ret_global").expect("exists");
+        let s = summarize_function(&m, f);
+        assert!(s
+            .flows
+            .iter()
+            .any(|&(sym, slot)| sym == Sym::Deref(DerefBase::Global(0)) && slot == Slot::Ret));
+        assert_eq!(s.globals, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn caller_lists_callee_and_param_escape() {
+        let m = tiny_module();
+        let f = m.function_by_name("wrapper").expect("exists");
+        let s = summarize_function(&m, f);
+        assert_eq!(s.callees, vec![manta_store::hash_str("ret_global")]);
+        assert!(s.flows.iter().any(
+            |&(sym, slot)| sym == Sym::Param(0) && matches!(slot, Slot::CallArg { arg: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn deep_fps_are_deterministic_and_distinct() {
+        let m = tiny_module();
+        let analysis = crate::ModuleAnalysis::build(m);
+        let module = analysis.module();
+        let sums = summarize_module(module, &analysis.callgraph);
+        assert_eq!(sums.summaries.len(), 2);
+        let leaf = module.function_by_name("ret_global").expect("f").id().0 as usize;
+        let caller = module.function_by_name("wrapper").expect("f").id().0 as usize;
+        // The caller's deep fp folds in the leaf's, so it differs from
+        // its local fp; the leaf (no callees) folds in nothing.
+        assert_ne!(sums.deep_fp[caller], sums.local_fp[caller]);
+        let again = summarize_module(module, &analysis.callgraph);
+        assert_eq!(sums.deep_fp[leaf], again.deep_fp[leaf]);
+        assert_eq!(sums.deep_fp[caller], again.deep_fp[caller]);
+    }
+}

@@ -673,8 +673,20 @@ fn run_command(
             let module = load_module_cached(Path::new(input), cache.as_deref())?;
             // Drive the whole cascade: substrate build, full-sensitivity
             // inference, every checker, and indirect-call resolution, then
-            // print the per-stage cost breakdown they recorded.
-            let engine = make_engine(MantaConfig::full(), resilience, cache.clone());
+            // print the per-stage cost breakdown they recorded. With a cache
+            // directory the engine runs in summary mode so the `summary.*`
+            // counters below reflect real replay/recompute traffic.
+            let mut builder = Engine::builder()
+                .config(MantaConfig::full())
+                .budget(resilience.spec())
+                .strict(resilience.strict)
+                .summaries(cache.is_some());
+            if let Some(c) = cache.clone() {
+                builder = builder.cache(c);
+            }
+            let engine = builder
+                .build()
+                .expect("engine build cannot fail without a cache directory");
             let Some(analysis) = build_analysis(&engine, module, &budget, &mut out)? else {
                 return Ok(out);
             };
@@ -730,11 +742,22 @@ fn run_command(
                 // Per-entry-kind traffic straight off the store: `infer`
                 // (inference results), `prov` (provenance graphs),
                 // `module` (lifted-module file cache), `modidx`/`func`/
-                // `row` (incremental per-function rows).
+                // `row` (incremental per-function rows), `fsum`
+                // (per-function summary state).
                 for (kind, hits, misses) in c.store().kind_traffic() {
                     let _ = writeln!(out, "  cache[{kind}]: {hits} hits, {misses} misses");
                 }
             }
+            let _ = writeln!(
+                out,
+                "summaries: {} chunk replays, {} recomputes, {} wavefronts \
+                 (max width {}), {} corrupt states",
+                counter("summary.hits"),
+                counter("summary.recomputes"),
+                counter("summary.wavefronts"),
+                counter("summary.wavefront_width_max"),
+                counter("summary.state_corrupt"),
+            );
             out.push_str(&report.render_text());
         }
         Some("explain") => {
@@ -1188,6 +1211,8 @@ func main(0) -> ret {
             // no --cache-dir the cache line reports zero traffic.
             assert!(out.contains("resilience: 0 degradations"), "{out}");
             assert!(out.contains("cache: 0 hits, 0 misses"), "{out}");
+            // Summary mode needs --cache-dir, so the line renders zeros here.
+            assert!(out.contains("summaries: 0 chunk replays"), "{out}");
 
             // `--stats` writes a JSON report the hand parser accepts.
             let json_path = dir.join("stats.json");

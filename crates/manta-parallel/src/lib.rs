@@ -59,7 +59,12 @@ use manta_telemetry::{Counter, Histogram};
 
 /// Items executed across all `par_map` calls.
 static TASKS: Counter = Counter::new("parallel.tasks");
-/// Successful steals (an idle worker took an item from a peer's deque).
+/// Work units seeded across parallel `par_map` calls. With chunking on
+/// (large item counts) one unit covers many items, so
+/// `tasks / chunks` is the realized batching factor.
+static CHUNKS: Counter = Counter::new("parallel.chunks");
+/// Successful steals (an idle worker took a work unit from a peer's
+/// deque). With chunking a steal moves a whole chunk, not one item.
 static STEALS: Counter = Counter::new("parallel.steals");
 /// Steal *attempts*: every probe of a peer's deque, successful or not.
 /// `steals / steal_attempts` is the steal hit rate; a low ratio means
@@ -126,14 +131,29 @@ pub fn threads() -> usize {
     .max(1)
 }
 
+/// Test-only override of the detected host parallelism; 0 = real value.
+static CORES_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the detected host core count (`0` restores detection).
+/// Correctness tests use this to exercise the multi-worker path on
+/// single-core CI hosts, where the [`effective_threads`] clamp would
+/// otherwise make every entry point inline. Not part of the stable API.
+#[doc(hidden)]
+pub fn override_host_cores(n: usize) {
+    CORES_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
 /// The host's available parallelism, read once per process.
 fn host_cores() -> usize {
     static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *CORES.get_or_init(|| {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(4)
-    })
+    match CORES_OVERRIDE.load(Ordering::SeqCst) {
+        0 => *CORES.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        }),
+        n => n,
+    }
 }
 
 /// The pool size [`par_map`] will actually use: [`threads`] clamped to
@@ -180,12 +200,36 @@ where
     manta_telemetry::counter_set("parallel.threads", workers as u64);
     let total = items.len();
 
-    // Round-robin initial distribution: item `i` seeds deque `i % w`, so
-    // every worker starts with a spread of early and late items.
-    let deques: Vec<Mutex<VecDeque<(usize, I)>>> =
-        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-    for (i, item) in items.into_iter().enumerate() {
-        lock(&deques[i % workers]).push_back((i, item));
+    // Batch tiny per-item work into contiguous chunks so the steal loop
+    // moves ~4 units per worker instead of contending once per item.
+    // Sub-millisecond function solves otherwise spend more wall clock in
+    // deque locks than in the items themselves. Small inputs keep one
+    // item per unit: there the limiting factor is load balance, not
+    // scheduling overhead.
+    let chunk_size = if total >= workers * 8 {
+        total.div_ceil(workers * 4)
+    } else {
+        1
+    };
+
+    // Round-robin initial distribution: chunk `c` seeds deque `c % w`,
+    // so every worker starts with a spread of early and late items.
+    // Each queued unit is a chunk tagged with its first item's index.
+    type ChunkDeque<I> = Mutex<VecDeque<(usize, Vec<I>)>>;
+    let deques: Vec<ChunkDeque<I>> = (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    {
+        let mut items = items.into_iter().enumerate();
+        let mut c = 0usize;
+        loop {
+            let chunk: Vec<(usize, I)> = items.by_ref().take(chunk_size).collect();
+            let Some(&(start, _)) = chunk.first() else {
+                break;
+            };
+            let chunk: Vec<I> = chunk.into_iter().map(|(_, it)| it).collect();
+            lock(&deques[c % workers]).push_back((start, chunk));
+            c += 1;
+        }
+        CHUNKS.add(c as u64);
     }
     if let Some(deepest) = deques.iter().map(|d| lock(d).len()).max() {
         QUEUE_HWM.record_max(deepest as u64);
@@ -230,11 +274,14 @@ where
                                 got
                             }),
                         };
-                        let Some((idx, item)) = next else { break };
+                        let Some((start, chunk)) = next else { break };
                         let item_start = detailed.then(Instant::now);
-                        match catch_unwind(AssertUnwindSafe(|| f(item))) {
-                            Ok(r) => done.push((idx, r)),
-                            Err(p) => caught.push((idx, p)),
+                        for (off, item) in chunk.into_iter().enumerate() {
+                            let idx = start + off;
+                            match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                                Ok(r) => done.push((idx, r)),
+                                Err(p) => caught.push((idx, p)),
+                            }
                         }
                         if let Some(t) = item_start {
                             exec_ns += t.elapsed().as_nanos();
@@ -593,6 +640,82 @@ mod tests {
                 self.0.load(Ordering::Relaxed)
             }
         }
+    }
+
+    /// With 1000 items at 4 workers the chunked path is active
+    /// (`total >= workers * 8`): units are contiguous runs, results must
+    /// still come back in input order. The core-count override forces
+    /// the pool to actually spin up on single-core CI hosts.
+    #[test]
+    fn chunked_path_preserves_order() {
+        let _l = config_lock();
+        override_host_cores(4);
+        set_threads(4);
+        let out = par_map((0..1000).collect::<Vec<u64>>(), |x| x * 3 + 1);
+        set_threads(0);
+        override_host_cores(0);
+        assert_eq!(out, (0..1000).map(|x| x * 3 + 1).collect::<Vec<u64>>());
+    }
+
+    /// Panic indexing must survive chunking: the chunk containing item 3
+    /// also contains later panicking items, and other chunks panic too —
+    /// the lowest *item* index still wins.
+    #[test]
+    fn chunked_lowest_index_panic_wins() {
+        let _l = config_lock();
+        override_host_cores(4);
+        set_threads(4);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            par_map((0..256).collect::<Vec<u32>>(), |x| {
+                if x % 7 == 3 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }));
+        set_threads(0);
+        override_host_cores(0);
+        let payload = r.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(msg, "boom at 3", "first panic by item index must win");
+    }
+
+    /// Small inputs (below `workers * 8`) keep one item per unit so load
+    /// balance is unaffected; the seeded unit count equals the item
+    /// count. Large inputs seed ~4 units per worker.
+    #[test]
+    fn chunk_sizing_policy() {
+        let _l = config_lock();
+        override_host_cores(4);
+        set_threads(4);
+        manta_telemetry::set_enabled(true);
+        let before = manta_telemetry::report()
+            .counters
+            .get("parallel.chunks")
+            .copied()
+            .unwrap_or(0);
+        // 31 < 4*8: unchunked, 31 units.
+        let _ = par_map((0..31).collect::<Vec<u64>>(), |x| x);
+        let mid = manta_telemetry::report()
+            .counters
+            .get("parallel.chunks")
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(mid - before, 31);
+        // 1000 >= 4*8: ceil(1000/16) = 63 per chunk -> 16 units.
+        let _ = par_map((0..1000).collect::<Vec<u64>>(), |x| x);
+        let after = manta_telemetry::report()
+            .counters
+            .get("parallel.chunks")
+            .copied()
+            .unwrap_or(0);
+        manta_telemetry::set_enabled(false);
+        set_threads(0);
+        override_host_cores(0);
+        assert_eq!(after - mid, 16);
     }
 
     #[test]

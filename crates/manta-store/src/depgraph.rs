@@ -101,6 +101,127 @@ impl DepGraph {
         })
     }
 
+    /// Condenses the graph into strongly connected components and
+    /// arranges them into bottom-up wavefronts.
+    ///
+    /// SCC ids are assigned deterministically (ordered by each
+    /// component's smallest member node). `levels[0]` holds the leaf
+    /// SCCs — components depending on nothing outside themselves — and
+    /// `levels[k]` the components whose out-of-component dependencies
+    /// all live in levels `< k`. Scheduling level by level therefore
+    /// guarantees every dependency's result is ready before a component
+    /// runs, while components *within* a level are mutually independent
+    /// and can run concurrently. Cycles (recursion the preprocessor did
+    /// not break, or points-to loops) collapse into a single component
+    /// and are handled as one unit rather than looping forever.
+    #[must_use]
+    pub fn condense(&self) -> Condensation {
+        let n = self.deps.len();
+        const UNSEEN: u32 = u32::MAX;
+        let mut discovery = vec![UNSEEN; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut comp_of = vec![0u32; n];
+        // Components in Tarjan pop order: a component is completed only
+        // after everything it depends on, so pop order is a bottom-up
+        // topological order of the condensation.
+        let mut comps: Vec<Vec<u32>> = Vec::new();
+        let mut next = 0u32;
+        let mut call: Vec<(u32, usize)> = Vec::new();
+        for root in 0..n as u32 {
+            if discovery[root as usize] != UNSEEN {
+                continue;
+            }
+            call.push((root, 0));
+            while let Some(&(v, ei)) = call.last() {
+                let vi = v as usize;
+                if ei == 0 {
+                    discovery[vi] = next;
+                    low[vi] = next;
+                    next += 1;
+                    stack.push(v);
+                    on_stack[vi] = true;
+                }
+                if ei < self.deps[vi].len() {
+                    if let Some(frame) = call.last_mut() {
+                        frame.1 += 1;
+                    }
+                    let w = self.deps[vi][ei] as usize;
+                    if discovery[w] == UNSEEN {
+                        call.push((w as u32, 0));
+                    } else if on_stack[w] {
+                        low[vi] = low[vi].min(discovery[w]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(p, _)) = call.last() {
+                        let pi = p as usize;
+                        low[pi] = low[pi].min(low[vi]);
+                    }
+                    if low[vi] == discovery[vi] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w as usize] = false;
+                            comp_of[w as usize] = comps.len() as u32;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        comps.push(comp);
+                    }
+                }
+            }
+        }
+        // Levels in pop order: every out-of-component dependency was
+        // popped earlier, so its level is already final.
+        let mut pop_level = vec![0u32; comps.len()];
+        for (c, members) in comps.iter().enumerate() {
+            for &v in members {
+                for &w in &self.deps[v as usize] {
+                    let d = comp_of[w as usize] as usize;
+                    if d != c {
+                        pop_level[c] = pop_level[c].max(pop_level[d] + 1);
+                    }
+                }
+            }
+        }
+        // Relabel components by smallest member so ids are independent
+        // of DFS traversal details.
+        let mut order: Vec<usize> = (0..comps.len()).collect();
+        order.sort_unstable_by_key(|&c| comps[c].first().copied().unwrap_or(u32::MAX));
+        let mut new_id = vec![0u32; comps.len()];
+        for (pos, &c) in order.iter().enumerate() {
+            new_id[c] = pos as u32;
+        }
+        let mut sccs = vec![Vec::new(); comps.len()];
+        let mut level_of = vec![0u32; comps.len()];
+        let depth = pop_level
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1);
+        let mut levels = vec![Vec::new(); depth];
+        for (c, members) in comps.into_iter().enumerate() {
+            let id = new_id[c];
+            level_of[id as usize] = pop_level[c];
+            levels[pop_level[c] as usize].push(id);
+            sccs[id as usize] = members;
+        }
+        for l in &mut levels {
+            l.sort_unstable();
+        }
+        let scc_of = comp_of.into_iter().map(|c| new_id[c as usize]).collect();
+        Condensation {
+            scc_of,
+            sccs,
+            level_of,
+            levels,
+        }
+    }
+
     /// Dependency-closure hashes: `out[n]` covers `content[n]` plus the
     /// contents of every unit reachable from `n` along dependency
     /// edges. Deterministic (reachable sets are hashed in index order)
@@ -123,6 +244,31 @@ impl DepGraph {
                 h.finish()
             })
             .collect()
+    }
+}
+
+/// The SCC condensation of a [`DepGraph`], arranged into bottom-up
+/// wavefronts. Produced by [`DepGraph::condense`].
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// `scc_of[n]` = the SCC id containing node `n`.
+    pub scc_of: Vec<u32>,
+    /// Members of each SCC, sorted; ids are ordered by smallest member.
+    pub sccs: Vec<Vec<u32>>,
+    /// `level_of[s]` = the wavefront level of SCC `s`.
+    pub level_of: Vec<u32>,
+    /// `levels[k]` = SCC ids at level `k`, sorted. Level 0 components
+    /// depend on nothing outside themselves; level `k` components only
+    /// on levels `< k`. SCCs within one level are mutually independent.
+    pub levels: Vec<Vec<u32>>,
+}
+
+impl Condensation {
+    /// Widths of the wavefronts (number of independent SCCs per level):
+    /// the available parallelism at each scheduling step.
+    #[must_use]
+    pub fn widths(&self) -> Vec<usize> {
+        self.levels.iter().map(Vec::len).collect()
     }
 }
 
@@ -165,6 +311,72 @@ mod tests {
         assert_ne!(before[1], after[1]);
         assert_ne!(before[2], after[2]);
         assert_eq!(before[3], after[3]);
+    }
+
+    /// On the chain a→b→c (+ isolated d) the bottom-up wavefronts are
+    /// {c, d}, {b}, {a}: leaves first, each level only depending on
+    /// earlier ones.
+    #[test]
+    fn condense_chain_wavefronts() {
+        let g = chain();
+        let c = g.condense();
+        assert_eq!(c.sccs.len(), 4);
+        assert_eq!(c.sccs, vec![vec![0], vec![1], vec![2], vec![3]]);
+        assert_eq!(c.levels, vec![vec![2, 3], vec![1], vec![0]]);
+        assert_eq!(c.level_of, vec![2, 1, 0, 0]);
+        assert_eq!(c.widths(), vec![2, 1, 1]);
+    }
+
+    /// A 2-cycle collapses into one SCC; a node depending on the cycle
+    /// lands one level above it.
+    #[test]
+    fn condense_collapses_cycles() {
+        let mut g = DepGraph::new(3);
+        g.add_dep(0, 1);
+        g.add_dep(1, 0);
+        g.add_dep(2, 0);
+        let c = g.condense();
+        assert_eq!(c.sccs, vec![vec![0, 1], vec![2]]);
+        assert_eq!(c.scc_of, vec![0, 0, 1]);
+        assert_eq!(c.levels, vec![vec![0], vec![1]]);
+    }
+
+    /// Diamond a→{b,c}→d: b and c share a wavefront (independent), with
+    /// d below and a above.
+    #[test]
+    fn condense_diamond_parallel_level() {
+        let mut g = DepGraph::new(4);
+        g.add_dep(0, 1);
+        g.add_dep(0, 2);
+        g.add_dep(1, 3);
+        g.add_dep(2, 3);
+        let c = g.condense();
+        assert_eq!(c.levels, vec![vec![3], vec![1, 2], vec![0]]);
+    }
+
+    /// Self-loops are a one-node SCC, not a crash or an extra level.
+    #[test]
+    fn condense_self_loop() {
+        let mut g = DepGraph::new(2);
+        g.add_dep(0, 0);
+        g.add_dep(1, 0);
+        let c = g.condense();
+        assert_eq!(c.sccs, vec![vec![0], vec![1]]);
+        assert_eq!(c.levels, vec![vec![0], vec![1]]);
+    }
+
+    /// Deep recursion in the DFS must not blow the thread stack: a
+    /// 100k-node chain condenses iteratively.
+    #[test]
+    fn condense_deep_chain_is_iterative() {
+        let n = 100_000u32;
+        let mut g = DepGraph::new(n as usize);
+        for i in 0..n - 1 {
+            g.add_dep(i, i + 1);
+        }
+        let c = g.condense();
+        assert_eq!(c.sccs.len(), n as usize);
+        assert_eq!(c.levels.len(), n as usize);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod json;
 pub mod store;
 
 pub use bytes::{ByteReader, ByteWriter, DecodeError};
-pub use depgraph::DepGraph;
+pub use depgraph::{Condensation, DepGraph};
 pub use hash::{combine, hash_bytes, hash_str, splitmix64, Fingerprint};
 pub use store::{
     GcReport, Key, OpenOutcome, StatsSnapshot, Store, StoreError, StoreStats, DEFAULT_LOCK_WAIT,

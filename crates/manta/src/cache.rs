@@ -607,14 +607,29 @@ impl AnalysisCache {
     /// module fingerprint are dropped.
     pub fn sync_module(&self, analysis: &ModuleAnalysis) -> ModuleSync {
         let module = analysis.module();
+        let fingerprints = function_fingerprints(module);
+        let module_fp = module_fingerprint(module);
+        self.sync_module_with(analysis, &fingerprints, module_fp)
+    }
+
+    /// [`sync_module`] with the fingerprints precomputed by the caller:
+    /// canonical-text hashing is the dominant fixed cost of a cached
+    /// solve, so a driver that needs the fingerprints anyway (the
+    /// summary path does) must not hash the module twice.
+    ///
+    /// [`sync_module`]: AnalysisCache::sync_module
+    pub(crate) fn sync_module_with(
+        &self,
+        analysis: &ModuleAnalysis,
+        fingerprints: &[(String, u64)],
+        module_fp: u64,
+    ) -> ModuleSync {
+        let module = analysis.module();
         let index_key = Key::new("modidx", hash_str(module.name()), 0);
         let previous = self
             .store
             .get(&index_key)
             .and_then(|p| decode_index(&p).ok());
-
-        let fingerprints = function_fingerprints(module);
-        let module_fp = module_fingerprint(module);
 
         let mut sync = ModuleSync::default();
         if let Some(prev) = &previous {
@@ -626,7 +641,7 @@ impl AnalysisCache {
             let cur_map: HashMap<&str, u64> =
                 fingerprints.iter().map(|(n, f)| (n.as_str(), *f)).collect();
 
-            for (name, fp) in &fingerprints {
+            for (name, fp) in fingerprints {
                 if prev_map.get(name.as_str()) != Some(fp) {
                     sync.changed.push(name.clone());
                 }
@@ -705,7 +720,7 @@ impl AnalysisCache {
             &index_key,
             &encode_index(&FunctionIndex {
                 module: module_fp,
-                functions: fingerprints,
+                functions: fingerprints.to_vec(),
             }),
         );
         sync
@@ -794,6 +809,7 @@ impl Manta {
             budget: *spec,
             strict: false,
             provenance: false,
+            summaries: false,
             cache: None,
         };
         match engine.analyze_with_cache(analysis, cache) {

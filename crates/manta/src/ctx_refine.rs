@@ -24,7 +24,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 
 use manta_analysis::cfl::{ctx_op, CtxStack, Direction};
 use manta_analysis::{DepKind, ModuleAnalysis, NodeId, VarRef};
-use manta_ir::Type;
+use manta_ir::{FuncId, Type};
 use manta_resilience::{Budget, BudgetExceeded};
 
 use crate::classify;
@@ -72,7 +72,15 @@ pub fn refine_budgeted(
     let shared: &InferenceResult = result;
     let per_chunk: Vec<Result<Vec<(VarRef, TypeInterval)>, BudgetExceeded>> =
         manta_parallel::par_map(chunks, |chunk| {
-            refine_chunk(analysis, reveals, config, shared, budget, chunk)
+            refine_chunk(
+                analysis,
+                reveals,
+                config,
+                shared,
+                budget,
+                chunk,
+                &mut Footprint::off(),
+            )
         });
     let mut updates: Vec<(VarRef, TypeInterval)> = Vec::new();
     for chunk in per_chunk {
@@ -85,6 +93,81 @@ pub fn refine_budgeted(
     let counts = classify::classify(analysis, result);
     result.stage_counts.push((Stage::ContextRefine, counts));
     Ok(())
+}
+
+/// Records which functions' data a refinement walk read. The summary
+/// cache replays a cached chunk only when every function in its recorded
+/// footprint has an unchanged input fingerprint, so the footprint must
+/// cover *everything* the walk's outcome depends on: every DDG node
+/// visited (its owner's edges and reveals), every variable whose interval
+/// fed an arithmetic feasibility check, and every function whose CFG
+/// blocks or caller list the flow-sensitive walker consulted. Recording
+/// is off (`None`, a branch per touch) on the ordinary full-solve path.
+/// The recorder is a dense bitset over function indices: a touch per
+/// visited node is on every walk's hot path, so it has to be a couple
+/// of instructions, not a tree insert.
+#[derive(Default, Debug)]
+pub(crate) struct Footprint {
+    bits: Option<Vec<u64>>,
+}
+
+impl Footprint {
+    /// A disabled recorder: `touch` is a no-op.
+    pub(crate) fn off() -> Footprint {
+        Footprint { bits: None }
+    }
+
+    /// An enabled recorder over a module with `n_funcs` functions.
+    pub(crate) fn on(n_funcs: usize) -> Footprint {
+        Footprint {
+            bits: Some(vec![0; n_funcs.div_ceil(64)]),
+        }
+    }
+
+    /// A recorder in the same state (on/off) as `other`, for walks whose
+    /// borrows force a separate accumulator merged back via [`absorb`].
+    ///
+    /// [`absorb`]: Footprint::absorb
+    pub(crate) fn like(other: &Footprint) -> Footprint {
+        Footprint {
+            bits: other.bits.as_ref().map(|b| vec![0; b.len()]),
+        }
+    }
+
+    /// Records that the walk read function `f`'s data.
+    #[inline]
+    pub(crate) fn touch(&mut self, f: FuncId) {
+        if let Some(bits) = &mut self.bits {
+            bits[f.index() >> 6] |= 1 << (f.index() & 63);
+        }
+    }
+
+    /// Folds another recorder's touches into this one.
+    pub(crate) fn absorb(&mut self, other: Footprint) {
+        if let (Some(dst), Some(src)) = (&mut self.bits, other.bits) {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d |= s;
+            }
+        }
+    }
+
+    /// The recorded function set in index order (empty when recording
+    /// was off).
+    pub(crate) fn into_funcs(self) -> Vec<FuncId> {
+        let Some(bits) = self.bits else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (w, word) in bits.into_iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let b = word.trailing_zeros() as usize;
+                out.push(FuncId((w << 6 | b) as u32));
+                word &= word - 1;
+            }
+        }
+        out
+    }
 }
 
 /// Splits an already function-ordered candidate list into runs sharing a
@@ -102,20 +185,23 @@ pub(crate) fn partition_by_func(over: Vec<VarRef>) -> Vec<Vec<VarRef>> {
 
 /// Refines one per-function candidate partition. Fuel is charged exactly
 /// as the historical serial loop: one unit per candidate plus the size of
-/// its forward walk.
-fn refine_chunk(
+/// its forward walk. With an enabled `fp`, records every function whose
+/// data the walks read (the summary cache's reuse precondition).
+pub(crate) fn refine_chunk(
     analysis: &ModuleAnalysis,
     reveals: &RevealMap,
     config: &MantaConfig,
     result: &InferenceResult,
     budget: &Budget,
     chunk: Vec<VarRef>,
+    fp: &mut Footprint,
 ) -> Result<Vec<(VarRef, TypeInterval)>, BudgetExceeded> {
     let mut roots_cache: HashMap<VarRef, BTreeSet<NodeId>> = HashMap::new();
     let mut updates: Vec<(VarRef, TypeInterval)> = Vec::new();
     for v in chunk {
         budget.tick()?;
-        let roots = find_roots(analysis, result, config, v, &mut roots_cache);
+        fp.touch(v.func);
+        let roots = find_roots_traced(analysis, result, config, v, &mut roots_cache, fp);
         let mut types: Vec<Type> = Vec::new();
         let mut visited: HashSet<NodeId> = HashSet::new();
         for &root in &roots {
@@ -128,6 +214,7 @@ fn refine_chunk(
                 &mut CtxStack::new(config.max_ctx_depth),
                 &mut visited,
                 &mut types,
+                fp,
             );
         }
         // Charge the actual walk size so fuel reflects work done, not
@@ -146,12 +233,27 @@ fn refine_chunk(
 
 /// `FIND_ROOTS(v)`: backward CFL-valid traversal to the origins of `v`
 /// (Algorithm 1, lines 11–20). Results are memoized in `cache`.
+#[cfg(test)]
 pub(crate) fn find_roots(
     analysis: &ModuleAnalysis,
     result: &InferenceResult,
     config: &MantaConfig,
     v: VarRef,
     cache: &mut HashMap<VarRef, BTreeSet<NodeId>>,
+) -> BTreeSet<NodeId> {
+    find_roots_traced(analysis, result, config, v, cache, &mut Footprint::off())
+}
+
+/// [`find_roots`] with footprint recording. The memo is only ever shared
+/// within one chunk, whose footprint already covers any walk that seeded
+/// a memoized entry — so a cache hit needs no additional touches.
+pub(crate) fn find_roots_traced(
+    analysis: &ModuleAnalysis,
+    result: &InferenceResult,
+    config: &MantaConfig,
+    v: VarRef,
+    cache: &mut HashMap<VarRef, BTreeSet<NodeId>>,
+    fp: &mut Footprint,
 ) -> BTreeSet<NodeId> {
     if let Some(r) = cache.get(&v) {
         return r.clone();
@@ -168,6 +270,7 @@ pub(crate) fn find_roots(
         &mut visited,
         &mut roots,
         &mut budget,
+        fp,
     );
     if roots.is_empty() {
         roots.insert(start);
@@ -176,6 +279,7 @@ pub(crate) fn find_roots(
     roots
 }
 
+#[allow(clippy::too_many_arguments)]
 fn walk_roots(
     analysis: &ModuleAnalysis,
     result: &InferenceResult,
@@ -184,17 +288,23 @@ fn walk_roots(
     visited: &mut HashSet<NodeId>,
     roots: &mut BTreeSet<NodeId>,
     budget: &mut usize,
+    fp: &mut Footprint,
 ) {
     if !visited.insert(node) || *budget == 0 {
         return;
     }
     *budget -= 1;
+    fp.touch(analysis.ddg.var(node).func);
     let mut advanced = false;
     for &(parent, kind) in analysis.ddg.parents(node) {
         if !edge_carries_type(kind) {
             continue;
         }
         if let DepKind::Arith { .. } = kind {
+            // The feasibility decision consumed the parent's interval even
+            // when it rejects the edge, so the parent's owner is part of
+            // the footprint either way.
+            fp.touch(analysis.ddg.var(parent).func);
             if !arith_feasible(result, analysis.ddg.var(parent), analysis.ddg.var(node)) {
                 continue;
             }
@@ -202,7 +312,7 @@ fn walk_roots(
         let op = ctx_op(kind, Direction::Backward);
         if ctx.enter(op) {
             advanced = true;
-            walk_roots(analysis, result, parent, ctx, visited, roots, budget);
+            walk_roots(analysis, result, parent, ctx, visited, roots, budget, fp);
             ctx.leave(op);
         }
     }
@@ -223,11 +333,13 @@ fn collect_types(
     ctx: &mut CtxStack,
     visited: &mut HashSet<NodeId>,
     types: &mut Vec<Type>,
+    fp: &mut Footprint,
 ) {
     if !visited.insert(node) || visited.len() > config.max_visits {
         return;
     }
     let v = analysis.ddg.var(node);
+    fp.touch(v.func);
     for (_, t) in reveals.of_var(v) {
         types.push(t.clone());
     }
@@ -236,6 +348,7 @@ fn collect_types(
             continue;
         }
         if let DepKind::Arith { .. } = kind {
+            fp.touch(analysis.ddg.var(child).func);
             if !arith_feasible(result, v, analysis.ddg.var(child)) {
                 continue;
             }
@@ -243,7 +356,7 @@ fn collect_types(
         let op = ctx_op(kind, Direction::Forward);
         if ctx.enter(op) {
             collect_types(
-                analysis, reveals, result, config, child, ctx, visited, types,
+                analysis, reveals, result, config, child, ctx, visited, types, fp,
             );
             ctx.leave(op);
         }

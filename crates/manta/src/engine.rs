@@ -406,6 +406,7 @@ pub struct EngineBuilder {
     threads: Option<usize>,
     telemetry: Option<bool>,
     provenance: Option<bool>,
+    summaries: bool,
     cache_dir: Option<PathBuf>,
     cache: Option<Arc<AnalysisCache>>,
 }
@@ -490,6 +491,21 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables compositional per-function summaries: with a cache
+    /// attached, a module-fingerprint miss re-solves incrementally —
+    /// reveal/FI/classification fresh, refinement chunks replayed from
+    /// the persisted summary state wherever their recorded input
+    /// footprints still validate (see [`crate::summaries`]). Results
+    /// stay bit-identical to the full pipeline. Ignored without a
+    /// cache; bypassed (full pipeline) under fuel limits, deadlines,
+    /// strict mode, fault plans, provenance recording, and the
+    /// standalone-FS sensitivity.
+    #[must_use]
+    pub fn summaries(mut self, enabled: bool) -> Self {
+        self.summaries = enabled;
+        self
+    }
+
     /// Opens (or initializes) a persistent [`AnalysisCache`] in `dir`
     /// at build time.
     #[must_use]
@@ -533,6 +549,7 @@ impl EngineBuilder {
             budget: self.budget,
             strict: self.strict,
             provenance: self.provenance.unwrap_or(false),
+            summaries: self.summaries,
             cache,
         })
     }
@@ -551,6 +568,7 @@ pub struct Engine {
     pub(crate) budget: BudgetSpec,
     pub(crate) strict: bool,
     pub(crate) provenance: bool,
+    pub(crate) summaries: bool,
     pub(crate) cache: Option<Arc<AnalysisCache>>,
 }
 
@@ -561,6 +579,7 @@ impl fmt::Debug for Engine {
             .field("budget", &self.budget)
             .field("strict", &self.strict)
             .field("provenance", &self.provenance)
+            .field("summaries", &self.summaries)
             .field("cache", &self.cache.is_some())
             .finish()
     }
@@ -575,6 +594,7 @@ impl Engine {
             budget: BudgetSpec::default(),
             strict: false,
             provenance: false,
+            summaries: false,
             cache: None,
         }
     }
@@ -737,8 +757,11 @@ impl Engine {
         &self,
         analyses: &[ModuleAnalysis],
     ) -> Vec<Result<InferenceResult, MantaError>> {
+        // Modules are mutually independent, so the batch is one
+        // wavefront on the shared scheduler the summary driver uses for
+        // its per-level chunk dispatch.
         let jobs: Vec<&ModuleAnalysis> = analyses.iter().collect();
-        manta_parallel::par_map(jobs, |analysis| self.analyze(analysis))
+        crate::summaries::wavefront_dispatch(vec![jobs], |analysis| self.analyze(analysis))
     }
 
     fn analyze_inner(
@@ -780,8 +803,12 @@ impl Engine {
         if self.strict || plan_active() || self.budget.deadline_ms.is_some() {
             return self.run_uncached(analysis, external);
         }
-        cache.sync_module(analysis);
+        // Canonical-text hashing is the dominant fixed cost of a warm
+        // cached solve; compute the per-function and module
+        // fingerprints once and feed every consumer below.
+        let fingerprints = crate::cache::function_fingerprints(analysis.module());
         let fingerprint = module_fingerprint(analysis.module());
+        cache.sync_module_with(analysis, &fingerprints, fingerprint);
         let cfg = config_hash(&self.config, self.budget.fuel);
         let key = Key::new("infer", fingerprint, cfg);
         let prov_key = Key::new("prov", fingerprint, cfg);
@@ -799,6 +826,31 @@ impl Engine {
             {
                 return Ok((hit, Some(graph)));
             }
+        }
+        // Summary mode: on an infer-key miss, re-solve incrementally from
+        // the persisted per-function summary state instead of running the
+        // full pipeline. Fuel-limited budgets fall through (a blown
+        // budget must trip exactly where the full pipeline would), as do
+        // provenance engines (stage diffs need the pipeline driver) and
+        // ineligible sensitivities.
+        if self.summaries
+            && !self.provenance
+            && self.budget.fuel.is_none()
+            && crate::summaries::eligible(self.config.sensitivity)
+        {
+            let state_key = crate::summaries::state_key(analysis.module().name(), &self.config);
+            let prev = cache.store().get(&state_key);
+            let (result, state, _report) = crate::summaries::solve_with(
+                analysis,
+                &self.config,
+                prev.as_deref(),
+                &fingerprints,
+            );
+            if !result.is_degraded() {
+                let _ = cache.store().put(&key, &encode_result(&result));
+                let _ = cache.store().put(&state_key, &state);
+            }
+            return Ok((result, None));
         }
         let (result, prov) = self.run_pipeline(analysis, &self.budget.start())?;
         if !result.is_degraded() {

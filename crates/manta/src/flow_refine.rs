@@ -21,7 +21,7 @@ use manta_ir::{BlockId, FuncId, InstId, Type, ValueKind};
 use manta_resilience::{Budget, BudgetExceeded};
 
 use crate::classify;
-use crate::ctx_refine::find_roots;
+use crate::ctx_refine::{find_roots_traced, Footprint};
 use crate::interval::TypeInterval;
 use crate::reveal::RevealMap;
 use crate::{InferenceResult, MantaConfig, Stage};
@@ -67,7 +67,16 @@ pub fn refine_budgeted(
     let shared: &InferenceResult = result;
     let per_chunk: Vec<Result<FsChunkOut, BudgetExceeded>> =
         manta_parallel::par_map(chunks, |chunk| {
-            refine_chunk(analysis, reveals, config, shared, &cfgs, budget, chunk)
+            refine_chunk(
+                analysis,
+                reveals,
+                config,
+                shared,
+                &cfgs,
+                budget,
+                chunk,
+                &mut Footprint::off(),
+            )
         });
     let mut var_updates: Vec<(VarRef, TypeInterval)> = Vec::new();
     let mut site_updates: Vec<((VarRef, InstId), TypeInterval)> = Vec::new();
@@ -89,16 +98,17 @@ pub fn refine_budgeted(
 }
 
 /// Variable- and site-level interval updates produced by one partition.
-type FsChunkOut = (
+pub(crate) type FsChunkOut = (
     Vec<(VarRef, TypeInterval)>,
     Vec<((VarRef, InstId), TypeInterval)>,
 );
 
 /// Runs Algorithm 2 over one per-function candidate partition. Fuel is
 /// charged exactly as the historical serial loop: one unit per candidate
-/// plus one per inspected def/use site.
+/// plus one per inspected def/use site. With an enabled `fp`, records
+/// every function whose data the walks read.
 #[allow(clippy::too_many_arguments)]
-fn refine_chunk(
+pub(crate) fn refine_chunk(
     analysis: &ModuleAnalysis,
     reveals: &RevealMap,
     config: &MantaConfig,
@@ -106,13 +116,15 @@ fn refine_chunk(
     cfgs: &Cfgs,
     budget: &Budget,
     chunk: Vec<VarRef>,
+    fp: &mut Footprint,
 ) -> Result<FsChunkOut, BudgetExceeded> {
     let mut roots_cache: HashMap<VarRef, BTreeSet<NodeId>> = HashMap::new();
     let mut var_updates: Vec<(VarRef, TypeInterval)> = Vec::new();
     let mut site_updates: Vec<((VarRef, InstId), TypeInterval)> = Vec::new();
     for v in chunk {
         budget.tick()?;
-        let roots = find_roots(analysis, result, config, v, &mut roots_cache);
+        fp.touch(v.func);
+        let roots = find_roots_traced(analysis, result, config, v, &mut roots_cache, fp);
         let func = analysis.module().function(v.func);
         // Def site plus each use site (Algorithm 2 line 7).
         let mut site_intervals: Vec<(Option<InstId>, TypeInterval)> = Vec::new();
@@ -135,6 +147,7 @@ fn refine_chunk(
                 &roots,
                 &mut roots_cache,
                 true,
+                fp,
             );
             if types.is_empty() {
                 continue;
@@ -303,14 +316,14 @@ pub fn standalone_fs_budgeted(
 }
 
 /// Per-function CFGs plus block/instruction position indexes.
-struct Cfgs {
+pub(crate) struct Cfgs {
     cfg: Vec<Cfg>,
     /// For each function: inst id → (block, index in block).
     positions: Vec<HashMap<InstId, (BlockId, usize)>>,
 }
 
 impl Cfgs {
-    fn new(analysis: &ModuleAnalysis) -> Cfgs {
+    pub(crate) fn new(analysis: &ModuleAnalysis) -> Cfgs {
         let mut cfg = Vec::new();
         let mut positions = Vec::new();
         for f in analysis.module().functions() {
@@ -341,9 +354,12 @@ fn reachable_types(
     roots: &BTreeSet<NodeId>,
     roots_cache: &mut HashMap<VarRef, BTreeSet<NodeId>>,
     cross_callers: bool,
+    fp: &mut Footprint,
 ) -> Vec<Type> {
     // The alias check of line 14: FIND_ROOTS(u) ∩ roots ≠ ∅. Pre-resolving
-    // per queried variable via the shared memoized cache.
+    // per queried variable via the shared memoized cache. The walker keeps
+    // its own footprint accumulator (the alias closure already borrows
+    // `fp` mutably) which is folded back in after the walk.
     let mut alias_memo: HashMap<VarRef, bool> = HashMap::new();
     let mut walker = Walker {
         analysis,
@@ -355,12 +371,13 @@ fn reachable_types(
         active: HashSet::new(),
         budget: config.max_visits,
         cross_callers,
+        fp: Footprint::like(fp),
     };
     let mut is_alias = |u: VarRef, roots_cache: &mut HashMap<VarRef, BTreeSet<NodeId>>| -> bool {
         if let Some(&b) = alias_memo.get(&u) {
             return b;
         }
-        let ur = find_roots(analysis, result, config, u, roots_cache);
+        let ur = find_roots_traced(analysis, result, config, u, roots_cache, fp);
         let b = ur.iter().any(|r| roots.contains(r));
         alias_memo.insert(u, b);
         b
@@ -368,6 +385,7 @@ fn reachable_types(
     // Bridge the two mutable borrows through a small closure enum.
     let mut alias_fn = |u: VarRef| is_alias(u, roots_cache);
     walker.start(func, site, &mut alias_fn);
+    fp.absorb(walker.fp);
     walker.out
 }
 
@@ -394,6 +412,7 @@ fn reachable_types_with_alias(
         active: HashSet::new(),
         budget: config.max_visits,
         cross_callers,
+        fp: Footprint::off(),
     };
     let mut alias_fn = |u: VarRef| alias(u);
     walker.start(func, site, &mut alias_fn);
@@ -414,6 +433,8 @@ struct Walker<'a> {
     active: HashSet<(FuncId, BlockId)>,
     budget: usize,
     cross_callers: bool,
+    /// Functions whose blocks or caller lists this walk consulted.
+    fp: Footprint,
 }
 
 impl<'a> Walker<'a> {
@@ -460,6 +481,7 @@ impl<'a> Walker<'a> {
             }
             return Vec::new();
         }
+        self.fp.touch(func);
         let f = self.analysis.module().function(func);
         let b = f.block(block);
         let mut result: Option<Vec<Type>> = None;
@@ -543,6 +565,10 @@ impl<'a> Walker<'a> {
         ctx: &mut CtxStack,
         alias: &mut dyn FnMut(VarRef) -> bool,
     ) -> Vec<Type> {
+        // The caller list is part of `func`'s call-graph adjacency, which
+        // its input fingerprint covers — so consulting it (even when
+        // empty) makes `func` part of the footprint.
+        self.fp.touch(func);
         let callers = self.analysis.callgraph.callers(func).to_vec();
         let mut out = Vec::new();
         for edge in callers {

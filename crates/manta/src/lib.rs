@@ -59,6 +59,7 @@ pub mod flow_refine;
 pub mod interval;
 pub mod provenance;
 pub mod reveal;
+pub mod summaries;
 mod unify;
 
 use std::collections::HashMap;
@@ -444,6 +445,7 @@ impl Manta {
             budget: manta_resilience::BudgetSpec::default(),
             strict: true,
             provenance: false,
+            summaries: false,
             cache: None,
         };
         engine.analyze_with_budget(analysis, budget)

@@ -244,6 +244,71 @@ fn derivation_chains_cross_the_cascade_tiers() {
     );
 }
 
+/// A two-version module for the summary-telemetry test: `v2` changes
+/// one constant inside `branches` only, so `poly`'s context-sensitive
+/// chunk (whose walk footprint spans `poly` and its caller `driver`,
+/// never `branches`) must replay from the summary state.
+fn summary_asm(constant: u32) -> String {
+    EXPLAIN_ASM.replace("movi r3, 41", &format!("movi r3, {constant}"))
+}
+
+/// Summary-mode engines must surface their replay/recompute traffic
+/// through the `summary.*` counters: a cold run records recomputes and
+/// at least one wavefront; an edited re-run records replays (`hits`)
+/// for untouched chunks alongside recomputes for the dirty ones.
+#[test]
+fn summary_counters_record_replays_and_recomputes() {
+    let _l = lock();
+    let dir = std::env::temp_dir().join(format!("manta-obs-summ-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = std::sync::Arc::new(manta::cache::AnalysisCache::open(&dir).expect("open cache"));
+    let engine = Engine::builder()
+        .config(MantaConfig::full())
+        .cache(cache)
+        .summaries(true)
+        .build()
+        .expect("prebuilt cache cannot fail to attach");
+
+    let build = |constant: u32| {
+        let image = manta_isa::assemble(&summary_asm(constant)).expect("assembles");
+        ModuleAnalysis::build(manta_isa::lift::lift(&image).expect("lifts"))
+    };
+
+    manta_telemetry::set_enabled(true);
+    manta_telemetry::reset();
+    let _ = engine.analyze(&build(41)).expect("non-strict cannot fail");
+    let cold = manta_telemetry::report();
+    let get = |r: &manta_telemetry::Report, n: &str| r.counters.get(n).copied().unwrap_or(0);
+    assert!(
+        get(&cold, "summary.recomputes") > 0,
+        "cold run computes every chunk: {:?}",
+        cold.counters
+    );
+    assert_eq!(get(&cold, "summary.hits"), 0, "no state to replay yet");
+    assert!(get(&cold, "summary.wavefronts") > 0, "{:?}", cold.counters);
+
+    manta_telemetry::reset();
+    let _ = engine.analyze(&build(43)).expect("non-strict cannot fail");
+    let warm = manta_telemetry::report();
+    manta_telemetry::set_enabled(false);
+    assert!(
+        get(&warm, "summary.hits") > 0,
+        "untouched chunks must replay after a one-function edit: {:?}",
+        warm.counters
+    );
+    assert!(
+        get(&warm, "summary.recomputes") > 0,
+        "the edited function's chunks must recompute: {:?}",
+        warm.counters
+    );
+    assert!(
+        get(&warm, "summary.wavefront_width_max") > 0,
+        "{:?}",
+        warm.counters
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Provenance is explainable per *site* too: the union loads in
 /// `branches` carry flow-sensitive site facts whose rendered trees name
 /// the tier and interval.
