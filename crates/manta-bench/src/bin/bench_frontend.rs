@@ -1,0 +1,223 @@
+//! Frontend lift throughput: bytes-to-SSA wall time for both registered
+//! frontends over the same dual-encoded corpus, plus a hard parity
+//! assertion (the corpus is the differential suite's shape, so a
+//! divergence here is a correctness bug, not a perf regression).
+//!
+//! ```text
+//! bench_frontend                   measure, write BENCH_frontend.json
+//! bench_frontend --out <dir>       write the JSON elsewhere
+//! bench_frontend --check <frontend.json>
+//!                                  measure fresh and fail (exit 1) when
+//!                                  either lifter falls below the
+//!                                  absolute throughput floor
+//! ```
+//!
+//! Unlike the solver benches, the `--check` guard here is an *absolute*
+//! floor ([`MIN_MIB_PER_S`]) rather than a baseline ratio: lifting is a
+//! single linear pass and even a slow CI host clears the floor by an
+//! order of magnitude, while an accidentally-quadratic decoder or
+//! SSA-construction regression lands far below it.
+
+use std::time::Instant;
+
+use manta_bench::harness::median;
+use manta_ir::printer::print_module;
+use manta_ir::Frontend;
+use manta_store::json::{parse, JsonValue, JsonWriter};
+use manta_workloads::generator::GenSpec;
+use manta_workloads::{emit_dual, generate, PhenomenonMix};
+
+/// Paired repetitions per corpus program.
+const REPS: usize = 5;
+
+/// Absolute lift-throughput floor, MiB of machine code per second.
+const MIN_MIB_PER_S: f64 = 1.0;
+
+/// One program's measurement: both encodings of the same module.
+struct Row {
+    name: String,
+    sb_bytes: usize,
+    x86_bytes: usize,
+    sb_ms: f64,
+    x86_ms: f64,
+}
+
+impl Row {
+    fn mib_per_s(bytes: usize, ms: f64) -> f64 {
+        (bytes as f64 / (1024.0 * 1024.0)) / (ms.max(1e-6) / 1e3)
+    }
+
+    fn sb_mib_s(&self) -> f64 {
+        Self::mib_per_s(self.sb_bytes, self.sb_ms)
+    }
+
+    fn x86_mib_s(&self) -> f64 {
+        Self::mib_per_s(self.x86_bytes, self.x86_ms)
+    }
+}
+
+fn corpus() -> Vec<(String, manta_ir::Module)> {
+    // Three sizes spanning the generator's range; seeds are arbitrary
+    // but fixed so runs are comparable.
+    [(6usize, 21u64), (12, 22), (24, 23)]
+        .into_iter()
+        .map(|(functions, seed)| {
+            let prog = generate(&GenSpec {
+                name: format!("lift_{functions}f"),
+                functions,
+                mix: PhenomenonMix::balanced(),
+                seed,
+            });
+            (format!("lift_{functions}f"), prog.module)
+        })
+        .collect()
+}
+
+fn measure(name: &str, module: &manta_ir::Module) -> Row {
+    let dual = emit_dual(module).expect("generated module lowers");
+    let sb_bytes = dual.sb_bytes();
+    let x86_bytes = dual.x86_bytes();
+    let sb_fe = manta_isa::lift::SbFrontend;
+    let x86_fe = manta_x86::X86Frontend;
+
+    // Parity is the precondition for the throughput numbers meaning
+    // anything: both lifters must reconstruct the same module.
+    let sb_lifted = sb_fe.lift_bytes(&sb_bytes).expect("sb lift");
+    let x86_lifted = x86_fe.lift_bytes(&x86_bytes).expect("x86 lift");
+    assert_eq!(
+        print_module(&sb_lifted),
+        print_module(&x86_lifted),
+        "{name}: lifted IR diverges between encodings"
+    );
+
+    // Interleave the two lifters rep by rep so host noise hits both.
+    let mut sb_ms = Vec::with_capacity(REPS);
+    let mut x86_ms = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let _ = sb_fe.lift_bytes(&sb_bytes).expect("sb lift");
+        sb_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let _ = x86_fe.lift_bytes(&x86_bytes).expect("x86 lift");
+        x86_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let row = Row {
+        name: name.to_string(),
+        sb_bytes: sb_bytes.len(),
+        x86_bytes: x86_bytes.len(),
+        sb_ms: median(&mut sb_ms),
+        x86_ms: median(&mut x86_ms),
+    };
+    println!(
+        "lift {name:<12} sb {:6} B {:8.3} ms ({:8.1} MiB/s)   x86 {:6} B {:8.3} ms ({:8.1} MiB/s)",
+        row.sb_bytes,
+        row.sb_ms,
+        row.sb_mib_s(),
+        row.x86_bytes,
+        row.x86_ms,
+        row.x86_mib_s(),
+    );
+    row
+}
+
+fn render(rows: &[Row]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.string("manta-bench/frontend/v1");
+    manta_bench::host::write_host(&mut w, &manta_bench::host::host_meta());
+    w.key("programs");
+    w.begin_array();
+    for r in rows {
+        w.begin_object();
+        w.key("name");
+        w.string(&r.name);
+        w.key("sb_bytes");
+        w.uint(r.sb_bytes as u64);
+        w.key("x86_bytes");
+        w.uint(r.x86_bytes as u64);
+        w.key("sb_ms");
+        w.float(r.sb_ms);
+        w.key("x86_ms");
+        w.float(r.x86_ms);
+        w.key("sb_mib_per_s");
+        w.float(r.sb_mib_s());
+        w.key("x86_mib_per_s");
+        w.float(r.x86_mib_s());
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Every row must clear the absolute throughput floor; the baseline is
+/// only consulted for a friendly delta printout, never to fail the run.
+fn check(rows: &[Row], baseline_path: &str) -> bool {
+    let mut ok = true;
+    for r in rows {
+        for (which, mib_s) in [("sb", r.sb_mib_s()), ("x86", r.x86_mib_s())] {
+            if mib_s < MIN_MIB_PER_S {
+                eprintln!(
+                    "REGRESSION: {which} lift on {} fell to {mib_s:.2} MiB/s \
+                     (floor {MIN_MIB_PER_S} MiB/s)",
+                    r.name
+                );
+                ok = false;
+            }
+        }
+    }
+    if let Ok(text) = std::fs::read_to_string(baseline_path) {
+        if let Ok(doc) = parse(&text) {
+            let base: f64 = doc
+                .get("programs")
+                .and_then(JsonValue::as_array)
+                .map(|ps| {
+                    ps.iter()
+                        .filter_map(|p| p.get("x86_mib_per_s").and_then(JsonValue::as_f64))
+                        .sum::<f64>()
+                        / ps.len().max(1) as f64
+                })
+                .unwrap_or(f64::NAN);
+            let fresh = rows.iter().map(Row::x86_mib_s).sum::<f64>() / rows.len().max(1) as f64;
+            println!("x86 lift throughput: {fresh:.1} MiB/s fresh vs {base:.1} MiB/s baseline");
+        }
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = String::from(".");
+    let mut baseline: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_dir = it.next().expect("--out requires a directory").clone(),
+            "--check" => baseline = Some(it.next().expect("--check requires a path").clone()),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let rows: Vec<Row> = corpus()
+        .iter()
+        .map(|(name, module)| measure(name, module))
+        .collect();
+
+    match baseline {
+        None => {
+            let path = format!("{out_dir}/BENCH_frontend.json");
+            std::fs::write(&path, render(&rows)).expect("write BENCH_frontend.json");
+            println!("wrote {path}");
+        }
+        Some(base) => {
+            if !check(&rows, &base) {
+                std::process::exit(1);
+            }
+            println!("frontend bench check passed (parity held, throughput above floor)");
+        }
+    }
+}

@@ -36,9 +36,11 @@
 //! module cache, and a corrupt store is silently discarded and
 //! recomputed. Warm output is bit-identical to cold output.
 //!
-//! Inputs may be SBF images (binary, `SBF1` magic), SB-ISA assembly text,
-//! or textual IR (`module …` followed by `func name(wN,…)` headers); the
-//! format is sniffed automatically.
+//! Inputs may be binary images in any registered frontend's container —
+//! SBF (`SBF1` magic, SB-ISA code) or XLF (`\x7fELF` magic, x86-64-subset
+//! code) — SB-ISA assembly text, or textual IR (`module …` followed by
+//! `func name(wN,…)` headers); the format is sniffed automatically.
+//! `--frontend <name>` overrides the sniffing for binary inputs.
 
 #![warn(missing_docs)]
 
@@ -54,7 +56,7 @@ use manta_analysis::{ModuleAnalysis, VarRef};
 use manta_clients::{
     detect_bugs, indirect_call_sites, resolve_targets_manta, BugKind, CheckerConfig,
 };
-use manta_ir::Module;
+use manta_ir::{Frontend, Module};
 use manta_resilience::{Budget, BudgetSpec};
 use manta_telemetry::{JsonSink, TelemetrySink, TextSink};
 
@@ -79,7 +81,7 @@ pub const USAGE: &str = "\
 manta — hybrid-sensitive type inference for stripped binaries
 
 USAGE:
-    manta asm    <prog.s> -o <prog.sbf>
+    manta asm    <prog.s> -o <prog.bin> [--frontend sb|x86]
     manta disasm <prog.sbf>
     manta lift   <input>
     manta infer  <input> [-s fi|fs|fifs|full|fifscs] [--trace] [--stats <out.json>]
@@ -95,7 +97,15 @@ USAGE:
     manta client <addr> shutdown
     manta client <addr> analyze <input> [-s SENS] [--fuel <N>] [--budget-ms <N>]
 
-<input> is an SBF image, SB-ISA assembly, or textual IR (auto-detected).
+<input> is a binary image (SBF or XLF, detected by magic), SB-ISA
+assembly, or textual IR (auto-detected).
+
+FRONTENDS (all commands taking <input>):
+    --frontend <name> force a binary frontend instead of sniffing the
+                      image magic: `sb` (SB-ISA, SBF container) or `x86`
+                      (x86-64 subset, XLF ELF-subset container).
+                      `manta asm --frontend x86` assembles the Intel-like
+                      x86 syntax into an XLF image instead of SB-ISA
 
 OBSERVABILITY:
     --trace           print the hierarchical span tree to stderr afterwards
@@ -144,20 +154,61 @@ SERVING:
                       --budget-ms ride along as the request's budget
 ";
 
+/// The registered binary-image frontends, in sniffing order.
+pub fn frontends() -> [&'static dyn Frontend; 2] {
+    [&manta_isa::lift::SbFrontend, &manta_x86::X86Frontend]
+}
+
+/// Resolves a `--frontend <name>` value against the registry.
+fn frontend_by_name(name: &str) -> Result<&'static dyn Frontend, CliError> {
+    frontends()
+        .into_iter()
+        .find(|f| f.name() == name)
+        .ok_or_else(|| CliError(format!("unknown frontend `{name}`\n{}", frontend_listing())))
+}
+
+/// One line per registered frontend, for error messages.
+fn frontend_listing() -> String {
+    let mut s = String::from("available frontends:\n");
+    for f in frontends() {
+        let _ = writeln!(s, "  {:<4} {}", f.name(), f.describe());
+    }
+    s
+}
+
 /// Loads any supported input file into an IR module.
 ///
 /// # Errors
 ///
 /// Returns [`CliError`] for unreadable files or unrecognized formats.
 pub fn load_module(path: &Path) -> Result<Module, CliError> {
+    load_module_as(path, None)
+}
+
+/// Like [`load_module`], with an optional forced binary frontend
+/// (`--frontend`). Without one, binary inputs are dispatched on their
+/// image magic across every registered frontend.
+pub fn load_module_as(
+    path: &Path,
+    forced: Option<&'static dyn Frontend>,
+) -> Result<Module, CliError> {
     let bytes =
         fs::read(path).map_err(|e| CliError(format!("cannot read {}: {e}", path.display())))?;
-    if bytes.starts_with(manta_isa::image::MAGIC) {
-        let image = manta_isa::decode(&bytes).map_err(|e| CliError(e.to_string()))?;
-        return manta_isa::lift::lift(&image).map_err(|e| CliError(e.to_string()));
+    if let Some(fe) = forced {
+        return fe.lift_bytes(&bytes).map_err(|e| CliError(e.to_string()));
     }
-    let text = String::from_utf8(bytes)
-        .map_err(|_| CliError(format!("{}: neither SBF nor text", path.display())))?;
+    for fe in frontends() {
+        if fe.detects(&bytes) {
+            return fe.lift_bytes(&bytes).map_err(|e| CliError(e.to_string()));
+        }
+    }
+    let Ok(text) = String::from_utf8(bytes) else {
+        return err(format!(
+            "{}: unrecognized image magic\n{}",
+            path.display(),
+            frontend_listing()
+        ));
+    };
     // Textual IR uses `func name(w64, …)`; assembly uses `func name(2)`.
     if text.lines().any(|l| {
         let l = l.trim_start();
@@ -174,12 +225,16 @@ pub fn load_module(path: &Path) -> Result<Module, CliError> {
 /// size) and holds the module's canonical IR text, so a warm run skips
 /// SBF decoding, assembling, and lifting entirely. A stale or
 /// undecodable entry is discarded and the file is re-read.
-pub fn load_module_cached(path: &Path, cache: Option<&AnalysisCache>) -> Result<Module, CliError> {
+pub fn load_module_cached(
+    path: &Path,
+    cache: Option<&AnalysisCache>,
+    forced: Option<&'static dyn Frontend>,
+) -> Result<Module, CliError> {
     let Some(cache) = cache else {
-        return load_module(path);
+        return load_module_as(path, forced);
     };
-    let Some(key) = stat_key(path) else {
-        return load_module(path);
+    let Some(key) = stat_key(path, forced) else {
+        return load_module_as(path, forced);
     };
     if let Some(payload) = cache.store().get(&key) {
         if let Some(module) = std::str::from_utf8(&payload)
@@ -190,15 +245,17 @@ pub fn load_module_cached(path: &Path, cache: Option<&AnalysisCache>) -> Result<
         }
         cache.store().invalidate(&key);
     }
-    let module = load_module(path)?;
+    let module = load_module_as(path, forced)?;
     let text = manta_ir::printer::print_module(&module);
     let _ = cache.store().put(&key, text.as_bytes());
     Ok(module)
 }
 
 /// Stat fingerprint of `path`: the cache key for its lifted module.
-/// `None` (unreadable metadata) simply bypasses the file cache.
-fn stat_key(path: &Path) -> Option<manta_store::Key> {
+/// `None` (unreadable metadata) simply bypasses the file cache. A forced
+/// frontend is part of the key — the same bytes lift differently under
+/// different frontends, so overridden runs must not share entries.
+fn stat_key(path: &Path, forced: Option<&'static dyn Frontend>) -> Option<manta_store::Key> {
     let meta = fs::metadata(path).ok()?;
     let nanos = meta
         .modified()
@@ -208,6 +265,7 @@ fn stat_key(path: &Path) -> Option<manta_store::Key> {
         .as_nanos();
     let mut fp = manta_store::Fingerprint::new();
     fp.write_str("manta-cli.module");
+    fp.write_str(forced.map_or("auto", |f| f.name()));
     fp.write_str(&path.to_string_lossy());
     fp.write_u64(nanos as u64);
     fp.write_u64((nanos >> 64) as u64);
@@ -364,6 +422,31 @@ fn extract_thread_flag(args: &[String]) -> Result<Vec<String>, CliError> {
     Ok(rest)
 }
 
+/// Strips `--frontend <name>` from anywhere in the argument list and
+/// resolves it against the frontend registry.
+fn extract_frontend_flag(
+    args: &[String],
+) -> Result<(Vec<String>, Option<&'static dyn Frontend>), CliError> {
+    let mut forced = None;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--frontend" => match it.next() {
+                Some(name) => forced = Some(frontend_by_name(name)?),
+                None => {
+                    return err(format!(
+                        "--frontend requires a name\n{}",
+                        frontend_listing()
+                    ))
+                }
+            },
+            _ => rest.push(a.clone()),
+        }
+    }
+    Ok((rest, forced))
+}
+
 /// Parses `manta serve` flags into a [`manta_serve::ServeConfig`].
 fn parse_serve_flags(addr: &str, flags: &[String]) -> Result<manta_serve::ServeConfig, CliError> {
     let mut config = manta_serve::ServeConfig {
@@ -402,10 +485,11 @@ fn client_analyze_request(
     input: &str,
     sensitivity: Sensitivity,
     resilience: &ResilienceOpts,
+    forced: Option<&'static dyn Frontend>,
 ) -> Result<manta_serve::proto::Request, CliError> {
     // Normalize any supported input format to canonical IR text so the
     // daemon does not need the original file.
-    let module = load_module(Path::new(input))?;
+    let module = load_module_as(Path::new(input), forced)?;
     Ok(manta_serve::proto::Request::Analyze {
         module_text: manta_ir::printer::print_module(&module),
         sensitivity,
@@ -490,6 +574,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let (args, telemetry) = extract_telemetry_flags(args)?;
     let (args, resilience) = extract_resilience_flags(&args)?;
     let (args, cache_opts) = extract_cache_flags(&args)?;
+    let (args, forced_frontend) = extract_frontend_flag(&args)?;
     let args = extract_thread_flag(&args)?;
     let cmd = args.first().map(String::as_str);
     let tracing = telemetry.trace_out.is_some() || cmd == Some("profile");
@@ -502,7 +587,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         manta_telemetry::reset();
     }
-    let result = run_command(&args, &resilience, &cache_opts);
+    let result = run_command(&args, &resilience, &cache_opts, forced_frontend);
     if collecting {
         let report = manta_telemetry::report();
         manta_telemetry::set_enabled(false);
@@ -533,6 +618,7 @@ fn run_command(
     args: &[String],
     resilience: &ResilienceOpts,
     cache_opts: &CacheOpts,
+    forced_frontend: Option<&'static dyn Frontend>,
 ) -> Result<String, CliError> {
     let mut out = String::new();
     // One budget covers the whole command (substrate + inference); with
@@ -547,8 +633,25 @@ fn run_command(
             };
             let text = fs::read_to_string(input)
                 .map_err(|e| CliError(format!("cannot read {input}: {e}")))?;
-            let image = manta_isa::assemble(&text).map_err(|e| CliError(e.to_string()))?;
-            let bytes = manta_isa::encode(&image);
+            // `--frontend x86` switches the assembler syntax and output
+            // container; the default (and `--frontend sb`) is SB-ISA.
+            let (bytes, n_funcs, n_insts) = if forced_frontend.map(Frontend::name) == Some("x86") {
+                let image = manta_x86::assemble(&text).map_err(|e| CliError(e.to_string()))?;
+                let insts: usize = image
+                    .functions
+                    .iter()
+                    .map(|f| {
+                        let code = &image.text[f.offset as usize..(f.offset + f.len) as usize];
+                        manta_x86::decode_all(code).map_or(0, |v| v.len())
+                    })
+                    .sum();
+                let n = image.functions.len();
+                (manta_x86::encode_image(&image), n, insts)
+            } else {
+                let image = manta_isa::assemble(&text).map_err(|e| CliError(e.to_string()))?;
+                let (n, insts) = (image.functions.len(), image.total_insts());
+                (manta_isa::encode(&image), n, insts)
+            };
             fs::write(output, &bytes)
                 .map_err(|e| CliError(format!("cannot write {output}: {e}")))?;
             let _ = writeln!(
@@ -556,8 +659,8 @@ fn run_command(
                 "wrote {} ({} bytes, {} functions, {} instructions)",
                 output,
                 bytes.len(),
-                image.functions.len(),
-                image.total_insts()
+                n_funcs,
+                n_insts
             );
         }
         Some("disasm") => {
@@ -569,7 +672,7 @@ fn run_command(
         }
         Some("lift") => {
             let [_, input] = args else { return err(USAGE) };
-            let module = load_module(Path::new(input))?;
+            let module = load_module_as(Path::new(input), forced_frontend)?;
             out.push_str(&manta_ir::printer::print_module(&module));
         }
         Some("infer") => {
@@ -578,7 +681,7 @@ fn run_command(
                 [_, i, flag, s] if flag == "-s" => (i, parse_sensitivity(s)?),
                 _ => return err(USAGE),
             };
-            let module = load_module_cached(Path::new(input), cache.as_deref())?;
+            let module = load_module_cached(Path::new(input), cache.as_deref(), forced_frontend)?;
             let engine = make_engine(
                 MantaConfig::with_sensitivity(sens),
                 resilience,
@@ -615,7 +718,7 @@ fn run_command(
                 [_, i, flag] if flag == "--no-types" => (i, false),
                 _ => return err(USAGE),
             };
-            let module = load_module_cached(Path::new(input), cache.as_deref())?;
+            let module = load_module_cached(Path::new(input), cache.as_deref(), forced_frontend)?;
             let engine = make_engine(MantaConfig::full(), resilience, cache.clone());
             let Some(analysis) = build_analysis(&engine, module, &budget, &mut out)? else {
                 return Ok(out);
@@ -643,7 +746,7 @@ fn run_command(
         }
         Some("icall") => {
             let [_, input] = args else { return err(USAGE) };
-            let module = load_module_cached(Path::new(input), cache.as_deref())?;
+            let module = load_module_cached(Path::new(input), cache.as_deref(), forced_frontend)?;
             let engine = make_engine(MantaConfig::full(), resilience, cache.clone());
             let Some(analysis) = build_analysis(&engine, module, &budget, &mut out)? else {
                 return Ok(out);
@@ -670,7 +773,7 @@ fn run_command(
         }
         Some("stats") => {
             let [_, input] = args else { return err(USAGE) };
-            let module = load_module_cached(Path::new(input), cache.as_deref())?;
+            let module = load_module_cached(Path::new(input), cache.as_deref(), forced_frontend)?;
             // Drive the whole cascade: substrate build, full-sensitivity
             // inference, every checker, and indirect-call resolution, then
             // print the per-stage cost breakdown they recorded. With a cache
@@ -748,6 +851,15 @@ fn run_command(
                     let _ = writeln!(out, "  cache[{kind}]: {hits} hits, {misses} misses");
                 }
             }
+            // Frontend decode/lift work (zero on a warm module cache: the
+            // module was replayed from IR text, not re-lifted).
+            let _ = writeln!(
+                out,
+                "frontend: {} insts decoded, {} flags materialized, {} frame slots",
+                counter("lift.insts_decoded"),
+                counter("lift.flags_materialized"),
+                counter("lift.frame_slots"),
+            );
             let _ = writeln!(
                 out,
                 "summaries: {} chunk replays, {} recomputes, {} wavefronts \
@@ -764,7 +876,7 @@ fn run_command(
             let [_, input, func, var] = args else {
                 return err(USAGE);
             };
-            let module = load_module_cached(Path::new(input), cache.as_deref())?;
+            let module = load_module_cached(Path::new(input), cache.as_deref(), forced_frontend)?;
             // Provenance must be on before the substrate builds so the
             // points-to solver records its derivations too; the builder
             // flips the process-global switch, restored below.
@@ -812,7 +924,7 @@ fn run_command(
         }
         Some("profile") => {
             let [_, input] = args else { return err(USAGE) };
-            let module = load_module_cached(Path::new(input), cache.as_deref())?;
+            let module = load_module_cached(Path::new(input), cache.as_deref(), forced_frontend)?;
             // Same full drive as `stats`, but summarized from the trace
             // buffer: per-span cumulative wall time across all threads.
             let engine = make_engine(MantaConfig::full(), resilience, cache.clone());
@@ -885,10 +997,15 @@ fn run_command(
                 [cmd] if cmd == "stats" => Request::Stats,
                 [cmd] if cmd == "shutdown" => Request::Shutdown,
                 [cmd, input] if cmd == "analyze" => {
-                    client_analyze_request(input, Sensitivity::FiCsFs, resilience)?
+                    client_analyze_request(input, Sensitivity::FiCsFs, resilience, forced_frontend)?
                 }
                 [cmd, input, flag, s] if cmd == "analyze" && flag == "-s" => {
-                    client_analyze_request(input, parse_sensitivity(s)?, resilience)?
+                    client_analyze_request(
+                        input,
+                        parse_sensitivity(s)?,
+                        resilience,
+                        forced_frontend,
+                    )?
                 }
                 _ => return err(USAGE),
             };
@@ -997,6 +1114,40 @@ func main(0) -> ret {
             let ir = run(&s(&["lift", sbf.to_str().unwrap()])).unwrap();
             assert!(ir.contains("module clitest"), "{ir}");
             assert!(ir.contains("call.w64 !malloc"), "{ir}");
+        });
+    }
+
+    #[test]
+    fn asm_assembles_x86_behind_the_frontend_flag() {
+        let asm = "\
+module clix86
+func double(1) -> ret {
+    mov rax, rdi
+    add rax, rdi
+    ret
+}
+";
+        with_files(|dir| {
+            let src = dir.join("p86.s");
+            let bin = dir.join("p86.bin");
+            fs::write(&src, asm).unwrap();
+            let out = run(&s(&[
+                "asm",
+                src.to_str().unwrap(),
+                "-o",
+                bin.to_str().unwrap(),
+                "--frontend",
+                "x86",
+            ]))
+            .unwrap();
+            assert!(out.contains("1 functions"), "{out}");
+            // The written container carries the XLF magic and sniffs
+            // back through the x86 frontend without the flag.
+            let bytes = fs::read(&bin).unwrap();
+            assert!(bytes.starts_with(b"\x7fELF"), "XLF magic expected");
+            let ir = run(&s(&["lift", bin.to_str().unwrap()])).unwrap();
+            assert!(ir.contains("module clix86"), "{ir}");
+            assert!(ir.contains("add"), "{ir}");
         });
     }
 
@@ -1268,6 +1419,83 @@ func main(0) -> ret {
                 run(&s(&["infer", src.to_str().unwrap(), "--trace-out"])).is_err(),
                 "--trace-out needs a path"
             );
+        });
+    }
+
+    /// A minimal XLF image: `main` returns `f(7)` where `f` doubles its
+    /// argument — enough to exercise decode, lift, and inference.
+    fn x86_image_bytes() -> Vec<u8> {
+        use manta_x86::{Gpr, ImageBuilder, Inst, OpWidth, SymInst};
+        let mut b = ImageBuilder::new("clix86");
+        b.function(
+            "f",
+            1,
+            true,
+            vec![
+                SymInst::Real(Inst::MovRR {
+                    w: OpWidth::B64,
+                    dst: Gpr::RAX,
+                    src: Gpr::RDI,
+                }),
+                SymInst::Real(Inst::AluRR {
+                    op: manta_x86::Alu::Add,
+                    dst: Gpr::RAX,
+                    src: Gpr::RDI,
+                }),
+                SymInst::Real(Inst::Ret),
+            ],
+        );
+        b.function(
+            "main",
+            0,
+            true,
+            vec![
+                SymInst::Real(Inst::MovRI {
+                    dst: Gpr::RDI,
+                    imm: 7,
+                }),
+                SymInst::CallFunc("f".into()),
+                SymInst::Real(Inst::Ret),
+            ],
+        );
+        manta_x86::encode_image(&b.build().unwrap())
+    }
+
+    #[test]
+    fn x86_images_are_auto_detected_and_forceable() {
+        with_files(|dir| {
+            let xlf = dir.join("p.xlf");
+            fs::write(&xlf, x86_image_bytes()).unwrap();
+            // Sniffed by magic: lift and infer work without any flag.
+            let ir = run(&s(&["lift", xlf.to_str().unwrap()])).unwrap();
+            assert!(ir.contains("module clix86"), "{ir}");
+            let out = run(&s(&["infer", xlf.to_str().unwrap()])).unwrap();
+            assert!(out.contains("f#arg0"), "{out}");
+            // The explicit override takes the same path.
+            let forced = run(&s(&["lift", xlf.to_str().unwrap(), "--frontend", "x86"])).unwrap();
+            assert_eq!(forced, ir);
+            // Forcing the wrong frontend is a decode error, not a panic.
+            assert!(run(&s(&["lift", xlf.to_str().unwrap(), "--frontend", "sb"])).is_err());
+            // The `stats` pipeline surfaces the lift.* counters.
+            let stats = run(&s(&["stats", xlf.to_str().unwrap()])).unwrap();
+            assert!(stats.contains("frontend:"), "{stats}");
+            assert!(!stats.contains("frontend: 0 insts decoded"), "{stats}");
+        });
+    }
+
+    #[test]
+    fn unknown_magic_lists_the_frontends() {
+        with_files(|dir| {
+            let bad = dir.join("p.bin");
+            fs::write(&bad, [0u8, 159, 146, 150]).unwrap();
+            let e = run(&s(&["lift", bad.to_str().unwrap()])).unwrap_err();
+            let msg = e.to_string();
+            assert!(msg.contains("unrecognized image magic"), "{msg}");
+            assert!(msg.contains("sb") && msg.contains("x86"), "{msg}");
+            assert!(msg.contains("SBF1") && msg.contains("ELF"), "{msg}");
+            // An unknown --frontend name gets the same listing.
+            let e = run(&s(&["lift", bad.to_str().unwrap(), "--frontend", "mips"])).unwrap_err();
+            assert!(e.to_string().contains("available frontends"), "{e}");
         });
     }
 

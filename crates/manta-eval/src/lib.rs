@@ -26,6 +26,7 @@ pub use adapters::MantaTool;
 pub use cached::{run_suite, spec_fingerprint, CachedSuite, EvalRow};
 pub use runner::{
     load_coreutils, load_coreutils_checked, load_firmware, load_firmware_checked, load_projects,
-    load_projects_checked, load_specs_checked, load_suite, load_suite_checked, solver_shape_table,
-    stage_breakdown_table, ProjectData, ProjectFailure, Suite, SuiteLoad,
+    load_projects_checked, load_specs_checked, load_specs_encoded, load_suite, load_suite_checked,
+    solver_shape_table, stage_breakdown_table, Encoding, ProjectData, ProjectFailure, Suite,
+    SuiteLoad,
 };

@@ -20,9 +20,12 @@
 //! manta_ir::verify::verify_module(&m).unwrap();
 //! ```
 
+use std::collections::HashMap;
+use std::hash::Hash;
+
 use crate::externs::ExternRegistry;
 use crate::function::{Function, Terminator};
-use crate::ids::{BlockId, ExternId, FuncId, GlobalId, ValueId};
+use crate::ids::{BlockId, ExternId, FuncId, GlobalId, InstId, ValueId};
 use crate::inst::{BinOp, Callee, CmpPred, InstKind};
 use crate::module::Module;
 use crate::types::Width;
@@ -360,6 +363,168 @@ impl FunctionBuilder {
     }
 }
 
+/// Sealed-block SSA construction over an abstract machine-register file
+/// (Braun et al., *Simple and Efficient Construction of Static Single
+/// Assignment Form*, CC 2013).
+///
+/// Frontends lifting machine code into [`Function`]s share this machinery:
+/// the register key `R` is whatever a frontend renames (SB-ISA registers,
+/// x86-64 GPRs, …). The protocol per function:
+///
+/// 1. construct with the full machine-CFG predecessor map (all blocks are
+///    known up front, so every block is *sealed*);
+/// 2. for each block in layout order: [`begin_block`](Self::begin_block)
+///    (seeding the entry with parameter bindings), translate instructions
+///    using [`read`](Self::read)/[`write`](Self::write), then
+///    [`end_block`](Self::end_block);
+/// 3. [`finish`](Self::finish) once all blocks are translated — pending
+///    start-of-block phis created by cross-block reads are resolved against
+///    the sealed end-of-block states (two-phase, because loop back edges
+///    flow from blocks translated later).
+///
+/// Reads of never-written registers yield a single shared `undef` constant.
+/// Phi placeholder values are created with a dummy defining instruction and
+/// re-pointed via [`Function::fix_value_def`] when the phi is prepended.
+#[derive(Debug)]
+pub struct SsaBuilder<R> {
+    /// Machine-CFG predecessors per block.
+    preds: HashMap<BlockId, Vec<BlockId>>,
+    /// Register state of the block currently being translated.
+    cur: HashMap<R, ValueId>,
+    /// Start-of-block pending phi values, created on demand.
+    start_defs: HashMap<(BlockId, R), ValueId>,
+    /// Pending phis awaiting operand resolution: (block, reg, phi value).
+    pending: Vec<(BlockId, R, ValueId)>,
+    /// End-of-block register state (definitions visible to successors).
+    sealed_out: HashMap<BlockId, HashMap<R, ValueId>>,
+    /// The shared undef value, created lazily.
+    undef: Option<ValueId>,
+}
+
+impl<R: Copy + Eq + Hash> SsaBuilder<R> {
+    /// Starts SSA construction with the machine CFG's predecessor map.
+    pub fn new(preds: HashMap<BlockId, Vec<BlockId>>) -> SsaBuilder<R> {
+        SsaBuilder {
+            preds,
+            cur: HashMap::new(),
+            start_defs: HashMap::new(),
+            pending: Vec::new(),
+            sealed_out: HashMap::new(),
+            undef: None,
+        }
+    }
+
+    /// Begins translating `block`, seeding its register state (used for
+    /// parameter registers at the entry block).
+    pub fn begin_block(&mut self, seed: impl IntoIterator<Item = (R, ValueId)>) {
+        self.cur.clear();
+        for (r, v) in seed {
+            self.cur.insert(r, v);
+        }
+    }
+
+    /// Binds register `r` to `v` in the block being translated.
+    pub fn write(&mut self, r: R, v: ValueId) {
+        self.cur.insert(r, v);
+    }
+
+    /// Reads `r` in block `b` (the block being translated): the most recent
+    /// block-local binding, or a memoized start-of-block pending phi, or
+    /// `undef` when `b` has no predecessors.
+    pub fn read(&mut self, func: &mut Function, b: BlockId, r: R) -> ValueId {
+        if let Some(&v) = self.cur.get(&r) {
+            return v;
+        }
+        let v = self.start_value(func, b, r);
+        self.cur.insert(r, v);
+        v
+    }
+
+    /// Seals the register state of `b` (call after translating its last
+    /// instruction).
+    pub fn end_block(&mut self, b: BlockId) {
+        let out = std::mem::take(&mut self.cur);
+        self.sealed_out.insert(b, out);
+    }
+
+    /// The value of `r` at the end of block `p` (creating a pending
+    /// start-of-block phi at `p` when `p` never writes `r`).
+    fn end_value(&mut self, func: &mut Function, p: BlockId, r: R) -> ValueId {
+        if let Some(&v) = self.sealed_out.get(&p).and_then(|m| m.get(&r)) {
+            return v;
+        }
+        self.start_value(func, p, r)
+    }
+
+    /// The value of `r` at the start of block `b`: a pending phi
+    /// (memoized), or `undef` when `b` has no predecessors.
+    fn start_value(&mut self, func: &mut Function, b: BlockId, r: R) -> ValueId {
+        if let Some(&v) = self.start_defs.get(&(b, r)) {
+            return v;
+        }
+        let v = if self.preds.get(&b).is_none_or(Vec::is_empty) {
+            self.undef_value(func)
+        } else {
+            let phi_val = func.add_value(Value {
+                kind: ValueKind::Inst { def: InstId(0) }, // fixed at resolution
+                width: Width::W64,
+            });
+            self.pending.push((b, r, phi_val));
+            phi_val
+        };
+        self.start_defs.insert((b, r), v);
+        v
+    }
+
+    /// The function's shared `undef` constant, created on first use.
+    pub fn undef_value(&mut self, func: &mut Function) -> ValueId {
+        if let Some(v) = self.undef {
+            return v;
+        }
+        let v = func.add_value(Value {
+            kind: ValueKind::Const(ConstKind::Undef),
+            width: Width::W64,
+        });
+        self.undef = Some(v);
+        v
+    }
+
+    /// Resolves all pending start-of-block phis against the sealed
+    /// end-of-block states. Call exactly once, after every block has been
+    /// translated and sealed.
+    pub fn finish(&mut self, func: &mut Function) {
+        while let Some((b, r, phi_val)) = self.pending.pop() {
+            let preds = self.preds.get(&b).cloned().unwrap_or_default();
+            if preds.is_empty() {
+                // Unreachable or entry: the register was never defined.
+                let undef = self.undef_value(func);
+                let inst = func.prepend_inst(
+                    b,
+                    InstKind::Copy {
+                        dst: phi_val,
+                        src: undef,
+                    },
+                );
+                func.fix_value_def(phi_val, inst);
+                continue;
+            }
+            let mut incomings = Vec::new();
+            for p in preds {
+                let v = self.end_value(func, p, r);
+                incomings.push((p, v));
+            }
+            let inst = func.prepend_inst(
+                b,
+                InstKind::Phi {
+                    dst: phi_val,
+                    incomings,
+                },
+            );
+            func.fix_value_def(phi_val, inst);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -412,5 +577,69 @@ mod tests {
         let a = mb.extern_fn("malloc", &[], None);
         let b = mb.extern_fn("malloc", &[], None);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ssa_builder_places_phi_at_join() {
+        // Hand-drive the builder over a diamond where both arms write the
+        // same abstract register and the join reads it.
+        let mut f = Function::new(FuncId(0), "f".into(), &[], Some(Width::W64));
+        let entry = f.entry();
+        let t = f.add_block();
+        let e = f.add_block();
+        let j = f.add_block();
+        let mut preds: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        preds.insert(t, vec![entry]);
+        preds.insert(e, vec![entry]);
+        preds.insert(j, vec![t, e]);
+        let mut ssa: SsaBuilder<u8> = SsaBuilder::new(preds);
+
+        ssa.begin_block([]);
+        f.replace_terminator(entry, Terminator::Br(t)); // CFG shape only
+        ssa.end_block(entry);
+
+        for (b, k, succ) in [(t, 1i64, j), (e, 2, j)] {
+            ssa.begin_block([]);
+            let c = f.add_value(Value {
+                kind: ValueKind::Const(ConstKind::Int(k)),
+                width: Width::W64,
+            });
+            ssa.write(0u8, c);
+            f.replace_terminator(b, Terminator::Br(succ));
+            ssa.end_block(b);
+        }
+
+        ssa.begin_block([]);
+        let merged = ssa.read(&mut f, j, 0u8);
+        f.replace_terminator(j, Terminator::Ret(Some(merged)));
+        ssa.end_block(j);
+        ssa.finish(&mut f);
+
+        let phis: Vec<_> = f
+            .insts()
+            .filter(|i| matches!(i.kind, InstKind::Phi { .. }))
+            .collect();
+        assert_eq!(phis.len(), 1, "one phi for the joined register");
+        let InstKind::Phi { dst, ref incomings } = phis[0].kind else {
+            unreachable!()
+        };
+        assert_eq!(dst, merged);
+        assert_eq!(incomings.len(), 2);
+    }
+
+    #[test]
+    fn ssa_builder_reads_of_unwritten_registers_are_undef() {
+        let mut f = Function::new(FuncId(0), "f".into(), &[], Some(Width::W64));
+        let entry = f.entry();
+        let mut ssa: SsaBuilder<u8> = SsaBuilder::new(HashMap::new());
+        ssa.begin_block([]);
+        let v = ssa.read(&mut f, entry, 9u8);
+        assert!(matches!(
+            f.value(v).kind,
+            ValueKind::Const(ConstKind::Undef)
+        ));
+        // Reads are memoized: same undef value each time.
+        let v2 = ssa.read(&mut f, entry, 3u8);
+        assert_eq!(v, v2);
     }
 }

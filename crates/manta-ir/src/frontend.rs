@@ -1,0 +1,59 @@
+//! The per-ISA frontend plugin interface.
+//!
+//! Manta analyzes [`Module`]s; where those modules come from is a frontend
+//! concern. Each supported ISA ships one [`Frontend`] implementation that
+//! knows how to recognize its image container by magic bytes and lift the
+//! machine code inside it to SSA — the same per-architecture plugin shape
+//! as Macaw's architecture-specific semantics packages. The engine, CLI,
+//! eval and serve paths stay ISA-agnostic: they hold `dyn Frontend`s and
+//! dispatch on [`Frontend::detects`].
+
+use std::fmt;
+
+use crate::module::Module;
+
+/// A frontend failure: unrecognized bytes, malformed container, or machine
+/// code the lifter cannot translate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FrontendError {
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl FrontendError {
+    /// Creates an error from any displayable message.
+    pub fn new(message: impl Into<String>) -> FrontendError {
+        FrontendError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frontend error: {}", self.message)
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+/// A binary-image frontend: recognizes one container format and lifts the
+/// machine code inside it to an SSA [`Module`].
+pub trait Frontend {
+    /// Short identifier used on the command line (`--frontend <name>`).
+    fn name(&self) -> &'static str;
+
+    /// One-line description of the ISA and container, for error listings.
+    fn describe(&self) -> &'static str;
+
+    /// Whether `bytes` start with this frontend's image magic.
+    fn detects(&self, bytes: &[u8]) -> bool;
+
+    /// Decodes the image and lifts every function to SSA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError`] for malformed containers or unliftable
+    /// machine code.
+    fn lift_bytes(&self, bytes: &[u8]) -> Result<Module, FrontendError>;
+}

@@ -38,6 +38,7 @@ mod builder;
 pub mod cfg;
 pub mod dom;
 mod externs;
+mod frontend;
 mod function;
 mod ids;
 mod inst;
@@ -48,8 +49,9 @@ pub mod types;
 mod value;
 pub mod verify;
 
-pub use builder::{FunctionBuilder, ModuleBuilder};
+pub use builder::{FunctionBuilder, ModuleBuilder, SsaBuilder};
 pub use externs::{ExternDecl, ExternEffect, ExternRegistry};
+pub use frontend::{Frontend, FrontendError};
 pub use function::{Block, Function, Terminator};
 pub use ids::{BlockId, ExternId, FuncId, GlobalId, InstId, ValueId};
 pub use inst::{BinOp, Callee, CmpPred, InstData, InstKind};

@@ -15,8 +15,8 @@ use std::collections::HashMap;
 use std::fmt;
 
 use manta_ir::{
-    BlockId, Callee, ConstKind, FuncId, Function, InstKind, Module, Terminator, Value, ValueId,
-    ValueKind, Width,
+    BlockId, Callee, ConstKind, Frontend, FrontendError, FuncId, Function, InstKind, Module,
+    SsaBuilder, Terminator, Value, ValueId, ValueKind, Width,
 };
 
 use crate::image::{Image, ImageError};
@@ -112,16 +112,8 @@ struct Lifter<'a> {
     leader_of: HashMap<BlockId, usize>,
     /// Machine-CFG predecessors per block.
     preds: HashMap<BlockId, Vec<BlockId>>,
-    /// Register state of the block currently being translated.
-    cur: HashMap<Reg, ValueId>,
-    /// Start-of-block pending phi values, created on demand.
-    start_defs: HashMap<(BlockId, Reg), ValueId>,
-    /// Pending phis awaiting operand resolution: (block, reg, phi value).
-    pending: Vec<(BlockId, Reg, ValueId)>,
-    /// End-of-block register state (definitions visible to successors).
-    sealed_out: HashMap<BlockId, HashMap<Reg, ValueId>>,
-    /// The shared undef value, created lazily.
-    undef: Option<ValueId>,
+    /// Shared Braun-style register renamer (`manta_ir::SsaBuilder`).
+    ssa: SsaBuilder<Reg>,
 }
 
 impl<'a> Lifter<'a> {
@@ -146,11 +138,7 @@ impl<'a> Lifter<'a> {
             block_of: Vec::new(),
             leader_of: HashMap::new(),
             preds: HashMap::new(),
-            cur: HashMap::new(),
-            start_defs: HashMap::new(),
-            pending: Vec::new(),
-            sealed_out: HashMap::new(),
-            undef: None,
+            ssa: SsaBuilder::new(HashMap::new()),
         })
     }
 
@@ -221,17 +209,24 @@ impl<'a> Lifter<'a> {
         // start-of-block phis; their operands are resolved in step 5 once
         // every block's end state is sealed (two-phase Braun-style SSA —
         // needed because loop back edges flow from not-yet-translated
-        // blocks).
+        // blocks). The renaming machinery itself is the shared
+        // `manta_ir::SsaBuilder`.
+        self.ssa = SsaBuilder::new(self.preds.clone());
         let blocks: Vec<BlockId> = (0..self.func.block_count())
             .map(|i| BlockId(i as u32))
             .collect();
         for &b in &blocks {
-            self.cur.clear();
-            if b == self.func.entry() {
-                for (idx, &p) in self.func.params().to_vec().iter().enumerate() {
-                    self.cur.insert(Reg::arg(idx), p);
-                }
-            }
+            let seed: Vec<(Reg, ValueId)> = if b == self.func.entry() {
+                self.func
+                    .params()
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, &p)| (Reg::arg(idx), p))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            self.ssa.begin_block(seed);
             let start = self.leader_of[&b];
             let mut i = start;
             let mut terminated = false;
@@ -249,97 +244,21 @@ impl<'a> Lifter<'a> {
                     self.func.replace_terminator(b, Terminator::Unreachable);
                 }
             }
-            let out = std::mem::take(&mut self.cur);
-            self.sealed_out.insert(b, out);
+            self.ssa.end_block(b);
         }
         // 5. Resolve pending phis against sealed end-of-block states.
-        while let Some((b, r, phi_val)) = self.pending.pop() {
-            let preds = self.preds.get(&b).cloned().unwrap_or_default();
-            if preds.is_empty() {
-                // Unreachable or entry: the register was never defined.
-                let undef = self.undef_value();
-                let inst = self.func.prepend_inst(
-                    b,
-                    InstKind::Copy {
-                        dst: phi_val,
-                        src: undef,
-                    },
-                );
-                self.func.fix_value_def(phi_val, inst);
-                continue;
-            }
-            let mut incomings = Vec::new();
-            for p in preds {
-                let v = self.end_value(p, r);
-                incomings.push((p, v));
-            }
-            let inst = self.func.prepend_inst(
-                b,
-                InstKind::Phi {
-                    dst: phi_val,
-                    incomings,
-                },
-            );
-            self.func.fix_value_def(phi_val, inst);
-        }
+        self.ssa.finish(&mut self.func);
+        manta_telemetry::counter("lift.insts_decoded", n as u64);
         Ok(self.func)
     }
 
-    /// The value of `r` at the end of block `p` (creating a pending
-    /// start-of-block phi at `p` when `p` never writes `r`).
-    fn end_value(&mut self, p: BlockId, r: Reg) -> ValueId {
-        if let Some(&v) = self.sealed_out.get(&p).and_then(|m| m.get(&r)) {
-            return v;
-        }
-        self.start_value(p, r)
-    }
-
-    /// The value of `r` at the start of block `b`: a pending phi
-    /// (memoized), or `undef` at the entry.
-    fn start_value(&mut self, b: BlockId, r: Reg) -> ValueId {
-        if let Some(&v) = self.start_defs.get(&(b, r)) {
-            return v;
-        }
-        let v = if self.preds.get(&b).is_none_or(Vec::is_empty) {
-            self.undef_value()
-        } else {
-            let phi_val = self.func.add_value(Value {
-                kind: ValueKind::Inst {
-                    def: manta_ir::InstId(0),
-                }, // fixed at resolution
-                width: Width::W64,
-            });
-            self.pending.push((b, r, phi_val));
-            phi_val
-        };
-        self.start_defs.insert((b, r), v);
-        v
-    }
-
-    fn undef_value(&mut self) -> ValueId {
-        if let Some(v) = self.undef {
-            return v;
-        }
-        let v = self.func.add_value(Value {
-            kind: ValueKind::Const(ConstKind::Undef),
-            width: Width::W64,
-        });
-        self.undef = Some(v);
-        v
-    }
-
     fn write(&mut self, _b: BlockId, r: Reg, v: ValueId) {
-        self.cur.insert(r, v);
+        self.ssa.write(r, v);
     }
 
     /// Reads `r` in the block being translated.
     fn read(&mut self, b: BlockId, r: Reg) -> ValueId {
-        if let Some(&v) = self.cur.get(&r) {
-            return v;
-        }
-        let v = self.start_value(b, r);
-        self.cur.insert(r, v);
-        v
+        self.ssa.read(&mut self.func, b, r)
     }
 
     fn const_int(&mut self, v: i64, width: Width) -> ValueId {
@@ -590,6 +509,30 @@ impl<'a> Lifter<'a> {
             }
         }
         Ok(())
+    }
+}
+
+/// The SB-ISA frontend plugin: recognizes SBF images by their `SBF1`
+/// magic and lifts them via [`lift`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SbFrontend;
+
+impl Frontend for SbFrontend {
+    fn name(&self) -> &'static str {
+        "sb"
+    }
+
+    fn describe(&self) -> &'static str {
+        "SB-ISA synthetic register machine (SBF container, magic \"SBF1\")"
+    }
+
+    fn detects(&self, bytes: &[u8]) -> bool {
+        bytes.starts_with(crate::image::MAGIC)
+    }
+
+    fn lift_bytes(&self, bytes: &[u8]) -> Result<Module, FrontendError> {
+        let image = crate::image::decode(bytes).map_err(|e| FrontendError::new(e.to_string()))?;
+        lift(&image).map_err(|e| FrontendError::new(e.message))
     }
 }
 

@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod dual;
 pub mod firmware;
 pub mod generator;
 pub mod mix;
@@ -42,6 +43,7 @@ pub mod projects;
 pub mod rng;
 pub mod truth;
 
+pub use dual::{emit_dual, emit_dual_bytes, DualEncoding, EmitError};
 pub use firmware::{generate_firmware, FirmwareSpec};
 pub use generator::{generate, GeneratedProgram};
 pub use mix::PhenomenonMix;

@@ -1,0 +1,620 @@
+//! The canonical x86-64 encoder.
+//!
+//! Every [`Inst`] value has exactly one byte sequence: REX prefixes carry no
+//! dead bits, displacements and immediates use the smallest form that fits,
+//! and `rsp`/`r12` bases take the mandatory SIB byte while `rbp`/`r13` bases
+//! take the mandatory `disp8 == 0` escape. The decoder leans on this: it
+//! re-encodes everything it decodes and rejects any byte sequence the
+//! encoder would not produce, which is what makes the fuzz round-trip
+//! property (`encode(decode(bytes)) == bytes`) hold by construction.
+
+use crate::inst::{Alu, Cc, Gpr, Inst, Mem, OpWidth, Rm, Shift};
+
+/// REX bit positions.
+const REX_BASE: u8 = 0x40;
+const REX_W: u8 = 0x08;
+const REX_R: u8 = 0x04;
+const REX_X: u8 = 0x02;
+const REX_B: u8 = 0x01;
+
+/// How the r/m slot of a ModRM byte is filled.
+enum RmSlot {
+    Reg(Gpr),
+    Mem(Mem),
+}
+
+/// Condition-code number (the low nibble of the `0F 8x` opcode).
+pub(crate) fn cc_number(cc: Cc) -> u8 {
+    match cc {
+        Cc::B => 0x2,
+        Cc::Ae => 0x3,
+        Cc::E => 0x4,
+        Cc::Ne => 0x5,
+        Cc::Be => 0x6,
+        Cc::A => 0x7,
+        Cc::L => 0xc,
+        Cc::Ge => 0xd,
+        Cc::Le => 0xe,
+        Cc::G => 0xf,
+    }
+}
+
+/// Opcode-extension digit for the `83`/`81` immediate ALU group.
+fn alu_ext(op: Alu) -> u8 {
+    match op {
+        Alu::Add => 0,
+        Alu::Or => 1,
+        Alu::And => 4,
+        Alu::Sub => 5,
+        Alu::Xor => 6,
+        Alu::Cmp => 7,
+        Alu::Mul => unreachable!("imul has no 83/81 form"),
+    }
+}
+
+/// MR-form opcode (`op r/m64, r64`) for the register-register ALU group.
+fn alu_mr_opcode(op: Alu) -> u8 {
+    match op {
+        Alu::Add => 0x01,
+        Alu::Or => 0x09,
+        Alu::And => 0x21,
+        Alu::Sub => 0x29,
+        Alu::Xor => 0x31,
+        Alu::Cmp => 0x39,
+        Alu::Mul => unreachable!("imul uses 0F AF"),
+    }
+}
+
+/// RM-form opcode (`op r64, r/m64`) for the memory-source ALU group.
+fn alu_rm_opcode(op: Alu) -> u8 {
+    match op {
+        Alu::Add => 0x03,
+        Alu::Or => 0x0b,
+        Alu::And => 0x23,
+        Alu::Sub => 0x2b,
+        Alu::Xor => 0x33,
+        Alu::Cmp => 0x3b,
+        Alu::Mul => unreachable!("imul uses 0F AF"),
+    }
+}
+
+/// Emits one instruction built around a ModRM byte.
+///
+/// `force_rex` is set for 8-bit operands naming `spl`/`bpl`/`sil`/`dil`,
+/// which are only addressable with a (possibly empty) REX prefix.
+#[allow(clippy::too_many_arguments)]
+fn emit_modrm(
+    out: &mut Vec<u8>,
+    prefix66: bool,
+    rex_w: bool,
+    force_rex: bool,
+    opcode: &[u8],
+    reg: u8,
+    rm: &RmSlot,
+    imm: &[u8],
+) {
+    let mut rex = REX_BASE;
+    if rex_w {
+        rex |= REX_W;
+    }
+    if reg >= 8 {
+        rex |= REX_R;
+    }
+
+    let (mod_bits, rm_bits, sib, disp): (u8, u8, Option<u8>, Vec<u8>) = match rm {
+        RmSlot::Reg(r) => {
+            if r.0 >= 8 {
+                rex |= REX_B;
+            }
+            (0b11, r.0 & 7, None, vec![])
+        }
+        RmSlot::Mem(Mem::Rip { disp }) => (0b00, 0b101, None, disp.to_le_bytes().to_vec()),
+        RmSlot::Mem(Mem::Base { base, disp }) => {
+            if base.0 >= 8 {
+                rex |= REX_B;
+            }
+            let low = base.0 & 7;
+            let (m, d) = disp_form(low, *disp);
+            if low == 4 {
+                // rsp/r12 base: the r/m=100 slot means "SIB follows".
+                (m, 0b100, Some(0b00_100_000 | low), d)
+            } else {
+                (m, low, None, d)
+            }
+        }
+        RmSlot::Mem(Mem::BaseIndex {
+            base,
+            index,
+            scale,
+            disp,
+        }) => {
+            assert!(*index != Gpr::RSP, "rsp cannot be an index register");
+            assert!(matches!(scale, 1 | 2 | 4 | 8), "scale must be 1, 2, 4 or 8");
+            if base.0 >= 8 {
+                rex |= REX_B;
+            }
+            if index.0 >= 8 {
+                rex |= REX_X;
+            }
+            let ss = scale.trailing_zeros() as u8;
+            let (m, d) = disp_form(base.0 & 7, *disp);
+            (
+                m,
+                0b100,
+                Some(ss << 6 | (index.0 & 7) << 3 | (base.0 & 7)),
+                d,
+            )
+        }
+    };
+
+    if prefix66 {
+        out.push(0x66);
+    }
+    if rex != REX_BASE || force_rex {
+        out.push(rex);
+    }
+    out.extend_from_slice(opcode);
+    out.push(mod_bits << 6 | (reg & 7) << 3 | rm_bits);
+    if let Some(s) = sib {
+        out.push(s);
+    }
+    out.extend_from_slice(&disp);
+    out.extend_from_slice(imm);
+}
+
+/// Picks the smallest displacement form. `base_low == 5` (`rbp`/`r13`) has
+/// no mod=00 form — that slot encodes RIP-relative — so it always carries at
+/// least a disp8.
+fn disp_form(base_low: u8, disp: i32) -> (u8, Vec<u8>) {
+    if disp == 0 && base_low != 5 {
+        (0b00, vec![])
+    } else if let Ok(d8) = i8::try_from(disp) {
+        (0b01, vec![d8 as u8])
+    } else {
+        (0b10, disp.to_le_bytes().to_vec())
+    }
+}
+
+/// Whether an 8-bit register operand requires a REX prefix even when no REX
+/// bit is set (`spl`/`bpl`/`sil`/`dil` vs. the legacy `ah`..`bh` bank).
+fn byte_reg_needs_rex(r: Gpr) -> bool {
+    (4..=7).contains(&r.0)
+}
+
+fn rm_slot(src: Rm) -> RmSlot {
+    match src {
+        Rm::Reg(r) => RmSlot::Reg(r),
+        Rm::Mem(m) => RmSlot::Mem(m),
+    }
+}
+
+/// Encodes one instruction into its canonical byte sequence.
+pub fn encode(inst: &Inst, out: &mut Vec<u8>) {
+    match *inst {
+        Inst::MovRR { w, dst, src } => {
+            assert!(
+                matches!(w, OpWidth::B32 | OpWidth::B64),
+                "reg-reg mov is 32- or 64-bit only"
+            );
+            emit_modrm(
+                out,
+                false,
+                w == OpWidth::B64,
+                false,
+                &[0x89],
+                src.0,
+                &RmSlot::Reg(dst),
+                &[],
+            );
+        }
+        Inst::MovRI { dst, imm } => {
+            if let Ok(imm32) = i32::try_from(imm) {
+                emit_modrm(
+                    out,
+                    false,
+                    true,
+                    false,
+                    &[0xc7],
+                    0,
+                    &RmSlot::Reg(dst),
+                    &imm32.to_le_bytes(),
+                );
+            } else {
+                let mut rex = REX_BASE | REX_W;
+                if dst.0 >= 8 {
+                    rex |= REX_B;
+                }
+                out.push(rex);
+                out.push(0xb8 + (dst.0 & 7));
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+        }
+        Inst::MovLoad { w, dst, mem } => {
+            assert!(
+                matches!(w, OpWidth::B32 | OpWidth::B64),
+                "narrow loads use movzx/movsx"
+            );
+            emit_modrm(
+                out,
+                false,
+                w == OpWidth::B64,
+                false,
+                &[0x8b],
+                dst.0,
+                &RmSlot::Mem(mem),
+                &[],
+            );
+        }
+        Inst::MovStore { w, mem, src } => {
+            let (prefix66, rex_w, opcode) = match w {
+                OpWidth::B8 => (false, false, 0x88),
+                OpWidth::B16 => (true, false, 0x89),
+                OpWidth::B32 => (false, false, 0x89),
+                OpWidth::B64 => (false, true, 0x89),
+            };
+            let force = w == OpWidth::B8 && byte_reg_needs_rex(src);
+            emit_modrm(
+                out,
+                prefix66,
+                rex_w,
+                force,
+                &[opcode],
+                src.0,
+                &RmSlot::Mem(mem),
+                &[],
+            );
+        }
+        Inst::MovStoreImm { w, mem, imm } => {
+            let (prefix66, rex_w, opcode, imm_bytes): (bool, bool, u8, Vec<u8>) = match w {
+                OpWidth::B8 => {
+                    let b = i8::try_from(imm).expect("byte store immediate must fit i8");
+                    (false, false, 0xc6, vec![b as u8])
+                }
+                OpWidth::B16 => {
+                    let h = i16::try_from(imm).expect("word store immediate must fit i16");
+                    (true, false, 0xc7, h.to_le_bytes().to_vec())
+                }
+                OpWidth::B32 => (false, false, 0xc7, imm.to_le_bytes().to_vec()),
+                OpWidth::B64 => (false, true, 0xc7, imm.to_le_bytes().to_vec()),
+            };
+            emit_modrm(
+                out,
+                prefix66,
+                rex_w,
+                false,
+                &[opcode],
+                0,
+                &RmSlot::Mem(mem),
+                &imm_bytes,
+            );
+        }
+        Inst::MovZx { from, dst, src } => {
+            let opcode: &[u8] = match from {
+                OpWidth::B8 => &[0x0f, 0xb6],
+                OpWidth::B16 => &[0x0f, 0xb7],
+                _ => unreachable!("movzx widens 8- or 16-bit sources"),
+            };
+            emit_modrm(out, false, true, false, opcode, dst.0, &rm_slot(src), &[]);
+        }
+        Inst::MovSx { from, dst, src } => {
+            let opcode: &[u8] = match from {
+                OpWidth::B8 => &[0x0f, 0xbe],
+                OpWidth::B16 => &[0x0f, 0xbf],
+                OpWidth::B32 => &[0x63],
+                OpWidth::B64 => unreachable!("movsx widens sub-64-bit sources"),
+            };
+            emit_modrm(out, false, true, false, opcode, dst.0, &rm_slot(src), &[]);
+        }
+        Inst::Lea { dst, mem } => {
+            emit_modrm(
+                out,
+                false,
+                true,
+                false,
+                &[0x8d],
+                dst.0,
+                &RmSlot::Mem(mem),
+                &[],
+            );
+        }
+        Inst::AluRR { op, dst, src } => {
+            if op == Alu::Mul {
+                // imul is RM-form: reg = destination.
+                emit_modrm(
+                    out,
+                    false,
+                    true,
+                    false,
+                    &[0x0f, 0xaf],
+                    dst.0,
+                    &RmSlot::Reg(src),
+                    &[],
+                );
+            } else {
+                emit_modrm(
+                    out,
+                    false,
+                    true,
+                    false,
+                    &[alu_mr_opcode(op)],
+                    src.0,
+                    &RmSlot::Reg(dst),
+                    &[],
+                );
+            }
+        }
+        Inst::AluRM { op, dst, mem } => {
+            let opcode: &[u8] = if op == Alu::Mul {
+                &[0x0f, 0xaf]
+            } else {
+                &[alu_rm_opcode(op)]
+            };
+            emit_modrm(
+                out,
+                false,
+                true,
+                false,
+                opcode,
+                dst.0,
+                &RmSlot::Mem(mem),
+                &[],
+            );
+        }
+        Inst::AluRI { op, dst, imm } => {
+            if op == Alu::Mul {
+                // Canonical three-operand imul with dst == src.
+                emit_modrm(
+                    out,
+                    false,
+                    true,
+                    false,
+                    &[0x69],
+                    dst.0,
+                    &RmSlot::Reg(dst),
+                    &imm.to_le_bytes(),
+                );
+            } else if let Ok(imm8) = i8::try_from(imm) {
+                emit_modrm(
+                    out,
+                    false,
+                    true,
+                    false,
+                    &[0x83],
+                    alu_ext(op),
+                    &RmSlot::Reg(dst),
+                    &[imm8 as u8],
+                );
+            } else {
+                emit_modrm(
+                    out,
+                    false,
+                    true,
+                    false,
+                    &[0x81],
+                    alu_ext(op),
+                    &RmSlot::Reg(dst),
+                    &imm.to_le_bytes(),
+                );
+            }
+        }
+        Inst::TestRR { a, b } => {
+            emit_modrm(out, false, true, false, &[0x85], b.0, &RmSlot::Reg(a), &[]);
+        }
+        Inst::ShiftRI { sh, dst, amt } => {
+            assert!(amt < 64, "64-bit shift amount must be 0-63");
+            let ext = match sh {
+                Shift::Shl => 4,
+                Shift::Shr => 5,
+            };
+            emit_modrm(
+                out,
+                false,
+                true,
+                false,
+                &[0xc1],
+                ext,
+                &RmSlot::Reg(dst),
+                &[amt],
+            );
+        }
+        Inst::Push { reg } => {
+            if reg.0 >= 8 {
+                out.push(REX_BASE | REX_B);
+            }
+            out.push(0x50 + (reg.0 & 7));
+        }
+        Inst::Pop { reg } => {
+            if reg.0 >= 8 {
+                out.push(REX_BASE | REX_B);
+            }
+            out.push(0x58 + (reg.0 & 7));
+        }
+        Inst::Jcc { cc, rel } => {
+            out.push(0x0f);
+            out.push(0x80 + cc_number(cc));
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Inst::Jmp { rel } => {
+            out.push(0xe9);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Inst::Call { rel } => {
+            out.push(0xe8);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Inst::CallInd { reg } => {
+            if reg.0 >= 8 {
+                out.push(REX_BASE | REX_B);
+            }
+            out.push(0xff);
+            out.push(0b11_010_000 | (reg.0 & 7));
+        }
+        Inst::Ret => out.push(0xc3),
+    }
+}
+
+/// Encodes one instruction into a fresh buffer.
+pub fn encode_to_vec(inst: &Inst) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8);
+    encode(inst, &mut out);
+    out
+}
+
+/// Byte length of the canonical encoding.
+pub fn encoded_len(inst: &Inst) -> usize {
+    encode_to_vec(inst).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_encodings() {
+        // mov rax, rbx => REX.W 89 D8
+        assert_eq!(
+            encode_to_vec(&Inst::MovRR {
+                w: OpWidth::B64,
+                dst: Gpr::RAX,
+                src: Gpr::RBX
+            }),
+            vec![0x48, 0x89, 0xd8]
+        );
+        // mov eax, ebx => 89 D8 (no REX)
+        assert_eq!(
+            encode_to_vec(&Inst::MovRR {
+                w: OpWidth::B32,
+                dst: Gpr::RAX,
+                src: Gpr::RBX
+            }),
+            vec![0x89, 0xd8]
+        );
+        // add r8, rdi => REX.WB 01 F8... reg=rdi(7), rm=r8 -> 49 01 F8
+        assert_eq!(
+            encode_to_vec(&Inst::AluRR {
+                op: Alu::Add,
+                dst: Gpr::R8,
+                src: Gpr::RDI
+            }),
+            vec![0x49, 0x01, 0xf8]
+        );
+        // push rbp => 55 ; push r12 => 41 54
+        assert_eq!(encode_to_vec(&Inst::Push { reg: Gpr::RBP }), vec![0x55]);
+        assert_eq!(
+            encode_to_vec(&Inst::Push { reg: Gpr::R12 }),
+            vec![0x41, 0x54]
+        );
+        // ret => C3
+        assert_eq!(encode_to_vec(&Inst::Ret), vec![0xc3]);
+    }
+
+    #[test]
+    fn rbp_base_always_carries_disp() {
+        // mov rax, [rbp] must use mod=01 disp8=0: 48 8B 45 00
+        assert_eq!(
+            encode_to_vec(&Inst::MovLoad {
+                w: OpWidth::B64,
+                dst: Gpr::RAX,
+                mem: Mem::Base {
+                    base: Gpr::RBP,
+                    disp: 0
+                }
+            }),
+            vec![0x48, 0x8b, 0x45, 0x00]
+        );
+    }
+
+    #[test]
+    fn rsp_base_takes_sib() {
+        // mov rax, [rsp+8] => 48 8B 44 24 08
+        assert_eq!(
+            encode_to_vec(&Inst::MovLoad {
+                w: OpWidth::B64,
+                dst: Gpr::RAX,
+                mem: Mem::Base {
+                    base: Gpr::RSP,
+                    disp: 8
+                }
+            }),
+            vec![0x48, 0x8b, 0x44, 0x24, 0x08]
+        );
+    }
+
+    #[test]
+    fn mov_imm_picks_smallest_form() {
+        // mov rax, 1 => REX.W C7 C0 imm32
+        assert_eq!(
+            encode_to_vec(&Inst::MovRI {
+                dst: Gpr::RAX,
+                imm: 1
+            }),
+            vec![0x48, 0xc7, 0xc0, 0x01, 0x00, 0x00, 0x00]
+        );
+        // mov rax, 0x1_0000_0000 => REX.W B8 imm64
+        assert_eq!(
+            encode_to_vec(&Inst::MovRI {
+                dst: Gpr::RAX,
+                imm: 0x1_0000_0000
+            }),
+            vec![0x48, 0xb8, 0, 0, 0, 0, 1, 0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn byte_store_of_sil_forces_rex() {
+        // mov byte [rax], sil => 40 88 30
+        assert_eq!(
+            encode_to_vec(&Inst::MovStore {
+                w: OpWidth::B8,
+                mem: Mem::Base {
+                    base: Gpr::RAX,
+                    disp: 0
+                },
+                src: Gpr::RSI
+            }),
+            vec![0x40, 0x88, 0x30]
+        );
+        // mov byte [rax], cl needs no REX => 88 08
+        assert_eq!(
+            encode_to_vec(&Inst::MovStore {
+                w: OpWidth::B8,
+                mem: Mem::Base {
+                    base: Gpr::RAX,
+                    disp: 0
+                },
+                src: Gpr::RCX
+            }),
+            vec![0x88, 0x08]
+        );
+    }
+
+    #[test]
+    fn rip_relative_lea() {
+        // lea rdi, [rip+0x10] => 48 8D 3D 10 00 00 00
+        assert_eq!(
+            encode_to_vec(&Inst::Lea {
+                dst: Gpr::RDI,
+                mem: Mem::Rip { disp: 0x10 }
+            }),
+            vec![0x48, 0x8d, 0x3d, 0x10, 0x00, 0x00, 0x00]
+        );
+    }
+
+    #[test]
+    fn scaled_index_sib() {
+        // mov rax, [rbx+rcx*8+4] => 48 8B 44 CB 04
+        assert_eq!(
+            encode_to_vec(&Inst::MovLoad {
+                w: OpWidth::B64,
+                dst: Gpr::RAX,
+                mem: Mem::BaseIndex {
+                    base: Gpr::RBX,
+                    index: Gpr::RCX,
+                    scale: 8,
+                    disp: 4
+                }
+            }),
+            vec![0x48, 0x8b, 0x44, 0xcb, 0x04]
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! Differential tests of the x86-64 frontend against SB-ISA.
+//!
+//! The dual emitter ([`manta_workloads::emit_dual`]) lowers one generated
+//! IR module to *both* machine encodings from a single decision sequence.
+//! These tests pin the property that makes the x86 frontend trustworthy:
+//! lifting either encoding reconstructs bit-identical IR, and therefore
+//! the whole engine — every sensitivity tier, at every thread count —
+//! produces bit-identical inferred types from either binary.
+//!
+//! Alongside the differential sweep: a seeded decoder fuzz (arbitrary
+//! bytes must never panic the decoder, and everything that decodes from
+//! real code must re-encode to the same bytes), and hand-written x86
+//! assembly exercising the three lifter-specific idioms — eflags
+//! materialization at `jcc`, sub-register masking, and `rbp` frame-slot
+//! recognition.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use manta::cache::results_identical;
+use manta::{Engine, MantaConfig, Sensitivity};
+use manta_analysis::ModuleAnalysis;
+use manta_ir::printer::print_module;
+use manta_ir::{Frontend, Module};
+use manta_workloads::generator::GenSpec;
+use manta_workloads::rng::ChaCha8Rng;
+use manta_workloads::{generate, PhenomenonMix};
+
+const SENSITIVITIES: [Sensitivity; 5] = [
+    Sensitivity::Fi,
+    Sensitivity::Fs,
+    Sensitivity::FiFs,
+    Sensitivity::FiCsFs,
+    Sensitivity::FiFsCs,
+];
+
+fn spec(functions: usize, seed: u64) -> GenSpec {
+    GenSpec {
+        name: format!("fe_{seed}"),
+        functions,
+        mix: PhenomenonMix::balanced(),
+        seed,
+    }
+}
+
+/// Encodes a generated module both ways and lifts each container back
+/// through its registered frontend (bytes in, module out — the same path
+/// the CLI takes).
+fn lift_both(module: &Module) -> (Module, Module) {
+    let dual = manta_workloads::emit_dual(module).expect("generated module lowers");
+    let sb_bytes = dual.sb_bytes();
+    let x86_bytes = dual.x86_bytes();
+    let sb_fe = manta_isa::lift::SbFrontend;
+    let x86_fe = manta_x86::X86Frontend;
+    assert!(sb_fe.detects(&sb_bytes) && !sb_fe.detects(&x86_bytes));
+    assert!(x86_fe.detects(&x86_bytes) && !x86_fe.detects(&sb_bytes));
+    (
+        sb_fe.lift_bytes(&sb_bytes).expect("sb lift"),
+        x86_fe.lift_bytes(&x86_bytes).expect("x86 lift"),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Decoder fuzz.
+// ---------------------------------------------------------------------------
+
+/// 500 seeded buffers of arbitrary bytes: the decoder must reject or
+/// accept, never panic, and whatever `decode_all` accepts must re-encode
+/// to exactly the input bytes.
+#[test]
+fn decoder_never_panics_on_500_seeds_of_garbage() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xFEED_FACE);
+    for _ in 0..500 {
+        let len = rng.gen_range(0..64usize);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u32() as u8).collect();
+        let _ = manta_x86::decode_one(&bytes);
+        if let Ok(insts) = manta_x86::decode_all(&bytes) {
+            let mut re = Vec::with_capacity(bytes.len());
+            for (inst, _, _) in &insts {
+                manta_x86::encode(inst, &mut re);
+            }
+            assert_eq!(re, bytes, "accepted bytes must re-encode identically");
+        }
+    }
+}
+
+/// Valid machine code (every function body the dual emitter produces
+/// across many seeds) decodes, and re-encodes byte-identically.
+#[test]
+fn real_code_decodes_and_reencodes_byte_identically() {
+    for seed in 0..40 {
+        let prog = generate(&spec(4, 1000 + seed));
+        let dual = prog.encode_dual().expect("generated module lowers");
+        for f in &dual.x86.functions {
+            let code = &dual.x86.text[f.offset as usize..(f.offset + f.len) as usize];
+            let insts = manta_x86::decode_all(code).expect("emitted code decodes");
+            let mut re = Vec::with_capacity(code.len());
+            for (inst, _, _) in &insts {
+                manta_x86::encode(inst, &mut re);
+            }
+            assert_eq!(re, code, "fn {}: decode/encode must round-trip", f.name);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential lift + inference.
+// ---------------------------------------------------------------------------
+
+/// The core differential sweep: 220 seeded programs, each emitted in both
+/// encodings, must lift to bit-identical IR text.
+#[test]
+fn lifted_ir_is_bit_identical_across_220_seeds() {
+    for seed in 0..220u64 {
+        let prog = generate(&spec(4, seed));
+        let (sb, x86) = lift_both(&prog.module);
+        assert_eq!(
+            print_module(&sb),
+            print_module(&x86),
+            "seed {seed}: lifted IR diverges between encodings"
+        );
+    }
+}
+
+/// 200 seeds through the full-sensitivity engine: the inference results
+/// (canonical encoding, including degradation records) must be
+/// bit-identical between the SB-lifted and x86-lifted module.
+#[test]
+fn inferred_types_are_bit_identical_across_200_seeds() {
+    let engine = Engine::new(MantaConfig::full());
+    for seed in 0..200u64 {
+        let prog = generate(&spec(3, 7000 + seed));
+        let (sb, x86) = lift_both(&prog.module);
+        let a = engine.analyze(&ModuleAnalysis::build(sb)).unwrap();
+        let b = engine.analyze(&ModuleAnalysis::build(x86)).unwrap();
+        assert!(
+            results_identical(&a, &b),
+            "seed {seed}: inferred types diverge between encodings"
+        );
+    }
+}
+
+/// A smaller sweep through every sensitivity tier, including the
+/// reversed-cascade ablation.
+#[test]
+fn every_sensitivity_tier_agrees_between_encodings() {
+    for seed in [3, 17, 40, 77, 123, 180, 501, 999] {
+        let prog = generate(&spec(4, seed));
+        let (sb, x86) = lift_both(&prog.module);
+        let sb = ModuleAnalysis::build(sb);
+        let x86 = ModuleAnalysis::build(x86);
+        for sens in SENSITIVITIES {
+            let engine = Engine::new(MantaConfig::with_sensitivity(sens));
+            let a = engine.analyze(&sb).unwrap();
+            let b = engine.analyze(&x86).unwrap();
+            assert!(
+                results_identical(&a, &b),
+                "seed {seed}, {sens:?}: inferred types diverge"
+            );
+        }
+    }
+}
+
+/// Serializes tests that flip the process-global pool size.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Restores the auto thread count even when an assertion panics.
+struct ThreadGuard;
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        manta_parallel::set_threads(0);
+    }
+}
+
+/// Thread-count invariance composed with encoding invariance: one result
+/// per (encoding, thread count) cell, all six bit-identical.
+#[test]
+fn encodings_agree_at_every_thread_count() {
+    let _l = lock();
+    let _restore = ThreadGuard;
+    let engine = Engine::new(MantaConfig::full());
+    for seed in [11, 222, 3333] {
+        let prog = generate(&spec(4, seed));
+        let (sb, x86) = lift_both(&prog.module);
+        let sb = ModuleAnalysis::build(sb);
+        let x86 = ModuleAnalysis::build(x86);
+        let mut results = Vec::new();
+        for threads in [1usize, 2, 8] {
+            manta_parallel::set_threads(threads);
+            results.push((threads, engine.analyze(&sb).unwrap()));
+            results.push((threads, engine.analyze(&x86).unwrap()));
+        }
+        let (_, first) = &results[0];
+        for (threads, r) in &results[1..] {
+            assert!(
+                results_identical(first, r),
+                "seed {seed}: divergence at {threads} threads"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hand-written x86 idioms.
+// ---------------------------------------------------------------------------
+
+/// eflags at `jcc`: the compare only materializes as an SSA boolean at
+/// the consuming branch, with the fallthrough-inverted predicate.
+#[test]
+fn jcc_materializes_the_compare_at_the_branch() {
+    let asm = "\
+module handjcc
+func max(2) -> ret {
+    mov rax, rdi
+    cmp rdi, rsi
+    jge done
+    mov rax, rsi
+done:
+    ret
+}
+";
+    let img = manta_x86::assemble(asm).unwrap();
+    let module = manta_x86::lift(&img).unwrap();
+    let text = print_module(&module);
+    // `jge done` falls through when rdi < rsi: the materialized compare
+    // carries the fallthrough predicate and feeds the condbr directly.
+    assert!(text.contains("cmp.lt"), "{text}");
+    assert!(text.contains("condbr"), "{text}");
+    // The typed engine still sees an ordinary two-parameter function.
+    let analysis = ModuleAnalysis::build(module);
+    let r = Engine::new(MantaConfig::full()).analyze(&analysis).unwrap();
+    assert_eq!(r.degradations.len(), 0);
+}
+
+/// Sub-register writes (`mov eax, edi`, `dword` loads) become explicit
+/// width masks in the IR rather than silently widening.
+#[test]
+fn sub_register_moves_mask_explicitly() {
+    let asm = "\
+module handsub
+func trunc(1) -> ret {
+    push rbp
+    mov rbp, rsp
+    sub rsp, 8
+    mov dword [rbp-8], edi
+    mov eax, edi
+    mov ecx, dword [rbp-8]
+    add rax, rcx
+    mov rsp, rbp
+    pop rbp
+    ret
+}
+";
+    let img = manta_x86::assemble(asm).unwrap();
+    let module = manta_x86::lift(&img).unwrap();
+    let text = print_module(&module);
+    assert!(text.contains("and"), "32-bit mov must mask: {text}");
+    assert!(text.contains("load.w32"), "dword load keeps width: {text}");
+}
+
+/// `rbp`-relative locals: prologue/epilogue disappear, each distinct slot
+/// becomes its own alloca sized by its neighbors.
+#[test]
+fn rbp_locals_become_sized_allocas() {
+    let asm = "\
+module handframe
+func locals(1) -> ret {
+    push rbp
+    mov rbp, rsp
+    sub rsp, 24
+    lea rax, [rbp-8]
+    mov qword [rax], rdi
+    lea rcx, [rbp-24]
+    mov qword [rcx+8], rdi
+    mov rax, qword [rbp-8]
+    mov rsp, rbp
+    pop rbp
+    ret
+}
+";
+    let img = manta_x86::assemble(asm).unwrap();
+    let module = manta_x86::lift(&img).unwrap();
+    let text = print_module(&module);
+    // Two lea roots -> two slots: 8 bytes at rbp-8, 16 bytes at rbp-24.
+    assert!(text.contains("alloca 8"), "{text}");
+    assert!(text.contains("alloca 16"), "{text}");
+    // No rsp/rbp traffic survives into the IR.
+    assert!(!text.contains("rsp") && !text.contains("rbp"), "{text}");
+}

@@ -339,3 +339,58 @@ fn site_level_explanations_render() {
     }
     assert!(rendered > 0, "the fixture must produce FS site facts");
 }
+
+/// The frontends report their decode/lift work through `lift.*`
+/// counters: instruction counts from both lifters, plus the x86 lifter's
+/// eflags materializations and recovered frame slots.
+#[test]
+fn lift_counters_record_frontend_work() {
+    let _l = lock();
+    let spec = ProjectSpec {
+        name: "frontend_obs".to_string(),
+        kloc: 1.0,
+        functions: 6,
+        mix: PhenomenonMix::balanced(),
+        seed: 4242,
+    };
+    let module = spec.generate().module;
+    let dual = manta_workloads::emit_dual(&module).expect("generated module lowers");
+
+    let get = |r: &manta_telemetry::Report, n: &str| r.counters.get(n).copied().unwrap_or(0);
+
+    manta_telemetry::set_enabled(true);
+    manta_telemetry::reset();
+    manta_isa::lift::lift(&dual.sb).expect("sb lift");
+    let sb_report = manta_telemetry::report();
+
+    manta_telemetry::reset();
+    manta_x86::lift(&dual.x86).expect("x86 lift");
+    let x86_report = manta_telemetry::report();
+    manta_telemetry::set_enabled(false);
+
+    assert!(
+        get(&sb_report, "lift.insts_decoded") > 0,
+        "{:?}",
+        sb_report.counters
+    );
+    assert!(
+        get(&x86_report, "lift.insts_decoded") > 0,
+        "{:?}",
+        x86_report.counters
+    );
+    // The generated programs branch (eflags at jcc) and hold stack
+    // locals (rbp slots), so the x86-only counters must both trip.
+    assert!(
+        get(&x86_report, "lift.flags_materialized") > 0,
+        "{:?}",
+        x86_report.counters
+    );
+    assert!(
+        get(&x86_report, "lift.frame_slots") > 0,
+        "{:?}",
+        x86_report.counters
+    );
+    // SB lifting never touches the x86-only counters.
+    assert_eq!(get(&sb_report, "lift.flags_materialized"), 0);
+    assert_eq!(get(&sb_report, "lift.frame_slots"), 0);
+}
