@@ -1,0 +1,951 @@
+//! The compositional (partitioned) points-to solver and its resident
+//! incremental session.
+//!
+//! ## Model
+//!
+//! The module's constraint system is split into one partition per
+//! function ([`super::constraints::FunctionConstraints`]). A partition
+//! owns its function's variable nodes outright; everything that crosses
+//! a function boundary goes through shared state with explicit
+//! interfaces:
+//!
+//! * **boundary slots** — one per `(function, parameter)` and one per
+//!   function return ([`super::constraints::BoundaryTable`]). Callers
+//!   write argument facts into the callee's parameter slots and read
+//!   the callee's return slot; the callee does the converse.
+//! * **object contents** — the points-to sets of abstract objects.
+//!   Stores write them, loads read them; since objects escape freely
+//!   (globals, heap buffers passed around), they are the shared medium
+//!   for every aliasing flow the boundary slots don't capture.
+//!
+//! ## Schedule
+//!
+//! Partitions are condensed over the direct-call graph
+//! ([`manta_parallel::wavefront::condense`]) and solved callees-first,
+//! level by level: every dirty partition in a level runs its *local*
+//! fixpoint as an independent parallel job against a frozen snapshot of
+//! the shared state, then a sequential merge (in batch order — the same
+//! merge a serial run performs) applies each job's deltas, materializes
+//! new field objects into the global table, and re-dirties exactly the
+//! partitions whose read footprint intersects the changed slots and
+//! objects. Sweeps repeat until no partition is dirty — at which point
+//! every constraint in the module is satisfied, i.e. the result is the
+//! same least fixpoint the monolithic [`super::solver::DeltaSolver`]
+//! computes (the differential suite pins this via [`ObjectKind`]
+//! chains; field-object *numbering* may differ, as it already does
+//! between the delta and reference solvers).
+//!
+//! Determinism: jobs only read the frozen snapshot, merges run in batch
+//! order, and local field objects are remapped through the shared
+//! intern table at merge — so the result is a pure function of the
+//! module, independent of thread count.
+//!
+//! ## Incremental re-solve
+//!
+//! [`PointsToSession`] keeps the solved partitions resident. On an
+//! edit, it diffs per-partition constraint fingerprints, computes the
+//! *dirty closure* (edited partitions plus every transitive consumer of
+//! facts they wrote, via recorded read/write footprints over objects
+//! and boundary slots), resets only that closure, rebuilds the shared
+//! state from the untouched partitions' recorded contributions, and
+//! re-runs the sweep with just the closure enqueued. A one-function
+//! edit therefore re-solves its own partition plus the dirtied part of
+//! its caller/alias neighborhood, not the module.
+
+use std::collections::{HashMap, VecDeque};
+
+use manta_ir::{FuncId, ValueId};
+use manta_parallel::wavefront;
+use manta_resilience::{Budget, BudgetExceeded};
+
+use super::constraints::{
+    BoundaryKind, BoundaryTable, FunctionConstraints, PartitionedConstraints,
+};
+use super::objset::ObjSet;
+use super::{Node, ObjectId, ObjectKind, PointsTo, PEAK_PTS};
+use crate::preprocess::Preprocessed;
+use crate::VarRef;
+
+/// What one partitioned solve (or session update) did — the
+/// observability surface for the edit-storm suite and the benchmark's
+/// incremental leg.
+#[derive(Clone, Debug, Default)]
+pub struct SessionReport {
+    /// Partitions whose constraint fingerprint changed (function
+    /// indices). On a fresh solve: every function.
+    pub edited: Vec<u32>,
+    /// The dirty closure that was reset and re-enqueued (function
+    /// indices, ascending). On a fresh solve: every function.
+    pub closure: Vec<u32>,
+    /// Local fixpoint jobs dispatched (a partition re-run in two sweeps
+    /// counts twice).
+    pub jobs: usize,
+    /// Distinct partitions that ran at least one job.
+    pub resolved: usize,
+    /// Wavefront sweeps until quiescence.
+    pub sweeps: usize,
+    /// Facts merged into shared state (boundary slots plus object
+    /// contents).
+    pub boundary_deltas: u64,
+    /// Whether the update fell back to a counted full re-solve
+    /// (function count or signature surface changed).
+    pub full_resolve: bool,
+}
+
+/// One function's resident solver state.
+struct Partition {
+    cons: FunctionConstraints,
+    fingerprint: u64,
+    /// Persistent local solution, indexed by dense `ValueId`.
+    var_pts: Vec<ObjSet>,
+    /// Objects whose contents this partition has loaded.
+    reads_objs: ObjSet,
+    /// Objects this partition has stored into.
+    writes_objs: ObjSet,
+    /// Everything this partition contributed to shared object contents
+    /// (lets shared state be rebuilt without re-running the partition).
+    contrib_obj: HashMap<u32, ObjSet>,
+    /// Contributions to boundary slots.
+    contrib_bnd: HashMap<u32, ObjSet>,
+    dirty: bool,
+    ran: bool,
+}
+
+impl Partition {
+    fn new(cons: FunctionConstraints, objects: &[ObjectKind]) -> Partition {
+        let fingerprint = cons.fingerprint(objects);
+        let var_pts = (0..cons.num_vars).map(|_| ObjSet::default()).collect();
+        Partition {
+            cons,
+            fingerprint,
+            var_pts,
+            reads_objs: ObjSet::default(),
+            writes_objs: ObjSet::default(),
+            contrib_obj: HashMap::new(),
+            contrib_bnd: HashMap::new(),
+            dirty: true,
+            ran: false,
+        }
+    }
+}
+
+/// A local fixpoint job's result over a frozen snapshot. Object ids
+/// `>= base` index `new_objs` (job-local field objects, remapped at
+/// merge).
+struct JobOut {
+    part: u32,
+    /// The global object-table length the job was dispatched against.
+    base: u32,
+    var_pts: Vec<ObjSet>,
+    /// Accumulated object contents (the job's full local view, diffed
+    /// against shared state at merge), ascending by object id.
+    obj_acc: Vec<(u32, ObjSet)>,
+    /// Accumulated boundary-slot facts, ascending by slot.
+    bnd_acc: Vec<(u32, ObjSet)>,
+    /// Locally materialized field objects `(parent, offset)` in
+    /// creation order; `parent` may itself be local.
+    new_objs: Vec<(u32, u64)>,
+    reads_objs: ObjSet,
+    writes_objs: ObjSet,
+    iterations: usize,
+}
+
+/// Runs one partition's local fixpoint against the frozen snapshot.
+///
+/// The kernel is difference-propagating, like the module-level delta
+/// solver: each `(edge, object)` pair is visited once per job, not once
+/// per round, so the partitioned solve keeps the delta solver's cost
+/// model and the batch-mode win reduces to wavefront scheduling. Loads
+/// and stores discover their object targets as address sets grow and
+/// register dynamic edges (`obj_sinks`, `val_sinks`) so later content
+/// growth reaches them without a rescan.
+#[allow(clippy::too_many_arguments)] // solver plumbing, all call sites internal
+fn run_local(
+    part: u32,
+    cons: &FunctionConstraints,
+    mut var_pts: Vec<ObjSet>,
+    base: u32,
+    field_intern: &HashMap<(ObjectId, u64), ObjectId>,
+    obj_pts: &[ObjSet],
+    bnd_pts: &[ObjSet],
+    budget: &Budget,
+) -> Result<JobOut, BudgetExceeded> {
+    let nv = cons.num_vars as usize;
+    let mut new_objs: Vec<(u32, u64)> = Vec::new();
+    let mut local_intern: HashMap<(u32, u64), u32> = HashMap::new();
+    let mut obj_acc: HashMap<u32, ObjSet> = HashMap::new();
+    let mut bnd_acc: HashMap<u32, ObjSet> = HashMap::new();
+    let mut reads_objs = ObjSet::default();
+    let mut writes_objs = ObjSet::default();
+    let mut iterations = 0usize;
+
+    // Static per-variable constraint indexes, built once per job.
+    let mut copy_out: Vec<Vec<u32>> = vec![Vec::new(); nv];
+    for &(src, dst) in &cons.copies {
+        if src != dst {
+            copy_out[src as usize].push(dst);
+        }
+    }
+    let mut gep_out: Vec<Vec<(u32, u64)>> = vec![Vec::new(); nv];
+    for &(bse, dst, offset) in &cons.geps {
+        gep_out[bse as usize].push((dst, offset));
+    }
+    let mut load_out: Vec<Vec<u32>> = vec![Vec::new(); nv];
+    for &(addr, dst) in &cons.loads {
+        load_out[addr as usize].push(dst);
+    }
+    let mut store_out: Vec<Vec<u32>> = vec![Vec::new(); nv];
+    for &(addr, val) in &cons.stores {
+        store_out[addr as usize].push(val);
+    }
+    let mut bout_out: Vec<Vec<u32>> = vec![Vec::new(); nv];
+    for &(v, slot) in &cons.bout {
+        bout_out[v as usize].push(slot);
+    }
+
+    // Dynamic edges discovered as address sets grow: object → load
+    // destinations, and store-value variable → target objects.
+    let mut obj_sinks: HashMap<u32, Vec<u32>> = HashMap::new();
+    let mut val_sinks: Vec<Vec<u32>> = vec![Vec::new(); nv];
+
+    let mut var_delta: Vec<ObjSet> = (0..nv).map(|_| ObjSet::default()).collect();
+    let mut var_q: VecDeque<u32> = VecDeque::new();
+    let mut var_in_q: Vec<bool> = vec![false; nv];
+    // An object is queued iff it has an `obj_delta` entry.
+    let mut obj_delta: HashMap<u32, ObjSet> = HashMap::new();
+    let mut obj_q: VecDeque<u32> = VecDeque::new();
+
+    macro_rules! var_insert {
+        ($v:expr, $x:expr) => {{
+            let v = $v as usize;
+            let x: u32 = $x;
+            if var_pts[v].insert(x) {
+                var_delta[v].insert(x);
+                if !var_in_q[v] {
+                    var_in_q[v] = true;
+                    var_q.push_back(v as u32);
+                }
+            }
+        }};
+    }
+    // Accumulates unconditionally into `obj_acc` (the merge rebuilds
+    // shared state from contributions, so every stored fact must be
+    // recorded even when the frozen global set already holds it), but
+    // only propagates union-new members: registered readers saw the
+    // frozen global set at registration time.
+    macro_rules! obj_insert {
+        ($o:expr, $x:expr) => {{
+            let o: u32 = $o;
+            let x: u32 = $x;
+            if obj_acc.entry(o).or_default().insert(x)
+                && !(o < base && obj_pts[o as usize].contains(x))
+            {
+                let d = obj_delta.entry(o).or_default();
+                if d.is_empty() {
+                    obj_q.push_back(o);
+                }
+                d.insert(x);
+            }
+        }};
+    }
+
+    for &(v, o) in &cons.seeds {
+        var_insert!(v, o.0);
+    }
+    for &(slot, v) in &cons.bin {
+        for x in bnd_pts[slot as usize].iter() {
+            var_insert!(v, x);
+        }
+    }
+    // Warm start: the partition's previous solution must re-propagate
+    // in full — shared object/boundary state was rebuilt from scratch
+    // around this job.
+    for v in 0..nv {
+        let existing: Vec<u32> = var_pts[v].iter().collect();
+        for x in existing {
+            var_delta[v].insert(x);
+        }
+        if !var_delta[v].is_empty() && !var_in_q[v] {
+            var_in_q[v] = true;
+            var_q.push_back(v as u32);
+        }
+    }
+
+    loop {
+        if let Some(v) = var_q.pop_front() {
+            let vi = v as usize;
+            var_in_q[vi] = false;
+            let d = std::mem::take(&mut var_delta[vi]);
+            iterations += 1;
+            budget.tick()?;
+            budget.consume(d.len() as u64)?;
+            for x in d.iter() {
+                for &dst in &copy_out[vi] {
+                    var_insert!(dst, x);
+                }
+                for &(dst, offset) in &gep_out[vi] {
+                    // Fields already materialized globally keep their
+                    // global id; everything else interns locally.
+                    let known = if x < base {
+                        field_intern.get(&(ObjectId(x), offset)).map(|g| g.0)
+                    } else {
+                        None
+                    };
+                    let f = match known {
+                        Some(g) => g,
+                        None => *local_intern.entry((x, offset)).or_insert_with(|| {
+                            let id = base + new_objs.len() as u32;
+                            new_objs.push((x, offset));
+                            id
+                        }),
+                    };
+                    var_insert!(dst, f);
+                }
+                for &dst in &load_out[vi] {
+                    // `x` just entered a load address set: register the
+                    // destination as a reader and replay the object's
+                    // current content (frozen global + local additions).
+                    reads_objs.insert(x);
+                    obj_sinks.entry(x).or_default().push(dst);
+                    if x < base {
+                        if let Some(s) = obj_pts.get(x as usize) {
+                            for y in s.iter() {
+                                var_insert!(dst, y);
+                            }
+                        }
+                    }
+                    let cur: Vec<u32> = obj_acc
+                        .get(&x)
+                        .map(|s| s.iter().collect())
+                        .unwrap_or_default();
+                    for y in cur {
+                        var_insert!(dst, y);
+                    }
+                }
+                for &val in &store_out[vi] {
+                    // `x` just entered a store address set: the value
+                    // variable's whole current set flows in, and future
+                    // value growth follows via `val_sinks`.
+                    writes_objs.insert(x);
+                    val_sinks[val as usize].push(x);
+                    let cur: Vec<u32> = var_pts[val as usize].iter().collect();
+                    for y in cur {
+                        obj_insert!(x, y);
+                    }
+                }
+                for &o in &val_sinks[vi] {
+                    obj_insert!(o, x);
+                }
+                for &slot in &bout_out[vi] {
+                    bnd_acc.entry(slot).or_default().insert(x);
+                }
+            }
+        } else if let Some(o) = obj_q.pop_front() {
+            let d = obj_delta.remove(&o).unwrap_or_default();
+            iterations += 1;
+            budget.tick()?;
+            budget.consume(d.len() as u64)?;
+            let sinks: Vec<u32> = obj_sinks.get(&o).cloned().unwrap_or_default();
+            for x in d.iter() {
+                for &dst in &sinks {
+                    var_insert!(dst, x);
+                }
+            }
+        } else {
+            break;
+        }
+    }
+
+    let mut obj_acc: Vec<(u32, ObjSet)> = obj_acc.into_iter().collect();
+    obj_acc.sort_unstable_by_key(|&(o, _)| o);
+    let mut bnd_acc: Vec<(u32, ObjSet)> = bnd_acc.into_iter().collect();
+    bnd_acc.sort_unstable_by_key(|&(s, _)| s);
+    Ok(JobOut {
+        part,
+        base,
+        var_pts,
+        obj_acc,
+        bnd_acc,
+        new_objs,
+        reads_objs,
+        writes_objs,
+        iterations,
+    })
+}
+
+/// FNV over the boundary slot list: any signature-surface change (a
+/// function added, removed, or re-aritied) reshapes it, forcing the
+/// session down the counted full-re-solve path.
+fn boundary_shape(boundary: &BoundaryTable) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for s in 0..boundary.len() as u32 {
+        let (f, k) = boundary.slot(s);
+        let tag = match k {
+            BoundaryKind::Param(i) => (u64::from(i) << 1) | 2,
+            BoundaryKind::Ret => 1,
+        };
+        h ^= u64::from(f.0).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ tag;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Groups function indices into wavefront levels (callees first).
+fn schedule(nfuncs: usize, call_edges: &[(u32, u32)]) -> Vec<Vec<u32>> {
+    let cond = wavefront::condense(nfuncs, call_edges);
+    let node_levels = cond.node_levels();
+    wavefront::group_by_level((0..nfuncs as u32).map(|f| (f, ())).collect(), |f: u32| {
+        node_levels[f as usize]
+    })
+    .into_iter()
+    .map(|l| l.into_iter().map(|(f, ())| f).collect())
+    .collect()
+}
+
+/// The resident partitioned solver: the shared tables plus one
+/// partition per function. [`PointsToSession::export`] produces a
+/// [`PointsTo`]; [`PointsToSession::update_budgeted`] re-solves after
+/// an edit, touching only the dirty closure.
+pub struct PointsToSession {
+    objects: Vec<ObjectKind>,
+    field_intern: HashMap<(ObjectId, u64), ObjectId>,
+    /// Non-field object kinds → ids, matching allocation sites across
+    /// edits (object ids are append-only for the session's lifetime).
+    site_index: HashMap<ObjectKind, ObjectId>,
+    obj_pts: Vec<ObjSet>,
+    bnd_pts: Vec<ObjSet>,
+    boundary_slots: usize,
+    boundary_shape: u64,
+    parts: Vec<Partition>,
+    /// Reverse read index: object id -> partitions that have loaded its
+    /// contents (registered as each job merges). May hold stale entries
+    /// after a closure reset -- a superset only costs a warm no-op job.
+    obj_readers: HashMap<u32, Vec<u32>>,
+    /// Reverse boundary index: slot -> partitions with a boundary-in
+    /// copy on it. Static per constraint set; rebuilt whenever any
+    /// partition's constraints are replaced.
+    bnd_readers: Vec<Vec<u32>>,
+    /// Wavefront levels over function indices (callees first).
+    levels: Vec<Vec<u32>>,
+    iterations: usize,
+    /// Last report (the fresh solve, or the latest update).
+    last_report: SessionReport,
+}
+
+impl PointsToSession {
+    /// Builds the partitions and solves to quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] when `budget` trips; the session is
+    /// not usable afterwards (points-to state is only meaningful at
+    /// fixpoint).
+    pub fn new_budgeted(
+        pre: &Preprocessed,
+        budget: &Budget,
+    ) -> Result<PointsToSession, BudgetExceeded> {
+        budget.tick()?;
+        let pc = PartitionedConstraints::collect(pre);
+        let nfuncs = pc.funcs.len();
+        let mut site_index = HashMap::new();
+        for (i, &k) in pc.objects.iter().enumerate() {
+            site_index.insert(k, ObjectId(i as u32));
+        }
+        let levels = schedule(nfuncs, &pc.call_edges);
+        let shape = boundary_shape(&pc.boundary);
+        let parts: Vec<Partition> = pc
+            .funcs
+            .into_iter()
+            .map(|fc| Partition::new(fc, &pc.objects))
+            .collect();
+        let mut session = PointsToSession {
+            obj_pts: (0..pc.objects.len()).map(|_| ObjSet::default()).collect(),
+            bnd_pts: (0..pc.boundary.len()).map(|_| ObjSet::default()).collect(),
+            boundary_slots: pc.boundary.len(),
+            boundary_shape: shape,
+            objects: pc.objects,
+            field_intern: HashMap::new(),
+            site_index,
+            parts,
+            obj_readers: HashMap::new(),
+            bnd_readers: Vec::new(),
+            levels,
+            iterations: 0,
+            last_report: SessionReport::default(),
+        };
+        session.rebuild_bnd_readers();
+        let mut report = SessionReport {
+            edited: (0..nfuncs as u32).collect(),
+            closure: (0..nfuncs as u32).collect(),
+            ..SessionReport::default()
+        };
+        session.solve_dirty(budget, &mut report)?;
+        manta_telemetry::counter("pointsto.partitions", nfuncs as u64);
+        session.last_report = report;
+        Ok(session)
+    }
+
+    /// Builds and solves with an unlimited budget.
+    pub fn new(pre: &Preprocessed) -> PointsToSession {
+        let unlimited = Budget::unlimited();
+        match PointsToSession::new_budgeted(pre, &unlimited) {
+            Ok(s) => s,
+            // A fresh unlimited budget never trips.
+            Err(_) => unreachable!("unlimited budget tripped"),
+        }
+    }
+
+    /// The report of the most recent solve or update.
+    pub fn report(&self) -> &SessionReport {
+        &self.last_report
+    }
+
+    /// Number of partitions (one per function).
+    pub fn partition_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Re-solves after an edit: diffs constraint fingerprints, resets
+    /// the dirty closure, rebuilds shared state from the untouched
+    /// partitions' contributions, and sweeps only what the closure
+    /// dirties. Falls back to a counted full re-solve when the module's
+    /// shape changed incompatibly (function count or signature
+    /// surface).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] when `budget` trips.
+    pub fn update_budgeted(
+        &mut self,
+        pre: &Preprocessed,
+        budget: &Budget,
+    ) -> Result<&SessionReport, BudgetExceeded> {
+        budget.tick()?;
+        let pc = PartitionedConstraints::collect(pre);
+        let nfuncs = pc.funcs.len();
+        if nfuncs != self.parts.len() || boundary_shape(&pc.boundary) != self.boundary_shape {
+            manta_telemetry::counter("pointsto.full_resolves", 1);
+            *self = PointsToSession::new_budgeted(pre, budget)?;
+            self.last_report.full_resolve = true;
+            return Ok(&self.last_report);
+        }
+
+        // Map the fresh collection's object ids onto the session's
+        // append-only table; allocation sites match by kind.
+        let mut obj_map: Vec<u32> = Vec::with_capacity(pc.objects.len());
+        for &k in &pc.objects {
+            let id = match self.site_index.get(&k) {
+                Some(&id) => id,
+                None => {
+                    let id = ObjectId(self.objects.len() as u32);
+                    self.objects.push(k);
+                    self.obj_pts.push(ObjSet::default());
+                    self.site_index.insert(k, id);
+                    id
+                }
+            };
+            obj_map.push(id.0);
+        }
+        let new_cons: Vec<FunctionConstraints> = pc
+            .funcs
+            .into_iter()
+            .map(|mut fc| {
+                for (_, o) in &mut fc.seeds {
+                    *o = ObjectId(obj_map[o.index()]);
+                }
+                fc
+            })
+            .collect();
+
+        // Diff fingerprints against the resident partitions.
+        let edited: Vec<u32> = new_cons
+            .iter()
+            .enumerate()
+            .filter(|(i, fc)| fc.fingerprint(&self.objects) != self.parts[*i].fingerprint)
+            .map(|(i, _)| i as u32)
+            .collect();
+
+        // The call graph may have been rewired: rebuild the schedule.
+        self.levels = schedule(nfuncs, &pc.call_edges);
+
+        // Dirty closure: edited partitions plus every transitive
+        // consumer of facts they wrote (object contents they stored to,
+        // boundary slots they fed). Old footprints cover retraction of
+        // previously-derived facts; *new* writes dirty their readers
+        // during the sweep itself, as in a fresh solve.
+        let mut in_closure = vec![false; nfuncs];
+        let mut frontier: Vec<u32> = edited.clone();
+        for &e in &edited {
+            in_closure[e as usize] = true;
+        }
+        while let Some(d) = frontier.pop() {
+            let part = &self.parts[d as usize];
+            let wrote_objs = &part.writes_objs;
+            let wrote_bnds: Vec<u32> = part
+                .contrib_bnd
+                .keys()
+                .copied()
+                .chain(part.cons.bout.iter().map(|&(_, s)| s))
+                .chain(new_cons[d as usize].bout.iter().map(|&(_, s)| s))
+                .collect();
+            for (p, other) in self.parts.iter().enumerate() {
+                if in_closure[p] {
+                    continue;
+                }
+                let hit = other.reads_objs.iter().any(|o| wrote_objs.contains(o))
+                    || wrote_bnds
+                        .iter()
+                        .any(|s| other.cons.bin.iter().any(|&(slot, _)| slot == *s));
+                if hit {
+                    in_closure[p] = true;
+                    frontier.push(p as u32);
+                }
+            }
+        }
+        let closure: Vec<u32> = (0..nfuncs as u32)
+            .filter(|&p| in_closure[p as usize])
+            .collect();
+
+        // Reset the closure; rebuild shared state from the untouched
+        // partitions' recorded contributions.
+        for &p in &closure {
+            self.parts[p as usize] = Partition::new(new_cons[p as usize].clone(), &self.objects);
+        }
+        // Reset partitions re-register their true read sets as they
+        // re-run; drop their old registrations so the index mirrors
+        // `reads_objs` again.
+        if !closure.is_empty() {
+            let in_cl = &in_closure;
+            for readers in self.obj_readers.values_mut() {
+                readers.retain(|&p| !in_cl[p as usize]);
+            }
+        }
+        self.rebuild_bnd_readers();
+        for s in &mut self.obj_pts {
+            *s = ObjSet::default();
+        }
+        for s in &mut self.bnd_pts {
+            *s = ObjSet::default();
+        }
+        for part in &self.parts {
+            if part.dirty {
+                continue; // reset partitions re-contribute by running
+            }
+            for (&o, set) in &part.contrib_obj {
+                let dst = &mut self.obj_pts[o as usize];
+                for x in set.iter() {
+                    dst.insert(x);
+                }
+            }
+            for (&s, set) in &part.contrib_bnd {
+                let dst = &mut self.bnd_pts[s as usize];
+                for x in set.iter() {
+                    dst.insert(x);
+                }
+            }
+        }
+
+        for part in &mut self.parts {
+            part.ran = false;
+        }
+        let mut report = SessionReport {
+            edited,
+            closure,
+            ..SessionReport::default()
+        };
+        self.solve_dirty(budget, &mut report)?;
+        self.last_report = report;
+        Ok(&self.last_report)
+    }
+
+    /// [`PointsToSession::update_budgeted`] with an unlimited budget.
+    pub fn update(&mut self, pre: &Preprocessed) -> &SessionReport {
+        let unlimited = Budget::unlimited();
+        match self.update_budgeted(pre, &unlimited) {
+            Ok(_) => &self.last_report,
+            // A fresh unlimited budget never trips.
+            Err(_) => unreachable!("unlimited budget tripped"),
+        }
+    }
+
+    /// Sweeps wavefront levels until no partition is dirty.
+    fn solve_dirty(
+        &mut self,
+        budget: &Budget,
+        report: &mut SessionReport,
+    ) -> Result<(), BudgetExceeded> {
+        loop {
+            let mut any = false;
+            for li in 0..self.levels.len() {
+                let batch: Vec<u32> = self.levels[li]
+                    .iter()
+                    .copied()
+                    .filter(|&p| self.parts[p as usize].dirty)
+                    .collect();
+                if batch.is_empty() {
+                    continue;
+                }
+                any = true;
+                for &p in &batch {
+                    self.parts[p as usize].dirty = false;
+                    self.parts[p as usize].ran = true;
+                }
+                report.jobs += batch.len();
+                let outs: Vec<Result<JobOut, BudgetExceeded>> = {
+                    let parts = &self.parts;
+                    let base = self.objects.len() as u32;
+                    let field_intern = &self.field_intern;
+                    let obj_pts = &self.obj_pts;
+                    let bnd_pts = &self.bnd_pts;
+                    wavefront::wavefront_dispatch(vec![batch], "pointsto.wavefronts", |p| {
+                        let part = &parts[p as usize];
+                        run_local(
+                            p,
+                            &part.cons,
+                            part.var_pts.clone(),
+                            base,
+                            field_intern,
+                            obj_pts,
+                            bnd_pts,
+                            budget,
+                        )
+                    })
+                };
+                for out in outs {
+                    self.merge(out?, report);
+                }
+            }
+            if !any {
+                break;
+            }
+            report.sweeps += 1;
+        }
+        report.resolved = self.parts.iter().filter(|p| p.ran).count();
+        manta_telemetry::counter("pointsto.boundary_delta", report.boundary_deltas);
+        Ok(())
+    }
+
+    /// Applies one job's results: remaps local field objects through
+    /// the shared intern table, diffs accumulated facts against shared
+    /// state, and re-dirties readers of anything that grew.
+    fn merge(&mut self, out: JobOut, report: &mut SessionReport) {
+        let base = out.base;
+        let mut remap: Vec<u32> = Vec::with_capacity(out.new_objs.len());
+        for &(parent_raw, offset) in &out.new_objs {
+            // Parents created earlier in the job already have a mapping.
+            let parent = if parent_raw >= base {
+                remap[(parent_raw - base) as usize]
+            } else {
+                parent_raw
+            };
+            let gid = match self.field_intern.get(&(ObjectId(parent), offset)) {
+                Some(&g) => g.0,
+                None => {
+                    let id = ObjectId(self.objects.len() as u32);
+                    self.objects.push(ObjectKind::Field {
+                        parent: ObjectId(parent),
+                        offset,
+                    });
+                    self.obj_pts.push(ObjSet::default());
+                    self.field_intern.insert((ObjectId(parent), offset), id);
+                    id.0
+                }
+            };
+            remap.push(gid);
+        }
+        // A job that materialized no local field objects needs no id
+        // remapping: its sets move through verbatim. This is the common
+        // case (gep-free functions) and skips a full clone of every
+        // var/object/boundary set on the serial merge path.
+        let identity = out.new_objs.is_empty();
+        let map_id = |x: u32| -> u32 {
+            if x >= base {
+                remap[(x - base) as usize]
+            } else {
+                x
+            }
+        };
+        let map_set = |s: &ObjSet| -> ObjSet {
+            let mut mapped = ObjSet::default();
+            for x in s.iter() {
+                mapped.insert(map_id(x));
+            }
+            mapped
+        };
+
+        self.iterations += out.iterations;
+
+        let mut changed_objs: Vec<u32> = Vec::new();
+        let mut changed_bnds: Vec<u32> = Vec::new();
+        {
+            let part = &mut self.parts[out.part as usize];
+            let obj_readers = &mut self.obj_readers;
+            part.var_pts = if identity {
+                out.var_pts
+            } else {
+                out.var_pts.iter().map(map_set).collect()
+            };
+            for x in out.reads_objs.iter() {
+                let m = map_id(x);
+                if part.reads_objs.insert(m) {
+                    obj_readers.entry(m).or_default().push(out.part);
+                }
+            }
+            for x in out.writes_objs.iter() {
+                part.writes_objs.insert(map_id(x));
+            }
+        }
+        for (o_raw, set) in &out.obj_acc {
+            let o = map_id(*o_raw);
+            let mapped_store;
+            let mapped: &ObjSet = if identity {
+                set
+            } else {
+                mapped_store = map_set(set);
+                &mapped_store
+            };
+            let mut added = 0u64;
+            let dst = &mut self.obj_pts[o as usize];
+            for x in mapped.iter() {
+                if dst.insert(x) {
+                    added += 1;
+                }
+            }
+            let contrib = self.parts[out.part as usize]
+                .contrib_obj
+                .entry(o)
+                .or_default();
+            for x in mapped.iter() {
+                contrib.insert(x);
+            }
+            if added > 0 {
+                changed_objs.push(o);
+                report.boundary_deltas += added;
+            }
+        }
+        for (s, set) in &out.bnd_acc {
+            let mapped_store;
+            let mapped: &ObjSet = if identity {
+                set
+            } else {
+                mapped_store = map_set(set);
+                &mapped_store
+            };
+            let mut added = 0u64;
+            let dst = &mut self.bnd_pts[*s as usize];
+            for x in mapped.iter() {
+                if dst.insert(x) {
+                    added += 1;
+                }
+            }
+            let contrib = self.parts[out.part as usize]
+                .contrib_bnd
+                .entry(*s)
+                .or_default();
+            for x in mapped.iter() {
+                contrib.insert(x);
+            }
+            if added > 0 {
+                changed_bnds.push(*s);
+                report.boundary_deltas += added;
+            }
+        }
+        if changed_objs.is_empty() && changed_bnds.is_empty() {
+            return;
+        }
+        // Re-dirty readers of anything that grew (via the reverse
+        // indexes) — except the job's own partition: everything this
+        // merge added came out of that job's local view, which is
+        // already at fixpoint over it. Growth from *other* partitions
+        // re-dirties it through their merges.
+        for &o in &changed_objs {
+            if let Some(readers) = self.obj_readers.get(&o) {
+                for &p in readers {
+                    if p != out.part {
+                        self.parts[p as usize].dirty = true;
+                    }
+                }
+            }
+        }
+        for &sl in &changed_bnds {
+            for &p in &self.bnd_readers[sl as usize] {
+                if p != out.part {
+                    self.parts[p as usize].dirty = true;
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the slot -> readers index from every partition's
+    /// boundary-in constraints.
+    fn rebuild_bnd_readers(&mut self) {
+        let mut idx: Vec<Vec<u32>> = (0..self.bnd_pts.len()).map(|_| Vec::new()).collect();
+        for (pi, part) in self.parts.iter().enumerate() {
+            for &(slot, _) in &part.cons.bin {
+                let readers = &mut idx[slot as usize];
+                if readers.last() != Some(&(pi as u32)) {
+                    readers.push(pi as u32);
+                }
+            }
+        }
+        self.bnd_readers = idx;
+    }
+
+    /// Exports the resident solution as a [`PointsTo`].
+    pub fn export(&self) -> PointsTo {
+        let mut constraint_edges = 0usize;
+        let mut nv = 0usize;
+        for part in &self.parts {
+            nv += part.var_pts.len();
+            constraint_edges += part.cons.copies.len() + part.cons.bin.len() + part.cons.bout.len();
+        }
+        // Row conversion (set iteration, per-entry vector builds) fans
+        // out across the pool; the serial remainder is map insertion of
+        // prebuilt rows.
+        type Row = Vec<(u32, std::collections::BTreeSet<ObjectId>)>;
+        let rows: Vec<(usize, Row)> =
+            manta_parallel::par_map((0..self.parts.len()).collect(), |fi: usize| {
+                let part = &self.parts[fi];
+                let mut out = Vec::new();
+                for (vi, set) in part.var_pts.iter().enumerate() {
+                    if set.is_empty() {
+                        continue;
+                    }
+                    out.push((vi as u32, set.iter().map(ObjectId).collect()));
+                }
+                (fi, out)
+            });
+        let mut pts = HashMap::with_capacity(rows.iter().map(|(_, r)| r.len()).sum::<usize>() + 64);
+        let mut peak = 0usize;
+        for (fi, row) in rows {
+            for (vi, set) in row {
+                peak = peak.max(set.len());
+                let key = Node::Var(VarRef::new(FuncId(fi as u32), ValueId(vi)));
+                pts.insert(key, set);
+            }
+        }
+        for (oi, set) in self.obj_pts.iter().enumerate() {
+            if set.is_empty() {
+                continue;
+            }
+            peak = peak.max(set.len());
+            pts.insert(
+                Node::Obj(ObjectId(oi as u32)),
+                set.iter().map(ObjectId).collect(),
+            );
+        }
+        let out = PointsTo {
+            objects: self.objects.clone(),
+            field_intern: self.field_intern.clone(),
+            pts,
+            iterations: self.iterations,
+            constraint_nodes: nv + self.objects.len() + self.boundary_slots,
+            constraint_edges,
+            scc_merges: 0,
+            peak_pts: peak,
+            provenance: None,
+        };
+        PEAK_PTS.record_max(out.peak_pts as u64);
+        out
+    }
+}

@@ -779,10 +779,14 @@ fn run_command(
             // print the per-stage cost breakdown they recorded. With a cache
             // directory the engine runs in summary mode so the `summary.*`
             // counters below reflect real replay/recompute traffic.
+            // The stats view runs the compositional points-to solver so the
+            // `pointsto.*` partition/wavefront counters below reflect real
+            // traffic; results are bit-identical to the monolithic solve.
             let mut builder = Engine::builder()
                 .config(MantaConfig::full())
                 .budget(resilience.spec())
                 .strict(resilience.strict)
+                .partitioned_pointsto(true)
                 .summaries(cache.is_some());
             if let Some(c) = cache.clone() {
                 builder = builder.cache(c);
@@ -869,6 +873,18 @@ fn run_command(
                 counter("summary.wavefronts"),
                 counter("summary.wavefront_width_max"),
                 counter("summary.state_corrupt"),
+            );
+            // Compositional points-to: partition count, scheduler levels,
+            // and cross-partition boundary churn from the solve above.
+            let _ = writeln!(
+                out,
+                "pointsto: {} partitions, {} wavefronts, {} boundary deltas, \
+                 {} full re-solves, peak |pts| {}",
+                counter("pointsto.partitions"),
+                counter("pointsto.wavefronts"),
+                counter("pointsto.boundary_delta"),
+                counter("pointsto.full_resolves"),
+                counter("pointsto.peak_pts"),
             );
             out.push_str(&report.render_text());
         }
@@ -1364,6 +1380,10 @@ func main(0) -> ret {
             assert!(out.contains("cache: 0 hits, 0 misses"), "{out}");
             // Summary mode needs --cache-dir, so the line renders zeros here.
             assert!(out.contains("summaries: 0 chunk replays"), "{out}");
+            // Stats drives the compositional points-to solver, so the
+            // partition counters carry live (nonzero) traffic.
+            assert!(out.contains("boundary deltas"), "{out}");
+            assert!(!out.contains("pointsto: 0 partitions"), "{out}");
 
             // `--stats` writes a JSON report the hand parser accepts.
             let json_path = dir.join("stats.json");

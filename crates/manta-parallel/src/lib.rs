@@ -14,6 +14,11 @@
 //! * [`scope`] — a scoped pool with [`Scope::spawn`] /
 //!   [`JoinHandle::join`] for irregular task graphs.
 //!
+//! The [`wavefront`] module layers dependency-ordered scheduling on top
+//! of `par_map`: SCC condensation plus level-by-level dispatch, shared
+//! by the summary driver, the partitioned points-to solver, and
+//! `Engine::analyze_batch`.
+//!
 //! ## Determinism contract
 //!
 //! `par_map(items, f)` returns exactly `items.into_iter().map(f)
@@ -48,6 +53,8 @@
 
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod wavefront;
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

@@ -164,6 +164,10 @@ trait Backend {
     fn binop(&mut self, op: BinOp, dst: AReg, src: AReg);
     /// `dst = dst op imm`; lifts to a bound constant + `binop`.
     fn binop_imm(&mut self, op: BinOp, dst: AReg, imm: i64);
+    /// In-place sign extension of the low `bits` of `dst`; lifts to the
+    /// shift-up/shift-down pair (two bound constants + two `binop`s).
+    /// x86 renders this as a single `movsx`; SB as two shift ops.
+    fn sext(&mut self, dst: AReg, bits: u8);
     /// Global address; lifts to a bound `global` value (no inst).
     fn lea_global(&mut self, dst: AReg, index: u32, name: &str);
     /// Function address; lifts to a bound `func` value (no inst).
@@ -322,6 +326,14 @@ impl Backend for SbBackend {
             rs: sb_reg(dst),
             rt: SB_IMM,
         });
+    }
+
+    fn sext(&mut self, dst: AReg, bits: u8) {
+        // No sign-extending move in SB-ISA: stage the canonical
+        // shift-up/shift-down pair, which lifts exactly like the x86
+        // side's `movsx`.
+        self.binop_imm(BinOp::Shl, dst, i64::from(64 - bits));
+        self.binop_imm(BinOp::Shr, dst, i64::from(64 - bits));
     }
 
     fn lea_global(&mut self, dst: AReg, index: u32, _name: &str) {
@@ -651,6 +663,20 @@ impl Backend for X86Backend {
         }
     }
 
+    fn sext(&mut self, dst: AReg, bits: u8) {
+        let from = match bits {
+            8 => OpWidth::B8,
+            16 => OpWidth::B16,
+            32 => OpWidth::B32,
+            _ => unreachable!("driver only fuses 8/16/32-bit sign extensions"),
+        };
+        self.push(XInst::MovSx {
+            from,
+            dst: x_reg(dst),
+            src: Rm::Reg(x_reg(dst)),
+        });
+    }
+
     fn lea_global(&mut self, dst: AReg, _index: u32, name: &str) {
         self.body
             .push(SymInst::LeaGlobal(x_reg(dst), name.to_string()));
@@ -775,6 +801,9 @@ struct Lowering<'a> {
     skip: HashSet<InstId>,
     /// Fused compare per conditional block.
     fused_cmp: HashMap<BlockId, (CmpPred, ValueId, ValueId)>,
+    /// Fused sign-extension idiom, keyed by the `shr` instruction:
+    /// (value being extended, source bit width).
+    fused_sext: HashMap<InstId, (ValueId, u8)>,
     loc: HashMap<ValueId, Loc>,
     alloca_of: HashMap<InstId, usize>,
     frame: FrameInfo,
@@ -797,6 +826,7 @@ impl<'a> Lowering<'a> {
             fused_gep: HashMap::new(),
             skip: HashSet::new(),
             fused_cmp: HashMap::new(),
+            fused_sext: HashMap::new(),
             loc: HashMap::new(),
             alloca_of: HashMap::new(),
             frame: FrameInfo::default(),
@@ -869,6 +899,52 @@ impl<'a> Lowering<'a> {
                     }
                 }
             }
+        }
+        // The sign-extension idiom `t = v << (64-n); d = t >> (64-n)` with
+        // n ∈ {8, 16, 32} and `t` used only by the `shr` fuses into one
+        // backend sign-extension step: x86 renders a single `movsx`, SB
+        // keeps the two shifts — both lift back to this exact pair.
+        let const_of = |v: ValueId| match func.value(v).kind {
+            ValueKind::Const(ConstKind::Int(c)) => Some(c),
+            _ => None,
+        };
+        for inst in func.insts() {
+            let (shr_lhs, shr_rhs) = match inst.kind {
+                InstKind::BinOp {
+                    op: BinOp::Shr,
+                    lhs,
+                    rhs,
+                    ..
+                } => (lhs, rhs),
+                _ => continue,
+            };
+            let amt = match const_of(shr_rhs) {
+                Some(a @ (32 | 48 | 56)) => a,
+                _ => continue,
+            };
+            let shl_def = match func.value(shr_lhs).kind {
+                ValueKind::Inst { def } => def,
+                _ => continue,
+            };
+            let (src, shl_rhs) = match func.inst(shl_def).kind {
+                InstKind::BinOp {
+                    op: BinOp::Shl,
+                    lhs,
+                    rhs,
+                    ..
+                } => (lhs, rhs),
+                _ => continue,
+            };
+            if const_of(shl_rhs) != Some(amt) || self.skip.contains(&shl_def) {
+                continue;
+            }
+            let t_uses = other_uses.get(&shr_lhs).copied().unwrap_or(0)
+                + addr_uses.get(&shr_lhs).copied().unwrap_or(0);
+            if t_uses != 1 {
+                continue;
+            }
+            self.skip.insert(shl_def);
+            self.fused_sext.insert(inst.id, (src, (64 - amt) as u8));
         }
         // Compares must feed their block's condbr directly (both ISAs fuse
         // compare-and-branch); phis lower to predecessor copies.
@@ -1366,7 +1442,16 @@ impl<'a> Lowering<'a> {
                 }
             }
             InstKind::BinOp { op, dst, lhs, rhs } => {
-                self.emit_binop(be, *op, *dst, *lhs, *rhs)?;
+                if let Some(&(src, bits)) = self.fused_sext.get(&iid) {
+                    let (t, spill) = self.result_target(*dst);
+                    self.put(be, t, src)?;
+                    be.sext(t, bits);
+                    if let Some(s) = spill {
+                        be.spill_store(s, t);
+                    }
+                } else {
+                    self.emit_binop(be, *op, *dst, *lhs, *rhs)?;
+                }
             }
             InstKind::Call { dst, callee, args } => {
                 self.emit_call(be, *dst, *callee, args)?;
@@ -1774,6 +1859,74 @@ mod tests {
                 .iter()
                 .any(|i| matches!(i, MachInst::Salloc { rd, .. } if *rd == SB_SPILL_BASE)),
             "expected a spill area under pressure"
+        );
+        assert_parity(&module);
+    }
+
+    #[test]
+    fn sign_extension_idiom_fuses_to_movsx_and_stays_in_parity() {
+        // `(p << 56) >> 56` feeding arithmetic: the driver fuses the pair
+        // into Backend::sext, so x86 carries a genuine `movsx` while SB
+        // keeps the two shifts — and both must lift to the identical
+        // shift-pair IR.
+        let mut mb = manta_ir::ModuleBuilder::new("sext");
+        let (_, mut fb) = mb.function("widen", &[Width::W64], Some(Width::W64));
+        let p = fb.param(0);
+        let c = fb.const_int(56, Width::W64);
+        let hi = fb.binop(BinOp::Shl, p, c, Width::W64);
+        let lo = fb.binop(BinOp::Shr, hi, c, Width::W64);
+        // The extended value feeds arithmetic, not just a load.
+        let sum = fb.binop(BinOp::Add, lo, p, Width::W64);
+        fb.ret(Some(sum));
+        mb.finish_function(fb);
+        let module = mb.finish();
+        let dual = emit_dual(&module).expect("sext module lowers");
+        let f = &dual.x86.functions[0];
+        let body = &dual.x86.text[f.offset as usize..(f.offset + f.len) as usize];
+        let decoded = manta_x86::decode_all(body).expect("decodes");
+        assert!(
+            decoded
+                .iter()
+                .any(|(i, _, _)| matches!(i, XInst::MovSx { .. })),
+            "x86 encoding should carry a movsx for the fused idiom"
+        );
+        let sb_code = &dual.sb.functions[0].code;
+        assert!(
+            sb_code
+                .iter()
+                .any(|i| matches!(i, MachInst::Bin { op: BinOp::Shl, .. }))
+                && sb_code
+                    .iter()
+                    .any(|i| matches!(i, MachInst::Bin { op: BinOp::Shr, .. })),
+            "SB encoding stages the extension as a shift pair"
+        );
+        assert_parity(&module);
+    }
+
+    #[test]
+    fn unfused_shifts_still_lower_and_match() {
+        // A shr whose shl operand has a second consumer must NOT fuse —
+        // both encodings keep the raw shift pair and still agree.
+        let mut mb = manta_ir::ModuleBuilder::new("noextfuse");
+        let (_, mut fb) = mb.function("keep", &[Width::W64], Some(Width::W64));
+        let p = fb.param(0);
+        let c = fb.const_int(48, Width::W64);
+        let hi = fb.binop(BinOp::Shl, p, c, Width::W64);
+        let lo = fb.binop(BinOp::Shr, hi, c, Width::W64);
+        // Second use of the shl result blocks fusion.
+        let keep = fb.binop(BinOp::Xor, hi, lo, Width::W64);
+        fb.ret(Some(keep));
+        mb.finish_function(fb);
+        let module = mb.finish();
+        let dual = emit_dual(&module).expect("module lowers");
+        let f = &dual.x86.functions[0];
+        let body = &dual.x86.text[f.offset as usize..(f.offset + f.len) as usize];
+        let decoded = manta_x86::decode_all(body).expect("decodes");
+        assert!(
+            !decoded
+                .iter()
+                .any(|(i, _, _)| matches!(i, XInst::MovSx { .. })),
+            "multi-use shl must not fuse into movsx"
         );
         assert_parity(&module);
     }

@@ -445,6 +445,15 @@ fn build_regular_function(ctx: &mut Ctx, index: usize) {
     if ctx.rng.gen_bool(ctx.mix.icall_rate) {
         emit_icall(ctx, &mut fb, &name);
     }
+    // Deterministically (no RNG draw, so seeded streams are unchanged)
+    // give every third function a genuine multi-object flow. Without it
+    // every slot in the module holds at most one abstract object — the
+    // union/recycle gadgets pair a pointer with a *constant int*, which
+    // contributes nothing to points-to — and `pointsto.peak_pts` flatlines
+    // at 1 on realistic projects.
+    if index.is_multiple_of(3) {
+        emit_multi_alias(ctx, &mut fb);
+    }
 
     let ret = fb.const_int(1 + index as i64, Width::W64);
     fb.ret(Some(ret));
@@ -589,6 +598,41 @@ fn emit_union_gadget(ctx: &mut Ctx, fb: &mut FunctionBuilder) {
     fb.call_extern(ctx.printf_s, &[fmt, vp], Some(Width::W32));
     fb.br(bb_j);
     fb.switch_to(bb_j);
+}
+
+/// Two *distinct* heap objects funneled through one slot on two branches:
+/// the load after the join may-points-to both allocation sites. This is the
+/// module's only guaranteed source of |pts| > 1, so the `pointsto.peak_pts`
+/// telemetry (and the bench suite asserting on it) exercises real
+/// multi-object sets. Deterministic — consumes no RNG draws.
+fn emit_multi_alias(ctx: &mut Ctx, fb: &mut FunctionBuilder) {
+    let slot = fb.alloca(8);
+    let sel = fb
+        .call_extern(ctx.vendors[0], &[slot], Some(Width::W64))
+        .unwrap();
+    let zero = fb.const_int(0, Width::W64);
+    let c = fb.cmp(CmpPred::Eq, sel, zero);
+    let bb_a = fb.new_block();
+    let bb_b = fb.new_block();
+    let bb_j = fb.new_block();
+    fb.cond_br(c, bb_a, bb_b);
+    fb.switch_to(bb_a);
+    let sz_a = fb.const_int(32, Width::W64);
+    let buf_a = fb
+        .call_extern(ctx.malloc, &[sz_a], Some(Width::W64))
+        .unwrap();
+    fb.store(slot, buf_a);
+    fb.br(bb_j);
+    fb.switch_to(bb_b);
+    let sz_b = fb.const_int(48, Width::W64);
+    let buf_b = fb
+        .call_extern(ctx.malloc, &[sz_b], Some(Width::W64))
+        .unwrap();
+    fb.store(slot, buf_b);
+    fb.br(bb_j);
+    fb.switch_to(bb_j);
+    let either = fb.load(slot, Width::W64);
+    fb.load(either, Width::W64);
 }
 
 /// Stack recycling: the same slot holds an int early and a pointer later.

@@ -872,12 +872,47 @@ impl<'a> Lifter<'a> {
                 let val = self.const_int(i64::from(imm), Width::W64);
                 self.func.append_inst(b, InstKind::Store { addr, val });
             }
-            Inst::MovZx { from, dst, src } | Inst::MovSx { from, dst, src } => {
-                // Register forms are masked views of the wide register; the
-                // sign-extension distinction carries no extra type evidence
-                // at this level, so both lift identically.
+            Inst::MovZx { from, dst, src } => {
+                // The register form is a masked view of the wide register.
                 let v = match src {
                     Rm::Reg(r) => self.masked_read(b, r, from)?,
+                    Rm::Mem(mem) => {
+                        let addr = self.lift_addr(b, &mem)?;
+                        let width = from.ir();
+                        self.emit(b, width, |dst| InstKind::Load { dst, addr, width })
+                    }
+                };
+                self.write_reg(dst, v)?;
+            }
+            Inst::MovSx { from, dst, src } => {
+                let v = match src {
+                    Rm::Reg(r) => {
+                        // Sign extension is NOT a mask (the high bits are
+                        // copies of bit `from-1`), so the register form
+                        // lifts as the shift-up/shift-down pair — the same
+                        // staging SB-ISA encodes with two shift
+                        // instructions, so both frontends produce
+                        // bit-identical IR. The constant binds before the
+                        // register read to match SB's `movi` staging order.
+                        let amt = i64::from(64 - from.bits());
+                        let c1 = self.const_int(amt, Width::W64);
+                        let lhs = self.read_reg(b, r)?;
+                        let hi = self.emit(b, Width::W64, |dst| InstKind::BinOp {
+                            op: BinOp::Shl,
+                            dst,
+                            lhs,
+                            rhs: c1,
+                        });
+                        let c2 = self.const_int(amt, Width::W64);
+                        self.emit(b, Width::W64, |dst| InstKind::BinOp {
+                            op: BinOp::Shr,
+                            dst,
+                            lhs: hi,
+                            rhs: c2,
+                        })
+                    }
+                    // Memory forms stay plain narrow loads: the access
+                    // width is the type evidence, as with `movzx`.
                     Rm::Mem(mem) => {
                         let addr = self.lift_addr(b, &mem)?;
                         let width = from.ir();
@@ -1215,6 +1250,57 @@ mod tests {
             })
             .collect();
         assert_eq!(masks, vec![Width::W8, Width::W32]);
+    }
+
+    #[test]
+    fn movsx_register_form_lifts_as_a_shift_pair() {
+        let m = lift_text(
+            "module m\nfunc f(1) -> ret {\n    movsx rax, dil\n    add rax, rdi\n    ret\n}\n",
+        );
+        let f = m.function_by_name("f").unwrap();
+        // movsx rax, dil → (rdi << 56) >> 56, never an And mask — the
+        // extension feeds the add directly.
+        let ops: Vec<BinOp> = f
+            .insts()
+            .filter_map(|i| match i.kind {
+                InstKind::BinOp { op, .. } => Some(op),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ops, vec![BinOp::Shl, BinOp::Shr, BinOp::Add]);
+        let amounts: Vec<i64> = f
+            .insts()
+            .filter_map(|i| match i.kind {
+                InstKind::BinOp {
+                    op: BinOp::Shl | BinOp::Shr,
+                    rhs,
+                    ..
+                } => match f.value(rhs).kind {
+                    ValueKind::Const(manta_ir::ConstKind::Int(c)) => Some(c),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        assert_eq!(amounts, vec![56, 56]);
+    }
+
+    #[test]
+    fn movsx_memory_form_stays_a_narrow_load() {
+        let m = lift_text(
+            "module m\nfunc f(1) -> ret {\n    push rbp\n    mov rbp, rsp\n    sub rsp, 8\n    mov qword [rbp-8], rdi\n    movsx rax, dword [rbp-8]\n    mov rsp, rbp\n    pop rbp\n    ret\n}\n",
+        );
+        let f = m.function_by_name("f").unwrap();
+        assert!(f.insts().any(|i| matches!(
+            i.kind,
+            InstKind::Load {
+                width: Width::W32,
+                ..
+            }
+        )));
+        assert!(!f
+            .insts()
+            .any(|i| matches!(i.kind, InstKind::BinOp { op: BinOp::Shl, .. })));
     }
 
     #[test]

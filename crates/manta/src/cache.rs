@@ -810,6 +810,7 @@ impl Manta {
             strict: false,
             provenance: false,
             summaries: false,
+            partitioned_pointsto: false,
             cache: None,
         };
         match engine.analyze_with_cache(analysis, cache) {

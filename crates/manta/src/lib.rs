@@ -446,6 +446,7 @@ impl Manta {
             strict: true,
             provenance: false,
             summaries: false,
+            partitioned_pointsto: false,
             cache: None,
         };
         engine.analyze_with_budget(analysis, budget)

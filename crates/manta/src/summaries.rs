@@ -34,10 +34,12 @@
 //! ## Wavefront scheduling
 //!
 //! Dirty chunks are grouped by the condensation of the call graph
-//! ([`manta_store::DepGraph::condense`]): each strongly-connected
+//! ([`manta_parallel::wavefront::condense`]): each strongly-connected
 //! component sits at a topological level, and every level's chunks
 //! dispatch across the `manta-parallel` pool as one wavefront
-//! ([`wavefront_dispatch`]). Chunks are pure against the frozen
+//! ([`manta_parallel::wavefront::wavefront_dispatch`] — the shared
+//! scheduler layer also used by the partitioned points-to solver and
+//! `Engine::analyze_batch`). Chunks are pure against the frozen
 //! pre-stage result, so wavefronts bound nothing semantically — they
 //! shape the schedule (summaries are the only cross-shard traffic) and
 //! feed the `summary.wavefront*` telemetry.
@@ -55,8 +57,9 @@ use std::collections::HashMap;
 
 use manta_analysis::{DepKind, ModuleAnalysis, ObjectKind, VarRef};
 use manta_ir::{FuncId, InstId, ValueId};
+use manta_parallel::wavefront;
 use manta_resilience::Budget;
-use manta_store::{hash_str, ByteReader, ByteWriter, DecodeError, DepGraph, Fingerprint, Key};
+use manta_store::{hash_str, ByteReader, ByteWriter, DecodeError, Fingerprint, Key};
 
 use crate::cache::{bad, config_hash, dec_interval, enc_interval, function_fingerprints};
 use crate::ctx_refine::{self, Footprint};
@@ -67,8 +70,9 @@ use crate::{classify, flow_insensitive, InferenceResult, MantaConfig, Sensitivit
 
 /// Version of the persisted summary-state payload. Folded into every
 /// input fingerprint and checked on decode, so a codec change orphans
-/// (never misreads) older state.
-pub const SUMMARY_STATE_VERSION: u32 = 2;
+/// (never misreads) older state. v3 added the per-function points-to
+/// boundary fingerprint table.
+pub const SUMMARY_STATE_VERSION: u32 = 3;
 
 /// The store key holding a module's whole summary state for one config:
 /// one mutable entry per `(module name, config)` — edits update it in
@@ -156,6 +160,15 @@ struct ChunkEntry {
 #[derive(Default, Debug)]
 struct State {
     footprints: Vec<Vec<(u64, u64)>>,
+    /// Per-function points-to *boundary* fingerprints `(name hash, fp)`,
+    /// sorted by name hash: the points-to sets visible at the
+    /// function's interface (parameters and returns) in stable object
+    /// keys. A function whose boundary fingerprint changed since the
+    /// state was written has different cross-function points-to facts,
+    /// so its callers' chunks are force-dirtied — the summary-mode
+    /// analogue of the partitioned solver re-solving an edited
+    /// partition plus the callers its boundary deltas dirty.
+    boundary_fps: Vec<(u64, u64)>,
     stages: Vec<(u8, Vec<(u64, ChunkEntry)>)>,
 }
 
@@ -196,6 +209,10 @@ fn encode_state(state: &State) -> Vec<u8> {
             w.u64(*h).u64(*fp);
         }
     }
+    w.usize(state.boundary_fps.len());
+    for (nh, fp) in &state.boundary_fps {
+        w.u64(*nh).u64(*fp);
+    }
     w.usize(state.stages.len());
     for (tag, entries) in &state.stages {
         w.u8(*tag);
@@ -232,6 +249,11 @@ fn decode_state(payload: &[u8]) -> Result<State, DecodeError> {
             list.push((r.u64("footprint name")?, r.u64("footprint fp")?));
         }
         footprints.push(list);
+    }
+    let n_bnd = r.len("summary boundary fps")?;
+    let mut boundary_fps = Vec::with_capacity(n_bnd.min(4096));
+    for _ in 0..n_bnd {
+        boundary_fps.push((r.u64("boundary name")?, r.u64("boundary fp")?));
     }
     let n_stages = r.len("summary stages")?;
     let mut stages = Vec::with_capacity(n_stages.min(4));
@@ -272,7 +294,11 @@ fn decode_state(payload: &[u8]) -> Result<State, DecodeError> {
         stages.push((tag, entries));
     }
     r.expect_end("summary state")?;
-    Ok(State { footprints, stages })
+    Ok(State {
+        footprints,
+        boundary_fps,
+        stages,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -287,6 +313,8 @@ struct Inputs {
     name_hash: Vec<u64>,
     by_name: HashMap<u64, FuncId>,
     static_fp: Vec<u64>,
+    /// Content-stable object keys, kept for the boundary fingerprints.
+    obj_keys: Vec<u64>,
 }
 
 impl Inputs {
@@ -396,7 +424,48 @@ impl Inputs {
             name_hash,
             by_name,
             static_fp,
+            obj_keys,
         }
+    }
+
+    /// Per-function points-to *boundary* fingerprints: the points-to
+    /// sets of the function's parameters and returned values, in stable
+    /// object keys. This is exactly the slice of points-to facts the
+    /// function exchanges with its callers — the summary-state analogue
+    /// of the partitioned solver's boundary slots.
+    fn boundary_fps(&self, analysis: &ModuleAnalysis) -> Vec<u64> {
+        let module = analysis.module();
+        let pts = &analysis.pointsto;
+        let mut out = Vec::with_capacity(self.static_fp.len());
+        for func in module.functions() {
+            let fid = func.id();
+            let mut h = Fingerprint::new();
+            h.write_u64(u64::from(SUMMARY_STATE_VERSION));
+            let eat_var = |h: &mut Fingerprint, v: manta_ir::ValueId| {
+                let mut ks: Vec<u64> = pts
+                    .pts_var(VarRef::new(fid, v))
+                    .iter()
+                    .map(|o| self.obj_keys[o.index()])
+                    .collect();
+                ks.sort_unstable();
+                h.write_usize(ks.len());
+                for k in ks {
+                    h.write_u64(k);
+                }
+            };
+            for &p in func.params() {
+                h.write_u64(0);
+                eat_var(&mut h, p);
+            }
+            for b in func.blocks() {
+                if let manta_ir::Terminator::Ret(Some(r)) = b.term {
+                    h.write_u64(1);
+                    eat_var(&mut h, r);
+                }
+            }
+            out.push(h.finish());
+        }
+        out
     }
 
     /// The per-function input fingerprints at one stage entry: the
@@ -542,38 +611,10 @@ fn edge_hash(
 // ---------------------------------------------------------------------
 // Wavefront scheduling
 // ---------------------------------------------------------------------
-
-/// Dispatches work level by level across the pool: each inner vec is one
-/// wavefront whose items run concurrently; levels run in order. Results
-/// come back flattened in input order.
-pub(crate) fn wavefront_dispatch<T: Send, R: Send>(
-    levels: Vec<Vec<T>>,
-    f: impl Fn(T) -> R + Sync,
-) -> Vec<R> {
-    let mut out = Vec::new();
-    for level in levels {
-        manta_telemetry::counter("summary.wavefronts", 1);
-        out.extend(manta_parallel::par_map(level, &f));
-    }
-    out
-}
-
-/// Groups per-function work by call-graph condensation level (callees
-/// before callers), preserving input order within a level.
-fn group_by_level<T>(items: Vec<(FuncId, T)>, level_of_func: &[u32]) -> Vec<Vec<(FuncId, T)>> {
-    let max_level = items
-        .iter()
-        .map(|(f, _)| level_of_func[f.index()])
-        .max()
-        .map(|l| l as usize + 1)
-        .unwrap_or(0);
-    let mut levels: Vec<Vec<(FuncId, T)>> = (0..max_level).map(|_| Vec::new()).collect();
-    for (f, item) in items {
-        levels[level_of_func[f.index()] as usize].push((f, item));
-    }
-    levels.retain(|l| !l.is_empty());
-    levels
-}
+//
+// The scheduler itself lives in `manta_parallel::wavefront` (SCC
+// condensation + level-by-level dispatch); this driver only maps
+// functions onto condensation levels and names the telemetry counter.
 
 // ---------------------------------------------------------------------
 // The solve driver
@@ -643,17 +684,50 @@ pub(crate) fn solve_with(
 
     // Call-graph condensation: SCC topological levels drive the
     // recompute wavefronts (callees' chunks before callers').
-    let mut dg = DepGraph::new(module.function_count());
-    for e in analysis.callgraph.edges() {
-        dg.add_dep(e.caller.0, e.callee.0);
-    }
-    let cond = dg.condense();
-    let level_of_func: Vec<u32> = (0..module.function_count())
-        .map(|i| cond.level_of[cond.scc_of[i] as usize])
+    let call_edges: Vec<(u32, u32)> = analysis
+        .callgraph
+        .edges()
+        .iter()
+        .map(|e| (e.caller.0, e.callee.0))
         .collect();
+    let cond = wavefront::condense(module.function_count(), &call_edges);
+    let level_of_func = cond.node_levels();
 
     let needs_fs = stages.contains(&StageKind::Fs);
     let cfgs = needs_fs.then(|| Cfgs::new(analysis));
+
+    // Points-to boundary fingerprints: a function whose interface-level
+    // points-to facts changed since the state was written exchanged
+    // different facts with its callers, so every caller's chunk is
+    // force-dirtied (in addition to ordinary footprint validation —
+    // forcing extra recomputes is always sound because recompute is
+    // deterministic and bit-identical). This mirrors the partitioned
+    // solver: an edited partition's boundary deltas dirty its callers.
+    let boundary_now = {
+        manta_telemetry::span!("summary.boundary_fps");
+        inputs.boundary_fps(analysis)
+    };
+    let force_dirty: std::collections::HashSet<u64> = {
+        let prev_bnd: HashMap<u64, u64> = prev.boundary_fps.iter().copied().collect();
+        let mut force = std::collections::HashSet::new();
+        if !prev_bnd.is_empty() {
+            for func in module.functions() {
+                let fid = func.id();
+                let nh = inputs.name_hash[fid.index()];
+                if prev_bnd.get(&nh) == Some(&boundary_now[fid.index()]) {
+                    continue;
+                }
+                // Changed (or new) boundary: the owner and every caller
+                // consume its interface facts.
+                force.insert(nh);
+                for e in analysis.callgraph.callers(fid) {
+                    force.insert(inputs.name_hash[e.caller.index()]);
+                }
+            }
+        }
+        manta_telemetry::counter("summary.boundary_dirty", force.len() as u64);
+        force
+    };
 
     let mut new_state = State::default();
     let mut interner = FpInterner::default();
@@ -685,14 +759,22 @@ pub(crate) fn solve_with(
             for chunk in chunks {
                 let f = chunk[0].func;
                 let nh = inputs.name_hash[f.index()];
-                let valid = prev_by_name.get(&nh).copied().filter(|e| {
-                    let idx = e.footprint as usize;
-                    *fp_ok[idx].get_or_insert_with(|| {
-                        prev.footprints[idx].iter().all(|&(h, fp)| {
-                            inputs.by_name.get(&h).map(|g| in_fps[g.index()]) == Some(fp)
+                // Boundary-forced chunks recompute even when their read
+                // footprint still validates: the interface-level points-to
+                // change is not guaranteed to show up in the stage
+                // fingerprints the footprint cites.
+                let valid = if force_dirty.contains(&nh) {
+                    None
+                } else {
+                    prev_by_name.get(&nh).copied().filter(|e| {
+                        let idx = e.footprint as usize;
+                        *fp_ok[idx].get_or_insert_with(|| {
+                            prev.footprints[idx].iter().all(|&(h, fp)| {
+                                inputs.by_name.get(&h).map(|g| in_fps[g.index()]) == Some(fp)
+                            })
                         })
                     })
-                });
+                };
                 match valid {
                     Some(e) => reused.push((f, e.clone())),
                     None => dirty.push((f, chunk)),
@@ -713,7 +795,7 @@ pub(crate) fn solve_with(
 
         // Recompute dirty chunks wavefront by wavefront against the
         // frozen pre-stage result, recording footprints.
-        let levels = group_by_level(dirty, &level_of_func);
+        let levels = wavefront::group_by_level(dirty, |f: FuncId| level_of_func[f.index()]);
         let mut width_max = 0u64;
         for l in &levels {
             report.wavefront_widths.push(l.len());
@@ -725,7 +807,7 @@ pub(crate) fn solve_with(
         let frozen: &InferenceResult = &result;
         let raw = {
             manta_telemetry::span!("summary.recompute");
-            wavefront_dispatch(levels, |(f, chunk)| {
+            wavefront::wavefront_dispatch(levels, "summary.wavefronts", |(f, chunk)| {
                 let mut fp = Footprint::on(module.function_count());
                 let (vars, sites) = match stage {
                     StageKind::Cs => {
@@ -848,6 +930,17 @@ pub(crate) fn solve_with(
 
     result.config = *config;
     new_state.footprints = interner.table;
+    new_state.boundary_fps = {
+        let mut fps: Vec<(u64, u64)> = module
+            .functions()
+            .map(|f| {
+                let i = f.id().index();
+                (inputs.name_hash[i], boundary_now[i])
+            })
+            .collect();
+        fps.sort_unstable();
+        fps
+    };
     let encoded = {
         manta_telemetry::span!("summary.encode");
         encode_state(&new_state)

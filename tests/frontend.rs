@@ -290,3 +290,64 @@ func locals(1) -> ret {
     // No rsp/rbp traffic survives into the IR.
     assert!(!text.contains("rsp") && !text.contains("rbp"), "{text}");
 }
+
+/// `movsx` feeding arithmetic (not just a load): the register form lifts
+/// as the shift-up/shift-down pair, never a mask — sign extension is not
+/// `and` — and the extended value reaches the `add` as an operand.
+#[test]
+fn movsx_feeding_arithmetic_lifts_as_a_shift_pair() {
+    let asm = "\
+module handsext
+func widen(2) -> ret {
+    movsx rax, dil
+    add rax, rsi
+    ret
+}
+";
+    let img = manta_x86::assemble(asm).unwrap();
+    let module = manta_x86::lift(&img).unwrap();
+    let text = print_module(&module);
+    assert!(text.contains("shl"), "movsx must shift up: {text}");
+    assert!(text.contains("shr"), "movsx must shift back down: {text}");
+    assert!(
+        !text.contains("and."),
+        "sign extension must not lift as a mask: {text}"
+    );
+    // The lifted module still analyzes cleanly end to end.
+    let analysis = ModuleAnalysis::build(module);
+    let r = Engine::new(MantaConfig::full()).analyze(&analysis).unwrap();
+    assert_eq!(r.degradations.len(), 0);
+}
+
+/// Dual-emitter coverage for the same idiom: an IR module carrying
+/// `(p << 56) >> 56` into arithmetic lowers to `movsx` on x86 and a
+/// shift pair on SB, and both encodings lift to bit-identical IR — so
+/// every sensitivity tier infers bit-identical types from either binary.
+#[test]
+fn sign_extension_idiom_agrees_between_encodings() {
+    use manta_ir::{BinOp, ModuleBuilder, Width};
+    let mut mb = ModuleBuilder::new("sextdual");
+    let (_, mut fb) = mb.function("widen", &[Width::W64, Width::W64], Some(Width::W64));
+    let p = fb.param(0);
+    let q = fb.param(1);
+    let c = fb.const_int(56, Width::W64);
+    let hi = fb.binop(BinOp::Shl, p, c, Width::W64);
+    let lo = fb.binop(BinOp::Shr, hi, c, Width::W64);
+    let sum = fb.binop(BinOp::Add, lo, q, Width::W64);
+    fb.ret(Some(sum));
+    mb.finish_function(fb);
+    let module = mb.finish();
+    let (sb, x86) = lift_both(&module);
+    assert_eq!(print_module(&sb), print_module(&x86));
+    let sb = ModuleAnalysis::build(sb);
+    let x86 = ModuleAnalysis::build(x86);
+    for sens in SENSITIVITIES {
+        let engine = Engine::new(MantaConfig::with_sensitivity(sens));
+        let a = engine.analyze(&sb).unwrap();
+        let b = engine.analyze(&x86).unwrap();
+        assert!(
+            results_identical(&a, &b),
+            "{sens:?}: sext idiom diverges between encodings"
+        );
+    }
+}
